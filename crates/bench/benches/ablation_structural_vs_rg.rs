@@ -1,0 +1,50 @@
+//! ABL2 — Theorem 5.7: "for strongly-connected live-safe marked graphs,
+//! the check for receptiveness … can be done structurally on the net in
+//! polynomial time and space."
+//!
+//! Handshake rings of growing size: the structural check (difference
+//! constraints + Bellman–Ford, no state space) vs the exhaustive
+//! reachability-graph check.
+
+use cpn_bench::wide_handshake;
+use cpn_core::{check_receptiveness, check_receptiveness_structural_mg};
+use cpn_petri::ReachabilityOptions;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_structural_vs_rg");
+    group.sample_size(10);
+    let opts = ReachabilityOptions::with_max_states(8_000_000);
+
+    // Wide (concurrent) handshakes: the composed state space grows
+    // exponentially in the width, the structural check stays polynomial.
+    for width in [2usize, 4, 6, 8] {
+        let (p, cons, lo, ro) = wide_handshake(width, None);
+        group.bench_with_input(
+            BenchmarkId::new("structural_mg", width),
+            &width,
+            |b, _| {
+                b.iter(|| {
+                    let rep =
+                        check_receptiveness_structural_mg(&p, &cons, &lo, &ro).unwrap();
+                    assert!(rep.is_receptive());
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("exhaustive_rg", width),
+            &width,
+            |b, _| {
+                b.iter(|| {
+                    let rep =
+                        check_receptiveness(&p, &cons, &lo, &ro, &opts).unwrap();
+                    assert!(rep.is_receptive());
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

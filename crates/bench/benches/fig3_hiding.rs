@@ -1,0 +1,62 @@
+//! FIG3 — hiding as net contraction (Definition 4.10, Theorem 4.7,
+//! Figure 3): the marked-graph collapse case scaled to chains of hidden
+//! transitions, plus a conflict-rich contraction.
+
+use cpn_bench::tau_chain;
+use cpn_core::{hide_label, hide_relabel};
+use cpn_petri::PetriNet;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::BTreeSet;
+use std::hint::black_box;
+
+/// A net with conflicts on both sides of the hidden transition (the
+/// general Figure 3(a/b) shape).
+fn conflict_net() -> PetriNet<&'static str> {
+    let mut net = PetriNet::new();
+    let p1 = net.add_place("p1");
+    let p2 = net.add_place("p2");
+    let q1 = net.add_place("q1");
+    let q2 = net.add_place("q2");
+    let r = net.add_place("r");
+    net.add_transition([p1, p2], "tau", [q1, q2]).unwrap();
+    net.add_transition([p1], "e", [r]).unwrap(); // conflict on p1
+    net.add_transition([q1], "g", [p1]).unwrap(); // successor
+    net.add_transition([q2], "i", [p2]).unwrap(); // successor
+    net.add_transition([r], "f", [p1]).unwrap();
+    net.set_initial(p1, 1);
+    net.set_initial(p2, 1);
+    net
+}
+
+fn bench_hiding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_hiding");
+
+    for taus in [1usize, 4, 16, 64] {
+        let net = tau_chain(taus);
+        group.bench_with_input(BenchmarkId::new("chain_contract", taus), &taus, |b, _| {
+            b.iter(|| hide_label(black_box(&net), &"tau".to_owned(), 10_000).unwrap());
+        });
+        group.bench_with_input(
+            BenchmarkId::new("chain_relabel_hide_prime", taus),
+            &taus,
+            |b, _| {
+                b.iter(|| {
+                    hide_relabel(
+                        black_box(&net),
+                        &BTreeSet::from(["tau".to_owned()]),
+                        "eps".to_owned(),
+                    )
+                });
+            },
+        );
+    }
+
+    let net = conflict_net();
+    group.bench_function("conflict_contract", |b| {
+        b.iter(|| hide_label(black_box(&net), &"tau", 10_000).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hiding);
+criterion_main!(benches);

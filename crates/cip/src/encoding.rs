@@ -1,0 +1,260 @@
+//! Delay-insensitive data encodings for channel values (Section 3).
+//!
+//! A value is transmitted by raising a *set* of wires; the paper requires
+//! that "no encoding covers another" — the codes form an **antichain**
+//! under set inclusion, so a complete code can never be mistaken for a
+//! prefix of a different one. Dual-rail is the classical instance; the
+//! paper explicitly allows general m-wire encodings, so one-hot and
+//! m-of-n constructions are provided too.
+
+use cpn_stg::Signal;
+use std::collections::BTreeSet;
+use std::error::Error;
+use std::fmt;
+
+/// An encoding error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EncodingError {
+    /// Two codes are ordered by inclusion (Section 3's validity rule).
+    CodeCovers {
+        /// Index of the covering value.
+        covering: usize,
+        /// Index of the covered value.
+        covered: usize,
+    },
+    /// A code refers to a wire index out of range.
+    WireOutOfRange(usize),
+    /// A value index out of range for this encoding.
+    ValueOutOfRange(usize),
+    /// An empty code (a value must raise at least one wire).
+    EmptyCode(usize),
+}
+
+impl fmt::Display for EncodingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodingError::CodeCovers { covering, covered } => {
+                write!(f, "code of value {covering} covers code of value {covered}")
+            }
+            EncodingError::WireOutOfRange(w) => write!(f, "wire index {w} out of range"),
+            EncodingError::ValueOutOfRange(v) => write!(f, "value index {v} out of range"),
+            EncodingError::EmptyCode(v) => write!(f, "value {v} has an empty code"),
+        }
+    }
+}
+
+impl Error for EncodingError {}
+
+/// A data encoding: named wires plus one wire-set code per value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DataEncoding {
+    wires: Vec<Signal>,
+    codes: Vec<BTreeSet<usize>>,
+}
+
+impl DataEncoding {
+    /// Builds an encoding from wire names and per-value codes, validating
+    /// the antichain property.
+    ///
+    /// # Errors
+    ///
+    /// [`EncodingError`] on empty codes, out-of-range wires, or covering
+    /// codes.
+    pub fn new(
+        wires: Vec<Signal>,
+        codes: Vec<BTreeSet<usize>>,
+    ) -> Result<Self, EncodingError> {
+        for (v, code) in codes.iter().enumerate() {
+            if code.is_empty() {
+                return Err(EncodingError::EmptyCode(v));
+            }
+            for &w in code {
+                if w >= wires.len() {
+                    return Err(EncodingError::WireOutOfRange(w));
+                }
+            }
+        }
+        for i in 0..codes.len() {
+            for j in 0..codes.len() {
+                if i != j && codes[i].is_superset(&codes[j]) {
+                    return Err(EncodingError::CodeCovers { covering: i, covered: j });
+                }
+            }
+        }
+        Ok(DataEncoding { wires, codes })
+    }
+
+    /// The classical dual-rail encoding of `bits`-bit values: two wires
+    /// per bit (`{prefix}{i}_t` / `{prefix}{i}_f`), codes for all
+    /// `2^bits` values.
+    pub fn dual_rail(prefix: &str, bits: usize) -> Self {
+        assert!(bits > 0 && bits < 16, "sensible dual-rail width");
+        let mut wires = Vec::with_capacity(2 * bits);
+        for i in 0..bits {
+            wires.push(Signal::new(format!("{prefix}{i}_t")));
+            wires.push(Signal::new(format!("{prefix}{i}_f")));
+        }
+        let codes = (0..(1usize << bits))
+            .map(|v| {
+                (0..bits)
+                    .map(|i| 2 * i + usize::from((v >> i) & 1 == 0))
+                    .collect()
+            })
+            .collect();
+        DataEncoding::new(wires, codes).expect("dual-rail is an antichain")
+    }
+
+    /// One-hot over `n` values: wire `i` alone encodes value `i`.
+    pub fn one_hot(prefix: &str, n: usize) -> Self {
+        assert!(n > 0);
+        let wires = (0..n)
+            .map(|i| Signal::new(format!("{prefix}{i}")))
+            .collect();
+        let codes = (0..n).map(|i| BTreeSet::from([i])).collect();
+        DataEncoding::new(wires, codes).expect("one-hot is an antichain")
+    }
+
+    /// The m-of-n encoding: every m-subset of n wires is a code, in
+    /// lexicographic order. Encodes `C(n, m)` values with `n` wires.
+    pub fn m_of_n(prefix: &str, m: usize, n: usize) -> Self {
+        assert!(m > 0 && m <= n && n < 24, "sensible m-of-n shape");
+        let wires: Vec<Signal> = (0..n)
+            .map(|i| Signal::new(format!("{prefix}{i}")))
+            .collect();
+        let mut codes = Vec::new();
+        let mut pick: Vec<usize> = (0..m).collect();
+        loop {
+            codes.push(pick.iter().copied().collect::<BTreeSet<usize>>());
+            // next combination
+            let mut i = m;
+            loop {
+                if i == 0 {
+                    return DataEncoding::new(wires, codes)
+                        .expect("equal-size codes are an antichain");
+                }
+                i -= 1;
+                if pick[i] != i + n - m {
+                    break;
+                }
+            }
+            pick[i] += 1;
+            for j in (i + 1)..m {
+                pick[j] = pick[j - 1] + 1;
+            }
+        }
+    }
+
+    /// The wires of the encoding.
+    pub fn wires(&self) -> &[Signal] {
+        &self.wires
+    }
+
+    /// Number of encodable values.
+    pub fn value_count(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// The wires raised for a value.
+    ///
+    /// # Errors
+    ///
+    /// [`EncodingError::ValueOutOfRange`] for bad indices.
+    pub fn code(&self, value: usize) -> Result<Vec<Signal>, EncodingError> {
+        let code = self
+            .codes
+            .get(value)
+            .ok_or(EncodingError::ValueOutOfRange(value))?;
+        Ok(code.iter().map(|&w| self.wires[w].clone()).collect())
+    }
+
+    /// Decodes a set of raised wires back to a value (None if the set is
+    /// not exactly a code).
+    pub fn decode(&self, raised: &BTreeSet<Signal>) -> Option<usize> {
+        self.codes.iter().position(|code| {
+            let wires: BTreeSet<Signal> =
+                code.iter().map(|&w| self.wires[w].clone()).collect();
+            &wires == raised
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dual_rail_two_bits() {
+        let e = DataEncoding::dual_rail("d", 2);
+        assert_eq!(e.wires().len(), 4);
+        assert_eq!(e.value_count(), 4);
+        // Value 0 = both false rails; value 3 = both true rails.
+        let c0: BTreeSet<String> =
+            e.code(0).unwrap().iter().map(|s| s.name().to_owned()).collect();
+        assert_eq!(c0, BTreeSet::from(["d0_f".to_owned(), "d1_f".to_owned()]));
+        let c3: BTreeSet<String> =
+            e.code(3).unwrap().iter().map(|s| s.name().to_owned()).collect();
+        assert_eq!(c3, BTreeSet::from(["d0_t".to_owned(), "d1_t".to_owned()]));
+    }
+
+    #[test]
+    fn one_hot_codes() {
+        let e = DataEncoding::one_hot("w", 3);
+        assert_eq!(e.value_count(), 3);
+        assert_eq!(e.code(1).unwrap().len(), 1);
+        assert_eq!(e.code(1).unwrap()[0].name(), "w1");
+    }
+
+    #[test]
+    fn two_of_four_counts() {
+        let e = DataEncoding::m_of_n("w", 2, 4);
+        assert_eq!(e.value_count(), 6); // C(4,2)
+        for v in 0..6 {
+            assert_eq!(e.code(v).unwrap().len(), 2);
+        }
+    }
+
+    #[test]
+    fn covering_codes_rejected() {
+        let wires = vec![Signal::new("a"), Signal::new("b")];
+        let err = DataEncoding::new(
+            wires,
+            vec![BTreeSet::from([0]), BTreeSet::from([0, 1])],
+        )
+        .unwrap_err();
+        assert_eq!(err, EncodingError::CodeCovers { covering: 1, covered: 0 });
+    }
+
+    #[test]
+    fn empty_code_rejected() {
+        let err =
+            DataEncoding::new(vec![Signal::new("a")], vec![BTreeSet::new()]).unwrap_err();
+        assert_eq!(err, EncodingError::EmptyCode(0));
+    }
+
+    #[test]
+    fn wire_range_checked() {
+        let err = DataEncoding::new(
+            vec![Signal::new("a")],
+            vec![BTreeSet::from([3])],
+        )
+        .unwrap_err();
+        assert_eq!(err, EncodingError::WireOutOfRange(3));
+    }
+
+    #[test]
+    fn decode_roundtrip() {
+        let e = DataEncoding::dual_rail("d", 2);
+        for v in 0..4 {
+            let raised: BTreeSet<Signal> = e.code(v).unwrap().into_iter().collect();
+            assert_eq!(e.decode(&raised), Some(v));
+        }
+        assert_eq!(e.decode(&BTreeSet::new()), None);
+    }
+
+    #[test]
+    fn value_out_of_range() {
+        let e = DataEncoding::one_hot("w", 2);
+        assert_eq!(e.code(5), Err(EncodingError::ValueOutOfRange(5)));
+    }
+}

@@ -1,0 +1,636 @@
+//! Automatic expansion of abstract channel events into handshake
+//! signalling (Section 3 of the paper).
+//!
+//! A send `c!v` becomes, for the 4-phase protocol,
+//!
+//! ```text
+//! (… r_j+ …) → a_c+ → (… r_j− …) → a_c−      for all r_j ∈ code(v)
+//! ```
+//!
+//! exactly as printed in the paper, where `code(v)` is the wire set of
+//! the channel's data encoding (a lone request wire for control-only
+//! channels). The receiver side mirrors the sequence with the wire
+//! directions flipped: per-wire *trackers* follow the incoming rails, and
+//! one completion transition per value emits the acknowledge when the
+//! value's full code is high — the antichain property of the encoding
+//! ("no code covers another") guarantees the completion is unambiguous.
+//!
+//! Because both sides are generated from the same channel spec, the
+//! rendez-vous of the abstract model is preserved by construction — the
+//! "correctness is ensured" claim of Section 3 — which the tests verify
+//! by composing expanded systems and checking liveness and
+//! receptiveness.
+
+use crate::graph::{CipError, CipGraph, Link};
+use crate::label::{ChanOp, Channel, CipLabel};
+use crate::module::Module;
+use cpn_petri::{PlaceId, ReachabilityOptions};
+use cpn_stg::{Edge, Signal, SignalDir, Stg, StgError, StgLabel};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The handshake protocol channel events expand to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HandshakeProtocol {
+    /// 4-phase return-to-zero: `r+ a+ r- a-`.
+    FourPhase,
+    /// 2-phase transition signalling: `r~ a~` (control-only channels).
+    TwoPhase,
+}
+
+/// The result of expanding a CIP: one STG per module, ready for the
+/// circuit algebra.
+#[derive(Clone, Debug)]
+pub struct ExpandedSystem {
+    names: Vec<String>,
+    stgs: Vec<Stg>,
+}
+
+impl ExpandedSystem {
+    /// The expanded module STGs, in module order.
+    pub fn stgs(&self) -> &[Stg] {
+        &self.stgs
+    }
+
+    /// Module names, in module order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Composes every module STG into the global system (Section 5.1's
+    /// circuit-algebra composition, pairwise-folded).
+    ///
+    /// # Errors
+    ///
+    /// [`StgError`] on output collisions (cannot happen for validated
+    /// CIPs) or net errors.
+    pub fn compose_all(&self) -> Result<Stg, StgError> {
+        let mut iter = self.stgs.iter();
+        let Some(first) = iter.next() else {
+            return Ok(Stg::new());
+        };
+        let mut acc = first.clone();
+        for stg in iter {
+            acc = acc.compose(stg)?;
+        }
+        Ok(acc)
+    }
+
+    /// Pairwise receptiveness verification (Propositions 5.5/5.6): each
+    /// module is checked against the composition of all the others.
+    ///
+    /// Returns, per module, the failures in which that module is the
+    /// producer. An empty report everywhere means the expanded system is
+    /// consistent.
+    ///
+    /// # Errors
+    ///
+    /// Reachability budget and composition errors.
+    pub fn verify_receptiveness(
+        &self,
+        options: &ReachabilityOptions,
+    ) -> Result<Vec<(String, cpn_core::ReceptivenessReport<StgLabel>)>, CipError> {
+        let mut out = Vec::new();
+        for i in 0..self.stgs.len() {
+            let module = &self.stgs[i];
+            // Compose the rest.
+            let mut rest: Option<Stg> = None;
+            for (j, stg) in self.stgs.iter().enumerate() {
+                if j == i {
+                    continue;
+                }
+                rest = Some(match rest {
+                    None => stg.clone(),
+                    Some(acc) => acc.compose(stg).map_err(inner)?,
+                });
+            }
+            let Some(rest) = rest else {
+                out.push((
+                    self.names[i].clone(),
+                    cpn_core::ReceptivenessReport { failures: Vec::new() },
+                ));
+                continue;
+            };
+            let outs = |stg: &Stg| -> BTreeSet<StgLabel> {
+                stg.net()
+                    .alphabet()
+                    .iter()
+                    .filter(|l| {
+                        l.signal_name().is_some_and(|s| {
+                            stg.signals().get(s).copied().unwrap_or(SignalDir::Input)
+                                != SignalDir::Input
+                        })
+                    })
+                    .cloned()
+                    .collect()
+            };
+            let report = cpn_core::check_receptiveness(
+                module.net(),
+                rest.net(),
+                &outs(module),
+                &outs(&rest),
+                options,
+            )
+            .map_err(inner)?;
+            out.push((self.names[i].clone(), report));
+        }
+        Ok(out)
+    }
+}
+
+fn inner(e: impl std::error::Error + Send + Sync + 'static) -> CipError {
+    CipError::Inner(Box::new(e))
+}
+
+/// The role a module plays on a channel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Role {
+    Sender,
+    Receiver,
+}
+
+/// Per-channel wire bundle derived from the spec.
+#[derive(Clone, Debug)]
+struct ChannelWires {
+    /// Request/data wires, indexed by the encoding's wire order (a lone
+    /// `c_req` wire for control channels).
+    data: Vec<Signal>,
+    /// Codes per value (a single full set for control channels).
+    codes: Vec<BTreeSet<usize>>,
+    /// The acknowledge wire `c_ack`.
+    ack: Signal,
+}
+
+impl CipGraph {
+    /// Expands every module, mapping channel events to handshake
+    /// signalling per the protocol.
+    ///
+    /// # Errors
+    ///
+    /// Validation errors ([`CipGraph::validate`] is run first), plus:
+    /// data channels under [`HandshakeProtocol::TwoPhase`] and plain
+    /// sends (`c!` without a value) on data channels are rejected.
+    pub fn expand(&self, protocol: HandshakeProtocol) -> Result<ExpandedSystem, CipError> {
+        self.validate()?;
+
+        // Wire bundles per channel.
+        let mut wires: BTreeMap<Channel, ChannelWires> = BTreeMap::new();
+        let mut roles: BTreeMap<(usize, Channel), Role> = BTreeMap::new();
+        for e in self.edges() {
+            if let Link::Channel(spec) = &e.link {
+                let bundle = match &spec.encoding {
+                    None => ChannelWires {
+                        data: vec![Signal::new(format!("{}_req", spec.channel))],
+                        codes: vec![BTreeSet::from([0])],
+                        ack: Signal::new(format!("{}_ack", spec.channel)),
+                    },
+                    Some(enc) => {
+                        if protocol == HandshakeProtocol::TwoPhase {
+                            return Err(CipError::ChannelMismatch(format!(
+                                "data channel {} cannot use 2-phase signalling",
+                                spec.channel
+                            )));
+                        }
+                        ChannelWires {
+                            data: enc.wires().to_vec(),
+                            codes: (0..enc.value_count())
+                                .map(|v| {
+                                    enc.code(v)
+                                        .expect("validated value")
+                                        .iter()
+                                        .map(|w| {
+                                            enc.wires()
+                                                .iter()
+                                                .position(|x| x == w)
+                                                .expect("own wire")
+                                        })
+                                        .collect()
+                                })
+                                .collect(),
+                            ack: Signal::new(format!("{}_ack", spec.channel)),
+                        }
+                    }
+                };
+                wires.insert(spec.channel.clone(), bundle);
+                roles.insert((e.from, spec.channel.clone()), Role::Sender);
+                roles.insert((e.to, spec.channel.clone()), Role::Receiver);
+            }
+        }
+
+        let mut stgs = Vec::new();
+        let mut names = Vec::new();
+        for (mi, module) in self.modules().iter().enumerate() {
+            stgs.push(expand_module(module, mi, &wires, &roles, protocol)?);
+            names.push(module.name().to_owned());
+        }
+        Ok(ExpandedSystem { names, stgs })
+    }
+}
+
+fn expand_module(
+    module: &Module,
+    mi: usize,
+    wires: &BTreeMap<Channel, ChannelWires>,
+    roles: &BTreeMap<(usize, Channel), Role>,
+    protocol: HandshakeProtocol,
+) -> Result<Stg, CipError> {
+    let mut stg = Stg::new();
+
+    // Original signal declarations.
+    for (s, &dir) in module.signals() {
+        stg.try_add_signal(s.name(), dir).map_err(inner)?;
+    }
+
+    // Channel wires this module touches, with role-dependent directions.
+    let mut my_channels: BTreeSet<Channel> = module.sends();
+    my_channels.extend(module.receives());
+    for c in &my_channels {
+        let bundle = &wires[c];
+        let role = roles[&(mi, c.clone())];
+        let (data_dir, ack_dir) = match role {
+            Role::Sender => (SignalDir::Output, SignalDir::Input),
+            Role::Receiver => (SignalDir::Input, SignalDir::Output),
+        };
+        for w in &bundle.data {
+            stg.try_add_signal(w.name(), data_dir).map_err(inner)?;
+        }
+        stg.try_add_signal(bundle.ack.name(), ack_dir).map_err(inner)?;
+    }
+
+    // Copy places.
+    let mut place_map: BTreeMap<PlaceId, PlaceId> = BTreeMap::new();
+    let m0 = module.net().initial_marking();
+    for (old, place) in module.net().places() {
+        let new = stg.add_place(place.name().to_owned());
+        stg.set_initial(new, m0.tokens(old));
+        place_map.insert(old, new);
+    }
+
+    // Receiver-side wire trackers (once per received channel).
+    // tracker[(channel, wire)] = (low place, high place)
+    let mut tracker: BTreeMap<(Channel, usize), (PlaceId, PlaceId)> = BTreeMap::new();
+    if protocol == HandshakeProtocol::FourPhase {
+        for c in &module.receives() {
+            let bundle = &wires[c];
+            for (wi, w) in bundle.data.iter().enumerate() {
+                let lo = stg.add_place(format!("{c}.{w}.lo"));
+                let hi = stg.add_place(format!("{c}.{w}.hi"));
+                stg.set_initial(lo, 1);
+                stg.add_signal_transition([lo], (w.clone(), Edge::Rise), [hi])
+                    .map_err(inner)?;
+                stg.add_signal_transition([hi], (w.clone(), Edge::Fall), [lo])
+                    .map_err(inner)?;
+                tracker.insert((c.clone(), wi), (lo, hi));
+            }
+        }
+    }
+
+    // Transitions.
+    for (tid, t) in module.net().transitions() {
+        let pre: Vec<PlaceId> = t.preset().iter().map(|p| place_map[p]).collect();
+        let post: Vec<PlaceId> = t.postset().iter().map(|p| place_map[p]).collect();
+        match t.label() {
+            CipLabel::Signal(s, e) => {
+                stg.add_signal_transition(pre, (s.clone(), *e), post)
+                    .map_err(inner)?;
+            }
+            CipLabel::Dummy => {
+                stg.add_dummy(pre, post).map_err(inner)?;
+            }
+            CipLabel::Chan(c, op) => {
+                let bundle = &wires[c];
+                match (op, protocol) {
+                    (ChanOp::Send(v), HandshakeProtocol::FourPhase) => {
+                        let value = match (v, bundle.codes.len()) {
+                            (Some(v), _) => *v,
+                            (None, 1) => 0,
+                            (None, _) => {
+                                return Err(CipError::ChannelMismatch(format!(
+                                    "plain send on data channel {c} needs a value"
+                                )))
+                            }
+                        };
+                        expand_send_4ph(&mut stg, tid.index(), &pre, &post, bundle, value)
+                            .map_err(inner)?;
+                    }
+                    (ChanOp::Recv(sel), HandshakeProtocol::FourPhase) => {
+                        let values: Vec<usize> = match sel {
+                            Some(v) => vec![*v],
+                            None => (0..bundle.codes.len()).collect(),
+                        };
+                        expand_recv_4ph(
+                            &mut stg,
+                            tid.index(),
+                            &pre,
+                            &post,
+                            c,
+                            bundle,
+                            &values,
+                            &tracker,
+                        )
+                        .map_err(inner)?;
+                    }
+                    (ChanOp::Send(_), HandshakeProtocol::TwoPhase) => {
+                        let req = bundle.data[0].clone();
+                        let mid = stg.add_place(format!("t{}.2ph", tid.index()));
+                        stg.add_signal_transition(pre, (req, Edge::Toggle), [mid])
+                            .map_err(inner)?;
+                        stg.add_signal_transition(
+                            [mid],
+                            (bundle.ack.clone(), Edge::Toggle),
+                            post,
+                        )
+                        .map_err(inner)?;
+                    }
+                    (ChanOp::Recv(_), HandshakeProtocol::TwoPhase) => {
+                        let req = bundle.data[0].clone();
+                        let mid = stg.add_place(format!("t{}.2ph", tid.index()));
+                        stg.add_signal_transition(pre, (req, Edge::Toggle), [mid])
+                            .map_err(inner)?;
+                        stg.add_signal_transition(
+                            [mid],
+                            (bundle.ack.clone(), Edge::Toggle),
+                            post,
+                        )
+                        .map_err(inner)?;
+                    }
+                }
+            }
+        }
+    }
+
+    Ok(stg)
+}
+
+/// Sender side, 4-phase: fork to the code wires, raise them, wait for
+/// ack+, lower them, wait for ack−.
+fn expand_send_4ph(
+    stg: &mut Stg,
+    tid: usize,
+    pre: &[PlaceId],
+    post: &[PlaceId],
+    bundle: &ChannelWires,
+    value: usize,
+) -> Result<(), StgError> {
+    let code: Vec<usize> = bundle.codes[value].iter().copied().collect();
+    let ack = bundle.ack.clone();
+
+    // Rise phase.
+    let mut hi_places = Vec::new();
+    if code.len() == 1 {
+        let w = bundle.data[code[0]].clone();
+        let hi = stg.add_place(format!("t{tid}.hi"));
+        stg.add_signal_transition(pre.iter().copied(), (w, Edge::Rise), [hi])?;
+        hi_places.push(hi);
+    } else {
+        let mut ups = Vec::new();
+        for &wi in &code {
+            ups.push(stg.add_place(format!("t{tid}.up.{wi}")));
+        }
+        stg.add_dummy(pre.iter().copied(), ups.clone())?;
+        for (k, &wi) in code.iter().enumerate() {
+            let w = bundle.data[wi].clone();
+            let hi = stg.add_place(format!("t{tid}.hi.{wi}"));
+            stg.add_signal_transition([ups[k]], (w, Edge::Rise), [hi])?;
+            hi_places.push(hi);
+        }
+    }
+
+    // Ack+ joins the rises, forks the falls.
+    let mut dn_places = Vec::new();
+    for &wi in &code {
+        dn_places.push(stg.add_place(format!("t{tid}.dn.{wi}")));
+    }
+    stg.add_signal_transition(
+        hi_places,
+        (ack.clone(), Edge::Rise),
+        dn_places.clone(),
+    )?;
+
+    // Fall phase.
+    let mut lo_places = Vec::new();
+    for (k, &wi) in code.iter().enumerate() {
+        let w = bundle.data[wi].clone();
+        let lo = stg.add_place(format!("t{tid}.lo.{wi}"));
+        stg.add_signal_transition([dn_places[k]], (w, Edge::Fall), [lo])?;
+        lo_places.push(lo);
+    }
+
+    // Ack− completes the transaction.
+    stg.add_signal_transition(lo_places, (ack, Edge::Fall), post.iter().copied())?;
+    Ok(())
+}
+
+/// Receiver side, 4-phase: one completion (`ack+`) per accepted value,
+/// reading the tracker high places of its code (self-loops), then `ack−`
+/// once the code wires returned low.
+#[allow(clippy::too_many_arguments)]
+fn expand_recv_4ph(
+    stg: &mut Stg,
+    tid: usize,
+    pre: &[PlaceId],
+    post: &[PlaceId],
+    channel: &Channel,
+    bundle: &ChannelWires,
+    values: &[usize],
+    tracker: &BTreeMap<(Channel, usize), (PlaceId, PlaceId)>,
+) -> Result<(), StgError> {
+    let ack = bundle.ack.clone();
+    for &v in values {
+        let code: Vec<usize> = bundle.codes[v].iter().copied().collect();
+        let mid = stg.add_place(format!("t{tid}.got.{v}"));
+        // ack+ when the full code is high (read arcs on the trackers).
+        let mut plus_pre: Vec<PlaceId> = pre.to_vec();
+        let mut plus_post: Vec<PlaceId> = vec![mid];
+        for &wi in &code {
+            let (_, hi) = tracker[&(channel.clone(), wi)];
+            plus_pre.push(hi);
+            plus_post.push(hi);
+        }
+        stg.add_signal_transition(plus_pre, (ack.clone(), Edge::Rise), plus_post)?;
+        // ack− once the code wires are low again.
+        let mut minus_pre: Vec<PlaceId> = vec![mid];
+        let mut minus_post: Vec<PlaceId> = post.to_vec();
+        for &wi in &code {
+            let (lo, _) = tracker[&(channel.clone(), wi)];
+            minus_pre.push(lo);
+            minus_post.push(lo);
+        }
+        stg.add_signal_transition(minus_pre, (ack.clone(), Edge::Fall), minus_post)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::DataEncoding;
+    use crate::graph::ChannelSpec;
+
+    fn control_pair() -> CipGraph {
+        let mut tx = Module::new("tx");
+        let p = tx.add_place("p");
+        tx.add_send([p], "go", None, [p]).unwrap();
+        tx.set_initial(p, 1);
+        let mut rx = Module::new("rx");
+        let r = rx.add_place("r");
+        rx.add_recv([r], "go", [r]).unwrap();
+        rx.set_initial(r, 1);
+        let mut g = CipGraph::new();
+        let a = g.add_module(tx);
+        let b = g.add_module(rx);
+        g.add_channel_edge(a, b, ChannelSpec::control("go")).unwrap();
+        g
+    }
+
+    #[test]
+    fn four_phase_control_channel_is_live_and_safe() {
+        let sys = control_pair().expand(HandshakeProtocol::FourPhase).unwrap();
+        let composed = sys.compose_all().unwrap();
+        let rep = composed.classical_report(&Default::default()).unwrap();
+        assert!(rep.live, "expanded handshake must be live:\n{}", composed.net());
+        assert!(rep.safe);
+    }
+
+    #[test]
+    fn four_phase_handshake_order() {
+        let sys = control_pair().expand(HandshakeProtocol::FourPhase).unwrap();
+        let composed = sys.compose_all().unwrap();
+        let lang = composed.language(4, 100_000).unwrap();
+        let seq: Vec<StgLabel> = vec![
+            StgLabel::signal("go_req", Edge::Rise),
+            StgLabel::signal("go_ack", Edge::Rise),
+            StgLabel::signal("go_req", Edge::Fall),
+            StgLabel::signal("go_ack", Edge::Fall),
+        ];
+        assert!(lang.contains(&seq), "r+ a+ r- a- must be a trace: {lang}");
+        // The paper's order is enforced: ack before request is impossible.
+        assert!(!lang.contains(&[StgLabel::signal("go_ack", Edge::Rise)][..]));
+    }
+
+    #[test]
+    fn two_phase_control_channel() {
+        let sys = control_pair().expand(HandshakeProtocol::TwoPhase).unwrap();
+        let composed = sys.compose_all().unwrap();
+        let lang = composed.language(2, 10_000).unwrap();
+        assert!(lang.contains(&[
+            StgLabel::signal("go_req", Edge::Toggle),
+            StgLabel::signal("go_ack", Edge::Toggle),
+        ][..]));
+        let rep = composed.classical_report(&Default::default()).unwrap();
+        assert!(rep.live && rep.safe);
+    }
+
+    fn data_pair(selective: bool) -> CipGraph {
+        let mut tx = Module::new("tx");
+        let p = tx.add_place("p");
+        let q = tx.add_place("q");
+        tx.add_send([p], "d", Some(1), [q]).unwrap();
+        tx.add_send([q], "d", Some(0), [p]).unwrap();
+        tx.set_initial(p, 1);
+        let mut rx = Module::new("rx");
+        let r = rx.add_place("r");
+        if selective {
+            let s = rx.add_place("s");
+            rx.add_recv_case([r], "d", 1, [s]).unwrap();
+            rx.add_recv_case([s], "d", 0, [r]).unwrap();
+        } else {
+            rx.add_recv([r], "d", [r]).unwrap();
+        }
+        rx.set_initial(r, 1);
+        let mut g = CipGraph::new();
+        let a = g.add_module(tx);
+        let b = g.add_module(rx);
+        g.add_channel_edge(
+            a,
+            b,
+            ChannelSpec::data("d", DataEncoding::dual_rail("d", 1)),
+        )
+        .unwrap();
+        g
+    }
+
+    #[test]
+    fn dual_rail_data_channel_runs() {
+        let sys = data_pair(false).expand(HandshakeProtocol::FourPhase).unwrap();
+        // The fusion cross-product leaves dead duplicates (Section 5.2);
+        // prune them before judging liveness.
+        let composed = sys
+            .compose_all()
+            .unwrap()
+            .remove_dead(&Default::default())
+            .unwrap();
+        let rep = composed.classical_report(&Default::default()).unwrap();
+        assert!(rep.live, "dual-rail transaction loop must be live");
+        assert!(rep.safe);
+        // Value 1 raises the true rail first.
+        let lang = composed.language(2, 100_000).unwrap();
+        assert!(lang.contains(&[
+            StgLabel::signal("d0_t", Edge::Rise),
+            StgLabel::signal("d_ack", Edge::Rise),
+        ][..]));
+        assert!(!lang.contains(&[StgLabel::signal("d0_f", Edge::Rise)][..]),
+            "value 1 must not raise the false rail first");
+    }
+
+    #[test]
+    fn selective_receive_routes_on_value() {
+        let sys = data_pair(true).expand(HandshakeProtocol::FourPhase).unwrap();
+        let composed = sys
+            .compose_all()
+            .unwrap()
+            .remove_dead(&Default::default())
+            .unwrap();
+        let rep = composed.classical_report(&Default::default()).unwrap();
+        assert!(rep.live, "selective receive in phase with sender is live");
+    }
+
+    #[test]
+    fn two_phase_data_rejected() {
+        let err = data_pair(false).expand(HandshakeProtocol::TwoPhase).unwrap_err();
+        assert!(matches!(err, CipError::ChannelMismatch(_)));
+    }
+
+    #[test]
+    fn expanded_system_is_receptive() {
+        let sys = control_pair().expand(HandshakeProtocol::FourPhase).unwrap();
+        let reports = sys
+            .verify_receptiveness(&ReachabilityOptions::default())
+            .unwrap();
+        for (name, rep) in &reports {
+            assert!(rep.is_receptive(), "module {name}: {:?}", rep.failures);
+        }
+    }
+
+    #[test]
+    fn wire_directions_assigned_by_role() {
+        let sys = control_pair().expand(HandshakeProtocol::FourPhase).unwrap();
+        let tx = &sys.stgs()[0];
+        let rx = &sys.stgs()[1];
+        assert_eq!(tx.signals()[&Signal::new("go_req")], SignalDir::Output);
+        assert_eq!(tx.signals()[&Signal::new("go_ack")], SignalDir::Input);
+        assert_eq!(rx.signals()[&Signal::new("go_req")], SignalDir::Input);
+        assert_eq!(rx.signals()[&Signal::new("go_ack")], SignalDir::Output);
+    }
+
+    #[test]
+    fn plain_send_on_data_channel_rejected() {
+        let mut tx = Module::new("tx");
+        let p = tx.add_place("p");
+        tx.add_send([p], "d", None, [p]).unwrap();
+        tx.set_initial(p, 1);
+        let mut rx = Module::new("rx");
+        let r = rx.add_place("r");
+        rx.add_recv([r], "d", [r]).unwrap();
+        let mut g = CipGraph::new();
+        let a = g.add_module(tx);
+        let b = g.add_module(rx);
+        g.add_channel_edge(
+            a,
+            b,
+            ChannelSpec::data("d", DataEncoding::one_hot("w", 2)),
+        )
+        .unwrap();
+        let err = g.expand(HandshakeProtocol::FourPhase).unwrap_err();
+        assert!(matches!(err, CipError::ChannelMismatch(_)));
+    }
+}

@@ -1,0 +1,405 @@
+//! The CIP graph `(V, E)` (Definition 3.1): modules connected by edges
+//! labeled with signals or abstract channels, with well-formedness
+//! validation.
+
+use crate::encoding::DataEncoding;
+use crate::label::Channel;
+use crate::module::Module;
+use cpn_stg::{Signal, SignalDir};
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from CIP graph construction and validation.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CipError {
+    /// A module index out of range.
+    UnknownModule(usize),
+    /// A channel edge references a channel neither endpoint uses as
+    /// stated (sender must send, receiver must receive).
+    ChannelMismatch(String),
+    /// The same channel is declared on two edges.
+    DuplicateChannel(String),
+    /// A signal edge's source does not drive the signal, or its target
+    /// does not read it.
+    SignalMismatch(String),
+    /// A module uses a channel no edge declares.
+    UndeclaredChannel(String),
+    /// A sent value index exceeds the channel's encoding.
+    ValueOutOfRange {
+        /// The channel.
+        channel: String,
+        /// The offending value.
+        value: usize,
+    },
+    /// An underlying error (net, encoding, STG).
+    Inner(Box<dyn Error + Send + Sync>),
+}
+
+impl fmt::Display for CipError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CipError::UnknownModule(i) => write!(f, "unknown module index {i}"),
+            CipError::ChannelMismatch(c) => {
+                write!(f, "channel {c} endpoints do not send/receive as declared")
+            }
+            CipError::DuplicateChannel(c) => write!(f, "channel {c} declared twice"),
+            CipError::SignalMismatch(s) => {
+                write!(f, "signal edge {s} inconsistent with module directions")
+            }
+            CipError::UndeclaredChannel(c) => {
+                write!(f, "channel {c} used by a module but not declared on any edge")
+            }
+            CipError::ValueOutOfRange { channel, value } => {
+                write!(f, "value {value} does not fit the encoding of channel {channel}")
+            }
+            CipError::Inner(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for CipError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CipError::Inner(e) => Some(e.as_ref()),
+            _ => None,
+        }
+    }
+}
+
+/// What a channel carries: pure synchronization or encoded data.
+#[derive(Clone, Debug)]
+pub struct ChannelSpec {
+    /// The channel.
+    pub channel: Channel,
+    /// The data encoding; `None` for control-only channels.
+    pub encoding: Option<DataEncoding>,
+}
+
+impl ChannelSpec {
+    /// A control-only channel (plain request/acknowledge).
+    pub fn control(name: impl Into<Channel>) -> Self {
+        ChannelSpec { channel: name.into(), encoding: None }
+    }
+
+    /// A data channel with the given encoding.
+    pub fn data(name: impl Into<Channel>, encoding: DataEncoding) -> Self {
+        ChannelSpec { channel: name.into(), encoding: Some(encoding) }
+    }
+}
+
+/// An edge of the CIP graph: a signal or a channel connecting two
+/// modules (Definition 3.1's edge labels).
+#[derive(Clone, Debug)]
+pub struct CipEdge {
+    /// Source module index.
+    pub from: usize,
+    /// Target module index.
+    pub to: usize,
+    /// The carried link.
+    pub link: Link,
+}
+
+/// The label of a CIP edge.
+#[derive(Clone, Debug)]
+pub enum Link {
+    /// A plain signal (source drives, target reads).
+    Signal(Signal),
+    /// An abstract channel with its expansion spec.
+    Channel(ChannelSpec),
+}
+
+/// The CIP graph.
+#[derive(Clone, Debug, Default)]
+pub struct CipGraph {
+    modules: Vec<Module>,
+    edges: Vec<CipEdge>,
+}
+
+impl CipGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        CipGraph::default()
+    }
+
+    /// Adds a module, returning its index.
+    pub fn add_module(&mut self, module: Module) -> usize {
+        self.modules.push(module);
+        self.modules.len() - 1
+    }
+
+    /// Adds a signal edge `from --s--> to`.
+    ///
+    /// # Errors
+    ///
+    /// [`CipError::UnknownModule`] on bad indices.
+    pub fn add_signal_edge(
+        &mut self,
+        from: usize,
+        to: usize,
+        signal: Signal,
+    ) -> Result<(), CipError> {
+        self.check_idx(from)?;
+        self.check_idx(to)?;
+        self.edges.push(CipEdge { from, to, link: Link::Signal(signal) });
+        Ok(())
+    }
+
+    /// Adds a channel edge `from --c--> to` (sender to receiver).
+    ///
+    /// # Errors
+    ///
+    /// [`CipError::UnknownModule`] / [`CipError::DuplicateChannel`].
+    pub fn add_channel_edge(
+        &mut self,
+        from: usize,
+        to: usize,
+        spec: ChannelSpec,
+    ) -> Result<(), CipError> {
+        self.check_idx(from)?;
+        self.check_idx(to)?;
+        if self
+            .channel_specs()
+            .any(|(c, _)| c == &spec.channel)
+        {
+            return Err(CipError::DuplicateChannel(spec.channel.name().to_owned()));
+        }
+        self.edges.push(CipEdge { from, to, link: Link::Channel(spec) });
+        Ok(())
+    }
+
+    fn check_idx(&self, i: usize) -> Result<(), CipError> {
+        if i >= self.modules.len() {
+            return Err(CipError::UnknownModule(i));
+        }
+        Ok(())
+    }
+
+    /// The modules.
+    pub fn modules(&self) -> &[Module] {
+        &self.modules
+    }
+
+    /// The edges.
+    pub fn edges(&self) -> &[CipEdge] {
+        &self.edges
+    }
+
+    /// Iterates over declared channels with their specs.
+    pub fn channel_specs(&self) -> impl Iterator<Item = (&Channel, &CipEdge)> {
+        self.edges.iter().filter_map(|e| match &e.link {
+            Link::Channel(spec) => Some((&spec.channel, e)),
+            Link::Signal(_) => None,
+        })
+    }
+
+    /// Validates the graph:
+    ///
+    /// * channel edges: the source sends on the channel, the target
+    ///   receives, and no third module touches it;
+    /// * every channel used by a module is declared on an edge;
+    /// * sent values fit the channel's encoding;
+    /// * signal edges: the source declares the signal as output/internal,
+    ///   the target as input.
+    ///
+    /// # Errors
+    ///
+    /// The first violation found, as a [`CipError`].
+    pub fn validate(&self) -> Result<(), CipError> {
+        // Channel bookkeeping.
+        let mut declared: BTreeMap<&Channel, &CipEdge> = BTreeMap::new();
+        for (c, e) in self.channel_specs() {
+            declared.insert(c, e);
+        }
+        for (mi, m) in self.modules.iter().enumerate() {
+            for c in m.sends() {
+                match declared.get(&c) {
+                    None => {
+                        return Err(CipError::UndeclaredChannel(c.name().to_owned()))
+                    }
+                    Some(e) if e.from != mi => {
+                        return Err(CipError::ChannelMismatch(c.name().to_owned()))
+                    }
+                    _ => {}
+                }
+            }
+            for c in m.receives() {
+                match declared.get(&c) {
+                    None => {
+                        return Err(CipError::UndeclaredChannel(c.name().to_owned()))
+                    }
+                    Some(e) if e.to != mi => {
+                        return Err(CipError::ChannelMismatch(c.name().to_owned()))
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for (c, e) in &declared {
+            let sender = &self.modules[e.from];
+            let receiver = &self.modules[e.to];
+            if !sender.sends().contains(c) || !receiver.receives().contains(c) {
+                return Err(CipError::ChannelMismatch(c.name().to_owned()));
+            }
+            // Values fit the encoding.
+            let spec = match &e.link {
+                Link::Channel(s) => s,
+                Link::Signal(_) => unreachable!("declared holds channel edges"),
+            };
+            let capacity = spec.encoding.as_ref().map_or(1, DataEncoding::value_count);
+            for v in sender.sent_values(c).into_iter().flatten() {
+                if v >= capacity {
+                    return Err(CipError::ValueOutOfRange {
+                        channel: c.name().to_owned(),
+                        value: v,
+                    });
+                }
+            }
+        }
+        // Signal edges.
+        for e in &self.edges {
+            if let Link::Signal(s) = &e.link {
+                let src = self.modules[e.from].signals().get(s).copied();
+                let dst = self.modules[e.to].signals().get(s).copied();
+                let src_drives =
+                    matches!(src, Some(SignalDir::Output) | Some(SignalDir::Internal));
+                let dst_reads = matches!(dst, Some(SignalDir::Input));
+                if !src_drives || !dst_reads {
+                    return Err(CipError::SignalMismatch(s.name().to_owned()));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tx_rx() -> (Module, Module) {
+        let mut tx = Module::new("tx");
+        let p = tx.add_place("p");
+        tx.add_send([p], "go", None, [p]).unwrap();
+        tx.set_initial(p, 1);
+        let mut rx = Module::new("rx");
+        let r = rx.add_place("r");
+        rx.add_recv([r], "go", [r]).unwrap();
+        rx.set_initial(r, 1);
+        (tx, rx)
+    }
+
+    #[test]
+    fn valid_control_channel() {
+        let (tx, rx) = tx_rx();
+        let mut g = CipGraph::new();
+        let a = g.add_module(tx);
+        let b = g.add_module(rx);
+        g.add_channel_edge(a, b, ChannelSpec::control("go")).unwrap();
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn reversed_channel_edge_rejected() {
+        let (tx, rx) = tx_rx();
+        let mut g = CipGraph::new();
+        let a = g.add_module(tx);
+        let b = g.add_module(rx);
+        g.add_channel_edge(b, a, ChannelSpec::control("go")).unwrap();
+        assert!(matches!(
+            g.validate().unwrap_err(),
+            CipError::ChannelMismatch(_)
+        ));
+    }
+
+    #[test]
+    fn undeclared_channel_rejected() {
+        let (tx, rx) = tx_rx();
+        let mut g = CipGraph::new();
+        g.add_module(tx);
+        g.add_module(rx);
+        assert!(matches!(
+            g.validate().unwrap_err(),
+            CipError::UndeclaredChannel(_)
+        ));
+    }
+
+    #[test]
+    fn duplicate_channel_rejected() {
+        let (tx, rx) = tx_rx();
+        let mut g = CipGraph::new();
+        let a = g.add_module(tx);
+        let b = g.add_module(rx);
+        g.add_channel_edge(a, b, ChannelSpec::control("go")).unwrap();
+        assert!(matches!(
+            g.add_channel_edge(a, b, ChannelSpec::control("go")),
+            Err(CipError::DuplicateChannel(_))
+        ));
+    }
+
+    #[test]
+    fn value_range_checked() {
+        let mut tx = Module::new("tx");
+        let p = tx.add_place("p");
+        tx.add_send([p], "cmd", Some(9), [p]).unwrap();
+        tx.set_initial(p, 1);
+        let mut rx = Module::new("rx");
+        let r = rx.add_place("r");
+        rx.add_recv([r], "cmd", [r]).unwrap();
+
+        let mut g = CipGraph::new();
+        let a = g.add_module(tx);
+        let b = g.add_module(rx);
+        g.add_channel_edge(
+            a,
+            b,
+            ChannelSpec::data("cmd", DataEncoding::one_hot("w", 4)),
+        )
+        .unwrap();
+        assert!(matches!(
+            g.validate().unwrap_err(),
+            CipError::ValueOutOfRange { value: 9, .. }
+        ));
+    }
+
+    #[test]
+    fn signal_edge_directions_checked() {
+        let mut a = Module::new("a");
+        let s = a.add_signal("wire", SignalDir::Output);
+        let p = a.add_place("p");
+        a.add_signal_transition([p], &s, cpn_stg::Edge::Rise, [p])
+            .unwrap();
+        let mut b = Module::new("b");
+        b.add_signal("wire", SignalDir::Input);
+
+        let mut g = CipGraph::new();
+        let ai = g.add_module(a);
+        let bi = g.add_module(b);
+        g.add_signal_edge(ai, bi, Signal::new("wire")).unwrap();
+        g.validate().unwrap();
+
+        // Reversed: b does not drive the wire.
+        let mut g2 = CipGraph::new();
+        let mut a2 = Module::new("a");
+        a2.add_signal("wire", SignalDir::Output);
+        let mut b2 = Module::new("b");
+        b2.add_signal("wire", SignalDir::Input);
+        let ai = g2.add_module(a2);
+        let bi = g2.add_module(b2);
+        g2.add_signal_edge(bi, ai, Signal::new("wire")).unwrap();
+        assert!(matches!(
+            g2.validate().unwrap_err(),
+            CipError::SignalMismatch(_)
+        ));
+    }
+
+    #[test]
+    fn unknown_module_index() {
+        let mut g = CipGraph::new();
+        assert!(matches!(
+            g.add_signal_edge(0, 1, Signal::new("x")),
+            Err(CipError::UnknownModule(_))
+        ));
+    }
+}

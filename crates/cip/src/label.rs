@@ -1,0 +1,150 @@
+//! The CIP action alphabet: `A = A_S ∪ A_Σ` (Definition 3.1).
+
+use cpn_stg::{Edge, Signal};
+use std::fmt;
+use std::sync::Arc;
+
+/// An abstract communication channel `σ ∈ Σ`.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Channel(Arc<str>);
+
+impl Channel {
+    /// Creates a channel with the given name.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        Channel(Arc::from(name.as_ref()))
+    }
+
+    /// The channel name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Debug for Channel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Channel({})", self.0)
+    }
+}
+
+impl fmt::Display for Channel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Channel {
+    fn from(s: &str) -> Self {
+        Channel::new(s)
+    }
+}
+
+/// A channel operation: send (`c!` or `c!v`) or receive (`c?`).
+///
+/// Values are small indices into the channel's declared value set; a
+/// selective receive `Recv(Some(v))` accepts only value `v` (used to
+/// route behaviour on the received value).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ChanOp {
+    /// `c!` (None) or `c!v` (Some(v)).
+    Send(Option<usize>),
+    /// `c?` (None accepts any value) or a selective `c?v`.
+    Recv(Option<usize>),
+}
+
+impl fmt::Display for ChanOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChanOp::Send(None) => f.write_str("!"),
+            ChanOp::Send(Some(v)) => write!(f, "!{v}"),
+            ChanOp::Recv(None) => f.write_str("?"),
+            ChanOp::Recv(Some(v)) => write!(f, "?{v}"),
+        }
+    }
+}
+
+/// The CIP label type: signal transitions, channel events, or ε
+/// (Definition 3.1: `A = A_S ∪ A_Σ`).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CipLabel {
+    /// A plain signal transition, as in an STG.
+    Signal(Signal, Edge),
+    /// An abstract channel event.
+    Chan(Channel, ChanOp),
+    /// Dummy ε.
+    Dummy,
+}
+
+impl CipLabel {
+    /// Whether this is a channel event.
+    pub fn is_channel(&self) -> bool {
+        matches!(self, CipLabel::Chan(..))
+    }
+
+    /// The channel, if this is a channel event.
+    pub fn channel(&self) -> Option<&Channel> {
+        match self {
+            CipLabel::Chan(c, _) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Debug for CipLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for CipLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CipLabel::Signal(s, e) => write!(f, "{s}{e}"),
+            CipLabel::Chan(c, op) => write!(f, "{c}{op}"),
+            CipLabel::Dummy => f.write_str("ε"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_display() {
+        assert_eq!(
+            CipLabel::Chan(Channel::new("cmd"), ChanOp::Send(Some(2))).to_string(),
+            "cmd!2"
+        );
+        assert_eq!(
+            CipLabel::Chan(Channel::new("cmd"), ChanOp::Recv(None)).to_string(),
+            "cmd?"
+        );
+        assert_eq!(
+            CipLabel::Chan(Channel::new("go"), ChanOp::Send(None)).to_string(),
+            "go!"
+        );
+    }
+
+    #[test]
+    fn signal_and_dummy_display() {
+        assert_eq!(
+            CipLabel::Signal(Signal::new("a0"), Edge::Rise).to_string(),
+            "a0+"
+        );
+        assert_eq!(CipLabel::Dummy.to_string(), "ε");
+    }
+
+    #[test]
+    fn accessors() {
+        let l = CipLabel::Chan(Channel::new("c"), ChanOp::Recv(Some(1)));
+        assert!(l.is_channel());
+        assert_eq!(l.channel().unwrap().name(), "c");
+        assert!(!CipLabel::Dummy.is_channel());
+    }
+
+    #[test]
+    fn satisfies_label_trait() {
+        fn takes<L: cpn_petri::Label>(_: L) {}
+        takes(CipLabel::Dummy);
+    }
+}

@@ -1,0 +1,65 @@
+//! Communicating Interface Processes (CIP): the high-level model of
+//! Section 3 of de Jong & Lin (DAC 1994).
+//!
+//! A CIP is a graph `(V, E)` whose vertices are labeled Petri nets (one
+//! per interface module) and whose edges carry either plain **signals**
+//! or abstract **channels**. Module actions extend signal transitions
+//! with rendez-vous channel events: `c!` / `c!v` (send, possibly with a
+//! value) and `c?` (receive). Because the events are abstract, the
+//! designer cannot mis-specify the low-level protocol — the events are
+//! **expanded automatically** to handshake signalling:
+//!
+//! * control-only channels — 4-phase (`r+ a+ r- a-`) or 2-phase
+//!   (`r~ a~`) request/acknowledge;
+//! * data channels — an unordered code per value (dual-rail, one-hot,
+//!   m-of-n): `(… r_j+ …) → a+ → (… r_j− …) → a−` exactly as Section 3
+//!   prescribes, with the "no code covers another" validity check.
+//!
+//! After expansion each module is an ordinary STG and the whole algebra
+//! of `cpn-core`/`cpn-stg` applies: composition, consistency
+//! verification (receptiveness), and compositional reduction.
+//!
+//! # Example
+//!
+//! ```
+//! use cpn_cip::{ChannelSpec, CipGraph, HandshakeProtocol, Module};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // One sender, one receiver, a control-only channel "go".
+//! let mut tx = Module::new("tx");
+//! let p = tx.add_place("p");
+//! let q = tx.add_place("q");
+//! tx.add_send([p], "go", None, [q])?;
+//! tx.add_send([q], "go", None, [p])?;
+//! tx.set_initial(p, 1);
+//!
+//! let mut rx = Module::new("rx");
+//! let r = rx.add_place("r");
+//! rx.add_recv([r], "go", [r])?;
+//! rx.set_initial(r, 1);
+//!
+//! let mut cip = CipGraph::new();
+//! let tx = cip.add_module(tx);
+//! let rx = cip.add_module(rx);
+//! cip.add_channel_edge(tx, rx, ChannelSpec::control("go"))?;
+//! cip.validate()?;
+//!
+//! let system = cip.expand(HandshakeProtocol::FourPhase)?;
+//! let composed = system.compose_all()?;
+//! assert!(composed.net().transition_count() > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod encoding;
+pub mod expand;
+pub mod graph;
+pub mod label;
+pub mod module;
+pub mod protocol;
+
+pub use encoding::DataEncoding;
+pub use expand::{ExpandedSystem, HandshakeProtocol};
+pub use graph::{ChannelSpec, CipEdge, CipError, CipGraph, Link};
+pub use label::{Channel, ChanOp, CipLabel};
+pub use module::Module;

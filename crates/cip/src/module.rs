@@ -1,0 +1,240 @@
+//! A CIP module: one vertex of the CIP graph — a labeled Petri net over
+//! signal transitions and abstract channel events.
+
+use crate::label::{ChanOp, Channel, CipLabel};
+use cpn_petri::{PetriError, PetriNet, PlaceId, TransitionId};
+use cpn_stg::{Edge, Signal, SignalDir};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One interface process of a CIP (Definition 3.1's vertex).
+///
+/// Construction mirrors [`cpn_stg::Stg`] but adds channel events; signal
+/// declarations matter for the eventual expansion (channel handshake
+/// wires are added automatically with the correct directions).
+#[derive(Clone, Debug)]
+pub struct Module {
+    name: String,
+    net: PetriNet<CipLabel>,
+    signals: BTreeMap<Signal, SignalDir>,
+}
+
+impl Module {
+    /// Creates an empty module with a display name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Module {
+            name: name.into(),
+            net: PetriNet::new(),
+            signals: BTreeMap::new(),
+        }
+    }
+
+    /// The module name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Declares a signal.
+    pub fn add_signal(&mut self, name: impl AsRef<str>, dir: SignalDir) -> Signal {
+        let sig = Signal::new(name);
+        self.signals.insert(sig.clone(), dir);
+        sig
+    }
+
+    /// Adds a place.
+    pub fn add_place(&mut self, name: impl Into<String>) -> PlaceId {
+        self.net.add_place(name)
+    }
+
+    /// Sets the initial marking of a place.
+    pub fn set_initial(&mut self, place: PlaceId, tokens: u32) {
+        self.net.set_initial(place, tokens);
+    }
+
+    /// Adds a plain signal transition.
+    ///
+    /// # Errors
+    ///
+    /// Net-level errors (unknown place, degenerate transition); the
+    /// signal must have been declared.
+    pub fn add_signal_transition(
+        &mut self,
+        preset: impl IntoIterator<Item = PlaceId>,
+        signal: &Signal,
+        edge: Edge,
+        postset: impl IntoIterator<Item = PlaceId>,
+    ) -> Result<TransitionId, PetriError> {
+        if !self.signals.contains_key(signal) {
+            return Err(PetriError::Precondition(format!(
+                "signal {signal} not declared in module {}",
+                self.name
+            )));
+        }
+        self.net.add_transition(
+            preset,
+            CipLabel::Signal(signal.clone(), edge),
+            postset,
+        )
+    }
+
+    /// Adds a send event `c!` / `c!v`.
+    ///
+    /// # Errors
+    ///
+    /// Net-level errors.
+    pub fn add_send(
+        &mut self,
+        preset: impl IntoIterator<Item = PlaceId>,
+        channel: impl Into<Channel>,
+        value: Option<usize>,
+        postset: impl IntoIterator<Item = PlaceId>,
+    ) -> Result<TransitionId, PetriError> {
+        self.net.add_transition(
+            preset,
+            CipLabel::Chan(channel.into(), ChanOp::Send(value)),
+            postset,
+        )
+    }
+
+    /// Adds a receive event `c?` (any value).
+    ///
+    /// # Errors
+    ///
+    /// Net-level errors.
+    pub fn add_recv(
+        &mut self,
+        preset: impl IntoIterator<Item = PlaceId>,
+        channel: impl Into<Channel>,
+        postset: impl IntoIterator<Item = PlaceId>,
+    ) -> Result<TransitionId, PetriError> {
+        self.net.add_transition(
+            preset,
+            CipLabel::Chan(channel.into(), ChanOp::Recv(None)),
+            postset,
+        )
+    }
+
+    /// Adds a selective receive `c?v`: fires only when value `v` arrives,
+    /// so behaviour can branch on the received value.
+    ///
+    /// # Errors
+    ///
+    /// Net-level errors.
+    pub fn add_recv_case(
+        &mut self,
+        preset: impl IntoIterator<Item = PlaceId>,
+        channel: impl Into<Channel>,
+        value: usize,
+        postset: impl IntoIterator<Item = PlaceId>,
+    ) -> Result<TransitionId, PetriError> {
+        self.net.add_transition(
+            preset,
+            CipLabel::Chan(channel.into(), ChanOp::Recv(Some(value))),
+            postset,
+        )
+    }
+
+    /// Adds a dummy ε transition.
+    ///
+    /// # Errors
+    ///
+    /// Net-level errors.
+    pub fn add_dummy(
+        &mut self,
+        preset: impl IntoIterator<Item = PlaceId>,
+        postset: impl IntoIterator<Item = PlaceId>,
+    ) -> Result<TransitionId, PetriError> {
+        self.net.add_transition(preset, CipLabel::Dummy, postset)
+    }
+
+    /// The underlying net.
+    pub fn net(&self) -> &PetriNet<CipLabel> {
+        &self.net
+    }
+
+    /// Declared signals.
+    pub fn signals(&self) -> &BTreeMap<Signal, SignalDir> {
+        &self.signals
+    }
+
+    /// Channels this module sends on.
+    pub fn sends(&self) -> BTreeSet<Channel> {
+        self.net
+            .alphabet()
+            .iter()
+            .filter_map(|l| match l {
+                CipLabel::Chan(c, ChanOp::Send(_)) => Some(c.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Channels this module receives on.
+    pub fn receives(&self) -> BTreeSet<Channel> {
+        self.net
+            .alphabet()
+            .iter()
+            .filter_map(|l| match l {
+                CipLabel::Chan(c, ChanOp::Recv(_)) => Some(c.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Values sent on a channel (None entries mean a plain `c!`).
+    pub fn sent_values(&self, channel: &Channel) -> BTreeSet<Option<usize>> {
+        self.net
+            .alphabet()
+            .iter()
+            .filter_map(|l| match l {
+                CipLabel::Chan(c, ChanOp::Send(v)) if c == channel => Some(*v),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_introspect() {
+        let mut m = Module::new("tx");
+        let d = m.add_signal("d", SignalDir::Output);
+        let p = m.add_place("p");
+        let q = m.add_place("q");
+        m.add_signal_transition([p], &d, Edge::Rise, [q]).unwrap();
+        m.add_send([q], "cmd", Some(1), [p]).unwrap();
+        m.add_recv([p], "resp", [p]).unwrap();
+        m.set_initial(p, 1);
+
+        assert_eq!(m.name(), "tx");
+        assert_eq!(m.sends(), BTreeSet::from([Channel::new("cmd")]));
+        assert_eq!(m.receives(), BTreeSet::from([Channel::new("resp")]));
+        assert_eq!(
+            m.sent_values(&Channel::new("cmd")),
+            BTreeSet::from([Some(1)])
+        );
+        assert_eq!(m.net().transition_count(), 3);
+    }
+
+    #[test]
+    fn undeclared_signal_rejected() {
+        let mut m = Module::new("tx");
+        let p = m.add_place("p");
+        let err = m
+            .add_signal_transition([p], &Signal::new("ghost"), Edge::Rise, [p])
+            .unwrap_err();
+        assert!(matches!(err, PetriError::Precondition(_)));
+    }
+
+    #[test]
+    fn recv_case_labels_value() {
+        let mut m = Module::new("rx");
+        let p = m.add_place("p");
+        let q = m.add_place("q");
+        m.add_recv_case([p], "cmd", 2, [q]).unwrap();
+        let label = m.net().transitions().next().unwrap().1.label().clone();
+        assert_eq!(label.to_string(), "cmd?2");
+    }
+}

@@ -1,0 +1,534 @@
+//! Non-deterministic choice via root-unwinding
+//! (Definitions 4.5/4.6 and Figure 1 of the paper).
+//!
+//! Root-unwinding duplicates the entry into a net so that a *loop back to
+//! the initial places* cannot re-offer the choice: once the first
+//! transition of one branch has fired, the other branch's initial copies
+//! are gone forever, even though the original initial places may be
+//! re-marked by a cycle. The choice operator then glues two root-unwound
+//! nets on the product of their initial-place copies.
+
+use cpn_petri::{Label, PetriError, PetriNet, PlaceId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The result of [`root_unwinding`]: the unwound net plus the copies `P0`
+/// of the initial places (the bijection `η` is `copies[i] ↦ originals[i]`).
+#[derive(Clone, Debug)]
+pub struct RootUnwinding<L: Label> {
+    /// The unwound net.
+    pub net: PetriNet<L>,
+    /// The original initial places, in correspondence with `copies`.
+    pub originals: Vec<PlaceId>,
+    /// The fresh copies `P0`, initially marked instead of the originals.
+    pub copies: Vec<PlaceId>,
+}
+
+/// Root-unwinding of a net with a safe initial marking (Definition 4.5).
+///
+/// Fresh places `P0` mirror the initially marked places; transitions
+/// consuming from initial places are duplicated with their initial-preset
+/// part redirected to the copies; the initial marking moves to `P0`.
+///
+/// The definition duplicates transitions whose preset lies entirely within
+/// the initial places; we generalize to *partially* initial presets by
+/// redirecting only the initial part (on the paper's class of inputs the
+/// two coincide, because a transition with a partially-marked preset
+/// cannot be an entry transition of a safe root).
+///
+/// # Errors
+///
+/// Returns [`PetriError::UnsafeInitialMarking`] if some place holds more
+/// than one initial token.
+///
+/// # Example
+///
+/// ```
+/// use cpn_core::root_unwinding;
+/// use cpn_petri::PetriNet;
+/// # fn main() -> Result<(), cpn_petri::PetriError> {
+/// let mut net: PetriNet<&str> = PetriNet::new();
+/// let p = net.add_place("p");
+/// net.add_transition([p], "a", [p])?; // loop to the root
+/// net.set_initial(p, 1);
+/// let rw = root_unwinding(&net)?;
+/// assert_eq!(rw.net.place_count(), 2);
+/// assert_eq!(rw.net.transition_count(), 2); // original + entry copy
+/// # Ok(())
+/// # }
+/// ```
+pub fn root_unwinding<L: Label>(net: &PetriNet<L>) -> Result<RootUnwinding<L>, PetriError> {
+    if let Some((p, _)) = net.initial_marking().marked_places().find(|&(_, n)| n > 1) {
+        return Err(PetriError::UnsafeInitialMarking(p.index() as u32));
+    }
+
+    let mut out = PetriNet::new();
+    let mut map: BTreeMap<PlaceId, PlaceId> = BTreeMap::new();
+    for (old, place) in net.places() {
+        map.insert(old, out.add_place(place.name().to_owned()));
+    }
+    for l in net.alphabet() {
+        out.declare_label(l.clone());
+    }
+    for (_, t) in net.transitions() {
+        out.add_transition(
+            t.preset().iter().map(|p| map[p]),
+            t.label().clone(),
+            t.postset().iter().map(|p| map[p]),
+        )
+        .expect("remapped transition is valid");
+    }
+
+    let init: Vec<PlaceId> = net.initial_places().into_iter().collect();
+    let mut originals = Vec::with_capacity(init.len());
+    let mut copies = Vec::with_capacity(init.len());
+    let mut copy_of: BTreeMap<PlaceId, PlaceId> = BTreeMap::new();
+    for &old in &init {
+        let new_orig = map[&old];
+        let copy = out.add_place(format!("{}′", net.place(old).name()));
+        out.set_initial(copy, 1);
+        copy_of.insert(new_orig, copy);
+        originals.push(new_orig);
+        copies.push(copy);
+    }
+
+    // Duplicate transitions touching initial places in their preset. The
+    // printed Definition 4.5 redirects presets that lie entirely within
+    // the initial places; with a *distributed* root (several initially
+    // marked places) tokens migrate from the copies to the body one entry
+    // at a time, so a faithful unwinding needs every mixed variant: one
+    // duplicate per non-empty subset of the initial preset part, with
+    // exactly that subset redirected to the copies. Presets are small
+    // sets, so the subset enumeration is cheap; on single-rooted nets it
+    // degenerates to the paper's construction.
+    let snapshot: Vec<(BTreeSet<PlaceId>, L, BTreeSet<PlaceId>)> = out
+        .transitions()
+        .map(|(_, t)| (t.preset().clone(), t.label().clone(), t.postset().clone()))
+        .collect();
+    for (pre, label, post) in snapshot {
+        let init_part: Vec<PlaceId> = pre
+            .iter()
+            .copied()
+            .filter(|p| copy_of.contains_key(p))
+            .collect();
+        if init_part.is_empty() {
+            continue;
+        }
+        for mask in 1u32..(1 << init_part.len()) {
+            let redirect: BTreeSet<PlaceId> = init_part
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, &p)| p)
+                .collect();
+            let new_pre: Vec<PlaceId> = pre
+                .iter()
+                .map(|p| {
+                    if redirect.contains(p) {
+                        copy_of[p]
+                    } else {
+                        *p
+                    }
+                })
+                .collect();
+            out.add_transition(new_pre, label.clone(), post.iter().copied())
+                .expect("duplicated entry transition is valid");
+        }
+    }
+
+    Ok(RootUnwinding { net: out, originals, copies })
+}
+
+/// Non-deterministic choice `N1 + N2` (Definition 4.6).
+///
+/// Both nets are root-unwound; the copies `P0_1 × P0_2` are fused into
+/// product places so that firing any entry transition of one net consumes
+/// a full row (resp. column) and thereby disables every entry of the
+/// other net — the choice is committed by the first transition and cannot
+/// be re-offered by loops (Figure 1).
+///
+/// Satisfies `L(N1 + N2) = L(N1) ∪ L(N2)` (Proposition 4.4). The combined
+/// alphabet is `A1 ∪ A2`.
+///
+/// # Errors
+///
+/// Returns [`PetriError::UnsafeInitialMarking`] if either initial marking
+/// is unsafe (Definition 4.6 requires safe roots; see the paper's remark
+/// for the general construction, which [`crate::prefix_general`]'s
+/// sentinel technique would support).
+///
+/// # Example
+///
+/// ```
+/// use cpn_core::{choice, nil, prefix};
+/// use cpn_trace::Language;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let a = prefix("a", &nil::<&str>())?;
+/// let b = prefix("b", &nil::<&str>())?;
+/// let either = choice(&a, &b)?;
+/// let lang = Language::from_net(&either, 2, 1000)?;
+/// assert!(lang.contains(&["a"][..]));
+/// assert!(lang.contains(&["b"][..]));
+/// assert!(!lang.contains(&["a", "b"][..]));
+/// # Ok(())
+/// # }
+/// ```
+pub fn choice<L: Label>(
+    n1: &PetriNet<L>,
+    n2: &PetriNet<L>,
+) -> Result<PetriNet<L>, PetriError> {
+    let mut rw1 = root_unwinding(n1)?;
+    let mut rw2 = root_unwinding(n2)?;
+    // A net with an empty initial marking has no entry transitions and
+    // contributes only ε; give it a virtual root so the product below is
+    // non-degenerate and the other branch's entries stay guarded.
+    for rw in [&mut rw1, &mut rw2] {
+        if rw.copies.is_empty() {
+            let v = rw.net.add_place("root′");
+            rw.net.set_initial(v, 1);
+            rw.copies.push(v);
+        }
+    }
+
+    let mut out = PetriNet::new();
+    // Copy the non-root places of both unwound nets.
+    let mut map1: BTreeMap<PlaceId, PlaceId> = BTreeMap::new();
+    let mut map2: BTreeMap<PlaceId, PlaceId> = BTreeMap::new();
+    let copies1: BTreeSet<PlaceId> = rw1.copies.iter().copied().collect();
+    let copies2: BTreeSet<PlaceId> = rw2.copies.iter().copied().collect();
+    for (old, place) in rw1.net.places() {
+        if !copies1.contains(&old) {
+            map1.insert(old, out.add_place(format!("L.{}", place.name())));
+        }
+    }
+    for (old, place) in rw2.net.places() {
+        if !copies2.contains(&old) {
+            map2.insert(old, out.add_place(format!("R.{}", place.name())));
+        }
+    }
+    for l in rw1.net.alphabet().iter().chain(rw2.net.alphabet()) {
+        out.declare_label(l.clone());
+    }
+
+    // Product places (x, y) for x ∈ P0_1, y ∈ P0_2, all marked.
+    let mut product: BTreeMap<(PlaceId, PlaceId), PlaceId> = BTreeMap::new();
+    for &x in &rw1.copies {
+        for &y in &rw2.copies {
+            let id = out.add_place(format!(
+                "({},{})",
+                rw1.net.place(x).name(),
+                rw2.net.place(y).name()
+            ));
+            out.set_initial(id, 1);
+            product.insert((x, y), id);
+        }
+    }
+
+    // Transitions of N1': entry transitions consume full rows.
+    for (_, t) in rw1.net.transitions() {
+        let mut pre: BTreeSet<PlaceId> = BTreeSet::new();
+        for p in t.preset() {
+            if copies1.contains(p) {
+                for &y in &rw2.copies {
+                    pre.insert(product[&(*p, y)]);
+                }
+            } else {
+                pre.insert(map1[p]);
+            }
+        }
+        let post: Vec<PlaceId> = t.postset().iter().map(|p| map1[p]).collect();
+        out.add_transition(pre, t.label().clone(), post)
+            .expect("left transition is valid");
+    }
+    // Transitions of N2': entry transitions consume full columns.
+    for (_, t) in rw2.net.transitions() {
+        let mut pre: BTreeSet<PlaceId> = BTreeSet::new();
+        for p in t.preset() {
+            if copies2.contains(p) {
+                for &x in &rw1.copies {
+                    pre.insert(product[&(x, *p)]);
+                }
+            } else {
+                pre.insert(map2[p]);
+            }
+        }
+        let post: Vec<PlaceId> = t.postset().iter().map(|p| map2[p]).collect();
+        out.add_transition(pre, t.label().clone(), post)
+            .expect("right transition is valid");
+    }
+
+    // Degenerate roots: if one net has no initial places it contributes no
+    // behaviour, matching L(N) = {ε}; nothing extra to do.
+    Ok(out)
+}
+
+/// Non-deterministic choice for **general** nets (the remark after
+/// Definition 4.6: root-unwinding "can also be stated slightly different
+/// … by keeping the initial places with their initial marking" and gating
+/// duplicated initial transitions through sentinel places).
+///
+/// Both operands keep their initial markings in place (multisets
+/// allowed). A three-place commitment widget — `free` (marked) and one
+/// sentinel `c_i` per operand — gates every transition that is enabled
+/// in the operand's initial marking: its *first-entry* variant consumes
+/// `free` and produces `c_i`; its *re-entry* variant self-loops on
+/// `c_i`. The first action of either operand therefore destroys the
+/// other's entries forever, while its own initial transitions stay
+/// re-fireable — commitment without moving a single token of the
+/// original markings.
+///
+/// Satisfies `L(N1 + N2) = L(N1) ∪ L(N2)` on general nets
+/// (property-tested with multiset markings).
+///
+/// # Example
+///
+/// ```
+/// use cpn_core::choice_general;
+/// use cpn_petri::PetriNet;
+/// use cpn_trace::Language;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut n1: PetriNet<&str> = PetriNet::new();
+/// let p = n1.add_place("p");
+/// n1.add_transition([p], "a", [p])?;
+/// n1.set_initial(p, 2); // unsafe: Definition 4.6 proper would reject it
+/// let mut n2: PetriNet<&str> = PetriNet::new();
+/// let q = n2.add_place("q");
+/// n2.add_transition([q], "b", [q])?;
+/// n2.set_initial(q, 1);
+/// let both = choice_general(&n1, &n2);
+/// let l = Language::from_net(&both, 3, 10_000)?;
+/// assert!(l.contains(&["a", "a", "a"][..]));
+/// assert!(l.contains(&["b"][..]));
+/// assert!(!l.contains(&["a", "b"][..]));
+/// # Ok(())
+/// # }
+/// ```
+pub fn choice_general<L: Label>(n1: &PetriNet<L>, n2: &PetriNet<L>) -> PetriNet<L> {
+    let mut out = PetriNet::new();
+    let free = out.add_place("free");
+    out.set_initial(free, 1);
+    let sentinels = [out.add_place("c1"), out.add_place("c2")];
+
+    for (side, net) in [n1, n2].into_iter().enumerate() {
+        let tag = if side == 0 { "L" } else { "R" };
+        let sentinel = sentinels[side];
+        let mut map: BTreeMap<PlaceId, PlaceId> = BTreeMap::new();
+        for (old, place) in net.places() {
+            let new = out.add_place(format!("{tag}.{}", place.name()));
+            out.set_initial(new, net.initial_marking().tokens(old));
+            map.insert(old, new);
+        }
+        for l in net.alphabet() {
+            out.declare_label(l.clone());
+        }
+        let m0 = net.initial_marking();
+        for (tid, t) in net.transitions() {
+            let pre: Vec<PlaceId> = t.preset().iter().map(|p| map[p]).collect();
+            let post: Vec<PlaceId> = t.postset().iter().map(|p| map[p]).collect();
+            if net.is_enabled(&m0, tid) {
+                // First-entry variant: commits this operand.
+                let mut p1 = pre.clone();
+                p1.push(free);
+                let mut q1 = post.clone();
+                q1.push(sentinel);
+                out.add_transition(p1, t.label().clone(), q1)
+                    .expect("gated entry is valid");
+                // Re-entry variant: sentinel self-loop.
+                let mut p2 = pre;
+                p2.push(sentinel);
+                let mut q2 = post;
+                q2.push(sentinel);
+                out.add_transition(p2, t.label().clone(), q2)
+                    .expect("re-entry is valid");
+            } else {
+                out.add_transition(pre, t.label().clone(), post)
+                    .expect("copied transition is valid");
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpn_trace::Language;
+
+    fn cycle(a: &'static str, b: &'static str) -> PetriNet<&'static str> {
+        let mut net = PetriNet::new();
+        let p = net.add_place("p");
+        let q = net.add_place("q");
+        net.add_transition([p], a, [q]).unwrap();
+        net.add_transition([q], b, [p]).unwrap();
+        net.set_initial(p, 1);
+        net
+    }
+
+    fn lang(net: &PetriNet<&'static str>, d: usize) -> Language<&'static str> {
+        Language::from_net(net, d, 100_000).unwrap()
+    }
+
+    #[test]
+    fn choice_law_prop_4_4_on_cycles() {
+        // Both operands loop back to their roots: the Figure 1 situation.
+        let n1 = cycle("a", "b");
+        let n2 = cycle("c", "d");
+        let both = choice(&n1, &n2).unwrap();
+        let lhs = lang(&both, 5);
+        let rhs = lang(&n1, 5).union(&lang(&n2, 5));
+        assert!(lhs.eq_up_to(&rhs, 5), "L(N1+N2) = L(N1) ∪ L(N2)");
+    }
+
+    #[test]
+    fn committed_choice_cannot_switch_branch() {
+        let n1 = cycle("a", "b");
+        let n2 = cycle("c", "d");
+        let both = choice(&n1, &n2).unwrap();
+        let l = lang(&both, 4);
+        assert!(l.contains(&["a", "b", "a", "b"]));
+        assert!(l.contains(&["c", "d", "c", "d"]));
+        // After looping back to the root of branch 1, branch 2 must stay
+        // disabled (this is exactly what root-unwinding guarantees).
+        assert!(!l.contains(&["a", "b", "c"]));
+        assert!(!l.contains(&["c", "d", "a"]));
+    }
+
+    #[test]
+    fn root_unwinding_preserves_traces() {
+        let n = cycle("a", "b");
+        let rw = root_unwinding(&n).unwrap();
+        assert!(lang(&n, 5).eq_up_to(&Language::from_net(&rw.net, 5, 100_000).unwrap(), 5));
+    }
+
+    #[test]
+    fn root_unwinding_rejects_unsafe() {
+        let mut net: PetriNet<&str> = PetriNet::new();
+        let p = net.add_place("p");
+        net.add_transition([p], "a", [p]).unwrap();
+        net.set_initial(p, 2);
+        assert!(matches!(
+            root_unwinding(&net),
+            Err(PetriError::UnsafeInitialMarking(_))
+        ));
+    }
+
+    #[test]
+    fn choice_with_nil_is_identity_on_traces() {
+        let n = cycle("a", "b");
+        let with_nil = choice(&n, &crate::ops::nil()).unwrap();
+        assert!(lang(&with_nil, 5).eq_up_to(&lang(&n, 5), 5));
+    }
+
+    #[test]
+    fn choice_of_multi_root_nets() {
+        // Each branch starts with two concurrent tokens (fork-less roots):
+        // entries consume full rows/columns of the 2×1 product.
+        let mut n1: PetriNet<&str> = PetriNet::new();
+        let pa = n1.add_place("pa");
+        let pb = n1.add_place("pb");
+        let done = n1.add_place("done");
+        n1.add_transition([pa, pb], "ab", [done]).unwrap();
+        n1.set_initial(pa, 1);
+        n1.set_initial(pb, 1);
+
+        let mut n2: PetriNet<&str> = PetriNet::new();
+        let r = n2.add_place("r");
+        let s = n2.add_place("s");
+        n2.add_transition([r], "c", [s]).unwrap();
+        n2.set_initial(r, 1);
+
+        let both = choice(&n1, &n2).unwrap();
+        let l = lang(&both, 3);
+        assert!(l.contains(&["ab"]));
+        assert!(l.contains(&["c"]));
+        assert!(!l.contains(&["ab", "c"]));
+        assert!(!l.contains(&["c", "ab"]));
+    }
+
+    #[test]
+    fn choice_shares_common_labels_without_merging() {
+        // Both branches can do "a" first; choice keeps both continuations.
+        let n1 = cycle("a", "b");
+        let n2 = cycle("a", "c");
+        let both = choice(&n1, &n2).unwrap();
+        let l = lang(&both, 2);
+        assert!(l.contains(&["a", "b"]));
+        assert!(l.contains(&["a", "c"]));
+    }
+
+    #[test]
+    fn choice_with_unmarked_net_keeps_other_branch() {
+        let n1 = cycle("a", "b");
+        let mut empty: PetriNet<&str> = PetriNet::new();
+        let p = empty.add_place("p");
+        let q = empty.add_place("q");
+        empty.add_transition([p], "z", [q]).unwrap(); // never enabled
+        let both = choice(&n1, &empty).unwrap();
+        let l = lang(&both, 3);
+        assert!(l.contains(&["a", "b", "a"]));
+        assert!(!l.iter().any(|t| t.contains(&"z")));
+    }
+
+    #[test]
+    fn choice_general_law_on_unsafe_markings() {
+        // Two tokens circulating: Def 4.6 proper rejects this, the
+        // general construction must still satisfy the union law.
+        let mut n1: PetriNet<&str> = PetriNet::new();
+        let p = n1.add_place("p");
+        let q = n1.add_place("q");
+        n1.add_transition([p], "a", [q]).unwrap();
+        n1.add_transition([q], "b", [p]).unwrap();
+        n1.set_initial(p, 2);
+        assert!(choice(&n1, &cycle("c", "d")).is_err(), "Def 4.6 needs safety");
+
+        let n2 = cycle("c", "d");
+        let both = choice_general(&n1, &n2);
+        let lhs = Language::from_net(&both, 5, 1_000_000).unwrap();
+        let rhs = Language::from_net(&n1, 5, 1_000_000)
+            .unwrap()
+            .union(&Language::from_net(&n2, 5, 1_000_000).unwrap());
+        assert!(lhs.eq_up_to(&rhs, 5), "general union law\n{lhs}\n{rhs}");
+    }
+
+    #[test]
+    fn choice_general_agrees_with_choice_on_safe_nets() {
+        let n1 = cycle("a", "b");
+        let n2 = cycle("c", "d");
+        let strict = choice(&n1, &n2).unwrap();
+        let general = choice_general(&n1, &n2);
+        let l1 = Language::from_net(&strict, 5, 1_000_000).unwrap();
+        let l2 = Language::from_net(&general, 5, 1_000_000).unwrap();
+        assert!(l1.eq_up_to(&l2, 5));
+    }
+
+    #[test]
+    fn choice_general_commits_with_concurrent_roots() {
+        // Two concurrently enabled entry transitions in branch 1: both
+        // must fire after commitment, branch 2 must stay dead.
+        let mut n1: PetriNet<&str> = PetriNet::new();
+        let pa = n1.add_place("pa");
+        let pb = n1.add_place("pb");
+        n1.add_transition([pa], "a", [pa]).unwrap();
+        n1.add_transition([pb], "b", [pb]).unwrap();
+        n1.set_initial(pa, 1);
+        n1.set_initial(pb, 1);
+        let n2 = cycle("c", "d");
+        let both = choice_general(&n1, &n2);
+        let l = Language::from_net(&both, 3, 1_000_000).unwrap();
+        assert!(l.contains(&["a", "b", "a"]));
+        assert!(l.contains(&["b", "a", "b"]));
+        assert!(l.contains(&["c", "d", "c"]));
+        assert!(!l.contains(&["a", "c"]));
+        assert!(!l.contains(&["c", "a"]));
+    }
+
+    #[test]
+    fn nested_choice_three_ways() {
+        let n1 = cycle("a", "b");
+        let n2 = cycle("c", "d");
+        let n3 = cycle("e", "f");
+        let all = choice(&choice(&n1, &n2).unwrap(), &n3).unwrap();
+        let lhs = lang(&all, 4);
+        let rhs = lang(&n1, 4).union(&lang(&n2, 4)).union(&lang(&n3, 4));
+        assert!(lhs.eq_up_to(&rhs, 4));
+    }
+}

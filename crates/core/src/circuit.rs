@@ -1,0 +1,231 @@
+//! The circuit algebra `C = (I, O, N)` of Section 5.1.
+//!
+//! A circuit wraps a behavioural net with the semantic distinction
+//! between **input** actions (controlled by the environment) and
+//! **output** actions (produced autonomously). Composition synchronizes
+//! common actions — shared inputs stay inputs, an input matched with an
+//! output becomes an internal output — and common outputs are rejected.
+//! Internal actions are outputs, which may then be hidden.
+
+use crate::hide::hide_labels;
+use crate::parallel::parallel;
+use cpn_petri::{Label, PetriError, PetriNet};
+use std::collections::BTreeSet;
+
+/// A behavioural structure with input/output interface:
+/// `C = (I, O, N)`.
+///
+/// Invariants (checked by [`Circuit::new`]): `I` and `O` are disjoint and
+/// every transition label of `N` is declared in `I ∪ O` (ε-style silent
+/// labels are modeled as outputs, matching the paper's "internal signals
+/// are considered as outputs").
+#[derive(Clone, Debug)]
+pub struct Circuit<L: Label> {
+    inputs: BTreeSet<L>,
+    outputs: BTreeSet<L>,
+    net: PetriNet<L>,
+}
+
+impl<L: Label> Circuit<L> {
+    /// Builds a circuit, validating the interface.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PetriError::Precondition`] if `inputs` and `outputs`
+    /// overlap or the net's alphabet is not covered by `inputs ∪ outputs`.
+    pub fn new(
+        inputs: BTreeSet<L>,
+        outputs: BTreeSet<L>,
+        net: PetriNet<L>,
+    ) -> Result<Self, PetriError> {
+        if let Some(l) = inputs.intersection(&outputs).next() {
+            return Err(PetriError::Precondition(format!(
+                "label {l} is both input and output"
+            )));
+        }
+        for l in net.alphabet() {
+            if !inputs.contains(l) && !outputs.contains(l) {
+                return Err(PetriError::Precondition(format!(
+                    "net label {l} is neither input nor output"
+                )));
+            }
+        }
+        Ok(Circuit { inputs, outputs, net })
+    }
+
+    /// The input actions `I`.
+    pub fn inputs(&self) -> &BTreeSet<L> {
+        &self.inputs
+    }
+
+    /// The output actions `O`.
+    pub fn outputs(&self) -> &BTreeSet<L> {
+        &self.outputs
+    }
+
+    /// The behaviour net `N`.
+    pub fn net(&self) -> &PetriNet<L> {
+        &self.net
+    }
+
+    /// Consumes the circuit, returning the behaviour net.
+    pub fn into_net(self) -> PetriNet<L> {
+        self.net
+    }
+
+    /// Parallel composition per Section 5.1:
+    /// `C1‖C2 = (I1∪I2 \ (O1∪O2), O1∪O2, N1‖N2)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PetriError::Precondition`] if the circuits share an
+    /// output action.
+    pub fn compose(&self, other: &Circuit<L>) -> Result<Circuit<L>, PetriError> {
+        if let Some(l) = self.outputs.intersection(&other.outputs).next() {
+            return Err(PetriError::Precondition(format!(
+                "circuits share output {l}"
+            )));
+        }
+        let outputs: BTreeSet<L> =
+            self.outputs.union(&other.outputs).cloned().collect();
+        let inputs: BTreeSet<L> = self
+            .inputs
+            .union(&other.inputs)
+            .filter(|l| !outputs.contains(*l))
+            .cloned()
+            .collect();
+        let net = parallel(&self.net, &other.net);
+        Ok(Circuit { inputs, outputs, net })
+    }
+
+    /// The `hide'` variant on circuits (Section 5.3): internal outputs
+    /// are **relabeled** to the designated silent action instead of
+    /// contracted. Use when the internals form shapes outside the
+    /// contraction class (hidden cycles, both-sided consumers) or when
+    /// downstream verification needs the internal-path information.
+    ///
+    /// # Errors
+    ///
+    /// [`PetriError::Precondition`] if some label of `A` is not an
+    /// output.
+    pub fn hide_relabel(&self, labels: &BTreeSet<L>, silent: L) -> Result<Circuit<L>, PetriError> {
+        for l in labels {
+            if !self.outputs.contains(l) {
+                return Err(PetriError::Precondition(format!(
+                    "cannot hide non-output {l}"
+                )));
+            }
+        }
+        let net = crate::hide::hide_relabel(&self.net, labels, silent.clone());
+        let mut outputs: BTreeSet<L> = self
+            .outputs
+            .iter()
+            .filter(|l| !labels.contains(*l))
+            .cloned()
+            .collect();
+        // ε is an internal (output) action in the circuit reading.
+        outputs.insert(silent);
+        Ok(Circuit {
+            inputs: self.inputs.clone(),
+            outputs,
+            net,
+        })
+    }
+
+    /// Hiding per Section 5.1: `hide(C, A) = (I, O \ A, hide(N, A))` for
+    /// `A ⊆ O`.
+    ///
+    /// # Errors
+    ///
+    /// * [`PetriError::Precondition`] if some label of `A` is not an
+    ///   output (inputs may not be hidden — the environment drives them).
+    /// * Errors of [`hide_labels`] (divergence, budget).
+    pub fn hide(&self, labels: &BTreeSet<L>, budget: usize) -> Result<Circuit<L>, PetriError> {
+        for l in labels {
+            if !self.outputs.contains(l) {
+                return Err(PetriError::Precondition(format!(
+                    "cannot hide non-output {l}"
+                )));
+            }
+        }
+        let net = hide_labels(&self.net, labels, budget)?;
+        let outputs: BTreeSet<L> = self
+            .outputs
+            .iter()
+            .filter(|l| !labels.contains(*l))
+            .cloned()
+            .collect();
+        Ok(Circuit {
+            inputs: self.inputs.clone(),
+            outputs,
+            net,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(a: &'static str, b: &'static str) -> PetriNet<&'static str> {
+        let mut net = PetriNet::new();
+        let p = net.add_place("p");
+        let q = net.add_place("q");
+        net.add_transition([p], a, [q]).unwrap();
+        net.add_transition([q], b, [p]).unwrap();
+        net.set_initial(p, 1);
+        net
+    }
+
+    #[test]
+    fn new_validates_interface() {
+        let net = cycle("req", "ack");
+        assert!(Circuit::new(["req"].into(), ["ack"].into(), net.clone()).is_ok());
+        // Overlapping I/O rejected.
+        assert!(Circuit::new(["req"].into(), ["req", "ack"].into(), net.clone()).is_err());
+        // Uncovered label rejected.
+        assert!(Circuit::new(["req"].into(), BTreeSet::new(), net).is_err());
+    }
+
+    #[test]
+    fn compose_rewires_directions() {
+        // c1 emits ack; c2 consumes ack and emits done.
+        let c1 = Circuit::new(["req"].into(), ["ack"].into(), cycle("req", "ack")).unwrap();
+        let c2 = Circuit::new(["ack"].into(), ["done"].into(), cycle("ack", "done")).unwrap();
+        let c = c1.compose(&c2).unwrap();
+        // ack became internal (still an output), req stays an input.
+        assert_eq!(c.inputs(), &BTreeSet::from(["req"]));
+        assert_eq!(c.outputs(), &BTreeSet::from(["ack", "done"]));
+    }
+
+    #[test]
+    fn compose_rejects_shared_outputs() {
+        let c1 = Circuit::new(["a"].into(), ["x"].into(), cycle("a", "x")).unwrap();
+        let c2 = Circuit::new(["b"].into(), ["x"].into(), cycle("b", "x")).unwrap();
+        assert!(c1.compose(&c2).is_err());
+    }
+
+    #[test]
+    fn shared_inputs_stay_inputs() {
+        let c1 = Circuit::new(["go"].into(), ["x"].into(), cycle("go", "x")).unwrap();
+        let c2 = Circuit::new(["go"].into(), ["y"].into(), cycle("go", "y")).unwrap();
+        let c = c1.compose(&c2).unwrap();
+        assert!(c.inputs().contains(&"go"));
+    }
+
+    #[test]
+    fn hide_removes_internal_outputs() {
+        let c1 = Circuit::new(["req"].into(), ["ack"].into(), cycle("req", "ack")).unwrap();
+        let c2 = Circuit::new(["ack"].into(), ["done"].into(), cycle("ack", "done")).unwrap();
+        let composed = c1.compose(&c2).unwrap();
+        let hidden = composed.hide(&["ack"].into(), 1000).unwrap();
+        assert!(!hidden.outputs().contains(&"ack"));
+        assert!(!hidden.net().alphabet().contains(&"ack"));
+    }
+
+    #[test]
+    fn hide_rejects_inputs() {
+        let c = Circuit::new(["req"].into(), ["ack"].into(), cycle("req", "ack")).unwrap();
+        assert!(c.hide(&["req"].into(), 1000).is_err());
+    }
+}

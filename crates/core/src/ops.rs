@@ -1,0 +1,276 @@
+//! Action operators: `nil`, action prefix and renaming
+//! (Definitions 4.2–4.4 of the paper).
+
+use cpn_petri::{Label, PetriError, PetriNet, PlaceId};
+use std::collections::BTreeMap;
+
+/// The deadlock process `nil` (Definition 4.2): a single marked place and
+/// no transitions, so no non-empty trace exists (Proposition 4.1).
+///
+/// # Example
+///
+/// ```
+/// let net: cpn_petri::PetriNet<&str> = cpn_core::nil();
+/// assert_eq!(net.place_count(), 1);
+/// assert_eq!(net.transition_count(), 0);
+/// ```
+pub fn nil<L: Label>() -> PetriNet<L> {
+    let mut net = PetriNet::new();
+    let p = net.add_place("nil");
+    net.set_initial(p, 1);
+    net
+}
+
+/// Action prefix `a.N` for a net with a **safe initial marking**
+/// (Definition 4.3): a fresh marked place `m0` and a transition
+/// `(m0, a, M)` into the previously marked places, which lose their
+/// initial tokens.
+///
+/// Satisfies `L(a.N) = {ε, a} ∪ {a}·L(N)` (Proposition 4.2).
+///
+/// # Errors
+///
+/// Returns [`PetriError::UnsafeInitialMarking`] if some place initially
+/// holds more than one token; use [`prefix_general`] for general nets.
+///
+/// # Example
+///
+/// ```
+/// use cpn_core::{nil, prefix};
+/// # fn main() -> Result<(), cpn_petri::PetriError> {
+/// let stopped = prefix("a", &nil::<&str>())?;
+/// assert_eq!(stopped.transition_count(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn prefix<L: Label>(action: L, net: &PetriNet<L>) -> Result<PetriNet<L>, PetriError> {
+    if let Some((p, _)) = net.initial_marking().marked_places().find(|&(_, n)| n > 1) {
+        return Err(PetriError::UnsafeInitialMarking(p.index() as u32));
+    }
+
+    let mut out = PetriNet::new();
+    let mut map: BTreeMap<PlaceId, PlaceId> = BTreeMap::new();
+    for (old, place) in net.places() {
+        map.insert(old, out.add_place(place.name().to_owned()));
+    }
+    for l in net.alphabet() {
+        out.declare_label(l.clone());
+    }
+    for (_, t) in net.transitions() {
+        out.add_transition(
+            t.preset().iter().map(|p| map[p]),
+            t.label().clone(),
+            t.postset().iter().map(|p| map[p]),
+        )
+        .expect("remapped transition is valid");
+    }
+    let m0 = out.add_place("m0");
+    out.set_initial(m0, 1);
+    let initial_places: Vec<PlaceId> =
+        net.initial_places().iter().map(|p| map[p]).collect();
+    // The postset may be empty when N has no marked places (e.g. a.nil
+    // would if nil were unmarked); Definition 4.3 allows it as long as
+    // the preset is non-empty.
+    out.add_transition([m0], action, initial_places)
+        .expect("prefix transition is valid");
+    Ok(out)
+}
+
+/// Action prefix for **general** nets (the remark after Definition 4.3):
+/// the original initial marking is kept in place; a fresh marked place
+/// `m0` and transition `(m0, a, {s})` gate every initially enabled
+/// transition through a sentinel self-loop on `s`, so nothing can fire
+/// before `a` and the original behaviour is untouched afterwards.
+///
+/// # Example
+///
+/// ```
+/// use cpn_core::prefix_general;
+/// use cpn_petri::PetriNet;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut net: PetriNet<&str> = PetriNet::new();
+/// let p = net.add_place("p");
+/// net.add_transition([p], "b", [p])?;
+/// net.set_initial(p, 2); // not safe: Definition 4.3 would reject it
+/// let prefixed = prefix_general("a", &net);
+/// let lang = cpn_trace::Language::from_net(&prefixed, 2, 1000)?;
+/// assert!(lang.contains(&["a", "b"][..]));
+/// assert!(!lang.contains(&["b"][..]));
+/// # Ok(())
+/// # }
+/// ```
+pub fn prefix_general<L: Label>(action: L, net: &PetriNet<L>) -> PetriNet<L> {
+    let mut out = PetriNet::new();
+    let mut map: BTreeMap<PlaceId, PlaceId> = BTreeMap::new();
+    for (old, place) in net.places() {
+        let new = out.add_place(place.name().to_owned());
+        out.set_initial(new, net.initial_marking().tokens(old));
+        map.insert(old, new);
+    }
+    for l in net.alphabet() {
+        out.declare_label(l.clone());
+    }
+    let m0 = out.add_place("m0");
+    let sentinel = out.add_place("sentinel");
+    out.set_initial(m0, 1);
+
+    let m_init = net.initial_marking();
+    for (tid, t) in net.transitions() {
+        let gated = net.is_enabled(&m_init, tid);
+        let mut pre: Vec<PlaceId> = t.preset().iter().map(|p| map[p]).collect();
+        let mut post: Vec<PlaceId> = t.postset().iter().map(|p| map[p]).collect();
+        if gated {
+            pre.push(sentinel);
+            post.push(sentinel);
+        }
+        out.add_transition(pre, t.label().clone(), post)
+            .expect("remapped transition is valid");
+    }
+    out.add_transition([m0], action, [sentinel])
+        .expect("prefix transition is valid");
+    out
+}
+
+/// Renaming (Definition 4.4, extended to a set of label replacements):
+/// every transition labeled by a key of `map` is relabeled to the mapped
+/// value; the alphabet drops the keys and gains the values.
+///
+/// Satisfies `L(rename(N, b→c)) = rename(L(N), b→c)` (Proposition 4.3).
+///
+/// # Example
+///
+/// ```
+/// use cpn_core::rename;
+/// use cpn_petri::PetriNet;
+/// use std::collections::BTreeMap;
+/// # fn main() -> Result<(), cpn_petri::PetriError> {
+/// let mut net: PetriNet<&str> = PetriNet::new();
+/// let p = net.add_place("p");
+/// net.add_transition([p], "b", [p])?;
+/// let renamed = rename(&net, &BTreeMap::from([("b", "c")]));
+/// assert!(renamed.alphabet().contains(&"c"));
+/// assert!(!renamed.alphabet().contains(&"b"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn rename<L: Label>(net: &PetriNet<L>, map: &BTreeMap<L, L>) -> PetriNet<L> {
+    let mut out = net.map_labels(|l| map.get(l).cloned().unwrap_or_else(|| l.clone()));
+    // Definition 4.4: the renamed-to labels join the alphabet even when
+    // the source label had no transitions (A\{b} ∪ {c}).
+    for v in map.values() {
+        out.declare_label(v.clone());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpn_trace::Language;
+    use std::collections::BTreeSet;
+
+    fn ab_cycle() -> PetriNet<&'static str> {
+        let mut net = PetriNet::new();
+        let p = net.add_place("p");
+        let q = net.add_place("q");
+        net.add_transition([p], "a", [q]).unwrap();
+        net.add_transition([q], "b", [p]).unwrap();
+        net.set_initial(p, 1);
+        net
+    }
+
+    #[test]
+    fn nil_has_no_nonempty_traces() {
+        let net: PetriNet<&str> = nil();
+        let lang = Language::from_net(&net, 5, 100).unwrap();
+        assert!(lang.is_empty(), "Proposition 4.1");
+    }
+
+    #[test]
+    fn prefix_law_prop_4_2() {
+        // L(a.N) = {ε,a} ∪ {a}.L(N)
+        let n = ab_cycle();
+        let prefixed = prefix("x", &n).unwrap();
+        let lhs = Language::from_net(&prefixed, 4, 10_000).unwrap();
+        let rhs = Language::from_net(&n, 3, 10_000)
+            .unwrap()
+            .prefix_action("x");
+        assert!(lhs.eq_up_to(&rhs, 4));
+    }
+
+    #[test]
+    fn prefix_rejects_unsafe_marking() {
+        let mut net: PetriNet<&str> = PetriNet::new();
+        let p = net.add_place("p");
+        net.add_transition([p], "b", [p]).unwrap();
+        net.set_initial(p, 2);
+        assert!(matches!(
+            prefix("a", &net),
+            Err(PetriError::UnsafeInitialMarking(_))
+        ));
+    }
+
+    #[test]
+    fn prefix_general_matches_prefix_on_safe_nets() {
+        let n = ab_cycle();
+        let a = prefix("x", &n).unwrap();
+        let b = prefix_general("x", &n);
+        let la = Language::from_net(&a, 4, 10_000).unwrap();
+        let lb = Language::from_net(&b, 4, 10_000).unwrap();
+        assert!(la.eq_up_to(&lb, 4));
+    }
+
+    #[test]
+    fn prefix_general_gates_all_initial_transitions() {
+        // Two initially enabled transitions; neither may fire before x.
+        let mut net: PetriNet<&str> = PetriNet::new();
+        let p = net.add_place("p");
+        let q = net.add_place("q");
+        net.add_transition([p], "a", [q]).unwrap();
+        net.add_transition([p], "b", [q]).unwrap();
+        net.set_initial(p, 1);
+        let g = prefix_general("x", &net);
+        let lang = Language::from_net(&g, 2, 1000).unwrap();
+        assert!(lang.contains(&["x", "a"]));
+        assert!(lang.contains(&["x", "b"]));
+        assert!(!lang.contains(&["a"]));
+        assert!(!lang.contains(&["b"]));
+    }
+
+    #[test]
+    fn rename_law_prop_4_3() {
+        let n = ab_cycle();
+        let renamed = rename(&n, &BTreeMap::from([("a", "z")]));
+        let lhs = Language::from_net(&renamed, 4, 10_000).unwrap();
+        let rhs = Language::from_net(&n, 4, 10_000)
+            .unwrap()
+            .rename(|l| if *l == "a" { "z" } else { *l });
+        assert!(lhs.eq_up_to(&rhs, 4));
+    }
+
+    #[test]
+    fn rename_swaps_via_simultaneous_map() {
+        // Simultaneous a→b, b→a must not cascade.
+        let n = ab_cycle();
+        let swapped = rename(&n, &BTreeMap::from([("a", "b"), ("b", "a")]));
+        let lang = Language::from_net(&swapped, 2, 1000).unwrap();
+        assert!(lang.contains(&["b", "a"]));
+        assert!(!lang.contains(&["a", "b"]));
+    }
+
+    #[test]
+    fn rename_alphabet_bookkeeping() {
+        let n = ab_cycle();
+        let renamed = rename(&n, &BTreeMap::from([("a", "c")]));
+        let expect: BTreeSet<&str> = ["b", "c"].into();
+        assert_eq!(renamed.alphabet(), &expect);
+    }
+
+    #[test]
+    fn prefix_of_nil_is_single_action() {
+        let stopped = prefix("a", &nil::<&str>()).unwrap();
+        let lang = Language::from_net(&stopped, 3, 100).unwrap();
+        assert_eq!(lang.len(), 2); // ε and "a"
+        assert!(lang.contains(&["a"]));
+    }
+}

@@ -1,0 +1,329 @@
+//! Parallel composition with rendez-vous synchronization
+//! (Definition 4.7, Theorem 4.5 and Figure 2 of the paper).
+//!
+//! In Petri nets a transition is already a synchronization mechanism: it
+//! fires only when all input places are marked. Composition therefore
+//! simply **joins transitions with a common label**: for every label in
+//! the synchronization set, every pair of equally-labeled transitions of
+//! the two nets is fused into one transition with the union of presets
+//! and postsets. Transitions whose label is private to one net are copied
+//! unchanged. No unfolding is needed, and the construction works for
+//! general (non-safe) nets.
+
+use cpn_petri::{Label, PetriNet, PlaceId, TransitionId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A parallel composition together with the provenance information the
+/// verification layer needs: where each operand's places went, and which
+/// result transitions are fused synchronizations (with their per-side
+/// preset parts).
+#[derive(Clone, Debug)]
+pub struct Composition<L: Label> {
+    /// The composed net `N1 ‖ N2`.
+    pub net: PetriNet<L>,
+    /// Old-to-new place map for the left operand.
+    pub left_places: BTreeMap<PlaceId, PlaceId>,
+    /// Old-to-new place map for the right operand.
+    pub right_places: BTreeMap<PlaceId, PlaceId>,
+    /// Fused transitions: `(label, result transition, left preset part,
+    /// right preset part)` — the `p1` / `p2` of Proposition 5.5.
+    pub sync_transitions: Vec<SyncTransition<L>>,
+}
+
+/// One fused rendez-vous transition in a [`Composition`].
+#[derive(Clone, Debug)]
+pub struct SyncTransition<L: Label> {
+    /// The synchronized label.
+    pub label: L,
+    /// The fused transition in the composed net.
+    pub transition: TransitionId,
+    /// The left operand's transition that was fused.
+    pub left_transition: TransitionId,
+    /// The right operand's transition that was fused.
+    pub right_transition: TransitionId,
+    /// The left operand's preset part (`p1`), in composed-net place ids.
+    pub left_preset: BTreeSet<PlaceId>,
+    /// The right operand's preset part (`p2`), in composed-net place ids.
+    pub right_preset: BTreeSet<PlaceId>,
+}
+
+/// Parallel composition `N1 ‖ N2` synchronizing on the common alphabet
+/// `A1 ∩ A2` (Definition 4.7).
+///
+/// Satisfies `L(N1‖N2) = L(N1) ‖ L(N2)` (Theorem 4.5): the reachability
+/// graph of the result is the "interleaved intersection" of the two
+/// reachability graphs.
+///
+/// Note that a common label with transitions in only one net produces
+/// **no** transition in the composition — the action is blocked, exactly
+/// as the trace-level Definition 4.8 demands.
+///
+/// # Example
+///
+/// ```
+/// use cpn_core::parallel;
+/// use cpn_petri::PetriNet;
+/// # fn main() -> Result<(), cpn_petri::PetriError> {
+/// let mut n1: PetriNet<&str> = PetriNet::new();
+/// let p = n1.add_place("p");
+/// n1.add_transition([p], "sync", [p])?;
+/// n1.set_initial(p, 1);
+/// let n2 = n1.clone();
+/// let c = parallel(&n1, &n2);
+/// assert_eq!(c.transition_count(), 1); // the two sync transitions fused
+/// assert_eq!(c.place_count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parallel<L: Label>(n1: &PetriNet<L>, n2: &PetriNet<L>) -> PetriNet<L> {
+    let sync: BTreeSet<L> = n1
+        .alphabet()
+        .intersection(n2.alphabet())
+        .cloned()
+        .collect();
+    parallel_with_sync(n1, n2, &sync)
+}
+
+/// Parallel composition with an explicit synchronization set.
+///
+/// Labels in `sync` rendez-vous (pairwise fusion of equally-labeled
+/// transitions); all other labels interleave freely. The STG circuit
+/// algebra uses this to synchronize on shared *signals* while dummy
+/// transitions stay private.
+pub fn parallel_with_sync<L: Label>(
+    n1: &PetriNet<L>,
+    n2: &PetriNet<L>,
+    sync: &BTreeSet<L>,
+) -> PetriNet<L> {
+    parallel_tracked(n1, n2, sync).net
+}
+
+/// Parallel composition that additionally reports place provenance and
+/// the fused synchronization transitions (see [`Composition`]); the
+/// receptiveness checks of Section 5.3 are built on this.
+pub fn parallel_tracked<L: Label>(
+    n1: &PetriNet<L>,
+    n2: &PetriNet<L>,
+    sync: &BTreeSet<L>,
+) -> Composition<L> {
+    let mut out = PetriNet::new();
+    let mut map1: BTreeMap<PlaceId, PlaceId> = BTreeMap::new();
+    let mut map2: BTreeMap<PlaceId, PlaceId> = BTreeMap::new();
+    for (old, place) in n1.places() {
+        let new = out.add_place(format!("L.{}", place.name()));
+        out.set_initial(new, n1.initial_marking().tokens(old));
+        map1.insert(old, new);
+    }
+    for (old, place) in n2.places() {
+        let new = out.add_place(format!("R.{}", place.name()));
+        out.set_initial(new, n2.initial_marking().tokens(old));
+        map2.insert(old, new);
+    }
+    for l in n1.alphabet().iter().chain(n2.alphabet()) {
+        out.declare_label(l.clone());
+    }
+
+    // Private transitions are copied unchanged.
+    for (_, t) in n1.transitions() {
+        if !sync.contains(t.label()) {
+            out.add_transition(
+                t.preset().iter().map(|p| map1[p]),
+                t.label().clone(),
+                t.postset().iter().map(|p| map1[p]),
+            )
+            .expect("left private transition is valid");
+        }
+    }
+    for (_, t) in n2.transitions() {
+        if !sync.contains(t.label()) {
+            out.add_transition(
+                t.preset().iter().map(|p| map2[p]),
+                t.label().clone(),
+                t.postset().iter().map(|p| map2[p]),
+            )
+            .expect("right private transition is valid");
+        }
+    }
+
+    // Synchronized transitions: all pairs with a common label are joined.
+    let mut sync_transitions = Vec::new();
+    for a in sync {
+        for t1 in n1.transitions_with_label(a).collect::<Vec<_>>() {
+            for t2 in n2.transitions_with_label(a).collect::<Vec<_>>() {
+                let tr1 = n1.transition(t1);
+                let tr2 = n2.transition(t2);
+                let left_preset: BTreeSet<PlaceId> =
+                    tr1.preset().iter().map(|p| map1[p]).collect();
+                let right_preset: BTreeSet<PlaceId> =
+                    tr2.preset().iter().map(|p| map2[p]).collect();
+                let pre: BTreeSet<PlaceId> = left_preset
+                    .iter()
+                    .chain(right_preset.iter())
+                    .copied()
+                    .collect();
+                let post: BTreeSet<PlaceId> = tr1
+                    .postset()
+                    .iter()
+                    .map(|p| map1[p])
+                    .chain(tr2.postset().iter().map(|p| map2[p]))
+                    .collect();
+                let transition = out
+                    .add_transition(pre, a.clone(), post)
+                    .expect("synchronized transition is valid");
+                sync_transitions.push(SyncTransition {
+                    label: a.clone(),
+                    transition,
+                    left_transition: t1,
+                    right_transition: t2,
+                    left_preset,
+                    right_preset,
+                });
+            }
+        }
+    }
+
+    Composition {
+        net: out,
+        left_places: map1,
+        right_places: map2,
+        sync_transitions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::choice::choice;
+    use cpn_trace::Language;
+
+    fn lang(net: &PetriNet<&'static str>, d: usize) -> Language<&'static str> {
+        Language::from_net(net, d, 1_000_000).unwrap()
+    }
+
+    fn cycle2(a: &'static str, b: &'static str) -> PetriNet<&'static str> {
+        let mut net = PetriNet::new();
+        let p = net.add_place("p");
+        let q = net.add_place("q");
+        net.add_transition([p], a, [q]).unwrap();
+        net.add_transition([q], b, [p]).unwrap();
+        net.set_initial(p, 1);
+        net
+    }
+
+    /// The paper's Figure 2 left operand: ((a+b).c)*.
+    fn fig2_left() -> PetriNet<&'static str> {
+        let mut net = PetriNet::new();
+        let p = net.add_place("p");
+        let q = net.add_place("q");
+        net.add_transition([p], "a", [q]).unwrap();
+        net.add_transition([p], "b", [q]).unwrap();
+        net.add_transition([q], "c", [p]).unwrap();
+        net.set_initial(p, 1);
+        net
+    }
+
+    /// The paper's Figure 2 right operand: (a.d.a.e)*.
+    fn fig2_right() -> PetriNet<&'static str> {
+        let mut net = PetriNet::new();
+        let p0 = net.add_place("p0");
+        let p1 = net.add_place("p1");
+        let p2 = net.add_place("p2");
+        let p3 = net.add_place("p3");
+        net.add_transition([p0], "a", [p1]).unwrap();
+        net.add_transition([p1], "d", [p2]).unwrap();
+        net.add_transition([p2], "a", [p3]).unwrap();
+        net.add_transition([p3], "e", [p0]).unwrap();
+        net.set_initial(p0, 1);
+        net
+    }
+
+    #[test]
+    fn figure_2_parallel_composition() {
+        // ((a+b).c)* ‖ (a.d.a.e)*: a is common and synchronizes; b, c, d,
+        // e are private.
+        let composed = parallel(&fig2_left(), &fig2_right());
+        let l = lang(&composed, 6);
+        assert!(l.contains(&["a", "c", "d", "a", "c", "e"]));
+        assert!(l.contains(&["a", "d", "c", "a", "e", "c"]));
+        assert!(l.contains(&["b", "c", "a"]));
+        // Second a needs d first (right net) and c first (left net).
+        assert!(!l.contains(&["a", "c", "a"]));
+        assert!(!l.contains(&["a", "d", "a"]));
+    }
+
+    #[test]
+    fn theorem_4_5_traces_of_composition() {
+        let n1 = fig2_left();
+        let n2 = fig2_right();
+        let lhs = lang(&parallel(&n1, &n2), 5);
+        let rhs = lang(&n1, 5).parallel(&lang(&n2, 5));
+        assert!(lhs.eq_up_to(&rhs, 5), "L(N1‖N2) = L(N1)‖L(N2)");
+    }
+
+    #[test]
+    fn disjoint_alphabets_interleave() {
+        let n1 = cycle2("a", "b");
+        let n2 = cycle2("c", "d");
+        let composed = parallel(&n1, &n2);
+        let l = lang(&composed, 4);
+        assert!(l.contains(&["a", "c", "b", "d"]));
+        assert!(l.contains(&["c", "a", "d", "b"]));
+    }
+
+    #[test]
+    fn declared_but_transitionless_common_label_blocks() {
+        // Definition 4.7: a ∈ A1 ∩ A2 with transitions only in N1 yields
+        // no fused transition — the action deadlocks.
+        let mut n1 = cycle2("a", "b");
+        n1.declare_label("x");
+        let mut n2 = cycle2("x", "y");
+        n2.declare_label("a");
+        let composed = parallel(&n1, &n2);
+        let l = lang(&composed, 3);
+        assert!(!l.iter().any(|t| t.contains(&"a") || t.contains(&"x")));
+    }
+
+    #[test]
+    fn multiple_same_label_pairs_all_fused() {
+        // Two a-transitions in each net ⇒ four fused combinations.
+        let mut n1: PetriNet<&str> = PetriNet::new();
+        let p = n1.add_place("p");
+        let q1 = n1.add_place("q1");
+        let q2 = n1.add_place("q2");
+        n1.add_transition([p], "a", [q1]).unwrap();
+        n1.add_transition([p], "a", [q2]).unwrap();
+        n1.set_initial(p, 1);
+        let n2 = n1.clone();
+        let composed = parallel(&n1, &n2);
+        assert_eq!(composed.transition_count(), 4);
+    }
+
+    #[test]
+    fn parallel_then_choice_composes() {
+        // Algebra terms nest: (a.b)* ‖ (b.c)* offered against (d.e)*.
+        let par = parallel(&cycle2("a", "b"), &cycle2("b", "c"));
+        let alt = choice(&par, &cycle2("d", "e")).unwrap();
+        let l = lang(&alt, 3);
+        assert!(l.contains(&["a", "b", "c"]));
+        assert!(l.contains(&["d", "e", "d"]));
+        assert!(!l.contains(&["a", "d"]));
+    }
+
+    #[test]
+    fn initial_markings_add_up() {
+        let n1 = cycle2("a", "b");
+        let n2 = cycle2("c", "d");
+        let composed = parallel(&n1, &n2);
+        assert_eq!(composed.initial_marking().total(), 2);
+    }
+
+    #[test]
+    fn custom_sync_set_overrides_intersection() {
+        // Both nets know "a" but we force interleaving.
+        let n1 = cycle2("a", "b");
+        let n2 = cycle2("a", "c");
+        let composed = parallel_with_sync(&n1, &n2, &BTreeSet::new());
+        let l = lang(&composed, 2);
+        assert!(l.contains(&["a", "a"]), "both a's fire independently");
+    }
+}

@@ -1,0 +1,316 @@
+//! Compositional synthesis (Section 5.2 of the paper).
+//!
+//! When a module's environment is known, the module may be *reduced
+//! against it*: instead of synthesizing `M1`, synthesize
+//! `hide(M1 ‖ M2, A2 \ A1)` — the composition restricted to `M1`'s own
+//! alphabet. By Theorem 5.1 the result's traces are **contained** in
+//! `L(M1)`, i.e. the reduced module has more implementation freedom. The
+//! cross-product of synchronization transitions leaves many dead
+//! duplicates, which are removed (polynomially for marked graphs).
+//!
+//! This module also provides empirical checkers for the closure
+//! properties the paper states: safety is closed under all operators
+//! (Prop 5.2), liveness under all but parallel composition (Prop 5.3),
+//! and marked graphs under prefix, renaming and parallel composition
+//! (Prop 5.4).
+
+use crate::hide::project;
+use crate::parallel::parallel;
+use cpn_petri::{
+    dead_transitions_rg, remove_dead, Label, PetriError, PetriNet,
+    ReachabilityOptions,
+};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Outcome of [`reduce_against_environment`].
+#[derive(Clone, Debug)]
+pub struct Reduction<L: Label> {
+    /// The reduced module: `hide(M ‖ env, A_env \ A_M)` with dead
+    /// transitions removed.
+    pub net: PetriNet<L>,
+    /// Number of dead transitions eliminated after composition.
+    pub dead_removed: usize,
+    /// Size of the composed net before projection, for reporting.
+    pub composed_transitions: usize,
+}
+
+/// Reduces `module` against a known environment (Section 5.2):
+/// `hide(module ‖ env, A_env \ A_module)`, then dead-transition removal.
+///
+/// The composition step restricts the module's behaviour to what the
+/// environment can actually drive (Theorem 5.1:
+/// `project(L(M1‖M2), A1) ⊆ L(M1)`), so downstream synthesis sees fewer
+/// cases. Dead-transition removal is performed **before** hiding: the
+/// dead duplicates come from the synchronization cross-product, and
+/// contracting them away first keeps the hiding step small.
+///
+/// # Errors
+///
+/// Propagates reachability budget errors and hiding errors (divergence).
+///
+/// # Example
+///
+/// ```
+/// use cpn_core::reduce_against_environment;
+/// use cpn_petri::{PetriNet, ReachabilityOptions};
+///
+/// # fn main() -> Result<(), cpn_petri::PetriError> {
+/// // A module offering two services; an environment that declares both
+/// // but only ever drives one.
+/// let mut m: PetriNet<&str> = PetriNet::new();
+/// let idle = m.add_place("idle");
+/// let busy = m.add_place("busy");
+/// m.add_transition([idle], "req1", [busy])?;
+/// m.add_transition([busy], "done1", [idle])?;
+/// m.add_transition([idle], "req2", [busy])?;
+/// m.add_transition([busy], "done2", [idle])?;
+/// m.set_initial(idle, 1);
+///
+/// let mut env: PetriNet<&str> = PetriNet::new();
+/// let e = env.add_place("e");
+/// let w = env.add_place("w");
+/// env.add_transition([e], "req1", [w])?;
+/// env.add_transition([w], "done1", [e])?;
+/// env.declare_label("req2");   // known but never offered: blocks it
+/// env.declare_label("done2");
+/// env.set_initial(e, 1);
+///
+/// let red = reduce_against_environment(
+///     &m, &env, &ReachabilityOptions::default(), 1_000,
+/// )?;
+/// assert!(red.net.transition_count() < m.transition_count());
+/// # Ok(())
+/// # }
+/// ```
+pub fn reduce_against_environment<L: Label>(
+    module: &PetriNet<L>,
+    env: &PetriNet<L>,
+    options: &ReachabilityOptions,
+    hide_budget: usize,
+) -> Result<Reduction<L>, PetriError> {
+    let composed = parallel(module, env);
+    let composed_transitions = composed.transition_count();
+    let rg = composed.reachability(options)?;
+    let dead = dead_transitions_rg(&composed, &rg);
+    let dead_removed = dead.len();
+    let pruned = remove_dead(&composed, &dead);
+    let keep: BTreeSet<L> = module.alphabet().clone();
+    let net = project(&pruned, &keep, hide_budget)?;
+    // Projection can strand further transitions; one more cleanup pass.
+    let rg2 = net.reachability(options)?;
+    let dead2 = dead_transitions_rg(&net, &rg2);
+    let net = remove_dead(&net, &dead2);
+    Ok(Reduction {
+        net,
+        dead_removed: dead_removed + dead2.len(),
+        composed_transitions,
+    })
+}
+
+/// Empirical closure evidence for the paper's Propositions 5.2–5.4 on a
+/// concrete pair of nets: applies parallel composition and reports which
+/// properties were preserved.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClosureReport {
+    /// Both operands safe.
+    pub operands_safe: bool,
+    /// Both operands live.
+    pub operands_live: bool,
+    /// Both operands marked graphs.
+    pub operands_marked_graph: bool,
+    /// Composition safe (Prop 5.2 predicts: yes when operands are).
+    pub composition_safe: bool,
+    /// Composition live (Prop 5.3: *not* guaranteed).
+    pub composition_live: bool,
+    /// Composition a marked graph (Prop 5.4 predicts: yes when operands
+    /// are).
+    pub composition_marked_graph: bool,
+}
+
+impl fmt::Display for ClosureReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "operands: safe={} live={} mg={} | composition: safe={} live={} mg={}",
+            self.operands_safe,
+            self.operands_live,
+            self.operands_marked_graph,
+            self.composition_safe,
+            self.composition_live,
+            self.composition_marked_graph
+        )
+    }
+}
+
+/// Builds a [`ClosureReport`] for `n1 ‖ n2`.
+///
+/// # Errors
+///
+/// Propagates reachability budget errors (all three nets are explored).
+pub fn closure_report<L: Label>(
+    n1: &PetriNet<L>,
+    n2: &PetriNet<L>,
+    options: &ReachabilityOptions,
+) -> Result<ClosureReport, PetriError> {
+    let a1 = n1.analysis(&n1.reachability(options)?);
+    let a2 = n2.analysis(&n2.reachability(options)?);
+    let composed = parallel(n1, n2);
+    let ac = composed.analysis(&composed.reachability(options)?);
+    Ok(ClosureReport {
+        operands_safe: a1.safe && a2.safe,
+        operands_live: a1.live && a2.live,
+        operands_marked_graph: n1.structural().is_marked_graph
+            && n2.structural().is_marked_graph,
+        composition_safe: ac.safe,
+        composition_live: ac.live,
+        composition_marked_graph: composed.structural().is_marked_graph,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpn_trace::Language;
+
+    fn cycle(a: &'static str, b: &'static str) -> PetriNet<&'static str> {
+        let mut net = PetriNet::new();
+        let p = net.add_place("p");
+        let q = net.add_place("q");
+        net.add_transition([p], a, [q]).unwrap();
+        net.add_transition([q], b, [p]).unwrap();
+        net.set_initial(p, 1);
+        net
+    }
+
+    /// A module offering two request kinds; an environment using only one.
+    fn two_service_module() -> PetriNet<&'static str> {
+        let mut net = PetriNet::new();
+        let idle = net.add_place("idle");
+        let w1 = net.add_place("w1");
+        let w2 = net.add_place("w2");
+        net.add_transition([idle], "req1", [w1]).unwrap();
+        net.add_transition([w1], "done1", [idle]).unwrap();
+        net.add_transition([idle], "req2", [w2]).unwrap();
+        net.add_transition([w2], "done2", [idle]).unwrap();
+        net.set_initial(idle, 1);
+        net
+    }
+
+    fn env_using_only_req1() -> PetriNet<&'static str> {
+        let mut net = PetriNet::new();
+        let e0 = net.add_place("e0");
+        let e1 = net.add_place("e1");
+        net.add_transition([e0], "req1", [e1]).unwrap();
+        net.add_transition([e1], "done1", [e0]).unwrap();
+        net.set_initial(e0, 1);
+        // The environment *knows* the second service but never drives it:
+        // the labels are in its alphabet without transitions, so the
+        // composition blocks them (Definition 4.7). Without the explicit
+        // declaration req2/done2 would be private to the module and run
+        // unconstrained — the reason the net tuple carries A explicitly.
+        net.declare_label("req2");
+        net.declare_label("done2");
+        net
+    }
+
+    #[test]
+    fn reduction_drops_unused_service() {
+        let m = two_service_module();
+        let env = env_using_only_req1();
+        let red = reduce_against_environment(
+            &m,
+            &env,
+            &ReachabilityOptions::default(),
+            1000,
+        )
+        .unwrap();
+        // req2/done2 are never driven: they disappear entirely.
+        let l = Language::from_net(&red.net, 4, 100_000).unwrap();
+        assert!(l.contains(&["req1", "done1", "req1", "done1"]));
+        assert!(!l.iter().any(|t| t.contains(&"req2") || t.contains(&"done2")));
+        assert!(red.net.transition_count() < m.transition_count());
+    }
+
+    #[test]
+    fn theorem_5_1_trace_containment() {
+        let m = two_service_module();
+        let env = env_using_only_req1();
+        let red = reduce_against_environment(
+            &m,
+            &env,
+            &ReachabilityOptions::default(),
+            1000,
+        )
+        .unwrap();
+        let reduced_lang = Language::from_net(&red.net, 5, 100_000).unwrap();
+        let module_lang = Language::from_net(&m, 5, 100_000).unwrap();
+        assert!(
+            reduced_lang.subset_up_to(&module_lang, 5),
+            "project(L(M‖E), A_M) ⊆ L(M)"
+        );
+    }
+
+    #[test]
+    fn closure_props_5_2_to_5_4_on_synchronized_cycles() {
+        // Shared label b: composition synchronizes and stays a live safe
+        // marked graph here.
+        let n1 = cycle("a", "b");
+        let n2 = cycle("b", "c");
+        let rep = closure_report(&n1, &n2, &ReachabilityOptions::default()).unwrap();
+        assert!(rep.operands_safe && rep.composition_safe, "Prop 5.2");
+        assert!(rep.operands_marked_graph && rep.composition_marked_graph, "Prop 5.4");
+        assert!(rep.operands_live && rep.composition_live);
+    }
+
+    #[test]
+    fn liveness_not_closed_under_composition() {
+        // a.b-cycle vs b.a-cycle: both live, but mutual waiting deadlocks
+        // the composition — the paper's caveat in Prop 5.3.
+        let n1 = cycle("a", "b");
+        let n2 = cycle("b", "a");
+        let rep = closure_report(&n1, &n2, &ReachabilityOptions::default()).unwrap();
+        assert!(rep.operands_live);
+        assert!(!rep.composition_live, "{rep}");
+        // Safety still holds (Prop 5.2).
+        assert!(rep.composition_safe);
+    }
+
+    #[test]
+    fn reduction_against_synchronized_environment_is_harmless() {
+        // Environment synchronizes on `a` but allows everything the
+        // module does: the reduction must not lose behaviour.
+        let m = cycle("a", "b");
+        let env = cycle("a", "x");
+        let red = reduce_against_environment(
+            &m,
+            &env,
+            &ReachabilityOptions::default(),
+            1000,
+        )
+        .unwrap();
+        let lm = Language::from_net(&m, 4, 100_000).unwrap();
+        let lr = Language::from_net(&red.net, 4, 100_000).unwrap();
+        assert!(lr.eq_up_to(&lm, 4), "reduced {lr} vs module {lm}");
+    }
+
+    #[test]
+    fn reduction_of_fully_independent_environment_diverges() {
+        // An environment sharing no labels keeps cycling internally;
+        // hiding its whole alphabet is a divergence, which the hiding
+        // operator must reject rather than mask (Section 4.4).
+        let m = cycle("a", "b");
+        let env = cycle("x", "y");
+        let err = reduce_against_environment(
+            &m,
+            &env,
+            &ReachabilityOptions::default(),
+            1000,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, PetriError::HideSelfLoop(_)),
+            "expected divergence, got {err}"
+        );
+    }
+}

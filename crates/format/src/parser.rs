@@ -1,0 +1,469 @@
+//! Recursive-descent parser for the `.cpn` format.
+
+use crate::lexer::{lex, LexError, Token, TokenKind};
+use cpn_petri::{PetriNet, PlaceId};
+use cpn_stg::{Edge, Guard, Signal, SignalDir, Stg};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed `.cpn` document: named generic nets and named STGs, in
+/// source order.
+#[derive(Debug, Default)]
+pub struct Document {
+    /// `net NAME { … }` items (labels are free-form strings).
+    pub nets: Vec<(String, PetriNet<String>)>,
+    /// `stg NAME { … }` items.
+    pub stgs: Vec<(String, Stg)>,
+}
+
+/// A parse error with source location.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// 1-based source line (0 for end-of-input).
+    pub line: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError { message: e.message, line: e.line }
+    }
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn line(&self) -> usize {
+        self.tokens.get(self.pos).map_or(0, |t| t.line)
+    }
+
+    fn bump(&mut self) -> Option<TokenKind> {
+        let t = self.tokens.get(self.pos).map(|t| t.kind.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError { message: message.into(), line: self.line() }
+    }
+
+    fn expect_punct(&mut self, c: char) -> Result<(), ParseError> {
+        match self.bump() {
+            Some(TokenKind::Punct(p)) if p == c => Ok(()),
+            other => Err(ParseError {
+                message: format!(
+                    "expected `{c}`, found {}",
+                    other.map_or("end of input".to_owned(), |t| t.to_string())
+                ),
+                line: self.tokens.get(self.pos - 1).map_or(0, |t| t.line),
+            }),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.bump() {
+            Some(TokenKind::Ident(s)) => Ok(s),
+            other => Err(ParseError {
+                message: format!(
+                    "expected identifier, found {}",
+                    other.map_or("end of input".to_owned(), |t| t.to_string())
+                ),
+                line: self.tokens.get(self.pos - 1).map_or(0, |t| t.line),
+            }),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        let line = self.line();
+        let got = self.expect_ident()?;
+        if got == kw {
+            Ok(())
+        } else {
+            Err(ParseError {
+                message: format!("expected `{kw}`, found `{got}`"),
+                line,
+            })
+        }
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        if self.peek() == Some(&TokenKind::Punct(c)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(TokenKind::Ident(s)) if s == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// `places { name (*N?)? ... }` — returns name→id and sets markings.
+    fn parse_places<F>(&mut self, mut add: F) -> Result<BTreeMap<String, PlaceId>, ParseError>
+    where
+        F: FnMut(&str, u32) -> PlaceId,
+    {
+        self.expect_keyword("places")?;
+        self.expect_punct('{')?;
+        let mut map = BTreeMap::new();
+        loop {
+            if self.eat_punct('}') {
+                break;
+            }
+            let line = self.line();
+            let name = self.expect_ident()?;
+            if map.contains_key(&name) {
+                return Err(ParseError {
+                    message: format!("duplicate place `{name}`"),
+                    line,
+                });
+            }
+            let mut tokens_count = 0u32;
+            if self.eat_punct('*') {
+                tokens_count = match self.peek() {
+                    Some(TokenKind::Number(n)) => {
+                        let n = *n;
+                        self.pos += 1;
+                        n
+                    }
+                    _ => 1,
+                };
+            }
+            let id = add(&name, tokens_count);
+            map.insert(name, id);
+        }
+        Ok(map)
+    }
+
+    /// `pre: a b; post: c d` inside braces (either list may be empty).
+    fn parse_flows(
+        &mut self,
+        places: &BTreeMap<String, PlaceId>,
+    ) -> Result<(Vec<PlaceId>, Vec<PlaceId>), ParseError> {
+        self.expect_punct('{')?;
+        self.expect_keyword("pre")?;
+        self.expect_punct(':')?;
+        let mut pre = Vec::new();
+        while let Some(TokenKind::Ident(_)) = self.peek() {
+            let line = self.line();
+            let name = self.expect_ident()?;
+            pre.push(*places.get(&name).ok_or(ParseError {
+                message: format!("unknown place `{name}`"),
+                line,
+            })?);
+        }
+        self.expect_punct(';')?;
+        self.expect_keyword("post")?;
+        self.expect_punct(':')?;
+        let mut post = Vec::new();
+        while let Some(TokenKind::Ident(_)) = self.peek() {
+            let line = self.line();
+            let name = self.expect_ident()?;
+            post.push(*places.get(&name).ok_or(ParseError {
+                message: format!("unknown place `{name}`"),
+                line,
+            })?);
+        }
+        self.expect_punct('}')?;
+        Ok((pre, post))
+    }
+
+    fn parse_net(&mut self) -> Result<(String, PetriNet<String>), ParseError> {
+        let name = self.expect_ident()?;
+        self.expect_punct('{')?;
+        let mut net: PetriNet<String> = PetriNet::new();
+        let places = self.parse_places(|n, tok| {
+            let id = net.add_place(n);
+            net.set_initial(id, tok);
+            id
+        })?;
+        loop {
+            if self.eat_punct('}') {
+                break;
+            }
+            let line = self.line();
+            self.expect_keyword("transition")?;
+            let label = match self.bump() {
+                Some(TokenKind::Str(s)) => s,
+                other => {
+                    return Err(ParseError {
+                        message: format!(
+                            "expected quoted label, found {}",
+                            other.map_or("end of input".to_owned(), |t| t.to_string())
+                        ),
+                        line,
+                    })
+                }
+            };
+            let (pre, post) = self.parse_flows(&places)?;
+            net.add_transition(pre, label, post)
+                .map_err(|e| ParseError { message: e.to_string(), line })?;
+        }
+        Ok((name, net))
+    }
+
+    fn parse_edge_suffix(&mut self) -> Result<Edge, ParseError> {
+        match self.bump() {
+            Some(TokenKind::Punct(c)) => Edge::from_suffix(c).ok_or(ParseError {
+                message: format!("`{c}` is not a signal edge"),
+                line: self.tokens.get(self.pos - 1).map_or(0, |t| t.line),
+            }),
+            // `=` is lexed as Punct('='), handled above; nothing else fits.
+            other => Err(ParseError {
+                message: format!(
+                    "expected signal edge suffix, found {}",
+                    other.map_or("end of input".to_owned(), |t| t.to_string())
+                ),
+                line: self.tokens.get(self.pos - 1).map_or(0, |t| t.line),
+            }),
+        }
+    }
+
+    fn parse_guard(&mut self) -> Result<Guard, ParseError> {
+        self.expect_punct('{')?;
+        let mut guard = Guard::new();
+        loop {
+            let line = self.line();
+            let name = self.expect_ident()?;
+            self.expect_punct('=')?;
+            let value = match self.bump() {
+                Some(TokenKind::Number(0)) => false,
+                Some(TokenKind::Number(1)) => true,
+                other => {
+                    return Err(ParseError {
+                        message: format!(
+                            "guard value must be 0 or 1, found {}",
+                            other.map_or("end of input".to_owned(), |t| t.to_string())
+                        ),
+                        line,
+                    })
+                }
+            };
+            guard = guard.require(Signal::new(name), value);
+            if !self.eat_punct('&') {
+                break;
+            }
+        }
+        self.expect_punct('}')?;
+        Ok(guard)
+    }
+
+    fn parse_stg(&mut self) -> Result<(String, Stg), ParseError> {
+        let name = self.expect_ident()?;
+        self.expect_punct('{')?;
+        let mut stg = Stg::new();
+
+        // Signal declarations.
+        loop {
+            let dir = if self.eat_keyword("input") {
+                SignalDir::Input
+            } else if self.eat_keyword("output") {
+                SignalDir::Output
+            } else if self.eat_keyword("internal") {
+                SignalDir::Internal
+            } else {
+                break;
+            };
+            loop {
+                let line = self.line();
+                let sig = self.expect_ident()?;
+                stg.try_add_signal(&sig, dir)
+                    .map_err(|e| ParseError { message: e.to_string(), line })?;
+                if self.eat_punct(';') {
+                    break;
+                }
+            }
+        }
+
+        let places = self.parse_places(|n, tok| {
+            let id = stg.add_place(n);
+            stg.set_initial(id, tok);
+            id
+        })?;
+
+        loop {
+            if self.eat_punct('}') {
+                break;
+            }
+            let line = self.line();
+            let tid = if self.eat_keyword("dummy") {
+                let (pre, post) = self.parse_flows(&places)?;
+                stg.add_dummy(pre, post)
+                    .map_err(|e| ParseError { message: e.to_string(), line })?
+            } else {
+                self.expect_keyword("transition")?;
+                let sig = self.expect_ident()?;
+                let edge = self.parse_edge_suffix()?;
+                let (pre, post) = self.parse_flows(&places)?;
+                stg.add_signal_transition(pre, (Signal::new(sig), edge), post)
+                    .map_err(|e| ParseError { message: e.to_string(), line })?
+            };
+            if self.eat_keyword("guard") {
+                let guard = self.parse_guard()?;
+                stg.set_guard(tid, guard);
+            }
+        }
+        Ok((name, stg))
+    }
+}
+
+/// Parses a `.cpn` document.
+///
+/// # Errors
+///
+/// [`ParseError`] with the offending line on malformed input.
+///
+/// # Example
+///
+/// ```
+/// let doc = cpn_format::parse(
+///     "net tick { places { p* q } transition \"t\" { pre: p; post: q } }",
+/// )?;
+/// assert_eq!(doc.nets.len(), 1);
+/// assert_eq!(doc.nets[0].1.transition_count(), 1);
+/// # Ok::<(), cpn_format::ParseError>(())
+/// ```
+pub fn parse(input: &str) -> Result<Document, ParseError> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut doc = Document::default();
+    while p.peek().is_some() {
+        if p.eat_keyword("net") {
+            doc.nets.push(p.parse_net()?);
+        } else if p.eat_keyword("stg") {
+            doc.stgs.push(p.parse_stg()?);
+        } else {
+            return Err(p.err("expected `net` or `stg`"));
+        }
+    }
+    Ok(doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_net() {
+        let doc = parse(
+            r#"net cycle {
+                places { p* q }
+                transition "a" { pre: p; post: q }
+                transition "b" { pre: q; post: p }
+            }"#,
+        )
+        .unwrap();
+        let (name, net) = &doc.nets[0];
+        assert_eq!(name, "cycle");
+        assert_eq!(net.place_count(), 2);
+        assert_eq!(net.transition_count(), 2);
+        assert_eq!(net.initial_marking().total(), 1);
+    }
+
+    #[test]
+    fn parse_multi_token_marking() {
+        let doc = parse("net n { places { p*3 } }").unwrap();
+        assert_eq!(doc.nets[0].1.initial_marking().total(), 3);
+    }
+
+    #[test]
+    fn parse_stg_with_guard_and_dummy() {
+        let doc = parse(
+            r#"stg t {
+                input DATA; output x;
+                places { p* q r }
+                dummy { pre: p; post: q }
+                transition x+ { pre: q; post: r } guard { DATA=1 }
+            }"#,
+        )
+        .unwrap();
+        let (_, stg) = &doc.stgs[0];
+        assert_eq!(stg.signals().len(), 2);
+        assert_eq!(stg.net().transition_count(), 2);
+        let guarded = cpn_petri::TransitionId::from_index(1);
+        assert!(!stg.guard(guarded).is_true());
+    }
+
+    #[test]
+    fn parse_all_edge_suffixes() {
+        let doc = parse(
+            r#"stg t {
+                output x;
+                places { p* }
+                transition x+ { pre: p; post: p }
+                transition x- { pre: p; post: p }
+                transition x~ { pre: p; post: p }
+                transition x= { pre: p; post: p }
+                transition x# { pre: p; post: p }
+                transition x? { pre: p; post: p }
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(doc.stgs[0].1.net().transition_count(), 6);
+    }
+
+    #[test]
+    fn unknown_place_reported_with_line() {
+        let err = parse(
+            "net n {\n places { p }\n transition \"a\" { pre: ghost; post: p }\n}",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("ghost"));
+        assert_eq!(err.line, 3);
+    }
+
+    #[test]
+    fn duplicate_place_rejected() {
+        let err = parse("net n { places { p p } }").unwrap_err();
+        assert!(err.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn undeclared_signal_rejected() {
+        let err = parse(
+            "stg s { places { p* } transition x+ { pre: p; post: p } }",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("not declared"));
+    }
+
+    #[test]
+    fn junk_toplevel_rejected() {
+        let err = parse("widget w { }").unwrap_err();
+        assert!(err.message.contains("expected `net` or `stg`"));
+    }
+
+    #[test]
+    fn empty_input_is_empty_document() {
+        let doc = parse("").unwrap();
+        assert!(doc.nets.is_empty() && doc.stgs.is_empty());
+    }
+
+    #[test]
+    fn signal_list_declaration() {
+        let doc = parse("stg s { input a b c; places { p* } }").unwrap();
+        assert_eq!(doc.stgs[0].1.signals().len(), 3);
+    }
+}

@@ -1,0 +1,305 @@
+//! Pretty printers for the `.cpn` format.
+//!
+//! Place names are sanitized to the identifier alphabet on output (the
+//! algebra generates product names like `(p0,q0)` which are legal
+//! identifiers here, but e.g. spaces are not); sanitized names are made
+//! unique by suffixing.
+
+use cpn_petri::{Label, PetriNet, PlaceId};
+use cpn_stg::{Stg, StgLabel};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+fn sanitize(name: &str) -> String {
+    let cleaned: String = name
+        .chars()
+        .map(|c| {
+            if c.is_alphanumeric() || matches!(c, '_' | '.' | '\'' | '′' | '(' | ')' | ',') {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if cleaned.is_empty() || cleaned.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        format!("p_{cleaned}")
+    } else {
+        cleaned
+    }
+}
+
+fn place_names<L: Label>(net: &PetriNet<L>) -> BTreeMap<PlaceId, String> {
+    let mut used: BTreeMap<String, usize> = BTreeMap::new();
+    let mut out = BTreeMap::new();
+    for (id, place) in net.places() {
+        let base = sanitize(place.name());
+        let count = used.entry(base.clone()).or_insert(0);
+        let name = if *count == 0 {
+            base.clone()
+        } else {
+            format!("{base}_{count}")
+        };
+        *count += 1;
+        out.insert(id, name);
+    }
+    out
+}
+
+fn write_places<L: Label>(
+    out: &mut String,
+    net: &PetriNet<L>,
+    names: &BTreeMap<PlaceId, String>,
+) {
+    out.push_str("  places {");
+    let m0 = net.initial_marking();
+    for (id, _) in net.places() {
+        let tokens = m0.tokens(id);
+        match tokens {
+            0 => write!(out, " {}", names[&id]),
+            1 => write!(out, " {}*", names[&id]),
+            n => write!(out, " {}*{n}", names[&id]),
+        }
+        .expect("writing to string");
+    }
+    out.push_str(" }\n");
+}
+
+fn write_flows<L: Label>(
+    out: &mut String,
+    net: &PetriNet<L>,
+    names: &BTreeMap<PlaceId, String>,
+    t: cpn_petri::TransitionId,
+) {
+    let tr = net.transition(t);
+    out.push_str("{ pre:");
+    for p in tr.preset() {
+        write!(out, " {}", names[p]).expect("writing to string");
+    }
+    out.push_str("; post:");
+    for p in tr.postset() {
+        write!(out, " {}", names[p]).expect("writing to string");
+    }
+    out.push_str(" }");
+}
+
+/// Renders a generic labeled net as a `net NAME { … }` item.
+///
+/// Labels are printed via `Display` into quoted strings, so any label
+/// type round-trips into a `PetriNet<String>`.
+///
+/// # Example
+///
+/// ```
+/// use cpn_petri::PetriNet;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut net: PetriNet<&str> = PetriNet::new();
+/// let p = net.add_place("p");
+/// net.add_transition([p], "tick", [p])?;
+/// net.set_initial(p, 1);
+/// let text = cpn_format::write_net("clock", &net);
+/// let doc = cpn_format::parse(&text)?;
+/// assert_eq!(doc.nets[0].0, "clock");
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_net<L: Label>(name: &str, net: &PetriNet<L>) -> String {
+    let names = place_names(net);
+    let mut out = String::new();
+    writeln!(out, "net {} {{", sanitize(name)).expect("writing to string");
+    write_places(&mut out, net, &names);
+    for (tid, t) in net.transitions() {
+        let label = t.label().to_string().replace('\\', "\\\\").replace('"', "\\\"");
+        write!(out, "  transition \"{label}\" ").expect("writing to string");
+        write_flows(&mut out, net, &names, tid);
+        out.push('\n');
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders an STG as an `stg NAME { … }` item, including signal
+/// declarations and guards.
+pub fn write_stg(name: &str, stg: &Stg) -> String {
+    let net = stg.net();
+    let names = place_names(net);
+    let mut out = String::new();
+    writeln!(out, "stg {} {{", sanitize(name)).expect("writing to string");
+    for dir in [
+        cpn_stg::SignalDir::Input,
+        cpn_stg::SignalDir::Output,
+        cpn_stg::SignalDir::Internal,
+    ] {
+        let sigs = stg.signals_with_dir(dir);
+        if !sigs.is_empty() {
+            write!(out, "  {dir}").expect("writing to string");
+            for s in sigs {
+                write!(out, " {s}").expect("writing to string");
+            }
+            out.push_str(";\n");
+        }
+    }
+    write_places(&mut out, net, &names);
+    for (tid, t) in net.transitions() {
+        match t.label() {
+            StgLabel::Dummy => {
+                out.push_str("  dummy ");
+            }
+            StgLabel::Signal(s, e) => {
+                write!(out, "  transition {s}{e} ").expect("writing to string");
+            }
+        }
+        write_flows(&mut out, net, &names, tid);
+        let guard = stg.guard(tid);
+        if !guard.is_true() {
+            out.push_str(" guard {");
+            let mut first = true;
+            for (s, v) in guard.literals() {
+                if !first {
+                    out.push_str(" &");
+                }
+                first = false;
+                write!(out, " {s}={}", u8::from(v)).expect("writing to string");
+            }
+            out.push_str(" }");
+        }
+        out.push('\n');
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a whole document.
+pub fn write_document(doc: &crate::parser::Document) -> String {
+    let mut out = String::new();
+    for (name, net) in &doc.nets {
+        out.push_str(&write_net(name, net));
+        out.push('\n');
+    }
+    for (name, stg) in &doc.stgs {
+        out.push_str(&write_stg(name, stg));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use cpn_stg::{Edge, Guard, SignalDir};
+
+    #[test]
+    fn net_roundtrip() {
+        let mut net: PetriNet<String> = PetriNet::new();
+        let p = net.add_place("p");
+        let q = net.add_place("q");
+        net.add_transition([p], "go".to_owned(), [q]).unwrap();
+        net.add_transition([q], "back".to_owned(), [p]).unwrap();
+        net.set_initial(p, 2);
+
+        let text = write_net("demo", &net);
+        let doc = parse(&text).unwrap();
+        let (name, parsed) = &doc.nets[0];
+        assert_eq!(name, "demo");
+        assert_eq!(parsed.place_count(), 2);
+        assert_eq!(parsed.transition_count(), 2);
+        assert_eq!(parsed.initial_marking().total(), 2);
+        // Same language.
+        let l1 = cpn_trace::Language::from_net(&net, 4, 10_000).unwrap();
+        let l2 = cpn_trace::Language::from_net(parsed, 4, 10_000).unwrap();
+        assert!(l1.eq_up_to(&l2, 4));
+    }
+
+    #[test]
+    fn stg_roundtrip_with_guard() {
+        let mut stg = Stg::new();
+        let d = stg.add_signal("DATA", SignalDir::Input);
+        let x = stg.add_signal("x", SignalDir::Output);
+        let p = stg.add_place("p");
+        let q = stg.add_place("q");
+        let t = stg
+            .add_signal_transition([p], (x, Edge::Rise), [q])
+            .unwrap();
+        stg.add_dummy([q], [p]).unwrap();
+        stg.set_guard(t, Guard::new().require(d, true));
+        stg.set_initial(p, 1);
+
+        let text = write_stg("guarded", &stg);
+        let doc = parse(&text).unwrap();
+        let (_, parsed) = &doc.stgs[0];
+        assert_eq!(parsed.signals().len(), 2);
+        assert_eq!(parsed.net().transition_count(), 2);
+        let parsed_t = cpn_petri::TransitionId::from_index(0);
+        assert_eq!(parsed.guard(parsed_t).to_string(), "DATA=1");
+    }
+
+    #[test]
+    fn duplicate_place_names_uniquified() {
+        let mut net: PetriNet<String> = PetriNet::new();
+        let a = net.add_place("x");
+        let b = net.add_place("x");
+        net.add_transition([a], "t".to_owned(), [b]).unwrap();
+        let text = write_net("d", &net);
+        let doc = parse(&text).unwrap();
+        assert_eq!(doc.nets[0].1.place_count(), 2);
+    }
+
+    #[test]
+    fn nasty_label_escaped() {
+        let mut net: PetriNet<String> = PetriNet::new();
+        let p = net.add_place("p");
+        net.add_transition([p], "say \"hi\"".to_owned(), [p]).unwrap();
+        net.set_initial(p, 1);
+        let text = write_net("e", &net);
+        let doc = parse(&text).unwrap();
+        let label = doc.nets[0]
+            .1
+            .transitions()
+            .next()
+            .unwrap()
+            .1
+            .label()
+            .clone();
+        assert_eq!(label, "say \"hi\"");
+    }
+
+    #[test]
+    fn paper_protocol_models_roundtrip() {
+        for (name, stg) in [
+            ("sender", cpn_stg::protocol::sender()),
+            ("translator", cpn_stg::protocol::translator()),
+            ("receiver", cpn_stg::protocol::receiver()),
+        ] {
+            let text = write_stg(name, &stg);
+            let doc = parse(&text).unwrap_or_else(|e| panic!("{name}: {e}\n{text}"));
+            let (_, parsed) = &doc.stgs[0];
+            assert_eq!(
+                parsed.net().transition_count(),
+                stg.net().transition_count(),
+                "{name} transitions survive"
+            );
+            assert_eq!(
+                parsed.net().place_count(),
+                stg.net().place_count(),
+                "{name} places survive"
+            );
+            assert_eq!(parsed.signals(), stg.signals(), "{name} signals survive");
+        }
+    }
+
+    #[test]
+    fn document_roundtrip() {
+        let mut net: PetriNet<String> = PetriNet::new();
+        let p = net.add_place("p");
+        net.add_transition([p], "t".to_owned(), [p]).unwrap();
+        net.set_initial(p, 1);
+        let doc = crate::parser::Document {
+            nets: vec![("a".into(), net)],
+            stgs: vec![("b".into(), cpn_stg::protocol::receiver())],
+        };
+        let text = write_document(&doc);
+        let parsed = parse(&text).unwrap();
+        assert_eq!(parsed.nets.len(), 1);
+        assert_eq!(parsed.stgs.len(), 1);
+    }
+}

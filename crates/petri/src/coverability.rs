@@ -1,0 +1,299 @@
+//! Coverability analysis (Karp–Miller) for boundedness detection.
+//!
+//! The paper restricts itself to finite and bounded nets (Section 2.1).
+//! Rather than assuming boundedness, the kernel *decides* it: the
+//! Karp–Miller construction accelerates strictly-growing markings to ω and
+//! terminates on every net, reporting either a finite token bound or an
+//! unboundedness witness.
+
+use crate::error::PetriError;
+use crate::label::Label;
+use crate::net::{PetriNet, PlaceId, TransitionId};
+use std::collections::HashMap;
+
+/// Token count in an ω-marking: a finite count or ω (arbitrarily many).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Tokens {
+    /// A concrete token count.
+    Finite(u32),
+    /// The ω symbol: this place can hold arbitrarily many tokens.
+    Omega,
+}
+
+impl Tokens {
+    fn is_positive(self) -> bool {
+        match self {
+            Tokens::Finite(n) => n > 0,
+            Tokens::Omega => true,
+        }
+    }
+
+    fn saturating_add(self, d: i64) -> Tokens {
+        match self {
+            Tokens::Omega => Tokens::Omega,
+            Tokens::Finite(n) => {
+                let v = i64::from(n) + d;
+                debug_assert!(v >= 0, "firing made a count negative");
+                Tokens::Finite(u32::try_from(v.max(0)).unwrap_or(u32::MAX))
+            }
+        }
+    }
+
+    fn covers(self, other: Tokens) -> bool {
+        match (self, other) {
+            (Tokens::Omega, _) => true,
+            (Tokens::Finite(_), Tokens::Omega) => false,
+            (Tokens::Finite(a), Tokens::Finite(b)) => a >= b,
+        }
+    }
+}
+
+/// An ω-marking: a marking extended with ω components.
+pub type OmegaMarking = Vec<Tokens>;
+
+/// Result of the coverability construction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CoverabilityOutcome {
+    /// The net is bounded; `bound` is the largest finite token count seen
+    /// on any place in any coverable marking.
+    Bounded {
+        /// Maximum per-place token count over the coverability set.
+        bound: u32,
+    },
+    /// The net is unbounded; `witnesses` are places that acquired ω.
+    Unbounded {
+        /// Places that can hold arbitrarily many tokens.
+        witnesses: Vec<PlaceId>,
+    },
+}
+
+/// The Karp–Miller coverability tree (stored as the set of maximal
+/// ω-markings plus the verdict).
+///
+/// # Example
+///
+/// ```
+/// use cpn_petri::{CoverabilityOutcome, CoverabilityTree, PetriNet};
+///
+/// # fn main() -> Result<(), cpn_petri::PetriError> {
+/// let mut net: PetriNet<&str> = PetriNet::new();
+/// let p = net.add_place("p");
+/// let out = net.add_place("out");
+/// net.add_transition([p], "pump", [p, out])?; // p keeps its token, out grows
+/// net.set_initial(p, 1);
+/// let tree = CoverabilityTree::build(&net, 10_000)?;
+/// assert!(matches!(tree.outcome(), CoverabilityOutcome::Unbounded { .. }));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct CoverabilityTree {
+    markings: Vec<OmegaMarking>,
+    outcome: CoverabilityOutcome,
+}
+
+impl CoverabilityTree {
+    /// Runs the Karp–Miller construction on `net`.
+    ///
+    /// `node_budget` bounds the number of tree nodes explored; the
+    /// construction always terminates in theory, but the budget guards
+    /// against pathological blowup in practice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PetriError::StateBudgetExceeded`] if the budget is hit.
+    pub fn build<L: Label>(
+        net: &PetriNet<L>,
+        node_budget: usize,
+    ) -> Result<CoverabilityTree, PetriError> {
+        let m0: OmegaMarking = net
+            .initial_marking()
+            .as_slice()
+            .iter()
+            .map(|&n| Tokens::Finite(n))
+            .collect();
+
+        // Tree nodes carry a parent pointer for the acceleration check.
+        struct Node {
+            marking: OmegaMarking,
+            parent: Option<usize>,
+        }
+        let mut nodes: Vec<Node> = vec![Node { marking: m0.clone(), parent: None }];
+        let mut seen: HashMap<OmegaMarking, usize> = HashMap::new();
+        seen.insert(m0, 0);
+
+        let mut work = vec![0usize];
+        while let Some(cur) = work.pop() {
+            let marking = nodes[cur].marking.clone();
+            for t in net.transition_ids() {
+                let Some(mut next) = fire_omega(net, &marking, t) else {
+                    continue;
+                };
+                // Acceleration: if next strictly covers an ancestor, set
+                // the strictly-larger components to ω.
+                let mut anc = Some(cur);
+                while let Some(i) = anc {
+                    let a = &nodes[i].marking;
+                    if covers_all(&next, a) && next != *a {
+                        for (slot, old) in next.iter_mut().zip(a.iter()) {
+                            if !old.covers(*slot) {
+                                // strictly larger here
+                                *slot = Tokens::Omega;
+                            }
+                        }
+                    }
+                    anc = nodes[i].parent;
+                }
+                if seen.contains_key(&next) {
+                    continue;
+                }
+                if nodes.len() >= node_budget {
+                    return Err(PetriError::StateBudgetExceeded { budget: node_budget });
+                }
+                let id = nodes.len();
+                seen.insert(next.clone(), id);
+                nodes.push(Node { marking: next, parent: Some(cur) });
+                work.push(id);
+            }
+        }
+
+        let markings: Vec<OmegaMarking> = nodes.into_iter().map(|n| n.marking).collect();
+        let mut witnesses: Vec<PlaceId> = Vec::new();
+        for p in net.place_ids() {
+            if markings.iter().any(|m| m[p.index()] == Tokens::Omega) {
+                witnesses.push(p);
+            }
+        }
+        let outcome = if witnesses.is_empty() {
+            let bound = markings
+                .iter()
+                .flat_map(|m| m.iter())
+                .filter_map(|t| match t {
+                    Tokens::Finite(n) => Some(*n),
+                    Tokens::Omega => None,
+                })
+                .max()
+                .unwrap_or(0);
+            CoverabilityOutcome::Bounded { bound }
+        } else {
+            CoverabilityOutcome::Unbounded { witnesses }
+        };
+        Ok(CoverabilityTree { markings, outcome })
+    }
+
+    /// The verdict: bounded with a bound, or unbounded with witnesses.
+    pub fn outcome(&self) -> &CoverabilityOutcome {
+        &self.outcome
+    }
+
+    /// Whether the net was proven bounded.
+    pub fn is_bounded(&self) -> bool {
+        matches!(self.outcome, CoverabilityOutcome::Bounded { .. })
+    }
+
+    /// The ω-markings discovered (the coverability set representation).
+    pub fn markings(&self) -> &[OmegaMarking] {
+        &self.markings
+    }
+}
+
+fn covers_all(a: &OmegaMarking, b: &OmegaMarking) -> bool {
+    a.iter().zip(b.iter()).all(|(x, y)| x.covers(*y))
+}
+
+fn fire_omega<L: Label>(
+    net: &PetriNet<L>,
+    m: &OmegaMarking,
+    t: TransitionId,
+) -> Option<OmegaMarking> {
+    let tr = net.transition(t);
+    if !tr.preset().iter().all(|p| m[p.index()].is_positive()) {
+        return None;
+    }
+    let mut next = m.clone();
+    for p in tr.preset() {
+        if !tr.postset().contains(p) {
+            next[p.index()] = next[p.index()].saturating_add(-1);
+        }
+    }
+    for q in tr.postset() {
+        if !tr.preset().contains(q) {
+            next[q.index()] = next[q.index()].saturating_add(1);
+        }
+    }
+    Some(next)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_cycle_reports_bound() {
+        let mut net: PetriNet<&str> = PetriNet::new();
+        let p = net.add_place("p");
+        let q = net.add_place("q");
+        net.add_transition([p], "a", [q]).unwrap();
+        net.add_transition([q], "b", [p]).unwrap();
+        net.set_initial(p, 2);
+        let tree = CoverabilityTree::build(&net, 10_000).unwrap();
+        assert_eq!(tree.outcome(), &CoverabilityOutcome::Bounded { bound: 2 });
+        assert!(tree.is_bounded());
+    }
+
+    #[test]
+    fn pump_is_unbounded_with_witness() {
+        let mut net: PetriNet<&str> = PetriNet::new();
+        let p = net.add_place("p");
+        let out = net.add_place("out");
+        net.add_transition([p], "pump", [p, out]).unwrap();
+        net.set_initial(p, 1);
+        let tree = CoverabilityTree::build(&net, 10_000).unwrap();
+        match tree.outcome() {
+            CoverabilityOutcome::Unbounded { witnesses } => {
+                assert_eq!(witnesses, &vec![out]);
+            }
+            other => panic!("expected unbounded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn producer_consumer_unbounded_buffer() {
+        // Producer cycle fills a buffer place; consumer cycle drains it.
+        let mut net: PetriNet<&str> = PetriNet::new();
+        let pp = net.add_place("prod");
+        let buf = net.add_place("buf");
+        let cc = net.add_place("cons");
+        net.add_transition([pp], "produce", [pp, buf]).unwrap();
+        net.add_transition([cc, buf], "consume", [cc]).unwrap();
+        net.set_initial(pp, 1);
+        net.set_initial(cc, 1);
+        let tree = CoverabilityTree::build(&net, 10_000).unwrap();
+        assert!(!tree.is_bounded());
+    }
+
+    #[test]
+    fn safe_net_bound_is_one() {
+        let mut net: PetriNet<&str> = PetriNet::new();
+        let p = net.add_place("p");
+        let q = net.add_place("q");
+        net.add_transition([p], "a", [q]).unwrap();
+        net.set_initial(p, 1);
+        let tree = CoverabilityTree::build(&net, 100).unwrap();
+        assert_eq!(tree.outcome(), &CoverabilityOutcome::Bounded { bound: 1 });
+    }
+
+    #[test]
+    fn budget_respected() {
+        // An unbounded net with a tiny budget still terminates via error
+        // or via acceleration; budget 1 forces the error path quickly for
+        // nets that need >1 node.
+        let mut net: PetriNet<&str> = PetriNet::new();
+        let p = net.add_place("p");
+        let q = net.add_place("q");
+        net.add_transition([p], "a", [q]).unwrap();
+        net.set_initial(p, 1);
+        let err = CoverabilityTree::build(&net, 1).unwrap_err();
+        assert_eq!(err, PetriError::StateBudgetExceeded { budget: 1 });
+    }
+}

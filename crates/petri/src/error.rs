@@ -1,0 +1,89 @@
+//! Error types for the Petri net kernel.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by net construction and analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PetriError {
+    /// A place id referenced a place that does not exist in the net.
+    UnknownPlace(u32),
+    /// A transition id referenced a transition that does not exist.
+    UnknownTransition(u32),
+    /// A transition was declared with an empty preset *and* empty postset.
+    DegenerateTransition,
+    /// State-space exploration exceeded the configured state budget.
+    StateBudgetExceeded {
+        /// The budget that was exceeded.
+        budget: usize,
+    },
+    /// The net was found (or proven) unbounded during exploration.
+    Unbounded {
+        /// A place witnessing the unboundedness, if identified.
+        witness: Option<u32>,
+    },
+    /// An operation requiring a safe initial marking was applied to a net
+    /// whose initial marking puts more than one token in some place.
+    UnsafeInitialMarking(u32),
+    /// An operation requiring a marked graph was applied to a net that is
+    /// not a marked graph.
+    NotMarkedGraph,
+    /// Hiding was requested for a transition with a self-loop
+    /// (`preset ∩ postset ≠ ∅`), which would create a divergence
+    /// (Section 4.4 of the paper).
+    HideSelfLoop(u32),
+    /// Two nets passed to a binary operator violated a precondition
+    /// (described by the message).
+    Precondition(String),
+}
+
+impl fmt::Display for PetriError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PetriError::UnknownPlace(id) => write!(f, "unknown place id {id}"),
+            PetriError::UnknownTransition(id) => write!(f, "unknown transition id {id}"),
+            PetriError::DegenerateTransition => {
+                write!(f, "transition has empty preset and postset")
+            }
+            PetriError::StateBudgetExceeded { budget } => {
+                write!(f, "state budget of {budget} states exceeded")
+            }
+            PetriError::Unbounded { witness: Some(p) } => {
+                write!(f, "net is unbounded (witness place {p})")
+            }
+            PetriError::Unbounded { witness: None } => write!(f, "net is unbounded"),
+            PetriError::UnsafeInitialMarking(p) => {
+                write!(f, "initial marking is not safe at place {p}")
+            }
+            PetriError::NotMarkedGraph => write!(f, "net is not a marked graph"),
+            PetriError::HideSelfLoop(t) => {
+                write!(f, "cannot hide transition {t}: it has a self-loop (divergence)")
+            }
+            PetriError::Precondition(msg) => write!(f, "precondition violated: {msg}"),
+        }
+    }
+}
+
+impl Error for PetriError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = PetriError::UnknownPlace(3);
+        assert_eq!(e.to_string(), "unknown place id 3");
+        let e = PetriError::Unbounded { witness: Some(1) };
+        assert!(e.to_string().contains("witness place 1"));
+        let e = PetriError::StateBudgetExceeded { budget: 10 };
+        assert!(e.to_string().contains("10"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PetriError>();
+    }
+}

@@ -1,0 +1,398 @@
+//! A small directed-graph toolkit shared by the net analyses.
+//!
+//! The kernel deliberately implements its own graph algorithms instead of
+//! pulling in a graph crate: the structures involved (reachability graphs,
+//! place/transition bipartite graphs, constraint graphs) are arena-indexed
+//! and the algorithms — Tarjan's strongly-connected components and
+//! Bellman–Ford over difference constraints — are part of the reproduced
+//! substrate (they realize, e.g., the polynomial receptiveness check of
+//! Theorem 5.7).
+
+/// A directed graph over nodes `0..n` with adjacency lists.
+///
+/// # Example
+///
+/// ```
+/// use cpn_petri::graph::DiGraph;
+///
+/// let mut g = DiGraph::new(3);
+/// g.add_edge(0, 1);
+/// g.add_edge(1, 0);
+/// g.add_edge(1, 2);
+/// let sccs = g.tarjan_scc();
+/// assert_eq!(sccs.len(), 2); // {0,1} and {2}
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct DiGraph {
+    adj: Vec<Vec<usize>>,
+}
+
+impl DiGraph {
+    /// Creates a graph with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        DiGraph { adj: vec![Vec::new(); n] }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Adds the edge `from → to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, from: usize, to: usize) {
+        assert!(from < self.adj.len() && to < self.adj.len(), "node out of range");
+        self.adj[from].push(to);
+    }
+
+    /// The successors of a node.
+    pub fn successors(&self, node: usize) -> &[usize] {
+        &self.adj[node]
+    }
+
+    /// The reverse graph (all edges flipped).
+    pub fn reversed(&self) -> DiGraph {
+        let mut rev = DiGraph::new(self.node_count());
+        for (u, outs) in self.adj.iter().enumerate() {
+            for &v in outs {
+                rev.add_edge(v, u);
+            }
+        }
+        rev
+    }
+
+    /// Nodes reachable from `start` (including `start`), as a boolean mask.
+    pub fn reachable_from(&self, start: usize) -> Vec<bool> {
+        let mut seen = vec![false; self.node_count()];
+        if start >= self.node_count() {
+            return seen;
+        }
+        let mut stack = vec![start];
+        seen[start] = true;
+        while let Some(u) = stack.pop() {
+            for &v in &self.adj[u] {
+                if !seen[v] {
+                    seen[v] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Strongly-connected components in reverse topological order
+    /// (components with no outgoing edges to other components come first),
+    /// computed with Tarjan's algorithm (iterative, no recursion).
+    pub fn tarjan_scc(&self) -> Vec<Vec<usize>> {
+        let n = self.node_count();
+        let mut index = vec![usize::MAX; n];
+        let mut low = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut next_index = 0usize;
+        let mut components: Vec<Vec<usize>> = Vec::new();
+
+        // Explicit DFS state: (node, next child position).
+        let mut call: Vec<(usize, usize)> = Vec::new();
+        for root in 0..n {
+            if index[root] != usize::MAX {
+                continue;
+            }
+            call.push((root, 0));
+            while let Some(&mut (u, ref mut ci)) = call.last_mut() {
+                if *ci == 0 {
+                    index[u] = next_index;
+                    low[u] = next_index;
+                    next_index += 1;
+                    stack.push(u);
+                    on_stack[u] = true;
+                }
+                if *ci < self.adj[u].len() {
+                    let v = self.adj[u][*ci];
+                    *ci += 1;
+                    if index[v] == usize::MAX {
+                        call.push((v, 0));
+                    } else if on_stack[v] {
+                        low[u] = low[u].min(index[v]);
+                    }
+                } else {
+                    call.pop();
+                    if let Some(&(parent, _)) = call.last() {
+                        low[parent] = low[parent].min(low[u]);
+                    }
+                    if low[u] == index[u] {
+                        let mut comp = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("tarjan stack invariant");
+                            on_stack[w] = false;
+                            comp.push(w);
+                            if w == u {
+                                break;
+                            }
+                        }
+                        components.push(comp);
+                    }
+                }
+            }
+        }
+        components
+    }
+
+    /// Indices (into the `tarjan_scc` result) of the *terminal* components:
+    /// those with no edge leaving the component.
+    pub fn terminal_sccs(&self, sccs: &[Vec<usize>]) -> Vec<usize> {
+        let mut comp_of = vec![usize::MAX; self.node_count()];
+        for (ci, comp) in sccs.iter().enumerate() {
+            for &u in comp {
+                comp_of[u] = ci;
+            }
+        }
+        let mut terminal = vec![true; sccs.len()];
+        for (u, outs) in self.adj.iter().enumerate() {
+            for &v in outs {
+                if comp_of[u] != comp_of[v] {
+                    terminal[comp_of[u]] = false;
+                }
+            }
+        }
+        terminal
+            .iter()
+            .enumerate()
+            .filter(|(_, &t)| t)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Whether the whole graph is one strongly-connected component.
+    ///
+    /// The empty graph is considered strongly connected; a single node is.
+    pub fn is_strongly_connected(&self) -> bool {
+        self.node_count() <= 1 || self.tarjan_scc().len() == 1
+    }
+
+    /// Whether the graph contains a directed cycle (self-loops count).
+    pub fn has_cycle(&self) -> bool {
+        let sccs = self.tarjan_scc();
+        if sccs.iter().any(|c| c.len() > 1) {
+            return true;
+        }
+        // Single-node components: cycle iff a self-loop exists.
+        self.adj
+            .iter()
+            .enumerate()
+            .any(|(u, outs)| outs.contains(&u))
+    }
+
+    /// Returns the node set of some directed cycle, if one exists.
+    pub fn find_cycle(&self) -> Option<Vec<usize>> {
+        for comp in self.tarjan_scc() {
+            if comp.len() > 1 {
+                return Some(comp);
+            }
+            let u = comp[0];
+            if self.adj[u].contains(&u) {
+                return Some(comp);
+            }
+        }
+        None
+    }
+}
+
+/// A difference constraint `x[a] - x[b] ≤ w`.
+///
+/// Used by the structural receptiveness check (Theorem 5.7): reachable
+/// markings of a live marked graph are exactly the solutions of the state
+/// equation, which reduces to a system of difference constraints over
+/// transition firing counts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DiffConstraint {
+    /// Index of the minuend variable.
+    pub a: usize,
+    /// Index of the subtrahend variable.
+    pub b: usize,
+    /// The upper bound `w`.
+    pub w: i64,
+}
+
+/// Solves a system of difference constraints `x[a] - x[b] ≤ w` over `n`
+/// variables with Bellman–Ford.
+///
+/// Returns a satisfying assignment, or `None` if the system is infeasible
+/// (the constraint graph has a negative cycle). Runs in `O(n · m)`.
+///
+/// # Example
+///
+/// ```
+/// use cpn_petri::graph::{solve_difference_constraints, DiffConstraint};
+///
+/// // x0 - x1 <= 1, x1 - x0 <= -2 is infeasible (sums to -1 < 0 cycle).
+/// let infeasible = [
+///     DiffConstraint { a: 0, b: 1, w: 1 },
+///     DiffConstraint { a: 1, b: 0, w: -2 },
+/// ];
+/// assert!(solve_difference_constraints(2, &infeasible).is_none());
+///
+/// let feasible = [DiffConstraint { a: 0, b: 1, w: -3 }];
+/// let x = solve_difference_constraints(2, &feasible).unwrap();
+/// assert!(x[0] - x[1] <= -3);
+/// ```
+pub fn solve_difference_constraints(
+    n: usize,
+    constraints: &[DiffConstraint],
+) -> Option<Vec<i64>> {
+    // Edge b → a with weight w for each constraint; virtual source n with
+    // zero-weight edges to all nodes.
+    let mut dist = vec![0i64; n];
+    for _ in 0..n {
+        let mut changed = false;
+        for c in constraints {
+            debug_assert!(c.a < n && c.b < n, "constraint variable out of range");
+            let candidate = dist[c.b].saturating_add(c.w);
+            if candidate < dist[c.a] {
+                dist[c.a] = candidate;
+                changed = true;
+            }
+        }
+        if !changed {
+            return Some(dist);
+        }
+    }
+    // One more relaxation round detects a negative cycle.
+    for c in constraints {
+        if dist[c.b].saturating_add(c.w) < dist[c.a] {
+            return None;
+        }
+    }
+    Some(dist)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scc_on_two_cycles() {
+        let mut g = DiGraph::new(5);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        g.add_edge(3, 4);
+        g.add_edge(4, 2);
+        let sccs = g.tarjan_scc();
+        assert_eq!(sccs.len(), 2);
+        let sizes: Vec<usize> = {
+            let mut s: Vec<usize> = sccs.iter().map(|c| c.len()).collect();
+            s.sort_unstable();
+            s
+        };
+        assert_eq!(sizes, vec![2, 3]);
+    }
+
+    #[test]
+    fn terminal_scc_identified() {
+        let mut g = DiGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 1); // {1,2} cycle, terminal
+        // 3 isolated: also terminal
+        let sccs = g.tarjan_scc();
+        let terms = g.terminal_sccs(&sccs);
+        assert_eq!(terms.len(), 2);
+        let mut nodes: Vec<usize> = terms
+            .iter()
+            .flat_map(|&ci| sccs[ci].iter().copied())
+            .collect();
+        nodes.sort_unstable();
+        assert_eq!(nodes, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn strong_connectivity() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        assert!(!g.is_strongly_connected());
+        g.add_edge(2, 0);
+        assert!(g.is_strongly_connected());
+        assert!(DiGraph::new(0).is_strongly_connected());
+        assert!(DiGraph::new(1).is_strongly_connected());
+    }
+
+    #[test]
+    fn cycles_and_self_loops() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        assert!(!g.has_cycle());
+        assert!(g.find_cycle().is_none());
+        g.add_edge(2, 2);
+        assert!(g.has_cycle());
+        assert_eq!(g.find_cycle(), Some(vec![2]));
+    }
+
+    #[test]
+    fn reachability_mask() {
+        let mut g = DiGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        let seen = g.reachable_from(0);
+        assert_eq!(seen, vec![true, true, true, false]);
+    }
+
+    #[test]
+    fn reversed_graph_flips_edges() {
+        let mut g = DiGraph::new(2);
+        g.add_edge(0, 1);
+        let r = g.reversed();
+        assert_eq!(r.successors(1), &[0]);
+        assert!(r.successors(0).is_empty());
+    }
+
+    #[test]
+    fn difference_constraints_feasible_chain() {
+        // x0 <= x1 - 1 <= x2 - 2
+        let cs = [
+            DiffConstraint { a: 0, b: 1, w: -1 },
+            DiffConstraint { a: 1, b: 2, w: -1 },
+        ];
+        let x = solve_difference_constraints(3, &cs).unwrap();
+        assert!(x[0] - x[1] <= -1);
+        assert!(x[1] - x[2] <= -1);
+    }
+
+    #[test]
+    fn difference_constraints_negative_cycle() {
+        let cs = [
+            DiffConstraint { a: 0, b: 1, w: 0 },
+            DiffConstraint { a: 1, b: 2, w: 0 },
+            DiffConstraint { a: 2, b: 0, w: -1 },
+        ];
+        assert!(solve_difference_constraints(3, &cs).is_none());
+    }
+
+    #[test]
+    fn difference_constraints_zero_cycle_is_fine() {
+        let cs = [
+            DiffConstraint { a: 0, b: 1, w: 0 },
+            DiffConstraint { a: 1, b: 0, w: 0 },
+        ];
+        let x = solve_difference_constraints(2, &cs).unwrap();
+        assert_eq!(x[0], x[1]);
+    }
+
+    #[test]
+    fn big_scc_does_not_overflow_stack() {
+        // A long path a→b→…→z→a as one large SCC; recursion-free Tarjan
+        // must handle it.
+        let n = 200_000;
+        let mut g = DiGraph::new(n);
+        for i in 0..n {
+            g.add_edge(i, (i + 1) % n);
+        }
+        assert!(g.is_strongly_connected());
+    }
+}

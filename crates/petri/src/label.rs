@@ -1,0 +1,29 @@
+//! The [`Label`] trait abstracting transition action labels.
+//!
+//! The paper's algebra (Section 4) is defined for arbitrary action labels:
+//! plain names in the examples, structured signal transitions (`s+`, `s-`)
+//! at the STG level, and channel events (`c!`, `c?`) at the CIP level.
+//! Everything the kernel and the algebra need from a label is captured
+//! here, and the trait is blanket-implemented so downstream crates define
+//! plain data types and get algebra support for free.
+
+use std::fmt::{Debug, Display};
+use std::hash::Hash;
+
+/// An action label on a Petri net transition.
+///
+/// Blanket-implemented for every type that is cloneable, totally ordered,
+/// hashable and printable — i.e. any reasonable plain-data label type.
+///
+/// # Example
+///
+/// ```
+/// use cpn_petri::Label;
+///
+/// fn takes_label<L: Label>(l: &L) -> String { l.to_string() }
+/// assert_eq!(takes_label(&"a"), "a");
+/// assert_eq!(takes_label(&42u32), "42");
+/// ```
+pub trait Label: Clone + Eq + Ord + Hash + Debug + Display {}
+
+impl<T: Clone + Eq + Ord + Hash + Debug + Display> Label for T {}

@@ -1,0 +1,240 @@
+//! Multiset markings and the firing rule.
+//!
+//! A *marking* (or *state*) maps every place to a number of tokens
+//! (Definition 2.1 of the paper). The kernel works with **general** nets:
+//! places may hold any number of tokens, so a marking is a dense vector of
+//! token counts indexed by [`PlaceId`].
+
+use crate::net::PlaceId;
+use std::fmt;
+
+/// A marking `M : P → ℕ` of a net with a fixed number of places.
+///
+/// Markings are plain data: two markings compare equal iff they assign the
+/// same token count to every place. The firing rule itself lives on
+/// [`PetriNet`](crate::net::PetriNet), which knows the transition relation.
+///
+/// # Example
+///
+/// ```
+/// use cpn_petri::{Marking, PetriNet};
+///
+/// let mut net: PetriNet<&str> = PetriNet::new();
+/// let p = net.add_place("p");
+/// net.set_initial(p, 2);
+/// let m = net.initial_marking();
+/// assert_eq!(m.tokens(p), 2);
+/// assert_eq!(m.total(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Marking(Vec<u32>);
+
+impl Marking {
+    /// Creates the empty marking of a net with `places` places.
+    pub fn empty(places: usize) -> Self {
+        Marking(vec![0; places])
+    }
+
+    /// Creates a marking from explicit per-place token counts.
+    pub fn from_counts(counts: Vec<u32>) -> Self {
+        Marking(counts)
+    }
+
+    /// Number of places this marking is defined over.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the marking covers zero places (degenerate net).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Tokens in place `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range for this marking.
+    pub fn tokens(&self, p: PlaceId) -> u32 {
+        self.0[p.index()]
+    }
+
+    /// Sets the token count of place `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range for this marking.
+    pub fn set(&mut self, p: PlaceId, tokens: u32) {
+        self.0[p.index()] = tokens;
+    }
+
+    /// Adds `delta` tokens to place `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range or the count overflows `u32`.
+    pub fn add(&mut self, p: PlaceId, delta: u32) {
+        let slot = &mut self.0[p.index()];
+        *slot = slot.checked_add(delta).expect("token count overflow");
+    }
+
+    /// Removes `delta` tokens from place `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range or the place holds fewer than `delta`
+    /// tokens.
+    pub fn remove(&mut self, p: PlaceId, delta: u32) {
+        let slot = &mut self.0[p.index()];
+        *slot = slot.checked_sub(delta).expect("token count underflow");
+    }
+
+    /// Total number of tokens in the marking.
+    pub fn total(&self) -> u64 {
+        self.0.iter().map(|&t| u64::from(t)).sum()
+    }
+
+    /// The largest token count of any place (the *bound* witnessed by this
+    /// marking).
+    pub fn max_tokens(&self) -> u32 {
+        self.0.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Whether every place holds at most one token (the marking is *safe*).
+    pub fn is_safe(&self) -> bool {
+        self.0.iter().all(|&t| t <= 1)
+    }
+
+    /// Whether `self` covers `other`: `self(p) ≥ other(p)` for all places.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the markings are defined over different place counts.
+    pub fn covers(&self, other: &Marking) -> bool {
+        assert_eq!(self.len(), other.len(), "markings over different nets");
+        self.0.iter().zip(&other.0).all(|(a, b)| a >= b)
+    }
+
+    /// Whether `self` strictly covers `other` (covers it and is larger in
+    /// at least one place).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the markings are defined over different place counts.
+    pub fn strictly_covers(&self, other: &Marking) -> bool {
+        self.covers(other) && self.0 != other.0
+    }
+
+    /// Iterates over `(place, tokens)` pairs for places with at least one
+    /// token.
+    pub fn marked_places(&self) -> impl Iterator<Item = (PlaceId, u32)> + '_ {
+        self.0
+            .iter()
+            .enumerate()
+            .filter(|(_, &t)| t > 0)
+            .map(|(i, &t)| (PlaceId::from_index(i), t))
+    }
+
+    /// Raw access to the per-place counts.
+    pub fn as_slice(&self) -> &[u32] {
+        &self.0
+    }
+
+    /// Extends the marking with `extra` new empty places (used when a net
+    /// grows during an algebraic construction).
+    pub(crate) fn grow(&mut self, extra: usize) {
+        self.0.extend(std::iter::repeat_n(0, extra));
+    }
+}
+
+impl fmt::Debug for Marking {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Marking{:?}", self.0)
+    }
+}
+
+impl fmt::Display for Marking {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        let mut first = true;
+        for (p, t) in self.marked_places() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            if t == 1 {
+                write!(f, "p{}", p.index())?;
+            } else {
+                write!(f, "p{}×{}", p.index(), t)?;
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(i: usize) -> PlaceId {
+        PlaceId::from_index(i)
+    }
+
+    #[test]
+    fn empty_marking_has_no_tokens() {
+        let m = Marking::empty(4);
+        assert_eq!(m.total(), 0);
+        assert!(m.is_safe());
+        assert_eq!(m.max_tokens(), 0);
+        assert_eq!(m.marked_places().count(), 0);
+    }
+
+    #[test]
+    fn set_add_remove_roundtrip() {
+        let mut m = Marking::empty(3);
+        m.set(pid(1), 2);
+        m.add(pid(1), 3);
+        m.remove(pid(1), 4);
+        assert_eq!(m.tokens(pid(1)), 1);
+        assert_eq!(m.total(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn remove_from_empty_place_panics() {
+        let mut m = Marking::empty(1);
+        m.remove(pid(0), 1);
+    }
+
+    #[test]
+    fn covers_is_pointwise() {
+        let a = Marking::from_counts(vec![2, 1, 0]);
+        let b = Marking::from_counts(vec![1, 1, 0]);
+        assert!(a.covers(&b));
+        assert!(a.strictly_covers(&b));
+        assert!(!b.covers(&a));
+        assert!(a.covers(&a));
+        assert!(!a.strictly_covers(&a));
+    }
+
+    #[test]
+    fn safety_detects_two_tokens() {
+        let m = Marking::from_counts(vec![0, 2]);
+        assert!(!m.is_safe());
+        assert_eq!(m.max_tokens(), 2);
+    }
+
+    #[test]
+    fn display_lists_marked_places() {
+        let m = Marking::from_counts(vec![1, 0, 3]);
+        assert_eq!(m.to_string(), "[p0, p2×3]");
+        assert_eq!(Marking::empty(2).to_string(), "[]");
+    }
+
+    #[test]
+    fn marked_places_skips_empty() {
+        let m = Marking::from_counts(vec![0, 5, 0, 1]);
+        let v: Vec<_> = m.marked_places().collect();
+        assert_eq!(v, vec![(pid(1), 5), (pid(3), 1)]);
+    }
+}

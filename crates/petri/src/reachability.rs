@@ -1,0 +1,316 @@
+//! Explicit reachability graphs.
+//!
+//! The reachability graph `RG(N)` (Section 2.1 of the paper) is the
+//! transitive closure of the next-state relation: nodes are reachable
+//! markings, edges are labeled by the transition fired. The kernel builds
+//! it breadth-first under a configurable state budget so that analyses
+//! never silently diverge on unbounded nets.
+
+use crate::error::PetriError;
+use crate::graph::DiGraph;
+use crate::label::Label;
+use crate::marking::Marking;
+use crate::net::{PetriNet, TransitionId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a state (reachable marking) in a [`ReachabilityGraph`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StateId(u32);
+
+impl StateId {
+    /// The arena index of this state.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `StateId` from an arena index.
+    pub fn from_index(i: usize) -> Self {
+        StateId(u32::try_from(i).expect("state index overflow"))
+    }
+}
+
+impl fmt::Debug for StateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+impl fmt::Display for StateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Options controlling reachability exploration.
+#[derive(Clone, Debug)]
+pub struct ReachabilityOptions {
+    /// Maximum number of distinct states to discover before giving up with
+    /// [`PetriError::StateBudgetExceeded`]. Defaults to `1_000_000`.
+    pub max_states: usize,
+}
+
+impl Default for ReachabilityOptions {
+    fn default() -> Self {
+        ReachabilityOptions { max_states: 1_000_000 }
+    }
+}
+
+impl ReachabilityOptions {
+    /// Options with an explicit state budget.
+    pub fn with_max_states(max_states: usize) -> Self {
+        ReachabilityOptions { max_states }
+    }
+}
+
+/// The reachability graph of a net: every reachable marking plus the
+/// labeled next-state edges between them.
+///
+/// # Example
+///
+/// ```
+/// use cpn_petri::{PetriNet, ReachabilityOptions};
+///
+/// # fn main() -> Result<(), cpn_petri::PetriError> {
+/// let mut net: PetriNet<&str> = PetriNet::new();
+/// let p = net.add_place("p");
+/// let q = net.add_place("q");
+/// let r = net.add_place("r");
+/// net.add_transition([p], "a", [q])?;
+/// net.add_transition([p], "b", [r])?;
+/// net.set_initial(p, 1);
+/// let rg = net.reachability(&ReachabilityOptions::default())?;
+/// assert_eq!(rg.state_count(), 3);
+/// assert_eq!(rg.edges(rg.initial_state()).len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct ReachabilityGraph {
+    states: Vec<Marking>,
+    /// Outgoing edges per state: `(transition fired, successor)`.
+    edges: Vec<Vec<(TransitionId, StateId)>>,
+    initial: StateId,
+}
+
+impl ReachabilityGraph {
+    /// Number of reachable states.
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Total number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.iter().map(|e| e.len()).sum()
+    }
+
+    /// The state corresponding to the initial marking.
+    pub fn initial_state(&self) -> StateId {
+        self.initial
+    }
+
+    /// The marking of a state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this graph.
+    pub fn marking(&self, s: StateId) -> &Marking {
+        &self.states[s.index()]
+    }
+
+    /// Outgoing edges of a state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this graph.
+    pub fn edges(&self, s: StateId) -> &[(TransitionId, StateId)] {
+        &self.edges[s.index()]
+    }
+
+    /// Iterates over all state ids.
+    pub fn state_ids(&self) -> impl Iterator<Item = StateId> {
+        (0..self.states.len()).map(StateId::from_index)
+    }
+
+    /// Iterates over all edges as `(source, transition, target)`.
+    pub fn all_edges(&self) -> impl Iterator<Item = (StateId, TransitionId, StateId)> + '_ {
+        self.edges.iter().enumerate().flat_map(|(i, outs)| {
+            outs.iter()
+                .map(move |&(t, to)| (StateId::from_index(i), t, to))
+        })
+    }
+
+    /// Looks up the state with the given marking.
+    pub fn find_state(&self, m: &Marking) -> Option<StateId> {
+        // The graph is immutable after construction; a linear scan keeps
+        // the struct lean. Analyses needing many lookups build their own
+        // index from `state_ids`.
+        self.states
+            .iter()
+            .position(|s| s == m)
+            .map(StateId::from_index)
+    }
+
+    /// The underlying directed graph over state indices (labels dropped).
+    pub fn as_digraph(&self) -> DiGraph {
+        let mut g = DiGraph::new(self.state_count());
+        for (from, _, to) in self.all_edges() {
+            g.add_edge(from.index(), to.index());
+        }
+        g
+    }
+
+    /// States with no outgoing edges (deadlocks).
+    pub fn deadlock_states(&self) -> Vec<StateId> {
+        self.state_ids()
+            .filter(|s| self.edges[s.index()].is_empty())
+            .collect()
+    }
+
+    /// The largest token count any place reaches in any state: the bound
+    /// `k` for which the net is `k`-bounded (given a complete graph).
+    pub fn token_bound(&self) -> u32 {
+        self.states.iter().map(Marking::max_tokens).max().unwrap_or(0)
+    }
+}
+
+impl<L: Label> PetriNet<L> {
+    /// Builds the reachability graph of the net breadth-first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PetriError::StateBudgetExceeded`] when more than
+    /// `options.max_states` distinct markings are discovered — either the
+    /// net is unbounded (use
+    /// [`coverability`](crate::coverability::CoverabilityTree) to decide)
+    /// or the budget is too small for its finite state space.
+    pub fn reachability(
+        &self,
+        options: &ReachabilityOptions,
+    ) -> Result<ReachabilityGraph, PetriError> {
+        let initial = self.initial_marking();
+        let mut states: Vec<Marking> = vec![initial.clone()];
+        let mut index: HashMap<Marking, StateId> = HashMap::new();
+        index.insert(initial, StateId::from_index(0));
+        let mut edges: Vec<Vec<(TransitionId, StateId)>> = vec![Vec::new()];
+
+        let mut frontier = 0usize;
+        while frontier < states.len() {
+            let sid = StateId::from_index(frontier);
+            let marking = states[frontier].clone();
+            for t in self.transition_ids() {
+                if !self.is_enabled(&marking, t) {
+                    continue;
+                }
+                let next = self.fire(&marking, t).expect("enabled transition fires");
+                let target = match index.get(&next) {
+                    Some(&existing) => existing,
+                    None => {
+                        if states.len() >= options.max_states {
+                            return Err(PetriError::StateBudgetExceeded {
+                                budget: options.max_states,
+                            });
+                        }
+                        let new_id = StateId::from_index(states.len());
+                        states.push(next.clone());
+                        edges.push(Vec::new());
+                        index.insert(next, new_id);
+                        new_id
+                    }
+                };
+                edges[sid.index()].push((t, target));
+            }
+            frontier += 1;
+        }
+
+        Ok(ReachabilityGraph {
+            states,
+            edges,
+            initial: StateId::from_index(0),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> PetriNet<&'static str> {
+        // Fork into two concurrent tokens, then join: 4 states.
+        let mut net = PetriNet::new();
+        let p0 = net.add_place("p0");
+        let pa = net.add_place("pa");
+        let pb = net.add_place("pb");
+        let pa2 = net.add_place("pa2");
+        let pb2 = net.add_place("pb2");
+        let end = net.add_place("end");
+        net.add_transition([p0], "fork", [pa, pb]).unwrap();
+        net.add_transition([pa], "a", [pa2]).unwrap();
+        net.add_transition([pb], "b", [pb2]).unwrap();
+        net.add_transition([pa2, pb2], "join", [end]).unwrap();
+        net.set_initial(p0, 1);
+        net
+    }
+
+    #[test]
+    fn diamond_has_interleaved_states() {
+        let rg = diamond().reachability(&ReachabilityOptions::default()).unwrap();
+        // p0; {pa,pb}; {pa2,pb}; {pa,pb2}; {pa2,pb2}; end
+        assert_eq!(rg.state_count(), 6);
+        assert_eq!(rg.edge_count(), 6);
+        assert_eq!(rg.deadlock_states().len(), 1);
+        assert_eq!(rg.token_bound(), 1);
+    }
+
+    #[test]
+    fn initial_state_has_initial_marking() {
+        let net = diamond();
+        let rg = net.reachability(&ReachabilityOptions::default()).unwrap();
+        assert_eq!(rg.marking(rg.initial_state()), &net.initial_marking());
+        assert_eq!(rg.find_state(&net.initial_marking()), Some(rg.initial_state()));
+    }
+
+    #[test]
+    fn budget_exceeded_on_unbounded_net() {
+        // t: {} is not allowed, so use a producer cycle that pumps tokens.
+        let mut net: PetriNet<&str> = PetriNet::new();
+        let p = net.add_place("p");
+        let sink = net.add_place("sink");
+        net.add_transition([p], "pump", [p, sink]).unwrap();
+        net.set_initial(p, 1);
+        let err = net
+            .reachability(&ReachabilityOptions::with_max_states(100))
+            .unwrap_err();
+        assert_eq!(err, PetriError::StateBudgetExceeded { budget: 100 });
+    }
+
+    #[test]
+    fn multiset_markings_explored() {
+        // Two tokens circulate through one place: states distinguish counts.
+        let mut net: PetriNet<&str> = PetriNet::new();
+        let p = net.add_place("p");
+        let q = net.add_place("q");
+        net.add_transition([p], "a", [q]).unwrap();
+        net.add_transition([q], "b", [p]).unwrap();
+        net.set_initial(p, 2);
+        let rg = net.reachability(&ReachabilityOptions::default()).unwrap();
+        // (2,0), (1,1), (0,2)
+        assert_eq!(rg.state_count(), 3);
+        assert_eq!(rg.token_bound(), 2);
+    }
+
+    #[test]
+    fn all_edges_enumerates_everything() {
+        let rg = diamond().reachability(&ReachabilityOptions::default()).unwrap();
+        assert_eq!(rg.all_edges().count(), rg.edge_count());
+    }
+
+    #[test]
+    fn as_digraph_mirrors_edges() {
+        let rg = diamond().reachability(&ReachabilityOptions::default()).unwrap();
+        let g = rg.as_digraph();
+        assert_eq!(g.node_count(), rg.state_count());
+        let seen = g.reachable_from(rg.initial_state().index());
+        assert!(seen.iter().all(|&b| b), "every state reachable from init");
+    }
+}

@@ -1,0 +1,362 @@
+//! Siphons, traps and Commoner's liveness condition.
+//!
+//! Section 5.1 of the paper: "many properties can be checked
+//! structurally for marked graphs and free-choice nets in polynomial
+//! time, but which require exponential time for general Petri nets."
+//! Siphon/trap analysis is the classical machinery behind those checks:
+//!
+//! * a **siphon** is a place set that, once empty, stays empty
+//!   (`•S ⊆ S•`); at a deadlocked marking the unmarked places form one;
+//! * a **trap** is a place set that, once marked, stays marked
+//!   (`S• ⊆ •S`);
+//! * **Commoner's condition**: a free-choice net is live iff every
+//!   (minimal) siphon contains an initially marked trap.
+//!
+//! Maximal-siphon/trap extraction is polynomial (fixpoint deletion);
+//! minimal-siphon enumeration is exponential in the worst case and runs
+//! under an explicit budget.
+
+use crate::error::PetriError;
+use crate::label::Label;
+use crate::net::{PetriNet, PlaceId};
+use std::collections::BTreeSet;
+
+/// Whether `set` is a siphon: every transition with an output place in
+/// the set also has an input place in the set.
+pub fn is_siphon<L: Label>(net: &PetriNet<L>, set: &BTreeSet<PlaceId>) -> bool {
+    net.transitions().all(|(_, t)| {
+        t.postset().iter().all(|p| !set.contains(p))
+            || t.preset().iter().any(|p| set.contains(p))
+    })
+}
+
+/// Whether `set` is a trap: every transition with an input place in the
+/// set also has an output place in the set.
+pub fn is_trap<L: Label>(net: &PetriNet<L>, set: &BTreeSet<PlaceId>) -> bool {
+    net.transitions().all(|(_, t)| {
+        t.preset().iter().all(|p| !set.contains(p))
+            || t.postset().iter().any(|p| set.contains(p))
+    })
+}
+
+/// The maximal siphon contained in `subset` (possibly empty), computed
+/// by fixpoint deletion in polynomial time.
+pub fn max_siphon_in<L: Label>(
+    net: &PetriNet<L>,
+    subset: &BTreeSet<PlaceId>,
+) -> BTreeSet<PlaceId> {
+    let mut s = subset.clone();
+    loop {
+        let mut removed = false;
+        for (_, t) in net.transitions() {
+            if t.preset().iter().all(|p| !s.contains(p)) {
+                for p in t.postset() {
+                    if s.remove(p) {
+                        removed = true;
+                    }
+                }
+            }
+        }
+        if !removed {
+            return s;
+        }
+    }
+}
+
+/// The maximal trap contained in `subset` (possibly empty).
+pub fn max_trap_in<L: Label>(
+    net: &PetriNet<L>,
+    subset: &BTreeSet<PlaceId>,
+) -> BTreeSet<PlaceId> {
+    let mut s = subset.clone();
+    loop {
+        let mut removed = false;
+        for (_, t) in net.transitions() {
+            if t.postset().iter().all(|p| !s.contains(p)) {
+                for p in t.preset() {
+                    if s.remove(p) {
+                        removed = true;
+                    }
+                }
+            }
+        }
+        if !removed {
+            return s;
+        }
+    }
+}
+
+/// At a dead marking, the unmarked places form a siphon (the classical
+/// deadlock witness). Returns it, or `None` if the marking enables some
+/// transition (i.e. is not dead).
+pub fn deadlock_siphon<L: Label>(
+    net: &PetriNet<L>,
+    marking: &crate::Marking,
+) -> Option<BTreeSet<PlaceId>> {
+    if !net.enabled_transitions(marking).is_empty() {
+        return None;
+    }
+    let unmarked: BTreeSet<PlaceId> = net
+        .place_ids()
+        .filter(|&p| marking.tokens(p) == 0)
+        .collect();
+    debug_assert!(is_siphon(net, &unmarked), "deadlock theorem");
+    Some(unmarked)
+}
+
+/// Enumerates the minimal siphons of the net (by support inclusion),
+/// depth-first with an explicit budget on search nodes.
+///
+/// # Errors
+///
+/// Returns [`PetriError::StateBudgetExceeded`] when the search exceeds
+/// `budget` nodes.
+pub fn minimal_siphons<L: Label>(
+    net: &PetriNet<L>,
+    budget: usize,
+) -> Result<Vec<BTreeSet<PlaceId>>, PetriError> {
+    // DFS over partial sets: a siphon must, for every place p it
+    // contains and every producer t of p, contain some place of •t.
+    // Branch on the unsatisfied (place, producer) obligations.
+    let mut found: Vec<BTreeSet<PlaceId>> = Vec::new();
+    let mut nodes = 0usize;
+
+    fn violation<L: Label>(
+        net: &PetriNet<L>,
+        s: &BTreeSet<PlaceId>,
+    ) -> Option<Vec<PlaceId>> {
+        for (_, t) in net.transitions() {
+            if t.postset().iter().any(|p| s.contains(p))
+                && !t.preset().iter().any(|p| s.contains(p))
+            {
+                return Some(t.preset().iter().copied().collect());
+            }
+        }
+        None
+    }
+
+    fn dfs<L: Label>(
+        net: &PetriNet<L>,
+        s: BTreeSet<PlaceId>,
+        found: &mut Vec<BTreeSet<PlaceId>>,
+        nodes: &mut usize,
+        budget: usize,
+    ) -> Result<(), PetriError> {
+        *nodes += 1;
+        if *nodes > budget {
+            return Err(PetriError::StateBudgetExceeded { budget });
+        }
+        // Prune: a superset of an already-found siphon is never minimal.
+        if found.iter().any(|f| f.is_subset(&s)) {
+            return Ok(());
+        }
+        match violation(net, &s) {
+            None => {
+                found.retain(|f| !s.is_subset(f));
+                found.push(s);
+                Ok(())
+            }
+            Some(choices) => {
+                if choices.is_empty() {
+                    // A source transition feeds the set: no siphon here.
+                    return Ok(());
+                }
+                for c in choices {
+                    let mut next = s.clone();
+                    next.insert(c);
+                    dfs(net, next, found, nodes, budget)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    for p in net.place_ids() {
+        dfs(
+            net,
+            BTreeSet::from([p]),
+            &mut found,
+            &mut nodes,
+            budget,
+        )?;
+    }
+    // Deduplicate and keep only minimal supports.
+    found.sort();
+    found.dedup();
+    let snapshot = found.clone();
+    found.retain(|s| !snapshot.iter().any(|o| o != s && o.is_subset(s)));
+    Ok(found)
+}
+
+/// Commoner's condition for free-choice nets: **live iff every minimal
+/// siphon contains an initially marked trap**.
+///
+/// # Errors
+///
+/// * [`PetriError::Precondition`] if the net is not free-choice (the
+///   condition is only exact there).
+/// * [`PetriError::StateBudgetExceeded`] from the siphon enumeration.
+pub fn commoner_live<L: Label>(net: &PetriNet<L>, budget: usize) -> Result<bool, PetriError> {
+    if !net.structural().is_free_choice {
+        return Err(PetriError::Precondition(
+            "commoner's condition is exact for free-choice nets only".to_owned(),
+        ));
+    }
+    let m0 = net.initial_marking();
+    for siphon in minimal_siphons(net, budget)? {
+        // An isolated place is a vacuous siphon (and trap); the theorem
+        // is stated for nets whose places touch some transition, so a
+        // disconnected place must not force a non-live verdict.
+        let isolated = siphon.iter().all(|&p| {
+            net.producers(p).is_empty() && net.consumers(p).is_empty()
+        });
+        if isolated {
+            continue;
+        }
+        let trap = max_trap_in(net, &siphon);
+        let marked = trap.iter().any(|&p| m0.tokens(p) > 0);
+        if !marked {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reachability::ReachabilityOptions;
+
+    fn cycle() -> (PetriNet<&'static str>, PlaceId, PlaceId) {
+        let mut net = PetriNet::new();
+        let p = net.add_place("p");
+        let q = net.add_place("q");
+        net.add_transition([p], "a", [q]).unwrap();
+        net.add_transition([q], "b", [p]).unwrap();
+        net.set_initial(p, 1);
+        (net, p, q)
+    }
+
+    #[test]
+    fn cycle_is_its_own_siphon_and_trap() {
+        let (net, p, q) = cycle();
+        let s = BTreeSet::from([p, q]);
+        assert!(is_siphon(&net, &s));
+        assert!(is_trap(&net, &s));
+        assert!(!is_siphon(&net, &BTreeSet::from([p])));
+    }
+
+    #[test]
+    fn max_siphon_shrinks_to_fixpoint() {
+        // p gets tokens from a source-ish structure: q alone is no
+        // siphon once its producer's preset is outside.
+        let mut net: PetriNet<&str> = PetriNet::new();
+        let p = net.add_place("p");
+        let q = net.add_place("q");
+        let r = net.add_place("r");
+        net.add_transition([p], "a", [q]).unwrap();
+        net.add_transition([q], "b", [r]).unwrap();
+        net.add_transition([r], "c", [p]).unwrap();
+        let all: BTreeSet<PlaceId> = net.place_ids().collect();
+        assert_eq!(max_siphon_in(&net, &all), all);
+        let partial = BTreeSet::from([q, r]);
+        assert!(max_siphon_in(&net, &partial).is_empty());
+    }
+
+    #[test]
+    fn deadlock_yields_unmarked_siphon() {
+        let mut net: PetriNet<&str> = PetriNet::new();
+        let p = net.add_place("p");
+        let q = net.add_place("q");
+        net.add_transition([p], "go", [q]).unwrap();
+        net.add_transition([q, p], "stuck", [p]).unwrap();
+        net.set_initial(p, 1);
+        // After `go`, p is empty and nothing fires.
+        let dead = net.fire(&net.initial_marking(), crate::TransitionId::from_index(0)).unwrap();
+        let siphon = deadlock_siphon(&net, &dead).expect("dead marking");
+        assert!(siphon.contains(&p));
+        assert!(deadlock_siphon(&net, &net.initial_marking()).is_none());
+    }
+
+    #[test]
+    fn minimal_siphons_of_two_cycles() {
+        let mut net: PetriNet<&str> = PetriNet::new();
+        let p = net.add_place("p");
+        let q = net.add_place("q");
+        let r = net.add_place("r");
+        let s = net.add_place("s");
+        net.add_transition([p], "a", [q]).unwrap();
+        net.add_transition([q], "b", [p]).unwrap();
+        net.add_transition([r], "c", [s]).unwrap();
+        net.add_transition([s], "d", [r]).unwrap();
+        let siphons = minimal_siphons(&net, 10_000).unwrap();
+        assert_eq!(siphons.len(), 2);
+        assert!(siphons.contains(&BTreeSet::from([p, q])));
+        assert!(siphons.contains(&BTreeSet::from([r, s])));
+    }
+
+    #[test]
+    fn commoner_agrees_with_reachability_on_free_choice_nets() {
+        // Family: two cycles sharing a free-choice place, with varying
+        // markings — liveness flips with the marking.
+        for mask in 0u32..8 {
+            let mut net: PetriNet<String> = PetriNet::new();
+            let ps: Vec<PlaceId> =
+                (0..3).map(|i| net.add_place(format!("p{i}"))).collect();
+            net.add_transition([ps[0]], "a".to_owned(), [ps[1]]).unwrap();
+            net.add_transition([ps[1]], "b".to_owned(), [ps[2]]).unwrap();
+            net.add_transition([ps[2]], "c".to_owned(), [ps[0]]).unwrap();
+            for (i, &p) in ps.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    net.set_initial(p, 1);
+                }
+            }
+            let structural = commoner_live(&net, 100_000).unwrap();
+            let rg = net.reachability(&ReachabilityOptions::default()).unwrap();
+            let behavioural = net.analysis(&rg).live;
+            assert_eq!(structural, behavioural, "mask {mask}");
+        }
+    }
+
+    #[test]
+    fn commoner_detects_starved_choice() {
+        // Free-choice net where one branch drains a siphon without a
+        // marked trap: p feeds two consumers; x's branch never returns
+        // the token.
+        let mut net: PetriNet<&str> = PetriNet::new();
+        let p = net.add_place("p");
+        let q = net.add_place("q");
+        let sink = net.add_place("sink");
+        net.add_transition([p], "x", [sink]).unwrap();
+        net.add_transition([p], "y", [q]).unwrap();
+        net.add_transition([q], "z", [p]).unwrap();
+        net.add_transition([sink], "w", [sink]).unwrap();
+        net.set_initial(p, 1);
+        assert!(!commoner_live(&net, 100_000).unwrap());
+        let rg = net.reachability(&ReachabilityOptions::default()).unwrap();
+        assert!(!net.analysis(&rg).live);
+    }
+
+    #[test]
+    fn commoner_rejects_non_free_choice() {
+        let mut net: PetriNet<&str> = PetriNet::new();
+        let p = net.add_place("p");
+        let q = net.add_place("q");
+        let r = net.add_place("r");
+        net.add_transition([p], "t1", [r]).unwrap();
+        net.add_transition([p, q], "t2", [r]).unwrap();
+        assert!(matches!(
+            commoner_live(&net, 1000),
+            Err(PetriError::Precondition(_))
+        ));
+    }
+
+    #[test]
+    fn budget_enforced() {
+        let (net, ..) = cycle();
+        assert!(matches!(
+            minimal_siphons(&net, 1),
+            Err(PetriError::StateBudgetExceeded { .. })
+        ));
+    }
+}

@@ -1,0 +1,323 @@
+//! Structural net-class recognition and graph-theoretic properties.
+//!
+//! Section 5.1 of the paper notes that STGs are usually restricted to
+//! marked graphs or free-choice nets, for which many properties are
+//! checkable in polynomial time, while the algebra itself works on general
+//! nets. This module recognizes the classes and provides the structural
+//! facts (strong connectivity, incidence matrix) those checks build on.
+
+use crate::graph::DiGraph;
+use crate::label::Label;
+use crate::net::{PetriNet, PlaceId, TransitionId};
+
+/// The most restrictive classical net class a net belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum NetClass {
+    /// Every transition has exactly one input and one output place.
+    StateMachine,
+    /// Every place has exactly one producer and one consumer.
+    MarkedGraph,
+    /// Shared input places imply singleton presets.
+    FreeChoice,
+    /// Transitions sharing an input place have identical presets.
+    ExtendedFreeChoice,
+    /// None of the above.
+    General,
+}
+
+impl std::fmt::Display for NetClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            NetClass::StateMachine => "state machine",
+            NetClass::MarkedGraph => "marked graph",
+            NetClass::FreeChoice => "free choice",
+            NetClass::ExtendedFreeChoice => "extended free choice",
+            NetClass::General => "general",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Structural facts about a net.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StructuralReport {
+    /// Whether every transition has singleton preset and postset.
+    pub is_state_machine: bool,
+    /// Whether every place has exactly one producer and one consumer.
+    pub is_marked_graph: bool,
+    /// Whether the net is free-choice.
+    pub is_free_choice: bool,
+    /// Whether the net is extended free-choice.
+    pub is_extended_free_choice: bool,
+    /// Whether the place/transition bipartite graph is strongly connected.
+    pub strongly_connected: bool,
+    /// The most restrictive class (state machine ⊂ … ⊂ general).
+    pub class: NetClass,
+}
+
+impl<L: Label> PetriNet<L> {
+    /// Computes the structural report for this net.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use cpn_petri::{NetClass, PetriNet};
+    ///
+    /// # fn main() -> Result<(), cpn_petri::PetriError> {
+    /// let mut net: PetriNet<&str> = PetriNet::new();
+    /// let p = net.add_place("p");
+    /// let q = net.add_place("q");
+    /// net.add_transition([p], "a", [q])?;
+    /// net.add_transition([q], "b", [p])?;
+    /// let rep = net.structural();
+    /// assert!(rep.is_marked_graph && rep.is_state_machine);
+    /// assert!(rep.strongly_connected);
+    /// assert_eq!(rep.class, NetClass::StateMachine);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn structural(&self) -> StructuralReport {
+        let is_state_machine = self
+            .transitions()
+            .all(|(_, t)| t.preset().len() == 1 && t.postset().len() == 1);
+
+        // Marked graph in the T-net sense: at most one producer and one
+        // consumer per place (the common convention that makes the class
+        // closed under action prefix, Prop 5.4 of the paper). Analyses
+        // that need the strict exactly-one reading go through
+        // [`PetriNet::marked_graph_flows`], which checks it separately.
+        let is_marked_graph = self.place_ids().all(|p| {
+            self.producers(p).len() <= 1 && self.consumers(p).len() <= 1
+        });
+
+        // Free choice: for every place p with more than one consumer,
+        // every consumer's preset is exactly {p}.
+        let is_free_choice = self.place_ids().all(|p| {
+            let consumers = self.consumers(p);
+            consumers.len() <= 1
+                || consumers
+                    .iter()
+                    .all(|&t| self.transition(t).preset().len() == 1)
+        });
+
+        // Extended free choice: transitions sharing any input place have
+        // identical presets.
+        let is_extended_free_choice = self.place_ids().all(|p| {
+            let consumers = self.consumers(p);
+            consumers.windows(2).all(|w| {
+                self.transition(w[0]).preset() == self.transition(w[1]).preset()
+            })
+        });
+
+        let strongly_connected = self.bipartite_graph().is_strongly_connected();
+
+        let class = if is_state_machine {
+            NetClass::StateMachine
+        } else if is_marked_graph {
+            NetClass::MarkedGraph
+        } else if is_free_choice {
+            NetClass::FreeChoice
+        } else if is_extended_free_choice {
+            NetClass::ExtendedFreeChoice
+        } else {
+            NetClass::General
+        };
+
+        StructuralReport {
+            is_state_machine,
+            is_marked_graph,
+            is_free_choice,
+            is_extended_free_choice,
+            strongly_connected,
+            class,
+        }
+    }
+
+    /// The bipartite place/transition digraph: nodes `0..P` are places,
+    /// nodes `P..P+T` are transitions; arcs follow presets and postsets.
+    pub fn bipartite_graph(&self) -> DiGraph {
+        let np = self.place_count();
+        let mut g = DiGraph::new(np + self.transition_count());
+        for (tid, t) in self.transitions() {
+            let tnode = np + tid.index();
+            for p in t.preset() {
+                g.add_edge(p.index(), tnode);
+            }
+            for q in t.postset() {
+                g.add_edge(tnode, q.index());
+            }
+        }
+        g
+    }
+
+    /// The incidence matrix `C[p][t] = post(t)(p) − pre(t)(p)` with rows
+    /// indexed by places and columns by transitions. Self-loop arcs cancel
+    /// (as in the firing rule of Definition 2.2).
+    pub fn incidence_matrix(&self) -> Vec<Vec<i64>> {
+        let mut c = vec![vec![0i64; self.transition_count()]; self.place_count()];
+        for (tid, t) in self.transitions() {
+            for p in t.preset() {
+                if !t.postset().contains(p) {
+                    c[p.index()][tid.index()] -= 1;
+                }
+            }
+            for q in t.postset() {
+                if !t.preset().contains(q) {
+                    c[q.index()][tid.index()] += 1;
+                }
+            }
+        }
+        c
+    }
+
+    /// For a marked graph, the unique producer and consumer of each place:
+    /// `flows[p] = (producer, consumer)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::PetriError::NotMarkedGraph`] if some place does not
+    /// have exactly one producer and one consumer.
+    pub fn marked_graph_flows(
+        &self,
+    ) -> Result<Vec<(TransitionId, TransitionId)>, crate::PetriError> {
+        let mut flows = Vec::with_capacity(self.place_count());
+        for p in self.place_ids() {
+            let prod = self.producers(p);
+            let cons = self.consumers(p);
+            if prod.len() != 1 || cons.len() != 1 {
+                return Err(crate::PetriError::NotMarkedGraph);
+            }
+            flows.push((prod[0], cons[0]));
+        }
+        Ok(flows)
+    }
+}
+
+/// Convenience: the place set of a marked-graph cycle given as transition
+/// sequence is rarely needed; what analyses need is the token count of a
+/// set of places under the initial marking.
+pub fn token_count<L: Label>(net: &PetriNet<L>, places: &[PlaceId]) -> u64 {
+    let m0 = net.initial_marking();
+    places.iter().map(|&p| u64::from(m0.tokens(p))).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn marked_graph_with_fork_is_not_state_machine() {
+        let mut net: PetriNet<&str> = PetriNet::new();
+        let p0 = net.add_place("p0");
+        let pa = net.add_place("pa");
+        let pb = net.add_place("pb");
+        net.add_transition([p0], "fork", [pa, pb]).unwrap();
+        net.add_transition([pa, pb], "join", [p0]).unwrap();
+        let rep = net.structural();
+        assert!(rep.is_marked_graph);
+        assert!(!rep.is_state_machine);
+        assert_eq!(rep.class, NetClass::MarkedGraph);
+        assert!(rep.strongly_connected);
+    }
+
+    #[test]
+    fn free_choice_place_with_two_consumers() {
+        let mut net: PetriNet<&str> = PetriNet::new();
+        let p = net.add_place("p");
+        let a = net.add_place("a");
+        let b = net.add_place("b");
+        let c = net.add_place("c");
+        net.add_transition([p], "x", [a, c]).unwrap();
+        net.add_transition([p], "y", [b]).unwrap();
+        net.add_transition([a, c], "ra", [p]).unwrap();
+        net.add_transition([b], "rb", [p]).unwrap();
+        let rep = net.structural();
+        assert!(!rep.is_marked_graph, "p has two consumers");
+        assert!(!rep.is_state_machine, "x forks into two places");
+        assert!(rep.is_free_choice);
+        assert_eq!(rep.class, NetClass::FreeChoice);
+    }
+
+    #[test]
+    fn non_free_choice_confusion() {
+        // p shared by t1 (preset {p}) and t2 (preset {p, q}).
+        let mut net: PetriNet<&str> = PetriNet::new();
+        let p = net.add_place("p");
+        let q = net.add_place("q");
+        let r = net.add_place("r");
+        net.add_transition([p], "t1", [r]).unwrap();
+        net.add_transition([p, q], "t2", [r]).unwrap();
+        let rep = net.structural();
+        assert!(!rep.is_free_choice);
+        assert!(!rep.is_extended_free_choice);
+        assert_eq!(rep.class, NetClass::General);
+    }
+
+    #[test]
+    fn extended_free_choice_equal_presets() {
+        // Two transitions share both input places: EFC but not FC.
+        let mut net: PetriNet<&str> = PetriNet::new();
+        let p = net.add_place("p");
+        let q = net.add_place("q");
+        let r = net.add_place("r");
+        net.add_transition([p, q], "t1", [r]).unwrap();
+        net.add_transition([p, q], "t2", [r]).unwrap();
+        let rep = net.structural();
+        assert!(!rep.is_free_choice);
+        assert!(rep.is_extended_free_choice);
+        assert_eq!(rep.class, NetClass::ExtendedFreeChoice);
+    }
+
+    #[test]
+    fn incidence_matrix_self_loop_cancels() {
+        let mut net: PetriNet<&str> = PetriNet::new();
+        let p = net.add_place("p");
+        let q = net.add_place("q");
+        net.add_transition([p], "a", [p, q]).unwrap();
+        let c = net.incidence_matrix();
+        assert_eq!(c[p.index()][0], 0);
+        assert_eq!(c[q.index()][0], 1);
+    }
+
+    #[test]
+    fn marked_graph_flows_errors_on_choice() {
+        let mut net: PetriNet<&str> = PetriNet::new();
+        let p = net.add_place("p");
+        let q = net.add_place("q");
+        net.add_transition([p], "x", [q]).unwrap();
+        net.add_transition([p], "y", [q]).unwrap();
+        assert!(net.marked_graph_flows().is_err());
+    }
+
+    #[test]
+    fn marked_graph_flows_on_cycle() {
+        let mut net: PetriNet<&str> = PetriNet::new();
+        let p = net.add_place("p");
+        let q = net.add_place("q");
+        let a = net.add_transition([p], "a", [q]).unwrap();
+        let b = net.add_transition([q], "b", [p]).unwrap();
+        let flows = net.marked_graph_flows().unwrap();
+        assert_eq!(flows[p.index()], (b, a));
+        assert_eq!(flows[q.index()], (a, b));
+    }
+
+    #[test]
+    fn token_count_sums_initial() {
+        let mut net: PetriNet<&str> = PetriNet::new();
+        let p = net.add_place("p");
+        let q = net.add_place("q");
+        net.set_initial(p, 2);
+        net.set_initial(q, 1);
+        assert_eq!(token_count(&net, &[p, q]), 3);
+        assert_eq!(token_count(&net, &[q]), 1);
+    }
+
+    #[test]
+    fn disconnected_net_not_strongly_connected() {
+        let mut net: PetriNet<&str> = PetriNet::new();
+        let p = net.add_place("p");
+        let q = net.add_place("q");
+        net.add_transition([p], "a", [q]).unwrap();
+        assert!(!net.structural().strongly_connected);
+    }
+}

@@ -1,0 +1,165 @@
+//! Property tests: the kernel's independent analyses must agree with
+//! each other on random nets — coverability vs. reachability bounds,
+//! semiflow certificates vs. Karp–Miller, structural marked-graph
+//! results vs. behavioural ones, Commoner vs. reachability liveness.
+
+use cpn_petri::invariant::covered_by_p_semiflows;
+use cpn_petri::{
+    commoner_live, dead_transitions_rg, dead_transitions_structural_mg,
+    mg_live_structural, mg_place_bounds, mg_safe_structural, CoverabilityOutcome,
+    CoverabilityTree, PetriNet, PlaceId, ReachabilityOptions,
+};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+struct RawNet {
+    places: usize,
+    transitions: Vec<(Vec<usize>, Vec<usize>)>,
+    marking: Vec<u8>,
+}
+
+fn raw_net() -> impl Strategy<Value = RawNet> {
+    (2usize..6).prop_flat_map(|places| {
+        let t = (
+            proptest::collection::vec(0..places, 1..=2),
+            proptest::collection::vec(0..places, 1..=2),
+        );
+        (
+            proptest::collection::vec(t, 1..=5),
+            proptest::collection::vec(0u8..3, places),
+        )
+            .prop_map(move |(transitions, marking)| RawNet {
+                places,
+                transitions,
+                marking,
+            })
+    })
+}
+
+fn build(raw: &RawNet) -> PetriNet<String> {
+    let mut net: PetriNet<String> = PetriNet::new();
+    let ps: Vec<PlaceId> = (0..raw.places)
+        .map(|i| net.add_place(format!("p{i}")))
+        .collect();
+    for (i, (pre, post)) in raw.transitions.iter().enumerate() {
+        net.add_transition(
+            pre.iter().map(|&x| ps[x]),
+            format!("t{i}"),
+            post.iter().map(|&x| ps[x]),
+        )
+        .unwrap();
+    }
+    for (i, &m) in raw.marking.iter().enumerate() {
+        net.set_initial(ps[i], u32::from(m));
+    }
+    net
+}
+
+/// A random marked-graph ring with optional chords through fresh places.
+fn raw_mg() -> impl Strategy<Value = (usize, Vec<u8>)> {
+    (3usize..7).prop_flat_map(|n| {
+        proptest::collection::vec(0u8..2, n).prop_map(move |marks| (n, marks))
+    })
+}
+
+fn build_mg(n: usize, marks: &[u8]) -> PetriNet<String> {
+    let mut net: PetriNet<String> = PetriNet::new();
+    let ps: Vec<PlaceId> = (0..n).map(|i| net.add_place(format!("p{i}"))).collect();
+    for i in 0..n {
+        net.add_transition([ps[i]], format!("t{i}"), [ps[(i + 1) % n]])
+            .unwrap();
+    }
+    for (i, &m) in marks.iter().enumerate() {
+        net.set_initial(ps[i], u32::from(m));
+    }
+    net
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    #[test]
+    fn coverability_bound_matches_reachability(raw in raw_net()) {
+        let net = build(&raw);
+        let Ok(tree) = CoverabilityTree::build(&net, 40_000) else {
+            return Ok(()); // budget: skip pathological instances
+        };
+        match tree.outcome() {
+            CoverabilityOutcome::Bounded { bound } => {
+                // The KM bound must equal the exact reachable bound.
+                let rg = net
+                    .reachability(&ReachabilityOptions::with_max_states(200_000))
+                    .expect("bounded nets explore fully");
+                prop_assert_eq!(*bound, rg.token_bound());
+            }
+            CoverabilityOutcome::Unbounded { witnesses } => {
+                prop_assert!(!witnesses.is_empty());
+                // An unbounded net cannot be covered by P-semiflows.
+                if let Some(covered) = covered_by_p_semiflows(&net, 5_000) {
+                    prop_assert!(!covered, "semiflow cover contradicts ω");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn semiflow_cover_implies_km_bounded(raw in raw_net()) {
+        let net = build(&raw);
+        let Some(true) = covered_by_p_semiflows(&net, 5_000) else {
+            return Ok(());
+        };
+        let tree = CoverabilityTree::build(&net, 100_000)
+            .expect("covered nets have finite coverability sets");
+        prop_assert!(tree.is_bounded());
+    }
+
+    #[test]
+    fn structural_mg_dead_matches_rg(mg in raw_mg()) {
+        let (n, marks) = mg;
+        let net = build_mg(n, &marks);
+        let structural = dead_transitions_structural_mg(&net).unwrap();
+        let rg = net
+            .reachability(&ReachabilityOptions::default())
+            .unwrap();
+        let exact = dead_transitions_rg(&net, &rg);
+        prop_assert_eq!(structural, exact);
+    }
+
+    #[test]
+    fn structural_mg_liveness_and_safety_match_rg(mg in raw_mg()) {
+        let (n, marks) = mg;
+        let net = build_mg(n, &marks);
+        let rg = net.reachability(&ReachabilityOptions::default()).unwrap();
+        let analysis = net.analysis(&rg);
+        prop_assert_eq!(mg_live_structural(&net).unwrap(), analysis.live);
+        if analysis.live {
+            prop_assert_eq!(mg_safe_structural(&net).unwrap(), analysis.safe);
+            let bounds = mg_place_bounds(&net).unwrap();
+            let max = bounds.iter().map(|b| b.unwrap()).max().unwrap();
+            prop_assert_eq!(max, u64::from(analysis.bound));
+        }
+    }
+
+    #[test]
+    fn commoner_matches_rg_on_random_state_machines(
+        arcs in proptest::collection::vec((0usize..4, 0usize..4), 2..8),
+        marks in proptest::collection::vec(0u8..2, 4),
+    ) {
+        // State machines (singleton presets/postsets) are free-choice.
+        let mut net: PetriNet<String> = PetriNet::new();
+        let ps: Vec<PlaceId> = (0..4).map(|i| net.add_place(format!("p{i}"))).collect();
+        for (i, &(a, b)) in arcs.iter().enumerate() {
+            net.add_transition([ps[a]], format!("t{i}"), [ps[b]]).unwrap();
+        }
+        for (i, &m) in marks.iter().enumerate() {
+            net.set_initial(ps[i], u32::from(m));
+        }
+        prop_assume!(net.structural().is_free_choice);
+        let Ok(structural) = commoner_live(&net, 100_000) else {
+            return Ok(());
+        };
+        let rg = net.reachability(&ReachabilityOptions::with_max_states(100_000)).unwrap();
+        let behavioural = net.analysis(&rg).live;
+        prop_assert_eq!(structural, behavioural, "net:\n{}", net);
+    }
+}

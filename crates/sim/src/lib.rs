@@ -1,0 +1,41 @@
+//! Token-game simulation: randomized execution of labeled Petri nets.
+//!
+//! The static analyses in `cpn-core` decide receptiveness and liveness
+//! exhaustively; this crate provides their *dynamic* counterpart — a
+//! seeded random token game with trace recording, deadlock detection and
+//! a runtime receptiveness monitor. It serves three purposes:
+//!
+//! * sanity-testing models too large for exhaustive analysis budgets;
+//! * the FIG8 ablation benchmark (how quickly does random execution
+//!   stumble on an inconsistency the static check proves in one pass?);
+//! * demonstrating failure scenarios with concrete firing sequences.
+//!
+//! # Example
+//!
+//! ```
+//! use cpn_petri::PetriNet;
+//! use cpn_sim::Simulator;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut net: PetriNet<&str> = PetriNet::new();
+//! let p = net.add_place("p");
+//! let q = net.add_place("q");
+//! net.add_transition([p], "a", [q])?;
+//! net.add_transition([q], "b", [p])?;
+//! net.set_initial(p, 1);
+//!
+//! let mut sim = Simulator::new(&net, 42);
+//! let run = sim.run(100);
+//! assert_eq!(run.steps, 100);
+//! assert!(!run.deadlocked);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod monitor;
+pub mod simulator;
+pub mod stg_sim;
+
+pub use monitor::{monitor_composition, FailureObservation};
+pub use simulator::{RunReport, Simulator};
+pub use stg_sim::{RuntimeViolation, StgRunReport, StgSimulator};

@@ -1,0 +1,196 @@
+//! Runtime receptiveness monitoring: random execution of a composition
+//! with the Proposition 5.5 predicate evaluated at every visited state.
+//!
+//! Where [`cpn_core::check_receptiveness`] explores the full state space,
+//! the monitor walks one random path and reports the first state in which
+//! some module could commit to an output no peer alternative accepts.
+//! Detection is probabilistic — the FIG8 ablation benchmark measures how
+//! many random steps it costs compared to the exhaustive and structural
+//! checks.
+
+use cpn_core::{parallel_tracked, Side};
+use cpn_petri::{Label, Marking, PetriNet, PlaceId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// A dynamically observed receptiveness failure.
+#[derive(Clone, Debug)]
+pub struct FailureObservation<L: Label> {
+    /// The output that mis-fires.
+    pub label: L,
+    /// Which operand produced it.
+    pub producer: Side,
+    /// Steps taken before the failing state was reached.
+    pub steps: usize,
+    /// The failing marking of the composed net.
+    pub marking: Marking,
+}
+
+struct Obligation<L: Label> {
+    label: L,
+    producer: Side,
+    producer_pre: BTreeSet<PlaceId>,
+    consumer_pres: Vec<BTreeSet<PlaceId>>,
+}
+
+/// Randomly executes `n1 ‖ n2` for up to `steps` steps with the given
+/// seed, checking the receptiveness predicate at every visited state
+/// (including the initial one).
+///
+/// Returns the first failure observed, or `None` if the walk finished
+/// (or deadlocked) without seeing one. `None` is **not** a proof of
+/// receptiveness — use the exhaustive check for that.
+pub fn monitor_composition<L: Label>(
+    n1: &PetriNet<L>,
+    n2: &PetriNet<L>,
+    left_outputs: &BTreeSet<L>,
+    right_outputs: &BTreeSet<L>,
+    seed: u64,
+    steps: usize,
+) -> Option<FailureObservation<L>> {
+    let sync: BTreeSet<L> = n1
+        .alphabet()
+        .intersection(n2.alphabet())
+        .cloned()
+        .collect();
+    let comp = parallel_tracked(n1, n2, &sync);
+
+    // Group obligations as the static check does.
+    let mut obligations: Vec<Obligation<L>> = Vec::new();
+    for s in &comp.sync_transitions {
+        let (side, ppre, cpre) = if left_outputs.contains(&s.label) {
+            (Side::Left, &s.left_preset, &s.right_preset)
+        } else if right_outputs.contains(&s.label) {
+            (Side::Right, &s.right_preset, &s.left_preset)
+        } else {
+            continue;
+        };
+        match obligations.iter_mut().find(|o| {
+            o.label == s.label && o.producer == side && o.producer_pre == *ppre
+        }) {
+            Some(o) => o.consumer_pres.push(cpre.clone()),
+            None => obligations.push(Obligation {
+                label: s.label.clone(),
+                producer: side,
+                producer_pre: ppre.clone(),
+                consumer_pres: vec![cpre.clone()],
+            }),
+        }
+    }
+
+    let check = |m: &Marking, step: usize| -> Option<FailureObservation<L>> {
+        for ob in &obligations {
+            let producer_ready = ob.producer_pre.iter().all(|&p| m.tokens(p) > 0);
+            if !producer_ready {
+                continue;
+            }
+            let some_consumer_ready = ob
+                .consumer_pres
+                .iter()
+                .any(|c| c.iter().all(|&p| m.tokens(p) > 0));
+            if !some_consumer_ready {
+                return Some(FailureObservation {
+                    label: ob.label.clone(),
+                    producer: ob.producer,
+                    steps: step,
+                    marking: m.clone(),
+                });
+            }
+        }
+        None
+    };
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut marking = comp.net.initial_marking();
+    if let Some(f) = check(&marking, 0) {
+        return Some(f);
+    }
+    for step in 1..=steps {
+        let enabled = comp.net.enabled_transitions(&marking);
+        if enabled.is_empty() {
+            return None;
+        }
+        let t = enabled[rng.gen_range(0..enabled.len())];
+        marking = comp.net.fire(&marking, t).expect("enabled transition fires");
+        if let Some(f) = check(&marking, step) {
+            return Some(f);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn handshake(offset: bool) -> (PetriNet<&'static str>, PetriNet<&'static str>) {
+        let mut prod: PetriNet<&str> = PetriNet::new();
+        let a0 = prod.add_place("a0");
+        let a1 = prod.add_place("a1");
+        prod.add_transition([a0], "req", [a1]).unwrap();
+        prod.add_transition([a1], "ack", [a0]).unwrap();
+        prod.set_initial(a0, 1);
+        let mut cons: PetriNet<&str> = PetriNet::new();
+        let b0 = cons.add_place("b0");
+        let b1 = cons.add_place("b1");
+        cons.add_transition([b0], "req", [b1]).unwrap();
+        cons.add_transition([b1], "ack", [b0]).unwrap();
+        cons.set_initial(if offset { b1 } else { b0 }, 1);
+        (prod, cons)
+    }
+
+    #[test]
+    fn clean_handshake_never_fails() {
+        let (p, c) = handshake(false);
+        let obs = monitor_composition(&p, &c, &["req"].into(), &["ack"].into(), 5, 10_000);
+        assert!(obs.is_none());
+    }
+
+    #[test]
+    fn phase_offset_detected_at_start() {
+        let (p, c) = handshake(true);
+        let obs = monitor_composition(&p, &c, &["req"].into(), &["ack"].into(), 5, 10)
+            .expect("failure observable");
+        assert_eq!(obs.steps, 0, "the initial marking is already failing");
+        // Both directions are broken at M0: the producer's req finds no
+        // listener, the consumer's ack finds no taker. Either counts.
+        assert!(
+            (obs.label == "req" && obs.producer == Side::Left)
+                || (obs.label == "ack" && obs.producer == Side::Right),
+            "unexpected observation {obs:?}"
+        );
+    }
+
+    #[test]
+    fn inconsistent_protocol_sender_detected_dynamically() {
+        use cpn_stg::protocol::{sender_inconsistent, translator};
+        let s = sender_inconsistent();
+        let t = translator();
+        let obs = monitor_composition(
+            s.net(),
+            t.net(),
+            &s.output_labels(),
+            &t.output_labels(),
+            11,
+            50_000,
+        );
+        assert!(obs.is_some(), "Figure 8 observable by random walk");
+    }
+
+    #[test]
+    fn consistent_protocol_sender_clean_walk() {
+        use cpn_stg::protocol::{sender, translator};
+        let s = sender();
+        let t = translator();
+        let obs = monitor_composition(
+            s.net(),
+            t.net(),
+            &s.output_labels(),
+            &t.output_labels(),
+            11,
+            20_000,
+        );
+        assert!(obs.is_none(), "consistent spec clean: {obs:?}");
+    }
+}

@@ -1,0 +1,208 @@
+//! The seeded random token-game simulator.
+
+use cpn_petri::{Label, Marking, PetriNet, TransitionId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Statistics from a simulation run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunReport<L: Label> {
+    /// Steps actually taken (may be fewer than requested on deadlock).
+    pub steps: usize,
+    /// Whether the run ended in a deadlock.
+    pub deadlocked: bool,
+    /// Firing counts per transition (arena order).
+    pub fired: Vec<u64>,
+    /// The recorded label trace (capped at the recorder limit).
+    pub trace: Vec<L>,
+    /// The largest per-place token count observed.
+    pub peak_tokens: u32,
+}
+
+impl<L: Label> RunReport<L> {
+    /// Transitions that never fired during the run.
+    pub fn unfired(&self) -> Vec<TransitionId> {
+        self.fired
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n == 0)
+            .map(|(i, _)| TransitionId::from_index(i))
+            .collect()
+    }
+}
+
+/// A random-firing simulator over a borrowed net.
+///
+/// Each step chooses uniformly among the enabled transitions; the RNG is
+/// seeded, so runs are reproducible.
+#[derive(Debug)]
+pub struct Simulator<'n, L: Label> {
+    net: &'n PetriNet<L>,
+    marking: Marking,
+    rng: StdRng,
+    trace_cap: usize,
+}
+
+impl<'n, L: Label> Simulator<'n, L> {
+    /// Creates a simulator at the net's initial marking.
+    pub fn new(net: &'n PetriNet<L>, seed: u64) -> Self {
+        Simulator {
+            net,
+            marking: net.initial_marking(),
+            rng: StdRng::seed_from_u64(seed),
+            trace_cap: 10_000,
+        }
+    }
+
+    /// Caps the recorded trace length (default 10 000; firing continues
+    /// beyond the cap, only recording stops).
+    pub fn with_trace_cap(mut self, cap: usize) -> Self {
+        self.trace_cap = cap;
+        self
+    }
+
+    /// The current marking.
+    pub fn marking(&self) -> &Marking {
+        &self.marking
+    }
+
+    /// Resets to the initial marking (the RNG keeps advancing).
+    pub fn reset(&mut self) {
+        self.marking = self.net.initial_marking();
+    }
+
+    /// Fires one uniformly-chosen enabled transition; returns it, or
+    /// `None` on deadlock.
+    pub fn step(&mut self) -> Option<TransitionId> {
+        let enabled = self.net.enabled_transitions(&self.marking);
+        if enabled.is_empty() {
+            return None;
+        }
+        let t = enabled[self.rng.gen_range(0..enabled.len())];
+        self.marking = self
+            .net
+            .fire(&self.marking, t)
+            .expect("enabled transition fires");
+        Some(t)
+    }
+
+    /// Runs up to `steps` steps, collecting statistics.
+    pub fn run(&mut self, steps: usize) -> RunReport<L> {
+        let mut fired = vec![0u64; self.net.transition_count()];
+        let mut trace = Vec::new();
+        let mut peak = self.marking.max_tokens();
+        let mut taken = 0usize;
+        let mut deadlocked = false;
+        for _ in 0..steps {
+            match self.step() {
+                Some(t) => {
+                    fired[t.index()] += 1;
+                    if trace.len() < self.trace_cap {
+                        trace.push(self.net.transition(t).label().clone());
+                    }
+                    peak = peak.max(self.marking.max_tokens());
+                    taken += 1;
+                }
+                None => {
+                    deadlocked = true;
+                    break;
+                }
+            }
+        }
+        RunReport {
+            steps: taken,
+            deadlocked,
+            fired,
+            trace,
+            peak_tokens: peak,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle() -> PetriNet<&'static str> {
+        let mut net = PetriNet::new();
+        let p = net.add_place("p");
+        let q = net.add_place("q");
+        net.add_transition([p], "a", [q]).unwrap();
+        net.add_transition([q], "b", [p]).unwrap();
+        net.set_initial(p, 1);
+        net
+    }
+
+    #[test]
+    fn deterministic_with_seed() {
+        let net = cycle();
+        let r1 = Simulator::new(&net, 7).run(50);
+        let r2 = Simulator::new(&net, 7).run(50);
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn cycle_alternates_forever() {
+        let net = cycle();
+        let report = Simulator::new(&net, 1).run(100);
+        assert_eq!(report.steps, 100);
+        assert!(!report.deadlocked);
+        assert_eq!(report.fired[0], 50);
+        assert_eq!(report.fired[1], 50);
+        assert!(report.unfired().is_empty());
+        assert_eq!(report.peak_tokens, 1);
+    }
+
+    #[test]
+    fn deadlock_detected() {
+        let mut net: PetriNet<&str> = PetriNet::new();
+        let p = net.add_place("p");
+        let q = net.add_place("q");
+        net.add_transition([p], "once", [q]).unwrap();
+        net.set_initial(p, 1);
+        let report = Simulator::new(&net, 3).run(10);
+        assert_eq!(report.steps, 1);
+        assert!(report.deadlocked);
+        assert_eq!(report.trace, vec!["once"]);
+    }
+
+    #[test]
+    fn trace_cap_respected() {
+        let net = cycle();
+        let report = Simulator::new(&net, 1).with_trace_cap(5).run(100);
+        assert_eq!(report.trace.len(), 5);
+        assert_eq!(report.steps, 100);
+    }
+
+    #[test]
+    fn reset_restores_initial() {
+        let net = cycle();
+        let mut sim = Simulator::new(&net, 1);
+        sim.step();
+        sim.reset();
+        assert_eq!(sim.marking(), &net.initial_marking());
+    }
+
+    #[test]
+    fn random_choice_covers_branches() {
+        let mut net: PetriNet<&str> = PetriNet::new();
+        let p = net.add_place("p");
+        net.add_transition([p], "left", [p]).unwrap();
+        net.add_transition([p], "right", [p]).unwrap();
+        net.set_initial(p, 1);
+        let report = Simulator::new(&net, 99).run(200);
+        assert!(report.fired[0] > 20, "left fired {}", report.fired[0]);
+        assert!(report.fired[1] > 20, "right fired {}", report.fired[1]);
+    }
+
+    #[test]
+    fn peak_tokens_tracks_growth() {
+        let mut net: PetriNet<&str> = PetriNet::new();
+        let p = net.add_place("p");
+        let sink = net.add_place("sink");
+        net.add_transition([p], "pump", [p, sink]).unwrap();
+        net.set_initial(p, 1);
+        let report = Simulator::new(&net, 1).run(25);
+        assert_eq!(report.peak_tokens, 25);
+    }
+}

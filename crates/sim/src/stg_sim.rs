@@ -1,0 +1,265 @@
+//! Guard- and encoding-aware random execution of STGs.
+//!
+//! The plain [`Simulator`](crate::Simulator) plays the token game on the
+//! underlying net; this walker additionally tracks the binary signal
+//! encoding, evaluates boolean guards (Section 2.2) against it, and
+//! reports consistency violations (`s+` fired with `s` already high) the
+//! moment they happen — the runtime counterpart of the
+//! [`StateGraph`](cpn_stg::StateGraph) consistency check.
+
+use cpn_petri::{Marking, TransitionId};
+use cpn_stg::{Edge, Signal, Stg, StgLabel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// A runtime consistency violation observed by the walker.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RuntimeViolation {
+    /// The offending transition.
+    pub transition: TransitionId,
+    /// The label that contradicted the encoding.
+    pub label: StgLabel,
+    /// Steps taken before the violation.
+    pub steps: usize,
+}
+
+/// Statistics of a guarded STG walk.
+#[derive(Clone, Debug)]
+pub struct StgRunReport {
+    /// Steps taken.
+    pub steps: usize,
+    /// Whether the walk deadlocked (no enabled, guard-satisfying
+    /// transition).
+    pub deadlocked: bool,
+    /// First consistency violation, if any (the walk stops there).
+    pub violation: Option<RuntimeViolation>,
+    /// Final signal levels.
+    pub levels: BTreeMap<Signal, bool>,
+}
+
+/// A seeded random walker over an STG that respects guards and tracks
+/// signal levels.
+#[derive(Debug)]
+pub struct StgSimulator<'s> {
+    stg: &'s Stg,
+    marking: Marking,
+    signals: Vec<Signal>,
+    levels: Vec<bool>,
+    rng: StdRng,
+}
+
+impl<'s> StgSimulator<'s> {
+    /// Creates a walker at the initial marking with the given initial
+    /// signal levels (unlisted signals start low).
+    pub fn new(stg: &'s Stg, initial_values: &BTreeMap<Signal, bool>, seed: u64) -> Self {
+        let signals: Vec<Signal> = stg.signals().keys().cloned().collect();
+        let levels = signals
+            .iter()
+            .map(|s| initial_values.get(s).copied().unwrap_or(false))
+            .collect();
+        StgSimulator {
+            stg,
+            marking: stg.net().initial_marking(),
+            signals,
+            levels,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    fn level_of(&self, s: &Signal) -> bool {
+        self.signals
+            .iter()
+            .position(|x| x == s)
+            .map(|i| self.levels[i])
+            .unwrap_or(false)
+    }
+
+    /// Transitions enabled by marking **and** guard in the current state.
+    pub fn fireable(&self) -> Vec<TransitionId> {
+        self.stg
+            .net()
+            .enabled_transitions(&self.marking)
+            .into_iter()
+            .filter(|&t| {
+                self.stg
+                    .guard(t)
+                    .eval(|s| self.level_of(s))
+            })
+            .collect()
+    }
+
+    /// Runs up to `steps` steps; stops early on deadlock or on the first
+    /// consistency violation.
+    pub fn run(&mut self, steps: usize) -> StgRunReport {
+        let mut taken = 0usize;
+        let mut violation = None;
+        let mut deadlocked = false;
+        'walk: for _ in 0..steps {
+            let fireable = self.fireable();
+            if fireable.is_empty() {
+                deadlocked = true;
+                break;
+            }
+            let t = fireable[self.rng.gen_range(0..fireable.len())];
+            let label = self.stg.net().transition(t).label().clone();
+            if let StgLabel::Signal(s, e) = &label {
+                let i = self
+                    .signals
+                    .iter()
+                    .position(|x| x == s)
+                    .expect("declared signal");
+                match e {
+                    Edge::Rise => {
+                        if self.levels[i] {
+                            violation = Some(RuntimeViolation {
+                                transition: t,
+                                label: label.clone(),
+                                steps: taken,
+                            });
+                            break 'walk;
+                        }
+                        self.levels[i] = true;
+                    }
+                    Edge::Fall => {
+                        if !self.levels[i] {
+                            violation = Some(RuntimeViolation {
+                                transition: t,
+                                label: label.clone(),
+                                steps: taken,
+                            });
+                            break 'walk;
+                        }
+                        self.levels[i] = false;
+                    }
+                    Edge::Toggle => self.levels[i] = !self.levels[i],
+                    Edge::Stable | Edge::Unstable | Edge::DontCare => {}
+                }
+            }
+            self.marking = self
+                .stg
+                .net()
+                .fire(&self.marking, t)
+                .expect("enabled transition fires");
+            taken += 1;
+        }
+        StgRunReport {
+            steps: taken,
+            deadlocked,
+            violation,
+            levels: self
+                .signals
+                .iter()
+                .cloned()
+                .zip(self.levels.iter().copied())
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpn_stg::{Guard, SignalDir};
+
+    fn four_phase() -> Stg {
+        let mut stg = Stg::new();
+        let req = stg.add_signal("req", SignalDir::Input);
+        let ack = stg.add_signal("ack", SignalDir::Output);
+        let p: Vec<_> = (0..4).map(|i| stg.add_place(format!("p{i}"))).collect();
+        stg.add_signal_transition([p[0]], (req.clone(), Edge::Rise), [p[1]])
+            .unwrap();
+        stg.add_signal_transition([p[1]], (ack.clone(), Edge::Rise), [p[2]])
+            .unwrap();
+        stg.add_signal_transition([p[2]], (req, Edge::Fall), [p[3]])
+            .unwrap();
+        stg.add_signal_transition([p[3]], (ack, Edge::Fall), [p[0]])
+            .unwrap();
+        stg.set_initial(p[0], 1);
+        stg
+    }
+
+    #[test]
+    fn four_phase_walks_forever_consistently() {
+        let stg = four_phase();
+        let mut sim = StgSimulator::new(&stg, &BTreeMap::new(), 5);
+        let report = sim.run(400);
+        assert_eq!(report.steps, 400);
+        assert!(report.violation.is_none());
+        assert!(!report.deadlocked);
+        // 400 = full rounds: levels back at 0.
+        assert!(report.levels.values().all(|&v| !v));
+    }
+
+    #[test]
+    fn violation_detected_at_runtime() {
+        // Double rise without a fall in between.
+        let mut stg = Stg::new();
+        let x = stg.add_signal("x", SignalDir::Output);
+        let p0 = stg.add_place("p0");
+        let p1 = stg.add_place("p1");
+        let p2 = stg.add_place("p2");
+        stg.add_signal_transition([p0], (x.clone(), Edge::Rise), [p1])
+            .unwrap();
+        stg.add_signal_transition([p1], (x, Edge::Rise), [p2]).unwrap();
+        stg.set_initial(p0, 1);
+        let mut sim = StgSimulator::new(&stg, &BTreeMap::new(), 1);
+        let report = sim.run(10);
+        let v = report.violation.expect("double rise detected");
+        assert_eq!(v.steps, 1);
+        assert_eq!(v.label.to_string(), "x+");
+    }
+
+    #[test]
+    fn guards_respected_by_the_walker() {
+        let mut stg = Stg::new();
+        let data = stg.add_signal("DATA", SignalDir::Input);
+        let hi = stg.add_signal("hi", SignalDir::Output);
+        let lo = stg.add_signal("lo", SignalDir::Output);
+        let p = stg.add_place("p");
+        let q = stg.add_place("q");
+        let t_hi = stg.add_signal_transition([p], (hi, Edge::Toggle), [q]).unwrap();
+        let t_lo = stg.add_signal_transition([p], (lo, Edge::Toggle), [q]).unwrap();
+        stg.set_guard(t_hi, Guard::new().require(data.clone(), true));
+        stg.set_guard(t_lo, Guard::new().require(data.clone(), false));
+        stg.set_initial(p, 1);
+
+        // DATA low: only the lo branch can ever fire.
+        let mut sim = StgSimulator::new(&stg, &BTreeMap::new(), 9);
+        let report = sim.run(5);
+        assert_eq!(report.steps, 1);
+        assert!(report.deadlocked, "q has no successors");
+        assert!(report.levels[&Signal::new("lo")]);
+        assert!(!report.levels[&Signal::new("hi")]);
+
+        // DATA high: only the hi branch.
+        let mut sim =
+            StgSimulator::new(&stg, &BTreeMap::from([(data, true)]), 9);
+        let report = sim.run(5);
+        assert!(report.levels[&Signal::new("hi")]);
+    }
+
+    #[test]
+    fn translator_walks_cleanly_with_guards() {
+        use cpn_stg::protocol::translator;
+        let stg = translator();
+        let mut sim = StgSimulator::new(&stg, &BTreeMap::new(), 2024);
+        let report = sim.run(10_000);
+        assert!(report.violation.is_none(), "{:?}", report.violation);
+        assert!(!report.deadlocked);
+    }
+
+    #[test]
+    fn protocol_system_random_walk_consistent() {
+        use cpn_stg::protocol::{receiver, sender, translator};
+        let system = sender()
+            .compose(&translator())
+            .unwrap()
+            .compose(&receiver())
+            .unwrap();
+        let mut sim = StgSimulator::new(&system, &BTreeMap::new(), 7);
+        let report = sim.run(20_000);
+        assert!(report.violation.is_none(), "{:?}", report.violation);
+        assert!(!report.deadlocked);
+    }
+}

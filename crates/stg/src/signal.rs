@@ -1,0 +1,235 @@
+//! Signals, directions, edges and the [`StgLabel`] action type.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A named wire. Cheap to clone (shared string).
+///
+/// # Example
+///
+/// ```
+/// use cpn_stg::Signal;
+/// let s = Signal::new("req");
+/// assert_eq!(s.name(), "req");
+/// assert_eq!(s.to_string(), "req");
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Signal(Arc<str>);
+
+impl Signal {
+    /// Creates a signal with the given wire name.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        Signal(Arc::from(name.as_ref()))
+    }
+
+    /// The wire name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Debug for Signal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Signal({})", self.0)
+    }
+}
+
+impl fmt::Display for Signal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Signal {
+    fn from(s: &str) -> Self {
+        Signal::new(s)
+    }
+}
+
+/// Signal direction: who drives the wire (Section 5.1's semantic
+/// distinction between inputs and outputs; internal wires are outputs
+/// that may be hidden).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SignalDir {
+    /// Driven by the environment.
+    Input,
+    /// Driven by the module.
+    Output,
+    /// Driven by the module, not part of the interface.
+    Internal,
+}
+
+impl fmt::Display for SignalDir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SignalDir::Input => "input",
+            SignalDir::Output => "output",
+            SignalDir::Internal => "internal",
+        })
+    }
+}
+
+/// A signal transition type: the classical `+`/`-` edges plus the
+/// extensions of \[9\] the paper lists in Section 2.2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Edge {
+    /// `s+`: 0 → 1.
+    Rise,
+    /// `s-`: 1 → 0.
+    Fall,
+    /// `s~`: toggle (whichever way).
+    Toggle,
+    /// `s=`: the signal is (and stays) stable at its current value.
+    Stable,
+    /// `s#`: the signal becomes unstable (its value is unreliable).
+    Unstable,
+    /// `s?`: don't care.
+    DontCare,
+}
+
+impl Edge {
+    /// The printable suffix: `+ - ~ = # ?`.
+    pub fn suffix(self) -> char {
+        match self {
+            Edge::Rise => '+',
+            Edge::Fall => '-',
+            Edge::Toggle => '~',
+            Edge::Stable => '=',
+            Edge::Unstable => '#',
+            Edge::DontCare => '?',
+        }
+    }
+
+    /// Parses a suffix character.
+    pub fn from_suffix(c: char) -> Option<Edge> {
+        Some(match c {
+            '+' => Edge::Rise,
+            '-' => Edge::Fall,
+            '~' => Edge::Toggle,
+            '=' => Edge::Stable,
+            '#' => Edge::Unstable,
+            '?' => Edge::DontCare,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.suffix())
+    }
+}
+
+/// The STG action alphabet: `A = S × {+,-,…} ∪ {ε}` (Definition 2.3,
+/// with the extended edge set).
+///
+/// Implements everything [`cpn_petri::Label`] needs, so the whole generic
+/// algebra of `cpn-core` applies to STGs directly — the point Section 5.1
+/// makes when lifting the net algebra to a circuit algebra.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum StgLabel {
+    /// A signal transition `s+`, `s-`, `s~`, ….
+    Signal(Signal, Edge),
+    /// The dummy transition ε.
+    Dummy,
+}
+
+impl StgLabel {
+    /// Convenience constructor for `(signal, edge)`.
+    pub fn signal(s: impl Into<Signal>, e: Edge) -> Self {
+        StgLabel::Signal(s.into(), e)
+    }
+
+    /// The signal, if this is not a dummy.
+    pub fn signal_name(&self) -> Option<&Signal> {
+        match self {
+            StgLabel::Signal(s, _) => Some(s),
+            StgLabel::Dummy => None,
+        }
+    }
+
+    /// The edge, if this is not a dummy.
+    pub fn edge(&self) -> Option<Edge> {
+        match self {
+            StgLabel::Signal(_, e) => Some(*e),
+            StgLabel::Dummy => None,
+        }
+    }
+
+    /// Whether this is the dummy label ε.
+    pub fn is_dummy(&self) -> bool {
+        matches!(self, StgLabel::Dummy)
+    }
+}
+
+impl From<(Signal, Edge)> for StgLabel {
+    fn from((s, e): (Signal, Edge)) -> Self {
+        StgLabel::Signal(s, e)
+    }
+}
+
+impl fmt::Debug for StgLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for StgLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StgLabel::Signal(s, e) => write!(f, "{s}{e}"),
+            StgLabel::Dummy => f.write_str("ε"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signal_is_cheap_and_ordered() {
+        let a = Signal::new("a");
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert!(Signal::new("a") < Signal::new("b"));
+    }
+
+    #[test]
+    fn edge_suffix_roundtrip() {
+        for e in [
+            Edge::Rise,
+            Edge::Fall,
+            Edge::Toggle,
+            Edge::Stable,
+            Edge::Unstable,
+            Edge::DontCare,
+        ] {
+            assert_eq!(Edge::from_suffix(e.suffix()), Some(e));
+        }
+        assert_eq!(Edge::from_suffix('!'), None);
+    }
+
+    #[test]
+    fn label_display() {
+        assert_eq!(StgLabel::signal("req", Edge::Rise).to_string(), "req+");
+        assert_eq!(StgLabel::signal("rec", Edge::Toggle).to_string(), "rec~");
+        assert_eq!(StgLabel::Dummy.to_string(), "ε");
+    }
+
+    #[test]
+    fn label_accessors() {
+        let l = StgLabel::signal("x", Edge::Fall);
+        assert_eq!(l.signal_name().unwrap().name(), "x");
+        assert_eq!(l.edge(), Some(Edge::Fall));
+        assert!(!l.is_dummy());
+        assert!(StgLabel::Dummy.is_dummy());
+        assert_eq!(StgLabel::Dummy.edge(), None);
+    }
+
+    #[test]
+    fn label_satisfies_label_trait() {
+        fn takes<L: cpn_petri::Label>(_: L) {}
+        takes(StgLabel::Dummy);
+    }
+}

@@ -1,0 +1,416 @@
+//! The encoded state graph of an STG (Section 2.2 of the paper).
+//!
+//! Nodes are pairs `(marking, encoding)` where the encoding is a binary
+//! valuation of all signals; an edge labeled `s+` requires `s = 0` before
+//! and yields `s = 1` after (*consistent state assignment*), and the
+//! toggle/stable/unstable/don't-care extensions behave per their
+//! shorthand meaning. Boolean guards restrict firing to states whose
+//! encoding satisfies them — this is how the protocol translator's
+//! DATA/STROBE-dependent behaviour (Figure 7) is executed.
+//!
+//! On top of the graph: USC (unique state coding) and CSC (complete state
+//! coding) diagnostics, the classical prerequisites for logic synthesis.
+
+use crate::signal::{Edge, Signal, SignalDir, StgLabel};
+use crate::stg::Stg;
+use cpn_petri::{Marking, TransitionId};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::error::Error;
+use std::fmt;
+
+/// A binary signal valuation (encoding), ordered like the STG's signal
+/// declaration order.
+pub type Encoding = Vec<bool>;
+
+/// A consistency violation: a signal transition fired from a state whose
+/// encoding contradicts it (e.g. `s+` with `s` already 1).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConsistencyViolation {
+    /// The offending transition.
+    pub transition: TransitionId,
+    /// The label of the offending transition.
+    pub label: StgLabel,
+    /// The marking in which it fired.
+    pub marking: Marking,
+    /// The value the signal had (needed the opposite).
+    pub value: bool,
+}
+
+/// A CSC (or USC) violation: two distinct states share an encoding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CscViolation {
+    /// The shared encoding.
+    pub encoding: Encoding,
+    /// First state's marking.
+    pub first: Marking,
+    /// Second state's marking.
+    pub second: Marking,
+    /// Output signals whose excitation differs (empty for a pure USC
+    /// conflict that does not violate CSC).
+    pub conflicting_outputs: BTreeSet<Signal>,
+}
+
+/// Errors from state graph construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StateGraphError {
+    /// More states than the budget allows.
+    BudgetExceeded {
+        /// The exceeded budget.
+        budget: usize,
+    },
+}
+
+impl fmt::Display for StateGraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StateGraphError::BudgetExceeded { budget } => {
+                write!(f, "state graph budget of {budget} states exceeded")
+            }
+        }
+    }
+}
+
+impl Error for StateGraphError {}
+
+/// The encoded state graph.
+#[derive(Clone, Debug)]
+pub struct StateGraph {
+    signals: Vec<Signal>,
+    dirs: Vec<SignalDir>,
+    states: Vec<(Marking, Encoding)>,
+    edges: Vec<Vec<(TransitionId, usize)>>,
+    violations: Vec<ConsistencyViolation>,
+}
+
+impl StateGraph {
+    /// Builds the state graph from the STG's initial marking and the
+    /// given initial signal values (unlisted signals start at 0).
+    ///
+    /// Guarded transitions fire only in states satisfying their guard.
+    /// Consistency violations do not abort construction — the offending
+    /// firing is *recorded* and skipped, so the report lists every
+    /// violation reachable through consistent prefixes.
+    ///
+    /// # Errors
+    ///
+    /// [`StateGraphError::BudgetExceeded`] when more than `budget` states
+    /// appear.
+    pub fn build(
+        stg: &Stg,
+        initial_values: &BTreeMap<Signal, bool>,
+        budget: usize,
+    ) -> Result<StateGraph, StateGraphError> {
+        let signals: Vec<Signal> = stg.signals().keys().cloned().collect();
+        let dirs: Vec<SignalDir> = stg.signals().values().copied().collect();
+        let index: BTreeMap<&Signal, usize> =
+            signals.iter().enumerate().map(|(i, s)| (s, i)).collect();
+
+        let enc0: Encoding = signals
+            .iter()
+            .map(|s| initial_values.get(s).copied().unwrap_or(false))
+            .collect();
+        let m0 = stg.net().initial_marking();
+
+        let mut states: Vec<(Marking, Encoding)> = vec![(m0.clone(), enc0.clone())];
+        let mut ids: HashMap<(Marking, Encoding), usize> = HashMap::new();
+        ids.insert((m0, enc0), 0);
+        let mut edges: Vec<Vec<(TransitionId, usize)>> = vec![Vec::new()];
+        let mut violations = Vec::new();
+
+        let mut frontier = 0usize;
+        while frontier < states.len() {
+            let (marking, encoding) = states[frontier].clone();
+            for t in stg.net().enabled_transitions(&marking) {
+                let label = stg.net().transition(t).label().clone();
+                // Guard check against current levels.
+                let guard = stg.guard(t);
+                if !guard.eval(|s| index.get(s).map(|&i| encoding[i]).unwrap_or(false)) {
+                    continue;
+                }
+                // Encoding update + consistency.
+                let mut next_enc = encoding.clone();
+                if let StgLabel::Signal(s, e) = &label {
+                    let i = index[s];
+                    match e {
+                        Edge::Rise => {
+                            if encoding[i] {
+                                violations.push(ConsistencyViolation {
+                                    transition: t,
+                                    label: label.clone(),
+                                    marking: marking.clone(),
+                                    value: true,
+                                });
+                                continue;
+                            }
+                            next_enc[i] = true;
+                        }
+                        Edge::Fall => {
+                            if !encoding[i] {
+                                violations.push(ConsistencyViolation {
+                                    transition: t,
+                                    label: label.clone(),
+                                    marking: marking.clone(),
+                                    value: false,
+                                });
+                                continue;
+                            }
+                            next_enc[i] = false;
+                        }
+                        Edge::Toggle => next_enc[i] = !encoding[i],
+                        Edge::Stable | Edge::Unstable | Edge::DontCare => {}
+                    }
+                }
+                let next_marking = stg
+                    .net()
+                    .fire(&marking, t)
+                    .expect("enabled transition fires");
+                let key = (next_marking, next_enc);
+                let to = match ids.get(&key) {
+                    Some(&i) => i,
+                    None => {
+                        if states.len() >= budget {
+                            return Err(StateGraphError::BudgetExceeded { budget });
+                        }
+                        let i = states.len();
+                        states.push(key.clone());
+                        edges.push(Vec::new());
+                        ids.insert(key, i);
+                        i
+                    }
+                };
+                edges[frontier].push((t, to));
+            }
+            frontier += 1;
+        }
+
+        Ok(StateGraph { signals, dirs, states, edges, violations })
+    }
+
+    /// The signals, in encoding order.
+    pub fn signals(&self) -> &[Signal] {
+        &self.signals
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The `(marking, encoding)` of a state.
+    pub fn state(&self, i: usize) -> (&Marking, &Encoding) {
+        let (m, e) = &self.states[i];
+        (m, e)
+    }
+
+    /// Outgoing edges of a state: `(transition, target state)`.
+    pub fn edges(&self, i: usize) -> &[(TransitionId, usize)] {
+        &self.edges[i]
+    }
+
+    /// All consistency violations recorded during construction; empty iff
+    /// the STG has a consistent state assignment along every reachable
+    /// path from the given initial values.
+    pub fn consistency_violations(&self) -> &[ConsistencyViolation] {
+        &self.violations
+    }
+
+    /// Whether the state assignment is consistent.
+    pub fn is_consistent(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Signals excited in a state (enabled to change value), restricted
+    /// to non-input signals — the excitation CSC compares.
+    fn output_excitation(&self, stg: &Stg, i: usize) -> BTreeSet<Signal> {
+        let mut excited = BTreeSet::new();
+        for &(t, _) in &self.edges[i] {
+            if let StgLabel::Signal(s, e) = stg.net().transition(t).label() {
+                let idx = self
+                    .signals
+                    .iter()
+                    .position(|x| x == s)
+                    .expect("signal declared");
+                if self.dirs[idx] != SignalDir::Input
+                    && matches!(e, Edge::Rise | Edge::Fall | Edge::Toggle)
+                {
+                    excited.insert(s.clone());
+                }
+            }
+        }
+        excited
+    }
+
+    /// USC check: every pair of distinct states with identical encodings.
+    pub fn usc_violations(&self) -> Vec<CscViolation> {
+        let mut by_code: BTreeMap<&Encoding, Vec<usize>> = BTreeMap::new();
+        for (i, (_, e)) in self.states.iter().enumerate() {
+            by_code.entry(e).or_default().push(i);
+        }
+        let mut out = Vec::new();
+        for (code, group) in by_code {
+            for w in group.windows(2) {
+                out.push(CscViolation {
+                    encoding: code.clone(),
+                    first: self.states[w[0]].0.clone(),
+                    second: self.states[w[1]].0.clone(),
+                    conflicting_outputs: BTreeSet::new(),
+                });
+            }
+        }
+        out
+    }
+
+    /// CSC check: pairs of equal-encoding states whose **output
+    /// excitation** differs — the property logic derivation needs.
+    pub fn csc_violations(&self, stg: &Stg) -> Vec<CscViolation> {
+        let mut by_code: BTreeMap<&Encoding, Vec<usize>> = BTreeMap::new();
+        for (i, (_, e)) in self.states.iter().enumerate() {
+            by_code.entry(e).or_default().push(i);
+        }
+        let mut out = Vec::new();
+        for (code, group) in by_code {
+            for a in 0..group.len() {
+                for b in (a + 1)..group.len() {
+                    let ea = self.output_excitation(stg, group[a]);
+                    let eb = self.output_excitation(stg, group[b]);
+                    if ea != eb {
+                        let conflicting: BTreeSet<Signal> = ea
+                            .symmetric_difference(&eb)
+                            .cloned()
+                            .collect();
+                        out.push(CscViolation {
+                            encoding: code.clone(),
+                            first: self.states[group[a]].0.clone(),
+                            second: self.states[group[b]].0.clone(),
+                            conflicting_outputs: conflicting,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stg::Guard;
+
+    fn four_phase() -> Stg {
+        let mut stg = Stg::new();
+        let req = stg.add_signal("req", SignalDir::Input);
+        let ack = stg.add_signal("ack", SignalDir::Output);
+        let p: Vec<_> = (0..4).map(|i| stg.add_place(format!("p{i}"))).collect();
+        stg.add_signal_transition([p[0]], (req.clone(), Edge::Rise), [p[1]])
+            .unwrap();
+        stg.add_signal_transition([p[1]], (ack.clone(), Edge::Rise), [p[2]])
+            .unwrap();
+        stg.add_signal_transition([p[2]], (req, Edge::Fall), [p[3]])
+            .unwrap();
+        stg.add_signal_transition([p[3]], (ack, Edge::Fall), [p[0]])
+            .unwrap();
+        stg.set_initial(p[0], 1);
+        stg
+    }
+
+    #[test]
+    fn four_phase_state_graph() {
+        let stg = four_phase();
+        let sg = StateGraph::build(&stg, &BTreeMap::new(), 1000).unwrap();
+        assert_eq!(sg.state_count(), 4);
+        assert!(sg.is_consistent());
+        // Encodings cycle 00 → 10(req) → 11 → 01 → 00.
+        let codes: BTreeSet<Encoding> =
+            (0..4).map(|i| sg.state(i).1.clone()).collect();
+        assert_eq!(codes.len(), 4, "all four codes distinct");
+        assert!(sg.usc_violations().is_empty());
+        assert!(sg.csc_violations(&stg).is_empty());
+    }
+
+    #[test]
+    fn inconsistent_double_rise_detected() {
+        let mut stg = Stg::new();
+        let x = stg.add_signal("x", SignalDir::Output);
+        let p0 = stg.add_place("p0");
+        let p1 = stg.add_place("p1");
+        let p2 = stg.add_place("p2");
+        stg.add_signal_transition([p0], (x.clone(), Edge::Rise), [p1])
+            .unwrap();
+        stg.add_signal_transition([p1], (x, Edge::Rise), [p2]).unwrap();
+        stg.set_initial(p0, 1);
+        let sg = StateGraph::build(&stg, &BTreeMap::new(), 1000).unwrap();
+        assert!(!sg.is_consistent());
+        assert_eq!(sg.consistency_violations().len(), 1);
+        assert!(sg.consistency_violations()[0].value);
+    }
+
+    #[test]
+    fn toggle_alternates_encoding() {
+        let mut stg = Stg::new();
+        let x = stg.add_signal("x", SignalDir::Output);
+        let p = stg.add_place("p");
+        stg.add_signal_transition([p], (x, Edge::Toggle), [p]).unwrap();
+        stg.set_initial(p, 1);
+        let sg = StateGraph::build(&stg, &BTreeMap::new(), 1000).unwrap();
+        // Same marking, two encodings.
+        assert_eq!(sg.state_count(), 2);
+        assert!(sg.is_consistent());
+    }
+
+    #[test]
+    fn guard_restricts_firing() {
+        // Choice between two x+ paths guarded by DATA level.
+        let mut stg = Stg::new();
+        let data = stg.add_signal("DATA", SignalDir::Input);
+        let hi = stg.add_signal("hi", SignalDir::Output);
+        let lo = stg.add_signal("lo", SignalDir::Output);
+        let p = stg.add_place("p");
+        let q = stg.add_place("q");
+        let t_hi = stg
+            .add_signal_transition([p], (hi, Edge::Toggle), [q])
+            .unwrap();
+        let t_lo = stg
+            .add_signal_transition([p], (lo, Edge::Toggle), [q])
+            .unwrap();
+        stg.set_guard(t_hi, Guard::new().require(data.clone(), true));
+        stg.set_guard(t_lo, Guard::new().require(data.clone(), false));
+        stg.set_initial(p, 1);
+
+        // DATA starts low: only `lo` fires.
+        let sg = StateGraph::build(&stg, &BTreeMap::new(), 1000).unwrap();
+        assert_eq!(sg.edges(0).len(), 1);
+        // DATA starts high: only `hi` fires.
+        let sg = StateGraph::build(&stg, &BTreeMap::from([(data, true)]), 1000).unwrap();
+        assert_eq!(sg.edges(0).len(), 1);
+    }
+
+    #[test]
+    fn usc_violation_from_dummy_loop() {
+        // Two markings, same encoding (ε transition changes no signal).
+        let mut stg = Stg::new();
+        let x = stg.add_signal("x", SignalDir::Output);
+        let p0 = stg.add_place("p0");
+        let p1 = stg.add_place("p1");
+        let p2 = stg.add_place("p2");
+        stg.add_dummy([p0], [p1]).unwrap();
+        stg.add_signal_transition([p1], (x.clone(), Edge::Rise), [p2])
+            .unwrap();
+        stg.set_initial(p0, 1);
+        let sg = StateGraph::build(&stg, &BTreeMap::new(), 1000).unwrap();
+        let usc = sg.usc_violations();
+        assert_eq!(usc.len(), 1, "p0 and p1 share encoding 0");
+        // CSC: p0 has no output excitation, p1 excites x: violation.
+        let csc = sg.csc_violations(&stg);
+        assert_eq!(csc.len(), 1);
+        assert!(csc[0].conflicting_outputs.contains(&x));
+    }
+
+    #[test]
+    fn budget_enforced() {
+        let stg = four_phase();
+        let err = StateGraph::build(&stg, &BTreeMap::new(), 2).unwrap_err();
+        assert_eq!(err, StateGraphError::BudgetExceeded { budget: 2 });
+    }
+}

@@ -1,0 +1,360 @@
+//! The [`Language`] type: a prefix-closed set of traces up to a depth.
+
+use cpn_petri::{Label, Marking, PetriNet};
+use std::collections::BTreeSet;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced during trace extraction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TraceError {
+    /// Trace enumeration exceeded the configured budget.
+    BudgetExceeded {
+        /// The budget that was exceeded.
+        budget: usize,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::BudgetExceeded { budget } => {
+                write!(f, "trace budget of {budget} traces exceeded")
+            }
+        }
+    }
+}
+
+impl Error for TraceError {}
+
+/// A prefix-closed trace language over labels `L`, exact up to `depth`.
+///
+/// Contains every firing sequence of length at most `depth` (and always
+/// `ε`). The alphabet is carried explicitly because the language-level
+/// parallel composition (Definition 4.8) is projection-based and needs it.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Language<L: Label> {
+    alphabet: BTreeSet<L>,
+    traces: BTreeSet<Vec<L>>,
+    depth: usize,
+}
+
+impl<L: Label> Language<L> {
+    /// The language containing only the empty trace (the semantics of
+    /// `nil`), over the given alphabet.
+    pub fn nil(alphabet: BTreeSet<L>, depth: usize) -> Self {
+        let mut traces = BTreeSet::new();
+        traces.insert(Vec::new());
+        Language { alphabet, traces, depth }
+    }
+
+    /// Builds a language from explicit traces, closing it under prefixes.
+    ///
+    /// Traces longer than `depth` are truncated away (their prefixes up to
+    /// `depth` are kept).
+    pub fn from_traces(
+        alphabet: BTreeSet<L>,
+        traces: impl IntoIterator<Item = Vec<L>>,
+        depth: usize,
+    ) -> Self {
+        let mut set = BTreeSet::new();
+        set.insert(Vec::new());
+        for t in traces {
+            let t: Vec<L> = t.into_iter().take(depth).collect();
+            for i in 1..=t.len() {
+                set.insert(t[..i].to_vec());
+            }
+        }
+        Language { alphabet, traces: set, depth }
+    }
+
+    /// Extracts `L(N)` up to `depth` by exhaustive firing-sequence
+    /// enumeration (Definition 4.1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::BudgetExceeded`] when more than `budget`
+    /// distinct `(trace, marking)` pairs are visited — a guard against
+    /// exponential nets at large depths.
+    pub fn from_net(
+        net: &PetriNet<L>,
+        depth: usize,
+        budget: usize,
+    ) -> Result<Self, TraceError> {
+        let mut traces: BTreeSet<Vec<L>> = BTreeSet::new();
+        traces.insert(Vec::new());
+
+        // Frontier of distinct (marking, trace) pairs at the current depth.
+        let mut frontier: BTreeSet<(Marking, Vec<L>)> = BTreeSet::new();
+        frontier.insert((net.initial_marking(), Vec::new()));
+        let mut visited = 1usize;
+
+        for _ in 0..depth {
+            let mut next: BTreeSet<(Marking, Vec<L>)> = BTreeSet::new();
+            for (m, trace) in &frontier {
+                for t in net.enabled_transitions(m) {
+                    let m2 = net.fire(m, t).expect("enabled transition fires");
+                    let mut t2 = trace.clone();
+                    t2.push(net.transition(t).label().clone());
+                    traces.insert(t2.clone());
+                    if next.insert((m2, t2)) {
+                        visited += 1;
+                        if visited > budget {
+                            return Err(TraceError::BudgetExceeded { budget });
+                        }
+                    }
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            frontier = next;
+        }
+
+        Ok(Language {
+            alphabet: net.alphabet().clone(),
+            traces,
+            depth,
+        })
+    }
+
+    /// The alphabet the language is defined over.
+    pub fn alphabet(&self) -> &BTreeSet<L> {
+        &self.alphabet
+    }
+
+    /// The exactness depth: all traces of length ≤ depth are present.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Number of traces (including `ε`).
+    pub fn len(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// Whether the language is just `{ε}`.
+    pub fn is_empty(&self) -> bool {
+        self.traces.len() == 1
+    }
+
+    /// Membership test.
+    pub fn contains(&self, trace: &[L]) -> bool {
+        self.traces.contains(trace)
+    }
+
+    /// Iterates over all traces in lexicographic order.
+    pub fn iter(&self) -> impl Iterator<Item = &Vec<L>> {
+        self.traces.iter()
+    }
+
+    /// Restricts the language (and its exactness depth) to traces of
+    /// length at most `depth`.
+    pub fn truncate(&self, depth: usize) -> Language<L> {
+        Language {
+            alphabet: self.alphabet.clone(),
+            traces: self
+                .traces
+                .iter()
+                .filter(|t| t.len() <= depth)
+                .cloned()
+                .collect(),
+            depth: self.depth.min(depth),
+        }
+    }
+
+    /// Whether `self` and `other` agree on all traces up to `depth`
+    /// (alphabets are *not* compared — the paper's equations are about
+    /// trace sets).
+    pub fn eq_up_to(&self, other: &Language<L>, depth: usize) -> bool {
+        debug_assert!(
+            depth <= self.depth && depth <= other.depth,
+            "comparison depth exceeds language exactness"
+        );
+        self.truncate(depth).traces == other.truncate(depth).traces
+    }
+
+    /// Whether every trace of `self` (up to `depth`) is a trace of
+    /// `other` — the containment of Theorem 5.1.
+    pub fn subset_up_to(&self, other: &Language<L>, depth: usize) -> bool {
+        self.truncate(depth)
+            .traces
+            .iter()
+            .all(|t| other.contains(t))
+    }
+
+    pub(crate) fn raw_parts(
+        &self,
+    ) -> (&BTreeSet<L>, &BTreeSet<Vec<L>>, usize) {
+        (&self.alphabet, &self.traces, self.depth)
+    }
+
+    pub(crate) fn from_raw(
+        alphabet: BTreeSet<L>,
+        traces: BTreeSet<Vec<L>>,
+        depth: usize,
+    ) -> Self {
+        Language { alphabet, traces, depth }
+    }
+}
+
+impl<L: Label> fmt::Debug for Language<L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Language(depth {}, {} traces over {{{}}})",
+            self.depth,
+            self.traces.len(),
+            self.alphabet
+                .iter()
+                .map(|l| l.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        )
+    }
+}
+
+impl<L: Label> fmt::Display for Language<L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{self:?}")?;
+        for t in &self.traces {
+            if t.is_empty() {
+                writeln!(f, "  ε")?;
+            } else {
+                writeln!(
+                    f,
+                    "  {}",
+                    t.iter().map(|l| l.to_string()).collect::<Vec<_>>().join(" ")
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ab_cycle() -> PetriNet<&'static str> {
+        let mut net = PetriNet::new();
+        let p = net.add_place("p");
+        let q = net.add_place("q");
+        net.add_transition([p], "a", [q]).unwrap();
+        net.add_transition([q], "b", [p]).unwrap();
+        net.set_initial(p, 1);
+        net
+    }
+
+    #[test]
+    fn cycle_language_alternates() {
+        let l = Language::from_net(&ab_cycle(), 3, 1000).unwrap();
+        assert!(l.contains(&[]));
+        assert!(l.contains(&["a"]));
+        assert!(l.contains(&["a", "b"]));
+        assert!(l.contains(&["a", "b", "a"]));
+        assert!(!l.contains(&["a", "a"]));
+        assert!(!l.contains(&["b"]));
+        assert_eq!(l.len(), 4);
+    }
+
+    #[test]
+    fn nil_is_epsilon_only() {
+        let l: Language<&str> = Language::nil(BTreeSet::new(), 5);
+        assert!(l.is_empty());
+        assert!(l.contains(&[]));
+        assert_eq!(l.len(), 1);
+    }
+
+    #[test]
+    fn from_traces_prefix_closes() {
+        let l = Language::from_traces(
+            BTreeSet::from(["a", "b"]),
+            vec![vec!["a", "b"]],
+            5,
+        );
+        assert!(l.contains(&["a"]));
+        assert!(l.contains(&["a", "b"]));
+        assert_eq!(l.len(), 3);
+    }
+
+    #[test]
+    fn from_traces_truncates_to_depth() {
+        let l = Language::from_traces(
+            BTreeSet::from(["a"]),
+            vec![vec!["a", "a", "a"]],
+            2,
+        );
+        assert!(l.contains(&["a", "a"]));
+        assert!(!l.contains(&["a", "a", "a"]));
+    }
+
+    #[test]
+    fn truncate_reduces_depth() {
+        let l = Language::from_net(&ab_cycle(), 4, 1000).unwrap();
+        let t = l.truncate(2);
+        assert_eq!(t.depth(), 2);
+        assert!(t.contains(&["a", "b"]));
+        assert!(!t.contains(&["a", "b", "a"]));
+    }
+
+    #[test]
+    fn eq_up_to_ignores_deeper_traces() {
+        let l3 = Language::from_net(&ab_cycle(), 3, 1000).unwrap();
+        let l4 = Language::from_net(&ab_cycle(), 4, 1000).unwrap();
+        assert!(l3.eq_up_to(&l4, 3));
+        assert_ne!(l3, l4);
+    }
+
+    #[test]
+    fn subset_detects_restriction() {
+        let full = Language::from_net(&ab_cycle(), 3, 1000).unwrap();
+        let sub = Language::from_traces(
+            BTreeSet::from(["a", "b"]),
+            vec![vec!["a"]],
+            3,
+        );
+        assert!(sub.subset_up_to(&full, 3));
+        assert!(!full.subset_up_to(&sub, 3));
+    }
+
+    #[test]
+    fn budget_exceeded_reported() {
+        // Two concurrent independent cycles explode combinatorially.
+        let mut net: PetriNet<String> = PetriNet::new();
+        for i in 0..4 {
+            let p = net.add_place(format!("p{i}"));
+            let q = net.add_place(format!("q{i}"));
+            net.add_transition([p], format!("a{i}"), [q]).unwrap();
+            net.add_transition([q], format!("b{i}"), [p]).unwrap();
+            net.set_initial(p, 1);
+        }
+        let err = Language::from_net(&net, 6, 10).unwrap_err();
+        assert_eq!(err, TraceError::BudgetExceeded { budget: 10 });
+    }
+
+    #[test]
+    fn nondeterministic_same_label_choice() {
+        // Two transitions labeled "a" to different places; both successor
+        // behaviours must be in the language.
+        let mut net: PetriNet<&str> = PetriNet::new();
+        let p = net.add_place("p");
+        let q1 = net.add_place("q1");
+        let q2 = net.add_place("q2");
+        net.add_transition([p], "a", [q1]).unwrap();
+        net.add_transition([p], "a", [q2]).unwrap();
+        net.add_transition([q1], "b", [p]).unwrap();
+        net.add_transition([q2], "c", [p]).unwrap();
+        net.set_initial(p, 1);
+        let l = Language::from_net(&net, 2, 1000).unwrap();
+        assert!(l.contains(&["a", "b"]));
+        assert!(l.contains(&["a", "c"]));
+    }
+
+    #[test]
+    fn display_renders_epsilon() {
+        let l: Language<&str> = Language::nil(BTreeSet::new(), 1);
+        assert!(l.to_string().contains('ε'));
+    }
+}

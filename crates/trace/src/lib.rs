@@ -1,0 +1,50 @@
+//! Finite-depth trace-language semantics for labeled Petri nets.
+//!
+//! Section 4 of de Jong & Lin (DAC 1994) defines the semantics of every
+//! algebra operator through the **trace set** of the net (Definition 4.1):
+//!
+//! > `L(N) = { a1 a2 … | ∃M' : (M0, <a1, a2, …>, M') ∈ RG(N) }`
+//!
+//! and proves each net-level construction trace-preserving, e.g.
+//! `L(N1‖N2) = L(N1)‖L(N2)` (Theorem 4.5) and
+//! `L(hide(N,a)) = hide(L(N),a)` (Theorem 4.7).
+//!
+//! This crate implements those *language-level* operators directly
+//! (Definitions 4.8/4.9 for synchronized parallel composition, projection
+//! and hiding, renaming, union) on **finite-depth** prefix-closed trace
+//! sets, so that the net-level algebra in `cpn-core` can be validated
+//! against the paper's equations by exhaustive comparison up to a depth —
+//! the crate is the *oracle* for the algebra's property tests, and is also
+//! useful on its own for inspecting small specifications.
+//!
+//! A note on the empty trace: the paper states `L(nil) = ∅` (Prop 4.1)
+//! while also defining `RG` reflexively, which puts `ε` in every trace
+//! set. We follow the reflexive reading — every [`Language`] contains `ε`
+//! and is prefix-closed — and read Prop 4.1 as "nil has no non-empty
+//! traces". All the algebraic laws hold verbatim under this reading.
+//!
+//! # Example
+//!
+//! ```
+//! use cpn_petri::PetriNet;
+//! use cpn_trace::Language;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut net: PetriNet<&str> = PetriNet::new();
+//! let p = net.add_place("p");
+//! let q = net.add_place("q");
+//! net.add_transition([p], "a", [q])?;
+//! net.add_transition([q], "b", [p])?;
+//! net.set_initial(p, 1);
+//!
+//! let lang = Language::from_net(&net, 4, 100_000)?;
+//! assert!(lang.contains(&["a", "b", "a", "b"][..]));
+//! assert!(!lang.contains(&["b"][..]));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod language;
+pub mod ops;
+
+pub use language::{Language, TraceError};

@@ -1,0 +1,293 @@
+//! Language-level operators: the right-hand sides of the paper's
+//! trace-preservation theorems.
+//!
+//! * `rename(L, b→c)` — Prop 4.3.
+//! * `L1 ∪ L2` — Prop 4.4 (choice).
+//! * `{ε, a} ∪ a.L` — Prop 4.2 (action prefix).
+//! * `project(L, A)` / `hide(L, a)` — Section 4.4.
+//! * `L1 ‖ L2` — Definitions 4.8/4.9 (synchronized shuffle).
+
+use crate::language::Language;
+use cpn_petri::Label;
+use std::collections::BTreeSet;
+
+impl<L: Label> Language<L> {
+    /// Renames labels through `f` (Prop 4.3 generalized to arbitrary
+    /// relabelings). Distinct labels may collapse.
+    pub fn rename(&self, mut f: impl FnMut(&L) -> L) -> Language<L> {
+        let (alphabet, traces, depth) = self.raw_parts();
+        let new_alpha: BTreeSet<L> = alphabet.iter().map(&mut f).collect();
+        let new_traces: BTreeSet<Vec<L>> = traces
+            .iter()
+            .map(|t| t.iter().map(&mut f).collect())
+            .collect();
+        Language::from_raw(new_alpha, new_traces, depth)
+    }
+
+    /// The union of two languages (the trace semantics of choice,
+    /// Prop 4.4). The result's exactness depth is the minimum of the two.
+    pub fn union(&self, other: &Language<L>) -> Language<L> {
+        let (a1, t1, d1) = self.raw_parts();
+        let (a2, t2, d2) = other.raw_parts();
+        let depth = d1.min(d2);
+        let alphabet: BTreeSet<L> = a1.union(a2).cloned().collect();
+        let traces: BTreeSet<Vec<L>> = t1
+            .iter()
+            .chain(t2.iter())
+            .filter(|t| t.len() <= depth)
+            .cloned()
+            .collect();
+        Language::from_raw(alphabet, traces, depth)
+    }
+
+    /// Action prefix: `{ε} ∪ {a}·L` (Prop 4.2). The exactness depth grows
+    /// by one because every trace gained a leading action.
+    pub fn prefix_action(&self, a: L) -> Language<L> {
+        let (alphabet, traces, depth) = self.raw_parts();
+        let mut new_alpha = alphabet.clone();
+        new_alpha.insert(a.clone());
+        let mut new_traces: BTreeSet<Vec<L>> = BTreeSet::new();
+        new_traces.insert(Vec::new());
+        for t in traces {
+            let mut nt = Vec::with_capacity(t.len() + 1);
+            nt.push(a.clone());
+            nt.extend(t.iter().cloned());
+            new_traces.insert(nt);
+        }
+        Language::from_raw(new_alpha, new_traces, depth + 1)
+    }
+
+    /// Projection onto a label set: deletes every action not in `keep`
+    /// from every trace.
+    ///
+    /// The resulting set is exact only up to the *original* depth in a
+    /// weak sense: a short projected trace may have longer witnesses that
+    /// were beyond the horizon. Callers comparing against a projected
+    /// language should extract the source language at a generous depth
+    /// and [`truncate`](Language::truncate) both sides (exactly what the
+    /// algebra property tests do).
+    pub fn project(&self, keep: &BTreeSet<L>) -> Language<L> {
+        let (alphabet, traces, depth) = self.raw_parts();
+        let new_alpha: BTreeSet<L> =
+            alphabet.intersection(keep).cloned().collect();
+        let new_traces: BTreeSet<Vec<L>> = traces
+            .iter()
+            .map(|t| {
+                t.iter()
+                    .filter(|l| keep.contains(l))
+                    .cloned()
+                    .collect::<Vec<L>>()
+            })
+            .collect();
+        Language::from_raw(new_alpha, new_traces, depth)
+    }
+
+    /// Hiding of a label set: `hide(L, A) = project(L, alphabet \ A)`
+    /// (Section 4.4: "hiding is opposite to projection").
+    pub fn hide(&self, hidden: &BTreeSet<L>) -> Language<L> {
+        let keep: BTreeSet<L> = self
+            .alphabet()
+            .iter()
+            .filter(|l| !hidden.contains(l))
+            .cloned()
+            .collect();
+        self.project(&keep)
+    }
+
+    /// Synchronized parallel composition (Definitions 4.8/4.9): the
+    /// result contains exactly the traces over `A1 ∪ A2` whose projection
+    /// onto each alphabet lies in the respective language.
+    ///
+    /// For prefix-closed languages this is equivalent to the paper's
+    /// definition via shuffles of trace pairs, and is computed by a
+    /// breadth-first extension so the cost is proportional to the result
+    /// size.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use cpn_trace::Language;
+    /// use std::collections::BTreeSet;
+    ///
+    /// // a.c over {a,c} against b.c over {b,c}: c is a rendez-vous.
+    /// let l1 = Language::from_traces(BTreeSet::from(["a", "c"]), [vec!["a", "c"]], 4);
+    /// let l2 = Language::from_traces(BTreeSet::from(["b", "c"]), [vec!["b", "c"]], 4);
+    /// let p = l1.parallel(&l2);
+    /// assert!(p.contains(&["a", "b", "c"][..]));
+    /// assert!(!p.contains(&["a", "c"][..])); // c blocked until b happened
+    /// ```
+    pub fn parallel(&self, other: &Language<L>) -> Language<L> {
+        let (a1, t1, d1) = self.raw_parts();
+        let (a2, t2, d2) = other.raw_parts();
+        let depth = d1.min(d2);
+        let union_alpha: BTreeSet<L> = a1.union(a2).cloned().collect();
+
+        let mut result: BTreeSet<Vec<L>> = BTreeSet::new();
+        result.insert(Vec::new());
+        // Frontier traces paired with their two projections, so membership
+        // checks are O(log n) set lookups.
+        let mut frontier: Vec<(Vec<L>, Vec<L>, Vec<L>)> =
+            vec![(Vec::new(), Vec::new(), Vec::new())];
+
+        for _ in 0..depth {
+            let mut next = Vec::new();
+            for (t, p1, p2) in &frontier {
+                for a in &union_alpha {
+                    let in1 = a1.contains(a);
+                    let in2 = a2.contains(a);
+                    let (q1, q2) = match (in1, in2) {
+                        (true, true) | (true, false) | (false, true) => {
+                            let mut q1 = p1.clone();
+                            let mut q2 = p2.clone();
+                            if in1 {
+                                q1.push(a.clone());
+                            }
+                            if in2 {
+                                q2.push(a.clone());
+                            }
+                            (q1, q2)
+                        }
+                        (false, false) => continue,
+                    };
+                    if in1 && !t1.contains(&q1) {
+                        continue;
+                    }
+                    if in2 && !t2.contains(&q2) {
+                        continue;
+                    }
+                    let mut nt = t.clone();
+                    nt.push(a.clone());
+                    if result.insert(nt.clone()) {
+                        next.push((nt, q1, q2));
+                    }
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            frontier = next;
+        }
+
+        Language::from_raw(union_alpha, result, depth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn lang(alpha: &[&'static str], traces: &[&[&'static str]], depth: usize) -> Language<&'static str> {
+        Language::from_traces(
+            alpha.iter().copied().collect(),
+            traces.iter().map(|t| t.to_vec()),
+            depth,
+        )
+    }
+
+    #[test]
+    fn rename_replaces_labels() {
+        let l = lang(&["a", "b"], &[&["a", "b"]], 4);
+        let r = l.rename(|x| if *x == "a" { "c" } else { *x });
+        assert!(r.contains(&["c", "b"]));
+        assert!(!r.contains(&["a", "b"]));
+        assert!(r.alphabet().contains(&"c"));
+        assert!(!r.alphabet().contains(&"a"));
+    }
+
+    #[test]
+    fn rename_can_collapse() {
+        let l = lang(&["a", "b"], &[&["a"], &["b"]], 3);
+        let r = l.rename(|_| "x");
+        assert_eq!(r.alphabet().len(), 1);
+        assert!(r.contains(&["x"]));
+        assert_eq!(r.len(), 2); // ε and x
+    }
+
+    #[test]
+    fn union_is_choice_semantics() {
+        let l1 = lang(&["a"], &[&["a"]], 3);
+        let l2 = lang(&["b"], &[&["b"]], 3);
+        let u = l1.union(&l2);
+        assert!(u.contains(&["a"]));
+        assert!(u.contains(&["b"]));
+        assert_eq!(u.alphabet().len(), 2);
+    }
+
+    #[test]
+    fn prefix_action_adds_head() {
+        let l = lang(&["b"], &[&["b"]], 2);
+        let p = l.prefix_action("a");
+        assert!(p.contains(&[]));
+        assert!(p.contains(&["a"]));
+        assert!(p.contains(&["a", "b"]));
+        assert!(!p.contains(&["b"]));
+        assert_eq!(p.depth(), 3);
+    }
+
+    #[test]
+    fn project_deletes_other_labels() {
+        let l = lang(&["a", "b"], &[&["a", "b", "a"]], 5);
+        let keep: BTreeSet<&str> = ["a"].into();
+        let p = l.project(&keep);
+        assert!(p.contains(&["a", "a"]));
+        assert!(!p.alphabet().contains(&"b"));
+    }
+
+    #[test]
+    fn hide_is_complement_projection() {
+        let l = lang(&["a", "b"], &[&["a", "b", "a"]], 5);
+        let hidden: BTreeSet<&str> = ["b"].into();
+        let keep: BTreeSet<&str> = ["a"].into();
+        assert_eq!(l.hide(&hidden), l.project(&keep));
+    }
+
+    #[test]
+    fn parallel_synchronizes_common_labels() {
+        // L1 over {a,c}: a then c. L2 over {b,c}: b then c.
+        // c is common: must happen in both; a,b interleave.
+        let l1 = lang(&["a", "c"], &[&["a", "c"]], 4);
+        let l2 = lang(&["b", "c"], &[&["b", "c"]], 4);
+        let p = l1.parallel(&l2);
+        assert!(p.contains(&["a", "b", "c"]));
+        assert!(p.contains(&["b", "a", "c"]));
+        assert!(!p.contains(&["c"]), "c needs both a and b first");
+        assert!(!p.contains(&["a", "c"]), "c blocked until b");
+    }
+
+    #[test]
+    fn parallel_unsynchronizable_traces_die() {
+        // a.b.c vs c.a.b over the same alphabet: no common extension
+        // beyond ε (the paper's example after Def 4.8).
+        let l1 = lang(&["a", "b", "c"], &[&["a", "b", "c"]], 4);
+        let l2 = lang(&["a", "b", "c"], &[&["c", "a", "b"]], 4);
+        let p = l1.parallel(&l2);
+        assert_eq!(p.len(), 1, "only ε survives: {p}");
+    }
+
+    #[test]
+    fn parallel_disjoint_alphabets_is_shuffle() {
+        let l1 = lang(&["a"], &[&["a"]], 3);
+        let l2 = lang(&["b"], &[&["b"]], 3);
+        let p = l1.parallel(&l2);
+        assert!(p.contains(&["a", "b"]));
+        assert!(p.contains(&["b", "a"]));
+    }
+
+    #[test]
+    fn parallel_with_self_is_identity() {
+        let l = lang(&["a", "b"], &[&["a", "b"], &["b"]], 3);
+        let p = l.parallel(&l);
+        assert!(p.eq_up_to(&l, 3));
+    }
+
+    #[test]
+    fn parallel_blocks_on_missing_common_label() {
+        // "c" is in both alphabets but only l1 ever does it: blocked.
+        let l1 = lang(&["a", "c"], &[&["a", "c"]], 3);
+        let l2 = lang(&["b", "c"], &[&["b"]], 3);
+        let p = l1.parallel(&l2);
+        assert!(p.contains(&["a", "b"]));
+        assert!(!p.iter().any(|t| t.contains(&"c")));
+    }
+}

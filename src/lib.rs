@@ -1,0 +1,67 @@
+//! **cpn** — Communicating Petri nets for the design of concurrent
+//! asynchronous modules.
+//!
+//! A Rust implementation of G. G. de Jong & B. Lin, *"A Communicating
+//! Petri Net Model for the Design of Concurrent Asynchronous Modules"*,
+//! DAC 1994: the CIP model (interface modules communicating through
+//! abstract rendez-vous channels), its automatic expansion to handshake
+//! signalling, and the unfolding-free Petri net algebra — including
+//! hiding as generalized net contraction — with the circuit algebra,
+//! compositional synthesis and receptiveness verification built on top.
+//!
+//! This crate re-exports the workspace:
+//!
+//! * [`petri`] — general labeled Petri net kernel (token game,
+//!   reachability, coverability, structural analysis, invariants).
+//! * [`trace`] — finite-depth trace-language semantics (the oracle the
+//!   algebra is property-tested against).
+//! * [`core`] — the net algebra (Section 4), circuit algebra
+//!   (Section 5.1), compositional synthesis (5.2), receptiveness
+//!   verification (5.3 / Theorem 5.7).
+//! * [`stg`] — Signal Transition Graphs: consistency, state graphs,
+//!   USC/CSC, guards, next-state logic, and the paper's Section 6
+//!   protocol-translation models ([`stg::protocol`]).
+//! * [`cip`] — Communicating Interface Processes: modules, channels,
+//!   data encodings, handshake expansion ([`cip::protocol`] holds the
+//!   channel-level Section 6 system).
+//! * [`mod@format`] — the `.cpn` text format.
+//! * [`sim`] — randomized token-game simulation and runtime
+//!   receptiveness monitoring.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use cpn::core::{hide_label, parallel};
+//! use cpn::petri::PetriNet;
+//! use cpn::trace::Language;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Two modules that rendez-vous on `sync`, then hide the channel.
+//! let mut left: PetriNet<&str> = PetriNet::new();
+//! let a = left.add_place("a");
+//! let b = left.add_place("b");
+//! left.add_transition([a], "work", [b])?;
+//! left.add_transition([b], "sync", [a])?;
+//! left.set_initial(a, 1);
+//!
+//! let mut right: PetriNet<&str> = PetriNet::new();
+//! let c = right.add_place("c");
+//! let d = right.add_place("d");
+//! right.add_transition([c], "sync", [d])?;
+//! right.add_transition([d], "report", [c])?;
+//! right.set_initial(c, 1);
+//!
+//! let system = hide_label(&parallel(&left, &right), &"sync", 1_000)?;
+//! let lang = Language::from_net(&system, 4, 100_000)?;
+//! assert!(lang.contains(&["work", "report", "work"][..]));
+//! # Ok(())
+//! # }
+//! ```
+
+pub use cpn_cip as cip;
+pub use cpn_core as core;
+pub use cpn_format as format;
+pub use cpn_petri as petri;
+pub use cpn_sim as sim;
+pub use cpn_stg as stg;
+pub use cpn_trace as trace;

@@ -8,7 +8,7 @@
 
 use cpn_core::parallel;
 use cpn_petri::{PetriNet, ReachabilityOptions};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cpn_testkit::bench::BenchGroup;
 
 fn independent_cycles(k: usize) -> Vec<PetriNet<String>> {
     (0..k)
@@ -32,31 +32,19 @@ fn compose_all(nets: &[PetriNet<String>]) -> PetriNet<String> {
     acc
 }
 
-fn bench_ablation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_net_vs_state");
-    group.sample_size(10);
+fn main() {
+    let mut group = BenchGroup::new("ablation_net_vs_state");
     for k in [4usize, 8, 12, 16] {
         let nets = independent_cycles(k);
-        group.bench_with_input(BenchmarkId::new("net_level_compose", k), &k, |b, _| {
-            b.iter(|| compose_all(&nets));
-        });
+        group.bench(format!("net_level_compose/{k}"), || compose_all(&nets));
         let composed = compose_all(&nets);
-        group.bench_with_input(
-            BenchmarkId::new("state_space_build", k),
-            &k,
-            |b, &k| {
-                b.iter(|| {
-                    let rg = composed
-                        .reachability(&ReachabilityOptions::with_max_states(1 << 22))
-                        .unwrap();
-                    assert_eq!(rg.state_count(), 1usize << k);
-                    rg.state_count()
-                });
-            },
-        );
+        group.bench(format!("state_space_build/{k}"), || {
+            let rg = composed
+                .reachability(&ReachabilityOptions::with_max_states(1 << 22))
+                .unwrap();
+            assert_eq!(rg.state_count(), 1usize << k);
+            rg.state_count()
+        });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_ablation);
-criterion_main!(benches);

@@ -9,42 +9,24 @@
 use cpn_bench::wide_handshake;
 use cpn_core::{check_receptiveness, check_receptiveness_structural_mg};
 use cpn_petri::ReachabilityOptions;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cpn_testkit::bench::BenchGroup;
 
-fn bench_ablation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_structural_vs_rg");
-    group.sample_size(10);
+fn main() {
+    let mut group = BenchGroup::new("ablation_structural_vs_rg");
     let opts = ReachabilityOptions::with_max_states(8_000_000);
 
     // Wide (concurrent) handshakes: the composed state space grows
     // exponentially in the width, the structural check stays polynomial.
     for width in [2usize, 4, 6, 8] {
         let (p, cons, lo, ro) = wide_handshake(width, None);
-        group.bench_with_input(
-            BenchmarkId::new("structural_mg", width),
-            &width,
-            |b, _| {
-                b.iter(|| {
-                    let rep =
-                        check_receptiveness_structural_mg(&p, &cons, &lo, &ro).unwrap();
-                    assert!(rep.is_receptive());
-                });
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("exhaustive_rg", width),
-            &width,
-            |b, _| {
-                b.iter(|| {
-                    let rep =
-                        check_receptiveness(&p, &cons, &lo, &ro, &opts).unwrap();
-                    assert!(rep.is_receptive());
-                });
-            },
-        );
+        group.bench(format!("structural_mg/{width}"), || {
+            let rep = check_receptiveness_structural_mg(&p, &cons, &lo, &ro).unwrap();
+            assert!(rep.is_receptive());
+        });
+        group.bench(format!("exhaustive_rg/{width}"), || {
+            let rep = check_receptiveness(&p, &cons, &lo, &ro, &opts).unwrap();
+            assert!(rep.is_receptive());
+        });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_ablation);
-criterion_main!(benches);

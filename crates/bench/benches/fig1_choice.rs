@@ -7,41 +7,27 @@
 
 use cpn_bench::cycle_net;
 use cpn_core::choice;
+use cpn_testkit::bench::{black_box, BenchGroup};
 use cpn_trace::Language;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
 
-fn bench_choice(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig1_choice");
+fn main() {
+    let mut group = BenchGroup::new("fig1_choice");
     static AB: [&str; 6] = ["a1", "a2", "a3", "a4", "a5", "a6"];
     static CD: [&str; 6] = ["c1", "c2", "c3", "c4", "c5", "c6"];
     for size in [2usize, 4, 6] {
         let n1 = cycle_net(&AB[..size]);
         let n2 = cycle_net(&CD[..size]);
-        group.bench_with_input(
-            BenchmarkId::new("construct", size),
-            &size,
-            |b, _| {
-                b.iter(|| choice(black_box(&n1), black_box(&n2)).unwrap());
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("law_check_depth4", size),
-            &size,
-            |b, _| {
-                b.iter(|| {
-                    let both = choice(&n1, &n2).unwrap();
-                    let lhs = Language::from_net(&both, 4, 1_000_000).unwrap();
-                    let rhs = Language::from_net(&n1, 4, 1_000_000)
-                        .unwrap()
-                        .union(&Language::from_net(&n2, 4, 1_000_000).unwrap());
-                    assert!(lhs.eq_up_to(&rhs, 4));
-                });
-            },
-        );
+        group.bench(format!("construct/{size}"), || {
+            choice(black_box(&n1), black_box(&n2)).unwrap()
+        });
+        group.bench(format!("law_check_depth4/{size}"), || {
+            let both = choice(&n1, &n2).unwrap();
+            let lhs = Language::from_net(&both, 4, 1_000_000).unwrap();
+            let rhs = Language::from_net(&n1, 4, 1_000_000)
+                .unwrap()
+                .union(&Language::from_net(&n2, 4, 1_000_000).unwrap());
+            assert!(lhs.eq_up_to(&rhs, 4));
+        });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_choice);
-criterion_main!(benches);

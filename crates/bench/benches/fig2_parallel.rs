@@ -3,43 +3,35 @@
 
 use cpn_bench::{fig2_left, fig2_right, sync_pipeline};
 use cpn_core::parallel;
+use cpn_testkit::bench::{black_box, BenchGroup};
 use cpn_trace::Language;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
 
-fn bench_parallel(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig2_parallel");
+fn main() {
+    let mut group = BenchGroup::new("fig2_parallel");
 
     let l = fig2_left();
     let r = fig2_right();
-    group.bench_function("paper_example_construct", |b| {
-        b.iter(|| parallel(black_box(&l), black_box(&r)));
+    group.bench("paper_example_construct", || {
+        parallel(black_box(&l), black_box(&r))
     });
-    group.bench_function("paper_example_law_depth5", |b| {
-        b.iter(|| {
-            let composed = parallel(&l, &r);
-            let lhs = Language::from_net(&composed, 5, 1_000_000).unwrap();
-            let rhs = Language::from_net(&l, 5, 1_000_000)
-                .unwrap()
-                .parallel(&Language::from_net(&r, 5, 1_000_000).unwrap());
-            assert!(lhs.eq_up_to(&rhs, 5));
-        });
+    group.bench("paper_example_law_depth5", || {
+        let composed = parallel(&l, &r);
+        let lhs = Language::from_net(&composed, 5, 1_000_000).unwrap();
+        let rhs = Language::from_net(&l, 5, 1_000_000)
+            .unwrap()
+            .parallel(&Language::from_net(&r, 5, 1_000_000).unwrap());
+        assert!(lhs.eq_up_to(&rhs, 5));
     });
 
     for k in [2usize, 4, 8, 16] {
         let stages = sync_pipeline(k);
-        group.bench_with_input(BenchmarkId::new("pipeline_compose", k), &k, |b, _| {
-            b.iter(|| {
-                let mut acc = stages[0].clone();
-                for s in &stages[1..] {
-                    acc = parallel(&acc, s);
-                }
-                acc
-            });
+        group.bench(format!("pipeline_compose/{k}"), || {
+            let mut acc = stages[0].clone();
+            for s in &stages[1..] {
+                acc = parallel(&acc, s);
+            }
+            acc
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_parallel);
-criterion_main!(benches);

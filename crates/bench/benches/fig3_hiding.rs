@@ -5,9 +5,8 @@
 use cpn_bench::tau_chain;
 use cpn_core::{hide_label, hide_relabel};
 use cpn_petri::PetriNet;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cpn_testkit::bench::{black_box, BenchGroup};
 use std::collections::BTreeSet;
-use std::hint::black_box;
 
 /// A net with conflicts on both sides of the hidden transition (the
 /// general Figure 3(a/b) shape).
@@ -28,35 +27,26 @@ fn conflict_net() -> PetriNet<&'static str> {
     net
 }
 
-fn bench_hiding(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig3_hiding");
+fn main() {
+    let mut group = BenchGroup::new("fig3_hiding");
 
     for taus in [1usize, 4, 16, 64] {
         let net = tau_chain(taus);
-        group.bench_with_input(BenchmarkId::new("chain_contract", taus), &taus, |b, _| {
-            b.iter(|| hide_label(black_box(&net), &"tau".to_owned(), 10_000).unwrap());
+        group.bench(format!("chain_contract/{taus}"), || {
+            hide_label(black_box(&net), &"tau".to_owned(), 10_000).unwrap()
         });
-        group.bench_with_input(
-            BenchmarkId::new("chain_relabel_hide_prime", taus),
-            &taus,
-            |b, _| {
-                b.iter(|| {
-                    hide_relabel(
-                        black_box(&net),
-                        &BTreeSet::from(["tau".to_owned()]),
-                        "eps".to_owned(),
-                    )
-                });
-            },
-        );
+        group.bench(format!("chain_relabel_hide_prime/{taus}"), || {
+            hide_relabel(
+                black_box(&net),
+                &BTreeSet::from(["tau".to_owned()]),
+                "eps".to_owned(),
+            )
+        });
     }
 
     let net = conflict_net();
-    group.bench_function("conflict_contract", |b| {
-        b.iter(|| hide_label(black_box(&net), &"tau", 10_000).unwrap());
+    group.bench("conflict_contract", || {
+        hide_label(black_box(&net), &"tau", 10_000).unwrap()
     });
     group.finish();
 }
-
-criterion_group!(benches, bench_hiding);
-criterion_main!(benches);

@@ -5,49 +5,42 @@
 use cpn_petri::ReachabilityOptions;
 use cpn_stg::protocol::{receiver, sender, translator};
 use cpn_stg::StateGraph;
-use criterion::{criterion_group, criterion_main, Criterion};
+use cpn_testkit::bench::BenchGroup;
 use std::collections::BTreeMap;
 
-fn bench_blocks(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig5to7_protocol");
+fn main() {
+    let mut group = BenchGroup::new("fig5to7_protocol");
     let opts = ReachabilityOptions::default();
 
-    group.bench_function("fig5_sender_build", |b| b.iter(sender));
-    group.bench_function("fig6_receiver_build", |b| b.iter(receiver));
-    group.bench_function("fig7_translator_build", |b| b.iter(translator));
+    group.bench("fig5_sender_build", sender);
+    group.bench("fig6_receiver_build", receiver);
+    group.bench("fig7_translator_build", translator);
 
     for (name, stg) in [
         ("fig5_sender", sender()),
         ("fig6_receiver", receiver()),
         ("fig7_translator", translator()),
     ] {
-        group.bench_function(format!("{name}_classical_check"), |b| {
-            b.iter(|| stg.classical_report(&opts).unwrap());
+        group.bench(format!("{name}_classical_check"), || {
+            stg.classical_report(&opts).unwrap()
         });
-        group.bench_function(format!("{name}_state_graph"), |b| {
-            b.iter(|| {
-                let sg = StateGraph::build(&stg, &BTreeMap::new(), 1_000_000).unwrap();
-                assert!(sg.is_consistent());
-                sg.state_count()
-            });
+        group.bench(format!("{name}_state_graph"), || {
+            let sg = StateGraph::build(&stg, &BTreeMap::new(), 1_000_000).unwrap();
+            assert!(sg.is_consistent());
+            sg.state_count()
         });
     }
 
-    group.bench_function("full_system_compose_and_analyze", |b| {
-        b.iter(|| {
-            let system = sender()
-                .compose(&translator())
-                .unwrap()
-                .compose(&receiver())
-                .unwrap()
-                .remove_dead(&opts)
-                .unwrap();
-            let rg = system.net().reachability(&opts).unwrap();
-            system.net().analysis(&rg).safe
-        });
+    group.bench("full_system_compose_and_analyze", || {
+        let system = sender()
+            .compose(&translator())
+            .unwrap()
+            .compose(&receiver())
+            .unwrap()
+            .remove_dead(&opts)
+            .unwrap();
+        let rg = system.net().reachability(&opts).unwrap();
+        system.net().analysis(&rg).safe
     });
     group.finish();
 }
-
-criterion_group!(benches, bench_blocks);
-criterion_main!(benches);

@@ -5,46 +5,36 @@
 use cpn_petri::ReachabilityOptions;
 use cpn_sim::monitor_composition;
 use cpn_stg::protocol::{sender, sender_inconsistent, translator};
-use criterion::{criterion_group, criterion_main, Criterion};
+use cpn_testkit::bench::BenchGroup;
 
-fn bench_fig8(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig8_inconsistency");
-    group.sample_size(20);
+fn main() {
+    let mut group = BenchGroup::new("fig8_inconsistency");
     let opts = ReachabilityOptions::default();
     let tr = translator();
 
     let good = sender();
-    group.bench_function("exhaustive_consistent", |b| {
-        b.iter(|| {
-            let rep = good.check_receptiveness(&tr, &opts).unwrap();
-            assert!(rep.is_receptive());
-        });
+    group.bench("exhaustive_consistent", || {
+        let rep = good.check_receptiveness(&tr, &opts).unwrap();
+        assert!(rep.is_receptive());
     });
 
     let bad = sender_inconsistent();
-    group.bench_function("exhaustive_inconsistent", |b| {
-        b.iter(|| {
-            let rep = bad.check_receptiveness(&tr, &opts).unwrap();
-            assert!(!rep.is_receptive());
-        });
+    group.bench("exhaustive_inconsistent", || {
+        let rep = bad.check_receptiveness(&tr, &opts).unwrap();
+        assert!(!rep.is_receptive());
     });
 
-    group.bench_function("dynamic_monitor_inconsistent", |b| {
-        let mut seed = 0u64;
-        b.iter(|| {
-            seed += 1;
-            monitor_composition(
-                bad.net(),
-                tr.net(),
-                &bad.output_labels(),
-                &tr.output_labels(),
-                seed,
-                100_000,
-            )
-        });
+    let mut seed = 0u64;
+    group.bench("dynamic_monitor_inconsistent", || {
+        seed += 1;
+        monitor_composition(
+            bad.net(),
+            tr.net(),
+            &bad.output_labels(),
+            &tr.output_labels(),
+            seed,
+            100_000,
+        )
     });
     group.finish();
 }
-
-criterion_group!(benches, bench_fig8);
-criterion_main!(benches);

@@ -4,38 +4,29 @@
 
 use cpn_petri::ReachabilityOptions;
 use cpn_stg::protocol::{receiver, sender_restricted, translator};
-use criterion::{criterion_group, criterion_main, Criterion};
+use cpn_testkit::bench::BenchGroup;
 
-fn bench_fig9(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig9_reduction");
-    group.sample_size(10);
+fn main() {
+    let mut group = BenchGroup::new("fig9_reduction");
     let opts = ReachabilityOptions::default();
 
     let tr = translator();
     let env = sender_restricted();
-    group.bench_function("reduce_translator", |b| {
-        b.iter(|| tr.reduce_against(&env, &opts, 10_000).unwrap());
+    group.bench("reduce_translator", || {
+        tr.reduce_against(&env, &opts, 10_000).unwrap()
     });
 
     let tr_red = tr.reduce_against(&env, &opts, 10_000).unwrap();
     let rx = receiver();
-    group.bench_function("prune_receiver", |b| {
-        b.iter(|| {
-            rx.prune_against(&tr_red, &ReachabilityOptions::with_max_states(2_000_000))
-                .unwrap()
-        });
+    group.bench("prune_receiver", || {
+        rx.prune_against(&tr_red, &ReachabilityOptions::with_max_states(2_000_000))
+            .unwrap()
     });
 
-    group.bench_function("thm_5_1_containment_depth5", |b| {
-        b.iter(|| {
-            let reduced_lang = tr_red.language(5, 2_000_000).unwrap();
-            let orig = tr.language(7, 2_000_000).unwrap();
-            assert!(reduced_lang
-                .subset_up_to(&orig.project(tr_red.net().alphabet()), 5));
-        });
+    group.bench("thm_5_1_containment_depth5", || {
+        let reduced_lang = tr_red.language(5, 2_000_000).unwrap();
+        let orig = tr.language(7, 2_000_000).unwrap();
+        assert!(reduced_lang.subset_up_to(&orig.project(tr_red.net().alphabet()), 5));
     });
     group.finish();
 }
-
-criterion_group!(benches, bench_fig9);
-criterion_main!(benches);

@@ -4,33 +4,29 @@
 
 use cpn_cip::protocol::{cmd_encoding, out_encoding, protocol_cip};
 use cpn_cip::{DataEncoding, HandshakeProtocol};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use cpn_testkit::bench::{black_box, BenchGroup};
 
-fn bench_table1(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table1_translation");
+fn main() {
+    let mut group = BenchGroup::new("table1_translation");
 
-    group.bench_function("build_table_encodings", |b| {
-        b.iter(|| (black_box(cmd_encoding()), black_box(out_encoding())));
+    group.bench("build_table_encodings", || {
+        (black_box(cmd_encoding()), black_box(out_encoding()))
     });
 
     for bits in [1usize, 2, 4, 8] {
-        group.bench_with_input(BenchmarkId::new("dual_rail", bits), &bits, |b, &bits| {
-            b.iter(|| DataEncoding::dual_rail("d", black_box(bits)));
+        group.bench(format!("dual_rail/{bits}"), || {
+            DataEncoding::dual_rail("d", black_box(bits))
         });
     }
     for n in [4usize, 8, 12] {
-        group.bench_with_input(BenchmarkId::new("two_of_n", n), &n, |b, &n| {
-            b.iter(|| DataEncoding::m_of_n("w", 2, black_box(n)));
+        group.bench(format!("two_of_n/{n}"), || {
+            DataEncoding::m_of_n("w", 2, black_box(n))
         });
     }
 
     let cip = protocol_cip().unwrap();
-    group.bench_function("expand_protocol_cip", |b| {
-        b.iter(|| cip.expand(HandshakeProtocol::FourPhase).unwrap());
+    group.bench("expand_protocol_cip", || {
+        cip.expand(HandshakeProtocol::FourPhase).unwrap()
     });
     group.finish();
 }
-
-criterion_group!(benches, bench_table1);
-criterion_main!(benches);

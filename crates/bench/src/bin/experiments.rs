@@ -14,8 +14,8 @@ use cpn_core::{
 use cpn_petri::{PetriNet, ReachabilityOptions};
 use cpn_sim::monitor_composition;
 use cpn_stg::protocol::{
-    receiver, sender, sender_inconsistent, sender_restricted, translator,
-    RECEIVER_COMMANDS, SENDER_COMMANDS,
+    receiver, sender, sender_inconsistent, sender_restricted, translator, RECEIVER_COMMANDS,
+    SENDER_COMMANDS,
 };
 use cpn_stg::{StateGraph, Stg};
 use cpn_trace::Language;
@@ -29,7 +29,10 @@ fn header(id: &str, title: &str) {
 }
 
 fn stg_stats(stg: &Stg, opts: &ReachabilityOptions) -> (usize, usize, usize) {
-    let rg = stg.net().reachability(opts).expect("protocol nets are bounded");
+    let rg = stg
+        .net()
+        .reachability(opts)
+        .expect("protocol nets are bounded");
     (
         stg.net().place_count(),
         stg.net().transition_count(),
@@ -53,7 +56,10 @@ fn fig1() {
     let rhs = Language::from_net(&n1, 6, 1_000_000)
         .unwrap()
         .union(&Language::from_net(&n2, 6, 1_000_000).unwrap());
-    println!("L(N1+N2) = L(N1) ∪ L(N2) up to depth 6: {}", lhs.eq_up_to(&rhs, 6));
+    println!(
+        "L(N1+N2) = L(N1) ∪ L(N2) up to depth 6: {}",
+        lhs.eq_up_to(&rhs, 6)
+    );
     println!(
         "committed choice (no branch switch after loop): {}",
         !lhs.contains(&["a", "b", "c"]) && !lhs.contains(&["c", "d", "a"])
@@ -61,7 +67,10 @@ fn fig1() {
 }
 
 fn fig2() {
-    header("FIG2", "parallel composition ((a+b).c)* ‖ (a.d.a.e)* (Thm 4.5)");
+    header(
+        "FIG2",
+        "parallel composition ((a+b).c)* ‖ (a.d.a.e)* (Thm 4.5)",
+    );
     let l = fig2_left();
     let r = fig2_right();
     let composed = parallel(&l, &r);
@@ -82,7 +91,10 @@ fn fig2() {
     let rhs = Language::from_net(&l, 6, 1_000_000)
         .unwrap()
         .parallel(&Language::from_net(&r, 6, 1_000_000).unwrap());
-    println!("L(N1‖N2) = L(N1)‖L(N2) up to depth 6: {}", lhs.eq_up_to(&rhs, 6));
+    println!(
+        "L(N1‖N2) = L(N1)‖L(N2) up to depth 6: {}",
+        lhs.eq_up_to(&rhs, 6)
+    );
     println!(
         "a synchronizes: trace 'a c d a c e' in language: {}",
         lhs.contains(&["a", "c", "d", "a", "c", "e"])
@@ -201,7 +213,10 @@ fn fig8() {
     let opts = ReachabilityOptions::default();
     let tr = translator();
     let good = sender().check_receptiveness(&tr, &opts).unwrap();
-    println!("consistent sender ‖ translator: receptive = {}", good.is_receptive());
+    println!(
+        "consistent sender ‖ translator: receptive = {}",
+        good.is_receptive()
+    );
     let bad_stg = sender_inconsistent();
     let t0 = Instant::now();
     let bad = bad_stg.check_receptiveness(&tr, &opts).unwrap();
@@ -212,8 +227,7 @@ fn fig8() {
         bad.failures.len(),
         static_time
     );
-    let mut labels: Vec<String> =
-        bad.failures.iter().map(|f| f.label.to_string()).collect();
+    let mut labels: Vec<String> = bad.failures.iter().map(|f| f.label.to_string()).collect();
     labels.dedup();
     println!("failing outputs: {labels:?}");
     // Dynamic detection cost.
@@ -238,17 +252,25 @@ fn fig8() {
 }
 
 fn fig9() {
-    header("FIG9", "compositional synthesis: simplified translator & receiver");
+    header(
+        "FIG9",
+        "compositional synthesis: simplified translator & receiver",
+    );
     let opts = ReachabilityOptions::default();
     let tr = translator();
-    let tr_red = tr.reduce_against(&sender_restricted(), &opts, 10_000).unwrap();
+    let tr_red = tr
+        .reduce_against(&sender_restricted(), &opts, 10_000)
+        .unwrap();
     let (p0, t0, s0) = stg_stats(&tr, &opts);
     let (p1, t1, s1) = stg_stats(&tr_red, &opts);
     println!("translator (Fig 7):      {p0:>3} places {t0:>3} transitions {s0:>4} states");
     println!("simplified (Fig 9b):     {p1:>3} places {t1:>3} transitions {s1:>4} states");
     println!(
         "DATA/STROBE interface removed: {}",
-        !tr_red.signals().keys().any(|s| s.name() == "DATA" || s.name() == "STROBE")
+        !tr_red
+            .signals()
+            .keys()
+            .any(|s| s.name() == "DATA" || s.name() == "STROBE")
     );
     let reduced_lang = tr_red.language(5, 2_000_000).unwrap();
     let orig = tr.language(7, 2_000_000).unwrap();
@@ -281,7 +303,11 @@ fn expansion() {
         let sys = g.expand(HandshakeProtocol::FourPhase).unwrap();
         print!("{name}: ");
         for (n, stg) in sys.names().iter().zip(sys.stgs()) {
-            print!("{n} {}p/{}t  ", stg.net().place_count(), stg.net().transition_count());
+            print!(
+                "{n} {}p/{}t  ",
+                stg.net().place_count(),
+                stg.net().transition_count()
+            );
         }
         let composed = sys.compose_all().unwrap().remove_dead(&opts).unwrap();
         let rg = composed.net().reachability(&opts).unwrap();
@@ -302,8 +328,14 @@ fn expansion() {
 }
 
 fn abl1() {
-    header("ABL1", "net-level algebra vs state-space size (Section 1 claim)");
-    println!("{:>3} {:>10} {:>12} {:>12}", "k", "net (p+t)", "states", "RG time");
+    header(
+        "ABL1",
+        "net-level algebra vs state-space size (Section 1 claim)",
+    );
+    println!(
+        "{:>3} {:>10} {:>12} {:>12}",
+        "k", "net (p+t)", "states", "RG time"
+    );
     for k in [4usize, 8, 12, 16, 18] {
         let nets: Vec<PetriNet<String>> = (0..k)
             .map(|i| {

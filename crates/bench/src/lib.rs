@@ -60,7 +60,8 @@ pub fn tau_chain(taus: usize) -> PetriNet<String> {
         prev = next;
     }
     let last = net.add_place("pl");
-    net.add_transition([prev], "end".to_owned(), [last]).expect("chain");
+    net.add_transition([prev], "end".to_owned(), [last])
+        .expect("chain");
     net.add_transition([last], "loop".to_owned(), [PlaceId::from_index(0)])
         .expect("chain");
     net
@@ -72,7 +73,12 @@ pub fn tau_chain(taus: usize) -> PetriNet<String> {
 pub fn handshake_ring(
     stages: usize,
     offset: usize,
-) -> (PetriNet<String>, PetriNet<String>, BTreeSet<String>, BTreeSet<String>) {
+) -> (
+    PetriNet<String>,
+    PetriNet<String>,
+    BTreeSet<String>,
+    BTreeSet<String>,
+) {
     let build = |prefix: &str, start: usize| {
         let mut net: PetriNet<String> = PetriNet::new();
         let ps: Vec<PlaceId> = (0..2 * stages)
@@ -106,7 +112,12 @@ pub fn handshake_ring(
 pub fn wide_handshake(
     width: usize,
     swapped_lane: Option<usize>,
-) -> (PetriNet<String>, PetriNet<String>, BTreeSet<String>, BTreeSet<String>) {
+) -> (
+    PetriNet<String>,
+    PetriNet<String>,
+    BTreeSet<String>,
+    BTreeSet<String>,
+) {
     // `fork`/`join` are shared so both sides enter a round together;
     // a swapped lane on the consumer expects ack before req — the
     // producer then offers a req the consumer cannot take.
@@ -152,7 +163,8 @@ pub fn sync_pipeline(k: usize) -> Vec<PetriNet<String>> {
             let mut net: PetriNet<String> = PetriNet::new();
             let p = net.add_place(format!("s{i}.p"));
             let q = net.add_place(format!("s{i}.q"));
-            net.add_transition([p], format!("x{i}"), [q]).expect("stage");
+            net.add_transition([p], format!("x{i}"), [q])
+                .expect("stage");
             net.add_transition([q], format!("x{}", i + 1), [p])
                 .expect("stage");
             net.set_initial(p, 1);
@@ -180,7 +192,10 @@ mod tests {
     fn tau_chain_hides_away() {
         let net = tau_chain(4);
         let hidden = cpn_core::hide_label(&net, &"tau".to_owned(), 1000).unwrap();
-        assert!(hidden.transitions_with_label(&"tau".to_owned()).next().is_none());
+        assert!(hidden
+            .transitions_with_label(&"tau".to_owned())
+            .next()
+            .is_none());
     }
 
     #[test]

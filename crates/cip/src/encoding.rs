@@ -61,10 +61,7 @@ impl DataEncoding {
     ///
     /// [`EncodingError`] on empty codes, out-of-range wires, or covering
     /// codes.
-    pub fn new(
-        wires: Vec<Signal>,
-        codes: Vec<BTreeSet<usize>>,
-    ) -> Result<Self, EncodingError> {
+    pub fn new(wires: Vec<Signal>, codes: Vec<BTreeSet<usize>>) -> Result<Self, EncodingError> {
         for (v, code) in codes.iter().enumerate() {
             if code.is_empty() {
                 return Err(EncodingError::EmptyCode(v));
@@ -78,7 +75,10 @@ impl DataEncoding {
         for i in 0..codes.len() {
             for j in 0..codes.len() {
                 if i != j && codes[i].is_superset(&codes[j]) {
-                    return Err(EncodingError::CodeCovers { covering: i, covered: j });
+                    return Err(EncodingError::CodeCovers {
+                        covering: i,
+                        covered: j,
+                    });
                 }
             }
         }
@@ -172,8 +172,7 @@ impl DataEncoding {
     /// not exactly a code).
     pub fn decode(&self, raised: &BTreeSet<Signal>) -> Option<usize> {
         self.codes.iter().position(|code| {
-            let wires: BTreeSet<Signal> =
-                code.iter().map(|&w| self.wires[w].clone()).collect();
+            let wires: BTreeSet<Signal> = code.iter().map(|&w| self.wires[w].clone()).collect();
             &wires == raised
         })
     }
@@ -189,11 +188,19 @@ mod tests {
         assert_eq!(e.wires().len(), 4);
         assert_eq!(e.value_count(), 4);
         // Value 0 = both false rails; value 3 = both true rails.
-        let c0: BTreeSet<String> =
-            e.code(0).unwrap().iter().map(|s| s.name().to_owned()).collect();
+        let c0: BTreeSet<String> = e
+            .code(0)
+            .unwrap()
+            .iter()
+            .map(|s| s.name().to_owned())
+            .collect();
         assert_eq!(c0, BTreeSet::from(["d0_f".to_owned(), "d1_f".to_owned()]));
-        let c3: BTreeSet<String> =
-            e.code(3).unwrap().iter().map(|s| s.name().to_owned()).collect();
+        let c3: BTreeSet<String> = e
+            .code(3)
+            .unwrap()
+            .iter()
+            .map(|s| s.name().to_owned())
+            .collect();
         assert_eq!(c3, BTreeSet::from(["d0_t".to_owned(), "d1_t".to_owned()]));
     }
 
@@ -217,28 +224,26 @@ mod tests {
     #[test]
     fn covering_codes_rejected() {
         let wires = vec![Signal::new("a"), Signal::new("b")];
-        let err = DataEncoding::new(
-            wires,
-            vec![BTreeSet::from([0]), BTreeSet::from([0, 1])],
-        )
-        .unwrap_err();
-        assert_eq!(err, EncodingError::CodeCovers { covering: 1, covered: 0 });
+        let err = DataEncoding::new(wires, vec![BTreeSet::from([0]), BTreeSet::from([0, 1])])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            EncodingError::CodeCovers {
+                covering: 1,
+                covered: 0
+            }
+        );
     }
 
     #[test]
     fn empty_code_rejected() {
-        let err =
-            DataEncoding::new(vec![Signal::new("a")], vec![BTreeSet::new()]).unwrap_err();
+        let err = DataEncoding::new(vec![Signal::new("a")], vec![BTreeSet::new()]).unwrap_err();
         assert_eq!(err, EncodingError::EmptyCode(0));
     }
 
     #[test]
     fn wire_range_checked() {
-        let err = DataEncoding::new(
-            vec![Signal::new("a")],
-            vec![BTreeSet::from([3])],
-        )
-        .unwrap_err();
+        let err = DataEncoding::new(vec![Signal::new("a")], vec![BTreeSet::from([3])]).unwrap_err();
         assert_eq!(err, EncodingError::WireOutOfRange(3));
     }
 

@@ -106,7 +106,9 @@ impl ExpandedSystem {
             let Some(rest) = rest else {
                 out.push((
                     self.names[i].clone(),
-                    cpn_core::ReceptivenessReport { failures: Vec::new() },
+                    cpn_core::ReceptivenessReport {
+                        failures: Vec::new(),
+                    },
                 ));
                 continue;
             };
@@ -253,7 +255,8 @@ fn expand_module(
         for w in &bundle.data {
             stg.try_add_signal(w.name(), data_dir).map_err(inner)?;
         }
-        stg.try_add_signal(bundle.ack.name(), ack_dir).map_err(inner)?;
+        stg.try_add_signal(bundle.ack.name(), ack_dir)
+            .map_err(inner)?;
     }
 
     // Copy places.
@@ -334,24 +337,16 @@ fn expand_module(
                         let mid = stg.add_place(format!("t{}.2ph", tid.index()));
                         stg.add_signal_transition(pre, (req, Edge::Toggle), [mid])
                             .map_err(inner)?;
-                        stg.add_signal_transition(
-                            [mid],
-                            (bundle.ack.clone(), Edge::Toggle),
-                            post,
-                        )
-                        .map_err(inner)?;
+                        stg.add_signal_transition([mid], (bundle.ack.clone(), Edge::Toggle), post)
+                            .map_err(inner)?;
                     }
                     (ChanOp::Recv(_), HandshakeProtocol::TwoPhase) => {
                         let req = bundle.data[0].clone();
                         let mid = stg.add_place(format!("t{}.2ph", tid.index()));
                         stg.add_signal_transition(pre, (req, Edge::Toggle), [mid])
                             .map_err(inner)?;
-                        stg.add_signal_transition(
-                            [mid],
-                            (bundle.ack.clone(), Edge::Toggle),
-                            post,
-                        )
-                        .map_err(inner)?;
+                        stg.add_signal_transition([mid], (bundle.ack.clone(), Edge::Toggle), post)
+                            .map_err(inner)?;
                     }
                 }
             }
@@ -400,11 +395,7 @@ fn expand_send_4ph(
     for &wi in &code {
         dn_places.push(stg.add_place(format!("t{tid}.dn.{wi}")));
     }
-    stg.add_signal_transition(
-        hi_places,
-        (ack.clone(), Edge::Rise),
-        dn_places.clone(),
-    )?;
+    stg.add_signal_transition(hi_places, (ack.clone(), Edge::Rise), dn_places.clone())?;
 
     // Fall phase.
     let mut lo_places = Vec::new();
@@ -478,7 +469,8 @@ mod tests {
         let mut g = CipGraph::new();
         let a = g.add_module(tx);
         let b = g.add_module(rx);
-        g.add_channel_edge(a, b, ChannelSpec::control("go")).unwrap();
+        g.add_channel_edge(a, b, ChannelSpec::control("go"))
+            .unwrap();
         g
     }
 
@@ -487,7 +479,11 @@ mod tests {
         let sys = control_pair().expand(HandshakeProtocol::FourPhase).unwrap();
         let composed = sys.compose_all().unwrap();
         let rep = composed.classical_report(&Default::default()).unwrap();
-        assert!(rep.live, "expanded handshake must be live:\n{}", composed.net());
+        assert!(
+            rep.live,
+            "expanded handshake must be live:\n{}",
+            composed.net()
+        );
         assert!(rep.safe);
     }
 
@@ -512,10 +508,12 @@ mod tests {
         let sys = control_pair().expand(HandshakeProtocol::TwoPhase).unwrap();
         let composed = sys.compose_all().unwrap();
         let lang = composed.language(2, 10_000).unwrap();
-        assert!(lang.contains(&[
-            StgLabel::signal("go_req", Edge::Toggle),
-            StgLabel::signal("go_ack", Edge::Toggle),
-        ][..]));
+        assert!(lang.contains(
+            &[
+                StgLabel::signal("go_req", Edge::Toggle),
+                StgLabel::signal("go_ack", Edge::Toggle),
+            ][..]
+        ));
         let rep = composed.classical_report(&Default::default()).unwrap();
         assert!(rep.live && rep.safe);
     }
@@ -551,7 +549,9 @@ mod tests {
 
     #[test]
     fn dual_rail_data_channel_runs() {
-        let sys = data_pair(false).expand(HandshakeProtocol::FourPhase).unwrap();
+        let sys = data_pair(false)
+            .expand(HandshakeProtocol::FourPhase)
+            .unwrap();
         // The fusion cross-product leaves dead duplicates (Section 5.2);
         // prune them before judging liveness.
         let composed = sys
@@ -564,17 +564,23 @@ mod tests {
         assert!(rep.safe);
         // Value 1 raises the true rail first.
         let lang = composed.language(2, 100_000).unwrap();
-        assert!(lang.contains(&[
-            StgLabel::signal("d0_t", Edge::Rise),
-            StgLabel::signal("d_ack", Edge::Rise),
-        ][..]));
-        assert!(!lang.contains(&[StgLabel::signal("d0_f", Edge::Rise)][..]),
-            "value 1 must not raise the false rail first");
+        assert!(lang.contains(
+            &[
+                StgLabel::signal("d0_t", Edge::Rise),
+                StgLabel::signal("d_ack", Edge::Rise),
+            ][..]
+        ));
+        assert!(
+            !lang.contains(&[StgLabel::signal("d0_f", Edge::Rise)][..]),
+            "value 1 must not raise the false rail first"
+        );
     }
 
     #[test]
     fn selective_receive_routes_on_value() {
-        let sys = data_pair(true).expand(HandshakeProtocol::FourPhase).unwrap();
+        let sys = data_pair(true)
+            .expand(HandshakeProtocol::FourPhase)
+            .unwrap();
         let composed = sys
             .compose_all()
             .unwrap()
@@ -586,7 +592,9 @@ mod tests {
 
     #[test]
     fn two_phase_data_rejected() {
-        let err = data_pair(false).expand(HandshakeProtocol::TwoPhase).unwrap_err();
+        let err = data_pair(false)
+            .expand(HandshakeProtocol::TwoPhase)
+            .unwrap_err();
         assert!(matches!(err, CipError::ChannelMismatch(_)));
     }
 
@@ -624,12 +632,8 @@ mod tests {
         let mut g = CipGraph::new();
         let a = g.add_module(tx);
         let b = g.add_module(rx);
-        g.add_channel_edge(
-            a,
-            b,
-            ChannelSpec::data("d", DataEncoding::one_hot("w", 2)),
-        )
-        .unwrap();
+        g.add_channel_edge(a, b, ChannelSpec::data("d", DataEncoding::one_hot("w", 2)))
+            .unwrap();
         let err = g.expand(HandshakeProtocol::FourPhase).unwrap_err();
         assert!(matches!(err, CipError::ChannelMismatch(_)));
     }

@@ -49,10 +49,16 @@ impl fmt::Display for CipError {
                 write!(f, "signal edge {s} inconsistent with module directions")
             }
             CipError::UndeclaredChannel(c) => {
-                write!(f, "channel {c} used by a module but not declared on any edge")
+                write!(
+                    f,
+                    "channel {c} used by a module but not declared on any edge"
+                )
             }
             CipError::ValueOutOfRange { channel, value } => {
-                write!(f, "value {value} does not fit the encoding of channel {channel}")
+                write!(
+                    f,
+                    "value {value} does not fit the encoding of channel {channel}"
+                )
             }
             CipError::Inner(e) => write!(f, "{e}"),
         }
@@ -80,12 +86,18 @@ pub struct ChannelSpec {
 impl ChannelSpec {
     /// A control-only channel (plain request/acknowledge).
     pub fn control(name: impl Into<Channel>) -> Self {
-        ChannelSpec { channel: name.into(), encoding: None }
+        ChannelSpec {
+            channel: name.into(),
+            encoding: None,
+        }
     }
 
     /// A data channel with the given encoding.
     pub fn data(name: impl Into<Channel>, encoding: DataEncoding) -> Self {
-        ChannelSpec { channel: name.into(), encoding: Some(encoding) }
+        ChannelSpec {
+            channel: name.into(),
+            encoding: Some(encoding),
+        }
     }
 }
 
@@ -142,7 +154,11 @@ impl CipGraph {
     ) -> Result<(), CipError> {
         self.check_idx(from)?;
         self.check_idx(to)?;
-        self.edges.push(CipEdge { from, to, link: Link::Signal(signal) });
+        self.edges.push(CipEdge {
+            from,
+            to,
+            link: Link::Signal(signal),
+        });
         Ok(())
     }
 
@@ -159,13 +175,14 @@ impl CipGraph {
     ) -> Result<(), CipError> {
         self.check_idx(from)?;
         self.check_idx(to)?;
-        if self
-            .channel_specs()
-            .any(|(c, _)| c == &spec.channel)
-        {
+        if self.channel_specs().any(|(c, _)| c == &spec.channel) {
             return Err(CipError::DuplicateChannel(spec.channel.name().to_owned()));
         }
-        self.edges.push(CipEdge { from, to, link: Link::Channel(spec) });
+        self.edges.push(CipEdge {
+            from,
+            to,
+            link: Link::Channel(spec),
+        });
         Ok(())
     }
 
@@ -215,9 +232,7 @@ impl CipGraph {
         for (mi, m) in self.modules.iter().enumerate() {
             for c in m.sends() {
                 match declared.get(&c) {
-                    None => {
-                        return Err(CipError::UndeclaredChannel(c.name().to_owned()))
-                    }
+                    None => return Err(CipError::UndeclaredChannel(c.name().to_owned())),
                     Some(e) if e.from != mi => {
                         return Err(CipError::ChannelMismatch(c.name().to_owned()))
                     }
@@ -226,9 +241,7 @@ impl CipGraph {
             }
             for c in m.receives() {
                 match declared.get(&c) {
-                    None => {
-                        return Err(CipError::UndeclaredChannel(c.name().to_owned()))
-                    }
+                    None => return Err(CipError::UndeclaredChannel(c.name().to_owned())),
                     Some(e) if e.to != mi => {
                         return Err(CipError::ChannelMismatch(c.name().to_owned()))
                     }
@@ -262,8 +275,7 @@ impl CipGraph {
             if let Link::Signal(s) = &e.link {
                 let src = self.modules[e.from].signals().get(s).copied();
                 let dst = self.modules[e.to].signals().get(s).copied();
-                let src_drives =
-                    matches!(src, Some(SignalDir::Output) | Some(SignalDir::Internal));
+                let src_drives = matches!(src, Some(SignalDir::Output) | Some(SignalDir::Internal));
                 let dst_reads = matches!(dst, Some(SignalDir::Input));
                 if !src_drives || !dst_reads {
                     return Err(CipError::SignalMismatch(s.name().to_owned()));
@@ -296,7 +308,8 @@ mod tests {
         let mut g = CipGraph::new();
         let a = g.add_module(tx);
         let b = g.add_module(rx);
-        g.add_channel_edge(a, b, ChannelSpec::control("go")).unwrap();
+        g.add_channel_edge(a, b, ChannelSpec::control("go"))
+            .unwrap();
         g.validate().unwrap();
     }
 
@@ -306,7 +319,8 @@ mod tests {
         let mut g = CipGraph::new();
         let a = g.add_module(tx);
         let b = g.add_module(rx);
-        g.add_channel_edge(b, a, ChannelSpec::control("go")).unwrap();
+        g.add_channel_edge(b, a, ChannelSpec::control("go"))
+            .unwrap();
         assert!(matches!(
             g.validate().unwrap_err(),
             CipError::ChannelMismatch(_)
@@ -331,7 +345,8 @@ mod tests {
         let mut g = CipGraph::new();
         let a = g.add_module(tx);
         let b = g.add_module(rx);
-        g.add_channel_edge(a, b, ChannelSpec::control("go")).unwrap();
+        g.add_channel_edge(a, b, ChannelSpec::control("go"))
+            .unwrap();
         assert!(matches!(
             g.add_channel_edge(a, b, ChannelSpec::control("go")),
             Err(CipError::DuplicateChannel(_))

@@ -61,5 +61,5 @@ pub mod protocol;
 pub use encoding::DataEncoding;
 pub use expand::{ExpandedSystem, HandshakeProtocol};
 pub use graph::{ChannelSpec, CipEdge, CipError, CipGraph, Link};
-pub use label::{Channel, ChanOp, CipLabel};
+pub use label::{ChanOp, Channel, CipLabel};
 pub use module::Module;

@@ -69,11 +69,8 @@ impl Module {
                 self.name
             )));
         }
-        self.net.add_transition(
-            preset,
-            CipLabel::Signal(signal.clone(), edge),
-            postset,
-        )
+        self.net
+            .add_transition(preset, CipLabel::Signal(signal.clone(), edge), postset)
     }
 
     /// Adds a send event `c!` / `c!v`.

@@ -99,21 +99,26 @@ pub fn translator() -> Module {
     let init = m.add_place("init");
     let wait = m.add_place("wait");
     m.set_initial(init, 1);
-    m.add_send([init], "out", Some(0), [wait]).expect("translator"); // start
+    m.add_send([init], "out", Some(0), [wait])
+        .expect("translator"); // start
 
     // reset → start, send0 → zero, send1 → one.
     for (cmd_v, out_v) in [(1usize, 0usize), (2, 2), (3, 3)] {
         let got = m.add_place(format!("got{cmd_v}"));
-        m.add_recv_case([wait], "cmd", cmd_v, [got]).expect("translator");
-        m.add_send([got], "out", Some(out_v), [wait]).expect("translator");
+        m.add_recv_case([wait], "cmd", cmd_v, [got])
+            .expect("translator");
+        m.add_send([got], "out", Some(out_v), [wait])
+            .expect("translator");
     }
     // rec → sample the lines (abstracted as free choice over responses).
     let got_rec = m.add_place("got_rec");
-    m.add_recv_case([wait], "cmd", 0, [got_rec]).expect("translator");
+    m.add_recv_case([wait], "cmd", 0, [got_rec])
+        .expect("translator");
     for out_v in 0..OUT_VALUES.len() {
         let sel = m.add_place(format!("rec.sel{out_v}"));
         m.add_dummy([got_rec], [sel]).expect("translator");
-        m.add_send([sel], "out", Some(out_v), [wait]).expect("translator");
+        m.add_send([sel], "out", Some(out_v), [wait])
+            .expect("translator");
     }
     m
 }
@@ -210,7 +215,10 @@ mod tests {
             .unwrap();
         let an = composed.net().analysis(&rg);
         assert!(an.safe, "expanded CIP protocol must be safe");
-        assert!(an.deadlock_free, "expanded CIP protocol must be deadlock-free");
+        assert!(
+            an.deadlock_free,
+            "expanded CIP protocol must be deadlock-free"
+        );
         assert!(an.dead_transitions().is_empty());
         // Only the translator's one-shot initial `start` transmission
         // (ε fork, two wire rises, ack+, two falls, ack−) is transient.

@@ -122,20 +122,18 @@ pub fn root_unwinding<L: Label>(net: &PetriNet<L>) -> Result<RootUnwinding<L>, P
                 .collect();
             let new_pre: Vec<PlaceId> = pre
                 .iter()
-                .map(|p| {
-                    if redirect.contains(p) {
-                        copy_of[p]
-                    } else {
-                        *p
-                    }
-                })
+                .map(|p| if redirect.contains(p) { copy_of[p] } else { *p })
                 .collect();
             out.add_transition(new_pre, label.clone(), post.iter().copied())
                 .expect("duplicated entry transition is valid");
         }
     }
 
-    Ok(RootUnwinding { net: out, originals, copies })
+    Ok(RootUnwinding {
+        net: out,
+        originals,
+        copies,
+    })
 }
 
 /// Non-deterministic choice `N1 + N2` (Definition 4.6).
@@ -172,10 +170,7 @@ pub fn root_unwinding<L: Label>(net: &PetriNet<L>) -> Result<RootUnwinding<L>, P
 /// # Ok(())
 /// # }
 /// ```
-pub fn choice<L: Label>(
-    n1: &PetriNet<L>,
-    n2: &PetriNet<L>,
-) -> Result<PetriNet<L>, PetriError> {
+pub fn choice<L: Label>(n1: &PetriNet<L>, n2: &PetriNet<L>) -> Result<PetriNet<L>, PetriError> {
     let mut rw1 = root_unwinding(n1)?;
     let mut rw2 = root_unwinding(n2)?;
     // A net with an empty initial marking has no entry transitions and
@@ -478,7 +473,10 @@ mod tests {
         n1.add_transition([p], "a", [q]).unwrap();
         n1.add_transition([q], "b", [p]).unwrap();
         n1.set_initial(p, 2);
-        assert!(choice(&n1, &cycle("c", "d")).is_err(), "Def 4.6 needs safety");
+        assert!(
+            choice(&n1, &cycle("c", "d")).is_err(),
+            "Def 4.6 needs safety"
+        );
 
         let n2 = cycle("c", "d");
         let both = choice_general(&n1, &n2);

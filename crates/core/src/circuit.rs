@@ -50,7 +50,11 @@ impl<L: Label> Circuit<L> {
                 )));
             }
         }
-        Ok(Circuit { inputs, outputs, net })
+        Ok(Circuit {
+            inputs,
+            outputs,
+            net,
+        })
     }
 
     /// The input actions `I`.
@@ -86,8 +90,7 @@ impl<L: Label> Circuit<L> {
                 "circuits share output {l}"
             )));
         }
-        let outputs: BTreeSet<L> =
-            self.outputs.union(&other.outputs).cloned().collect();
+        let outputs: BTreeSet<L> = self.outputs.union(&other.outputs).cloned().collect();
         let inputs: BTreeSet<L> = self
             .inputs
             .union(&other.inputs)
@@ -95,7 +98,11 @@ impl<L: Label> Circuit<L> {
             .cloned()
             .collect();
         let net = parallel(&self.net, &other.net);
-        Ok(Circuit { inputs, outputs, net })
+        Ok(Circuit {
+            inputs,
+            outputs,
+            net,
+        })
     }
 
     /// The `hide'` variant on circuits (Section 5.3): internal outputs

@@ -130,9 +130,7 @@ pub fn hide_transition<L: Label>(
     }
 
     // H_p: replace places of p by their product rows; keep the rest.
-    let row = |pi: PlaceId| -> Vec<PlaceId> {
-        q.iter().map(|&qj| product[&(pi, qj)]).collect()
-    };
+    let row = |pi: PlaceId| -> Vec<PlaceId> { q.iter().map(|&qj| product[&(pi, qj)]).collect() };
     let map_set = |s: &BTreeSet<PlaceId>| -> BTreeSet<PlaceId> {
         let mut r = BTreeSet::new();
         for &x in s {
@@ -273,11 +271,7 @@ pub fn project<L: Label>(
 /// (ε at the STG level). One dummy transition remains per hidden
 /// transition, preserving the information whether a synchronization is
 /// reached through internal steps — which the receptiveness check needs.
-pub fn hide_relabel<L: Label>(
-    net: &PetriNet<L>,
-    labels: &BTreeSet<L>,
-    silent: L,
-) -> PetriNet<L> {
+pub fn hide_relabel<L: Label>(net: &PetriNet<L>, labels: &BTreeSet<L>, silent: L) -> PetriNet<L> {
     let mut out = net.map_labels(|l| {
         if labels.contains(l) {
             silent.clone()
@@ -498,7 +492,10 @@ mod tests {
         net.set_initial(p, 1);
         let err = hide_label(&net, &"tau", 100).unwrap_err();
         assert!(
-            matches!(err, PetriError::HideSelfLoop(_) | PetriError::Precondition(_)),
+            matches!(
+                err,
+                PetriError::HideSelfLoop(_) | PetriError::Precondition(_)
+            ),
             "unexpected: {err}"
         );
     }

@@ -66,8 +66,7 @@ pub fn prefix<L: Label>(action: L, net: &PetriNet<L>) -> Result<PetriNet<L>, Pet
     }
     let m0 = out.add_place("m0");
     out.set_initial(m0, 1);
-    let initial_places: Vec<PlaceId> =
-        net.initial_places().iter().map(|p| map[p]).collect();
+    let initial_places: Vec<PlaceId> = net.initial_places().iter().map(|p| map[p]).collect();
     // The postset may be empty when N has no marked places (e.g. a.nil
     // would if nil were unmarked); Definition 4.3 allows it as long as
     // the preset is non-empty.
@@ -242,9 +241,10 @@ mod tests {
         let n = ab_cycle();
         let renamed = rename(&n, &BTreeMap::from([("a", "z")]));
         let lhs = Language::from_net(&renamed, 4, 10_000).unwrap();
-        let rhs = Language::from_net(&n, 4, 10_000)
-            .unwrap()
-            .rename(|l| if *l == "a" { "z" } else { *l });
+        let rhs =
+            Language::from_net(&n, 4, 10_000)
+                .unwrap()
+                .rename(|l| if *l == "a" { "z" } else { *l });
         assert!(lhs.eq_up_to(&rhs, 4));
     }
 

@@ -76,11 +76,7 @@ pub struct SyncTransition<L: Label> {
 /// # }
 /// ```
 pub fn parallel<L: Label>(n1: &PetriNet<L>, n2: &PetriNet<L>) -> PetriNet<L> {
-    let sync: BTreeSet<L> = n1
-        .alphabet()
-        .intersection(n2.alphabet())
-        .cloned()
-        .collect();
+    let sync: BTreeSet<L> = n1.alphabet().intersection(n2.alphabet()).cloned().collect();
     parallel_with_sync(n1, n2, &sync)
 }
 
@@ -152,8 +148,7 @@ pub fn parallel_tracked<L: Label>(
             for t2 in n2.transitions_with_label(a).collect::<Vec<_>>() {
                 let tr1 = n1.transition(t1);
                 let tr2 = n2.transition(t2);
-                let left_preset: BTreeSet<PlaceId> =
-                    tr1.preset().iter().map(|p| map1[p]).collect();
+                let left_preset: BTreeSet<PlaceId> = tr1.preset().iter().map(|p| map1[p]).collect();
                 let right_preset: BTreeSet<PlaceId> =
                     tr2.preset().iter().map(|p| map2[p]).collect();
                 let pre: BTreeSet<PlaceId> = left_preset

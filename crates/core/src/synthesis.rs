@@ -17,8 +17,7 @@
 use crate::hide::project;
 use crate::parallel::parallel;
 use cpn_petri::{
-    dead_transitions_rg, remove_dead, Label, PetriError, PetriNet,
-    ReachabilityOptions,
+    dead_transitions_rg, remove_dead, Label, PetriError, PetriNet, ReachabilityOptions,
 };
 use std::collections::BTreeSet;
 use std::fmt;
@@ -160,8 +159,7 @@ pub fn closure_report<L: Label>(
     Ok(ClosureReport {
         operands_safe: a1.safe && a2.safe,
         operands_live: a1.live && a2.live,
-        operands_marked_graph: n1.structural().is_marked_graph
-            && n2.structural().is_marked_graph,
+        operands_marked_graph: n1.structural().is_marked_graph && n2.structural().is_marked_graph,
         composition_safe: ac.safe,
         composition_live: ac.live,
         composition_marked_graph: composed.structural().is_marked_graph,
@@ -218,17 +216,14 @@ mod tests {
     fn reduction_drops_unused_service() {
         let m = two_service_module();
         let env = env_using_only_req1();
-        let red = reduce_against_environment(
-            &m,
-            &env,
-            &ReachabilityOptions::default(),
-            1000,
-        )
-        .unwrap();
+        let red =
+            reduce_against_environment(&m, &env, &ReachabilityOptions::default(), 1000).unwrap();
         // req2/done2 are never driven: they disappear entirely.
         let l = Language::from_net(&red.net, 4, 100_000).unwrap();
         assert!(l.contains(&["req1", "done1", "req1", "done1"]));
-        assert!(!l.iter().any(|t| t.contains(&"req2") || t.contains(&"done2")));
+        assert!(!l
+            .iter()
+            .any(|t| t.contains(&"req2") || t.contains(&"done2")));
         assert!(red.net.transition_count() < m.transition_count());
     }
 
@@ -236,13 +231,8 @@ mod tests {
     fn theorem_5_1_trace_containment() {
         let m = two_service_module();
         let env = env_using_only_req1();
-        let red = reduce_against_environment(
-            &m,
-            &env,
-            &ReachabilityOptions::default(),
-            1000,
-        )
-        .unwrap();
+        let red =
+            reduce_against_environment(&m, &env, &ReachabilityOptions::default(), 1000).unwrap();
         let reduced_lang = Language::from_net(&red.net, 5, 100_000).unwrap();
         let module_lang = Language::from_net(&m, 5, 100_000).unwrap();
         assert!(
@@ -259,7 +249,10 @@ mod tests {
         let n2 = cycle("b", "c");
         let rep = closure_report(&n1, &n2, &ReachabilityOptions::default()).unwrap();
         assert!(rep.operands_safe && rep.composition_safe, "Prop 5.2");
-        assert!(rep.operands_marked_graph && rep.composition_marked_graph, "Prop 5.4");
+        assert!(
+            rep.operands_marked_graph && rep.composition_marked_graph,
+            "Prop 5.4"
+        );
         assert!(rep.operands_live && rep.composition_live);
     }
 
@@ -282,13 +275,8 @@ mod tests {
         // module does: the reduction must not lose behaviour.
         let m = cycle("a", "b");
         let env = cycle("a", "x");
-        let red = reduce_against_environment(
-            &m,
-            &env,
-            &ReachabilityOptions::default(),
-            1000,
-        )
-        .unwrap();
+        let red =
+            reduce_against_environment(&m, &env, &ReachabilityOptions::default(), 1000).unwrap();
         let lm = Language::from_net(&m, 4, 100_000).unwrap();
         let lr = Language::from_net(&red.net, 4, 100_000).unwrap();
         assert!(lr.eq_up_to(&lm, 4), "reduced {lr} vs module {lm}");
@@ -301,13 +289,8 @@ mod tests {
         // operator must reject rather than mask (Section 4.4).
         let m = cycle("a", "b");
         let env = cycle("x", "y");
-        let err = reduce_against_environment(
-            &m,
-            &env,
-            &ReachabilityOptions::default(),
-            1000,
-        )
-        .unwrap_err();
+        let err = reduce_against_environment(&m, &env, &ReachabilityOptions::default(), 1000)
+            .unwrap_err();
         assert!(
             matches!(err, PetriError::HideSelfLoop(_)),
             "expected divergence, got {err}"

@@ -20,9 +20,7 @@
 
 use crate::parallel::{parallel_tracked, Composition};
 use cpn_petri::graph::{solve_difference_constraints, DiffConstraint};
-use cpn_petri::{
-    Label, Marking, PetriError, PetriNet, PlaceId, ReachabilityOptions,
-};
+use cpn_petri::{Label, Marking, PetriError, PetriNet, PlaceId, ReachabilityOptions};
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -102,9 +100,10 @@ fn obligations<L: Label>(
         } else {
             continue;
         };
-        match out.iter_mut().find(|o| {
-            o.label == sync.label && o.producer == side && o.producer_pre == *ppre
-        }) {
+        match out
+            .iter_mut()
+            .find(|o| o.label == sync.label && o.producer == side && o.producer_pre == *ppre)
+        {
             Some(o) => o.consumer_pres.push(cpre.clone()),
             None => out.push(Obligation {
                 label: sync.label.clone(),
@@ -171,11 +170,7 @@ pub fn check_receptiveness<L: Label>(
     right_outputs: &BTreeSet<L>,
     options: &ReachabilityOptions,
 ) -> Result<ReceptivenessReport<L>, PetriError> {
-    let sync: BTreeSet<L> = n1
-        .alphabet()
-        .intersection(n2.alphabet())
-        .cloned()
-        .collect();
+    let sync: BTreeSet<L> = n1.alphabet().intersection(n2.alphabet()).cloned().collect();
     let comp = parallel_tracked(n1, n2, &sync);
     check_receptiveness_composed(&comp, left_outputs, right_outputs, options)
 }
@@ -248,11 +243,7 @@ pub fn check_receptiveness_structural_mg<L: Label>(
     left_outputs: &BTreeSet<L>,
     right_outputs: &BTreeSet<L>,
 ) -> Result<ReceptivenessReport<L>, PetriError> {
-    let sync: BTreeSet<L> = n1
-        .alphabet()
-        .intersection(n2.alphabet())
-        .cloned()
-        .collect();
+    let sync: BTreeSet<L> = n1.alphabet().intersection(n2.alphabet()).cloned().collect();
     let comp = parallel_tracked(n1, n2, &sync);
     check_receptiveness_structural_mg_composed(&comp, left_outputs, right_outputs)
 }
@@ -447,13 +438,8 @@ mod tests {
     #[test]
     fn receptive_handshake_passes_structural() {
         let (p, c) = handshake();
-        let report = check_receptiveness_structural_mg(
-            &p,
-            &c,
-            &["req"].into(),
-            &["ack"].into(),
-        )
-        .unwrap();
+        let report =
+            check_receptiveness_structural_mg(&p, &c, &["req"].into(), &["ack"].into()).unwrap();
         assert!(report.is_receptive(), "{:?}", report.failures);
     }
 
@@ -481,13 +467,8 @@ mod tests {
     #[test]
     fn broken_pair_fails_structural() {
         let (p, c) = broken_mg();
-        let report = check_receptiveness_structural_mg(
-            &p,
-            &c,
-            &["req"].into(),
-            &["ack"].into(),
-        )
-        .unwrap();
+        let report =
+            check_receptiveness_structural_mg(&p, &c, &["req"].into(), &["ack"].into()).unwrap();
         assert!(!report.is_receptive());
         assert!(report.failures.iter().any(|f| f.label == "req"));
         // The exhaustive check agrees.
@@ -509,13 +490,8 @@ mod tests {
         let extra = p.add_place("extra");
         let a0 = cpn_petri::PlaceId::from_index(0);
         p.add_transition([a0], "req", [extra]).unwrap();
-        let err = check_receptiveness_structural_mg(
-            &p,
-            &c,
-            &["req"].into(),
-            &["ack"].into(),
-        )
-        .unwrap_err();
+        let err = check_receptiveness_structural_mg(&p, &c, &["req"].into(), &["ack"].into())
+            .unwrap_err();
         assert_eq!(err, PetriError::NotMarkedGraph);
     }
 
@@ -540,9 +516,7 @@ mod tests {
         for slack in 1u32..4 {
             let mut prod: PetriNet<String> = PetriNet::new();
             // Producer ring with `slack` tokens: can run ahead by `slack`.
-            let pp: Vec<_> = (0..4)
-                .map(|i| prod.add_place(format!("p{i}")))
-                .collect();
+            let pp: Vec<_> = (0..4).map(|i| prod.add_place(format!("p{i}"))).collect();
             for i in 0..4 {
                 let lbl = if i % 2 == 0 { "req" } else { "ack" };
                 prod.add_transition([pp[i]], format!("{lbl}{}", i / 2), [pp[(i + 1) % 4]])
@@ -551,9 +525,7 @@ mod tests {
             prod.set_initial(pp[0], 1);
 
             let mut cons: PetriNet<String> = PetriNet::new();
-            let cp: Vec<_> = (0..4)
-                .map(|i| cons.add_place(format!("c{i}")))
-                .collect();
+            let cp: Vec<_> = (0..4).map(|i| cons.add_place(format!("c{i}"))).collect();
             for i in 0..4 {
                 let lbl = if i % 2 == 0 { "req" } else { "ack" };
                 cons.add_transition([cp[i]], format!("{lbl}{}", i / 2), [cp[(i + 1) % 4]])
@@ -562,10 +534,8 @@ mod tests {
             // Consumer offset start: mismatch when slack offsets differ.
             cons.set_initial(cp[(slack as usize) % 4], 1);
 
-            let louts: BTreeSet<String> =
-                ["req0".to_string(), "req1".to_string()].into();
-            let routs: BTreeSet<String> =
-                ["ack0".to_string(), "ack1".to_string()].into();
+            let louts: BTreeSet<String> = ["req0".to_string(), "req1".to_string()].into();
+            let routs: BTreeSet<String> = ["ack0".to_string(), "ack1".to_string()].into();
             let ex = check_receptiveness(
                 &prod,
                 &cons,
@@ -574,9 +544,7 @@ mod tests {
                 &ReachabilityOptions::default(),
             )
             .unwrap();
-            let st =
-                check_receptiveness_structural_mg(&prod, &cons, &louts, &routs)
-                    .unwrap();
+            let st = check_receptiveness_structural_mg(&prod, &cons, &louts, &routs).unwrap();
             assert_eq!(
                 ex.is_receptive(),
                 st.is_receptive(),

@@ -1,0 +1,132 @@
+//! Trace-preservation laws in the **non-safe** regime: multiset initial
+//! markings (up to three tokens per place), where the paper's safe-net
+//! shortcuts don't apply and the general constructions must still agree
+//! with the `cpn-trace` bounded language enumeration.
+//!
+//! Driven by the deterministic `cpn-testkit` harness: failures print a
+//! case seed, replayable via `CPN_TESTKIT_SEED=<seed>`.
+
+use cpn_core::{choice_general, hide_label, hide_relabel, parallel};
+use cpn_petri::PetriNet;
+use cpn_testkit::{check, prop_assert, prop_assume, NetStrategy, RawNet, Strategy, TestRng};
+use cpn_trace::Language;
+use std::collections::BTreeSet;
+
+const LABELS: [&str; 4] = ["a", "b", "c", "tau"];
+const DEPTH: usize = 4;
+const TRACE_BUDGET: usize = 200_000;
+
+/// Nets with up to three tokens per place — deliberately outside the
+/// safe regime the operators' `Result`-free fast paths assume.
+fn nonsafe() -> NetStrategy {
+    NetStrategy::new(3, 3, LABELS.len()).max_tokens(3)
+}
+
+fn build(raw: &RawNet) -> PetriNet<&'static str> {
+    raw.build_labels(&LABELS)
+}
+
+fn lang(net: &PetriNet<&'static str>, depth: usize) -> Option<Language<&'static str>> {
+    Language::from_net(net, depth, TRACE_BUDGET).ok()
+}
+
+/// The generator really does leave the safe regime: multiset initial
+/// markings must show up.
+#[test]
+fn nonsafe_strategy_generates_multiset_markings() {
+    let s = nonsafe();
+    let mut rng = TestRng::seed_from_u64(23);
+    let saw_multi = (0..100)
+        .map(|_| s.generate(&mut rng))
+        .any(|raw| raw.marking.iter().any(|&m| m > 1));
+    assert!(saw_multi, "max_tokens(3) never produced a multiset marking");
+}
+
+#[test]
+fn parallel_law_holds_on_nonsafe_nets() {
+    check(
+        "parallel_law_holds_on_nonsafe_nets",
+        &(nonsafe(), nonsafe()),
+        |(raw1, raw2)| {
+            let n1 = build(raw1);
+            let n2 = build(raw2);
+            let composed = parallel(&n1, &n2);
+            let lhs = lang(&composed, DEPTH);
+            let (l1, l2) = (lang(&n1, DEPTH), lang(&n2, DEPTH));
+            prop_assume!(lhs.is_some() && l1.is_some() && l2.is_some());
+            prop_assert!(
+                lhs.unwrap()
+                    .eq_up_to(&l1.unwrap().parallel(&l2.unwrap()), DEPTH),
+                "L(N1‖N2) = L(N1)‖L(N2) beyond safe markings"
+            );
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn choice_general_law_holds_on_nonsafe_nets() {
+    check(
+        "choice_general_law_holds_on_nonsafe_nets",
+        &(nonsafe(), nonsafe()),
+        |(raw1, raw2)| {
+            let n1 = build(raw1);
+            let n2 = build(raw2);
+            let both = choice_general(&n1, &n2);
+            let lhs = lang(&both, DEPTH);
+            let (l1, l2) = (lang(&n1, DEPTH), lang(&n2, DEPTH));
+            prop_assume!(lhs.is_some() && l1.is_some() && l2.is_some());
+            prop_assert!(
+                lhs.unwrap()
+                    .eq_up_to(&l1.unwrap().union(&l2.unwrap()), DEPTH),
+                "L(N1+N2) = L(N1) ∪ L(N2) beyond safe markings"
+            );
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn hide_law_holds_on_nonsafe_nets() {
+    check("hide_law_holds_on_nonsafe_nets", &nonsafe(), |raw| {
+        let n = build(raw);
+        let depth = 3usize;
+        let Ok(hidden) = hide_label(&n, &"tau", 200) else {
+            return Ok(()); // divergent: the operator rightfully refuses
+        };
+        let lhs = lang(&hidden, depth);
+        let slack = depth * (1 + n.transition_count()) + 2;
+        let rhs = Language::from_net(&n, slack, TRACE_BUDGET)
+            .ok()
+            .map(|l| l.hide(&BTreeSet::from(["tau"])));
+        prop_assume!(lhs.is_some() && rhs.is_some());
+        prop_assert!(
+            lhs.unwrap().eq_up_to(&rhs.unwrap().truncate(depth), depth),
+            "L(hide(N,tau)) = hide(L(N),tau) beyond safe markings"
+        );
+        Ok(())
+    });
+}
+
+#[test]
+fn hide_prime_agrees_with_language_hiding() {
+    // hide′ (relabel-to-ε) keeps the net structure, so its language with
+    // the silent label erased must equal hiding at the language level —
+    // on any marking, safe or not, with no divergence caveat.
+    check(
+        "hide_prime_agrees_with_language_hiding",
+        &nonsafe(),
+        |raw| {
+            let n = build(raw);
+            let relabeled = hide_relabel(&n, &BTreeSet::from(["tau"]), "eps");
+            let lhs = lang(&relabeled, DEPTH).map(|l| l.hide(&BTreeSet::from(["eps"])));
+            let rhs = lang(&n, DEPTH).map(|l| l.hide(&BTreeSet::from(["tau"])));
+            prop_assume!(lhs.is_some() && rhs.is_some());
+            prop_assert!(
+                lhs.unwrap().eq_up_to(&rhs.unwrap(), DEPTH),
+                "hide′ then erase ε = hide at the language level"
+            );
+            Ok(())
+        },
+    );
+}

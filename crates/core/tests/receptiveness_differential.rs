@@ -1,0 +1,131 @@
+//! Differential oracle: the polynomial structural receptiveness check
+//! (Theorem 5.7, difference constraints over marked-graph flows) against
+//! the exhaustive state-graph verification (Proposition 5.5/5.6) on
+//! generated live-safe marked-graph compositions.
+//!
+//! Driven by the deterministic `cpn-testkit` harness at ≥100 cases:
+//! failures print a case seed, replayable via `CPN_TESTKIT_SEED=<seed>`.
+
+use cpn_core::{check_receptiveness, check_receptiveness_structural_mg};
+use cpn_petri::{PetriNet, ReachabilityOptions};
+use cpn_testkit::{any_bool, check_with, prop_assert, prop_assert_eq, usize_in, Config};
+use std::collections::BTreeSet;
+
+/// ≥100 cases per suite, still overridable via `CPN_TESTKIT_CASES`.
+fn cases() -> Config {
+    let config = Config::from_env();
+    if std::env::var("CPN_TESTKIT_CASES").is_ok() {
+        config
+    } else {
+        config.with_cases(128)
+    }
+}
+
+/// A live-safe marked-graph ring of `stages` alternating req/ack
+/// handshakes with the single token at `start`.
+fn ring(stages: usize, start: usize, prefix: &str) -> PetriNet<String> {
+    let mut net: PetriNet<String> = PetriNet::new();
+    let ps: Vec<_> = (0..2 * stages)
+        .map(|i| net.add_place(format!("{prefix}{i}")))
+        .collect();
+    for i in 0..2 * stages {
+        let label = if i % 2 == 0 {
+            format!("req{}", i / 2)
+        } else {
+            format!("ack{}", i / 2)
+        };
+        net.add_transition([ps[i]], label, [ps[(i + 1) % (2 * stages)]])
+            .unwrap();
+    }
+    net.set_initial(ps[start % (2 * stages)], 1);
+    net
+}
+
+fn outputs(stages: usize, kind: &str) -> BTreeSet<String> {
+    (0..stages).map(|i| format!("{kind}{i}")).collect()
+}
+
+/// Both operands start at a random phase and the operand order is
+/// itself randomized, so the oracle sees producer-side and
+/// consumer-side mismatches in either argument position.
+#[test]
+fn structural_check_agrees_with_state_graph_on_live_safe_mgs() {
+    let strategy = (usize_in(1..5), usize_in(0..10), usize_in(0..10), any_bool());
+    check_with(
+        "structural_check_agrees_with_state_graph_on_live_safe_mgs",
+        &cases(),
+        &strategy,
+        |&(stages, left_start, right_start, swap)| {
+            let req_side = ring(stages, left_start, "a");
+            let ack_side = ring(stages, right_start, "b");
+            let reqs = outputs(stages, "req");
+            let acks = outputs(stages, "ack");
+            // Each operand is live and safe in isolation (one token on a
+            // strongly connected ring); the differential question is
+            // whether their composition can mis-fire an output.
+            let (n1, n2, louts, routs) = if swap {
+                (&ack_side, &req_side, &acks, &reqs)
+            } else {
+                (&req_side, &ack_side, &reqs, &acks)
+            };
+            let opts = ReachabilityOptions::with_max_states(200_000);
+            let exhaustive = check_receptiveness(n1, n2, louts, routs, &opts).unwrap();
+            let structural = check_receptiveness_structural_mg(n1, n2, louts, routs).unwrap();
+            prop_assert_eq!(
+                exhaustive.is_receptive(),
+                structural.is_receptive(),
+                "stages={} starts=({},{}) swap={}: exhaustive {:?} vs structural {:?}",
+                stages,
+                left_start,
+                right_start,
+                swap,
+                exhaustive.failures,
+                structural.failures
+            );
+            // When both find failures, they must blame a common action:
+            // the structural certificate names a label whose mis-firing
+            // the state graph also witnesses.
+            if !exhaustive.is_receptive() {
+                let ex_labels: BTreeSet<&String> =
+                    exhaustive.failures.iter().map(|f| &f.label).collect();
+                let st_labels: BTreeSet<&String> =
+                    structural.failures.iter().map(|f| &f.label).collect();
+                prop_assert!(
+                    ex_labels.intersection(&st_labels).next().is_some(),
+                    "disjoint blame: exhaustive {:?} vs structural {:?}",
+                    ex_labels,
+                    st_labels
+                );
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Aligned phases are receptive by both checks for every ring size —
+/// the positive diagonal of the differential family.
+#[test]
+fn aligned_phases_receptive_for_all_sizes() {
+    for stages in 1..6 {
+        for shift in 0..stages {
+            // Shifting both rings by a whole handshake keeps them aligned.
+            let p = ring(stages, 2 * shift, "a");
+            let c = ring(stages, 2 * shift, "b");
+            let louts = outputs(stages, "req");
+            let routs = outputs(stages, "ack");
+            let opts = ReachabilityOptions::default();
+            assert!(
+                check_receptiveness(&p, &c, &louts, &routs, &opts)
+                    .unwrap()
+                    .is_receptive(),
+                "stages={stages} shift={shift} exhaustive"
+            );
+            assert!(
+                check_receptiveness_structural_mg(&p, &c, &louts, &routs)
+                    .unwrap()
+                    .is_receptive(),
+                "stages={stages} shift={shift} structural"
+            );
+        }
+    }
+}

@@ -125,7 +125,10 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                         }
                     }
                 }
-                tokens.push(Token { kind: TokenKind::Str(s), line });
+                tokens.push(Token {
+                    kind: TokenKind::Str(s),
+                    line,
+                });
             }
             c if c.is_ascii_digit() => {
                 let mut n: u32 = 0;
@@ -146,7 +149,10 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                         break;
                     }
                 }
-                tokens.push(Token { kind: TokenKind::Number(n), line });
+                tokens.push(Token {
+                    kind: TokenKind::Number(n),
+                    line,
+                });
             }
             c if is_ident_char(c) => {
                 let mut s = String::new();
@@ -158,10 +164,16 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                         break;
                     }
                 }
-                tokens.push(Token { kind: TokenKind::Ident(s), line });
+                tokens.push(Token {
+                    kind: TokenKind::Ident(s),
+                    line,
+                });
             }
             '{' | '}' | ';' | ':' | '=' | '&' | '*' | '+' | '-' | '~' | '#' | '?' => {
-                tokens.push(Token { kind: TokenKind::Punct(c), line });
+                tokens.push(Token {
+                    kind: TokenKind::Punct(c),
+                    line,
+                });
                 chars.next();
             }
             other => {
@@ -221,10 +233,10 @@ mod tests {
 
     #[test]
     fn comments_skipped() {
-        assert_eq!(kinds("a // comment\nb"), vec![
-            TokenKind::Ident("a".into()),
-            TokenKind::Ident("b".into()),
-        ]);
+        assert_eq!(
+            kinds("a // comment\nb"),
+            vec![TokenKind::Ident("a".into()), TokenKind::Ident("b".into()),]
+        );
         // line numbers advance past comments
         let toks = lex("a // c\nb").unwrap();
         assert_eq!(toks[1].line, 2);

@@ -35,7 +35,10 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
-        ParseError { message: e.message, line: e.line }
+        ParseError {
+            message: e.message,
+            line: e.line,
+        }
     }
 }
 
@@ -60,7 +63,10 @@ impl Parser {
     }
 
     fn err(&self, message: impl Into<String>) -> ParseError {
-        ParseError { message: message.into(), line: self.line() }
+        ParseError {
+            message: message.into(),
+            line: self.line(),
+        }
     }
 
     fn expect_punct(&mut self, c: char) -> Result<(), ParseError> {
@@ -219,7 +225,10 @@ impl Parser {
             };
             let (pre, post) = self.parse_flows(&places)?;
             net.add_transition(pre, label, post)
-                .map_err(|e| ParseError { message: e.to_string(), line })?;
+                .map_err(|e| ParseError {
+                    message: e.to_string(),
+                    line,
+                })?;
         }
         Ok((name, net))
     }
@@ -289,8 +298,10 @@ impl Parser {
             loop {
                 let line = self.line();
                 let sig = self.expect_ident()?;
-                stg.try_add_signal(&sig, dir)
-                    .map_err(|e| ParseError { message: e.to_string(), line })?;
+                stg.try_add_signal(&sig, dir).map_err(|e| ParseError {
+                    message: e.to_string(),
+                    line,
+                })?;
                 if self.eat_punct(';') {
                     break;
                 }
@@ -310,15 +321,20 @@ impl Parser {
             let line = self.line();
             let tid = if self.eat_keyword("dummy") {
                 let (pre, post) = self.parse_flows(&places)?;
-                stg.add_dummy(pre, post)
-                    .map_err(|e| ParseError { message: e.to_string(), line })?
+                stg.add_dummy(pre, post).map_err(|e| ParseError {
+                    message: e.to_string(),
+                    line,
+                })?
             } else {
                 self.expect_keyword("transition")?;
                 let sig = self.expect_ident()?;
                 let edge = self.parse_edge_suffix()?;
                 let (pre, post) = self.parse_flows(&places)?;
                 stg.add_signal_transition(pre, (Signal::new(sig), edge), post)
-                    .map_err(|e| ParseError { message: e.to_string(), line })?
+                    .map_err(|e| ParseError {
+                        message: e.to_string(),
+                        line,
+                    })?
             };
             if self.eat_keyword("guard") {
                 let guard = self.parse_guard()?;
@@ -426,10 +442,8 @@ mod tests {
 
     #[test]
     fn unknown_place_reported_with_line() {
-        let err = parse(
-            "net n {\n places { p }\n transition \"a\" { pre: ghost; post: p }\n}",
-        )
-        .unwrap_err();
+        let err = parse("net n {\n places { p }\n transition \"a\" { pre: ghost; post: p }\n}")
+            .unwrap_err();
         assert!(err.message.contains("ghost"));
         assert_eq!(err.line, 3);
     }
@@ -442,10 +456,7 @@ mod tests {
 
     #[test]
     fn undeclared_signal_rejected() {
-        let err = parse(
-            "stg s { places { p* } transition x+ { pre: p; post: p } }",
-        )
-        .unwrap_err();
+        let err = parse("stg s { places { p* } transition x+ { pre: p; post: p } }").unwrap_err();
         assert!(err.message.contains("not declared"));
     }
 

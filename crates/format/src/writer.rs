@@ -45,11 +45,7 @@ fn place_names<L: Label>(net: &PetriNet<L>) -> BTreeMap<PlaceId, String> {
     out
 }
 
-fn write_places<L: Label>(
-    out: &mut String,
-    net: &PetriNet<L>,
-    names: &BTreeMap<PlaceId, String>,
-) {
+fn write_places<L: Label>(out: &mut String, net: &PetriNet<L>, names: &BTreeMap<PlaceId, String>) {
     out.push_str("  places {");
     let m0 = net.initial_marking();
     for (id, _) in net.places() {
@@ -108,7 +104,11 @@ pub fn write_net<L: Label>(name: &str, net: &PetriNet<L>) -> String {
     writeln!(out, "net {} {{", sanitize(name)).expect("writing to string");
     write_places(&mut out, net, &names);
     for (tid, t) in net.transitions() {
-        let label = t.label().to_string().replace('\\', "\\\\").replace('"', "\\\"");
+        let label = t
+            .label()
+            .to_string()
+            .replace('\\', "\\\\")
+            .replace('"', "\\\"");
         write!(out, "  transition \"{label}\" ").expect("writing to string");
         write_flows(&mut out, net, &names, tid);
         out.push('\n');
@@ -248,7 +248,8 @@ mod tests {
     fn nasty_label_escaped() {
         let mut net: PetriNet<String> = PetriNet::new();
         let p = net.add_place("p");
-        net.add_transition([p], "say \"hi\"".to_owned(), [p]).unwrap();
+        net.add_transition([p], "say \"hi\"".to_owned(), [p])
+            .unwrap();
         net.set_initial(p, 1);
         let text = write_net("e", &net);
         let doc = parse(&text).unwrap();

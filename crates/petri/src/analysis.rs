@@ -100,7 +100,10 @@ impl<L: Label> PetriNet<L> {
         // fires_in_comp[ci] is a bitset over transitions (as Vec<bool>).
         let mut fires_in_comp: Vec<Vec<bool>> = vec![vec![false; tcount]; sccs.len()];
         for (from, t, _to) in rg.all_edges() {
-            assert!(t.index() < tcount, "reachability graph from a different net");
+            assert!(
+                t.index() < tcount,
+                "reachability graph from a different net"
+            );
             fires_somewhere[t.index()] = true;
             fires_in_comp[comp_of[from.index()]][t.index()] = true;
         }
@@ -118,7 +121,9 @@ impl<L: Label> PetriNet<L> {
             .collect();
 
         let live = !transition_liveness.is_empty()
-            && transition_liveness.iter().all(|l| *l == LivenessLevel::Live);
+            && transition_liveness
+                .iter()
+                .all(|l| *l == LivenessLevel::Live);
 
         // Reversible iff the initial state is reachable from every state,
         // i.e. every state reaches s0 — check on the reversed graph.

@@ -118,7 +118,10 @@ impl CoverabilityTree {
             marking: OmegaMarking,
             parent: Option<usize>,
         }
-        let mut nodes: Vec<Node> = vec![Node { marking: m0.clone(), parent: None }];
+        let mut nodes: Vec<Node> = vec![Node {
+            marking: m0.clone(),
+            parent: None,
+        }];
         let mut seen: HashMap<OmegaMarking, usize> = HashMap::new();
         seen.insert(m0, 0);
 
@@ -148,11 +151,16 @@ impl CoverabilityTree {
                     continue;
                 }
                 if nodes.len() >= node_budget {
-                    return Err(PetriError::StateBudgetExceeded { budget: node_budget });
+                    return Err(PetriError::StateBudgetExceeded {
+                        budget: node_budget,
+                    });
                 }
                 let id = nodes.len();
                 seen.insert(next.clone(), id);
-                nodes.push(Node { marking: next, parent: Some(cur) });
+                nodes.push(Node {
+                    marking: next,
+                    parent: Some(cur),
+                });
                 work.push(id);
             }
         }

@@ -85,8 +85,7 @@ pub fn dead_transitions_structural_mg<L: Label>(
     // Transitions inside a cycle of that graph are dead (rule 1).
     let mut dead = vec![false; net.transition_count()];
     for comp in g.tarjan_scc() {
-        let cyclic = comp.len() > 1
-            || g.successors(comp[0]).contains(&comp[0]);
+        let cyclic = comp.len() > 1 || g.successors(comp[0]).contains(&comp[0]);
         if cyclic {
             for &t in &comp {
                 dead[t] = true;
@@ -123,10 +122,7 @@ pub fn dead_transitions_structural_mg<L: Label>(
 /// Returns the pruned net; place ids are *not* stable across this call
 /// (the mapping from `without_isolated_places` is discarded because dead
 /// removal is a terminal cleanup step in the synthesis pipelines).
-pub fn remove_dead<L: Label>(
-    net: &PetriNet<L>,
-    dead: &BTreeSet<TransitionId>,
-) -> PetriNet<L> {
+pub fn remove_dead<L: Label>(net: &PetriNet<L>, dead: &BTreeSet<TransitionId>) -> PetriNet<L> {
     let (pruned, _) = net.without_transitions(dead).without_isolated_places();
     pruned
 }
@@ -228,16 +224,11 @@ mod tests {
         for seed in 0u64..20 {
             let mut net: PetriNet<String> = PetriNet::new();
             let n = 3 + (seed % 4) as usize;
-            let places: Vec<_> =
-                (0..n).map(|i| net.add_place(format!("p{i}"))).collect();
+            let places: Vec<_> = (0..n).map(|i| net.add_place(format!("p{i}"))).collect();
             // Ring of transitions t_i: p_i -> p_{i+1}
             for i in 0..n {
-                net.add_transition(
-                    [places[i]],
-                    format!("t{i}"),
-                    [places[(i + 1) % n]],
-                )
-                .unwrap();
+                net.add_transition([places[i]], format!("t{i}"), [places[(i + 1) % n]])
+                    .unwrap();
             }
             // Mark places by a seed-dependent pattern (possibly none).
             let mut any = false;
@@ -248,9 +239,7 @@ mod tests {
                 }
             }
             let structural = dead_transitions_structural_mg(&net).unwrap();
-            let rg = net
-                .reachability(&ReachabilityOptions::default())
-                .unwrap();
+            let rg = net.reachability(&ReachabilityOptions::default()).unwrap();
             let exact = dead_transitions_rg(&net, &rg);
             assert_eq!(structural, exact, "seed {seed}, marked={any}");
         }

@@ -58,7 +58,10 @@ impl fmt::Display for PetriError {
             }
             PetriError::NotMarkedGraph => write!(f, "net is not a marked graph"),
             PetriError::HideSelfLoop(t) => {
-                write!(f, "cannot hide transition {t}: it has a self-loop (divergence)")
+                write!(
+                    f,
+                    "cannot hide transition {t}: it has a self-loop (divergence)"
+                )
             }
             PetriError::Precondition(msg) => write!(f, "precondition violated: {msg}"),
         }

@@ -30,7 +30,9 @@ pub struct DiGraph {
 impl DiGraph {
     /// Creates a graph with `n` nodes and no edges.
     pub fn new(n: usize) -> Self {
-        DiGraph { adj: vec![Vec::new(); n] }
+        DiGraph {
+            adj: vec![Vec::new(); n],
+        }
     }
 
     /// Number of nodes.
@@ -44,7 +46,10 @@ impl DiGraph {
     ///
     /// Panics if either endpoint is out of range.
     pub fn add_edge(&mut self, from: usize, to: usize) {
-        assert!(from < self.adj.len() && to < self.adj.len(), "node out of range");
+        assert!(
+            from < self.adj.len() && to < self.adj.len(),
+            "node out of range"
+        );
         self.adj[from].push(to);
     }
 
@@ -239,10 +244,7 @@ pub struct DiffConstraint {
 /// let x = solve_difference_constraints(2, &feasible).unwrap();
 /// assert!(x[0] - x[1] <= -3);
 /// ```
-pub fn solve_difference_constraints(
-    n: usize,
-    constraints: &[DiffConstraint],
-) -> Option<Vec<i64>> {
+pub fn solve_difference_constraints(n: usize, constraints: &[DiffConstraint]) -> Option<Vec<i64>> {
     // Edge b → a with weight w for each constraint; virtual source n with
     // zero-weight edges to all nodes.
     let mut dist = vec![0i64; n];
@@ -298,7 +300,7 @@ mod tests {
         g.add_edge(0, 1);
         g.add_edge(1, 2);
         g.add_edge(2, 1); // {1,2} cycle, terminal
-        // 3 isolated: also terminal
+                          // 3 isolated: also terminal
         let sccs = g.tarjan_scc();
         let terms = g.terminal_sccs(&sccs);
         assert_eq!(terms.len(), 2);

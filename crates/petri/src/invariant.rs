@@ -36,7 +36,11 @@ impl Semiflow {
 }
 
 fn gcd(a: u64, b: u64) -> u64 {
-    if b == 0 { a } else { gcd(b, a % b) }
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
 }
 
 /// Runs the Farkas algorithm on matrix `m` (rows = items we want weights
@@ -67,28 +71,16 @@ fn farkas(m: &[Vec<i64>], row_budget: usize) -> Option<Vec<Semiflow>> {
                 next.push(row.clone());
             }
         }
-        let pos: Vec<&(Vec<i64>, Vec<i64>)> =
-            work.iter().filter(|r| r.1[c] > 0).collect();
-        let neg: Vec<&(Vec<i64>, Vec<i64>)> =
-            work.iter().filter(|r| r.1[c] < 0).collect();
+        let pos: Vec<&(Vec<i64>, Vec<i64>)> = work.iter().filter(|r| r.1[c] > 0).collect();
+        let neg: Vec<&(Vec<i64>, Vec<i64>)> = work.iter().filter(|r| r.1[c] < 0).collect();
         for p in &pos {
             for n in &neg {
                 let a = p.1[c].unsigned_abs();
                 let b = n.1[c].unsigned_abs();
                 let g = gcd(a, b);
                 let (fa, fb) = ((b / g) as i64, (a / g) as i64);
-                let id: Vec<i64> = p
-                    .0
-                    .iter()
-                    .zip(&n.0)
-                    .map(|(x, y)| fa * x + fb * y)
-                    .collect();
-                let mat: Vec<i64> = p
-                    .1
-                    .iter()
-                    .zip(&n.1)
-                    .map(|(x, y)| fa * x + fb * y)
-                    .collect();
+                let id: Vec<i64> = p.0.iter().zip(&n.0).map(|(x, y)| fa * x + fb * y).collect();
+                let mat: Vec<i64> = p.1.iter().zip(&n.1).map(|(x, y)| fa * x + fb * y).collect();
                 debug_assert_eq!(mat[c], 0);
                 // Normalize by the gcd of all entries.
                 let g_all = id
@@ -298,7 +290,9 @@ mod tests {
 
     #[test]
     fn support_and_positivity() {
-        let s = Semiflow { weights: vec![0, 2, 1] };
+        let s = Semiflow {
+            weights: vec![0, 2, 1],
+        };
         assert_eq!(s.support(), vec![1, 2]);
         assert!(!s.is_positive());
     }

@@ -24,9 +24,7 @@ use crate::net::{PetriNet, PlaceId};
 /// # Errors
 ///
 /// [`PetriError::NotMarkedGraph`] if the net is not a marked graph.
-pub fn token_free_cycle<L: Label>(
-    net: &PetriNet<L>,
-) -> Result<Option<Vec<PlaceId>>, PetriError> {
+pub fn token_free_cycle<L: Label>(net: &PetriNet<L>) -> Result<Option<Vec<PlaceId>>, PetriError> {
     let flows = net.marked_graph_flows()?;
     let m0 = net.initial_marking();
     // Graph over transitions through token-free places.
@@ -88,9 +86,7 @@ pub fn mg_live_structural<L: Label>(net: &PetriNet<L>) -> Result<bool, PetriErro
 /// # Errors
 ///
 /// [`PetriError::NotMarkedGraph`] if the net is not a marked graph.
-pub fn mg_place_bounds<L: Label>(
-    net: &PetriNet<L>,
-) -> Result<Vec<Option<u64>>, PetriError> {
+pub fn mg_place_bounds<L: Label>(net: &PetriNet<L>) -> Result<Vec<Option<u64>>, PetriError> {
     let flows = net.marked_graph_flows()?;
     let m0 = net.initial_marking();
     let n = net.transition_count();
@@ -210,8 +206,7 @@ mod tests {
     fn structural_agrees_with_reachability_on_random_rings() {
         for seed in 0u64..24 {
             let n = 3 + (seed % 3) as usize;
-            let tokens: Vec<u32> =
-                (0..n).map(|i| ((seed >> i) & 1) as u32).collect();
+            let tokens: Vec<u32> = (0..n).map(|i| ((seed >> i) & 1) as u32).collect();
             let net = ring(&tokens);
             let live_struct = mg_live_structural(&net).unwrap();
             let rg = net.reachability(&ReachabilityOptions::default()).unwrap();
@@ -225,8 +220,7 @@ mod tests {
                 );
                 // And the per-place bounds match the observed bound.
                 let bounds = mg_place_bounds(&net).unwrap();
-                let max_bound =
-                    bounds.iter().map(|b| b.unwrap()).max().unwrap();
+                let max_bound = bounds.iter().map(|b| b.unwrap()).max().unwrap();
                 assert_eq!(max_bound, u64::from(analysis.bound), "seed {seed}");
             }
         }

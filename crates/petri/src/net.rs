@@ -206,7 +206,11 @@ impl<L: Label> PetriNet<L> {
         }
         let id = TransitionId::from_index(self.transitions.len());
         self.alphabet.insert(label.clone());
-        self.transitions.push(Transition { preset, label, postset });
+        self.transitions.push(Transition {
+            preset,
+            label,
+            postset,
+        });
         Ok(id)
     }
 
@@ -558,7 +562,13 @@ impl<L: Label> fmt::Display for PetriNet<L> {
 mod tests {
     use super::*;
 
-    fn two_cycle() -> (PetriNet<&'static str>, PlaceId, PlaceId, TransitionId, TransitionId) {
+    fn two_cycle() -> (
+        PetriNet<&'static str>,
+        PlaceId,
+        PlaceId,
+        TransitionId,
+        TransitionId,
+    ) {
         let mut net = PetriNet::new();
         let p = net.add_place("p");
         let q = net.add_place("q");

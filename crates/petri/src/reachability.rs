@@ -52,7 +52,9 @@ pub struct ReachabilityOptions {
 
 impl Default for ReachabilityOptions {
     fn default() -> Self {
-        ReachabilityOptions { max_states: 1_000_000 }
+        ReachabilityOptions {
+            max_states: 1_000_000,
+        }
     }
 }
 
@@ -90,6 +92,9 @@ pub struct ReachabilityGraph {
     states: Vec<Marking>,
     /// Outgoing edges per state: `(transition fired, successor)`.
     edges: Vec<Vec<(TransitionId, StateId)>>,
+    /// Marking → state index, built once during exploration and kept so
+    /// analyses get O(1) lookups.
+    index: HashMap<Marking, StateId>,
     initial: StateId,
 }
 
@@ -140,15 +145,10 @@ impl ReachabilityGraph {
         })
     }
 
-    /// Looks up the state with the given marking.
+    /// Looks up the state with the given marking in O(1) via the index
+    /// built during exploration.
     pub fn find_state(&self, m: &Marking) -> Option<StateId> {
-        // The graph is immutable after construction; a linear scan keeps
-        // the struct lean. Analyses needing many lookups build their own
-        // index from `state_ids`.
-        self.states
-            .iter()
-            .position(|s| s == m)
-            .map(StateId::from_index)
+        self.index.get(m).copied()
     }
 
     /// The underlying directed graph over state indices (labels dropped).
@@ -170,7 +170,11 @@ impl ReachabilityGraph {
     /// The largest token count any place reaches in any state: the bound
     /// `k` for which the net is `k`-bounded (given a complete graph).
     pub fn token_bound(&self) -> u32 {
-        self.states.iter().map(Marking::max_tokens).max().unwrap_or(0)
+        self.states
+            .iter()
+            .map(Marking::max_tokens)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -226,6 +230,7 @@ impl<L: Label> PetriNet<L> {
         Ok(ReachabilityGraph {
             states,
             edges,
+            index,
             initial: StateId::from_index(0),
         })
     }
@@ -254,7 +259,9 @@ mod tests {
 
     #[test]
     fn diamond_has_interleaved_states() {
-        let rg = diamond().reachability(&ReachabilityOptions::default()).unwrap();
+        let rg = diamond()
+            .reachability(&ReachabilityOptions::default())
+            .unwrap();
         // p0; {pa,pb}; {pa2,pb}; {pa,pb2}; {pa2,pb2}; end
         assert_eq!(rg.state_count(), 6);
         assert_eq!(rg.edge_count(), 6);
@@ -267,7 +274,23 @@ mod tests {
         let net = diamond();
         let rg = net.reachability(&ReachabilityOptions::default()).unwrap();
         assert_eq!(rg.marking(rg.initial_state()), &net.initial_marking());
-        assert_eq!(rg.find_state(&net.initial_marking()), Some(rg.initial_state()));
+        assert_eq!(
+            rg.find_state(&net.initial_marking()),
+            Some(rg.initial_state())
+        );
+    }
+
+    #[test]
+    fn find_state_locates_every_state_and_rejects_unreachable() {
+        let rg = diamond()
+            .reachability(&ReachabilityOptions::default())
+            .unwrap();
+        for s in rg.state_ids() {
+            assert_eq!(rg.find_state(rg.marking(s)), Some(s));
+        }
+        let mut bogus = rg.marking(rg.initial_state()).clone();
+        bogus.set(crate::net::PlaceId::from_index(0), 99);
+        assert_eq!(rg.find_state(&bogus), None);
     }
 
     #[test]
@@ -301,13 +324,17 @@ mod tests {
 
     #[test]
     fn all_edges_enumerates_everything() {
-        let rg = diamond().reachability(&ReachabilityOptions::default()).unwrap();
+        let rg = diamond()
+            .reachability(&ReachabilityOptions::default())
+            .unwrap();
         assert_eq!(rg.all_edges().count(), rg.edge_count());
     }
 
     #[test]
     fn as_digraph_mirrors_edges() {
-        let rg = diamond().reachability(&ReachabilityOptions::default()).unwrap();
+        let rg = diamond()
+            .reachability(&ReachabilityOptions::default())
+            .unwrap();
         let g = rg.as_digraph();
         assert_eq!(g.node_count(), rg.state_count());
         let seen = g.reachable_from(rg.initial_state().index());

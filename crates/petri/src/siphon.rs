@@ -25,8 +25,7 @@ use std::collections::BTreeSet;
 /// the set also has an input place in the set.
 pub fn is_siphon<L: Label>(net: &PetriNet<L>, set: &BTreeSet<PlaceId>) -> bool {
     net.transitions().all(|(_, t)| {
-        t.postset().iter().all(|p| !set.contains(p))
-            || t.preset().iter().any(|p| set.contains(p))
+        t.postset().iter().all(|p| !set.contains(p)) || t.preset().iter().any(|p| set.contains(p))
     })
 }
 
@@ -34,17 +33,13 @@ pub fn is_siphon<L: Label>(net: &PetriNet<L>, set: &BTreeSet<PlaceId>) -> bool {
 /// set also has an output place in the set.
 pub fn is_trap<L: Label>(net: &PetriNet<L>, set: &BTreeSet<PlaceId>) -> bool {
     net.transitions().all(|(_, t)| {
-        t.preset().iter().all(|p| !set.contains(p))
-            || t.postset().iter().any(|p| set.contains(p))
+        t.preset().iter().all(|p| !set.contains(p)) || t.postset().iter().any(|p| set.contains(p))
     })
 }
 
 /// The maximal siphon contained in `subset` (possibly empty), computed
 /// by fixpoint deletion in polynomial time.
-pub fn max_siphon_in<L: Label>(
-    net: &PetriNet<L>,
-    subset: &BTreeSet<PlaceId>,
-) -> BTreeSet<PlaceId> {
+pub fn max_siphon_in<L: Label>(net: &PetriNet<L>, subset: &BTreeSet<PlaceId>) -> BTreeSet<PlaceId> {
     let mut s = subset.clone();
     loop {
         let mut removed = false;
@@ -64,10 +59,7 @@ pub fn max_siphon_in<L: Label>(
 }
 
 /// The maximal trap contained in `subset` (possibly empty).
-pub fn max_trap_in<L: Label>(
-    net: &PetriNet<L>,
-    subset: &BTreeSet<PlaceId>,
-) -> BTreeSet<PlaceId> {
+pub fn max_trap_in<L: Label>(net: &PetriNet<L>, subset: &BTreeSet<PlaceId>) -> BTreeSet<PlaceId> {
     let mut s = subset.clone();
     loop {
         let mut removed = false;
@@ -121,10 +113,7 @@ pub fn minimal_siphons<L: Label>(
     let mut found: Vec<BTreeSet<PlaceId>> = Vec::new();
     let mut nodes = 0usize;
 
-    fn violation<L: Label>(
-        net: &PetriNet<L>,
-        s: &BTreeSet<PlaceId>,
-    ) -> Option<Vec<PlaceId>> {
+    fn violation<L: Label>(net: &PetriNet<L>, s: &BTreeSet<PlaceId>) -> Option<Vec<PlaceId>> {
         for (_, t) in net.transitions() {
             if t.postset().iter().any(|p| s.contains(p))
                 && !t.preset().iter().any(|p| s.contains(p))
@@ -172,13 +161,7 @@ pub fn minimal_siphons<L: Label>(
     }
 
     for p in net.place_ids() {
-        dfs(
-            net,
-            BTreeSet::from([p]),
-            &mut found,
-            &mut nodes,
-            budget,
-        )?;
+        dfs(net, BTreeSet::from([p]), &mut found, &mut nodes, budget)?;
     }
     // Deduplicate and keep only minimal supports.
     found.sort();
@@ -207,9 +190,9 @@ pub fn commoner_live<L: Label>(net: &PetriNet<L>, budget: usize) -> Result<bool,
         // An isolated place is a vacuous siphon (and trap); the theorem
         // is stated for nets whose places touch some transition, so a
         // disconnected place must not force a non-live verdict.
-        let isolated = siphon.iter().all(|&p| {
-            net.producers(p).is_empty() && net.consumers(p).is_empty()
-        });
+        let isolated = siphon
+            .iter()
+            .all(|&p| net.producers(p).is_empty() && net.consumers(p).is_empty());
         if isolated {
             continue;
         }
@@ -272,7 +255,9 @@ mod tests {
         net.add_transition([q, p], "stuck", [p]).unwrap();
         net.set_initial(p, 1);
         // After `go`, p is empty and nothing fires.
-        let dead = net.fire(&net.initial_marking(), crate::TransitionId::from_index(0)).unwrap();
+        let dead = net
+            .fire(&net.initial_marking(), crate::TransitionId::from_index(0))
+            .unwrap();
         let siphon = deadlock_siphon(&net, &dead).expect("dead marking");
         assert!(siphon.contains(&p));
         assert!(deadlock_siphon(&net, &net.initial_marking()).is_none());
@@ -301,11 +286,13 @@ mod tests {
         // markings — liveness flips with the marking.
         for mask in 0u32..8 {
             let mut net: PetriNet<String> = PetriNet::new();
-            let ps: Vec<PlaceId> =
-                (0..3).map(|i| net.add_place(format!("p{i}"))).collect();
-            net.add_transition([ps[0]], "a".to_owned(), [ps[1]]).unwrap();
-            net.add_transition([ps[1]], "b".to_owned(), [ps[2]]).unwrap();
-            net.add_transition([ps[2]], "c".to_owned(), [ps[0]]).unwrap();
+            let ps: Vec<PlaceId> = (0..3).map(|i| net.add_place(format!("p{i}"))).collect();
+            net.add_transition([ps[0]], "a".to_owned(), [ps[1]])
+                .unwrap();
+            net.add_transition([ps[1]], "b".to_owned(), [ps[2]])
+                .unwrap();
+            net.add_transition([ps[2]], "c".to_owned(), [ps[0]])
+                .unwrap();
             for (i, &p) in ps.iter().enumerate() {
                 if mask & (1 << i) != 0 {
                     net.set_initial(p, 1);

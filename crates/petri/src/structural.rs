@@ -86,9 +86,9 @@ impl<L: Label> PetriNet<L> {
         // closed under action prefix, Prop 5.4 of the paper). Analyses
         // that need the strict exactly-one reading go through
         // [`PetriNet::marked_graph_flows`], which checks it separately.
-        let is_marked_graph = self.place_ids().all(|p| {
-            self.producers(p).len() <= 1 && self.consumers(p).len() <= 1
-        });
+        let is_marked_graph = self
+            .place_ids()
+            .all(|p| self.producers(p).len() <= 1 && self.consumers(p).len() <= 1);
 
         // Free choice: for every place p with more than one consumer,
         // every consumer's preset is exactly {p}.
@@ -104,9 +104,9 @@ impl<L: Label> PetriNet<L> {
         // identical presets.
         let is_extended_free_choice = self.place_ids().all(|p| {
             let consumers = self.consumers(p);
-            consumers.windows(2).all(|w| {
-                self.transition(w[0]).preset() == self.transition(w[1]).preset()
-            })
+            consumers
+                .windows(2)
+                .all(|w| self.transition(w[0]).preset() == self.transition(w[1]).preset())
         });
 
         let strongly_connected = self.bipartite_graph().is_strongly_connected();

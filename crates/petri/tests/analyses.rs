@@ -2,164 +2,163 @@
 //! each other on random nets — coverability vs. reachability bounds,
 //! semiflow certificates vs. Karp–Miller, structural marked-graph
 //! results vs. behavioural ones, Commoner vs. reachability liveness.
+//!
+//! Driven by the deterministic `cpn-testkit` harness: failures print a
+//! case seed, replayable via `CPN_TESTKIT_SEED=<seed>`.
 
 use cpn_petri::invariant::covered_by_p_semiflows;
 use cpn_petri::{
-    commoner_live, dead_transitions_rg, dead_transitions_structural_mg,
-    mg_live_structural, mg_place_bounds, mg_safe_structural, CoverabilityOutcome,
-    CoverabilityTree, PetriNet, PlaceId, ReachabilityOptions,
+    commoner_live, dead_transitions_rg, dead_transitions_structural_mg, mg_live_structural,
+    mg_place_bounds, mg_safe_structural, CoverabilityOutcome, CoverabilityTree, PetriNet, PlaceId,
+    ReachabilityOptions,
 };
-use proptest::prelude::*;
+use cpn_testkit::{
+    check, prop_assert, prop_assert_eq, prop_assume, u32_in, usize_in, vec_of, NetStrategy,
+    RingStrategy,
+};
 
-#[derive(Clone, Debug)]
-struct RawNet {
-    places: usize,
-    transitions: Vec<(Vec<usize>, Vec<usize>)>,
-    marking: Vec<u8>,
+/// Random nets: 2–5 places, 1–5 uniquely-labeled transitions, up to two
+/// tokens per place (the historical `proptest` strategy, verbatim).
+fn raw_net() -> NetStrategy {
+    NetStrategy::new(5, 5, 1).max_tokens(2)
 }
 
-fn raw_net() -> impl Strategy<Value = RawNet> {
-    (2usize..6).prop_flat_map(|places| {
-        let t = (
-            proptest::collection::vec(0..places, 1..=2),
-            proptest::collection::vec(0..places, 1..=2),
-        );
-        (
-            proptest::collection::vec(t, 1..=5),
-            proptest::collection::vec(0u8..3, places),
-        )
-            .prop_map(move |(transitions, marking)| RawNet {
-                places,
-                transitions,
-                marking,
-            })
-    })
+/// Random marked-graph rings of length 3–6 with 0/1 tokens per place.
+fn raw_mg() -> RingStrategy {
+    RingStrategy::new(3, 6, 1)
 }
 
-fn build(raw: &RawNet) -> PetriNet<String> {
+/// A state machine (singleton presets/postsets ⇒ free-choice) over four
+/// places from an arc list.
+fn build_state_machine(arcs: &[(usize, usize)], marks: &[u32]) -> PetriNet<String> {
     let mut net: PetriNet<String> = PetriNet::new();
-    let ps: Vec<PlaceId> = (0..raw.places)
-        .map(|i| net.add_place(format!("p{i}")))
-        .collect();
-    for (i, (pre, post)) in raw.transitions.iter().enumerate() {
-        net.add_transition(
-            pre.iter().map(|&x| ps[x]),
-            format!("t{i}"),
-            post.iter().map(|&x| ps[x]),
-        )
-        .unwrap();
-    }
-    for (i, &m) in raw.marking.iter().enumerate() {
-        net.set_initial(ps[i], u32::from(m));
-    }
-    net
-}
-
-/// A random marked-graph ring with optional chords through fresh places.
-fn raw_mg() -> impl Strategy<Value = (usize, Vec<u8>)> {
-    (3usize..7).prop_flat_map(|n| {
-        proptest::collection::vec(0u8..2, n).prop_map(move |marks| (n, marks))
-    })
-}
-
-fn build_mg(n: usize, marks: &[u8]) -> PetriNet<String> {
-    let mut net: PetriNet<String> = PetriNet::new();
-    let ps: Vec<PlaceId> = (0..n).map(|i| net.add_place(format!("p{i}"))).collect();
-    for i in 0..n {
-        net.add_transition([ps[i]], format!("t{i}"), [ps[(i + 1) % n]])
+    let ps: Vec<PlaceId> = (0..4).map(|i| net.add_place(format!("p{i}"))).collect();
+    for (i, &(a, b)) in arcs.iter().enumerate() {
+        net.add_transition([ps[a]], format!("t{i}"), [ps[b]])
             .unwrap();
     }
     for (i, &m) in marks.iter().enumerate() {
-        net.set_initial(ps[i], u32::from(m));
+        net.set_initial(ps[i], m);
     }
     net
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
-
-    #[test]
-    fn coverability_bound_matches_reachability(raw in raw_net()) {
-        let net = build(&raw);
-        let Ok(tree) = CoverabilityTree::build(&net, 40_000) else {
-            return Ok(()); // budget: skip pathological instances
-        };
-        match tree.outcome() {
-            CoverabilityOutcome::Bounded { bound } => {
-                // The KM bound must equal the exact reachable bound.
-                let rg = net
-                    .reachability(&ReachabilityOptions::with_max_states(200_000))
-                    .expect("bounded nets explore fully");
-                prop_assert_eq!(*bound, rg.token_bound());
-            }
-            CoverabilityOutcome::Unbounded { witnesses } => {
-                prop_assert!(!witnesses.is_empty());
-                // An unbounded net cannot be covered by P-semiflows.
-                if let Some(covered) = covered_by_p_semiflows(&net, 5_000) {
-                    prop_assert!(!covered, "semiflow cover contradicts ω");
+#[test]
+fn coverability_bound_matches_reachability() {
+    check(
+        "coverability_bound_matches_reachability",
+        &raw_net(),
+        |raw| {
+            let net = raw.build_indexed();
+            let Ok(tree) = CoverabilityTree::build(&net, 40_000) else {
+                return Ok(()); // budget: skip pathological instances
+            };
+            match tree.outcome() {
+                CoverabilityOutcome::Bounded { bound } => {
+                    // The KM bound must equal the exact reachable bound.
+                    let rg = net
+                        .reachability(&ReachabilityOptions::with_max_states(200_000))
+                        .expect("bounded nets explore fully");
+                    prop_assert_eq!(*bound, rg.token_bound());
+                }
+                CoverabilityOutcome::Unbounded { witnesses } => {
+                    prop_assert!(!witnesses.is_empty());
+                    // An unbounded net cannot be covered by P-semiflows.
+                    if let Some(covered) = covered_by_p_semiflows(&net, 5_000) {
+                        prop_assert!(!covered, "semiflow cover contradicts ω");
+                    }
                 }
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn semiflow_cover_implies_km_bounded(raw in raw_net()) {
-        let net = build(&raw);
+#[test]
+fn semiflow_cover_implies_km_bounded() {
+    check("semiflow_cover_implies_km_bounded", &raw_net(), |raw| {
+        let net = raw.build_indexed();
         let Some(true) = covered_by_p_semiflows(&net, 5_000) else {
             return Ok(());
         };
         let tree = CoverabilityTree::build(&net, 100_000)
             .expect("covered nets have finite coverability sets");
         prop_assert!(tree.is_bounded());
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn structural_mg_dead_matches_rg(mg in raw_mg()) {
-        let (n, marks) = mg;
-        let net = build_mg(n, &marks);
+#[test]
+fn structural_mg_dead_matches_rg() {
+    check("structural_mg_dead_matches_rg", &raw_mg(), |ring| {
+        let net = ring.build();
         let structural = dead_transitions_structural_mg(&net).unwrap();
-        let rg = net
-            .reachability(&ReachabilityOptions::default())
-            .unwrap();
+        let rg = net.reachability(&ReachabilityOptions::default()).unwrap();
         let exact = dead_transitions_rg(&net, &rg);
         prop_assert_eq!(structural, exact);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn structural_mg_liveness_and_safety_match_rg(mg in raw_mg()) {
-        let (n, marks) = mg;
-        let net = build_mg(n, &marks);
-        let rg = net.reachability(&ReachabilityOptions::default()).unwrap();
-        let analysis = net.analysis(&rg);
-        prop_assert_eq!(mg_live_structural(&net).unwrap(), analysis.live);
-        if analysis.live {
-            prop_assert_eq!(mg_safe_structural(&net).unwrap(), analysis.safe);
-            let bounds = mg_place_bounds(&net).unwrap();
-            let max = bounds.iter().map(|b| b.unwrap()).max().unwrap();
-            prop_assert_eq!(max, u64::from(analysis.bound));
-        }
-    }
+#[test]
+fn structural_mg_liveness_and_safety_match_rg() {
+    check(
+        "structural_mg_liveness_and_safety_match_rg",
+        &raw_mg(),
+        |ring| {
+            let net = ring.build();
+            let rg = net.reachability(&ReachabilityOptions::default()).unwrap();
+            let analysis = net.analysis(&rg);
+            prop_assert_eq!(mg_live_structural(&net).unwrap(), analysis.live);
+            if analysis.live {
+                prop_assert_eq!(mg_safe_structural(&net).unwrap(), analysis.safe);
+                let bounds = mg_place_bounds(&net).unwrap();
+                let max = bounds.iter().map(|b| b.unwrap()).max().unwrap();
+                prop_assert_eq!(max, u64::from(analysis.bound));
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn commoner_matches_rg_on_random_state_machines(
-        arcs in proptest::collection::vec((0usize..4, 0usize..4), 2..8),
-        marks in proptest::collection::vec(0u8..2, 4),
-    ) {
-        // State machines (singleton presets/postsets) are free-choice.
-        let mut net: PetriNet<String> = PetriNet::new();
-        let ps: Vec<PlaceId> = (0..4).map(|i| net.add_place(format!("p{i}"))).collect();
-        for (i, &(a, b)) in arcs.iter().enumerate() {
-            net.add_transition([ps[a]], format!("t{i}"), [ps[b]]).unwrap();
-        }
-        for (i, &m) in marks.iter().enumerate() {
-            net.set_initial(ps[i], u32::from(m));
-        }
-        prop_assume!(net.structural().is_free_choice);
-        let Ok(structural) = commoner_live(&net, 100_000) else {
-            return Ok(());
-        };
-        let rg = net.reachability(&ReachabilityOptions::with_max_states(100_000)).unwrap();
-        let behavioural = net.analysis(&rg).live;
-        prop_assert_eq!(structural, behavioural, "net:\n{}", net);
-    }
+#[test]
+fn commoner_matches_rg_on_random_state_machines() {
+    let strategy = (
+        vec_of((usize_in(0..4), usize_in(0..4)), 2..=7),
+        vec_of(u32_in(0..2), 4..=4),
+    );
+    check(
+        "commoner_matches_rg_on_random_state_machines",
+        &strategy,
+        |(arcs, marks)| {
+            let net = build_state_machine(arcs, marks);
+            prop_assume!(net.structural().is_free_choice);
+            let Ok(structural) = commoner_live(&net, 100_000) else {
+                return Ok(());
+            };
+            let rg = net
+                .reachability(&ReachabilityOptions::with_max_states(100_000))
+                .unwrap();
+            let behavioural = net.analysis(&rg).live;
+            prop_assert_eq!(structural, behavioural, "net:\n{}", net);
+            Ok(())
+        },
+    );
+}
+
+/// Regression (formerly `analyses.proptest-regressions`, seed
+/// `a8d59970…`): the three-transition cycle `p1→p2→p0→p1` with the only
+/// token on p2 — Commoner and the reachability graph must agree.
+#[test]
+fn regression_commoner_cycle_with_token_on_p2() {
+    let arcs = [(1, 2), (2, 0), (0, 1)];
+    let marks = [0, 0, 1, 0];
+    let net = build_state_machine(&arcs, &marks);
+    assert!(net.structural().is_free_choice);
+    let structural = commoner_live(&net, 100_000).unwrap();
+    let rg = net
+        .reachability(&ReachabilityOptions::with_max_states(100_000))
+        .unwrap();
+    let behavioural = net.analysis(&rg).live;
+    assert_eq!(structural, behavioural, "net:\n{net}");
 }

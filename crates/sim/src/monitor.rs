@@ -10,8 +10,7 @@
 
 use cpn_core::{parallel_tracked, Side};
 use cpn_petri::{Label, Marking, PetriNet, PlaceId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cpn_testkit::TestRng;
 use std::collections::BTreeSet;
 
 /// A dynamically observed receptiveness failure.
@@ -49,11 +48,7 @@ pub fn monitor_composition<L: Label>(
     seed: u64,
     steps: usize,
 ) -> Option<FailureObservation<L>> {
-    let sync: BTreeSet<L> = n1
-        .alphabet()
-        .intersection(n2.alphabet())
-        .cloned()
-        .collect();
+    let sync: BTreeSet<L> = n1.alphabet().intersection(n2.alphabet()).cloned().collect();
     let comp = parallel_tracked(n1, n2, &sync);
 
     // Group obligations as the static check does.
@@ -66,9 +61,10 @@ pub fn monitor_composition<L: Label>(
         } else {
             continue;
         };
-        match obligations.iter_mut().find(|o| {
-            o.label == s.label && o.producer == side && o.producer_pre == *ppre
-        }) {
+        match obligations
+            .iter_mut()
+            .find(|o| o.label == s.label && o.producer == side && o.producer_pre == *ppre)
+        {
             Some(o) => o.consumer_pres.push(cpre.clone()),
             None => obligations.push(Obligation {
                 label: s.label.clone(),
@@ -101,7 +97,7 @@ pub fn monitor_composition<L: Label>(
         None
     };
 
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = TestRng::seed_from_u64(seed);
     let mut marking = comp.net.initial_marking();
     if let Some(f) = check(&marking, 0) {
         return Some(f);
@@ -112,7 +108,10 @@ pub fn monitor_composition<L: Label>(
             return None;
         }
         let t = enabled[rng.gen_range(0..enabled.len())];
-        marking = comp.net.fire(&marking, t).expect("enabled transition fires");
+        marking = comp
+            .net
+            .fire(&marking, t)
+            .expect("enabled transition fires");
         if let Some(f) = check(&marking, step) {
             return Some(f);
         }

@@ -1,8 +1,7 @@
 //! The seeded random token-game simulator.
 
 use cpn_petri::{Label, Marking, PetriNet, TransitionId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cpn_testkit::TestRng;
 
 /// Statistics from a simulation run.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -39,7 +38,7 @@ impl<L: Label> RunReport<L> {
 pub struct Simulator<'n, L: Label> {
     net: &'n PetriNet<L>,
     marking: Marking,
-    rng: StdRng,
+    rng: TestRng,
     trace_cap: usize,
 }
 
@@ -49,7 +48,7 @@ impl<'n, L: Label> Simulator<'n, L> {
         Simulator {
             net,
             marking: net.initial_marking(),
-            rng: StdRng::seed_from_u64(seed),
+            rng: TestRng::seed_from_u64(seed),
             trace_cap: 10_000,
         }
     }

@@ -9,8 +9,7 @@
 
 use cpn_petri::{Marking, TransitionId};
 use cpn_stg::{Edge, Signal, Stg, StgLabel};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cpn_testkit::TestRng;
 use std::collections::BTreeMap;
 
 /// A runtime consistency violation observed by the walker.
@@ -46,7 +45,7 @@ pub struct StgSimulator<'s> {
     marking: Marking,
     signals: Vec<Signal>,
     levels: Vec<bool>,
-    rng: StdRng,
+    rng: TestRng,
 }
 
 impl<'s> StgSimulator<'s> {
@@ -63,7 +62,7 @@ impl<'s> StgSimulator<'s> {
             marking: stg.net().initial_marking(),
             signals,
             levels,
-            rng: StdRng::seed_from_u64(seed),
+            rng: TestRng::seed_from_u64(seed),
         }
     }
 
@@ -81,11 +80,7 @@ impl<'s> StgSimulator<'s> {
             .net()
             .enabled_transitions(&self.marking)
             .into_iter()
-            .filter(|&t| {
-                self.stg
-                    .guard(t)
-                    .eval(|s| self.level_of(s))
-            })
+            .filter(|&t| self.stg.guard(t).eval(|s| self.level_of(s)))
             .collect()
     }
 
@@ -201,7 +196,8 @@ mod tests {
         let p2 = stg.add_place("p2");
         stg.add_signal_transition([p0], (x.clone(), Edge::Rise), [p1])
             .unwrap();
-        stg.add_signal_transition([p1], (x, Edge::Rise), [p2]).unwrap();
+        stg.add_signal_transition([p1], (x, Edge::Rise), [p2])
+            .unwrap();
         stg.set_initial(p0, 1);
         let mut sim = StgSimulator::new(&stg, &BTreeMap::new(), 1);
         let report = sim.run(10);
@@ -218,8 +214,12 @@ mod tests {
         let lo = stg.add_signal("lo", SignalDir::Output);
         let p = stg.add_place("p");
         let q = stg.add_place("q");
-        let t_hi = stg.add_signal_transition([p], (hi, Edge::Toggle), [q]).unwrap();
-        let t_lo = stg.add_signal_transition([p], (lo, Edge::Toggle), [q]).unwrap();
+        let t_hi = stg
+            .add_signal_transition([p], (hi, Edge::Toggle), [q])
+            .unwrap();
+        let t_lo = stg
+            .add_signal_transition([p], (lo, Edge::Toggle), [q])
+            .unwrap();
         stg.set_guard(t_hi, Guard::new().require(data.clone(), true));
         stg.set_guard(t_lo, Guard::new().require(data.clone(), false));
         stg.set_initial(p, 1);
@@ -233,8 +233,7 @@ mod tests {
         assert!(!report.levels[&Signal::new("hi")]);
 
         // DATA high: only the hi branch.
-        let mut sim =
-            StgSimulator::new(&stg, &BTreeMap::from([(data, true)]), 9);
+        let mut sim = StgSimulator::new(&stg, &BTreeMap::from([(data, true)]), 9);
         let report = sim.run(5);
         assert!(report.levels[&Signal::new("hi")]);
     }

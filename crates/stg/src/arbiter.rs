@@ -88,9 +88,7 @@ pub fn critical_section_places(stg: &Stg) -> Vec<PlaceId> {
     stg.net()
         .places()
         .filter(|(_, p)| {
-            p.name() == "mutex"
-                || p.name().starts_with("granted")
-                || p.name().starts_with("done")
+            p.name() == "mutex" || p.name().starts_with("granted") || p.name().starts_with("done")
         })
         .map(|(id, _)| id)
         .collect()
@@ -121,7 +119,10 @@ mod tests {
     #[test]
     fn mutual_exclusion_holds_in_every_reachable_marking() {
         let a = arbiter();
-        let rg = a.net().reachability(&ReachabilityOptions::default()).unwrap();
+        let rg = a
+            .net()
+            .reachability(&ReachabilityOptions::default())
+            .unwrap();
         let granted: Vec<_> = a
             .net()
             .places()
@@ -145,8 +146,7 @@ mod tests {
         let flows = semiflows_p(a.net(), 100_000).unwrap();
         let found = flows.iter().any(|f| {
             let support = f.support();
-            cs.iter().all(|p| support.contains(&p.index()))
-                && support.len() == cs.len()
+            cs.iter().all(|p| support.contains(&p.index())) && support.len() == cs.len()
         });
         assert!(found, "critical-section semiflow exists: {flows:?}");
     }
@@ -195,13 +195,14 @@ mod tests {
             let a = arbiter_n(n);
             let rep = a.classical_report(&ReachabilityOptions::default()).unwrap();
             assert!(rep.live && rep.safe, "n = {n}");
-            let rg = a.net().reachability(&ReachabilityOptions::default()).unwrap();
+            let rg = a
+                .net()
+                .reachability(&ReachabilityOptions::default())
+                .unwrap();
             let cs: Vec<_> = a
                 .net()
                 .places()
-                .filter(|(_, p)| {
-                    p.name().starts_with("granted") || p.name().starts_with("done")
-                })
+                .filter(|(_, p)| p.name().starts_with("granted") || p.name().starts_with("done"))
                 .map(|(id, _)| id)
                 .collect();
             for s in rg.state_ids() {

@@ -33,7 +33,9 @@ pub struct Cube {
 impl Cube {
     /// The cube fixing exactly the given minterm.
     pub fn from_minterm(code: &[bool]) -> Self {
-        Cube { literals: code.iter().map(|&b| Some(b)).collect() }
+        Cube {
+            literals: code.iter().map(|&b| Some(b)).collect(),
+        }
     }
 
     /// Whether the cube contains (covers) a code.
@@ -130,8 +132,7 @@ impl fmt::Display for LogicError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LogicError::CscConflict { signal, code } => {
-                let bits: String =
-                    code.iter().map(|&b| if b { '1' } else { '0' }).collect();
+                let bits: String = code.iter().map(|&b| if b { '1' } else { '0' }).collect();
                 write!(f, "csc conflict for signal {signal} at code {bits}")
             }
         }
@@ -254,16 +255,12 @@ fn cover_on_set(on: &BTreeSet<Vec<bool>>, off: &BTreeSet<Vec<bool>>) -> Vec<Cube
         });
         // A cube is redundant only if every minterm it covers is covered
         // by the others.
-        let redundant = on
-            .iter()
-            .filter(|m| cubes[i].covers(m))
-            .all(|m| {
-                cubes
-                    .iter()
-                    .enumerate()
-                    .any(|(j, c)| keep[j] && j != i && c.covers(m))
-            })
-            && all_covered;
+        let redundant = on.iter().filter(|m| cubes[i].covers(m)).all(|m| {
+            cubes
+                .iter()
+                .enumerate()
+                .any(|(j, c)| keep[j] && j != i && c.covers(m))
+        }) && all_covered;
         keep[i] = !redundant;
     }
     cubes
@@ -279,7 +276,11 @@ pub fn render_equations(functions: &[NextStateFunction], signals: &[Signal]) -> 
     let mut lines = Vec::new();
     for f in functions {
         let terms: Vec<String> = f.cover.iter().map(|c| c.render(signals)).collect();
-        let rhs = if terms.is_empty() { "0".to_owned() } else { terms.join(" + ") };
+        let rhs = if terms.is_empty() {
+            "0".to_owned()
+        } else {
+            terms.join(" + ")
+        };
         lines.push(format!("{} = {rhs}", f.signal));
     }
     lines.join("\n")
@@ -375,7 +376,8 @@ mod tests {
         let x = stg.add_signal("x", SignalDir::Output);
         let p0 = stg.add_place("p0");
         let p1 = stg.add_place("p1");
-        stg.add_signal_transition([p0], (x, Edge::Rise), [p1]).unwrap();
+        stg.add_signal_transition([p0], (x, Edge::Rise), [p1])
+            .unwrap();
         stg.set_initial(p0, 1);
         let sg = StateGraph::build(&stg, &BTreeMap::new(), 1000).unwrap();
         let fns = derive_logic(&stg, &sg).unwrap();
@@ -397,7 +399,8 @@ mod tests {
         let mut stg = Stg::new();
         let x = stg.add_signal("x", SignalDir::Output);
         let p = stg.add_place("p");
-        stg.add_signal_transition([p], (x, Edge::Toggle), [p]).unwrap();
+        stg.add_signal_transition([p], (x, Edge::Toggle), [p])
+            .unwrap();
         stg.set_initial(p, 1);
         let sg = StateGraph::build(&stg, &BTreeMap::new(), 1000).unwrap();
         // F_x: at x=0 excited up → on; at x=1 excited down → off.

@@ -309,7 +309,15 @@ pub fn translator() -> Stg {
                         .require(data.clone(), dv),
                 );
                 let end = stg.add_place(format!("tr.rec.{out_cmd}.end"));
-                xmit(&mut stg, &format!("tr.rec.{out_cmd}"), link, k0, &[end], wp, wq);
+                xmit(
+                    &mut stg,
+                    &format!("tr.rec.{out_cmd}"),
+                    link,
+                    k0,
+                    &[end],
+                    wp,
+                    wq,
+                );
                 let u1 = stg.add_place(format!("tr.rec.{out_cmd}.u1"));
                 let pre_ack = stg.add_place(format!("tr.rec.{out_cmd}.pre_ack"));
                 stg.add_signal_transition([end], (strobe.clone(), Edge::Unstable), [u1])
@@ -435,7 +443,10 @@ mod tests {
     #[test]
     fn translator_is_safe_deadlock_free_and_live_after_init() {
         let t = translator();
-        let rg = t.net().reachability(&ReachabilityOptions::default()).unwrap();
+        let rg = t
+            .net()
+            .reachability(&ReachabilityOptions::default())
+            .unwrap();
         let an = t.net().analysis(&rg);
         assert!(an.safe, "translator safe");
         assert!(an.deadlock_free, "translator deadlock-free");
@@ -503,7 +514,10 @@ mod tests {
     fn inconsistent_sender_builds() {
         let s = sender_inconsistent();
         let rep = s.classical_report(&ReachabilityOptions::default()).unwrap();
-        assert!(rep.live && rep.safe, "the inconsistent sender is fine alone");
+        assert!(
+            rep.live && rep.safe,
+            "the inconsistent sender is fine alone"
+        );
     }
 
     /// Figure 8 / Propositions 5.5–5.6: the consistent sender composes
@@ -580,7 +594,10 @@ mod tests {
             .unwrap();
         let rx = receiver();
         let rx_reduced = rx
-            .prune_against(&tr_reduced, &ReachabilityOptions::with_max_states(2_000_000))
+            .prune_against(
+                &tr_reduced,
+                &ReachabilityOptions::with_max_states(2_000_000),
+            )
             .unwrap();
         assert!(
             rx_reduced.net().transition_count() < rx.net().transition_count(),
@@ -589,10 +606,11 @@ mod tests {
             rx.net().transition_count()
         );
         // mute~ can never be produced.
-        assert!(!rx_reduced
-            .net()
-            .transitions()
-            .any(|(_, t)| t.label().signal_name().map(Signal::name) == Some("mute")));
+        assert!(!rx_reduced.net().transitions().any(|(_, t)| t
+            .label()
+            .signal_name()
+            .map(Signal::name)
+            == Some("mute")));
         assert!(!rx_reduced.signals().contains_key(&Signal::new("mute")));
     }
 }

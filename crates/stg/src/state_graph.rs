@@ -184,7 +184,13 @@ impl StateGraph {
             frontier += 1;
         }
 
-        Ok(StateGraph { signals, dirs, states, edges, violations })
+        Ok(StateGraph {
+            signals,
+            dirs,
+            states,
+            edges,
+            violations,
+        })
     }
 
     /// The signals, in encoding order.
@@ -275,10 +281,8 @@ impl StateGraph {
                     let ea = self.output_excitation(stg, group[a]);
                     let eb = self.output_excitation(stg, group[b]);
                     if ea != eb {
-                        let conflicting: BTreeSet<Signal> = ea
-                            .symmetric_difference(&eb)
-                            .cloned()
-                            .collect();
+                        let conflicting: BTreeSet<Signal> =
+                            ea.symmetric_difference(&eb).cloned().collect();
                         out.push(CscViolation {
                             encoding: code.clone(),
                             first: self.states[group[a]].0.clone(),
@@ -322,8 +326,7 @@ mod tests {
         assert_eq!(sg.state_count(), 4);
         assert!(sg.is_consistent());
         // Encodings cycle 00 → 10(req) → 11 → 01 → 00.
-        let codes: BTreeSet<Encoding> =
-            (0..4).map(|i| sg.state(i).1.clone()).collect();
+        let codes: BTreeSet<Encoding> = (0..4).map(|i| sg.state(i).1.clone()).collect();
         assert_eq!(codes.len(), 4, "all four codes distinct");
         assert!(sg.usc_violations().is_empty());
         assert!(sg.csc_violations(&stg).is_empty());
@@ -338,7 +341,8 @@ mod tests {
         let p2 = stg.add_place("p2");
         stg.add_signal_transition([p0], (x.clone(), Edge::Rise), [p1])
             .unwrap();
-        stg.add_signal_transition([p1], (x, Edge::Rise), [p2]).unwrap();
+        stg.add_signal_transition([p1], (x, Edge::Rise), [p2])
+            .unwrap();
         stg.set_initial(p0, 1);
         let sg = StateGraph::build(&stg, &BTreeMap::new(), 1000).unwrap();
         assert!(!sg.is_consistent());
@@ -351,7 +355,8 @@ mod tests {
         let mut stg = Stg::new();
         let x = stg.add_signal("x", SignalDir::Output);
         let p = stg.add_place("p");
-        stg.add_signal_transition([p], (x, Edge::Toggle), [p]).unwrap();
+        stg.add_signal_transition([p], (x, Edge::Toggle), [p])
+            .unwrap();
         stg.set_initial(p, 1);
         let sg = StateGraph::build(&stg, &BTreeMap::new(), 1000).unwrap();
         // Same marking, two encodings.

@@ -82,7 +82,10 @@ impl Guard {
 
     /// The unsatisfiable guard.
     pub fn never() -> Self {
-        Guard { literals: BTreeMap::new(), contradiction: true }
+        Guard {
+            literals: BTreeMap::new(),
+            contradiction: true,
+        }
     }
 
     /// Adds a literal `signal = value` (builder style). Conflicting
@@ -205,7 +208,8 @@ impl Stg {
     /// construction bug; use [`Stg::try_add_signal`] for fallible
     /// declaration).
     pub fn add_signal(&mut self, name: impl AsRef<str>, dir: SignalDir) -> Signal {
-        self.try_add_signal(name, dir).expect("conflicting signal declaration")
+        self.try_add_signal(name, dir)
+            .expect("conflicting signal declaration")
     }
 
     /// Fallible signal declaration.
@@ -336,7 +340,11 @@ impl Stg {
                 }
             }
         }
-        Ok(Stg { net, signals, guards })
+        Ok(Stg {
+            net,
+            signals,
+            guards,
+        })
     }
 
     // ------------------------------------------------------------------
@@ -440,7 +448,11 @@ impl Stg {
             }
         }
 
-        Ok(Stg { net: comp.net, signals, guards })
+        Ok(Stg {
+            net: comp.net,
+            signals,
+            guards,
+        })
     }
 
     /// Hides a signal: contracts all its transitions (Section 5.1: "to
@@ -486,7 +498,11 @@ impl Stg {
                 "hiding on guarded STGs is limited to guard-free nets; relabel instead".to_owned(),
             )));
         }
-        Ok(Stg { net, signals, guards: BTreeMap::new() })
+        Ok(Stg {
+            net,
+            signals,
+            guards: BTreeMap::new(),
+        })
     }
 
     /// The `hide'` variant: relabels the signal's transitions to ε,
@@ -504,7 +520,11 @@ impl Stg {
         let net = cpn_core::hide_relabel(&self.net, &labels, StgLabel::Dummy);
         let mut signals = self.signals.clone();
         signals.remove(signal);
-        Ok(Stg { net, signals, guards: self.guards.clone() })
+        Ok(Stg {
+            net,
+            signals,
+            guards: self.guards.clone(),
+        })
     }
 
     /// Projects the STG onto a set of signals: hides all others
@@ -514,11 +534,7 @@ impl Stg {
     /// # Errors
     ///
     /// Propagates [`Stg::hide_signal`] errors.
-    pub fn project_signals(
-        &self,
-        keep: &BTreeSet<Signal>,
-        budget: usize,
-    ) -> Result<Stg, StgError> {
+    pub fn project_signals(&self, keep: &BTreeSet<Signal>, budget: usize) -> Result<Stg, StgError> {
         let mut current = self.clone();
         let to_hide: Vec<Signal> = self
             .signals
@@ -563,7 +579,11 @@ impl Stg {
         // Dropping isolated places invalidates nothing for guards (they
         // reference signals, not places).
         let (net, _) = pruned.without_isolated_places();
-        Ok(Stg { net, signals: self.signals.clone(), guards })
+        Ok(Stg {
+            net,
+            signals: self.signals.clone(),
+            guards,
+        })
     }
 
     /// Labels of all signals this STG drives (outputs and internals) —
@@ -573,11 +593,8 @@ impl Stg {
             .alphabet()
             .iter()
             .filter(|l| {
-                l.signal_name().is_some_and(|s| {
-                    self.signals
-                        .get(s)
-                        .is_some_and(|&d| d != SignalDir::Input)
-                })
+                l.signal_name()
+                    .is_some_and(|s| self.signals.get(s).is_some_and(|&d| d != SignalDir::Input))
             })
             .cloned()
             .collect()
@@ -656,11 +673,7 @@ impl Stg {
     /// # Errors
     ///
     /// Reachability budget errors on the composition.
-    pub fn prune_against(
-        &self,
-        env: &Stg,
-        options: &ReachabilityOptions,
-    ) -> Result<Stg, StgError> {
+    pub fn prune_against(&self, env: &Stg, options: &ReachabilityOptions) -> Result<Stg, StgError> {
         let shared: BTreeSet<StgLabel> = self
             .net
             .alphabet()
@@ -711,7 +724,11 @@ impl Stg {
             .net
             .without_transitions(&dead)
             .without_isolated_places();
-        let mut out = Stg { net, signals: self.signals.clone(), guards };
+        let mut out = Stg {
+            net,
+            signals: self.signals.clone(),
+            guards,
+        };
         out.drop_unused_signals();
         Ok(out)
     }
@@ -762,10 +779,7 @@ impl Stg {
 
 /// Re-exported composition on bare nets for callers that manage signal
 /// bookkeeping themselves (the CIP layer).
-pub fn compose_nets(
-    n1: &PetriNet<StgLabel>,
-    n2: &PetriNet<StgLabel>,
-) -> PetriNet<StgLabel> {
+pub fn compose_nets(n1: &PetriNet<StgLabel>, n2: &PetriNet<StgLabel>) -> PetriNet<StgLabel> {
     let shared: BTreeSet<StgLabel> = n1
         .alphabet()
         .intersection(n2.alphabet())
@@ -901,7 +915,14 @@ mod tests {
         let mk = |gv: bool| -> Stg {
             let mut stg = Stg::new();
             let d = stg.add_signal("DATA", SignalDir::Input);
-            let x = stg.add_signal("x", if gv { SignalDir::Output } else { SignalDir::Input });
+            let x = stg.add_signal(
+                "x",
+                if gv {
+                    SignalDir::Output
+                } else {
+                    SignalDir::Input
+                },
+            );
             let p = stg.add_place("p");
             let q = stg.add_place("q");
             let t = stg

@@ -1,0 +1,135 @@
+//! A minimal wall-clock micro-benchmark harness (feature `bench`).
+//!
+//! Replaces `criterion` for the workspace's offline builds. Each bench
+//! target is a plain `fn main()` (`harness = false`) that builds a
+//! [`BenchGroup`] and registers closures. Two modes:
+//!
+//! * **quick** (default) — every closure runs a few times so `cargo
+//!   test` smoke-checks the workloads (including their internal
+//!   assertions) in milliseconds.
+//! * **full** (`CPN_BENCH_FULL=1`) — closures are calibrated to ~10 ms
+//!   batches and timed over 30 batches; min/median/mean ns per
+//!   iteration are printed.
+
+pub use std::hint::black_box;
+use std::time::Instant;
+
+/// Number of timed batches in full mode.
+const BATCHES: usize = 30;
+/// Target wall-clock duration of one batch in full mode.
+const BATCH_TARGET_NANOS: u128 = 10_000_000;
+/// Iterations per closure in quick mode.
+const QUICK_ITERS: usize = 3;
+
+/// A named collection of benchmarks sharing one report.
+pub struct BenchGroup {
+    name: String,
+    full: bool,
+}
+
+impl BenchGroup {
+    /// A group in quick or full mode per `CPN_BENCH_FULL`.
+    pub fn new(name: impl Into<String>) -> Self {
+        let full = std::env::var("CPN_BENCH_FULL").is_ok_and(|v| v == "1");
+        let group = BenchGroup {
+            name: name.into(),
+            full,
+        };
+        println!(
+            "bench group '{}' ({} mode)",
+            group.name,
+            if group.full { "full" } else { "quick" }
+        );
+        group
+    }
+
+    /// Runs and reports one benchmark. The closure's return value is
+    /// black-boxed so the work is not optimized away.
+    pub fn bench<R>(&mut self, id: impl std::fmt::Display, mut f: impl FnMut() -> R) {
+        if !self.full {
+            let start = Instant::now();
+            for _ in 0..QUICK_ITERS {
+                black_box(f());
+            }
+            let per_iter = start.elapsed().as_nanos() / QUICK_ITERS as u128;
+            println!(
+                "  {}/{id}: ~{} ns/iter (quick, {QUICK_ITERS} iters)",
+                self.name,
+                group_digits(per_iter)
+            );
+            return;
+        }
+
+        // Calibrate the batch size on a single timed call.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().as_nanos().max(1);
+        let batch = usize::try_from((BATCH_TARGET_NANOS / once).clamp(1, 1_000_000))
+            .expect("batch fits usize");
+
+        let mut samples: Vec<u128> = Vec::with_capacity(BATCHES);
+        for _ in 0..BATCHES {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            samples.push(start.elapsed().as_nanos() / batch as u128);
+        }
+        samples.sort_unstable();
+        let min = samples[0];
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<u128>() / samples.len() as u128;
+        println!(
+            "  {}/{id}: min {} / median {} / mean {} ns/iter ({} batches x {} iters)",
+            self.name,
+            group_digits(min),
+            group_digits(median),
+            group_digits(mean),
+            BATCHES,
+            batch
+        );
+    }
+
+    /// Ends the group (kept for symmetry with the criterion API).
+    pub fn finish(self) {}
+}
+
+/// `1234567` → `"1_234_567"` for readable nanosecond counts.
+fn group_digits(n: u128) -> String {
+    let digits = n.to_string();
+    let mut out = String::with_capacity(digits.len() + digits.len() / 3);
+    for (i, c) in digits.chars().enumerate() {
+        if i > 0 && (digits.len() - i).is_multiple_of(3) {
+            out.push('_');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_mode_runs_the_closure() {
+        let mut count = 0u32;
+        let mut group = BenchGroup {
+            name: "test".into(),
+            full: false,
+        };
+        group.bench("counted", || {
+            count += 1;
+            count
+        });
+        group.finish();
+        assert_eq!(count, QUICK_ITERS as u32);
+    }
+
+    #[test]
+    fn digit_grouping() {
+        assert_eq!(group_digits(7), "7");
+        assert_eq!(group_digits(1234), "1_234");
+        assert_eq!(group_digits(1234567), "1_234_567");
+    }
+}

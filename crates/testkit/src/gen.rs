@@ -1,0 +1,318 @@
+//! Generic generation strategies with integrated shrinking.
+//!
+//! A [`Strategy`] couples a generator (`rng → value`) with a shrinker
+//! (`value → smaller candidate values`). Shrink candidates are returned
+//! roughly most-aggressive-first and in a deterministic order, which is
+//! what makes seed replay reproduce the *identical* minimized
+//! counterexample.
+
+use crate::rng::TestRng;
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+/// A value generator with integrated shrinking.
+pub trait Strategy {
+    /// The generated value type.
+    type Value: Clone + Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Smaller candidate values, most aggressive first. The default has
+    /// no shrinking.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+}
+
+/// A constant strategy (never shrinks).
+pub fn just<T: Clone + Debug>(value: T) -> Just<T> {
+    Just(value)
+}
+
+/// See [`just`].
+#[derive(Clone, Debug)]
+pub struct Just<T>(T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// A uniform `usize` in the half-open range; shrinks toward the lower
+/// bound.
+pub fn usize_in(range: Range<usize>) -> UsizeIn {
+    assert!(range.start < range.end, "empty range");
+    UsizeIn(range)
+}
+
+/// See [`usize_in`].
+#[derive(Clone, Debug)]
+pub struct UsizeIn(Range<usize>);
+
+impl Strategy for UsizeIn {
+    type Value = usize;
+
+    fn generate(&self, rng: &mut TestRng) -> usize {
+        rng.gen_range(self.0.clone())
+    }
+
+    fn shrink(&self, &value: &usize) -> Vec<usize> {
+        shrink_toward(self.0.start, value)
+    }
+}
+
+/// A uniform `u32` in the half-open range; shrinks toward the lower
+/// bound.
+pub fn u32_in(range: Range<u32>) -> U32In {
+    assert!(range.start < range.end, "empty range");
+    U32In(range)
+}
+
+/// See [`u32_in`].
+#[derive(Clone, Debug)]
+pub struct U32In(Range<u32>);
+
+impl Strategy for U32In {
+    type Value = u32;
+
+    fn generate(&self, rng: &mut TestRng) -> u32 {
+        rng.gen_range_u32(self.0.clone())
+    }
+
+    fn shrink(&self, &value: &u32) -> Vec<u32> {
+        shrink_toward(self.0.start as usize, value as usize)
+            .into_iter()
+            .map(|v| v as u32)
+            .collect()
+    }
+}
+
+/// Candidates between `lo` and `value`: the minimum itself, the halfway
+/// point, and the predecessor.
+fn shrink_toward(lo: usize, value: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    if value > lo {
+        out.push(lo);
+        let mid = lo + (value - lo) / 2;
+        if mid != lo && mid != value {
+            out.push(mid);
+        }
+        if value - 1 != lo {
+            out.push(value - 1);
+        }
+    }
+    out
+}
+
+/// A uniform boolean; `true` shrinks to `false`.
+pub fn any_bool() -> AnyBool {
+    AnyBool
+}
+
+/// See [`any_bool`].
+#[derive(Clone, Debug)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.gen_bool()
+    }
+
+    fn shrink(&self, &value: &bool) -> Vec<bool> {
+        if value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// A vector of `elem`-generated values with length in `len`; shrinks by
+/// dropping elements (front first), then by shrinking each element.
+pub fn vec_of<S: Strategy>(elem: S, len: RangeInclusive<usize>) -> VecOf<S> {
+    assert!(len.start() <= len.end(), "empty length range");
+    VecOf { elem, len }
+}
+
+/// See [`vec_of`].
+#[derive(Clone, Debug)]
+pub struct VecOf<S> {
+    elem: S,
+    len: RangeInclusive<usize>,
+}
+
+impl<S: Strategy> Strategy for VecOf<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = rng.gen_range(*self.len.start()..self.len.end() + 1);
+        (0..n).map(|_| self.elem.generate(rng)).collect()
+    }
+
+    fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let mut out = Vec::new();
+        if value.len() > *self.len.start() {
+            for i in 0..value.len() {
+                let mut v = value.clone();
+                v.remove(i);
+                out.push(v);
+            }
+        }
+        for (i, x) in value.iter().enumerate() {
+            for candidate in self.elem.shrink(x) {
+                let mut v = value.clone();
+                v[i] = candidate;
+                out.push(v);
+            }
+        }
+        out
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+
+    fn shrink(&self, (a, b): &Self::Value) -> Vec<Self::Value> {
+        let mut out: Vec<Self::Value> = self
+            .0
+            .shrink(a)
+            .into_iter()
+            .map(|sa| (sa, b.clone()))
+            .collect();
+        out.extend(self.1.shrink(b).into_iter().map(|sb| (a.clone(), sb)));
+        out
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
+    }
+
+    fn shrink(&self, (a, b, c): &Self::Value) -> Vec<Self::Value> {
+        let mut out: Vec<Self::Value> = self
+            .0
+            .shrink(a)
+            .into_iter()
+            .map(|sa| (sa, b.clone(), c.clone()))
+            .collect();
+        out.extend(
+            self.1
+                .shrink(b)
+                .into_iter()
+                .map(|sb| (a.clone(), sb, c.clone())),
+        );
+        out.extend(
+            self.2
+                .shrink(c)
+                .into_iter()
+                .map(|sc| (a.clone(), b.clone(), sc)),
+        );
+        out
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+    type Value = (A::Value, B::Value, C::Value, D::Value);
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+            self.3.generate(rng),
+        )
+    }
+
+    fn shrink(&self, (a, b, c, d): &Self::Value) -> Vec<Self::Value> {
+        let mut out: Vec<Self::Value> = self
+            .0
+            .shrink(a)
+            .into_iter()
+            .map(|sa| (sa, b.clone(), c.clone(), d.clone()))
+            .collect();
+        out.extend(
+            self.1
+                .shrink(b)
+                .into_iter()
+                .map(|sb| (a.clone(), sb, c.clone(), d.clone())),
+        );
+        out.extend(
+            self.2
+                .shrink(c)
+                .into_iter()
+                .map(|sc| (a.clone(), b.clone(), sc, d.clone())),
+        );
+        out.extend(
+            self.3
+                .shrink(d)
+                .into_iter()
+                .map(|sd| (a.clone(), b.clone(), c.clone(), sd)),
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn usize_shrinks_toward_minimum() {
+        let s = usize_in(2..20);
+        assert_eq!(s.shrink(&2), Vec::<usize>::new());
+        let c = s.shrink(&10);
+        assert!(c.contains(&2) && c.contains(&6) && c.contains(&9), "{c:?}");
+    }
+
+    #[test]
+    fn vec_generation_respects_length() {
+        let s = vec_of(usize_in(0..5), 1..=3);
+        let mut rng = TestRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((1..=3).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    #[test]
+    fn vec_shrink_never_below_min_len() {
+        let s = vec_of(usize_in(0..5), 2..=4);
+        for candidate in s.shrink(&vec![1, 2]) {
+            assert!(candidate.len() >= 2, "{candidate:?}");
+        }
+    }
+
+    #[test]
+    fn tuple_shrinks_componentwise() {
+        let s = (usize_in(0..10), any_bool());
+        let c = s.shrink(&(4, true));
+        assert!(c.contains(&(0, true)));
+        assert!(c.contains(&(4, false)));
+    }
+
+    #[test]
+    fn just_is_constant() {
+        let s = just("fixed");
+        let mut rng = TestRng::seed_from_u64(0);
+        assert_eq!(s.generate(&mut rng), "fixed");
+        assert!(s.shrink(&"fixed").is_empty());
+    }
+}

@@ -1,0 +1,352 @@
+//! The shrinking property-test harness.
+//!
+//! A property is a function from a generated value to a [`PropResult`]:
+//! `Ok(())` passes, [`PropFail::Discard`] skips the input (the
+//! `prop_assume!` path), [`PropFail::Fail`] is a counterexample. The
+//! harness generates `cases` inputs from a [`Strategy`], and on the
+//! first failure shrinks it greedily with the strategy's
+//! [`shrink`](Strategy::shrink) candidates before panicking with the
+//! minimized input **and the case seed**.
+//!
+//! # Determinism and replay
+//!
+//! Every case seed is derived from a base seed and the case index with
+//! [`mix_seed`](crate::rng::mix_seed). The base seed defaults to a hash
+//! of the property name, so a test binary produces the same inputs on
+//! every machine and every run — failures are reproducible by simply
+//! re-running the test. Two environment variables override this:
+//!
+//! * `CPN_TESTKIT_SEED=<seed>` (decimal or `0x…` hex) — run **only**
+//!   that case seed. A failure report prints the exact value to export;
+//!   replaying it regenerates and re-shrinks the identical
+//!   counterexample.
+//! * `CPN_TESTKIT_CASES=<n>` — override the number of cases.
+
+use crate::gen::Strategy;
+use crate::rng::{mix_seed, TestRng};
+use std::fmt::Debug;
+
+/// Why a single case did not pass.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PropFail {
+    /// The input does not satisfy the property's preconditions; the
+    /// harness discards it and draws a fresh one.
+    Discard,
+    /// The property is violated; the message describes how.
+    Fail(String),
+}
+
+/// Result of one property evaluation.
+pub type PropResult = Result<(), PropFail>;
+
+/// Harness configuration.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of passing cases required (default 96).
+    pub cases: u32,
+    /// Upper bound on accepted shrink steps (default 2048).
+    pub max_shrink_steps: u32,
+    /// Run only this case seed (set via `CPN_TESTKIT_SEED`).
+    pub replay_seed: Option<u64>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: 96,
+            max_shrink_steps: 2048,
+            replay_seed: None,
+        }
+    }
+}
+
+impl Config {
+    /// The default configuration with environment overrides applied.
+    pub fn from_env() -> Self {
+        let mut config = Config::default();
+        if let Ok(s) = std::env::var("CPN_TESTKIT_CASES") {
+            match s.trim().parse::<u32>() {
+                Ok(n) => config.cases = n,
+                Err(_) => panic!("CPN_TESTKIT_CASES={s:?} is not a u32"),
+            }
+        }
+        if let Ok(s) = std::env::var("CPN_TESTKIT_SEED") {
+            config.replay_seed = parse_seed(&s);
+            if config.replay_seed.is_none() {
+                panic!("CPN_TESTKIT_SEED={s:?} is not a decimal or 0x-hex u64");
+            }
+        }
+        config
+    }
+
+    /// The same configuration with a different case count.
+    pub fn with_cases(mut self, cases: u32) -> Self {
+        self.cases = cases;
+        self
+    }
+}
+
+fn parse_seed(s: &str) -> Option<u64> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse::<u64>().ok()
+    }
+}
+
+/// FNV-1a over the property name: the deterministic base seed.
+fn name_seed(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Outcome of running one case seed to completion (including shrinking).
+enum CaseOutcome {
+    Pass,
+    Discard,
+    /// `(shrunk value rendered, shrink steps, message)`
+    Fail(String, u32, String),
+}
+
+fn run_case<S: Strategy>(
+    strategy: &S,
+    prop: &dyn Fn(&S::Value) -> PropResult,
+    seed: u64,
+    max_shrink_steps: u32,
+) -> CaseOutcome {
+    let mut rng = TestRng::seed_from_u64(seed);
+    let value = strategy.generate(&mut rng);
+    match prop(&value) {
+        Ok(()) => CaseOutcome::Pass,
+        Err(PropFail::Discard) => CaseOutcome::Discard,
+        Err(PropFail::Fail(first_msg)) => {
+            // Greedy deterministic shrink: repeatedly replace the
+            // counterexample with its first shrink candidate that still
+            // fails. Candidate order is fixed by the strategy, so a
+            // replayed seed shrinks to the identical value.
+            let mut current = value;
+            let mut message = first_msg;
+            let mut steps = 0u32;
+            'outer: while steps < max_shrink_steps {
+                for candidate in strategy.shrink(&current) {
+                    if let Err(PropFail::Fail(msg)) = prop(&candidate) {
+                        current = candidate;
+                        message = msg;
+                        steps += 1;
+                        continue 'outer;
+                    }
+                }
+                break;
+            }
+            CaseOutcome::Fail(format!("{current:#?}"), steps, message)
+        }
+    }
+}
+
+/// Checks a property with an explicit configuration.
+///
+/// # Panics
+///
+/// Panics with the shrunk counterexample and its replay seed when the
+/// property fails.
+pub fn check_with<S: Strategy>(
+    name: &str,
+    config: &Config,
+    strategy: &S,
+    prop: impl Fn(&S::Value) -> PropResult,
+) {
+    let fail = |seed: u64, passed: u32, rendered: String, steps: u32, message: String| -> ! {
+        panic!(
+            "\n[cpn-testkit] property '{name}' failed after {passed} passing case(s).\n\
+             [cpn-testkit] case seed: {seed} — replay with CPN_TESTKIT_SEED={seed}\n\
+             [cpn-testkit] counterexample ({steps} shrink step(s)):\n{rendered}\n\
+             [cpn-testkit] {message}\n"
+        );
+    };
+
+    if let Some(seed) = config.replay_seed {
+        match run_case(strategy, &prop, seed, config.max_shrink_steps) {
+            CaseOutcome::Pass | CaseOutcome::Discard => return,
+            CaseOutcome::Fail(rendered, steps, message) => fail(seed, 0, rendered, steps, message),
+        }
+    }
+
+    let base = name_seed(name);
+    let mut passed = 0u32;
+    let mut attempts = 0u64;
+    let max_attempts = u64::from(config.cases) * 20;
+    while passed < config.cases {
+        if attempts >= max_attempts {
+            panic!(
+                "[cpn-testkit] property '{name}' discarded too many inputs: \
+                 {passed}/{} passed in {attempts} attempts — loosen the \
+                 generator or the prop_assume! conditions",
+                config.cases
+            );
+        }
+        let seed = mix_seed(base, attempts);
+        attempts += 1;
+        match run_case(strategy, &prop, seed, config.max_shrink_steps) {
+            CaseOutcome::Pass => passed += 1,
+            CaseOutcome::Discard => {}
+            CaseOutcome::Fail(rendered, steps, message) => {
+                fail(seed, passed, rendered, steps, message)
+            }
+        }
+    }
+}
+
+/// Checks a property with [`Config::from_env`].
+///
+/// # Panics
+///
+/// Panics with the shrunk counterexample and its replay seed when the
+/// property fails.
+pub fn check<S: Strategy>(name: &str, strategy: &S, prop: impl Fn(&S::Value) -> PropResult) {
+    check_with(name, &Config::from_env(), strategy, prop);
+}
+
+/// Asserts a condition inside a property, with an optional formatted
+/// message; on failure the enclosing property returns a counterexample.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::PropFail::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a property (both sides shown on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)+), l, r
+        );
+    }};
+}
+
+/// Discards the current input unless the precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::PropFail::Discard);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{usize_in, vec_of};
+
+    #[test]
+    fn passing_property_completes() {
+        check("small_is_small", &usize_in(0..10), |&x| {
+            prop_assert!(x < 10);
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn discards_are_redrawn() {
+        check("assume_even", &usize_in(0..100), |&x| {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+            Ok(())
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "CPN_TESTKIT_SEED=")]
+    fn failure_reports_replay_seed() {
+        check_with(
+            "always_fails",
+            &Config::default().with_cases(5),
+            &usize_in(0..100),
+            |_| {
+                prop_assert!(false, "forced failure");
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    fn shrinking_minimizes_vectors() {
+        // A vector with any element ≥ 3 fails; the minimal counterexample
+        // under our candidate order is the single element [3].
+        let strategy = vec_of(usize_in(0..10), 0..=6);
+        let mut rng = TestRng::seed_from_u64(0);
+        // Find a failing input, then shrink it the way the harness does.
+        let failing = loop {
+            let v = strategy.generate(&mut rng);
+            if v.iter().any(|&x| x >= 3) {
+                break v;
+            }
+        };
+        let prop = |v: &Vec<usize>| -> PropResult {
+            prop_assert!(v.iter().all(|&x| x < 3), "element >= 3");
+            Ok(())
+        };
+        let mut current = failing;
+        'outer: loop {
+            for candidate in strategy.shrink(&current) {
+                if prop(&candidate).is_err() {
+                    current = candidate;
+                    continue 'outer;
+                }
+            }
+            break;
+        }
+        assert_eq!(current, vec![3]);
+    }
+
+    #[test]
+    fn too_many_discards_reported() {
+        let result = std::panic::catch_unwind(|| {
+            check_with(
+                "starved",
+                &Config::default().with_cases(10),
+                &usize_in(0..100),
+                |_| Err(PropFail::Discard),
+            );
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("discarded too many inputs"), "{msg}");
+    }
+
+    #[test]
+    fn name_seed_is_stable_fnv() {
+        assert_eq!(name_seed(""), 0xcbf29ce484222325);
+        assert_ne!(name_seed("a"), name_seed("b"));
+    }
+
+    #[test]
+    fn parse_seed_accepts_decimal_and_hex() {
+        assert_eq!(parse_seed("42"), Some(42));
+        assert_eq!(parse_seed("0x2A"), Some(42));
+        assert_eq!(parse_seed(" 0X2a "), Some(42));
+        assert_eq!(parse_seed("nope"), None);
+    }
+}

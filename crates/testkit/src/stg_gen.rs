@@ -1,0 +1,152 @@
+//! Domain generator: signal transition graphs.
+//!
+//! Builds STGs on top of [`RawNet`](crate::net_gen::RawNet) structure:
+//! one declared input (`DATA`), three outputs (`s0..s2`), a generated
+//! edge kind per transition and an optional guard on the first
+//! transition — the exact shape the `.cpn` round-trip suite exercises.
+
+use crate::gen::Strategy;
+use crate::net_gen::{NetStrategy, RawNet};
+use crate::rng::TestRng;
+use cpn_stg::{Edge, Guard, Signal, SignalDir, Stg};
+
+/// A raw STG description the harness can shrink.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RawStg {
+    /// Underlying net structure (label index selects the output signal).
+    pub net: RawNet,
+    /// Edge-kind index per transition (modulo 6: rise, fall, toggle,
+    /// stable, unstable, don't-care).
+    pub edges: Vec<usize>,
+    /// Whether transition 0 carries a `DATA`-high guard.
+    pub guard_on: bool,
+}
+
+/// The edge kind for a raw index.
+pub fn edge_of(i: usize) -> Edge {
+    match i % 6 {
+        0 => Edge::Rise,
+        1 => Edge::Fall,
+        2 => Edge::Toggle,
+        3 => Edge::Stable,
+        4 => Edge::Unstable,
+        _ => Edge::DontCare,
+    }
+}
+
+impl RawStg {
+    /// Builds the STG: one input `DATA`, outputs `s0..s2`, places
+    /// `pl{i}`, one signal transition per raw transition.
+    pub fn build(&self) -> Stg {
+        let mut stg = Stg::new();
+        let data = stg.add_signal("DATA", SignalDir::Input);
+        let sigs: Vec<Signal> = (0..3)
+            .map(|i| stg.add_signal(format!("s{i}"), SignalDir::Output))
+            .collect();
+        let ps: Vec<_> = (0..self.net.places)
+            .map(|i| stg.add_place(format!("pl{i}")))
+            .collect();
+        for (i, t) in self.net.transitions.iter().enumerate() {
+            let edge = edge_of(self.edges[i % self.edges.len()]);
+            let tid = stg
+                .add_signal_transition(
+                    t.pre.iter().map(|&x| ps[x]),
+                    (sigs[t.label % 3].clone(), edge),
+                    t.post.iter().map(|&x| ps[x]),
+                )
+                .expect("generated transition is valid");
+            if self.guard_on && i == 0 {
+                stg.set_guard(tid, Guard::new().require(data.clone(), true));
+            }
+        }
+        for (i, &m) in self.net.marking.iter().enumerate() {
+            stg.set_initial(ps[i], m);
+        }
+        stg
+    }
+}
+
+/// Generates [`RawStg`]s.
+#[derive(Clone, Debug)]
+pub struct StgStrategy {
+    net: NetStrategy,
+}
+
+impl StgStrategy {
+    /// STGs over nets with up to `max_places`/`max_transitions` and
+    /// multiset markings up to 2 tokens per place.
+    pub fn new(max_places: usize, max_transitions: usize) -> Self {
+        StgStrategy {
+            net: NetStrategy::new(max_places, max_transitions, 3).max_tokens(2),
+        }
+    }
+}
+
+impl Strategy for StgStrategy {
+    type Value = RawStg;
+
+    fn generate(&self, rng: &mut TestRng) -> RawStg {
+        let net = self.net.generate(rng);
+        let n_edges = rng.gen_range(1..6);
+        let edges = (0..n_edges).map(|_| rng.below(6)).collect();
+        let guard_on = rng.gen_bool();
+        RawStg {
+            net,
+            edges,
+            guard_on,
+        }
+    }
+
+    fn shrink(&self, value: &RawStg) -> Vec<RawStg> {
+        let mut out = Vec::new();
+        if value.guard_on {
+            out.push(RawStg {
+                guard_on: false,
+                ..value.clone()
+            });
+        }
+        for net in self.net.shrink(&value.net) {
+            out.push(RawStg {
+                net,
+                ..value.clone()
+            });
+        }
+        for (i, &e) in value.edges.iter().enumerate() {
+            if e > 0 {
+                let mut v = value.clone();
+                v.edges[i] = 0;
+                out.push(v);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_stgs_build() {
+        let s = StgStrategy::new(5, 5);
+        let mut rng = TestRng::seed_from_u64(23);
+        for _ in 0..50 {
+            let raw = s.generate(&mut rng);
+            let stg = raw.build();
+            assert_eq!(stg.net().transition_count(), raw.net.transitions.len());
+            assert_eq!(stg.signals().len(), 4);
+        }
+    }
+
+    #[test]
+    fn shrinks_still_build() {
+        let s = StgStrategy::new(5, 5);
+        let mut rng = TestRng::seed_from_u64(31);
+        for _ in 0..20 {
+            let raw = s.generate(&mut rng);
+            for c in s.shrink(&raw) {
+                c.build();
+            }
+        }
+    }
+}

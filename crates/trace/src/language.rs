@@ -46,7 +46,11 @@ impl<L: Label> Language<L> {
     pub fn nil(alphabet: BTreeSet<L>, depth: usize) -> Self {
         let mut traces = BTreeSet::new();
         traces.insert(Vec::new());
-        Language { alphabet, traces, depth }
+        Language {
+            alphabet,
+            traces,
+            depth,
+        }
     }
 
     /// Builds a language from explicit traces, closing it under prefixes.
@@ -66,7 +70,11 @@ impl<L: Label> Language<L> {
                 set.insert(t[..i].to_vec());
             }
         }
-        Language { alphabet, traces: set, depth }
+        Language {
+            alphabet,
+            traces: set,
+            depth,
+        }
     }
 
     /// Extracts `L(N)` up to `depth` by exhaustive firing-sequence
@@ -77,11 +85,7 @@ impl<L: Label> Language<L> {
     /// Returns [`TraceError::BudgetExceeded`] when more than `budget`
     /// distinct `(trace, marking)` pairs are visited — a guard against
     /// exponential nets at large depths.
-    pub fn from_net(
-        net: &PetriNet<L>,
-        depth: usize,
-        budget: usize,
-    ) -> Result<Self, TraceError> {
+    pub fn from_net(net: &PetriNet<L>, depth: usize, budget: usize) -> Result<Self, TraceError> {
         let mut traces: BTreeSet<Vec<L>> = BTreeSet::new();
         traces.insert(Vec::new());
 
@@ -184,18 +188,16 @@ impl<L: Label> Language<L> {
             .all(|t| other.contains(t))
     }
 
-    pub(crate) fn raw_parts(
-        &self,
-    ) -> (&BTreeSet<L>, &BTreeSet<Vec<L>>, usize) {
+    pub(crate) fn raw_parts(&self) -> (&BTreeSet<L>, &BTreeSet<Vec<L>>, usize) {
         (&self.alphabet, &self.traces, self.depth)
     }
 
-    pub(crate) fn from_raw(
-        alphabet: BTreeSet<L>,
-        traces: BTreeSet<Vec<L>>,
-        depth: usize,
-    ) -> Self {
-        Language { alphabet, traces, depth }
+    pub(crate) fn from_raw(alphabet: BTreeSet<L>, traces: BTreeSet<Vec<L>>, depth: usize) -> Self {
+        Language {
+            alphabet,
+            traces,
+            depth,
+        }
     }
 }
 
@@ -225,7 +227,10 @@ impl<L: Label> fmt::Display for Language<L> {
                 writeln!(
                     f,
                     "  {}",
-                    t.iter().map(|l| l.to_string()).collect::<Vec<_>>().join(" ")
+                    t.iter()
+                        .map(|l| l.to_string())
+                        .collect::<Vec<_>>()
+                        .join(" ")
                 )?;
             }
         }
@@ -269,11 +274,7 @@ mod tests {
 
     #[test]
     fn from_traces_prefix_closes() {
-        let l = Language::from_traces(
-            BTreeSet::from(["a", "b"]),
-            vec![vec!["a", "b"]],
-            5,
-        );
+        let l = Language::from_traces(BTreeSet::from(["a", "b"]), vec![vec!["a", "b"]], 5);
         assert!(l.contains(&["a"]));
         assert!(l.contains(&["a", "b"]));
         assert_eq!(l.len(), 3);
@@ -281,11 +282,7 @@ mod tests {
 
     #[test]
     fn from_traces_truncates_to_depth() {
-        let l = Language::from_traces(
-            BTreeSet::from(["a"]),
-            vec![vec!["a", "a", "a"]],
-            2,
-        );
+        let l = Language::from_traces(BTreeSet::from(["a"]), vec![vec!["a", "a", "a"]], 2);
         assert!(l.contains(&["a", "a"]));
         assert!(!l.contains(&["a", "a", "a"]));
     }
@@ -310,11 +307,7 @@ mod tests {
     #[test]
     fn subset_detects_restriction() {
         let full = Language::from_net(&ab_cycle(), 3, 1000).unwrap();
-        let sub = Language::from_traces(
-            BTreeSet::from(["a", "b"]),
-            vec![vec!["a"]],
-            3,
-        );
+        let sub = Language::from_traces(BTreeSet::from(["a", "b"]), vec![vec!["a"]], 3);
         assert!(sub.subset_up_to(&full, 3));
         assert!(!full.subset_up_to(&sub, 3));
     }

@@ -68,8 +68,7 @@ impl<L: Label> Language<L> {
     /// algebra property tests do).
     pub fn project(&self, keep: &BTreeSet<L>) -> Language<L> {
         let (alphabet, traces, depth) = self.raw_parts();
-        let new_alpha: BTreeSet<L> =
-            alphabet.intersection(keep).cloned().collect();
+        let new_alpha: BTreeSet<L> = alphabet.intersection(keep).cloned().collect();
         let new_traces: BTreeSet<Vec<L>> = traces
             .iter()
             .map(|t| {
@@ -177,7 +176,11 @@ mod tests {
     use super::*;
     use std::collections::BTreeSet;
 
-    fn lang(alpha: &[&'static str], traces: &[&[&'static str]], depth: usize) -> Language<&'static str> {
+    fn lang(
+        alpha: &[&'static str],
+        traces: &[&[&'static str]],
+        depth: usize,
+    ) -> Language<&'static str> {
         Language::from_traces(
             alpha.iter().copied().collect(),
             traces.iter().map(|t| t.to_vec()),

@@ -39,16 +39,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Theorem 5.1: the reduced behaviour is contained in the original's.
     let reduced_lang = tr_reduced.language(5, 1_000_000)?;
     let orig_lang = tr.language(7, 1_000_000)?;
-    let contained =
-        reduced_lang.subset_up_to(&orig_lang.project(tr_reduced.net().alphabet()), 5);
+    let contained = reduced_lang.subset_up_to(&orig_lang.project(tr_reduced.net().alphabet()), 5);
     println!("  -> trace containment (Thm 5.1) up to depth 5: {contained}");
 
     // Figure 9(c): the receiver against the reduced translator. The
     // translator's internals form hidden cycles outside the contraction
     // class, so the derivation prunes dead transitions in place.
     let rx = receiver();
-    let rx_reduced =
-        rx.prune_against(&tr_reduced, &ReachabilityOptions::with_max_states(2_000_000))?;
+    let rx_reduced = rx.prune_against(
+        &tr_reduced,
+        &ReachabilityOptions::with_max_states(2_000_000),
+    )?;
     println!(
         "\nreceiver (Fig 6): {} transitions; simplified receiver (Fig 9c): {} transitions",
         rx.net().transition_count(),

@@ -22,7 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tr = translator();
 
     // Both senders are well-formed on their own.
-    for (name, s) in [("consistent", sender()), ("inconsistent", sender_inconsistent())] {
+    for (name, s) in [
+        ("consistent", sender()),
+        ("inconsistent", sender_inconsistent()),
+    ] {
         let rep = s.classical_report(&opts)?;
         println!(
             "{name} sender alone: live={}, safe={} (no local red flags)",
@@ -34,10 +37,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let good = sender().check_receptiveness(&tr, &opts)?;
     let bad = sender_inconsistent().check_receptiveness(&tr, &opts)?;
     println!("\nexhaustive check:");
-    println!("  consistent sender ‖ translator  : receptive = {}", good.is_receptive());
-    println!("  inconsistent sender ‖ translator: receptive = {}", bad.is_receptive());
+    println!(
+        "  consistent sender ‖ translator  : receptive = {}",
+        good.is_receptive()
+    );
+    println!(
+        "  inconsistent sender ‖ translator: receptive = {}",
+        bad.is_receptive()
+    );
     for f in bad.failures.iter().take(4) {
-        println!("    failure: {} produced by the {} side", f.label, f.producer);
+        println!(
+            "    failure: {} produced by the {} side",
+            f.label, f.producer
+        );
     }
 
     // 2. Dynamic monitoring (random walk).
@@ -71,12 +83,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     slow.set_initial(cpn::petri::PlaceId::from_index(0), 0);
     slow.set_initial(cpn::petri::PlaceId::from_index(1), 1);
 
-    let verdict = check_receptiveness_structural_mg(
-        &fast,
-        &slow,
-        &["req"].into(),
-        &["ack"].into(),
-    )?;
+    let verdict =
+        check_receptiveness_structural_mg(&fast, &slow, &["req"].into(), &["ack"].into())?;
     println!(
         "\nstructural (Thm 5.7) on the phase-shifted handshake: receptive = {} \
          (no state space was built)",

@@ -77,10 +77,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Pairwise consistency (receptiveness) of the composition.
     let report = sender().check_receptiveness(&translator(), &opts)?;
-    println!(
-        "sender ↔ translator receptive: {}",
-        report.is_receptive()
-    );
+    println!("sender ↔ translator receptive: {}", report.is_receptive());
     let report = translator().check_receptiveness(&receiver(), &opts)?;
     println!("translator ↔ receiver receptive: {}", report.is_receptive());
 

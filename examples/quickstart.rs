@@ -46,7 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let lang = Language::from_net(&either, 3, 100_000)?;
     assert!(lang.contains(&["boot", "work", "report"][..]));
     assert!(lang.contains(&["safe_mode"][..]));
-    println!("\nwith boot/safe_mode choice: {} traces at depth 3", lang.len());
+    println!(
+        "\nwith boot/safe_mode choice: {} traces at depth 3",
+        lang.len()
+    );
 
     // Reachability analysis on the hidden system.
     let rg = system.reachability(&ReachabilityOptions::default())?;

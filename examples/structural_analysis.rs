@@ -11,8 +11,8 @@
 
 use cpn::petri::invariant::covered_by_p_semiflows;
 use cpn::petri::{
-    commoner_live, mg_live_structural, mg_place_bounds, minimal_siphons,
-    token_free_cycle, CoverabilityTree, PetriNet, ReachabilityOptions,
+    commoner_live, mg_live_structural, mg_place_bounds, minimal_siphons, token_free_cycle,
+    CoverabilityTree, PetriNet, ReachabilityOptions,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -35,7 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     // Compare with the exact analysis.
     let rg = mg.reachability(&ReachabilityOptions::default())?;
-    println!("  exact bound from reachability: {}", mg.analysis(&rg).bound);
+    println!(
+        "  exact bound from reachability: {}",
+        mg.analysis(&rg).bound
+    );
 
     // 2. A free-choice net with a draining branch: Commoner catches it.
     let mut fc: PetriNet<&str> = PetriNet::new();
@@ -74,10 +77,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     dead_ring.add_transition([r2], "y", [r1])?;
     println!("\nunmarked ring:");
     if let Some(cycle) = token_free_cycle(&dead_ring)? {
-        let names: Vec<&str> = cycle
-            .iter()
-            .map(|&p| dead_ring.place(p).name())
-            .collect();
+        let names: Vec<&str> = cycle.iter().map(|&p| dead_ring.place(p).name()).collect();
         println!("  token-free cycle through: {names:?} -> not live");
     }
     Ok(())

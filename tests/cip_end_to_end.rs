@@ -2,9 +2,7 @@
 //! verification, across encodings and protocols.
 
 use cpn::cip::protocol::{protocol_cip, protocol_cip_restricted};
-use cpn::cip::{
-    ChannelSpec, CipGraph, DataEncoding, HandshakeProtocol, Module,
-};
+use cpn::cip::{ChannelSpec, CipGraph, DataEncoding, HandshakeProtocol, Module};
 use cpn::petri::ReachabilityOptions;
 use cpn::stg::{Edge, StgLabel};
 
@@ -30,7 +28,8 @@ fn ring_pair(encoding: DataEncoding, values: &[usize]) -> CipGraph {
     let mut g = CipGraph::new();
     let a = g.add_module(tx);
     let b = g.add_module(rx);
-    g.add_channel_edge(a, b, ChannelSpec::data("ch", encoding)).unwrap();
+    g.add_channel_edge(a, b, ChannelSpec::data("ch", encoding))
+        .unwrap();
     g
 }
 
@@ -46,11 +45,7 @@ fn one_hot_and_dual_rail_and_m_of_n_all_expand_live() {
         let sys = ring_pair(enc, &values)
             .expand(HandshakeProtocol::FourPhase)
             .unwrap();
-        let composed = sys
-            .compose_all()
-            .unwrap()
-            .remove_dead(&opts)
-            .unwrap();
+        let composed = sys.compose_all().unwrap().remove_dead(&opts).unwrap();
         let rg = composed.net().reachability(&opts).unwrap();
         let analysis = composed.net().analysis(&rg);
         assert!(analysis.live, "{name}: transaction ring must be live");
@@ -68,7 +63,11 @@ fn every_sent_value_reaches_the_receiver() {
     let first = prev;
     tx.set_initial(first, 1);
     for v in 0..4usize {
-        let next = if v == 3 { first } else { tx.add_place(format!("s{}", v + 1)) };
+        let next = if v == 3 {
+            first
+        } else {
+            tx.add_place(format!("s{}", v + 1))
+        };
         tx.add_send([prev], "ch", Some(v), [next]).unwrap();
         prev = next;
     }
@@ -77,14 +76,19 @@ fn every_sent_value_reaches_the_receiver() {
     let rfirst = rprev;
     rx.set_initial(rfirst, 1);
     for v in 0..4usize {
-        let next = if v == 3 { rfirst } else { rx.add_place(format!("r{}", v + 1)) };
+        let next = if v == 3 {
+            rfirst
+        } else {
+            rx.add_place(format!("r{}", v + 1))
+        };
         rx.add_recv_case([rprev], "ch", v, [next]).unwrap();
         rprev = next;
     }
     let mut g = CipGraph::new();
     let a = g.add_module(tx);
     let b = g.add_module(rx);
-    g.add_channel_edge(a, b, ChannelSpec::data("ch", enc)).unwrap();
+    g.add_channel_edge(a, b, ChannelSpec::data("ch", enc))
+        .unwrap();
 
     let opts = ReachabilityOptions::with_max_states(500_000);
     let sys = g.expand(HandshakeProtocol::FourPhase).unwrap();
@@ -117,18 +121,21 @@ fn two_phase_ring_works_for_control_channels() {
     let mut g = CipGraph::new();
     let a = g.add_module(tx);
     let b = g.add_module(rx);
-    g.add_channel_edge(a, b, ChannelSpec::control("go")).unwrap();
+    g.add_channel_edge(a, b, ChannelSpec::control("go"))
+        .unwrap();
 
     let sys = g.expand(HandshakeProtocol::TwoPhase).unwrap();
     let composed = sys.compose_all().unwrap();
     let lang = composed.language(4, 100_000).unwrap();
     // Two rounds of toggles.
-    assert!(lang.contains(&[
-        StgLabel::signal("go_req", Edge::Toggle),
-        StgLabel::signal("go_ack", Edge::Toggle),
-        StgLabel::signal("go_req", Edge::Toggle),
-        StgLabel::signal("go_ack", Edge::Toggle),
-    ][..]));
+    assert!(lang.contains(
+        &[
+            StgLabel::signal("go_req", Edge::Toggle),
+            StgLabel::signal("go_ack", Edge::Toggle),
+            StgLabel::signal("go_req", Edge::Toggle),
+            StgLabel::signal("go_ack", Edge::Toggle),
+        ][..]
+    ));
 }
 
 #[test]
@@ -170,10 +177,12 @@ fn restricted_cip_never_exercises_rec_wires_pair() {
             .iter()
             .map(|p| composed.net().place(*p).name())
             .collect();
-        names.iter().any(|n| n.contains("a0.hi"))
-            && names.iter().any(|n| n.contains("b0.hi"))
+        names.iter().any(|n| n.contains("a0.hi")) && names.iter().any(|n| n.contains("b0.hi"))
     });
-    assert!(!offending, "rec completion must be dead with the restricted sender");
+    assert!(
+        !offending,
+        "rec completion must be dead with the restricted sender"
+    );
 }
 
 #[test]
@@ -192,7 +201,9 @@ fn four_stage_relay_pipeline_expands_and_verifies() {
         let mut relay = Module::new(format!("relay{i}"));
         let r0 = relay.add_place("r0");
         let r1 = relay.add_place("r1");
-        relay.add_recv([r0], format!("c{i}").as_str(), [r1]).unwrap();
+        relay
+            .add_recv([r0], format!("c{i}").as_str(), [r1])
+            .unwrap();
         relay
             .add_send([r1], format!("c{}", i + 1).as_str(), None, [r0])
             .unwrap();
@@ -207,7 +218,8 @@ fn four_stage_relay_pipeline_expands_and_verifies() {
     rx.add_recv([q], "c2", [q]).unwrap();
     rx.set_initial(q, 1);
     let rx = g.add_module(rx);
-    g.add_channel_edge(prev, rx, ChannelSpec::control("c2")).unwrap();
+    g.add_channel_edge(prev, rx, ChannelSpec::control("c2"))
+        .unwrap();
     g.validate().unwrap();
 
     let opts = ReachabilityOptions::with_max_states(500_000);

@@ -25,10 +25,7 @@ fn labels_of_wires(c: &Circuit<StgLabel>, wires: &[&str]) -> BTreeSet<StgLabel> 
     c.net()
         .alphabet()
         .iter()
-        .filter(|l| {
-            l.signal_name()
-                .is_some_and(|s| wires.contains(&s.name()))
-        })
+        .filter(|l| l.signal_name().is_some_and(|s| wires.contains(&s.name())))
         .cloned()
         .collect()
 }

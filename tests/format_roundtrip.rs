@@ -1,131 +1,152 @@
 //! Property test: random nets and STGs round-trip through the `.cpn`
-//! text format with identical structure and traces.
+//! text format with identical structure and traces (`parse ∘ print = id`
+//! up to observable behaviour).
+//!
+//! Driven by the deterministic `cpn-testkit` harness: failures print a
+//! case seed, replayable via `CPN_TESTKIT_SEED=<seed>`.
 
 use cpn::format::{parse, write_net, write_stg};
 use cpn::petri::PetriNet;
 use cpn::stg::{Edge, Guard, Signal, SignalDir, Stg};
 use cpn::trace::Language;
-use proptest::prelude::*;
+use cpn_testkit::{
+    check_with, prop_assert, prop_assert_eq, usize_in, vec_of, Config, NetStrategy, RawNet,
+};
 
 const LABELS: [&str; 4] = ["alpha", "beta", "gamma", "delta delta \"quoted\""];
 
-#[derive(Clone, Debug)]
-struct RawNet {
-    places: usize,
-    transitions: Vec<(Vec<usize>, usize, Vec<usize>)>,
-    marking: Vec<u8>,
+/// ≥100 cases per suite, still overridable via `CPN_TESTKIT_CASES`.
+fn cases() -> Config {
+    let config = Config::from_env();
+    if std::env::var("CPN_TESTKIT_CASES").is_ok() {
+        config
+    } else {
+        config.with_cases(128)
+    }
 }
 
-fn raw_net() -> impl Strategy<Value = RawNet> {
-    (2usize..6).prop_flat_map(|places| {
-        let t = (
-            proptest::collection::vec(0..places, 1..=2),
-            0..LABELS.len(),
-            proptest::collection::vec(0..places, 1..=2),
-        );
-        (
-            proptest::collection::vec(t, 1..=5),
-            proptest::collection::vec(0u8..3, places),
-        )
-            .prop_map(move |(transitions, marking)| RawNet {
-                places,
-                transitions,
-                marking,
-            })
-    })
+/// Random nets: 2–5 places, 1–5 transitions, up to two tokens per place.
+fn raw_net() -> NetStrategy {
+    NetStrategy::new(5, 5, LABELS.len()).max_tokens(2)
 }
 
+/// Local builder (not `RawNet::build_with`): allows the all-zero initial
+/// marking, which the format must round-trip too.
 fn build(raw: &RawNet) -> PetriNet<String> {
     let mut net: PetriNet<String> = PetriNet::new();
     let ps: Vec<_> = (0..raw.places)
         .map(|i| net.add_place(format!("pl{i}")))
         .collect();
-    for (pre, l, post) in &raw.transitions {
+    for t in &raw.transitions {
         net.add_transition(
-            pre.iter().map(|&i| ps[i]),
-            LABELS[*l].to_owned(),
-            post.iter().map(|&i| ps[i]),
+            t.pre.iter().map(|&i| ps[i]),
+            LABELS[t.label % LABELS.len()].to_owned(),
+            t.post.iter().map(|&i| ps[i]),
         )
         .unwrap();
     }
     for (i, &m) in raw.marking.iter().enumerate() {
-        net.set_initial(ps[i], u32::from(m));
+        net.set_initial(ps[i], m);
     }
     net
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
-
-    #[test]
-    fn net_roundtrip_preserves_structure_and_traces(raw in raw_net()) {
-        let net = build(&raw);
-        let text = write_net("rt", &net);
-        let doc = parse(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
-        let (_, parsed) = &doc.nets[0];
-        prop_assert_eq!(parsed.place_count(), net.place_count());
-        prop_assert_eq!(parsed.transition_count(), net.transition_count());
-        prop_assert_eq!(
-            parsed.initial_marking().total(),
-            net.initial_marking().total()
-        );
-        let l1 = Language::from_net(&net, 3, 100_000);
-        let l2 = Language::from_net(parsed, 3, 100_000);
-        if let (Ok(l1), Ok(l2)) = (l1, l2) {
-            prop_assert!(l1.eq_up_to(&l2, 3), "languages differ:\n{}", text);
-        }
-    }
-
-    #[test]
-    fn stg_roundtrip_preserves_guards(
-        raw in raw_net(),
-        edges in proptest::collection::vec(0usize..6, 1..=5),
-        guard_on in any::<bool>(),
-    ) {
-        let edge_of = |i: usize| match i {
-            0 => Edge::Rise,
-            1 => Edge::Fall,
-            2 => Edge::Toggle,
-            3 => Edge::Stable,
-            4 => Edge::Unstable,
-            _ => Edge::DontCare,
-        };
-        let mut stg = Stg::new();
-        let data = stg.add_signal("DATA", SignalDir::Input);
-        let sigs: Vec<Signal> = (0..3)
-            .map(|i| stg.add_signal(format!("s{i}"), SignalDir::Output))
-            .collect();
-        let ps: Vec<_> = (0..raw.places)
-            .map(|i| stg.add_place(format!("pl{i}")))
-            .collect();
-        for (i, (pre, l, post)) in raw.transitions.iter().enumerate() {
-            let edge = edge_of(edges[i % edges.len()]);
-            let t = stg
-                .add_signal_transition(
-                    pre.iter().map(|&i| ps[i]),
-                    (sigs[*l % 3].clone(), edge),
-                    post.iter().map(|&i| ps[i]),
-                )
-                .unwrap();
-            if guard_on && i == 0 {
-                stg.set_guard(t, Guard::new().require(data.clone(), true));
-            }
-        }
-        for (i, &m) in raw.marking.iter().enumerate() {
-            stg.set_initial(ps[i], u32::from(m));
-        }
-
-        let text = write_stg("rt", &stg);
-        let doc = parse(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
-        let (_, parsed) = &doc.stgs[0];
-        prop_assert_eq!(parsed.net().transition_count(), stg.net().transition_count());
-        prop_assert_eq!(parsed.signals(), stg.signals());
-        for t in stg.net().transition_ids() {
+#[test]
+fn net_roundtrip_preserves_structure_and_traces() {
+    check_with(
+        "net_roundtrip_preserves_structure_and_traces",
+        &cases(),
+        &raw_net(),
+        |raw| {
+            let net = build(raw);
+            let text = write_net("rt", &net);
+            let doc = parse(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+            let (_, parsed) = &doc.nets[0];
+            prop_assert_eq!(parsed.place_count(), net.place_count());
+            prop_assert_eq!(parsed.transition_count(), net.transition_count());
             prop_assert_eq!(
-                parsed.guard(t).to_string(),
-                stg.guard(t).to_string(),
-                "guard of {} differs", t
+                parsed.initial_marking().total(),
+                net.initial_marking().total()
             );
+            let l1 = Language::from_net(&net, 3, 100_000);
+            let l2 = Language::from_net(parsed, 3, 100_000);
+            if let (Ok(l1), Ok(l2)) = (l1, l2) {
+                prop_assert!(l1.eq_up_to(&l2, 3), "languages differ:\n{}", text);
+            }
+            Ok(())
+        },
+    );
+}
+
+fn edge_of(i: usize) -> Edge {
+    match i {
+        0 => Edge::Rise,
+        1 => Edge::Fall,
+        2 => Edge::Toggle,
+        3 => Edge::Stable,
+        4 => Edge::Unstable,
+        _ => Edge::DontCare,
+    }
+}
+
+fn build_stg(raw: &RawNet, edges: &[usize], guard_on: bool) -> Stg {
+    let mut stg = Stg::new();
+    let data = stg.add_signal("DATA", SignalDir::Input);
+    let sigs: Vec<Signal> = (0..3)
+        .map(|i| stg.add_signal(format!("s{i}"), SignalDir::Output))
+        .collect();
+    let ps: Vec<_> = (0..raw.places)
+        .map(|i| stg.add_place(format!("pl{i}")))
+        .collect();
+    for (i, t) in raw.transitions.iter().enumerate() {
+        let edge = edge_of(edges[i % edges.len()]);
+        let tid = stg
+            .add_signal_transition(
+                t.pre.iter().map(|&x| ps[x]),
+                (sigs[t.label % 3].clone(), edge),
+                t.post.iter().map(|&x| ps[x]),
+            )
+            .unwrap();
+        if guard_on && i == 0 {
+            stg.set_guard(tid, Guard::new().require(data.clone(), true));
         }
     }
+    for (i, &m) in raw.marking.iter().enumerate() {
+        stg.set_initial(ps[i], m);
+    }
+    stg
+}
+
+#[test]
+fn stg_roundtrip_preserves_guards() {
+    let strategy = (
+        raw_net(),
+        vec_of(usize_in(0..6), 1..=5),
+        cpn_testkit::any_bool(),
+    );
+    check_with(
+        "stg_roundtrip_preserves_guards",
+        &cases(),
+        &strategy,
+        |(raw, edges, guard_on)| {
+            let stg = build_stg(raw, edges, *guard_on);
+            let text = write_stg("rt", &stg);
+            let doc = parse(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+            let (_, parsed) = &doc.stgs[0];
+            prop_assert_eq!(
+                parsed.net().transition_count(),
+                stg.net().transition_count()
+            );
+            prop_assert_eq!(parsed.signals(), stg.signals());
+            for t in stg.net().transition_ids() {
+                prop_assert_eq!(
+                    parsed.guard(t).to_string(),
+                    stg.guard(t).to_string(),
+                    "guard of {} differs",
+                    t
+                );
+            }
+            Ok(())
+        },
+    );
 }

@@ -4,8 +4,8 @@
 
 use cpn::petri::ReachabilityOptions;
 use cpn::stg::protocol::{
-    receiver, sender, sender_inconsistent, sender_restricted, translator,
-    RECEIVER_COMMANDS, SENDER_COMMANDS,
+    receiver, sender, sender_inconsistent, sender_restricted, translator, RECEIVER_COMMANDS,
+    SENDER_COMMANDS,
 };
 use cpn::stg::{derive_logic, Signal, StateGraph};
 use std::collections::BTreeMap;
@@ -73,12 +73,18 @@ fn four_phase_fragment_logic_derivable() {
     let w3 = stg.add_place("w3");
     let w4 = stg.add_place("w4");
     let w5 = stg.add_place("w5");
-    stg.add_signal_transition([w0], (a0.clone(), Edge::Rise), [w1]).unwrap();
-    stg.add_signal_transition([w1], (b0.clone(), Edge::Rise), [w2]).unwrap();
-    stg.add_signal_transition([w2], (n.clone(), Edge::Rise), [w3]).unwrap();
-    stg.add_signal_transition([w3], (a0, Edge::Fall), [w4]).unwrap();
-    stg.add_signal_transition([w4], (b0, Edge::Fall), [w5]).unwrap();
-    stg.add_signal_transition([w5], (n, Edge::Fall), [w0]).unwrap();
+    stg.add_signal_transition([w0], (a0.clone(), Edge::Rise), [w1])
+        .unwrap();
+    stg.add_signal_transition([w1], (b0.clone(), Edge::Rise), [w2])
+        .unwrap();
+    stg.add_signal_transition([w2], (n.clone(), Edge::Rise), [w3])
+        .unwrap();
+    stg.add_signal_transition([w3], (a0, Edge::Fall), [w4])
+        .unwrap();
+    stg.add_signal_transition([w4], (b0, Edge::Fall), [w5])
+        .unwrap();
+    stg.add_signal_transition([w5], (n, Edge::Fall), [w0])
+        .unwrap();
     stg.set_initial(w0, 1);
     let sg = StateGraph::build(&stg, &BTreeMap::new(), 10_000).unwrap();
     let fns = derive_logic(&stg, &sg).unwrap();
@@ -103,9 +109,10 @@ fn full_system_runs_the_whole_command_set() {
     assert!(analysis.deadlock_free);
     // Every sender command toggle fires somewhere in the state space.
     for (cmd, _, _) in SENDER_COMMANDS {
-        let found = system.net().transitions().any(|(_, t)| {
-            t.label().signal_name().map(Signal::name) == Some(cmd)
-        });
+        let found = system
+            .net()
+            .transitions()
+            .any(|(_, t)| t.label().signal_name().map(Signal::name) == Some(cmd));
         assert!(found, "{cmd}~ survives in the composition");
     }
 }
@@ -118,7 +125,9 @@ fn fig8_detected_fig5_clean_with_full_system() {
     let env = translator().compose(&receiver()).unwrap();
     let clean = sender().check_receptiveness(&env, &opts).unwrap();
     assert!(clean.is_receptive(), "{:?}", clean.failures);
-    let broken = sender_inconsistent().check_receptiveness(&env, &opts).unwrap();
+    let broken = sender_inconsistent()
+        .check_receptiveness(&env, &opts)
+        .unwrap();
     assert!(!broken.is_receptive());
 }
 
@@ -134,11 +143,15 @@ fn fig9_reduction_chain_shrinks_state_spaces() {
         .prune_against(&tr_red, &ReachabilityOptions::with_max_states(2_000_000))
         .unwrap();
 
-    let states = |s: &cpn::stg::Stg| {
-        s.net().reachability(&opts).unwrap().state_count()
-    };
-    assert!(states(&tr_red) < states(&tr), "translator state space shrinks");
-    assert!(states(&rx_red) < states(&rx), "receiver state space shrinks");
+    let states = |s: &cpn::stg::Stg| s.net().reachability(&opts).unwrap().state_count();
+    assert!(
+        states(&tr_red) < states(&tr),
+        "translator state space shrinks"
+    );
+    assert!(
+        states(&rx_red) < states(&rx),
+        "receiver state space shrinks"
+    );
 
     // The reduced receiver still implements start/zero/one.
     for cmd in ["start", "zero", "one"] {
@@ -187,7 +200,10 @@ fn reduced_translator_still_serves_the_sender_up_to_traces() {
     let rg = tr_red.net().reachability(&opts).unwrap();
     let analysis = tr_red.net().analysis(&rg);
     assert!(analysis.safe);
-    assert!(analysis.deadlock_free, "the reduced translator has no stuck state");
+    assert!(
+        analysis.deadlock_free,
+        "the reduced translator has no stuck state"
+    );
 
     // Its language still contains a complete reset round: a0+ b1+ n+
     // a0- b1- n- is drivable (interleaved with the start transmission).

@@ -2,15 +2,27 @@
 //! structural marked-graph, dynamic monitor) agree on randomized
 //! handshake pipelines, and the coverability/invariant analyses agree on
 //! boundedness.
+//!
+//! Driven by the deterministic `cpn-testkit` harness: failures print a
+//! case seed, replayable via `CPN_TESTKIT_SEED=<seed>`.
 
 use cpn::core::{check_receptiveness, check_receptiveness_structural_mg};
 use cpn::petri::{
-    semiflows_p, CoverabilityOutcome, CoverabilityTree, PetriNet,
-    ReachabilityOptions,
+    semiflows_p, CoverabilityOutcome, CoverabilityTree, PetriNet, ReachabilityOptions,
 };
 use cpn::sim::monitor_composition;
-use proptest::prelude::*;
+use cpn_testkit::{check_with, prop_assert, prop_assert_eq, u32_in, usize_in, Config};
 use std::collections::BTreeSet;
+
+/// ≥100 cases per suite, still overridable via `CPN_TESTKIT_CASES`.
+fn cases() -> Config {
+    let config = Config::from_env();
+    if std::env::var("CPN_TESTKIT_CASES").is_ok() {
+        config
+    } else {
+        config.with_cases(128)
+    }
+}
 
 /// A ring of alternating req/ack stages with a start offset — a family
 /// of marked-graph protocols, half of them phase-mismatched.
@@ -36,65 +48,78 @@ fn outputs(stages: usize, kind: &str) -> BTreeSet<String> {
     (0..stages).map(|i| format!("{kind}{i}")).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 40, ..ProptestConfig::default() })]
+#[test]
+fn detectors_agree_on_handshake_rings() {
+    let strategy = (usize_in(1..4), usize_in(0..8));
+    check_with(
+        "detectors_agree_on_handshake_rings",
+        &cases(),
+        &strategy,
+        |&(stages, offset)| {
+            let producer = ring(stages, 0, "a");
+            let consumer = ring(stages, offset, "b");
+            let louts = outputs(stages, "req");
+            let routs = outputs(stages, "ack");
+            let opts = ReachabilityOptions::with_max_states(200_000);
 
-    #[test]
-    fn detectors_agree_on_handshake_rings(
-        stages in 1usize..4,
-        offset in 0usize..8,
-    ) {
-        let producer = ring(stages, 0, "a");
-        let consumer = ring(stages, offset, "b");
-        let louts = outputs(stages, "req");
-        let routs = outputs(stages, "ack");
-        let opts = ReachabilityOptions::with_max_states(200_000);
+            let exhaustive =
+                check_receptiveness(&producer, &consumer, &louts, &routs, &opts).unwrap();
+            let structural =
+                check_receptiveness_structural_mg(&producer, &consumer, &louts, &routs).unwrap();
+            prop_assert_eq!(
+                exhaustive.is_receptive(),
+                structural.is_receptive(),
+                "exhaustive {:?} vs structural {:?} at stages={} offset={}",
+                exhaustive.failures,
+                structural.failures,
+                stages,
+                offset
+            );
 
-        let exhaustive = check_receptiveness(&producer, &consumer, &louts, &routs, &opts)
-            .unwrap();
-        let structural =
-            check_receptiveness_structural_mg(&producer, &consumer, &louts, &routs)
-                .unwrap();
-        prop_assert_eq!(
-            exhaustive.is_receptive(),
-            structural.is_receptive(),
-            "exhaustive {:?} vs structural {:?} at stages={} offset={}",
-            exhaustive.failures, structural.failures, stages, offset
-        );
+            // The dynamic monitor never false-positives: any observation
+            // it makes must correspond to a statically confirmed failure.
+            let obs = monitor_composition(&producer, &consumer, &louts, &routs, 7, 2_000);
+            if obs.is_some() {
+                prop_assert!(!exhaustive.is_receptive());
+            }
+            // On failing compositions where the initial state is already
+            // broken, the monitor must see it.
+            if !exhaustive.is_receptive() && offset % (2 * stages) != 0 {
+                // (offset 0 is the aligned, receptive case)
+                prop_assert!(
+                    obs.is_some() || exhaustive.failures.iter().all(|f| f.witness.is_some())
+                );
+            }
+            Ok(())
+        },
+    );
+}
 
-        // The dynamic monitor never false-positives: any observation it
-        // makes must correspond to a statically confirmed failure.
-        let obs = monitor_composition(&producer, &consumer, &louts, &routs, 7, 2_000);
-        if obs.is_some() {
-            prop_assert!(!exhaustive.is_receptive());
-        }
-        // On failing compositions where the initial state is already
-        // broken, the monitor must see it.
-        if !exhaustive.is_receptive() && offset % (2 * stages) != 0 {
-            // (offset 0 is the aligned, receptive case)
-            prop_assert!(obs.is_some() || exhaustive.failures.iter().all(|f| f.witness.is_some()));
-        }
-    }
-
-    #[test]
-    fn coverability_agrees_with_semiflow_certificates(
-        stages in 1usize..4,
-        tokens in 1u32..3,
-    ) {
-        // Rings are covered by a P-semiflow ⇒ structurally bounded; the
-        // Karp–Miller construction must agree and report the right bound.
-        let mut net = ring(stages, 0, "x");
-        net.set_initial(cpn::petri::PlaceId::from_index(0), tokens);
-        let covered = cpn::petri::invariant::covered_by_p_semiflows(&net, 10_000).unwrap();
-        prop_assert!(covered);
-        let tree = CoverabilityTree::build(&net, 100_000).unwrap();
-        prop_assert_eq!(
-            tree.outcome(),
-            &CoverabilityOutcome::Bounded { bound: tokens }
-        );
-        let flows = semiflows_p(&net, 10_000).unwrap();
-        prop_assert!(!flows.is_empty());
-    }
+#[test]
+fn coverability_agrees_with_semiflow_certificates() {
+    let strategy = (usize_in(1..4), u32_in(1..3));
+    check_with(
+        "coverability_agrees_with_semiflow_certificates",
+        &cases(),
+        &strategy,
+        |&(stages, tokens)| {
+            // Rings are covered by a P-semiflow ⇒ structurally bounded;
+            // the Karp–Miller construction must agree and report the
+            // right bound.
+            let mut net = ring(stages, 0, "x");
+            net.set_initial(cpn::petri::PlaceId::from_index(0), tokens);
+            let covered = cpn::petri::invariant::covered_by_p_semiflows(&net, 10_000).unwrap();
+            prop_assert!(covered);
+            let tree = CoverabilityTree::build(&net, 100_000).unwrap();
+            prop_assert_eq!(
+                tree.outcome(),
+                &CoverabilityOutcome::Bounded { bound: tokens }
+            );
+            let flows = semiflows_p(&net, 10_000).unwrap();
+            prop_assert!(!flows.is_empty());
+            Ok(())
+        },
+    );
 }
 
 #[test]
@@ -116,11 +141,10 @@ fn hide_prime_abstraction_preserves_the_receptiveness_verdict() {
             .hide_signal_relabel(&Signal::new(s))
             .expect("declared signal");
     }
-    assert!(abstracted
-        .net()
-        .alphabet()
-        .iter()
-        .any(|l| l.is_dummy()), "ε transitions remain (one dummy per hidden transition)");
+    assert!(
+        abstracted.net().alphabet().iter().any(|l| l.is_dummy()),
+        "ε transitions remain (one dummy per hidden transition)"
+    );
 
     for (name, s, expect_receptive) in [
         ("consistent", sender(), true),
@@ -145,9 +169,11 @@ fn aligned_ring_is_receptive_all_ways() {
     let louts = outputs(2, "req");
     let routs = outputs(2, "ack");
     let opts = ReachabilityOptions::default();
-    assert!(check_receptiveness(&producer, &consumer, &louts, &routs, &opts)
-        .unwrap()
-        .is_receptive());
+    assert!(
+        check_receptiveness(&producer, &consumer, &louts, &routs, &opts)
+            .unwrap()
+            .is_receptive()
+    );
     assert!(
         check_receptiveness_structural_mg(&producer, &consumer, &louts, &routs)
             .unwrap()

@@ -27,7 +27,7 @@ fn independent_cycles(k: usize) -> Vec<PetriNet<String>> {
 fn compose_all(nets: &[PetriNet<String>]) -> PetriNet<String> {
     let mut acc = nets[0].clone();
     for n in &nets[1..] {
-        acc = parallel(&acc, n);
+        acc = parallel(&acc, n).unwrap();
     }
     acc
 }

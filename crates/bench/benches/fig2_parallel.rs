@@ -15,7 +15,7 @@ fn main() {
         parallel(black_box(&l), black_box(&r))
     });
     group.bench("paper_example_law_depth5", || {
-        let composed = parallel(&l, &r);
+        let composed = parallel(&l, &r).unwrap();
         let lhs = Language::from_net(&composed, 5, 1_000_000).unwrap();
         let rhs = Language::from_net(&l, 5, 1_000_000)
             .unwrap()
@@ -28,7 +28,7 @@ fn main() {
         group.bench(format!("pipeline_compose/{k}"), || {
             let mut acc = stages[0].clone();
             for s in &stages[1..] {
-                acc = parallel(&acc, s);
+                acc = parallel(&acc, s).unwrap();
             }
             acc
         });

@@ -19,7 +19,7 @@ fn main() {
     let tr_red = tr.reduce_against(&env, &opts, 10_000).unwrap();
     let rx = receiver();
     group.bench("prune_receiver", || {
-        rx.prune_against(&tr_red, &ReachabilityOptions::with_max_states(2_000_000))
+        rx.prune_against(&tr_red, &ReachabilityOptions::default())
             .unwrap()
     });
 

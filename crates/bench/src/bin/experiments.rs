@@ -3,7 +3,9 @@
 //!
 //! Usage: `cargo run --release -p cpn-bench --bin experiments [id…]`
 //! where `id` ∈ {fig1, fig2, fig3, table1, fig4, fig5, fig6, fig7,
-//! fig8, fig9, expansion, abl1, abl2}; no argument runs everything.
+//! fig8, fig9, expansion, abl1, abl2, props, ext1, faults}; no argument
+//! runs everything. `faults` honours `--quick` (2 trials per class
+//! instead of 8) for CI smoke runs.
 
 use cpn_bench::{cycle_net, fig2_left, fig2_right, handshake_ring, tau_chain};
 use cpn_cip::protocol::{protocol_cip, protocol_cip_restricted};
@@ -73,7 +75,7 @@ fn fig2() {
     );
     let l = fig2_left();
     let r = fig2_right();
-    let composed = parallel(&l, &r);
+    let composed = parallel(&l, &r).unwrap();
     let rg = composed
         .reachability(&ReachabilityOptions::default())
         .unwrap();
@@ -281,7 +283,7 @@ fn fig9() {
 
     let rx = receiver();
     let rx_red = rx
-        .prune_against(&tr_red, &ReachabilityOptions::with_max_states(2_000_000))
+        .prune_against(&tr_red, &ReachabilityOptions::default())
         .unwrap();
     let (p0, t0, s0) = stg_stats(&rx, &opts);
     let (p1, t1, s1) = stg_stats(&rx_red, &opts);
@@ -295,7 +297,7 @@ fn fig9() {
 
 fn expansion() {
     header("EXP3", "abstract channel expansion (Section 3)");
-    let opts = ReachabilityOptions::with_max_states(2_000_000);
+    let opts = ReachabilityOptions::default();
     for (name, g) in [
         ("full CIP", protocol_cip().unwrap()),
         ("restricted CIP", protocol_cip_restricted().unwrap()),
@@ -350,7 +352,7 @@ fn abl1() {
             .collect();
         let mut acc = nets[0].clone();
         for n in &nets[1..] {
-            acc = parallel(&acc, n);
+            acc = parallel(&acc, n).unwrap();
         }
         let t0 = Instant::now();
         let rg = acc
@@ -382,6 +384,7 @@ fn abl2() {
         let e = check_receptiveness(&p, &c, &lo, &ro, &opts).unwrap();
         let t_exhaustive = t0.elapsed();
         let states = parallel(&p, &c)
+            .unwrap()
             .reachability(&opts)
             .map(|rg| rg.state_count())
             .unwrap_or(0);
@@ -404,6 +407,7 @@ fn abl2() {
         let e = check_receptiveness(&p, &c, &lo, &ro, &opts).unwrap();
         let t_exhaustive = t0.elapsed();
         let states = parallel(&p, &c)
+            .unwrap()
             .reachability(&opts)
             .map(|rg| rg.state_count())
             .unwrap_or(0);
@@ -465,8 +469,28 @@ fn ext_arbiter() {
     println!("arbiter ↔ two clients receptive: {}", rec.is_receptive());
 }
 
+fn faults(quick: bool) {
+    header(
+        "FLT",
+        "fault-injection sensitivity: every detector vs every fault class",
+    );
+    let trials = if quick { 2 } else { 8 };
+    let seed = 0xC1A0_u64;
+    println!("seed: {seed:#x}, trials per (class, model): {trials}\n");
+    let t0 = Instant::now();
+    let report = cpn_sim::detector_sensitivity(seed, trials);
+    println!("{report}");
+    println!(
+        "every fault detected or provably benign: {}  ({:?})",
+        report.all_accounted(),
+        t0.elapsed()
+    );
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    args.retain(|a| a != "--quick");
     let run = |id: &str| args.is_empty() || args.iter().any(|a| a == id);
     if run("fig1") {
         fig1();
@@ -506,6 +530,9 @@ fn main() {
     }
     if run("ext1") {
         ext_arbiter();
+    }
+    if run("faults") {
+        faults(quick);
     }
     println!();
 }

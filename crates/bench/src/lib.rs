@@ -214,7 +214,7 @@ mod tests {
     #[test]
     fn wide_handshake_is_marked_graph_and_detects_offset() {
         let (p, c, lo, ro) = wide_handshake(3, None);
-        let composed = parallel(&p, &c);
+        let composed = parallel(&p, &c).unwrap();
         assert!(composed.structural().is_marked_graph);
         let opts = ReachabilityOptions::default();
         assert!(cpn_core::check_receptiveness(&p, &c, &lo, &ro, &opts)
@@ -235,7 +235,7 @@ mod tests {
         let stages = sync_pipeline(4);
         let mut acc = stages[0].clone();
         for s in &stages[1..] {
-            acc = parallel(&acc, s);
+            acc = parallel(&acc, s).unwrap();
         }
         // Linear net growth: 2 places per stage.
         assert_eq!(acc.place_count(), 8);

@@ -24,7 +24,7 @@
 use crate::graph::{CipError, CipGraph, Link};
 use crate::label::{ChanOp, Channel, CipLabel};
 use crate::module::Module;
-use cpn_petri::{PlaceId, ReachabilityOptions};
+use cpn_petri::{Bounded, Budget, Meter, PlaceId, ReachabilityOptions, Verdict};
 use cpn_stg::{Edge, Signal, SignalDir, Stg, StgError, StgLabel};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -36,6 +36,10 @@ pub enum HandshakeProtocol {
     /// 2-phase transition signalling: `r~ a~` (control-only channels).
     TwoPhase,
 }
+
+/// A per-module receptiveness verdict list: module name paired with
+/// `Holds` / `Fails(report)` / `Unknown(budget spent)`.
+pub type ModuleVerdicts = Vec<(String, Verdict<cpn_core::ReceptivenessReport<StgLabel>>)>;
 
 /// The result of expanding a CIP: one STG per module, ready for the
 /// circuit algebra.
@@ -64,15 +68,54 @@ impl ExpandedSystem {
     /// [`StgError`] on output collisions (cannot happen for validated
     /// CIPs) or net errors.
     pub fn compose_all(&self) -> Result<Stg, StgError> {
+        match self.compose_all_bounded(&Budget::unlimited())? {
+            Bounded::Complete(stg) => Ok(stg),
+            // Unreachable: an unlimited budget is never exhausted.
+            Bounded::Exhausted { partial, .. } => Ok(partial),
+        }
+    }
+
+    /// Budget-aware pairwise fold: composes module STGs left to right,
+    /// charging the places (as states) and transitions of the growing
+    /// composition against `budget`.
+    ///
+    /// On exhaustion the partial value is the composition of the module
+    /// prefix folded so far — still a well-formed STG, usable for
+    /// partial diagnostics — together with the exploration statistics.
+    ///
+    /// # Errors
+    ///
+    /// [`StgError`] on output collisions (cannot happen for validated
+    /// CIPs) or net errors.
+    pub fn compose_all_bounded(&self, budget: &Budget) -> Result<Bounded<Stg>, StgError> {
+        let mut meter = Meter::new(budget);
         let mut iter = self.stgs.iter();
         let Some(first) = iter.next() else {
-            return Ok(Stg::new());
+            return Ok(meter.finish(Stg::new()));
         };
         let mut acc = first.clone();
+        let mut charged = (0usize, 0usize);
+        let charge = |meter: &mut Meter, stg: &Stg, charged: &mut (usize, usize)| -> bool {
+            let mut ok = true;
+            while charged.0 < stg.net().place_count() {
+                ok &= meter.take_state();
+                charged.0 += 1;
+            }
+            while charged.1 < stg.net().transition_count() {
+                ok &= meter.take_transition();
+                charged.1 += 1;
+            }
+            ok
+        };
+        charge(&mut meter, &acc, &mut charged);
         for stg in iter {
+            if meter.is_stopped() {
+                break;
+            }
             acc = acc.compose(stg)?;
+            charge(&mut meter, &acc, &mut charged);
         }
-        Ok(acc)
+        Ok(meter.finish(acc))
     }
 
     /// Pairwise receptiveness verification (Propositions 5.5/5.6): each
@@ -89,6 +132,44 @@ impl ExpandedSystem {
         &self,
         options: &ReachabilityOptions,
     ) -> Result<Vec<(String, cpn_core::ReceptivenessReport<StgLabel>)>, CipError> {
+        let budget = Budget::states(options.max_states);
+        let mut out = Vec::new();
+        for (name, verdict) in self.verify_receptiveness_bounded(&budget)? {
+            match verdict {
+                Verdict::Holds => out.push((
+                    name,
+                    cpn_core::ReceptivenessReport {
+                        failures: Vec::new(),
+                    },
+                )),
+                Verdict::Fails(report) => out.push((name, report)),
+                Verdict::Unknown(info) => {
+                    return Err(CipError::Inner(Box::new(
+                        cpn_petri::PetriError::StateBudgetExceeded {
+                            budget: info.budget.max_states,
+                        },
+                    )))
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Budget-aware pairwise receptiveness: like
+    /// [`verify_receptiveness`](Self::verify_receptiveness), but instead
+    /// of failing hard when the composed state space outgrows the
+    /// budget, the affected module gets [`Verdict::Unknown`] carrying
+    /// the partial exploration statistics; every other module still gets
+    /// its definite verdict.
+    ///
+    /// # Errors
+    ///
+    /// Composition errors only — budget exhaustion is a verdict, not an
+    /// error.
+    pub fn verify_receptiveness_bounded(
+        &self,
+        budget: &Budget,
+    ) -> Result<ModuleVerdicts, CipError> {
         let mut out = Vec::new();
         for i in 0..self.stgs.len() {
             let module = &self.stgs[i];
@@ -104,12 +185,7 @@ impl ExpandedSystem {
                 });
             }
             let Some(rest) = rest else {
-                out.push((
-                    self.names[i].clone(),
-                    cpn_core::ReceptivenessReport {
-                        failures: Vec::new(),
-                    },
-                ));
+                out.push((self.names[i].clone(), Verdict::Holds));
                 continue;
             };
             let outs = |stg: &Stg| -> BTreeSet<StgLabel> {
@@ -125,15 +201,15 @@ impl ExpandedSystem {
                     .cloned()
                     .collect()
             };
-            let report = cpn_core::check_receptiveness(
+            let verdict = cpn_core::check_receptiveness_bounded(
                 module.net(),
                 rest.net(),
                 &outs(module),
                 &outs(&rest),
-                options,
+                budget,
             )
             .map_err(inner)?;
-            out.push((self.names[i].clone(), report));
+            out.push((self.names[i].clone(), verdict));
         }
         Ok(out)
     }

@@ -207,11 +207,11 @@ mod tests {
         let composed = sys
             .compose_all()
             .unwrap()
-            .remove_dead(&ReachabilityOptions::with_max_states(2_000_000))
+            .remove_dead(&ReachabilityOptions::default())
             .unwrap();
         let rg = composed
             .net()
-            .reachability(&ReachabilityOptions::with_max_states(2_000_000))
+            .reachability(&ReachabilityOptions::default())
             .unwrap();
         let an = composed.net().analysis(&rg);
         assert!(an.safe, "expanded CIP protocol must be safe");
@@ -232,7 +232,7 @@ mod tests {
             .expand(HandshakeProtocol::FourPhase)
             .unwrap();
         let reports = sys
-            .verify_receptiveness(&ReachabilityOptions::with_max_states(2_000_000))
+            .verify_receptiveness(&ReachabilityOptions::default())
             .unwrap();
         for (name, rep) in &reports {
             assert!(

@@ -74,8 +74,7 @@ pub fn root_unwinding<L: Label>(net: &PetriNet<L>) -> Result<RootUnwinding<L>, P
             t.preset().iter().map(|p| map[p]),
             t.label().clone(),
             t.postset().iter().map(|p| map[p]),
-        )
-        .expect("remapped transition is valid");
+        )?;
     }
 
     let init: Vec<PlaceId> = net.initial_places().into_iter().collect();
@@ -124,8 +123,7 @@ pub fn root_unwinding<L: Label>(net: &PetriNet<L>) -> Result<RootUnwinding<L>, P
                 .iter()
                 .map(|p| if redirect.contains(p) { copy_of[p] } else { *p })
                 .collect();
-            out.add_transition(new_pre, label.clone(), post.iter().copied())
-                .expect("duplicated entry transition is valid");
+            out.add_transition(new_pre, label.clone(), post.iter().copied())?;
         }
     }
 
@@ -231,8 +229,7 @@ pub fn choice<L: Label>(n1: &PetriNet<L>, n2: &PetriNet<L>) -> Result<PetriNet<L
             }
         }
         let post: Vec<PlaceId> = t.postset().iter().map(|p| map1[p]).collect();
-        out.add_transition(pre, t.label().clone(), post)
-            .expect("left transition is valid");
+        out.add_transition(pre, t.label().clone(), post)?;
     }
     // Transitions of N2': entry transitions consume full columns.
     for (_, t) in rw2.net.transitions() {
@@ -247,8 +244,7 @@ pub fn choice<L: Label>(n1: &PetriNet<L>, n2: &PetriNet<L>) -> Result<PetriNet<L
             }
         }
         let post: Vec<PlaceId> = t.postset().iter().map(|p| map2[p]).collect();
-        out.add_transition(pre, t.label().clone(), post)
-            .expect("right transition is valid");
+        out.add_transition(pre, t.label().clone(), post)?;
     }
 
     // Degenerate roots: if one net has no initial places it contributes no
@@ -274,6 +270,12 @@ pub fn choice<L: Label>(n1: &PetriNet<L>, n2: &PetriNet<L>) -> Result<PetriNet<L
 /// Satisfies `L(N1 + N2) = L(N1) ∪ L(N2)` on general nets
 /// (property-tested with multiset markings).
 ///
+/// # Errors
+///
+/// Propagates [`PetriError`] from transition construction; this cannot
+/// occur for well-formed operands (every rewritten transition keeps a
+/// non-empty preset or postset).
+///
 /// # Example
 ///
 /// ```
@@ -289,7 +291,7 @@ pub fn choice<L: Label>(n1: &PetriNet<L>, n2: &PetriNet<L>) -> Result<PetriNet<L
 /// let q = n2.add_place("q");
 /// n2.add_transition([q], "b", [q])?;
 /// n2.set_initial(q, 1);
-/// let both = choice_general(&n1, &n2);
+/// let both = choice_general(&n1, &n2)?;
 /// let l = Language::from_net(&both, 3, 10_000)?;
 /// assert!(l.contains(&["a", "a", "a"][..]));
 /// assert!(l.contains(&["b"][..]));
@@ -297,7 +299,10 @@ pub fn choice<L: Label>(n1: &PetriNet<L>, n2: &PetriNet<L>) -> Result<PetriNet<L
 /// # Ok(())
 /// # }
 /// ```
-pub fn choice_general<L: Label>(n1: &PetriNet<L>, n2: &PetriNet<L>) -> PetriNet<L> {
+pub fn choice_general<L: Label>(
+    n1: &PetriNet<L>,
+    n2: &PetriNet<L>,
+) -> Result<PetriNet<L>, PetriError> {
     let mut out = PetriNet::new();
     let free = out.add_place("free");
     out.set_initial(free, 1);
@@ -325,25 +330,23 @@ pub fn choice_general<L: Label>(n1: &PetriNet<L>, n2: &PetriNet<L>) -> PetriNet<
                 p1.push(free);
                 let mut q1 = post.clone();
                 q1.push(sentinel);
-                out.add_transition(p1, t.label().clone(), q1)
-                    .expect("gated entry is valid");
+                out.add_transition(p1, t.label().clone(), q1)?;
                 // Re-entry variant: sentinel self-loop.
                 let mut p2 = pre;
                 p2.push(sentinel);
                 let mut q2 = post;
                 q2.push(sentinel);
-                out.add_transition(p2, t.label().clone(), q2)
-                    .expect("re-entry is valid");
+                out.add_transition(p2, t.label().clone(), q2)?;
             } else {
-                out.add_transition(pre, t.label().clone(), post)
-                    .expect("copied transition is valid");
+                out.add_transition(pre, t.label().clone(), post)?;
             }
         }
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use cpn_trace::Language;
@@ -479,7 +482,7 @@ mod tests {
         );
 
         let n2 = cycle("c", "d");
-        let both = choice_general(&n1, &n2);
+        let both = choice_general(&n1, &n2).unwrap();
         let lhs = Language::from_net(&both, 5, 1_000_000).unwrap();
         let rhs = Language::from_net(&n1, 5, 1_000_000)
             .unwrap()
@@ -492,7 +495,7 @@ mod tests {
         let n1 = cycle("a", "b");
         let n2 = cycle("c", "d");
         let strict = choice(&n1, &n2).unwrap();
-        let general = choice_general(&n1, &n2);
+        let general = choice_general(&n1, &n2).unwrap();
         let l1 = Language::from_net(&strict, 5, 1_000_000).unwrap();
         let l2 = Language::from_net(&general, 5, 1_000_000).unwrap();
         assert!(l1.eq_up_to(&l2, 5));
@@ -510,7 +513,7 @@ mod tests {
         n1.set_initial(pa, 1);
         n1.set_initial(pb, 1);
         let n2 = cycle("c", "d");
-        let both = choice_general(&n1, &n2);
+        let both = choice_general(&n1, &n2).unwrap();
         let l = Language::from_net(&both, 3, 1_000_000).unwrap();
         assert!(l.contains(&["a", "b", "a"]));
         assert!(l.contains(&["b", "a", "b"]));

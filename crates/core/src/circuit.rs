@@ -97,7 +97,7 @@ impl<L: Label> Circuit<L> {
             .filter(|l| !outputs.contains(*l))
             .cloned()
             .collect();
-        let net = parallel(&self.net, &other.net);
+        let net = parallel(&self.net, &other.net)?;
         Ok(Circuit {
             inputs,
             outputs,
@@ -171,6 +171,7 @@ impl<L: Label> Circuit<L> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -1,0 +1,56 @@
+//! The algebra-level error type.
+
+use cpn_petri::PetriError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the `cpn-core` operators.
+///
+/// The algebra mostly surfaces kernel errors unchanged; the dedicated
+/// type exists so operator-specific failure modes can be added without
+/// breaking callers, and so the crate's public API is panic-free.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// An underlying Petri net kernel error.
+    Net(PetriError),
+    /// An operator was applied to a net it cannot rewrite (with the
+    /// reason); the paper's constructions exclude these shapes.
+    UnsupportedShape(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Net(e) => write!(f, "{e}"),
+            CoreError::UnsupportedShape(why) => write!(f, "unsupported net shape: {why}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Net(e) => Some(e),
+            CoreError::UnsupportedShape(_) => None,
+        }
+    }
+}
+
+impl From<PetriError> for CoreError {
+    fn from(e: PetriError) -> Self {
+        CoreError::Net(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_and_displays_kernel_errors() {
+        let e = CoreError::from(PetriError::NotMarkedGraph);
+        assert_eq!(e, CoreError::Net(PetriError::NotMarkedGraph));
+        assert!(!e.to_string().is_empty());
+    }
+}

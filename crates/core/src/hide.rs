@@ -29,7 +29,7 @@
 //! (Proposition 4.6); both are property-tested against the `cpn-trace`
 //! oracle.
 
-use cpn_petri::{Label, PetriError, PetriNet, PlaceId, TransitionId};
+use cpn_petri::{Bounded, Budget, Label, Meter, PetriError, PetriNet, PlaceId, TransitionId};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Contracts a single transition out of the net (Definition 4.10).
@@ -153,8 +153,7 @@ pub fn hide_transition<L: Label>(
         let consumes_q = u.preset().intersection(&q).next().is_some();
         // Real-token variant: also covers untouched and p-adjacent
         // transitions (map_set is the identity on them).
-        out.add_transition(pre.clone(), u.label().clone(), post.clone())
-            .expect("rewritten transition is valid");
+        out.add_transition(pre.clone(), u.label().clone(), post.clone())?;
         if consumes_q {
             // Virtual variant: consume the complete pending firing of t
             // plus the non-q part of the preset; re-emit the q places the
@@ -178,8 +177,7 @@ pub fn hide_transition<L: Label>(
             // Guard against degenerate duplicates identical to the real
             // variant (happens in the pure marked-graph collapse case).
             if vpre != pre {
-                out.add_transition(vpre, u.label().clone(), vpost)
-                    .expect("virtual duplicate is valid");
+                out.add_transition(vpre, u.label().clone(), vpost)?;
             }
         }
     }
@@ -209,22 +207,36 @@ pub fn hide_label<L: Label>(
     label: &L,
     budget: usize,
 ) -> Result<PetriNet<L>, PetriError> {
-    let mut current = net.clone();
-    for _ in 0..budget {
-        let Some(t) = current.transitions_with_label(label).next() else {
-            let mut done = current;
-            done.undeclare_label(label);
-            return Ok(done);
-        };
-        current = hide_transition(&current, t)?;
+    let bounded =
+        hide_label_bounded(net, label, &Budget::new(usize::MAX, budget)).map_err(|e| match e {
+            crate::CoreError::Net(e) => e,
+            other => PetriError::Precondition(other.to_string()),
+        })?;
+    match bounded {
+        Bounded::Complete(done) => Ok(done),
+        Bounded::Exhausted { .. } => Err(PetriError::Precondition(format!(
+            "hiding of {label} did not converge within {budget} contractions"
+        ))),
     }
-    if current.transitions_with_label(label).next().is_none() {
-        current.undeclare_label(label);
-        return Ok(current);
-    }
-    Err(PetriError::Precondition(format!(
-        "hiding of {label} did not converge within {budget} contractions"
-    )))
+}
+
+/// Hides a label under a [`Budget`], degrading gracefully: when the
+/// budget's transition cap (contractions) runs out before the label is
+/// fully contracted, the partially hidden net is returned in
+/// [`Bounded::Exhausted`] instead of a hard error. In the partial net
+/// the label is still declared and some of its transitions remain.
+///
+/// # Errors
+///
+/// Structural errors ([`PetriError::HideSelfLoop`] on divergence, the
+/// contraction preconditions) are real failures and still surface, via
+/// [`CoreError`](crate::CoreError).
+pub fn hide_label_bounded<L: Label>(
+    net: &PetriNet<L>,
+    label: &L,
+    budget: &Budget,
+) -> Result<Bounded<PetriNet<L>>, crate::CoreError> {
+    hide_labels_bounded(net, &BTreeSet::from([label.clone()]), budget)
 }
 
 /// Hides a set of labels (successive [`hide_label`] applications).
@@ -242,6 +254,37 @@ pub fn hide_labels<L: Label>(
         current = hide_label(&current, l, budget)?;
     }
     Ok(current)
+}
+
+/// Hides a set of labels under one shared [`Budget`]: the transition cap
+/// bounds the *total* number of contractions across all labels. On
+/// exhaustion the partially contracted net is returned in
+/// [`Bounded::Exhausted`] with statistics on how far hiding got.
+///
+/// # Errors
+///
+/// Structural contraction errors surface as
+/// [`CoreError`](crate::CoreError); running out of budget does not.
+pub fn hide_labels_bounded<L: Label>(
+    net: &PetriNet<L>,
+    labels: &BTreeSet<L>,
+    budget: &Budget,
+) -> Result<Bounded<PetriNet<L>>, crate::CoreError> {
+    let mut meter = Meter::new(budget);
+    let mut current = net.clone();
+    for l in labels {
+        loop {
+            let Some(t) = current.transitions_with_label(l).next() else {
+                current.undeclare_label(l);
+                break;
+            };
+            if !meter.take_transition() {
+                return Ok(meter.finish(current));
+            }
+            current = hide_transition(&current, t)?;
+        }
+    }
+    Ok(meter.finish(current))
 }
 
 /// Projection onto a label set: hides everything **not** in `keep`
@@ -266,6 +309,26 @@ pub fn project<L: Label>(
     hide_labels(net, &hidden, budget)
 }
 
+/// Budgeted projection: hides everything not in `keep` under one shared
+/// [`Budget`], returning a partial result on exhaustion.
+///
+/// # Errors
+///
+/// Propagates the structural errors of [`hide_labels_bounded`].
+pub fn project_bounded<L: Label>(
+    net: &PetriNet<L>,
+    keep: &BTreeSet<L>,
+    budget: &Budget,
+) -> Result<Bounded<PetriNet<L>>, crate::CoreError> {
+    let hidden: BTreeSet<L> = net
+        .alphabet()
+        .iter()
+        .filter(|l| !keep.contains(l))
+        .cloned()
+        .collect();
+    hide_labels_bounded(net, &hidden, budget)
+}
+
 /// The `hide'` refinement of Section 5.3: instead of contracting, the
 /// hidden transitions are **relabeled** to the designated silent label
 /// (ε at the STG level). One dummy transition remains per hidden
@@ -287,6 +350,7 @@ pub fn hide_relabel<L: Label>(net: &PetriNet<L>, labels: &BTreeSet<L>, silent: L
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use cpn_trace::Language;

@@ -48,7 +48,7 @@
 //! n2.add_transition([s], "b", [r])?;
 //! n2.set_initial(r, 1);
 //!
-//! let composed = parallel(&n1, &n2);
+//! let composed = parallel(&n1, &n2)?;
 //! let hidden = hide_label(&composed, &"c", 1_000)?;
 //! let lang = Language::from_net(&hidden, 3, 10_000)?;
 //! assert!(lang.contains(&["a", "b", "a"][..])); // c happens silently
@@ -56,8 +56,13 @@
 //! # }
 //! ```
 
+// The algebra is a library layer: its public API must degrade via typed
+// errors, never panic (tests are exempt).
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 pub mod choice;
 pub mod circuit;
+pub mod error;
 pub mod hide;
 pub mod ops;
 pub mod parallel;
@@ -66,11 +71,18 @@ pub mod verify;
 
 pub use choice::{choice, choice_general, root_unwinding, RootUnwinding};
 pub use circuit::Circuit;
-pub use hide::{hide_label, hide_labels, hide_relabel, hide_transition, project};
+pub use error::CoreError;
+pub use hide::{
+    hide_label, hide_label_bounded, hide_labels, hide_labels_bounded, hide_relabel,
+    hide_transition, project, project_bounded,
+};
 pub use ops::{nil, prefix, prefix_general, rename};
 pub use parallel::{parallel, parallel_tracked, parallel_with_sync, Composition, SyncTransition};
 pub use synthesis::{closure_report, reduce_against_environment, ClosureReport, Reduction};
 pub use verify::{
-    check_receptiveness, check_receptiveness_composed, check_receptiveness_structural_mg,
-    check_receptiveness_structural_mg_composed, ReceptivenessFailure, ReceptivenessReport, Side,
+    check_receptiveness, check_receptiveness_bounded, check_receptiveness_composed,
+    check_receptiveness_composed_bounded, check_receptiveness_structural_mg,
+    check_receptiveness_structural_mg_bounded, check_receptiveness_structural_mg_composed,
+    check_receptiveness_structural_mg_composed_bounded, ReceptivenessFailure, ReceptivenessReport,
+    Side,
 };

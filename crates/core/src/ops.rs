@@ -61,8 +61,7 @@ pub fn prefix<L: Label>(action: L, net: &PetriNet<L>) -> Result<PetriNet<L>, Pet
             t.preset().iter().map(|p| map[p]),
             t.label().clone(),
             t.postset().iter().map(|p| map[p]),
-        )
-        .expect("remapped transition is valid");
+        )?;
     }
     let m0 = out.add_place("m0");
     out.set_initial(m0, 1);
@@ -70,8 +69,7 @@ pub fn prefix<L: Label>(action: L, net: &PetriNet<L>) -> Result<PetriNet<L>, Pet
     // The postset may be empty when N has no marked places (e.g. a.nil
     // would if nil were unmarked); Definition 4.3 allows it as long as
     // the preset is non-empty.
-    out.add_transition([m0], action, initial_places)
-        .expect("prefix transition is valid");
+    out.add_transition([m0], action, initial_places)?;
     Ok(out)
 }
 
@@ -80,6 +78,12 @@ pub fn prefix<L: Label>(action: L, net: &PetriNet<L>) -> Result<PetriNet<L>, Pet
 /// `m0` and transition `(m0, a, {s})` gate every initially enabled
 /// transition through a sentinel self-loop on `s`, so nothing can fire
 /// before `a` and the original behaviour is untouched afterwards.
+///
+/// # Errors
+///
+/// Propagates [`PetriError`] from transition construction; this cannot
+/// occur for well-formed operands (every rewritten transition keeps a
+/// non-empty preset).
 ///
 /// # Example
 ///
@@ -91,14 +95,14 @@ pub fn prefix<L: Label>(action: L, net: &PetriNet<L>) -> Result<PetriNet<L>, Pet
 /// let p = net.add_place("p");
 /// net.add_transition([p], "b", [p])?;
 /// net.set_initial(p, 2); // not safe: Definition 4.3 would reject it
-/// let prefixed = prefix_general("a", &net);
+/// let prefixed = prefix_general("a", &net)?;
 /// let lang = cpn_trace::Language::from_net(&prefixed, 2, 1000)?;
 /// assert!(lang.contains(&["a", "b"][..]));
 /// assert!(!lang.contains(&["b"][..]));
 /// # Ok(())
 /// # }
 /// ```
-pub fn prefix_general<L: Label>(action: L, net: &PetriNet<L>) -> PetriNet<L> {
+pub fn prefix_general<L: Label>(action: L, net: &PetriNet<L>) -> Result<PetriNet<L>, PetriError> {
     let mut out = PetriNet::new();
     let mut map: BTreeMap<PlaceId, PlaceId> = BTreeMap::new();
     for (old, place) in net.places() {
@@ -122,12 +126,10 @@ pub fn prefix_general<L: Label>(action: L, net: &PetriNet<L>) -> PetriNet<L> {
             pre.push(sentinel);
             post.push(sentinel);
         }
-        out.add_transition(pre, t.label().clone(), post)
-            .expect("remapped transition is valid");
+        out.add_transition(pre, t.label().clone(), post)?;
     }
-    out.add_transition([m0], action, [sentinel])
-        .expect("prefix transition is valid");
-    out
+    out.add_transition([m0], action, [sentinel])?;
+    Ok(out)
 }
 
 /// Renaming (Definition 4.4, extended to a set of label replacements):
@@ -163,6 +165,7 @@ pub fn rename<L: Label>(net: &PetriNet<L>, map: &BTreeMap<L, L>) -> PetriNet<L> 
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use cpn_trace::Language;
@@ -213,7 +216,7 @@ mod tests {
     fn prefix_general_matches_prefix_on_safe_nets() {
         let n = ab_cycle();
         let a = prefix("x", &n).unwrap();
-        let b = prefix_general("x", &n);
+        let b = prefix_general("x", &n).unwrap();
         let la = Language::from_net(&a, 4, 10_000).unwrap();
         let lb = Language::from_net(&b, 4, 10_000).unwrap();
         assert!(la.eq_up_to(&lb, 4));
@@ -228,7 +231,7 @@ mod tests {
         net.add_transition([p], "a", [q]).unwrap();
         net.add_transition([p], "b", [q]).unwrap();
         net.set_initial(p, 1);
-        let g = prefix_general("x", &net);
+        let g = prefix_general("x", &net).unwrap();
         let lang = Language::from_net(&g, 2, 1000).unwrap();
         assert!(lang.contains(&["x", "a"]));
         assert!(lang.contains(&["x", "b"]));

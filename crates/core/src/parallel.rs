@@ -10,7 +10,7 @@
 //! unchanged. No unfolding is needed, and the construction works for
 //! general (non-safe) nets.
 
-use cpn_petri::{Label, PetriNet, PlaceId, TransitionId};
+use cpn_petri::{Label, PetriError, PetriNet, PlaceId, TransitionId};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// A parallel composition together with the provenance information the
@@ -58,6 +58,12 @@ pub struct SyncTransition<L: Label> {
 /// **no** transition in the composition — the action is blocked, exactly
 /// as the trace-level Definition 4.8 demands.
 ///
+/// # Errors
+///
+/// Propagates [`PetriError`] from transition construction; this cannot
+/// occur for well-formed operands (fused transitions keep the union of
+/// the operands' presets and postsets, which is never empty).
+///
 /// # Example
 ///
 /// ```
@@ -69,13 +75,13 @@ pub struct SyncTransition<L: Label> {
 /// n1.add_transition([p], "sync", [p])?;
 /// n1.set_initial(p, 1);
 /// let n2 = n1.clone();
-/// let c = parallel(&n1, &n2);
+/// let c = parallel(&n1, &n2)?;
 /// assert_eq!(c.transition_count(), 1); // the two sync transitions fused
 /// assert_eq!(c.place_count(), 2);
 /// # Ok(())
 /// # }
 /// ```
-pub fn parallel<L: Label>(n1: &PetriNet<L>, n2: &PetriNet<L>) -> PetriNet<L> {
+pub fn parallel<L: Label>(n1: &PetriNet<L>, n2: &PetriNet<L>) -> Result<PetriNet<L>, PetriError> {
     let sync: BTreeSet<L> = n1.alphabet().intersection(n2.alphabet()).cloned().collect();
     parallel_with_sync(n1, n2, &sync)
 }
@@ -86,22 +92,32 @@ pub fn parallel<L: Label>(n1: &PetriNet<L>, n2: &PetriNet<L>) -> PetriNet<L> {
 /// transitions); all other labels interleave freely. The STG circuit
 /// algebra uses this to synchronize on shared *signals* while dummy
 /// transitions stay private.
+///
+/// # Errors
+///
+/// Propagates [`PetriError`] from transition construction (see
+/// [`parallel`]).
 pub fn parallel_with_sync<L: Label>(
     n1: &PetriNet<L>,
     n2: &PetriNet<L>,
     sync: &BTreeSet<L>,
-) -> PetriNet<L> {
-    parallel_tracked(n1, n2, sync).net
+) -> Result<PetriNet<L>, PetriError> {
+    Ok(parallel_tracked(n1, n2, sync)?.net)
 }
 
 /// Parallel composition that additionally reports place provenance and
 /// the fused synchronization transitions (see [`Composition`]); the
 /// receptiveness checks of Section 5.3 are built on this.
+///
+/// # Errors
+///
+/// Propagates [`PetriError`] from transition construction (see
+/// [`parallel`]).
 pub fn parallel_tracked<L: Label>(
     n1: &PetriNet<L>,
     n2: &PetriNet<L>,
     sync: &BTreeSet<L>,
-) -> Composition<L> {
+) -> Result<Composition<L>, PetriError> {
     let mut out = PetriNet::new();
     let mut map1: BTreeMap<PlaceId, PlaceId> = BTreeMap::new();
     let mut map2: BTreeMap<PlaceId, PlaceId> = BTreeMap::new();
@@ -126,8 +142,7 @@ pub fn parallel_tracked<L: Label>(
                 t.preset().iter().map(|p| map1[p]),
                 t.label().clone(),
                 t.postset().iter().map(|p| map1[p]),
-            )
-            .expect("left private transition is valid");
+            )?;
         }
     }
     for (_, t) in n2.transitions() {
@@ -136,8 +151,7 @@ pub fn parallel_tracked<L: Label>(
                 t.preset().iter().map(|p| map2[p]),
                 t.label().clone(),
                 t.postset().iter().map(|p| map2[p]),
-            )
-            .expect("right private transition is valid");
+            )?;
         }
     }
 
@@ -162,9 +176,7 @@ pub fn parallel_tracked<L: Label>(
                     .map(|p| map1[p])
                     .chain(tr2.postset().iter().map(|p| map2[p]))
                     .collect();
-                let transition = out
-                    .add_transition(pre, a.clone(), post)
-                    .expect("synchronized transition is valid");
+                let transition = out.add_transition(pre, a.clone(), post)?;
                 sync_transitions.push(SyncTransition {
                     label: a.clone(),
                     transition,
@@ -177,15 +189,16 @@ pub fn parallel_tracked<L: Label>(
         }
     }
 
-    Composition {
+    Ok(Composition {
         net: out,
         left_places: map1,
         right_places: map2,
         sync_transitions,
-    }
+    })
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::choice::choice;
@@ -236,7 +249,7 @@ mod tests {
     fn figure_2_parallel_composition() {
         // ((a+b).c)* ‖ (a.d.a.e)*: a is common and synchronizes; b, c, d,
         // e are private.
-        let composed = parallel(&fig2_left(), &fig2_right());
+        let composed = parallel(&fig2_left(), &fig2_right()).unwrap();
         let l = lang(&composed, 6);
         assert!(l.contains(&["a", "c", "d", "a", "c", "e"]));
         assert!(l.contains(&["a", "d", "c", "a", "e", "c"]));
@@ -250,7 +263,7 @@ mod tests {
     fn theorem_4_5_traces_of_composition() {
         let n1 = fig2_left();
         let n2 = fig2_right();
-        let lhs = lang(&parallel(&n1, &n2), 5);
+        let lhs = lang(&parallel(&n1, &n2).unwrap(), 5);
         let rhs = lang(&n1, 5).parallel(&lang(&n2, 5));
         assert!(lhs.eq_up_to(&rhs, 5), "L(N1‖N2) = L(N1)‖L(N2)");
     }
@@ -259,7 +272,7 @@ mod tests {
     fn disjoint_alphabets_interleave() {
         let n1 = cycle2("a", "b");
         let n2 = cycle2("c", "d");
-        let composed = parallel(&n1, &n2);
+        let composed = parallel(&n1, &n2).unwrap();
         let l = lang(&composed, 4);
         assert!(l.contains(&["a", "c", "b", "d"]));
         assert!(l.contains(&["c", "a", "d", "b"]));
@@ -273,7 +286,7 @@ mod tests {
         n1.declare_label("x");
         let mut n2 = cycle2("x", "y");
         n2.declare_label("a");
-        let composed = parallel(&n1, &n2);
+        let composed = parallel(&n1, &n2).unwrap();
         let l = lang(&composed, 3);
         assert!(!l.iter().any(|t| t.contains(&"a") || t.contains(&"x")));
     }
@@ -289,14 +302,14 @@ mod tests {
         n1.add_transition([p], "a", [q2]).unwrap();
         n1.set_initial(p, 1);
         let n2 = n1.clone();
-        let composed = parallel(&n1, &n2);
+        let composed = parallel(&n1, &n2).unwrap();
         assert_eq!(composed.transition_count(), 4);
     }
 
     #[test]
     fn parallel_then_choice_composes() {
         // Algebra terms nest: (a.b)* ‖ (b.c)* offered against (d.e)*.
-        let par = parallel(&cycle2("a", "b"), &cycle2("b", "c"));
+        let par = parallel(&cycle2("a", "b"), &cycle2("b", "c")).unwrap();
         let alt = choice(&par, &cycle2("d", "e")).unwrap();
         let l = lang(&alt, 3);
         assert!(l.contains(&["a", "b", "c"]));
@@ -308,7 +321,7 @@ mod tests {
     fn initial_markings_add_up() {
         let n1 = cycle2("a", "b");
         let n2 = cycle2("c", "d");
-        let composed = parallel(&n1, &n2);
+        let composed = parallel(&n1, &n2).unwrap();
         assert_eq!(composed.initial_marking().total(), 2);
     }
 
@@ -317,7 +330,7 @@ mod tests {
         // Both nets know "a" but we force interleaving.
         let n1 = cycle2("a", "b");
         let n2 = cycle2("a", "c");
-        let composed = parallel_with_sync(&n1, &n2, &BTreeSet::new());
+        let composed = parallel_with_sync(&n1, &n2, &BTreeSet::new()).unwrap();
         let l = lang(&composed, 2);
         assert!(l.contains(&["a", "a"]), "both a's fire independently");
     }

@@ -88,7 +88,7 @@ pub fn reduce_against_environment<L: Label>(
     options: &ReachabilityOptions,
     hide_budget: usize,
 ) -> Result<Reduction<L>, PetriError> {
-    let composed = parallel(module, env);
+    let composed = parallel(module, env)?;
     let composed_transitions = composed.transition_count();
     let rg = composed.reachability(options)?;
     let dead = dead_transitions_rg(&composed, &rg);
@@ -154,7 +154,7 @@ pub fn closure_report<L: Label>(
 ) -> Result<ClosureReport, PetriError> {
     let a1 = n1.analysis(&n1.reachability(options)?);
     let a2 = n2.analysis(&n2.reachability(options)?);
-    let composed = parallel(n1, n2);
+    let composed = parallel(n1, n2)?;
     let ac = composed.analysis(&composed.reachability(options)?);
     Ok(ClosureReport {
         operands_safe: a1.safe && a2.safe,
@@ -167,6 +167,7 @@ pub fn closure_report<L: Label>(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use cpn_trace::Language;

@@ -20,7 +20,9 @@
 
 use crate::parallel::{parallel_tracked, Composition};
 use cpn_petri::graph::{solve_difference_constraints, DiffConstraint};
-use cpn_petri::{Label, Marking, PetriError, PetriNet, PlaceId, ReachabilityOptions};
+use cpn_petri::{
+    Budget, Label, Marking, Meter, PetriError, PetriNet, PlaceId, ReachabilityOptions, Verdict,
+};
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -171,7 +173,7 @@ pub fn check_receptiveness<L: Label>(
     options: &ReachabilityOptions,
 ) -> Result<ReceptivenessReport<L>, PetriError> {
     let sync: BTreeSet<L> = n1.alphabet().intersection(n2.alphabet()).cloned().collect();
-    let comp = parallel_tracked(n1, n2, &sync);
+    let comp = parallel_tracked(n1, n2, &sync)?;
     check_receptiveness_composed(&comp, left_outputs, right_outputs, options)
 }
 
@@ -186,7 +188,68 @@ pub fn check_receptiveness_composed<L: Label>(
     right_outputs: &BTreeSet<L>,
     options: &ReachabilityOptions,
 ) -> Result<ReceptivenessReport<L>, PetriError> {
-    let rg = comp.net.reachability(options)?;
+    match check_receptiveness_composed_bounded(
+        comp,
+        left_outputs,
+        right_outputs,
+        &Budget::states(options.max_states),
+    ) {
+        Verdict::Holds => Ok(ReceptivenessReport {
+            failures: Vec::new(),
+        }),
+        Verdict::Fails(report) => Ok(report),
+        Verdict::Unknown(_) => Err(PetriError::StateBudgetExceeded {
+            budget: options.max_states,
+        }),
+    }
+}
+
+/// Budgeted exhaustive receptiveness check (Propositions 5.5/5.6),
+/// degrading gracefully.
+///
+/// Explores the composition's reachability graph under `budget` and
+/// returns a tri-state [`Verdict`]:
+///
+/// * `Fails(report)` — a violation was found; witnesses live on the
+///   *explored prefix* of the state space, so they are definite even
+///   when exploration was cut short.
+/// * `Holds` — the full state space was explored and no violation
+///   exists.
+/// * `Unknown(stats)` — the budget ran out with no violation on the
+///   explored prefix; a larger budget could answer either way.
+///
+/// # Errors
+///
+/// Propagates [`PetriError`] from composing the operands (impossible for
+/// well-formed nets).
+pub fn check_receptiveness_bounded<L: Label>(
+    n1: &PetriNet<L>,
+    n2: &PetriNet<L>,
+    left_outputs: &BTreeSet<L>,
+    right_outputs: &BTreeSet<L>,
+    budget: &Budget,
+) -> Result<Verdict<ReceptivenessReport<L>>, PetriError> {
+    let sync: BTreeSet<L> = n1.alphabet().intersection(n2.alphabet()).cloned().collect();
+    let comp = parallel_tracked(n1, n2, &sync)?;
+    Ok(check_receptiveness_composed_bounded(
+        &comp,
+        left_outputs,
+        right_outputs,
+        budget,
+    ))
+}
+
+/// The budgeted exhaustive check on an already-built tracked
+/// composition; see [`check_receptiveness_bounded`].
+pub fn check_receptiveness_composed_bounded<L: Label>(
+    comp: &Composition<L>,
+    left_outputs: &BTreeSet<L>,
+    right_outputs: &BTreeSet<L>,
+    budget: &Budget,
+) -> Verdict<ReceptivenessReport<L>> {
+    let built = comp.net.reachability_bounded(budget);
+    let exhausted = built.exhausted().copied();
+    let rg = built.value();
     let mut failures = Vec::new();
     for ob in obligations(comp, left_outputs, right_outputs) {
         let witness = rg.state_ids().find_map(|s| {
@@ -210,7 +273,14 @@ pub fn check_receptiveness_composed<L: Label>(
             });
         }
     }
-    Ok(ReceptivenessReport { failures })
+    if !failures.is_empty() {
+        Verdict::Fails(ReceptivenessReport { failures })
+    } else {
+        match exhausted {
+            None => Verdict::Holds,
+            Some(info) => Verdict::Unknown(info),
+        }
+    }
 }
 
 /// Structural receptiveness check for **marked graphs** (Theorem 5.7):
@@ -244,7 +314,7 @@ pub fn check_receptiveness_structural_mg<L: Label>(
     right_outputs: &BTreeSet<L>,
 ) -> Result<ReceptivenessReport<L>, PetriError> {
     let sync: BTreeSet<L> = n1.alphabet().intersection(n2.alphabet()).cloned().collect();
-    let comp = parallel_tracked(n1, n2, &sync);
+    let comp = parallel_tracked(n1, n2, &sync)?;
     check_receptiveness_structural_mg_composed(&comp, left_outputs, right_outputs)
 }
 
@@ -353,7 +423,139 @@ pub fn check_receptiveness_structural_mg_composed<L: Label>(
     Ok(ReceptivenessReport { failures })
 }
 
+/// Budgeted structural receptiveness check (Theorem 5.7), degrading
+/// gracefully.
+///
+/// Where [`check_receptiveness_structural_mg`] hard-errors when an
+/// obligation needs too many starvation combinations, this variant
+/// meters each difference-constraint solve against `budget.max_states`
+/// and answers `Unknown(stats)` when the budget runs out. Failures found
+/// before exhaustion are definite.
+///
+/// # Errors
+///
+/// [`PetriError::NotMarkedGraph`] (wrapped in
+/// [`CoreError`](crate::CoreError)) if the composition is not a marked
+/// graph — that is a precondition violation, not a budget problem.
+pub fn check_receptiveness_structural_mg_bounded<L: Label>(
+    n1: &PetriNet<L>,
+    n2: &PetriNet<L>,
+    left_outputs: &BTreeSet<L>,
+    right_outputs: &BTreeSet<L>,
+    budget: &Budget,
+) -> Result<Verdict<ReceptivenessReport<L>>, crate::CoreError> {
+    let sync: BTreeSet<L> = n1.alphabet().intersection(n2.alphabet()).cloned().collect();
+    let comp = parallel_tracked(n1, n2, &sync).map_err(crate::CoreError::Net)?;
+    check_receptiveness_structural_mg_composed_bounded(&comp, left_outputs, right_outputs, budget)
+}
+
+/// The budgeted structural check on an already-built tracked
+/// composition; see [`check_receptiveness_structural_mg_bounded`].
+///
+/// # Errors
+///
+/// [`PetriError::NotMarkedGraph`] wrapped in
+/// [`CoreError`](crate::CoreError).
+pub fn check_receptiveness_structural_mg_composed_bounded<L: Label>(
+    comp: &Composition<L>,
+    left_outputs: &BTreeSet<L>,
+    right_outputs: &BTreeSet<L>,
+    budget: &Budget,
+) -> Result<Verdict<ReceptivenessReport<L>>, crate::CoreError> {
+    let net = &comp.net;
+    let flows = net.marked_graph_flows()?;
+    let m0 = net.initial_marking();
+    let n_vars = net.transition_count();
+    let mut meter = Meter::new(budget);
+
+    let base: Vec<DiffConstraint> = flows
+        .iter()
+        .enumerate()
+        .map(|(p, &(prod, cons))| DiffConstraint {
+            a: cons.index(),
+            b: prod.index(),
+            w: i64::from(m0.as_slice()[p]),
+        })
+        .collect();
+
+    let mut failures = Vec::new();
+    'obligations: for ob in obligations(comp, left_outputs, right_outputs) {
+        let choice_sets: Vec<Vec<PlaceId>> = ob
+            .consumer_pres
+            .iter()
+            .map(|cpre| {
+                cpre.iter()
+                    .copied()
+                    .filter(|p| !ob.producer_pre.contains(p))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        if choice_sets.iter().any(Vec::is_empty) {
+            continue;
+        }
+        let mut found = false;
+        let mut pick = vec![0usize; choice_sets.len()];
+        'combos: loop {
+            // Each combination costs one difference-constraint solve.
+            if !meter.take_state() {
+                break 'obligations;
+            }
+            let mut cs = base.clone();
+            for &p in &ob.producer_pre {
+                let (prod, cons) = flows[p.index()];
+                cs.push(DiffConstraint {
+                    a: cons.index(),
+                    b: prod.index(),
+                    w: i64::from(m0.tokens(p)) - 1,
+                });
+            }
+            for (ci, &k) in pick.iter().enumerate() {
+                let p0 = choice_sets[ci][k];
+                let (prod0, cons0) = flows[p0.index()];
+                cs.push(DiffConstraint {
+                    a: prod0.index(),
+                    b: cons0.index(),
+                    w: -i64::from(m0.tokens(p0)),
+                });
+            }
+            if solve_difference_constraints(n_vars, &cs).is_some() {
+                found = true;
+                break 'combos;
+            }
+            let mut i = 0;
+            loop {
+                if i == pick.len() {
+                    break 'combos;
+                }
+                pick[i] += 1;
+                if pick[i] < choice_sets[i].len() {
+                    break;
+                }
+                pick[i] = 0;
+                i += 1;
+            }
+        }
+        if found {
+            failures.push(ReceptivenessFailure {
+                label: ob.label.clone(),
+                producer: ob.producer,
+                witness: None,
+            });
+        }
+    }
+
+    Ok(if !failures.is_empty() {
+        Verdict::Fails(ReceptivenessReport { failures })
+    } else {
+        match meter.report() {
+            None => Verdict::Holds,
+            Some(info) => Verdict::Unknown(info),
+        }
+    })
+}
+
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

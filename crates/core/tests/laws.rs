@@ -94,7 +94,7 @@ fn law_4_4_choice_general_multiset(raw1: &RawNet, raw2: &RawNet, boosts: &[u32])
         }
     }
     let n2 = build(raw2);
-    let both = choice_general(&n1, &n2);
+    let both = choice_general(&n1, &n2).unwrap();
     let lhs = lang(&both, DEPTH);
     let (l1, l2) = (lang(&n1, DEPTH), lang(&n2, DEPTH));
     prop_assume!(lhs.is_some() && l1.is_some() && l2.is_some());
@@ -109,7 +109,7 @@ fn law_4_4_choice_general_multiset(raw1: &RawNet, raw2: &RawNet, boosts: &[u32])
 fn law_4_5_parallel(raw1: &RawNet, raw2: &RawNet) -> PropResult {
     let n1 = build(raw1);
     let n2 = build(raw2);
-    let composed = parallel(&n1, &n2);
+    let composed = parallel(&n1, &n2).unwrap();
     let lhs = lang(&composed, DEPTH);
     let (l1, l2) = (lang(&n1, DEPTH), lang(&n2, DEPTH));
     prop_assume!(lhs.is_some() && l1.is_some() && l2.is_some());
@@ -179,7 +179,7 @@ fn law_5_2_safety_closure(raw1: &RawNet, raw2: &RawNet) -> PropResult {
     };
     prop_assume!(safe(&n1) == Some(true) && safe(&n2) == Some(true));
 
-    let composed = parallel(&n1, &n2);
+    let composed = parallel(&n1, &n2).unwrap();
     if let Some(s) = safe(&composed) {
         prop_assert!(s, "safety closed under parallel composition");
     }
@@ -228,7 +228,7 @@ fn law_5_4_marked_graphs_closed(raw1: &RawNet, raw2: &RawNet) -> PropResult {
         n1.transitions_with_label(l).count() <= 1 && n2.transitions_with_label(l).count() <= 1
     });
     prop_assume!(unique_sync);
-    let composed = parallel(&n1, &n2);
+    let composed = parallel(&n1, &n2).unwrap();
     prop_assert!(
         composed.structural().is_marked_graph,
         "parallel composition of MGs with conflict-free sync"
@@ -239,7 +239,7 @@ fn law_5_4_marked_graphs_closed(raw1: &RawNet, raw2: &RawNet) -> PropResult {
 fn law_5_1_projection_containment(raw1: &RawNet, raw2: &RawNet) -> PropResult {
     let n1 = build(raw1);
     let n2 = build(raw2);
-    let composed = parallel(&n1, &n2);
+    let composed = parallel(&n1, &n2).unwrap();
     let lc = lang(&composed, DEPTH);
     let l1 = lang(&n1, DEPTH);
     prop_assume!(lc.is_some() && l1.is_some());

@@ -50,7 +50,7 @@ fn parallel_law_holds_on_nonsafe_nets() {
         |(raw1, raw2)| {
             let n1 = build(raw1);
             let n2 = build(raw2);
-            let composed = parallel(&n1, &n2);
+            let composed = parallel(&n1, &n2).unwrap();
             let lhs = lang(&composed, DEPTH);
             let (l1, l2) = (lang(&n1, DEPTH), lang(&n2, DEPTH));
             prop_assume!(lhs.is_some() && l1.is_some() && l2.is_some());
@@ -72,7 +72,7 @@ fn choice_general_law_holds_on_nonsafe_nets() {
         |(raw1, raw2)| {
             let n1 = build(raw1);
             let n2 = build(raw2);
-            let both = choice_general(&n1, &n2);
+            let both = choice_general(&n1, &n2).unwrap();
             let lhs = lang(&both, DEPTH);
             let (l1, l2) = (lang(&n1, DEPTH), lang(&n2, DEPTH));
             prop_assume!(lhs.is_some() && l1.is_some() && l2.is_some());

@@ -1,0 +1,433 @@
+//! Exploration budgets and graceful-degradation outcomes.
+//!
+//! Every analysis in the workspace that enumerates states, tree nodes or
+//! traces can explode on an adversarial input. Rather than panicking or
+//! returning a hard error, budgeted explorers stop at a configurable
+//! [`Budget`] and report *how far they got*:
+//!
+//! * Structure builders (reachability graphs, coverability trees, trace
+//!   languages, contractions) return a [`Bounded`] value — either
+//!   `Complete` or `Exhausted` with the partial structure attached.
+//! * Property checkers (receptiveness, consistency) return a
+//!   [`Verdict`] — `Holds`, `Fails(witness)` or `Unknown(Exhausted)`.
+//!
+//! The verdict lattice is `Unknown ⊑ Holds`, `Unknown ⊑ Fails`: a checker
+//! may answer `Unknown` where a bigger budget would answer definitely, but
+//! two definite answers for the same question never disagree. The
+//! [`Verdict::agrees_with`] predicate encodes exactly this monotonicity
+//! and is used as a property-test oracle.
+
+use std::fmt;
+
+/// Default cap on distinct states/nodes discovered by an explorer.
+///
+/// This is the single shared constant behind every hardcoded
+/// `with_max_states(2_000_000)` the workspace used to carry around.
+pub const DEFAULT_MAX_STATES: usize = 2_000_000;
+
+/// Default cap on explored edges/firings (a multiple of the state cap,
+/// since bounded-degree graphs have a few edges per state).
+pub const DEFAULT_MAX_TRANSITIONS: usize = 8_000_000;
+
+/// A resource budget for state-space exploration.
+///
+/// `max_states` bounds distinct markings/nodes discovered;
+/// `max_transitions` bounds edges/firings examined. Exhausting either
+/// stops the exploration gracefully.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Budget {
+    /// Maximum number of distinct states (markings, tree nodes, traces).
+    pub max_states: usize,
+    /// Maximum number of explored transitions (edges, firings).
+    pub max_transitions: usize,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget {
+            max_states: DEFAULT_MAX_STATES,
+            max_transitions: DEFAULT_MAX_TRANSITIONS,
+        }
+    }
+}
+
+impl Budget {
+    /// A budget with explicit caps on both resources.
+    pub fn new(max_states: usize, max_transitions: usize) -> Self {
+        Budget {
+            max_states,
+            max_transitions,
+        }
+    }
+
+    /// A budget capping only the number of states (transitions unlimited).
+    pub fn states(max_states: usize) -> Self {
+        Budget {
+            max_states,
+            max_transitions: usize::MAX,
+        }
+    }
+
+    /// An effectively unlimited budget (both caps at `usize::MAX`).
+    pub fn unlimited() -> Self {
+        Budget {
+            max_states: usize::MAX,
+            max_transitions: usize::MAX,
+        }
+    }
+}
+
+/// The resource that ran out when an exploration stopped early.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Resource {
+    /// The state cap was reached.
+    States,
+    /// The transition cap was reached.
+    Transitions,
+}
+
+impl fmt::Display for Resource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Resource::States => write!(f, "states"),
+            Resource::Transitions => write!(f, "transitions"),
+        }
+    }
+}
+
+/// Partial-exploration statistics attached to an early stop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Exhausted {
+    /// Which cap was hit first.
+    pub resource: Resource,
+    /// Distinct states discovered before stopping.
+    pub states_explored: usize,
+    /// Transitions examined before stopping.
+    pub transitions_explored: usize,
+    /// The budget that was in force.
+    pub budget: Budget,
+}
+
+impl fmt::Display for Exhausted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "budget exhausted ({}) after {} states / {} transitions",
+            self.resource, self.states_explored, self.transitions_explored
+        )
+    }
+}
+
+/// Tri-state outcome of a budgeted property check.
+///
+/// `Fails` carries a witness found on the *explored prefix* of the state
+/// space, so it is definite even when the exploration was cut short.
+/// `Holds` is only returned after complete exploration. `Unknown` means
+/// the budget ran out before either could be established.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Verdict<W> {
+    /// The property holds (exploration was complete).
+    Holds,
+    /// The property fails, with a witness.
+    Fails(W),
+    /// The budget ran out before a definite answer.
+    Unknown(Exhausted),
+}
+
+impl<W> Verdict<W> {
+    /// Whether the verdict is a definite `Holds`.
+    pub fn holds(&self) -> bool {
+        matches!(self, Verdict::Holds)
+    }
+
+    /// Whether the verdict is a definite `Fails`.
+    pub fn fails(&self) -> bool {
+        matches!(self, Verdict::Fails(_))
+    }
+
+    /// Whether the verdict is `Unknown`.
+    pub fn is_unknown(&self) -> bool {
+        matches!(self, Verdict::Unknown(_))
+    }
+
+    /// Whether the verdict is definite (`Holds` or `Fails`).
+    pub fn is_definite(&self) -> bool {
+        !self.is_unknown()
+    }
+
+    /// The failure witness, if any.
+    pub fn witness(&self) -> Option<&W> {
+        match self {
+            Verdict::Fails(w) => Some(w),
+            _ => None,
+        }
+    }
+
+    /// The exhaustion statistics, if the verdict is `Unknown`.
+    pub fn exhausted(&self) -> Option<&Exhausted> {
+        match self {
+            Verdict::Unknown(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// Maps the witness type.
+    pub fn map<U>(self, f: impl FnOnce(W) -> U) -> Verdict<U> {
+        match self {
+            Verdict::Holds => Verdict::Holds,
+            Verdict::Fails(w) => Verdict::Fails(f(w)),
+            Verdict::Unknown(e) => Verdict::Unknown(e),
+        }
+    }
+
+    /// The monotonicity relation of the verdict lattice: two verdicts for
+    /// the *same question* agree unless one says `Holds` and the other
+    /// `Fails`. An `Unknown` from a small budget is consistent with any
+    /// definite answer from a larger one.
+    pub fn agrees_with<V>(&self, other: &Verdict<V>) -> bool {
+        !(self.holds() && other.fails() || self.fails() && other.holds())
+    }
+}
+
+impl<W> fmt::Display for Verdict<W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Holds => write!(f, "holds"),
+            Verdict::Fails(_) => write!(f, "fails"),
+            Verdict::Unknown(e) => write!(f, "unknown ({e})"),
+        }
+    }
+}
+
+/// A structure built under a budget: complete, or a partial prefix with
+/// statistics on where the exploration stopped.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Bounded<T> {
+    /// The budget sufficed; the structure is exact.
+    Complete(T),
+    /// The budget ran out; `partial` is a sound prefix of the structure.
+    Exhausted {
+        /// The structure explored so far (a prefix, not the whole thing).
+        partial: T,
+        /// What stopped the exploration, and how far it got.
+        info: Exhausted,
+    },
+}
+
+impl<T> Bounded<T> {
+    /// Whether the structure is complete.
+    pub fn is_complete(&self) -> bool {
+        matches!(self, Bounded::Complete(_))
+    }
+
+    /// The exhaustion statistics, if the build stopped early.
+    pub fn exhausted(&self) -> Option<&Exhausted> {
+        match self {
+            Bounded::Complete(_) => None,
+            Bounded::Exhausted { info, .. } => Some(info),
+        }
+    }
+
+    /// The structure, complete or partial.
+    pub fn value(&self) -> &T {
+        match self {
+            Bounded::Complete(t) | Bounded::Exhausted { partial: t, .. } => t,
+        }
+    }
+
+    /// Consumes the wrapper, returning the structure (complete or partial).
+    pub fn into_value(self) -> T {
+        match self {
+            Bounded::Complete(t) | Bounded::Exhausted { partial: t, .. } => t,
+        }
+    }
+
+    /// The structure only if it is complete.
+    pub fn complete(self) -> Option<T> {
+        match self {
+            Bounded::Complete(t) => Some(t),
+            Bounded::Exhausted { .. } => None,
+        }
+    }
+
+    /// Maps the carried structure, preserving completeness.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Bounded<U> {
+        match self {
+            Bounded::Complete(t) => Bounded::Complete(f(t)),
+            Bounded::Exhausted { partial, info } => Bounded::Exhausted {
+                partial: f(partial),
+                info,
+            },
+        }
+    }
+}
+
+/// A mutable meter that explorers thread through their main loop.
+///
+/// Call [`Meter::take_state`] when discovering a new state and
+/// [`Meter::take_transition`] when examining an edge; both return `false`
+/// once a cap is hit, after which the meter stays stopped.
+#[derive(Clone, Debug)]
+pub struct Meter {
+    budget: Budget,
+    states: usize,
+    transitions: usize,
+    stopped: Option<Resource>,
+}
+
+impl Meter {
+    /// A fresh meter for the given budget.
+    pub fn new(budget: &Budget) -> Self {
+        Meter {
+            budget: *budget,
+            states: 0,
+            transitions: 0,
+            stopped: None,
+        }
+    }
+
+    /// Accounts for one newly discovered state. Returns `false` (and
+    /// marks the meter stopped) when the state cap is exhausted.
+    pub fn take_state(&mut self) -> bool {
+        if self.stopped.is_some() {
+            return false;
+        }
+        if self.states >= self.budget.max_states {
+            self.stopped = Some(Resource::States);
+            return false;
+        }
+        self.states += 1;
+        true
+    }
+
+    /// Accounts for one examined transition. Returns `false` (and marks
+    /// the meter stopped) when the transition cap is exhausted.
+    pub fn take_transition(&mut self) -> bool {
+        if self.stopped.is_some() {
+            return false;
+        }
+        if self.transitions >= self.budget.max_transitions {
+            self.stopped = Some(Resource::Transitions);
+            return false;
+        }
+        self.transitions += 1;
+        true
+    }
+
+    /// Whether a cap has been hit.
+    pub fn is_stopped(&self) -> bool {
+        self.stopped.is_some()
+    }
+
+    /// States accounted for so far.
+    pub fn states_explored(&self) -> usize {
+        self.states
+    }
+
+    /// Transitions accounted for so far.
+    pub fn transitions_explored(&self) -> usize {
+        self.transitions
+    }
+
+    /// The exhaustion report, if a cap was hit.
+    pub fn report(&self) -> Option<Exhausted> {
+        self.stopped.map(|resource| Exhausted {
+            resource,
+            states_explored: self.states,
+            transitions_explored: self.transitions,
+            budget: self.budget,
+        })
+    }
+
+    /// Wraps a finished structure: `Complete` if no cap was hit,
+    /// `Exhausted` otherwise.
+    pub fn finish<T>(&self, value: T) -> Bounded<T> {
+        match self.report() {
+            None => Bounded::Complete(value),
+            Some(info) => Bounded::Exhausted {
+                partial: value,
+                info,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_budget_uses_shared_constants() {
+        let b = Budget::default();
+        assert_eq!(b.max_states, DEFAULT_MAX_STATES);
+        assert_eq!(b.max_transitions, DEFAULT_MAX_TRANSITIONS);
+    }
+
+    #[test]
+    fn meter_stops_at_state_cap() {
+        let mut m = Meter::new(&Budget::states(2));
+        assert!(m.take_state());
+        assert!(m.take_state());
+        assert!(!m.take_state());
+        assert!(m.is_stopped());
+        let info = m.report().unwrap();
+        assert_eq!(info.resource, Resource::States);
+        assert_eq!(info.states_explored, 2);
+    }
+
+    #[test]
+    fn meter_stops_at_transition_cap() {
+        let mut m = Meter::new(&Budget::new(100, 1));
+        assert!(m.take_state());
+        assert!(m.take_transition());
+        assert!(!m.take_transition());
+        // Once stopped, everything is refused.
+        assert!(!m.take_state());
+        assert_eq!(m.report().unwrap().resource, Resource::Transitions);
+    }
+
+    #[test]
+    fn finish_wraps_by_stop_state() {
+        let mut m = Meter::new(&Budget::states(1));
+        assert!(m.take_state());
+        assert!(m.finish(()).is_complete());
+        assert!(!m.take_state());
+        assert!(!m.finish(()).is_complete());
+    }
+
+    #[test]
+    fn verdict_lattice_agreement() {
+        let holds: Verdict<()> = Verdict::Holds;
+        let fails: Verdict<()> = Verdict::Fails(());
+        let unknown: Verdict<()> = Verdict::Unknown(Exhausted {
+            resource: Resource::States,
+            states_explored: 1,
+            transitions_explored: 0,
+            budget: Budget::states(1),
+        });
+        assert!(!holds.agrees_with(&fails));
+        assert!(!fails.agrees_with(&holds));
+        assert!(unknown.agrees_with(&holds));
+        assert!(unknown.agrees_with(&fails));
+        assert!(holds.agrees_with(&holds));
+        assert!(fails.agrees_with(&fails));
+    }
+
+    #[test]
+    fn bounded_accessors() {
+        let c: Bounded<u32> = Bounded::Complete(7);
+        assert!(c.is_complete());
+        assert_eq!(*c.value(), 7);
+        assert_eq!(c.clone().complete(), Some(7));
+        assert_eq!(c.map(|x| x + 1).into_value(), 8);
+    }
+
+    #[test]
+    fn verdict_accessors() {
+        let v: Verdict<&str> = Verdict::Fails("w");
+        assert!(v.fails());
+        assert!(v.is_definite());
+        assert_eq!(v.witness(), Some(&"w"));
+        assert_eq!(v.map(str::len).witness(), Some(&1));
+    }
+}

@@ -6,6 +6,7 @@
 //! terminates on every net, reporting either a finite token bound or an
 //! unboundedness witness.
 
+use crate::budget::{Bounded, Budget, Meter};
 use crate::error::PetriError;
 use crate::label::Label;
 use crate::net::{PetriNet, PlaceId, TransitionId};
@@ -73,7 +74,7 @@ pub enum CoverabilityOutcome {
 /// # Example
 ///
 /// ```
-/// use cpn_petri::{CoverabilityOutcome, CoverabilityTree, PetriNet};
+/// use cpn_petri::{Budget, CoverabilityOutcome, CoverabilityTree, PetriNet};
 ///
 /// # fn main() -> Result<(), cpn_petri::PetriError> {
 /// let mut net: PetriNet<&str> = PetriNet::new();
@@ -81,7 +82,7 @@ pub enum CoverabilityOutcome {
 /// let out = net.add_place("out");
 /// net.add_transition([p], "pump", [p, out])?; // p keeps its token, out grows
 /// net.set_initial(p, 1);
-/// let tree = CoverabilityTree::build(&net, 10_000)?;
+/// let tree = CoverabilityTree::build_bounded(&net, &Budget::states(10_000)).into_value();
 /// assert!(matches!(tree.outcome(), CoverabilityOutcome::Unbounded { .. }));
 /// # Ok(())
 /// # }
@@ -93,19 +94,20 @@ pub struct CoverabilityTree {
 }
 
 impl CoverabilityTree {
-    /// Runs the Karp–Miller construction on `net`.
+    /// Runs the Karp–Miller construction on `net`, degrading gracefully.
     ///
-    /// `node_budget` bounds the number of tree nodes explored; the
-    /// construction always terminates in theory, but the budget guards
-    /// against pathological blowup in practice.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`PetriError::StateBudgetExceeded`] if the budget is hit.
-    pub fn build<L: Label>(
+    /// The budget's state cap bounds tree nodes; its transition cap
+    /// bounds ω-firings examined. The construction always terminates in
+    /// theory, but the budget guards against pathological blowup in
+    /// practice. When the budget runs out, the partial tree is returned
+    /// in [`Bounded::Exhausted`]: an `Unbounded` outcome on a partial
+    /// tree is definite (ω witnesses are real), but a `Bounded { bound }`
+    /// outcome only covers the explored prefix.
+    pub fn build_bounded<L: Label>(
         net: &PetriNet<L>,
-        node_budget: usize,
-    ) -> Result<CoverabilityTree, PetriError> {
+        budget: &Budget,
+    ) -> Bounded<CoverabilityTree> {
+        let mut meter = Meter::new(budget);
         let m0: OmegaMarking = net
             .initial_marking()
             .as_slice()
@@ -124,11 +126,16 @@ impl CoverabilityTree {
         }];
         let mut seen: HashMap<OmegaMarking, usize> = HashMap::new();
         seen.insert(m0, 0);
+        // The root node always exists, even under a zero budget.
+        meter.take_state();
 
         let mut work = vec![0usize];
-        while let Some(cur) = work.pop() {
+        'explore: while let Some(cur) = work.pop() {
             let marking = nodes[cur].marking.clone();
             for t in net.transition_ids() {
+                if !meter.take_transition() {
+                    break 'explore;
+                }
                 let Some(mut next) = fire_omega(net, &marking, t) else {
                     continue;
                 };
@@ -150,10 +157,8 @@ impl CoverabilityTree {
                 if seen.contains_key(&next) {
                     continue;
                 }
-                if nodes.len() >= node_budget {
-                    return Err(PetriError::StateBudgetExceeded {
-                        budget: node_budget,
-                    });
+                if !meter.take_state() {
+                    break 'explore;
                 }
                 let id = nodes.len();
                 seen.insert(next.clone(), id);
@@ -186,7 +191,28 @@ impl CoverabilityTree {
         } else {
             CoverabilityOutcome::Unbounded { witnesses }
         };
-        Ok(CoverabilityTree { markings, outcome })
+        meter.finish(CoverabilityTree { markings, outcome })
+    }
+
+    /// Runs the Karp–Miller construction with a bare node cap.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PetriError::StateBudgetExceeded`] if the budget is hit.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `build_bounded`, which returns a partial tree instead of a hard error"
+    )]
+    pub fn build<L: Label>(
+        net: &PetriNet<L>,
+        node_budget: usize,
+    ) -> Result<CoverabilityTree, PetriError> {
+        match Self::build_bounded(net, &Budget::states(node_budget)) {
+            Bounded::Complete(tree) => Ok(tree),
+            Bounded::Exhausted { .. } => Err(PetriError::StateBudgetExceeded {
+                budget: node_budget,
+            }),
+        }
     }
 
     /// The verdict: bounded with a bound, or unbounded with witnesses.
@@ -244,7 +270,9 @@ mod tests {
         net.add_transition([p], "a", [q]).unwrap();
         net.add_transition([q], "b", [p]).unwrap();
         net.set_initial(p, 2);
-        let tree = CoverabilityTree::build(&net, 10_000).unwrap();
+        let built = CoverabilityTree::build_bounded(&net, &Budget::states(10_000));
+        assert!(built.is_complete());
+        let tree = built.into_value();
         assert_eq!(tree.outcome(), &CoverabilityOutcome::Bounded { bound: 2 });
         assert!(tree.is_bounded());
     }
@@ -256,7 +284,7 @@ mod tests {
         let out = net.add_place("out");
         net.add_transition([p], "pump", [p, out]).unwrap();
         net.set_initial(p, 1);
-        let tree = CoverabilityTree::build(&net, 10_000).unwrap();
+        let tree = CoverabilityTree::build_bounded(&net, &Budget::states(10_000)).into_value();
         match tree.outcome() {
             CoverabilityOutcome::Unbounded { witnesses } => {
                 assert_eq!(witnesses, &vec![out]);
@@ -276,7 +304,7 @@ mod tests {
         net.add_transition([cc, buf], "consume", [cc]).unwrap();
         net.set_initial(pp, 1);
         net.set_initial(cc, 1);
-        let tree = CoverabilityTree::build(&net, 10_000).unwrap();
+        let tree = CoverabilityTree::build_bounded(&net, &Budget::states(10_000)).into_value();
         assert!(!tree.is_bounded());
     }
 
@@ -287,15 +315,28 @@ mod tests {
         let q = net.add_place("q");
         net.add_transition([p], "a", [q]).unwrap();
         net.set_initial(p, 1);
-        let tree = CoverabilityTree::build(&net, 100).unwrap();
+        let tree = CoverabilityTree::build_bounded(&net, &Budget::states(100)).into_value();
         assert_eq!(tree.outcome(), &CoverabilityOutcome::Bounded { bound: 1 });
     }
 
     #[test]
-    fn budget_respected() {
-        // An unbounded net with a tiny budget still terminates via error
-        // or via acceleration; budget 1 forces the error path quickly for
-        // nets that need >1 node.
+    fn budget_respected_with_partial_tree() {
+        // A net that needs 2 nodes under a 1-node budget stops early and
+        // still hands back the explored prefix.
+        let mut net: PetriNet<&str> = PetriNet::new();
+        let p = net.add_place("p");
+        let q = net.add_place("q");
+        net.add_transition([p], "a", [q]).unwrap();
+        net.set_initial(p, 1);
+        let built = CoverabilityTree::build_bounded(&net, &Budget::states(1));
+        let info = *built.exhausted().expect("budget of 1 is exhausted");
+        assert_eq!(info.states_explored, 1);
+        assert_eq!(built.value().markings().len(), 1);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_build_maps_exhaustion_to_error() {
         let mut net: PetriNet<&str> = PetriNet::new();
         let p = net.add_place("p");
         let q = net.add_place("q");
@@ -303,5 +344,6 @@ mod tests {
         net.set_initial(p, 1);
         let err = CoverabilityTree::build(&net, 1).unwrap_err();
         assert_eq!(err, PetriError::StateBudgetExceeded { budget: 1 });
+        assert!(CoverabilityTree::build(&net, 100).is_ok());
     }
 }

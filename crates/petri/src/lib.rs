@@ -15,6 +15,8 @@
 //! # Modules
 //!
 //! * [`net`] — the arena-indexed [`PetriNet`] data structure and builder API.
+//! * [`budget`] — exploration [`Budget`]s, the [`Bounded`] partial-result
+//!   wrapper and the tri-state [`Verdict`] of budgeted checkers.
 //! * [`marking`] — multiset [`Marking`]s and the firing rule (Def 2.2).
 //! * [`reachability`] — explicit reachability graphs with state budgets.
 //! * [`coverability`] — Karp–Miller style boundedness detection.
@@ -49,6 +51,7 @@
 //! ```
 
 pub mod analysis;
+pub mod budget;
 pub mod coverability;
 pub mod dead;
 pub mod error;
@@ -63,6 +66,10 @@ pub mod siphon;
 pub mod structural;
 
 pub use analysis::{Analysis, LivenessLevel};
+pub use budget::{
+    Bounded, Budget, Exhausted, Meter, Resource, Verdict, DEFAULT_MAX_STATES,
+    DEFAULT_MAX_TRANSITIONS,
+};
 pub use coverability::{CoverabilityOutcome, CoverabilityTree};
 pub use dead::{dead_transitions_rg, dead_transitions_structural_mg, remove_dead};
 pub use error::PetriError;

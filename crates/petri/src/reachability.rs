@@ -6,6 +6,7 @@
 //! it breadth-first under a configurable state budget so that analyses
 //! never silently diverge on unbounded nets.
 
+use crate::budget::{Bounded, Budget, Meter};
 use crate::error::PetriError;
 use crate::graph::DiGraph;
 use crate::label::Label;
@@ -46,14 +47,16 @@ impl fmt::Display for StateId {
 #[derive(Clone, Debug)]
 pub struct ReachabilityOptions {
     /// Maximum number of distinct states to discover before giving up with
-    /// [`PetriError::StateBudgetExceeded`]. Defaults to `1_000_000`.
+    /// [`PetriError::StateBudgetExceeded`]. Defaults to
+    /// [`crate::budget::DEFAULT_MAX_STATES`], the workspace-wide state
+    /// budget shared with [`Budget`].
     pub max_states: usize,
 }
 
 impl Default for ReachabilityOptions {
     fn default() -> Self {
         ReachabilityOptions {
-            max_states: 1_000_000,
+            max_states: crate::budget::DEFAULT_MAX_STATES,
         }
     }
 }
@@ -62,6 +65,22 @@ impl ReachabilityOptions {
     /// Options with an explicit state budget.
     pub fn with_max_states(max_states: usize) -> Self {
         ReachabilityOptions { max_states }
+    }
+}
+
+impl From<Budget> for ReachabilityOptions {
+    /// Projects a [`Budget`] onto the legacy options type (only the state
+    /// cap is representable).
+    fn from(b: Budget) -> Self {
+        ReachabilityOptions {
+            max_states: b.max_states,
+        }
+    }
+}
+
+impl From<&Budget> for ReachabilityOptions {
+    fn from(b: &Budget) -> Self {
+        ReachabilityOptions::from(*b)
     }
 }
 
@@ -192,28 +211,54 @@ impl<L: Label> PetriNet<L> {
         &self,
         options: &ReachabilityOptions,
     ) -> Result<ReachabilityGraph, PetriError> {
+        match self.reachability_bounded(&Budget::states(options.max_states)) {
+            Bounded::Complete(rg) => Ok(rg),
+            Bounded::Exhausted { .. } => Err(PetriError::StateBudgetExceeded {
+                budget: options.max_states,
+            }),
+        }
+    }
+
+    /// Builds the reachability graph breadth-first under a [`Budget`],
+    /// degrading gracefully instead of erroring.
+    ///
+    /// When the budget runs out, exploration stops immediately and the
+    /// partial graph discovered so far is returned in
+    /// [`Bounded::Exhausted`] together with exploration statistics. The
+    /// partial graph is a sound prefix: every state and edge in it is
+    /// genuinely reachable, but states on the unexpanded frontier may be
+    /// missing outgoing edges.
+    pub fn reachability_bounded(&self, budget: &Budget) -> Bounded<ReachabilityGraph> {
+        let mut meter = Meter::new(budget);
         let initial = self.initial_marking();
         let mut states: Vec<Marking> = vec![initial.clone()];
         let mut index: HashMap<Marking, StateId> = HashMap::new();
         index.insert(initial, StateId::from_index(0));
         let mut edges: Vec<Vec<(TransitionId, StateId)>> = vec![Vec::new()];
+        // The initial state always exists, even under a zero budget.
+        meter.take_state();
 
         let mut frontier = 0usize;
-        while frontier < states.len() {
+        'explore: while frontier < states.len() {
             let sid = StateId::from_index(frontier);
             let marking = states[frontier].clone();
             for t in self.transition_ids() {
                 if !self.is_enabled(&marking, t) {
                     continue;
                 }
-                let next = self.fire(&marking, t).expect("enabled transition fires");
+                if !meter.take_transition() {
+                    break 'explore;
+                }
+                let Ok(next) = self.fire(&marking, t) else {
+                    // Unreachable for an enabled transition; skip rather
+                    // than panic so the builder stays total.
+                    continue;
+                };
                 let target = match index.get(&next) {
                     Some(&existing) => existing,
                     None => {
-                        if states.len() >= options.max_states {
-                            return Err(PetriError::StateBudgetExceeded {
-                                budget: options.max_states,
-                            });
+                        if !meter.take_state() {
+                            break 'explore;
                         }
                         let new_id = StateId::from_index(states.len());
                         states.push(next.clone());
@@ -227,7 +272,7 @@ impl<L: Label> PetriNet<L> {
             frontier += 1;
         }
 
-        Ok(ReachabilityGraph {
+        meter.finish(ReachabilityGraph {
             states,
             edges,
             index,

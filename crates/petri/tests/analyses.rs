@@ -9,8 +9,8 @@
 use cpn_petri::invariant::covered_by_p_semiflows;
 use cpn_petri::{
     commoner_live, dead_transitions_rg, dead_transitions_structural_mg, mg_live_structural,
-    mg_place_bounds, mg_safe_structural, CoverabilityOutcome, CoverabilityTree, PetriNet, PlaceId,
-    ReachabilityOptions,
+    mg_place_bounds, mg_safe_structural, Budget, CoverabilityOutcome, CoverabilityTree, PetriNet,
+    PlaceId, ReachabilityOptions,
 };
 use cpn_testkit::{
     check, prop_assert, prop_assert_eq, prop_assume, u32_in, usize_in, vec_of, NetStrategy,
@@ -50,7 +50,9 @@ fn coverability_bound_matches_reachability() {
         &raw_net(),
         |raw| {
             let net = raw.build_indexed();
-            let Ok(tree) = CoverabilityTree::build(&net, 40_000) else {
+            let Some(tree) =
+                CoverabilityTree::build_bounded(&net, &Budget::states(40_000)).complete()
+            else {
                 return Ok(()); // budget: skip pathological instances
             };
             match tree.outcome() {
@@ -81,7 +83,8 @@ fn semiflow_cover_implies_km_bounded() {
         let Some(true) = covered_by_p_semiflows(&net, 5_000) else {
             return Ok(());
         };
-        let tree = CoverabilityTree::build(&net, 100_000)
+        let tree = CoverabilityTree::build_bounded(&net, &Budget::states(100_000))
+            .complete()
             .expect("covered nets have finite coverability sets");
         prop_assert!(tree.is_bounded());
         Ok(())

@@ -32,10 +32,15 @@
 //! # }
 //! ```
 
+pub mod fault;
 pub mod monitor;
 pub mod simulator;
 pub mod stg_sim;
 
+pub use fault::{
+    detector_sensitivity, judge_mg_net, judge_stg, Detection, Fault, FaultClass, FaultPlan,
+    SensitivityReport,
+};
 pub use monitor::{monitor_composition, FailureObservation};
 pub use simulator::{RunReport, Simulator};
 pub use stg_sim::{RuntimeViolation, StgRunReport, StgSimulator};

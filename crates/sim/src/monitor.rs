@@ -40,6 +40,11 @@ struct Obligation<L: Label> {
 /// Returns the first failure observed, or `None` if the walk finished
 /// (or deadlocked) without seeing one. `None` is **not** a proof of
 /// receptiveness — use the exhaustive check for that.
+///
+/// # Panics
+///
+/// Panics if the composition itself cannot be built (degenerate
+/// operand nets).
 pub fn monitor_composition<L: Label>(
     n1: &PetriNet<L>,
     n2: &PetriNet<L>,
@@ -49,7 +54,10 @@ pub fn monitor_composition<L: Label>(
     steps: usize,
 ) -> Option<FailureObservation<L>> {
     let sync: BTreeSet<L> = n1.alphabet().intersection(n2.alphabet()).cloned().collect();
-    let comp = parallel_tracked(n1, n2, &sync);
+    let comp = match parallel_tracked(n1, n2, &sync) {
+        Ok(comp) => comp,
+        Err(e) => panic!("monitored composition construction: {e}"),
+    };
 
     // Group obligations as the static check does.
     let mut obligations: Vec<Obligation<L>> = Vec::new();
@@ -108,10 +116,10 @@ pub fn monitor_composition<L: Label>(
             return None;
         }
         let t = enabled[rng.gen_range(0..enabled.len())];
-        marking = comp
-            .net
-            .fire(&marking, t)
-            .expect("enabled transition fires");
+        let Ok(next) = comp.net.fire(&marking, t) else {
+            return None;
+        };
+        marking = next;
         if let Some(f) = check(&marking, step) {
             return Some(f);
         }

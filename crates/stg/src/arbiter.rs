@@ -12,7 +12,7 @@
 //! critical section, and by composition with client models.
 
 use crate::signal::{Edge, SignalDir};
-use crate::stg::Stg;
+use crate::stg::{Stg, StgError};
 use cpn_petri::PlaceId;
 
 /// Builds the two-user arbiter STG.
@@ -31,6 +31,13 @@ pub fn arbiter() -> Stg {
 /// Panics if `n == 0`.
 pub fn arbiter_n(n: usize) -> Stg {
     assert!(n > 0, "an arbiter needs at least one client");
+    match try_arbiter_n(n) {
+        Ok(stg) => stg,
+        Err(e) => panic!("arbiter model construction: {e}"),
+    }
+}
+
+fn try_arbiter_n(n: usize) -> Result<Stg, StgError> {
     let mut stg = Stg::new();
     let mutex = stg.add_place("mutex");
     stg.set_initial(mutex, 1);
@@ -42,22 +49,29 @@ pub fn arbiter_n(n: usize) -> Stg {
         let granted = stg.add_place(format!("granted{i}"));
         let done = stg.add_place(format!("done{i}"));
         stg.set_initial(idle, 1);
-        stg.add_signal_transition([idle], (r.clone(), Edge::Rise), [req])
-            .expect("arbiter");
+        stg.add_signal_transition([idle], (r.clone(), Edge::Rise), [req])?;
         // The grant consumes the shared mutex: the non-free-choice core.
-        stg.add_signal_transition([req, mutex], (g.clone(), Edge::Rise), [granted])
-            .expect("arbiter");
-        stg.add_signal_transition([granted], (r, Edge::Fall), [done])
-            .expect("arbiter");
-        stg.add_signal_transition([done], (g, Edge::Fall), [idle, mutex])
-            .expect("arbiter");
+        stg.add_signal_transition([req, mutex], (g.clone(), Edge::Rise), [granted])?;
+        stg.add_signal_transition([granted], (r, Edge::Fall), [done])?;
+        stg.add_signal_transition([done], (g, Edge::Fall), [idle, mutex])?;
     }
-    stg
+    Ok(stg)
 }
 
 /// A client of the arbiter: raises its request, waits for the grant,
 /// uses the resource (`use{i}~` toward its own environment), releases.
+///
+/// # Panics
+///
+/// Panics on a model-construction bug (cannot occur).
 pub fn client(i: usize) -> Stg {
+    match try_client(i) {
+        Ok(stg) => stg,
+        Err(e) => panic!("client model construction: {e}"),
+    }
+}
+
+fn try_client(i: usize) -> Result<Stg, StgError> {
     let mut stg = Stg::new();
     let r = stg.add_signal(format!("r{i}"), SignalDir::Output);
     let g = stg.add_signal(format!("g{i}"), SignalDir::Input);
@@ -68,17 +82,12 @@ pub fn client(i: usize) -> Stg {
     let p3 = stg.add_place("p3");
     let p4 = stg.add_place("p4");
     stg.set_initial(p0, 1);
-    stg.add_signal_transition([p0], (r.clone(), Edge::Rise), [p1])
-        .expect("client");
-    stg.add_signal_transition([p1], (g.clone(), Edge::Rise), [p2])
-        .expect("client");
-    stg.add_signal_transition([p2], (use_sig, Edge::Toggle), [p3])
-        .expect("client");
-    stg.add_signal_transition([p3], (r, Edge::Fall), [p4])
-        .expect("client");
-    stg.add_signal_transition([p4], (g, Edge::Fall), [p0])
-        .expect("client");
-    stg
+    stg.add_signal_transition([p0], (r.clone(), Edge::Rise), [p1])?;
+    stg.add_signal_transition([p1], (g.clone(), Edge::Rise), [p2])?;
+    stg.add_signal_transition([p2], (use_sig, Edge::Toggle), [p3])?;
+    stg.add_signal_transition([p3], (r, Edge::Fall), [p4])?;
+    stg.add_signal_transition([p4], (g, Edge::Fall), [p0])?;
+    Ok(stg)
 }
 
 /// The critical-section place set of the arbiter: `granted{i}`,
@@ -95,6 +104,7 @@ pub fn critical_section_places(stg: &Stg) -> Vec<PlaceId> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use cpn_petri::{semiflows_p, NetClass, ReachabilityOptions};

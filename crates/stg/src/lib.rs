@@ -48,6 +48,10 @@
 //! # }
 //! ```
 
+// The STG layer sits on user-facing verification paths: its public API
+// must degrade via typed errors, never panic (tests are exempt).
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 pub mod arbiter;
 pub mod logic;
 pub mod protocol;

@@ -304,6 +304,7 @@ pub fn derive_logic_from_stg(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

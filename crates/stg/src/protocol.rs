@@ -30,7 +30,7 @@
 //! machinery).
 
 use crate::signal::{Edge, Signal, SignalDir};
-use crate::stg::{Guard, Stg};
+use crate::stg::{Guard, Stg, StgError};
 use cpn_petri::PlaceId;
 
 /// Table 1(a): sender command → the two wires that rise.
@@ -64,7 +64,13 @@ fn declare_wires(stg: &mut Stg, names: &[&str], dir: SignalDir) -> Vec<Signal> {
 
 /// One sender command branch (Figure 5b/c): toggle, both wires rise,
 /// `n+`, both wires fall, `n-`, back to idle.
-fn sender_branch(stg: &mut Stg, idle: PlaceId, cmd: &str, wa: &str, wb: &str) {
+fn sender_branch(
+    stg: &mut Stg,
+    idle: PlaceId,
+    cmd: &str,
+    wa: &str,
+    wb: &str,
+) -> Result<(), StgError> {
     let cmd_sig = Signal::new(cmd);
     let wa = Signal::new(wa);
     let wb = Signal::new(wb);
@@ -77,20 +83,14 @@ fn sender_branch(stg: &mut Stg, idle: PlaceId, cmd: &str, wa: &str, wb: &str) {
     let db = stg.add_place(format!("{cmd}.db"));
     let la = stg.add_place(format!("{cmd}.la"));
     let lb = stg.add_place(format!("{cmd}.lb"));
-    stg.add_signal_transition([idle], (cmd_sig, Edge::Toggle), [ua, ub])
-        .expect("sender branch");
-    stg.add_signal_transition([ua], (wa.clone(), Edge::Rise), [ha])
-        .expect("sender branch");
-    stg.add_signal_transition([ub], (wb.clone(), Edge::Rise), [hb])
-        .expect("sender branch");
-    stg.add_signal_transition([ha, hb], (n.clone(), Edge::Rise), [da, db])
-        .expect("sender branch");
-    stg.add_signal_transition([da], (wa, Edge::Fall), [la])
-        .expect("sender branch");
-    stg.add_signal_transition([db], (wb, Edge::Fall), [lb])
-        .expect("sender branch");
-    stg.add_signal_transition([la, lb], (n, Edge::Fall), [idle])
-        .expect("sender branch");
+    stg.add_signal_transition([idle], (cmd_sig, Edge::Toggle), [ua, ub])?;
+    stg.add_signal_transition([ua], (wa.clone(), Edge::Rise), [ha])?;
+    stg.add_signal_transition([ub], (wb.clone(), Edge::Rise), [hb])?;
+    stg.add_signal_transition([ha, hb], (n.clone(), Edge::Rise), [da, db])?;
+    stg.add_signal_transition([da], (wa, Edge::Fall), [la])?;
+    stg.add_signal_transition([db], (wb, Edge::Fall), [lb])?;
+    stg.add_signal_transition([la, lb], (n, Edge::Fall), [idle])?;
+    Ok(())
 }
 
 fn sender_shell() -> (Stg, PlaceId) {
@@ -106,12 +106,23 @@ fn sender_shell() -> (Stg, PlaceId) {
 }
 
 /// The sender of Figure 5: all four commands, correct 4-phase protocol.
+///
+/// # Panics
+///
+/// Panics on a model-construction bug (cannot occur).
 pub fn sender() -> Stg {
+    match try_sender() {
+        Ok(stg) => stg,
+        Err(e) => panic!("sender model construction: {e}"),
+    }
+}
+
+fn try_sender() -> Result<Stg, StgError> {
     let (mut stg, idle) = sender_shell();
     for (cmd, wa, wb) in SENDER_COMMANDS {
-        sender_branch(&mut stg, idle, cmd, wa, wb);
+        sender_branch(&mut stg, idle, cmd, wa, wb)?;
     }
-    stg
+    Ok(stg)
 }
 
 /// The **restricted** sender of Figure 9(a): `rec` is never issued. The
@@ -119,17 +130,31 @@ pub fn sender() -> Stg {
 /// them), which is what lets compositional synthesis prove the
 /// translator's `rec` handling dead.
 pub fn sender_restricted() -> Stg {
+    match try_sender_restricted() {
+        Ok(stg) => stg,
+        Err(e) => panic!("restricted sender model construction: {e}"),
+    }
+}
+
+fn try_sender_restricted() -> Result<Stg, StgError> {
     let (mut stg, idle) = sender_shell();
     for (cmd, wa, wb) in SENDER_COMMANDS.iter().skip(1) {
-        sender_branch(&mut stg, idle, cmd, wa, wb);
+        sender_branch(&mut stg, idle, cmd, wa, wb)?;
     }
-    stg
+    Ok(stg)
 }
 
 /// The **inconsistent** sender of Figure 8: the wires rise and fall
 /// without waiting for the `n+` acknowledge, violating the 4-phase
 /// protocol the translator assumes.
 pub fn sender_inconsistent() -> Stg {
+    match try_sender_inconsistent() {
+        Ok(stg) => stg,
+        Err(e) => panic!("inconsistent sender model construction: {e}"),
+    }
+}
+
+fn try_sender_inconsistent() -> Result<Stg, StgError> {
     let (mut stg, idle) = sender_shell();
     let n = Signal::new("n");
     for (cmd, wa, wb) in SENDER_COMMANDS {
@@ -143,22 +168,15 @@ pub fn sender_inconsistent() -> Stg {
         let la = stg.add_place(format!("{cmd}.la"));
         let lb = stg.add_place(format!("{cmd}.lb"));
         let w = stg.add_place(format!("{cmd}.w"));
-        stg.add_signal_transition([idle], (cmd_sig, Edge::Toggle), [ua, ub])
-            .expect("fig8 branch");
-        stg.add_signal_transition([ua], (wa.clone(), Edge::Rise), [ma])
-            .expect("fig8 branch");
-        stg.add_signal_transition([ma], (wa, Edge::Fall), [la])
-            .expect("fig8 branch");
-        stg.add_signal_transition([ub], (wb.clone(), Edge::Rise), [mb])
-            .expect("fig8 branch");
-        stg.add_signal_transition([mb], (wb, Edge::Fall), [lb])
-            .expect("fig8 branch");
-        stg.add_signal_transition([la, lb], (n.clone(), Edge::Rise), [w])
-            .expect("fig8 branch");
-        stg.add_signal_transition([w], (n.clone(), Edge::Fall), [idle])
-            .expect("fig8 branch");
+        stg.add_signal_transition([idle], (cmd_sig, Edge::Toggle), [ua, ub])?;
+        stg.add_signal_transition([ua], (wa.clone(), Edge::Rise), [ma])?;
+        stg.add_signal_transition([ma], (wa, Edge::Fall), [la])?;
+        stg.add_signal_transition([ub], (wb.clone(), Edge::Rise), [mb])?;
+        stg.add_signal_transition([mb], (wb, Edge::Fall), [lb])?;
+        stg.add_signal_transition([la, lb], (n.clone(), Edge::Rise), [w])?;
+        stg.add_signal_transition([w], (n.clone(), Edge::Fall), [idle])?;
     }
-    stg
+    Ok(stg)
 }
 
 /// A 4-phase two-wire transmission toward the receiver (used by the
@@ -179,7 +197,7 @@ fn xmit(
     exit: &[PlaceId],
     wp: &str,
     wq: &str,
-) {
+) -> Result<(), StgError> {
     let wp = Signal::new(wp);
     let wq = Signal::new(wq);
     let r = Signal::new("r");
@@ -191,21 +209,16 @@ fn xmit(
     let dq = stg.add_place(format!("{tag}.dq"));
     let lp = stg.add_place(format!("{tag}.lp"));
     let lq = stg.add_place(format!("{tag}.lq"));
-    stg.add_dummy([entry, link], [up, uq]).expect("xmit");
-    stg.add_signal_transition([up], (wp.clone(), Edge::Rise), [hp])
-        .expect("xmit");
-    stg.add_signal_transition([uq], (wq.clone(), Edge::Rise), [hq])
-        .expect("xmit");
-    stg.add_signal_transition([hp, hq], (r.clone(), Edge::Rise), [dp, dq])
-        .expect("xmit");
-    stg.add_signal_transition([dp], (wp, Edge::Fall), [lp])
-        .expect("xmit");
-    stg.add_signal_transition([dq], (wq, Edge::Fall), [lq])
-        .expect("xmit");
+    stg.add_dummy([entry, link], [up, uq])?;
+    stg.add_signal_transition([up], (wp.clone(), Edge::Rise), [hp])?;
+    stg.add_signal_transition([uq], (wq.clone(), Edge::Rise), [hq])?;
+    stg.add_signal_transition([hp, hq], (r.clone(), Edge::Rise), [dp, dq])?;
+    stg.add_signal_transition([dp], (wp, Edge::Fall), [lp])?;
+    stg.add_signal_transition([dq], (wq, Edge::Fall), [lq])?;
     let mut full_exit: Vec<PlaceId> = exit.to_vec();
     full_exit.push(link);
-    stg.add_signal_transition([lp, lq], (r, Edge::Fall), full_exit)
-        .expect("xmit");
+    stg.add_signal_transition([lp, lq], (r, Edge::Fall), full_exit)?;
+    Ok(())
 }
 
 /// The protocol translator of Figure 7.
@@ -214,6 +227,13 @@ fn xmit(
 /// between "ready" and the input wires), so the consistent system has no
 /// spurious receptiveness race.
 pub fn translator() -> Stg {
+    match try_translator() {
+        Ok(stg) => stg,
+        Err(e) => panic!("translator model construction: {e}"),
+    }
+}
+
+fn try_translator() -> Result<Stg, StgError> {
     let mut stg = Stg::new();
     declare_wires(&mut stg, &["a0", "a1", "b0", "b1"], SignalDir::Input);
     let data = stg.add_signal("DATA", SignalDir::Input);
@@ -237,21 +257,17 @@ pub fn translator() -> Stg {
     let init = stg.add_place("init");
     stg.set_initial(init, 1);
     let init_done = stg.add_place("init.done");
-    xmit(&mut stg, "init.start", link, init, &[init_done], "p0", "q0");
+    xmit(&mut stg, "init.start", link, init, &[init_done], "p0", "q0")?;
 
     // Detection: which wire of each group rises.
     let ga0 = stg.add_place("gA0");
     let ga1 = stg.add_place("gA1");
     let gb0 = stg.add_place("gB0");
     let gb1 = stg.add_place("gB1");
-    stg.add_signal_transition([wa], (Signal::new("a0"), Edge::Rise), [ga0])
-        .expect("translator");
-    stg.add_signal_transition([wa], (Signal::new("a1"), Edge::Rise), [ga1])
-        .expect("translator");
-    stg.add_signal_transition([wb], (Signal::new("b0"), Edge::Rise), [gb0])
-        .expect("translator");
-    stg.add_signal_transition([wb], (Signal::new("b1"), Edge::Rise), [gb1])
-        .expect("translator");
+    stg.add_signal_transition([wa], (Signal::new("a0"), Edge::Rise), [ga0])?;
+    stg.add_signal_transition([wa], (Signal::new("a1"), Edge::Rise), [ga1])?;
+    stg.add_signal_transition([wb], (Signal::new("b0"), Edge::Rise), [gb0])?;
+    stg.add_signal_transition([wb], (Signal::new("b1"), Edge::Rise), [gb1])?;
 
     // Command joins. The response is transmitted *before* the `n+`
     // acknowledge: delaying one's own output is always receptive, so the
@@ -260,19 +276,21 @@ pub fn translator() -> Stg {
     // re-arms the listening posts atomically with the sender's return to
     // idle (the transitions are fused in the composition), closing the
     // race window on the command wires.
-    let finish = |stg: &mut Stg, cmd: &str, cwa: &str, cwb: &str, pre_ack: PlaceId| {
+    let finish = |stg: &mut Stg,
+                  cmd: &str,
+                  cwa: &str,
+                  cwb: &str,
+                  pre_ack: PlaceId|
+     -> Result<(), StgError> {
         let fa = stg.add_place(format!("tr.{cmd}.fa"));
         let fb = stg.add_place(format!("tr.{cmd}.fb"));
         let la = stg.add_place(format!("tr.{cmd}.la"));
         let lb = stg.add_place(format!("tr.{cmd}.lb"));
-        stg.add_signal_transition([pre_ack], (Signal::new("n"), Edge::Rise), [fa, fb])
-            .expect("translator");
-        stg.add_signal_transition([fa], (Signal::new(cwa), Edge::Fall), [la])
-            .expect("translator");
-        stg.add_signal_transition([fb], (Signal::new(cwb), Edge::Fall), [lb])
-            .expect("translator");
-        stg.add_signal_transition([la, lb], (Signal::new("n"), Edge::Fall), [wa, wb])
-            .expect("translator");
+        stg.add_signal_transition([pre_ack], (Signal::new("n"), Edge::Rise), [fa, fb])?;
+        stg.add_signal_transition([fa], (Signal::new(cwa), Edge::Fall), [la])?;
+        stg.add_signal_transition([fb], (Signal::new(cwb), Edge::Fall), [lb])?;
+        stg.add_signal_transition([la, lb], (Signal::new("n"), Edge::Fall), [wa, wb])?;
+        Ok(())
     };
 
     for (cmd, cwa, cwb) in SENDER_COMMANDS {
@@ -284,24 +302,24 @@ pub fn translator() -> Stg {
             _ => unreachable!("table is total"),
         };
         let c0 = stg.add_place(format!("tr.{cmd}.c0"));
-        stg.add_dummy([g1, g2], [c0]).expect("translator");
+        stg.add_dummy([g1, g2], [c0])?;
 
         if cmd == "rec" {
             // Sample DATA/STROBE once stable, transmit the mapped
             // command, let the lines go unstable, then acknowledge.
             let s1 = stg.add_place("tr.rec.s1");
             let s2 = stg.add_place("tr.rec.s2");
-            stg.add_signal_transition([c0], (strobe.clone(), Edge::Stable), [s1])
-                .expect("translator");
-            stg.add_signal_transition([s1], (data.clone(), Edge::Stable), [s2])
-                .expect("translator");
+            stg.add_signal_transition([c0], (strobe.clone(), Edge::Stable), [s1])?;
+            stg.add_signal_transition([s1], (data.clone(), Edge::Stable), [s2])?;
             for ((sv, dv), out_cmd) in LINE_TABLE {
-                let (_, wp, wq) = RECEIVER_COMMANDS
-                    .iter()
-                    .find(|(c, _, _)| *c == out_cmd)
-                    .expect("table");
+                // LINE_TABLE values are RECEIVER_COMMANDS keys by
+                // construction.
+                let Some((_, wp, wq)) = RECEIVER_COMMANDS.iter().find(|(c, _, _)| *c == out_cmd)
+                else {
+                    continue;
+                };
                 let k0 = stg.add_place(format!("tr.rec.{out_cmd}.k0"));
-                let sel = stg.add_dummy([s2], [k0]).expect("translator");
+                let sel = stg.add_dummy([s2], [k0])?;
                 stg.set_guard(
                     sel,
                     Guard::new()
@@ -317,14 +335,12 @@ pub fn translator() -> Stg {
                     &[end],
                     wp,
                     wq,
-                );
+                )?;
                 let u1 = stg.add_place(format!("tr.rec.{out_cmd}.u1"));
                 let pre_ack = stg.add_place(format!("tr.rec.{out_cmd}.pre_ack"));
-                stg.add_signal_transition([end], (strobe.clone(), Edge::Unstable), [u1])
-                    .expect("translator");
-                stg.add_signal_transition([u1], (data.clone(), Edge::Unstable), [pre_ack])
-                    .expect("translator");
-                finish(&mut stg, &format!("rec.{out_cmd}"), cwa, cwb, pre_ack);
+                stg.add_signal_transition([end], (strobe.clone(), Edge::Unstable), [u1])?;
+                stg.add_signal_transition([u1], (data.clone(), Edge::Unstable), [pre_ack])?;
+                finish(&mut stg, &format!("rec.{out_cmd}"), cwa, cwb, pre_ack)?;
             }
         } else {
             // reset → start, send0 → zero, send1 → one.
@@ -334,10 +350,9 @@ pub fn translator() -> Stg {
                 "send1" => "one",
                 _ => unreachable!("rec handled above"),
             };
-            let (_, wp, wq) = RECEIVER_COMMANDS
-                .iter()
-                .find(|(c, _, _)| *c == out_cmd)
-                .expect("table");
+            let Some((_, wp, wq)) = RECEIVER_COMMANDS.iter().find(|(c, _, _)| *c == out_cmd) else {
+                continue;
+            };
             let pre_ack = stg.add_place(format!("tr.{cmd}.pre_ack"));
             xmit(
                 &mut stg,
@@ -347,18 +362,25 @@ pub fn translator() -> Stg {
                 &[pre_ack],
                 wp,
                 wq,
-            );
-            finish(&mut stg, cmd, cwa, cwb, pre_ack);
+            )?;
+            finish(&mut stg, cmd, cwa, cwb, pre_ack)?;
         }
     }
 
-    stg
+    Ok(stg)
 }
 
 /// The receiver of Figure 6: detects the translator's two-wire code,
 /// emits the transition-signalling command toward the environment, and
 /// completes the 4-phase handshake on `r`.
 pub fn receiver() -> Stg {
+    match try_receiver() {
+        Ok(stg) => stg,
+        Err(e) => panic!("receiver model construction: {e}"),
+    }
+}
+
+fn try_receiver() -> Result<Stg, StgError> {
     let mut stg = Stg::new();
     declare_wires(&mut stg, &["p0", "p1", "q0", "q1"], SignalDir::Input);
     stg.add_signal("r", SignalDir::Output);
@@ -376,14 +398,10 @@ pub fn receiver() -> Stg {
     let gp1 = stg.add_place("gP1");
     let gq0 = stg.add_place("gQ0");
     let gq1 = stg.add_place("gQ1");
-    stg.add_signal_transition([wp], (Signal::new("p0"), Edge::Rise), [gp0])
-        .expect("receiver");
-    stg.add_signal_transition([wp], (Signal::new("p1"), Edge::Rise), [gp1])
-        .expect("receiver");
-    stg.add_signal_transition([wq], (Signal::new("q0"), Edge::Rise), [gq0])
-        .expect("receiver");
-    stg.add_signal_transition([wq], (Signal::new("q1"), Edge::Rise), [gq1])
-        .expect("receiver");
+    stg.add_signal_transition([wp], (Signal::new("p0"), Edge::Rise), [gp0])?;
+    stg.add_signal_transition([wp], (Signal::new("p1"), Edge::Rise), [gp1])?;
+    stg.add_signal_transition([wq], (Signal::new("q0"), Edge::Rise), [gq0])?;
+    stg.add_signal_transition([wq], (Signal::new("q1"), Edge::Rise), [gq1])?;
 
     for (cmd, cwp, cwq) in RECEIVER_COMMANDS {
         let (g1, g2) = match (cwp, cwq) {
@@ -398,22 +416,18 @@ pub fn receiver() -> Stg {
         let fq = stg.add_place(format!("rx.{cmd}.fq"));
         let lp = stg.add_place(format!("rx.{cmd}.lp"));
         let lq = stg.add_place(format!("rx.{cmd}.lq"));
-        stg.add_signal_transition([g1, g2], (Signal::new(cmd), Edge::Toggle), [c])
-            .expect("receiver");
-        stg.add_signal_transition([c], (r.clone(), Edge::Rise), [fp, fq])
-            .expect("receiver");
-        stg.add_signal_transition([fp], (Signal::new(cwp), Edge::Fall), [lp])
-            .expect("receiver");
-        stg.add_signal_transition([fq], (Signal::new(cwq), Edge::Fall), [lq])
-            .expect("receiver");
-        stg.add_signal_transition([lp, lq], (r.clone(), Edge::Fall), [wp, wq])
-            .expect("receiver");
+        stg.add_signal_transition([g1, g2], (Signal::new(cmd), Edge::Toggle), [c])?;
+        stg.add_signal_transition([c], (r.clone(), Edge::Rise), [fp, fq])?;
+        stg.add_signal_transition([fp], (Signal::new(cwp), Edge::Fall), [lp])?;
+        stg.add_signal_transition([fq], (Signal::new(cwq), Edge::Fall), [lq])?;
+        stg.add_signal_transition([lp, lq], (r.clone(), Edge::Fall), [wp, wq])?;
     }
 
-    stg
+    Ok(stg)
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::signal::StgLabel;
@@ -594,10 +608,7 @@ mod tests {
             .unwrap();
         let rx = receiver();
         let rx_reduced = rx
-            .prune_against(
-                &tr_reduced,
-                &ReachabilityOptions::with_max_states(2_000_000),
-            )
+            .prune_against(&tr_reduced, &ReachabilityOptions::default())
             .unwrap();
         assert!(
             rx_reduced.net().transition_count() < rx.net().transition_count(),

@@ -184,6 +184,7 @@ impl fmt::Display for StgLabel {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

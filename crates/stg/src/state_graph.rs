@@ -13,7 +13,7 @@
 
 use crate::signal::{Edge, Signal, SignalDir, StgLabel};
 use crate::stg::Stg;
-use cpn_petri::{Marking, TransitionId};
+use cpn_petri::{Bounded, Budget, Marking, Meter, TransitionId};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::error::Error;
 use std::fmt;
@@ -101,6 +101,24 @@ impl StateGraph {
         initial_values: &BTreeMap<Signal, bool>,
         budget: usize,
     ) -> Result<StateGraph, StateGraphError> {
+        match Self::build_bounded(stg, initial_values, &Budget::states(budget)) {
+            Bounded::Complete(sg) => Ok(sg),
+            Bounded::Exhausted { .. } => Err(StateGraphError::BudgetExceeded { budget }),
+        }
+    }
+
+    /// Budgeted state-graph construction, degrading gracefully.
+    ///
+    /// Where [`StateGraph::build`] hard-errors when the budget runs out,
+    /// this variant returns the *explored prefix* together with the
+    /// exhaustion statistics ([`Bounded::Exhausted`]). Consistency
+    /// violations recorded on the prefix are definite; their absence is
+    /// only conclusive when construction completed.
+    pub fn build_bounded(
+        stg: &Stg,
+        initial_values: &BTreeMap<Signal, bool>,
+        budget: &Budget,
+    ) -> Bounded<StateGraph> {
         let signals: Vec<Signal> = stg.signals().keys().cloned().collect();
         let dirs: Vec<SignalDir> = stg.signals().values().copied().collect();
         let index: BTreeMap<&Signal, usize> =
@@ -112,6 +130,9 @@ impl StateGraph {
             .collect();
         let m0 = stg.net().initial_marking();
 
+        let mut meter = Meter::new(budget);
+        // The initial state is always retained, budget permitting or not.
+        meter.take_state();
         let mut states: Vec<(Marking, Encoding)> = vec![(m0.clone(), enc0.clone())];
         let mut ids: HashMap<(Marking, Encoding), usize> = HashMap::new();
         ids.insert((m0, enc0), 0);
@@ -119,7 +140,7 @@ impl StateGraph {
         let mut violations = Vec::new();
 
         let mut frontier = 0usize;
-        while frontier < states.len() {
+        'explore: while frontier < states.len() {
             let (marking, encoding) = states[frontier].clone();
             for t in stg.net().enabled_transitions(&marking) {
                 let label = stg.net().transition(t).label().clone();
@@ -127,6 +148,9 @@ impl StateGraph {
                 let guard = stg.guard(t);
                 if !guard.eval(|s| index.get(s).map(|&i| encoding[i]).unwrap_or(false)) {
                     continue;
+                }
+                if !meter.take_transition() {
+                    break 'explore;
                 }
                 // Encoding update + consistency.
                 let mut next_enc = encoding.clone();
@@ -161,16 +185,16 @@ impl StateGraph {
                         Edge::Stable | Edge::Unstable | Edge::DontCare => {}
                     }
                 }
-                let next_marking = stg
-                    .net()
-                    .fire(&marking, t)
-                    .expect("enabled transition fires");
+                // `t` is enabled, so firing cannot fail.
+                let Ok(next_marking) = stg.net().fire(&marking, t) else {
+                    continue;
+                };
                 let key = (next_marking, next_enc);
                 let to = match ids.get(&key) {
                     Some(&i) => i,
                     None => {
-                        if states.len() >= budget {
-                            return Err(StateGraphError::BudgetExceeded { budget });
+                        if !meter.take_state() {
+                            break 'explore;
                         }
                         let i = states.len();
                         states.push(key.clone());
@@ -184,7 +208,7 @@ impl StateGraph {
             frontier += 1;
         }
 
-        Ok(StateGraph {
+        meter.finish(StateGraph {
             signals,
             dirs,
             states,
@@ -232,11 +256,10 @@ impl StateGraph {
         let mut excited = BTreeSet::new();
         for &(t, _) in &self.edges[i] {
             if let StgLabel::Signal(s, e) = stg.net().transition(t).label() {
-                let idx = self
-                    .signals
-                    .iter()
-                    .position(|x| x == s)
-                    .expect("signal declared");
+                // Every labeled signal is declared (enforced at insertion).
+                let Some(idx) = self.signals.iter().position(|x| x == s) else {
+                    continue;
+                };
                 if self.dirs[idx] != SignalDir::Input
                     && matches!(e, Edge::Rise | Edge::Fall | Edge::Toggle)
                 {
@@ -298,6 +321,7 @@ impl StateGraph {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::stg::Guard;

@@ -208,8 +208,10 @@ impl Stg {
     /// construction bug; use [`Stg::try_add_signal`] for fallible
     /// declaration).
     pub fn add_signal(&mut self, name: impl AsRef<str>, dir: SignalDir) -> Signal {
-        self.try_add_signal(name, dir)
-            .expect("conflicting signal declaration")
+        match self.try_add_signal(name, dir) {
+            Ok(sig) => sig,
+            Err(e) => panic!("conflicting signal declaration: {e}"),
+        }
     }
 
     /// Fallible signal declaration.
@@ -412,7 +414,7 @@ impl Stg {
             .filter(|l| !l.is_dummy())
             .cloned()
             .collect();
-        let comp = cpn_core::parallel_tracked(&self.net, &other.net, &shared);
+        let comp = cpn_core::parallel_tracked(&self.net, &other.net, &shared)?;
 
         // Guards: private transitions keep theirs; fused transitions get
         // the conjunction.
@@ -681,7 +683,7 @@ impl Stg {
             .filter(|l| !l.is_dummy())
             .cloned()
             .collect();
-        let comp = cpn_core::parallel_tracked(&self.net, &env.net, &shared);
+        let comp = cpn_core::parallel_tracked(&self.net, &env.net, &shared)?;
         let rg = comp.net.reachability(options)?;
         let mut fired = vec![false; comp.net.transition_count()];
         for (_, t, _) in rg.all_edges() {
@@ -779,7 +781,15 @@ impl Stg {
 
 /// Re-exported composition on bare nets for callers that manage signal
 /// bookkeeping themselves (the CIP layer).
-pub fn compose_nets(n1: &PetriNet<StgLabel>, n2: &PetriNet<StgLabel>) -> PetriNet<StgLabel> {
+///
+/// # Errors
+///
+/// Propagates [`PetriError`] from transition construction (impossible
+/// for well-formed operands).
+pub fn compose_nets(
+    n1: &PetriNet<StgLabel>,
+    n2: &PetriNet<StgLabel>,
+) -> Result<PetriNet<StgLabel>, PetriError> {
     let shared: BTreeSet<StgLabel> = n1
         .alphabet()
         .intersection(n2.alphabet())
@@ -790,6 +800,7 @@ pub fn compose_nets(n1: &PetriNet<StgLabel>, n2: &PetriNet<StgLabel>) -> PetriNe
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -1,0 +1,87 @@
+//! Domain generator: fault-injection picks.
+//!
+//! The fault *mutators* live in `cpn-sim::fault` (testkit cannot depend
+//! on the simulator without a cycle); what the property harness needs
+//! from this side is a shrinkable description of *which* fault to
+//! inject: a class index into the taxonomy and a derivation stream for
+//! the mutation's own randomness. Shrinking moves both toward zero, so
+//! minimized counterexamples name the first class and the first trial
+//! that still fail.
+
+use crate::gen::Strategy;
+use crate::rng::TestRng;
+
+/// A shrinkable fault pick: which taxonomy class, and which seeded
+/// trial of it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RawFault {
+    /// Index into the consumer's fault-class taxonomy.
+    pub class: usize,
+    /// Trial stream for the mutation's randomness.
+    pub trial: u64,
+}
+
+/// Generates [`RawFault`]s over a taxonomy of `classes` entries.
+#[derive(Clone, Debug)]
+pub struct FaultStrategy {
+    classes: usize,
+    max_trial: u64,
+}
+
+impl FaultStrategy {
+    /// Picks over `classes` fault classes and trials `0..max_trial`.
+    pub fn new(classes: usize, max_trial: u64) -> Self {
+        assert!(classes > 0 && max_trial > 0);
+        FaultStrategy { classes, max_trial }
+    }
+}
+
+impl Strategy for FaultStrategy {
+    type Value = RawFault;
+
+    fn generate(&self, rng: &mut TestRng) -> RawFault {
+        RawFault {
+            class: rng.below(self.classes),
+            trial: rng.below(self.max_trial as usize) as u64,
+        }
+    }
+
+    fn shrink(&self, value: &RawFault) -> Vec<RawFault> {
+        let mut out = Vec::new();
+        if value.class > 0 {
+            out.push(RawFault {
+                class: value.class - 1,
+                ..value.clone()
+            });
+        }
+        if value.trial > 0 {
+            out.push(RawFault {
+                trial: value.trial / 2,
+                ..value.clone()
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_in_range_and_shrinks_toward_zero() {
+        let s = FaultStrategy::new(8, 16);
+        let mut rng = TestRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let f = s.generate(&mut rng);
+            assert!(f.class < 8 && f.trial < 16);
+            for smaller in s.shrink(&f) {
+                assert!(
+                    smaller.class < f.class || smaller.trial < f.trial,
+                    "shrink must make progress"
+                );
+            }
+        }
+        assert!(s.shrink(&RawFault { class: 0, trial: 0 }).is_empty());
+    }
+}

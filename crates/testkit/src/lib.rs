@@ -16,7 +16,7 @@
 //!   [`prop_assert_eq!`] and [`prop_assume!`] macros. Failures shrink
 //!   greedily and panic with the minimized counterexample and a case
 //!   seed; `CPN_TESTKIT_SEED=<seed>` replays that exact case.
-//! * [`net_gen`] / [`stg_gen`] / [`cip_gen`] — domain generators for
+//! * [`net_gen`] / [`stg_gen`] / [`cip_gen`] / [`fault_gen`] — domain generators for
 //!   bounded Petri nets (safe or multiset-marked), strongly-connected
 //!   marked-graph rings (optionally live-safe), STGs and CIP modules.
 //! * [`bench`] (feature `bench`) — a `std::time::Instant` micro-bench
@@ -38,6 +38,7 @@
 
 #![warn(missing_docs)]
 
+pub mod fault_gen;
 pub mod gen;
 pub mod harness;
 pub mod net_gen;
@@ -50,6 +51,7 @@ pub mod cip_gen;
 #[cfg(feature = "bench")]
 pub mod bench;
 
+pub use fault_gen::{FaultStrategy, RawFault};
 pub use gen::{any_bool, just, u32_in, usize_in, vec_of, Strategy};
 pub use harness::{check, check_with, Config, PropFail, PropResult};
 pub use net_gen::{NetStrategy, RawNet, RawRing, RawTransition, RingStrategy};

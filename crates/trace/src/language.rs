@@ -1,6 +1,6 @@
 //! The [`Language`] type: a prefix-closed set of traces up to a depth.
 
-use cpn_petri::{Label, Marking, PetriNet};
+use cpn_petri::{Bounded, Budget, Label, Marking, Meter, PetriNet};
 use std::collections::BTreeSet;
 use std::error::Error;
 use std::fmt;
@@ -86,28 +86,50 @@ impl<L: Label> Language<L> {
     /// distinct `(trace, marking)` pairs are visited — a guard against
     /// exponential nets at large depths.
     pub fn from_net(net: &PetriNet<L>, depth: usize, budget: usize) -> Result<Self, TraceError> {
+        match Self::from_net_bounded(net, depth, &Budget::states(budget.saturating_sub(1))) {
+            Bounded::Complete(l) => Ok(l),
+            Bounded::Exhausted { .. } => Err(TraceError::BudgetExceeded { budget }),
+        }
+    }
+
+    /// Extracts `L(N)` up to `depth` under a [`Budget`], degrading
+    /// gracefully instead of erroring.
+    ///
+    /// The budget's state cap bounds distinct `(marking, trace)` pairs
+    /// beyond the initial one; its transition cap bounds firings. When a
+    /// cap is hit, enumeration stops and the prefix-closed language
+    /// collected so far is returned in [`Bounded::Exhausted`] — every
+    /// trace in it is a genuine trace of the net, but traces past the
+    /// stop point are missing.
+    pub fn from_net_bounded(net: &PetriNet<L>, depth: usize, budget: &Budget) -> Bounded<Self> {
+        let mut meter = Meter::new(budget);
         let mut traces: BTreeSet<Vec<L>> = BTreeSet::new();
         traces.insert(Vec::new());
 
         // Frontier of distinct (marking, trace) pairs at the current depth.
         let mut frontier: BTreeSet<(Marking, Vec<L>)> = BTreeSet::new();
         frontier.insert((net.initial_marking(), Vec::new()));
-        let mut visited = 1usize;
 
-        for _ in 0..depth {
+        'explore: for _ in 0..depth {
             let mut next: BTreeSet<(Marking, Vec<L>)> = BTreeSet::new();
             for (m, trace) in &frontier {
                 for t in net.enabled_transitions(m) {
-                    let m2 = net.fire(m, t).expect("enabled transition fires");
+                    if !meter.take_transition() {
+                        break 'explore;
+                    }
+                    let Ok(m2) = net.fire(m, t) else {
+                        continue; // enabled transitions always fire
+                    };
                     let mut t2 = trace.clone();
                     t2.push(net.transition(t).label().clone());
                     traces.insert(t2.clone());
-                    if next.insert((m2, t2)) {
-                        visited += 1;
-                        if visited > budget {
-                            return Err(TraceError::BudgetExceeded { budget });
-                        }
+                    if next.contains(&(m2.clone(), t2.clone())) {
+                        continue;
                     }
+                    if !meter.take_state() {
+                        break 'explore;
+                    }
+                    next.insert((m2, t2));
                 }
             }
             if next.is_empty() {
@@ -116,7 +138,7 @@ impl<L: Label> Language<L> {
             frontier = next;
         }
 
-        Ok(Language {
+        meter.finish(Language {
             alphabet: net.alphabet().clone(),
             traces,
             depth,

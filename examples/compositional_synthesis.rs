@@ -46,10 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // translator's internals form hidden cycles outside the contraction
     // class, so the derivation prunes dead transitions in place.
     let rx = receiver();
-    let rx_reduced = rx.prune_against(
-        &tr_reduced,
-        &ReachabilityOptions::with_max_states(2_000_000),
-    )?;
+    let rx_reduced = rx.prune_against(&tr_reduced, &ReachabilityOptions::default())?;
     println!(
         "\nreceiver (Fig 6): {} transitions; simplified receiver (Fig 9c): {} transitions",
         rx.net().transition_count(),

@@ -71,7 +71,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             stg.net().transition_count()
         );
     }
-    let opts = ReachabilityOptions::with_max_states(2_000_000);
+    let opts = ReachabilityOptions::default();
     let composed = sys.compose_all()?.remove_dead(&opts)?;
     let rg = composed.net().reachability(&opts)?;
     let analysis = composed.net().analysis(&rg);

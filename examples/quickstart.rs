@@ -27,7 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     consumer.set_initial(c, 1);
 
     // Parallel composition fuses the `sync` transitions (Def 4.7).
-    let composed = parallel(&producer, &consumer);
+    let composed = parallel(&producer, &consumer)?;
     println!("composed system:\n{composed}\n");
 
     // Hiding contracts the internal action away (Def 4.10) — no

@@ -66,7 +66,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "  covered by P-semiflows: {:?}",
         covered_by_p_semiflows(&pump, 10_000)
     );
-    let tree = CoverabilityTree::build(&pump, 10_000)?;
+    let tree =
+        CoverabilityTree::build_bounded(&pump, &cpn::petri::Budget::states(10_000)).into_value();
     println!("  Karp–Miller: {:?}", tree.outcome());
 
     // 4. An unmarked cycle: the liveness witness is concrete.

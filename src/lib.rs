@@ -51,7 +51,7 @@
 //! right.add_transition([d], "report", [c])?;
 //! right.set_initial(c, 1);
 //!
-//! let system = hide_label(&parallel(&left, &right), &"sync", 1_000)?;
+//! let system = hide_label(&parallel(&left, &right)?, &"sync", 1_000)?;
 //! let lang = Language::from_net(&system, 4, 100_000)?;
 //! assert!(lang.contains(&["work", "report", "work"][..]));
 //! # Ok(())

@@ -162,7 +162,7 @@ fn cip_protocol_system_matches_signal_level_behaviour() {
 
 #[test]
 fn restricted_cip_never_exercises_rec_wires_pair() {
-    let opts = ReachabilityOptions::with_max_states(2_000_000);
+    let opts = ReachabilityOptions::default();
     let sys = protocol_cip_restricted()
         .unwrap()
         .expand(HandshakeProtocol::FourPhase)
@@ -237,7 +237,7 @@ fn four_stage_relay_pipeline_expands_and_verifies() {
 
 #[test]
 fn expanded_cip_verifies_receptive_end_to_end() {
-    let opts = ReachabilityOptions::with_max_states(2_000_000);
+    let opts = ReachabilityOptions::default();
     let sys = protocol_cip_restricted()
         .unwrap()
         .expand(HandshakeProtocol::FourPhase)

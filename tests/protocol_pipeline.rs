@@ -119,7 +119,7 @@ fn full_system_runs_the_whole_command_set() {
 
 #[test]
 fn fig8_detected_fig5_clean_with_full_system() {
-    let opts = ReachabilityOptions::with_max_states(2_000_000);
+    let opts = ReachabilityOptions::default();
     // Checking against translator ‖ receiver (the module's real
     // environment) rather than the translator alone.
     let env = translator().compose(&receiver()).unwrap();
@@ -140,7 +140,7 @@ fn fig9_reduction_chain_shrinks_state_spaces() {
         .unwrap();
     let rx = receiver();
     let rx_red = rx
-        .prune_against(&tr_red, &ReachabilityOptions::with_max_states(2_000_000))
+        .prune_against(&tr_red, &ReachabilityOptions::default())
         .unwrap();
 
     let states = |s: &cpn::stg::Stg| s.net().reachability(&opts).unwrap().state_count();

@@ -110,7 +110,8 @@ fn coverability_agrees_with_semiflow_certificates() {
             net.set_initial(cpn::petri::PlaceId::from_index(0), tokens);
             let covered = cpn::petri::invariant::covered_by_p_semiflows(&net, 10_000).unwrap();
             prop_assert!(covered);
-            let tree = CoverabilityTree::build(&net, 100_000).unwrap();
+            let tree = CoverabilityTree::build_bounded(&net, &cpn::petri::Budget::states(100_000))
+                .into_value();
             prop_assert_eq!(
                 tree.outcome(),
                 &CoverabilityOutcome::Bounded { bound: tokens }

@@ -1,0 +1,70 @@
+//! Exploration-kernel scaling sweep: legacy cloned-map explorer vs the
+//! compiled arena explorer vs the deterministic parallel BFS at 2 and 4
+//! threads, on the two workload families whose composed state spaces
+//! stress the kernel differently:
+//!
+//! * `sync_pipeline(k)` — linear net, exactly `2^k` composed states
+//!   (throughput / memory stress);
+//! * `handshake_ring(s)` — linear net, linear state count with long
+//!   BFS levels of width ~1 (parallel-overhead stress).
+//!
+//! Every timed closure re-asserts that all kernels report the same
+//! state count, so the sweep doubles as a smoke check of the
+//! bit-identity contract.
+
+use cpn_core::parallel;
+use cpn_petri::{Bounded, Budget, PetriNet};
+use cpn_testkit::bench::BenchGroup;
+
+fn compose_all(nets: &[PetriNet<String>]) -> PetriNet<String> {
+    let mut acc = nets[0].clone();
+    for n in &nets[1..] {
+        acc = parallel(&acc, n).unwrap();
+    }
+    acc
+}
+
+fn states_of(b: &Bounded<cpn_petri::ReachabilityGraph>) -> usize {
+    match b {
+        Bounded::Complete(rg) => rg.state_count(),
+        Bounded::Exhausted { partial, .. } => partial.state_count(),
+    }
+}
+
+fn sweep(group: &mut BenchGroup, family: &str, net: &PetriNet<String>, expect_states: usize) {
+    let budget = Budget::states(expect_states + 1);
+    group.bench(format!("{family}/legacy"), || {
+        let rg = net.reachability_bounded_legacy(&budget);
+        assert_eq!(states_of(&rg), expect_states);
+    });
+    group.bench(format!("{family}/compiled"), || {
+        let rg = net.reachability_bounded(&budget);
+        assert_eq!(states_of(&rg), expect_states);
+    });
+    for threads in [2usize, 4] {
+        group.bench(format!("{family}/parallel-{threads}"), || {
+            let rg = net.reachability_bounded_parallel(&budget, threads);
+            assert_eq!(states_of(&rg), expect_states);
+        });
+    }
+}
+
+fn main() {
+    let full = std::env::var("CPN_BENCH_FULL").is_ok_and(|v| v == "1");
+    let mut group = BenchGroup::new("explore_kernel");
+    // Quick mode keeps the sweep in CI-friendly territory (~4k states);
+    // full mode reaches the 2^17-state acceptance point and beyond.
+    let pipeline_ks: &[usize] = if full { &[12, 17, 20] } else { &[8, 12] };
+    for &k in pipeline_ks {
+        let net = compose_all(&cpn_bench::sync_pipeline(k));
+        sweep(&mut group, &format!("sync_pipeline/{k}"), &net, 1 << k);
+    }
+    let ring_stages: &[usize] = if full { &[64, 512] } else { &[16, 64] };
+    for &s in ring_stages {
+        let (p, c, _, _) = cpn_bench::handshake_ring(s, 0);
+        let net = parallel(&p, &c).unwrap();
+        let expect = states_of(&net.reachability_bounded(&Budget::states(1 << 22)));
+        sweep(&mut group, &format!("handshake_ring/{s}"), &net, expect);
+    }
+    group.finish();
+}

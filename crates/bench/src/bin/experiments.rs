@@ -6,6 +6,13 @@
 //! fig8, fig9, expansion, abl1, abl2, props, ext1, faults}; no argument
 //! runs everything. `faults` honours `--quick` (2 trials per class
 //! instead of 8) for CI smoke runs.
+//!
+//! `bench` (never part of the default set) sweeps the exploration
+//! kernels over the `sync_pipeline`/`handshake_ring` families and, with
+//! `--json`, writes the machine-readable `BENCH_explore.json` (states
+//! per second per kernel, resident marking bytes, thread scaling) that
+//! CI uploads as an artifact. `--quick` shrinks the sweep for smoke
+//! runs; the default reaches the 2^20-state acceptance workload.
 
 use cpn_bench::{cycle_net, fig2_left, fig2_right, handshake_ring, tau_chain};
 use cpn_cip::protocol::{protocol_cip, protocol_cip_restricted};
@@ -487,10 +494,161 @@ fn faults(quick: bool) {
     );
 }
 
+/// One timed kernel run of the `bench` sweep.
+struct KernelRun {
+    kernel: &'static str,
+    threads: usize,
+    seconds: f64,
+    states_per_sec: f64,
+    resident_marking_bytes: usize,
+}
+
+fn time_kernel(
+    kernel: &'static str,
+    threads: usize,
+    states: usize,
+    run: impl FnOnce() -> cpn_petri::Bounded<cpn_petri::ReachabilityGraph>,
+) -> KernelRun {
+    let t0 = Instant::now();
+    let rg = run().into_value();
+    let seconds = t0.elapsed().as_secs_f64();
+    assert_eq!(rg.state_count(), states, "{kernel} state count");
+    KernelRun {
+        kernel,
+        threads,
+        seconds,
+        states_per_sec: states as f64 / seconds,
+        resident_marking_bytes: rg.resident_marking_bytes(),
+    }
+}
+
+/// Modeled per-state marking bytes of the legacy cloned-map explorer:
+/// one `Marking` (24-byte `Vec` header + 4 bytes per place) in the state
+/// vector, a second clone as the `HashMap` key, plus ~32 bytes of table
+/// bucket overhead per entry.
+fn legacy_marking_model(places: usize, states: usize) -> usize {
+    states * (2 * (24 + 4 * places) + 32)
+}
+
+fn bench_explore(quick: bool, json: bool) {
+    header(
+        "BENCH",
+        "exploration kernel sweep (legacy / compiled / parallel)",
+    );
+    let compose_all = |nets: &[PetriNet<String>]| {
+        let mut acc = nets[0].clone();
+        for n in &nets[1..] {
+            acc = parallel(&acc, n).unwrap();
+        }
+        acc
+    };
+    let pipeline_ks: &[usize] = if quick { &[12, 14] } else { &[17, 20] };
+    let ring_stages: &[usize] = if quick { &[64] } else { &[512] };
+    let mut nets: Vec<(String, usize, PetriNet<String>)> = Vec::new();
+    for &k in pipeline_ks {
+        let net = compose_all(&cpn_bench::sync_pipeline(k));
+        nets.push((format!("sync_pipeline/{k}"), 1 << k, net));
+    }
+    for &s in ring_stages {
+        let (p, c, _, _) = handshake_ring(s, 0);
+        let net = parallel(&p, &c).unwrap();
+        let states = net
+            .reachability_bounded(&cpn_petri::Budget::states(1 << 22))
+            .into_value()
+            .state_count();
+        nets.push((format!("handshake_ring/{s}"), states, net));
+    }
+
+    let mut rows = Vec::new();
+    for (family, states, net) in &nets {
+        let budget = cpn_petri::Budget::states(states + 1);
+        let runs = vec![
+            time_kernel("legacy", 1, *states, || {
+                net.reachability_bounded_legacy(&budget)
+            }),
+            time_kernel("compiled", 1, *states, || net.reachability_bounded(&budget)),
+            time_kernel("parallel", 2, *states, || {
+                net.reachability_bounded_parallel(&budget, 2)
+            }),
+            time_kernel("parallel", 4, *states, || {
+                net.reachability_bounded_parallel(&budget, 4)
+            }),
+        ];
+        let legacy_rate = runs[0].states_per_sec;
+        let legacy_bytes = legacy_marking_model(net.place_count(), *states);
+        let arena_bytes = runs[1].resident_marking_bytes;
+        let drop_pct = 100.0 * (1.0 - arena_bytes as f64 / legacy_bytes as f64);
+        println!("{family}: {states} states, {} places", net.place_count());
+        for r in &runs {
+            println!(
+                "  {:<10} x{} {:>10.0} states/s ({:.2}x legacy)  markings {:>12} B",
+                r.kernel,
+                r.threads,
+                r.states_per_sec,
+                r.states_per_sec / legacy_rate,
+                r.resident_marking_bytes
+            );
+        }
+        println!(
+            "  marking memory: arena {arena_bytes} B vs modeled legacy {legacy_bytes} B \
+             -> {drop_pct:.1}% drop"
+        );
+        rows.push((family.clone(), *states, net.place_count(), runs, drop_pct));
+    }
+
+    if json {
+        let mut out = String::from("{\n  \"bench\": \"explore_kernel\",\n");
+        out.push_str(&format!(
+            "  \"mode\": \"{}\",\n",
+            if quick { "quick" } else { "full" }
+        ));
+        out.push_str(
+            "  \"legacy_marking_model\": \
+             \"per_state = 2*(24 + 4*places) + 32 (state vector + cloned HashMap key + bucket)\",\n",
+        );
+        out.push_str("  \"workloads\": [\n");
+        for (i, (family, states, places, runs, drop_pct)) in rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\n      \"family\": \"{family}\",\n      \"states\": {states},\n      \
+                 \"places\": {places},\n      \"legacy_marking_bytes_modeled\": {},\n      \
+                 \"resident_marking_bytes\": {},\n      \
+                 \"marking_memory_drop_pct\": {drop_pct:.1},\n      \"kernels\": [\n",
+                legacy_marking_model(*places, *states),
+                runs[1].resident_marking_bytes,
+            ));
+            for (j, r) in runs.iter().enumerate() {
+                out.push_str(&format!(
+                    "        {{\"kernel\": \"{}\", \"threads\": {}, \"seconds\": {:.4}, \
+                     \"states_per_sec\": {:.0}, \"speedup_vs_legacy\": {:.3}}}{}\n",
+                    r.kernel,
+                    r.threads,
+                    r.seconds,
+                    r.states_per_sec,
+                    r.states_per_sec / runs[0].states_per_sec,
+                    if j + 1 < runs.len() { "," } else { "" }
+                ));
+            }
+            out.push_str(&format!(
+                "      ]\n    }}{}\n",
+                if i + 1 < rows.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        std::fs::write("BENCH_explore.json", &out).expect("write BENCH_explore.json");
+        println!("wrote BENCH_explore.json");
+    }
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     args.retain(|a| a != "--quick");
+    let json = args.iter().any(|a| a == "--json");
+    args.retain(|a| a != "--json");
+    if args.iter().any(|a| a == "bench") {
+        bench_explore(quick, json);
+        return;
+    }
     let run = |id: &str| args.is_empty() || args.iter().any(|a| a == id);
     if run("fig1") {
         fig1();

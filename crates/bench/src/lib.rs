@@ -4,8 +4,10 @@
 //! Every figure/table of the paper is regenerated from these builders;
 //! the scaling sweeps (`cycle_net`, `handshake_ring`, `tau_chain`,
 //! `sync_pipeline`) extend the constructions to parametric families so
-//! Criterion can expose the complexity claims (net-level algebra vs
-//! state-space products, structural vs exhaustive receptiveness).
+//! the in-tree `BenchGroup` harness (`cpn_testkit::bench`) can expose
+//! the complexity claims (net-level algebra vs state-space products,
+//! structural vs exhaustive receptiveness, interpreted vs compiled
+//! exploration).
 
 use cpn_petri::{PetriNet, PlaceId};
 use std::collections::BTreeSet;

@@ -274,6 +274,11 @@ pub fn hide_labels_bounded<L: Label>(
     let mut current = net.clone();
     for l in labels {
         loop {
+            // Contraction renumbers transitions and may *duplicate* ones
+            // that carry `l` themselves (a successor of the contracted
+            // transition can be another `l`-transition), so every round
+            // re-scans from the first match — a resume cursor would skip
+            // late-inserted duplicates.
             let Some(t) = current.transitions_with_label(l).next() else {
                 current.undeclare_label(l);
                 break;

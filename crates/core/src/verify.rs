@@ -253,14 +253,16 @@ pub fn check_receptiveness_composed_bounded<L: Label>(
     let mut failures = Vec::new();
     for ob in obligations(comp, left_outputs, right_outputs) {
         let witness = rg.state_ids().find_map(|s| {
-            let m = rg.marking(s);
-            let producer_ready = ob.producer_pre.iter().all(|&p| m.tokens(p) > 0);
+            // Scan the raw arena row; materialize a `Marking` only for
+            // the (rare) witness itself.
+            let m = rg.marking_slice(s);
+            let producer_ready = ob.producer_pre.iter().all(|&p| m[p.index()] > 0);
             let some_consumer_ready = ob
                 .consumer_pres
                 .iter()
-                .any(|cpre| cpre.iter().all(|&p| m.tokens(p) > 0));
+                .any(|cpre| cpre.iter().all(|&p| m[p.index()] > 0));
             if producer_ready && !some_consumer_ready {
-                Some(m.clone())
+                Some(rg.marking(s))
             } else {
                 None
             }

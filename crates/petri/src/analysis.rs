@@ -142,6 +142,7 @@ impl<L: Label> PetriNet<L> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::reachability::ReachabilityOptions;

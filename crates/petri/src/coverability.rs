@@ -7,10 +7,11 @@
 //! unboundedness witness.
 
 use crate::budget::{Bounded, Budget, Meter};
+use crate::compiled::OMEGA;
 use crate::error::PetriError;
 use crate::label::Label;
-use crate::net::{PetriNet, PlaceId, TransitionId};
-use std::collections::HashMap;
+use crate::net::{PetriNet, PlaceId};
+use crate::store::MarkingStore;
 
 /// Token count in an ω-marking: a finite count or ω (arbitrarily many).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -19,34 +20,6 @@ pub enum Tokens {
     Finite(u32),
     /// The ω symbol: this place can hold arbitrarily many tokens.
     Omega,
-}
-
-impl Tokens {
-    fn is_positive(self) -> bool {
-        match self {
-            Tokens::Finite(n) => n > 0,
-            Tokens::Omega => true,
-        }
-    }
-
-    fn saturating_add(self, d: i64) -> Tokens {
-        match self {
-            Tokens::Omega => Tokens::Omega,
-            Tokens::Finite(n) => {
-                let v = i64::from(n) + d;
-                debug_assert!(v >= 0, "firing made a count negative");
-                Tokens::Finite(u32::try_from(v.max(0)).unwrap_or(u32::MAX))
-            }
-        }
-    }
-
-    fn covers(self, other: Tokens) -> bool {
-        match (self, other) {
-            (Tokens::Omega, _) => true,
-            (Tokens::Finite(_), Tokens::Omega) => false,
-            (Tokens::Finite(a), Tokens::Finite(b)) => a >= b,
-        }
-    }
 }
 
 /// An ω-marking: a marking extended with ω components.
@@ -108,69 +81,85 @@ impl CoverabilityTree {
         budget: &Budget,
     ) -> Bounded<CoverabilityTree> {
         let mut meter = Meter::new(budget);
-        let m0: OmegaMarking = net
-            .initial_marking()
-            .as_slice()
-            .iter()
-            .map(|&n| Tokens::Finite(n))
-            .collect();
+        let compiled = net.compile();
+        let transitions = compiled.transition_count() as u32;
 
-        // Tree nodes carry a parent pointer for the acceleration check.
-        struct Node {
-            marking: OmegaMarking,
-            parent: Option<usize>,
-        }
-        let mut nodes: Vec<Node> = vec![Node {
-            marking: m0.clone(),
-            parent: None,
-        }];
-        let mut seen: HashMap<OmegaMarking, usize> = HashMap::new();
-        seen.insert(m0, 0);
+        // ω-markings live in the interned arena with the sentinel
+        // encoding of `compiled`: ω is [`OMEGA`], finite counts clamp at
+        // `OMEGA - 1` (see `CompiledNet::fire_omega_into`). Under that
+        // encoding "x covers y" is a plain elementwise `x >= y`, so the
+        // tree needs no boxed `Tokens` rows until it is materialized for
+        // the public [`markings`](Self::markings) accessor.
+        let mut store = MarkingStore::new(compiled.place_count());
+        let interned = store.intern(net.initial_marking().as_slice());
+        debug_assert_eq!(interned, (0, true));
+        // Parent pointers drive the acceleration check; `u32::MAX` marks
+        // the root.
+        let mut parent: Vec<u32> = vec![u32::MAX];
         // The root node always exists, even under a zero budget.
         meter.take_state();
 
-        let mut work = vec![0usize];
+        let mut next: Vec<u32> = Vec::with_capacity(store.stride());
+        let mut work = vec![0u32];
         'explore: while let Some(cur) = work.pop() {
-            let marking = nodes[cur].marking.clone();
-            for t in net.transition_ids() {
+            for t in 0..transitions {
                 if !meter.take_transition() {
                     break 'explore;
                 }
-                let Some(mut next) = fire_omega(net, &marking, t) else {
+                if !compiled.is_enabled(store.get(cur as usize), t) {
                     continue;
-                };
+                }
+                compiled.fire_omega_into(store.get(cur as usize), t, &mut next);
                 // Acceleration: if next strictly covers an ancestor, set
                 // the strictly-larger components to ω.
-                let mut anc = Some(cur);
-                while let Some(i) = anc {
-                    let a = &nodes[i].marking;
-                    if covers_all(&next, a) && next != *a {
-                        for (slot, old) in next.iter_mut().zip(a.iter()) {
-                            if !old.covers(*slot) {
+                let mut anc = cur;
+                loop {
+                    let a = store.get(anc as usize);
+                    if next.iter().zip(a).all(|(&x, &y)| x >= y) && next.as_slice() != a {
+                        for (slot, &old) in next.iter_mut().zip(a) {
+                            if *slot > old {
                                 // strictly larger here
-                                *slot = Tokens::Omega;
+                                *slot = OMEGA;
                             }
                         }
                     }
-                    anc = nodes[i].parent;
+                    let up = parent[anc as usize];
+                    if up == u32::MAX {
+                        break;
+                    }
+                    anc = up;
                 }
-                if seen.contains_key(&next) {
+                let hash = MarkingStore::hash_slice(&next);
+                if store.find_hashed(&next, hash).is_some() {
                     continue;
                 }
                 if !meter.take_state() {
                     break 'explore;
                 }
-                let id = nodes.len();
-                seen.insert(next.clone(), id);
-                nodes.push(Node {
-                    marking: next,
-                    parent: Some(cur),
-                });
+                let Ok(id) = store.insert_new_hashed(&next, hash) else {
+                    // The 32-bit id space is exhausted; hand back the
+                    // prefix explored so far.
+                    break 'explore;
+                };
+                parent.push(cur);
                 work.push(id);
             }
         }
 
-        let markings: Vec<OmegaMarking> = nodes.into_iter().map(|n| n.marking).collect();
+        let markings: Vec<OmegaMarking> = store
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .map(|&w| {
+                        if w == OMEGA {
+                            Tokens::Omega
+                        } else {
+                            Tokens::Finite(w)
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
         let mut witnesses: Vec<PlaceId> = Vec::new();
         for p in net.place_ids() {
             if markings.iter().any(|m| m[p.index()] == Tokens::Omega) {
@@ -231,34 +220,8 @@ impl CoverabilityTree {
     }
 }
 
-fn covers_all(a: &OmegaMarking, b: &OmegaMarking) -> bool {
-    a.iter().zip(b.iter()).all(|(x, y)| x.covers(*y))
-}
-
-fn fire_omega<L: Label>(
-    net: &PetriNet<L>,
-    m: &OmegaMarking,
-    t: TransitionId,
-) -> Option<OmegaMarking> {
-    let tr = net.transition(t);
-    if !tr.preset().iter().all(|p| m[p.index()].is_positive()) {
-        return None;
-    }
-    let mut next = m.clone();
-    for p in tr.preset() {
-        if !tr.postset().contains(p) {
-            next[p.index()] = next[p.index()].saturating_add(-1);
-        }
-    }
-    for q in tr.postset() {
-        if !tr.preset().contains(q) {
-            next[q.index()] = next[q.index()].saturating_add(1);
-        }
-    }
-    Some(next)
-}
-
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

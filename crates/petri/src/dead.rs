@@ -128,6 +128,7 @@ pub fn remove_dead<L: Label>(net: &PetriNet<L>, dead: &BTreeSet<TransitionId>) -
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::reachability::ReachabilityOptions;

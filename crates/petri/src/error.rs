@@ -36,6 +36,28 @@ pub enum PetriError {
     /// Two nets passed to a binary operator violated a precondition
     /// (described by the message).
     Precondition(String),
+    /// A token count would overflow `u32` at the given place.
+    TokenOverflow {
+        /// The place whose count overflowed.
+        place: u32,
+    },
+    /// A token removal from a place holding too few tokens.
+    TokenUnderflow {
+        /// The place whose count would go negative.
+        place: u32,
+    },
+    /// Two markings defined over different place counts were combined.
+    MarkingLengthMismatch {
+        /// Place count of the left-hand marking.
+        left: usize,
+        /// Place count of the right-hand marking.
+        right: usize,
+    },
+    /// An arena index exceeded the 32-bit id space.
+    IndexOverflow {
+        /// The offending index.
+        index: usize,
+    },
 }
 
 impl fmt::Display for PetriError {
@@ -64,6 +86,18 @@ impl fmt::Display for PetriError {
                 )
             }
             PetriError::Precondition(msg) => write!(f, "precondition violated: {msg}"),
+            PetriError::TokenOverflow { place } => {
+                write!(f, "token count overflow at place {place}")
+            }
+            PetriError::TokenUnderflow { place } => {
+                write!(f, "token count underflow at place {place}")
+            }
+            PetriError::MarkingLengthMismatch { left, right } => {
+                write!(f, "markings over different nets ({left} vs {right} places)")
+            }
+            PetriError::IndexOverflow { index } => {
+                write!(f, "index {index} overflows the 32-bit id space")
+            }
         }
     }
 }
@@ -71,6 +105,7 @@ impl fmt::Display for PetriError {
 impl Error for PetriError {}
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 
@@ -82,6 +117,12 @@ mod tests {
         assert!(e.to_string().contains("witness place 1"));
         let e = PetriError::StateBudgetExceeded { budget: 10 };
         assert!(e.to_string().contains("10"));
+        let e = PetriError::TokenUnderflow { place: 4 };
+        assert!(e.to_string().contains("underflow at place 4"));
+        let e = PetriError::MarkingLengthMismatch { left: 2, right: 3 };
+        assert!(e.to_string().contains("2 vs 3"));
+        let e = PetriError::IndexOverflow { index: 9 };
+        assert!(e.to_string().contains("9"));
     }
 
     #[test]

@@ -130,8 +130,10 @@ impl DiGraph {
                     }
                     if low[u] == index[u] {
                         let mut comp = Vec::new();
-                        loop {
-                            let w = stack.pop().expect("tarjan stack invariant");
+                        // The stack holds `u` below everything pushed
+                        // after it, so the pop loop always terminates at
+                        // `u` before the stack empties.
+                        while let Some(w) = stack.pop() {
                             on_stack[w] = false;
                             comp.push(w);
                             if w == u {
@@ -272,6 +274,7 @@ pub fn solve_difference_constraints(n: usize, constraints: &[DiffConstraint]) ->
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -210,6 +210,7 @@ pub fn covered_by_p_semiflows<L: Label>(net: &PetriNet<L>, row_budget: usize) ->
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -18,7 +18,12 @@
 //! * [`budget`] — exploration [`Budget`]s, the [`Bounded`] partial-result
 //!   wrapper and the tri-state [`Verdict`] of budgeted checkers.
 //! * [`marking`] — multiset [`Marking`]s and the firing rule (Def 2.2).
-//! * [`reachability`] — explicit reachability graphs with state budgets.
+//! * [`store`] — the interned flat-arena [`MarkingStore`] with its
+//!   open-addressing hash index (the exploration kernel's state storage).
+//! * [`compiled`] — the CSR-compiled firing rule ([`CompiledNet`]) with
+//!   place→consumer candidate generation.
+//! * [`reachability`] — explicit reachability graphs with state budgets,
+//!   sequential or deterministically parallel.
 //! * [`coverability`] — Karp–Miller style boundedness detection.
 //! * [`analysis`] — liveness, safety, k-boundedness, deadlock, reversibility.
 //! * [`structural`] — net-class recognition (state machine, marked graph,
@@ -50,8 +55,11 @@
 //! # }
 //! ```
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 pub mod analysis;
 pub mod budget;
+pub mod compiled;
 pub mod coverability;
 pub mod dead;
 pub mod error;
@@ -63,6 +71,7 @@ pub mod mg;
 pub mod net;
 pub mod reachability;
 pub mod siphon;
+pub mod store;
 pub mod structural;
 
 pub use analysis::{Analysis, LivenessLevel};
@@ -70,6 +79,7 @@ pub use budget::{
     Bounded, Budget, Exhausted, Meter, Resource, Verdict, DEFAULT_MAX_STATES,
     DEFAULT_MAX_TRANSITIONS,
 };
+pub use compiled::{CandidateScratch, CompiledNet, OMEGA};
 pub use coverability::{CoverabilityOutcome, CoverabilityTree};
 pub use dead::{dead_transitions_rg, dead_transitions_structural_mg, remove_dead};
 pub use error::PetriError;
@@ -80,4 +90,5 @@ pub use mg::{mg_live_structural, mg_place_bounds, mg_safe_structural, token_free
 pub use net::{PetriNet, Place, PlaceId, Transition, TransitionId};
 pub use reachability::{ReachabilityGraph, ReachabilityOptions, StateId};
 pub use siphon::{commoner_live, is_siphon, is_trap, max_siphon_in, max_trap_in, minimal_siphons};
+pub use store::MarkingStore;
 pub use structural::{NetClass, StructuralReport};

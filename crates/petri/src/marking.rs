@@ -5,6 +5,7 @@
 //! places may hold any number of tokens, so a marking is a dense vector of
 //! token counts indexed by [`PlaceId`].
 
+use crate::error::PetriError;
 use crate::net::PlaceId;
 use std::fmt;
 
@@ -70,23 +71,38 @@ impl Marking {
 
     /// Adds `delta` tokens to place `p`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `p` is out of range or the count overflows `u32`.
-    pub fn add(&mut self, p: PlaceId, delta: u32) {
-        let slot = &mut self.0[p.index()];
-        *slot = slot.checked_add(delta).expect("token count overflow");
+    /// Returns [`PetriError::UnknownPlace`] if `p` is out of range and
+    /// [`PetriError::TokenOverflow`] if the count would overflow `u32`;
+    /// the marking is unchanged on error.
+    pub fn add(&mut self, p: PlaceId, delta: u32) -> Result<(), PetriError> {
+        let slot = self
+            .0
+            .get_mut(p.index())
+            .ok_or(PetriError::UnknownPlace(p.index() as u32))?;
+        *slot = slot.checked_add(delta).ok_or(PetriError::TokenOverflow {
+            place: p.index() as u32,
+        })?;
+        Ok(())
     }
 
     /// Removes `delta` tokens from place `p`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `p` is out of range or the place holds fewer than `delta`
-    /// tokens.
-    pub fn remove(&mut self, p: PlaceId, delta: u32) {
-        let slot = &mut self.0[p.index()];
-        *slot = slot.checked_sub(delta).expect("token count underflow");
+    /// Returns [`PetriError::UnknownPlace`] if `p` is out of range and
+    /// [`PetriError::TokenUnderflow`] if the place holds fewer than
+    /// `delta` tokens; the marking is unchanged on error.
+    pub fn remove(&mut self, p: PlaceId, delta: u32) -> Result<(), PetriError> {
+        let slot = self
+            .0
+            .get_mut(p.index())
+            .ok_or(PetriError::UnknownPlace(p.index() as u32))?;
+        *slot = slot.checked_sub(delta).ok_or(PetriError::TokenUnderflow {
+            place: p.index() as u32,
+        })?;
+        Ok(())
     }
 
     /// Total number of tokens in the marking.
@@ -107,20 +123,34 @@ impl Marking {
 
     /// Whether `self` covers `other`: `self(p) ≥ other(p)` for all places.
     ///
-    /// # Panics
-    ///
-    /// Panics if the markings are defined over different place counts.
+    /// Markings over different place counts never cover each other (they
+    /// belong to different nets); use [`Marking::try_covers`] to surface
+    /// that mismatch as an error instead.
     pub fn covers(&self, other: &Marking) -> bool {
-        assert_eq!(self.len(), other.len(), "markings over different nets");
-        self.0.iter().zip(&other.0).all(|(a, b)| a >= b)
+        self.len() == other.len() && self.0.iter().zip(&other.0).all(|(a, b)| a >= b)
+    }
+
+    /// [`Marking::covers`] with the length precondition made explicit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PetriError::MarkingLengthMismatch`] when the markings
+    /// are defined over different place counts.
+    pub fn try_covers(&self, other: &Marking) -> Result<bool, PetriError> {
+        if self.len() != other.len() {
+            return Err(PetriError::MarkingLengthMismatch {
+                left: self.len(),
+                right: other.len(),
+            });
+        }
+        Ok(self.covers(other))
     }
 
     /// Whether `self` strictly covers `other` (covers it and is larger in
     /// at least one place).
     ///
-    /// # Panics
-    ///
-    /// Panics if the markings are defined over different place counts.
+    /// Like [`Marking::covers`], markings over different place counts
+    /// never strictly cover each other.
     pub fn strictly_covers(&self, other: &Marking) -> bool {
         self.covers(other) && self.0 != other.0
     }
@@ -173,6 +203,7 @@ impl fmt::Display for Marking {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 
@@ -193,17 +224,33 @@ mod tests {
     fn set_add_remove_roundtrip() {
         let mut m = Marking::empty(3);
         m.set(pid(1), 2);
-        m.add(pid(1), 3);
-        m.remove(pid(1), 4);
+        m.add(pid(1), 3).unwrap();
+        m.remove(pid(1), 4).unwrap();
         assert_eq!(m.tokens(pid(1)), 1);
         assert_eq!(m.total(), 1);
     }
 
     #[test]
-    #[should_panic(expected = "underflow")]
-    fn remove_from_empty_place_panics() {
+    fn remove_from_empty_place_is_underflow_error() {
         let mut m = Marking::empty(1);
-        m.remove(pid(0), 1);
+        assert_eq!(
+            m.remove(pid(0), 1),
+            Err(PetriError::TokenUnderflow { place: 0 })
+        );
+        assert_eq!(m.tokens(pid(0)), 0, "marking unchanged on error");
+    }
+
+    #[test]
+    fn add_overflow_and_unknown_place_are_errors() {
+        let mut m = Marking::empty(1);
+        m.set(pid(0), u32::MAX);
+        assert_eq!(
+            m.add(pid(0), 1),
+            Err(PetriError::TokenOverflow { place: 0 })
+        );
+        assert_eq!(m.tokens(pid(0)), u32::MAX);
+        assert_eq!(m.add(pid(3), 1), Err(PetriError::UnknownPlace(3)));
+        assert_eq!(m.remove(pid(3), 1), Err(PetriError::UnknownPlace(3)));
     }
 
     #[test]
@@ -215,6 +262,20 @@ mod tests {
         assert!(!b.covers(&a));
         assert!(a.covers(&a));
         assert!(!a.strictly_covers(&a));
+    }
+
+    #[test]
+    fn covers_across_lengths_is_false_and_try_covers_errors() {
+        let a = Marking::from_counts(vec![1, 1]);
+        let b = Marking::from_counts(vec![1, 1, 0]);
+        assert!(!a.covers(&b));
+        assert!(!b.covers(&a));
+        assert!(!a.strictly_covers(&b));
+        assert_eq!(
+            a.try_covers(&b),
+            Err(PetriError::MarkingLengthMismatch { left: 2, right: 3 })
+        );
+        assert_eq!(a.try_covers(&a), Ok(true));
     }
 
     #[test]

@@ -24,9 +24,30 @@ impl PlaceId {
 
     /// Builds a `PlaceId` from an arena index.
     ///
+    /// # Errors
+    ///
+    /// Returns [`PetriError::IndexOverflow`] when the index does not fit
+    /// the 32-bit id space.
+    pub fn try_from_index(i: usize) -> Result<Self, PetriError> {
+        match u32::try_from(i) {
+            Ok(v) => Ok(PlaceId(v)),
+            Err(_) => Err(PetriError::IndexOverflow { index: i }),
+        }
+    }
+
+    /// Builds a `PlaceId` from an arena index.
+    ///
     /// Only meaningful for indices obtained from the same net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index exceeds the 32-bit id space; use
+    /// [`PlaceId::try_from_index`] where the index is untrusted.
     pub fn from_index(i: usize) -> Self {
-        PlaceId(u32::try_from(i).expect("place index overflow"))
+        match Self::try_from_index(i) {
+            Ok(p) => p,
+            Err(e) => panic!("{e}"),
+        }
     }
 }
 
@@ -53,8 +74,29 @@ impl TransitionId {
     }
 
     /// Builds a `TransitionId` from an arena index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PetriError::IndexOverflow`] when the index does not fit
+    /// the 32-bit id space.
+    pub fn try_from_index(i: usize) -> Result<Self, PetriError> {
+        match u32::try_from(i) {
+            Ok(v) => Ok(TransitionId(v)),
+            Err(_) => Err(PetriError::IndexOverflow { index: i }),
+        }
+    }
+
+    /// Builds a `TransitionId` from an arena index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index exceeds the 32-bit id space; use
+    /// [`TransitionId::try_from_index`] where the index is untrusted.
     pub fn from_index(i: usize) -> Self {
-        TransitionId(u32::try_from(i).expect("transition index overflow"))
+        match Self::try_from_index(i) {
+            Ok(t) => t,
+            Err(e) => panic!("{e}"),
+        }
     }
 }
 
@@ -378,10 +420,10 @@ impl<L: Label> PetriNet<L> {
         let tr = &self.transitions[t.index()];
         let mut next = m.clone();
         for &p in tr.preset.difference(&tr.postset) {
-            next.remove(p, 1);
+            next.remove(p, 1)?;
         }
         for &q in tr.postset.difference(&tr.preset) {
-            next.add(q, 1);
+            next.add(q, 1)?;
         }
         Ok(next)
     }
@@ -442,10 +484,14 @@ impl<L: Label> PetriNet<L> {
             }
         }
         for (_, t) in self.transitions() {
-            let pre = t.preset().iter().map(|p| map[p]);
-            let post = t.postset().iter().map(|p| map[p]);
-            net.add_transition(pre, t.label().clone(), post)
-                .expect("remapped transition is valid");
+            // Remapped ids are valid by construction (every adjacent place
+            // is `used`), so the transition can be pushed directly.
+            net.alphabet.insert(t.label().clone());
+            net.transitions.push(Transition {
+                preset: t.preset().iter().map(|p| map[p]).collect(),
+                label: t.label().clone(),
+                postset: t.postset().iter().map(|p| map[p]).collect(),
+            });
         }
         (net, map)
     }
@@ -559,6 +605,7 @@ impl<L: Label> fmt::Display for PetriNet<L> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

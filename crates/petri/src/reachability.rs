@@ -1,19 +1,43 @@
-//! Explicit reachability graphs.
+//! Explicit reachability graphs (exploration kernel v2).
 //!
 //! The reachability graph `RG(N)` (Section 2.1 of the paper) is the
 //! transitive closure of the next-state relation: nodes are reachable
 //! markings, edges are labeled by the transition fired. The kernel builds
 //! it breadth-first under a configurable state budget so that analyses
 //! never silently diverge on unbounded nets.
+//!
+//! Three layers make the build fast:
+//!
+//! 1. [`MarkingStore`] — every discovered marking is interned once into a
+//!    flat arena; the open-addressing index stores only `(hash, id)`
+//!    pairs, so there is no per-state allocation and no duplicate key
+//!    storage.
+//! 2. [`CompiledNet`](crate::compiled::CompiledNet) — the firing rule in
+//!    CSR form with a place → consumers adjacency, so each state only
+//!    re-tests transitions whose preset touches a marked place instead of
+//!    scanning all of `transition_ids()`.
+//! 3. An opt-in deterministic parallel BFS
+//!    ([`ReachabilityOptions::threads`]) that shards markings by content
+//!    hash across `std::thread` workers and renumbers the result into
+//!    canonical BFS order, so the graph is **bit-identical for every
+//!    thread count** (and to the sequential explorer).
+//!
+//! The pre-arena explorer survives as
+//! [`PetriNet::reachability_bounded_legacy`], the reference
+//! implementation the equivalence property suite differentiates against.
 
 use crate::budget::{Bounded, Budget, Meter};
+use crate::compiled::{CandidateScratch, CompiledNet};
 use crate::error::PetriError;
 use crate::graph::DiGraph;
 use crate::label::Label;
 use crate::marking::Marking;
 use crate::net::{PetriNet, TransitionId};
+use crate::store::MarkingStore;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Barrier, Mutex};
 
 /// Identifier of a state (reachable marking) in a [`ReachabilityGraph`].
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -26,8 +50,30 @@ impl StateId {
     }
 
     /// Builds a `StateId` from an arena index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PetriError::IndexOverflow`] when the index does not fit
+    /// the 32-bit id space.
+    pub fn try_from_index(i: usize) -> Result<Self, PetriError> {
+        match u32::try_from(i) {
+            Ok(v) => Ok(StateId(v)),
+            Err(_) => Err(PetriError::IndexOverflow { index: i }),
+        }
+    }
+
+    /// Builds a `StateId` from an arena index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index exceeds the 32-bit id space; use
+    /// [`StateId::try_from_index`] on paths where the index is not known
+    /// to be in range.
     pub fn from_index(i: usize) -> Self {
-        StateId(u32::try_from(i).expect("state index overflow"))
+        match Self::try_from_index(i) {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
+        }
     }
 }
 
@@ -51,29 +97,45 @@ pub struct ReachabilityOptions {
     /// [`crate::budget::DEFAULT_MAX_STATES`], the workspace-wide state
     /// budget shared with [`Budget`].
     pub max_states: usize,
+    /// Number of exploration worker threads. `0` and `1` both mean
+    /// sequential; larger values opt into the sharded parallel BFS, whose
+    /// output is bit-identical to the sequential explorer's for every
+    /// thread count. Defaults to `1`.
+    pub threads: usize,
 }
 
 impl Default for ReachabilityOptions {
     fn default() -> Self {
         ReachabilityOptions {
             max_states: crate::budget::DEFAULT_MAX_STATES,
+            threads: 1,
         }
     }
 }
 
 impl ReachabilityOptions {
-    /// Options with an explicit state budget.
+    /// Options with an explicit state budget (sequential).
     pub fn with_max_states(max_states: usize) -> Self {
-        ReachabilityOptions { max_states }
+        ReachabilityOptions {
+            max_states,
+            threads: 1,
+        }
+    }
+
+    /// Returns the options with the worker-thread count replaced.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 }
 
 impl From<Budget> for ReachabilityOptions {
-    /// Projects a [`Budget`] onto the legacy options type (only the state
-    /// cap is representable).
+    /// Projects a [`Budget`] onto the options type (only the state cap is
+    /// representable; exploration stays sequential).
     fn from(b: Budget) -> Self {
         ReachabilityOptions {
             max_states: b.max_states,
+            threads: 1,
         }
     }
 }
@@ -86,6 +148,11 @@ impl From<&Budget> for ReachabilityOptions {
 
 /// The reachability graph of a net: every reachable marking plus the
 /// labeled next-state edges between them.
+///
+/// Markings live interned in a [`MarkingStore`] arena and edges in one
+/// CSR array, so the graph's resident size is dominated by
+/// `state_count × place_count` `u32`s rather than per-state heap
+/// allocations.
 ///
 /// # Example
 ///
@@ -108,24 +175,25 @@ impl From<&Budget> for ReachabilityOptions {
 /// ```
 #[derive(Clone, Debug)]
 pub struct ReachabilityGraph {
-    states: Vec<Marking>,
-    /// Outgoing edges per state: `(transition fired, successor)`.
-    edges: Vec<Vec<(TransitionId, StateId)>>,
-    /// Marking → state index, built once during exploration and kept so
-    /// analyses get O(1) lookups.
-    index: HashMap<Marking, StateId>,
+    store: MarkingStore,
+    /// All edges, grouped by source state (CSR payload).
+    edge_data: Vec<(TransitionId, StateId)>,
+    /// CSR offsets: edges of state `s` are
+    /// `edge_data[edge_off[s]..edge_off[s+1]]`.
+    edge_off: Vec<usize>,
     initial: StateId,
 }
 
 impl ReachabilityGraph {
     /// Number of reachable states.
     pub fn state_count(&self) -> usize {
-        self.states.len()
+        self.store.len()
     }
 
-    /// Total number of edges.
+    /// Total number of edges (O(1): the CSR payload length is cached by
+    /// construction).
     pub fn edge_count(&self) -> usize {
-        self.edges.iter().map(|e| e.len()).sum()
+        self.edge_data.len()
     }
 
     /// The state corresponding to the initial marking.
@@ -133,13 +201,25 @@ impl ReachabilityGraph {
         self.initial
     }
 
-    /// The marking of a state.
+    /// The marking of a state, materialized from the arena.
+    ///
+    /// For allocation-free access use [`ReachabilityGraph::marking_slice`].
     ///
     /// # Panics
     ///
     /// Panics if the id does not belong to this graph.
-    pub fn marking(&self, s: StateId) -> &Marking {
-        &self.states[s.index()]
+    pub fn marking(&self, s: StateId) -> Marking {
+        Marking::from_counts(self.store.get(s.index()).to_vec())
+    }
+
+    /// The raw per-place token counts of a state, borrowed straight from
+    /// the arena (no allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this graph.
+    pub fn marking_slice(&self, s: StateId) -> &[u32] {
+        self.store.get(s.index())
     }
 
     /// Outgoing edges of a state.
@@ -148,26 +228,27 @@ impl ReachabilityGraph {
     ///
     /// Panics if the id does not belong to this graph.
     pub fn edges(&self, s: StateId) -> &[(TransitionId, StateId)] {
-        &self.edges[s.index()]
+        &self.edge_data[self.edge_off[s.index()]..self.edge_off[s.index() + 1]]
     }
 
     /// Iterates over all state ids.
     pub fn state_ids(&self) -> impl Iterator<Item = StateId> {
-        (0..self.states.len()).map(StateId::from_index)
+        (0..self.store.len()).map(StateId::from_index)
     }
 
     /// Iterates over all edges as `(source, transition, target)`.
     pub fn all_edges(&self) -> impl Iterator<Item = (StateId, TransitionId, StateId)> + '_ {
-        self.edges.iter().enumerate().flat_map(|(i, outs)| {
-            outs.iter()
-                .map(move |&(t, to)| (StateId::from_index(i), t, to))
-        })
+        self.state_ids()
+            .flat_map(move |s| self.edges(s).iter().map(move |&(t, to)| (s, t, to)))
     }
 
-    /// Looks up the state with the given marking in O(1) via the index
-    /// built during exploration.
+    /// Looks up the state with the given marking in O(1) via the arena's
+    /// hash index.
     pub fn find_state(&self, m: &Marking) -> Option<StateId> {
-        self.index.get(m).copied()
+        if m.len() != self.store.stride() {
+            return None;
+        }
+        self.store.find(m.as_slice()).map(StateId)
     }
 
     /// The underlying directed graph over state indices (labels dropped).
@@ -182,23 +263,33 @@ impl ReachabilityGraph {
     /// States with no outgoing edges (deadlocks).
     pub fn deadlock_states(&self) -> Vec<StateId> {
         self.state_ids()
-            .filter(|s| self.edges[s.index()].is_empty())
+            .filter(|s| self.edge_off[s.index()] == self.edge_off[s.index() + 1])
             .collect()
     }
 
     /// The largest token count any place reaches in any state: the bound
     /// `k` for which the net is `k`-bounded (given a complete graph).
     pub fn token_bound(&self) -> u32 {
-        self.states
+        self.store
             .iter()
-            .map(Marking::max_tokens)
+            .flat_map(|m| m.iter().copied())
             .max()
             .unwrap_or(0)
+    }
+
+    /// Bytes resident in the marking arena and its hash index — the
+    /// counter reported as `peak_resident_marking_bytes` in
+    /// `BENCH_explore.json`.
+    pub fn resident_marking_bytes(&self) -> usize {
+        self.store.resident_bytes()
     }
 }
 
 impl<L: Label> PetriNet<L> {
     /// Builds the reachability graph of the net breadth-first.
+    ///
+    /// With `options.threads > 1` the sharded parallel explorer is used;
+    /// its result is bit-identical to the sequential one.
     ///
     /// # Errors
     ///
@@ -211,7 +302,13 @@ impl<L: Label> PetriNet<L> {
         &self,
         options: &ReachabilityOptions,
     ) -> Result<ReachabilityGraph, PetriError> {
-        match self.reachability_bounded(&Budget::states(options.max_states)) {
+        let budget = Budget::states(options.max_states);
+        let built = if options.threads > 1 {
+            self.reachability_bounded_parallel(&budget, options.threads)
+        } else {
+            self.reachability_bounded(&budget)
+        };
+        match built {
             Bounded::Complete(rg) => Ok(rg),
             Bounded::Exhausted { .. } => Err(PetriError::StateBudgetExceeded {
                 budget: options.max_states,
@@ -229,18 +326,53 @@ impl<L: Label> PetriNet<L> {
     /// genuinely reachable, but states on the unexpanded frontier may be
     /// missing outgoing edges.
     pub fn reachability_bounded(&self, budget: &Budget) -> Bounded<ReachabilityGraph> {
+        explore_compiled(&self.compile(), self.initial_marking().as_slice(), budget)
+    }
+
+    /// Builds the reachability graph with `threads` sharded workers.
+    ///
+    /// Marking ownership is decided by content hash, `Budget` accounting
+    /// runs over shared atomic counters, and a final canonical BFS-order
+    /// renumbering pass makes the result **bit-identical** to
+    /// [`PetriNet::reachability_bounded`] for every thread count. When
+    /// the budget is exhausted mid-flight, the partially explored shards
+    /// are discarded and the sequential explorer re-runs under the same
+    /// budget, so `Exhausted` prefixes and statistics are also identical.
+    pub fn reachability_bounded_parallel(
+        &self,
+        budget: &Budget,
+        threads: usize,
+    ) -> Bounded<ReachabilityGraph> {
+        let compiled = self.compile();
+        let m0 = self.initial_marking();
+        let threads = threads.clamp(1, 64);
+        if threads == 1 || budget.max_states < 2 {
+            return explore_compiled(&compiled, m0.as_slice(), budget);
+        }
+        match explore_parallel(&compiled, m0.as_slice(), budget, threads) {
+            Some(rg) => Bounded::Complete(rg),
+            // Budget hit: replay sequentially for a deterministic prefix.
+            None => explore_compiled(&compiled, m0.as_slice(), budget),
+        }
+    }
+
+    /// The pre-arena explorer (interpreted firing rule, `Vec<Marking>` +
+    /// `HashMap` double storage), kept as the reference implementation
+    /// for the kernel-equivalence property suite and the memory baseline
+    /// of the `explore_kernel` bench. Semantically identical to
+    /// [`PetriNet::reachability_bounded`], only slower and hungrier.
+    pub fn reachability_bounded_legacy(&self, budget: &Budget) -> Bounded<ReachabilityGraph> {
         let mut meter = Meter::new(budget);
         let initial = self.initial_marking();
         let mut states: Vec<Marking> = vec![initial.clone()];
         let mut index: HashMap<Marking, StateId> = HashMap::new();
-        index.insert(initial, StateId::from_index(0));
+        index.insert(initial, StateId(0));
         let mut edges: Vec<Vec<(TransitionId, StateId)>> = vec![Vec::new()];
         // The initial state always exists, even under a zero budget.
         meter.take_state();
 
         let mut frontier = 0usize;
         'explore: while frontier < states.len() {
-            let sid = StateId::from_index(frontier);
             let marking = states[frontier].clone();
             for t in self.transition_ids() {
                 if !self.is_enabled(&marking, t) {
@@ -267,21 +399,455 @@ impl<L: Label> PetriNet<L> {
                         new_id
                     }
                 };
-                edges[sid.index()].push((t, target));
+                edges[frontier].push((t, target));
             }
             frontier += 1;
         }
 
+        // Convert to the arena-backed representation (insertion order is
+        // already canonical BFS order).
+        let mut store = MarkingStore::with_capacity(self.place_count(), states.len());
+        for m in &states {
+            store.intern(m.as_slice());
+        }
+        let mut edge_off = Vec::with_capacity(states.len() + 1);
+        let mut edge_data = Vec::new();
+        edge_off.push(0);
+        for outs in &edges {
+            edge_data.extend_from_slice(outs);
+            edge_off.push(edge_data.len());
+        }
         meter.finish(ReachabilityGraph {
-            states,
-            edges,
-            index,
-            initial: StateId::from_index(0),
+            store,
+            edge_data,
+            edge_off,
+            initial: StateId(0),
         })
     }
 }
 
+// ----------------------------------------------------------------------
+// Sequential compiled explorer
+// ----------------------------------------------------------------------
+
+fn explore_compiled(
+    compiled: &CompiledNet,
+    m0: &[u32],
+    budget: &Budget,
+) -> Bounded<ReachabilityGraph> {
+    let mut meter = Meter::new(budget);
+    let stride = compiled.place_count();
+    let mut store = MarkingStore::new(stride);
+    store.intern(m0);
+    // The initial state always exists, even under a zero budget.
+    meter.take_state();
+
+    let mut edge_data: Vec<(TransitionId, StateId)> = Vec::new();
+    let mut edge_off: Vec<usize> = vec![0];
+    let mut cur: Vec<u32> = Vec::with_capacity(stride);
+    let mut cands: Vec<u32> = Vec::new();
+    let mut scratch = CandidateScratch::new(compiled.transition_count());
+
+    let mut frontier = 0usize;
+    'explore: while frontier < store.len() {
+        cur.clear();
+        cur.extend_from_slice(store.get(frontier));
+        let cur_hash = store.hash_of(frontier);
+        compiled.enabled_candidates(&cur, &mut scratch, &mut cands);
+        for &t in &cands {
+            if !compiled.is_enabled(&cur, t) {
+                continue;
+            }
+            if !meter.take_transition() {
+                break 'explore;
+            }
+            // Fire in place with a delta-updated hash, probe/insert the
+            // successor straight out of `cur`, then revert — no
+            // per-successor copy or full-stride rehash.
+            let hash = compiled.apply_hashed(&mut cur, cur_hash, t);
+            debug_assert_eq!(hash, MarkingStore::hash_slice(&cur));
+            let found = store.find_hashed(&cur, hash);
+            let target = match found {
+                Some(id) => id,
+                None => {
+                    if !meter.take_state() {
+                        compiled.unapply(&mut cur, t);
+                        break 'explore;
+                    }
+                    match store.insert_new_hashed(&cur, hash) {
+                        Ok(id) => id,
+                        Err(_) => {
+                            compiled.unapply(&mut cur, t);
+                            break 'explore;
+                        }
+                    }
+                }
+            };
+            compiled.unapply(&mut cur, t);
+            edge_data.push((TransitionId::from_index(t as usize), StateId(target)));
+        }
+        edge_off.push(edge_data.len());
+        frontier += 1;
+    }
+    // On early exit the offsets of unexpanded (and the partially
+    // expanded) states still need closing so the CSR stays well-formed.
+    while edge_off.len() <= store.len() {
+        edge_off.push(edge_data.len());
+    }
+
+    meter.finish(ReachabilityGraph {
+        store,
+        edge_data,
+        edge_off,
+        initial: StateId(0),
+    })
+}
+
+// ----------------------------------------------------------------------
+// Deterministic parallel BFS
+// ----------------------------------------------------------------------
+
+/// One worker's slice of the state space: the markings it owns (those
+/// whose hash shards to it) plus their outgoing edges as packed
+/// `(shard, local)` targets.
+struct ShardGraph {
+    store: MarkingStore,
+    /// Outgoing edges per local state: `(transition, packed target)`.
+    edges: Vec<Vec<(u32, u64)>>,
+}
+
+#[inline]
+fn pack(shard: usize, local: u32) -> u64 {
+    ((shard as u64) << 32) | u64::from(local)
+}
+
+#[inline]
+fn unpack(packed: u64) -> (usize, u32) {
+    ((packed >> 32) as usize, packed as u32)
+}
+
+/// Shard ownership: a pure function of the marking's content hash, so
+/// every worker routes a given marking to the same owner without
+/// coordination. Uses bits disjoint from the table-probe bits.
+#[inline]
+fn shard_of(hash: u64, shards: usize) -> usize {
+    ((hash >> 33) as usize) % shards
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// A reply mailbox cell: resolved `(src_local, transition,
+/// packed_target)` triples for one `(src, dst)` worker pair.
+type ReplyBox = Mutex<Vec<(u32, u32, u64)>>;
+
+/// Level-synchronous sharded BFS. Returns `Some(graph)` on complete
+/// exploration (already canonically renumbered), `None` when the budget
+/// ran out (the caller replays sequentially for a deterministic prefix).
+fn explore_parallel(
+    compiled: &CompiledNet,
+    m0: &[u32],
+    budget: &Budget,
+    threads: usize,
+) -> Option<ReachabilityGraph> {
+    let stride = compiled.place_count();
+    let h0 = MarkingStore::hash_slice(m0);
+    let owner0 = shard_of(h0, threads);
+
+    // Shared budget accounting: `fetch_add` tickets replicate
+    // `Meter::take_*` — a ticket below the cap is a successful take, at
+    // or above it trips the stop flag. On a completed run the number of
+    // successful takes equals the sequential meter's counts exactly.
+    let states_used = AtomicUsize::new(1); // the initial marking's take
+    let trans_used = AtomicUsize::new(0);
+    let stopped = AtomicBool::new(false);
+    // Next-level population, double-buffered by round parity so resets
+    // never race with increments.
+    let pending = [AtomicUsize::new(0), AtomicUsize::new(0)];
+    let barrier = Barrier::new(threads);
+
+    // Mailboxes. `firings[dst][src]` carries flat records
+    // `[src_local, transition, hash_lo, hash_hi, marking words…]` from
+    // src's expansion to the marking's owner dst (the hash rides along
+    // so the owner never rehashes); `replies[src][dst]` carries the
+    // resolved `(src_local, transition, packed_target)` back. Each cell
+    // has one writer and one reader per phase, separated by barriers.
+    let firings: Vec<Vec<Mutex<Vec<u32>>>> = (0..threads)
+        .map(|_| (0..threads).map(|_| Mutex::new(Vec::new())).collect())
+        .collect();
+    let replies: Vec<Vec<ReplyBox>> = (0..threads)
+        .map(|_| (0..threads).map(|_| Mutex::new(Vec::new())).collect())
+        .collect();
+
+    let mut shards: Vec<Option<ShardGraph>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for me in 0..threads {
+            let firings = &firings;
+            let replies = &replies;
+            let states_used = &states_used;
+            let trans_used = &trans_used;
+            let stopped = &stopped;
+            let pending = &pending;
+            let barrier = &barrier;
+            handles.push(scope.spawn(move || {
+                let mut shard = ShardGraph {
+                    store: MarkingStore::new(stride),
+                    edges: Vec::new(),
+                };
+                let mut level: Vec<u32> = Vec::new();
+                if me == owner0 {
+                    match shard.store.insert_new_hashed(m0, h0) {
+                        Ok(id) => {
+                            shard.edges.push(Vec::new());
+                            level.push(id);
+                        }
+                        Err(_) => stopped.store(true, Ordering::SeqCst),
+                    }
+                }
+                let mut next_level: Vec<u32> = Vec::new();
+                let mut cur: Vec<u32> = Vec::with_capacity(stride);
+                let mut cands: Vec<u32> = Vec::new();
+                let mut scratch = CandidateScratch::new(compiled.transition_count());
+                let mut out_firings: Vec<Vec<u32>> = vec![Vec::new(); threads];
+                let mut out_replies: Vec<Vec<(u32, u32, u64)>> = vec![Vec::new(); threads];
+                let mut round = 0usize;
+
+                loop {
+                    // Phase 1: expand the local frontier level.
+                    if !stopped.load(Ordering::SeqCst) {
+                        'states: for &local in &level {
+                            cur.clear();
+                            cur.extend_from_slice(shard.store.get(local as usize));
+                            let cur_hash = shard.store.hash_of(local as usize);
+                            compiled.enabled_candidates(&cur, &mut scratch, &mut cands);
+                            for &t in &cands {
+                                if !compiled.is_enabled(&cur, t) {
+                                    continue;
+                                }
+                                if trans_used.fetch_add(1, Ordering::SeqCst)
+                                    >= budget.max_transitions
+                                {
+                                    stopped.store(true, Ordering::SeqCst);
+                                    break 'states;
+                                }
+                                // Fire in place with a delta-updated hash
+                                // (see the sequential explorer); `cur` is
+                                // reloaded after a `break`, so unapply
+                                // only matters on the continue paths.
+                                let hash = compiled.apply_hashed(&mut cur, cur_hash, t);
+                                let dst = shard_of(hash, threads);
+                                if dst == me {
+                                    let target = match shard.store.find_hashed(&cur, hash) {
+                                        Some(id) => id,
+                                        None => {
+                                            if states_used.fetch_add(1, Ordering::SeqCst)
+                                                >= budget.max_states
+                                            {
+                                                stopped.store(true, Ordering::SeqCst);
+                                                break 'states;
+                                            }
+                                            let Ok(id) = shard.store.insert_new_hashed(&cur, hash)
+                                            else {
+                                                stopped.store(true, Ordering::SeqCst);
+                                                break 'states;
+                                            };
+                                            shard.edges.push(Vec::new());
+                                            next_level.push(id);
+                                            id
+                                        }
+                                    };
+                                    shard.edges[local as usize].push((t, pack(me, target)));
+                                } else {
+                                    // Record carries the already-computed
+                                    // hash so the owner never rehashes:
+                                    // `[src_local, t, hash_lo, hash_hi,
+                                    //   marking…]`.
+                                    let buf = &mut out_firings[dst];
+                                    buf.push(local);
+                                    buf.push(t);
+                                    buf.push(hash as u32);
+                                    buf.push((hash >> 32) as u32);
+                                    buf.extend_from_slice(&cur);
+                                }
+                                compiled.unapply(&mut cur, t);
+                            }
+                        }
+                    }
+                    for dst in 0..threads {
+                        if dst != me && !out_firings[dst].is_empty() {
+                            *lock(&firings[dst][me]) = std::mem::take(&mut out_firings[dst]);
+                        }
+                    }
+                    barrier.wait();
+
+                    // Phase 2: resolve firings arriving at markings this
+                    // shard owns; queue replies with the assigned ids.
+                    if !stopped.load(Ordering::SeqCst) {
+                        'drain: for src in 0..threads {
+                            if src == me {
+                                continue;
+                            }
+                            let buf = std::mem::take(&mut *lock(&firings[me][src]));
+                            let mut k = 0;
+                            while k < buf.len() {
+                                let src_local = buf[k];
+                                let t = buf[k + 1];
+                                let hash = u64::from(buf[k + 2]) | (u64::from(buf[k + 3]) << 32);
+                                let m = &buf[k + 4..k + 4 + stride];
+                                k += 4 + stride;
+                                let target = match shard.store.find_hashed(m, hash) {
+                                    Some(id) => id,
+                                    None => {
+                                        if states_used.fetch_add(1, Ordering::SeqCst)
+                                            >= budget.max_states
+                                        {
+                                            stopped.store(true, Ordering::SeqCst);
+                                            break 'drain;
+                                        }
+                                        let Ok(id) = shard.store.insert_new_hashed(m, hash) else {
+                                            stopped.store(true, Ordering::SeqCst);
+                                            break 'drain;
+                                        };
+                                        shard.edges.push(Vec::new());
+                                        next_level.push(id);
+                                        id
+                                    }
+                                };
+                                out_replies[src].push((src_local, t, pack(me, target)));
+                            }
+                        }
+                    }
+                    for src in 0..threads {
+                        if src != me && !out_replies[src].is_empty() {
+                            *lock(&replies[src][me]) = std::mem::take(&mut out_replies[src]);
+                        }
+                    }
+                    pending[(round + 1) % 2].store(0, Ordering::SeqCst);
+                    pending[round % 2].fetch_add(next_level.len(), Ordering::SeqCst);
+                    barrier.wait();
+
+                    // Phase 3: record edges from replies; agree on
+                    // termination (all stop-flag writes happened before
+                    // the barrier, so every worker reads the same state).
+                    for (dst, cell) in replies[me].iter().enumerate() {
+                        if dst != me {
+                            let buf = std::mem::take(&mut *lock(cell));
+                            for (src_local, t, packed) in buf {
+                                shard.edges[src_local as usize].push((t, packed));
+                            }
+                        }
+                    }
+                    let total_next = pending[round % 2].load(Ordering::SeqCst);
+                    let stop_now = stopped.load(Ordering::SeqCst);
+                    // Third barrier: every worker must read the verdict
+                    // before any worker can enter the next round and
+                    // write `stopped` again — otherwise a fast worker's
+                    // round-`r+1` budget trip could leak into a slow
+                    // worker's round-`r` read and the two would disagree
+                    // on the exit round, stranding one on the barrier.
+                    barrier.wait();
+                    level.clear();
+                    std::mem::swap(&mut level, &mut next_level);
+                    round += 1;
+                    if stop_now || total_next == 0 {
+                        break;
+                    }
+                }
+                shard
+            }));
+        }
+        for h in handles {
+            match h.join() {
+                Ok(shard) => shards.push(Some(shard)),
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+    });
+
+    if stopped.load(Ordering::SeqCst) {
+        return None;
+    }
+    let shards: Vec<ShardGraph> = shards.into_iter().flatten().collect();
+    Some(merge_shards(shards, owner0, stride))
+}
+
+/// Renumbers the sharded graph into canonical (sequential) BFS order.
+///
+/// Each state's edges are sorted by transition id — the order the
+/// sequential explorer emits them in, since candidates are examined
+/// ascending and each enabled transition fires exactly once per state —
+/// and the rebuilt id assignment follows the exact discovery recurrence
+/// of the sequential BFS. The output is therefore bit-identical to
+/// `explore_compiled` on the same net.
+fn merge_shards(mut shards: Vec<ShardGraph>, owner0: usize, stride: usize) -> ReachabilityGraph {
+    for shard in &mut shards {
+        for outs in &mut shard.edges {
+            outs.sort_unstable_by_key(|&(t, _)| t);
+        }
+    }
+    let total: usize = shards.iter().map(|s| s.store.len()).sum();
+    let mut new_id: Vec<Vec<u32>> = shards
+        .iter()
+        .map(|s| vec![u32::MAX; s.store.len()])
+        .collect();
+    let mut order: Vec<u64> = Vec::with_capacity(total);
+    order.push(pack(owner0, 0));
+    new_id[owner0][0] = 0;
+    let mut head = 0usize;
+    while head < order.len() {
+        let (sh, local) = unpack(order[head]);
+        head += 1;
+        for &(_, target) in &shards[sh].edges[local as usize] {
+            let (ts, tl) = unpack(target);
+            if new_id[ts][tl as usize] == u32::MAX {
+                new_id[ts][tl as usize] = order.len() as u32;
+                order.push(target);
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), total, "every discovered state is reachable");
+
+    let mut store = MarkingStore::with_capacity(stride, total);
+    let mut edge_data: Vec<(TransitionId, StateId)> = Vec::new();
+    let mut edge_off: Vec<usize> = Vec::with_capacity(total + 1);
+    edge_off.push(0);
+    for &packed in &order {
+        let (sh, local) = unpack(packed);
+        let src = &shards[sh];
+        if store
+            .insert_new_hashed(
+                src.store.get(local as usize),
+                src.store.hash_of(local as usize),
+            )
+            .is_err()
+        {
+            // Unreachable: `total` ids fit u32 by construction.
+            debug_assert!(false, "id overflow during merge");
+        }
+        for &(t, target) in &src.edges[local as usize] {
+            let (ts, tl) = unpack(target);
+            edge_data.push((
+                TransitionId::from_index(t as usize),
+                StateId(new_id[ts][tl as usize]),
+            ));
+        }
+        edge_off.push(edge_data.len());
+    }
+    ReachabilityGraph {
+        store,
+        edge_data,
+        edge_off,
+        initial: StateId(0),
+    }
+}
+
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 
@@ -302,6 +868,14 @@ mod tests {
         net
     }
 
+    fn graphs_identical(a: &ReachabilityGraph, b: &ReachabilityGraph) -> bool {
+        a.state_count() == b.state_count()
+            && a.edge_count() == b.edge_count()
+            && a.initial_state() == b.initial_state()
+            && a.state_ids()
+                .all(|s| a.marking_slice(s) == b.marking_slice(s) && a.edges(s) == b.edges(s))
+    }
+
     #[test]
     fn diamond_has_interleaved_states() {
         let rg = diamond()
@@ -318,7 +892,7 @@ mod tests {
     fn initial_state_has_initial_marking() {
         let net = diamond();
         let rg = net.reachability(&ReachabilityOptions::default()).unwrap();
-        assert_eq!(rg.marking(rg.initial_state()), &net.initial_marking());
+        assert_eq!(rg.marking(rg.initial_state()), net.initial_marking());
         assert_eq!(
             rg.find_state(&net.initial_marking()),
             Some(rg.initial_state())
@@ -331,11 +905,13 @@ mod tests {
             .reachability(&ReachabilityOptions::default())
             .unwrap();
         for s in rg.state_ids() {
-            assert_eq!(rg.find_state(rg.marking(s)), Some(s));
+            assert_eq!(rg.find_state(&rg.marking(s)), Some(s));
         }
-        let mut bogus = rg.marking(rg.initial_state()).clone();
+        let mut bogus = rg.marking(rg.initial_state());
         bogus.set(crate::net::PlaceId::from_index(0), 99);
         assert_eq!(rg.find_state(&bogus), None);
+        // A marking over a different place count is never present.
+        assert_eq!(rg.find_state(&Marking::empty(2)), None);
     }
 
     #[test]
@@ -384,5 +960,111 @@ mod tests {
         assert_eq!(g.node_count(), rg.state_count());
         let seen = g.reachable_from(rg.initial_state().index());
         assert!(seen.iter().all(|&b| b), "every state reachable from init");
+    }
+
+    #[test]
+    fn compiled_matches_legacy_on_diamond() {
+        let net = diamond();
+        let a = net.reachability_bounded(&Budget::default()).into_value();
+        let b = net
+            .reachability_bounded_legacy(&Budget::default())
+            .into_value();
+        assert!(graphs_identical(&a, &b));
+    }
+
+    #[test]
+    fn compiled_matches_legacy_under_exhaustion() {
+        let mut net: PetriNet<&str> = PetriNet::new();
+        let p = net.add_place("p");
+        let sink = net.add_place("sink");
+        net.add_transition([p], "pump", [p, sink]).unwrap();
+        net.set_initial(p, 1);
+        for budget in [Budget::states(5), Budget::new(100, 7), Budget::states(0)] {
+            let a = net.reachability_bounded(&budget);
+            let b = net.reachability_bounded_legacy(&budget);
+            assert_eq!(a.exhausted(), b.exhausted(), "same exhaustion stats");
+            assert!(graphs_identical(a.value(), b.value()), "same prefix");
+        }
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_to_sequential() {
+        let net = diamond();
+        let seq = net.reachability_bounded(&Budget::default()).into_value();
+        for threads in [1, 2, 3, 4] {
+            let par = net
+                .reachability_bounded_parallel(&Budget::default(), threads)
+                .into_value();
+            assert!(
+                graphs_identical(&seq, &par),
+                "thread count {threads} changed the graph"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_exhaustion_matches_sequential() {
+        let mut net: PetriNet<&str> = PetriNet::new();
+        let p = net.add_place("p");
+        let sink = net.add_place("sink");
+        net.add_transition([p], "pump", [p, sink]).unwrap();
+        net.set_initial(p, 1);
+        let budget = Budget::states(17);
+        let seq = net.reachability_bounded(&budget);
+        for threads in [2, 4] {
+            let par = net.reachability_bounded_parallel(&budget, threads);
+            assert_eq!(seq.exhausted(), par.exhausted());
+            assert!(graphs_identical(seq.value(), par.value()));
+        }
+    }
+
+    #[test]
+    fn parallel_handles_empty_preset_sources() {
+        // An always-enabled source transition pumps a bounded buffer
+        // drained by a consumer: candidate generation must include the
+        // empty-preset transition in every state.
+        let mut net: PetriNet<&str> = PetriNet::new();
+        let buf = net.add_place("buf");
+        net.add_transition([], "arrive", [buf]).unwrap();
+        net.add_transition([buf], "serve", []).unwrap();
+        let budget = Budget::states(50);
+        let seq = net.reachability_bounded(&budget);
+        let par = net.reachability_bounded_parallel(&budget, 4);
+        assert_eq!(seq.exhausted(), par.exhausted());
+        assert!(graphs_identical(seq.value(), par.value()));
+    }
+
+    #[test]
+    fn edge_count_is_cached_and_consistent() {
+        let rg = diamond()
+            .reachability(&ReachabilityOptions::default())
+            .unwrap();
+        let summed: usize = rg.state_ids().map(|s| rg.edges(s).len()).sum();
+        assert_eq!(rg.edge_count(), summed);
+    }
+
+    #[test]
+    fn options_builders_compose() {
+        let o = ReachabilityOptions::with_max_states(10).with_threads(4);
+        assert_eq!(o.max_states, 10);
+        assert_eq!(o.threads, 4);
+        assert_eq!(ReachabilityOptions::default().threads, 1);
+        let from_budget = ReachabilityOptions::from(Budget::states(7));
+        assert_eq!(from_budget.max_states, 7);
+        assert_eq!(from_budget.threads, 1);
+    }
+
+    #[test]
+    fn try_from_index_rejects_overflow() {
+        assert!(StateId::try_from_index(usize::MAX).is_err());
+        assert_eq!(StateId::try_from_index(3).unwrap(), StateId(3));
+    }
+
+    #[test]
+    fn resident_bytes_reported() {
+        let rg = diamond()
+            .reachability(&ReachabilityOptions::default())
+            .unwrap();
+        assert!(rg.resident_marking_bytes() > 0);
     }
 }

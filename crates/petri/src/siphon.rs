@@ -206,6 +206,7 @@ pub fn commoner_live<L: Label>(net: &PetriNet<L>, budget: usize) -> Result<bool,
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::reachability::ReachabilityOptions;

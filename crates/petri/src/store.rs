@@ -1,0 +1,323 @@
+//! The interned marking arena behind every explorer.
+//!
+//! [`MarkingStore`] keeps each distinct marking exactly once, in one flat
+//! `Vec<u32>` with `stride = place count` — no per-marking heap
+//! allocation, no duplicate key storage. Membership queries go through an
+//! in-tree open-addressing hash index whose slots hold only a
+//! `(hash fragment, state id)` pair packed in a `u64`; full-marking
+//! comparison reads straight out of the arena. This replaces the seed
+//! kernel's double storage (a `Vec<Marking>` *plus* a
+//! `HashMap<Marking, StateId>` cloning every marking into its key set),
+//! cutting resident marking memory by more than half and removing one
+//! allocation per discovered state from the hot loop.
+//!
+//! Collision policy: linear probing, no deletions (exploration only ever
+//! inserts), table grown at 7/8 load with a full rehash from the per-state
+//! hash cache. The 64-bit hash is also the shard-ownership key of the
+//! parallel explorer (`shard = high bits mod threads`), so a marking's
+//! owner is a pure function of its content.
+
+use crate::error::PetriError;
+
+/// Sentinel for an empty index slot.
+const EMPTY: u64 = 0;
+/// Initial table capacity (power of two).
+const INITIAL_SLOTS: usize = 16;
+
+/// A deduplicating arena of fixed-stride `u32` vectors (markings, or any
+/// packed per-state payload such as the STG kernel's marking+encoding
+/// words).
+///
+/// Ids are dense `u32`s in insertion order, so the store doubles as the
+/// state numbering of a breadth-first exploration.
+///
+/// # Example
+///
+/// ```
+/// use cpn_petri::store::MarkingStore;
+///
+/// let mut store = MarkingStore::new(3);
+/// let (a, new_a) = store.intern(&[1, 0, 2]);
+/// let (b, new_b) = store.intern(&[1, 0, 2]);
+/// assert_eq!((a, new_a), (0, true));
+/// assert_eq!((b, new_b), (0, false));
+/// assert_eq!(store.get(0), &[1, 0, 2]);
+/// assert_eq!(store.len(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct MarkingStore {
+    stride: usize,
+    /// Flat arena: marking `i` lives at `data[i*stride .. (i+1)*stride]`.
+    data: Vec<u32>,
+    /// Full 64-bit hash per stored marking (rehash + shard ownership).
+    hashes: Vec<u64>,
+    /// Open-addressing slots: `(hash & HIGH_MASK) | (id + 1)`, 0 = empty.
+    table: Vec<u64>,
+    mask: usize,
+    len: usize,
+}
+
+const HIGH_MASK: u64 = 0xFFFF_FFFF_0000_0000;
+
+impl MarkingStore {
+    /// An empty store over `stride` places.
+    pub fn new(stride: usize) -> Self {
+        Self::with_capacity(stride, 0)
+    }
+
+    /// An empty store pre-sized for about `cap` markings.
+    pub fn with_capacity(stride: usize, cap: usize) -> Self {
+        let slots = (cap * 8 / 7 + 1).next_power_of_two().max(INITIAL_SLOTS);
+        MarkingStore {
+            stride,
+            data: Vec::with_capacity(cap * stride),
+            hashes: Vec::with_capacity(cap),
+            table: vec![EMPTY; slots],
+            mask: slots - 1,
+            len: 0,
+        }
+    }
+
+    /// The per-marking stride (place count).
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Number of distinct markings stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the store holds no markings.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The marking with id `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn get(&self, i: usize) -> &[u32] {
+        assert!(i < self.len, "marking id {i} out of range");
+        &self.data[i * self.stride..(i + 1) * self.stride]
+    }
+
+    /// The cached 64-bit hash of marking `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn hash_of(&self, i: usize) -> u64 {
+        self.hashes[i]
+    }
+
+    /// Iterates over all stored markings in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &[u32]> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// SplitMix64 finalizer: full avalanche, so summing outputs keeps
+    /// high-bit entropy (the index tag and the shard router both read
+    /// the high bits).
+    #[inline]
+    fn mix(z: u64) -> u64 {
+        let z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        let z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// The contribution of `(position, value)` to a marking's hash.
+    ///
+    /// [`MarkingStore::hash_slice`] is the wrapping **sum** of these
+    /// per-entry terms, so firing a transition can update a cached hash
+    /// in O(places touched): subtract the old entry's term, add the new
+    /// one (see `CompiledNet::apply_hashed`). The position is folded
+    /// into the mixed word, so permuted slices still hash differently.
+    #[inline]
+    pub fn entry_hash(pos: usize, val: u32) -> u64 {
+        Self::mix(((pos as u64) << 32) ^ u64::from(val))
+    }
+
+    /// The content hash used by the index and the parallel shard router.
+    ///
+    /// A commutative sum of [`MarkingStore::entry_hash`] terms seeded by
+    /// the length: deterministic, allocation-free, identical across runs
+    /// and thread counts, and incrementally updatable under firing.
+    #[inline]
+    pub fn hash_slice(m: &[u32]) -> u64 {
+        let mut h = Self::mix(0x9E37_79B9_7F4A_7C15 ^ (m.len() as u64));
+        for (i, &w) in m.iter().enumerate() {
+            h = h.wrapping_add(Self::entry_hash(i, w));
+        }
+        h
+    }
+
+    /// Looks up a marking, returning its id if present.
+    pub fn find(&self, m: &[u32]) -> Option<u32> {
+        self.find_hashed(m, Self::hash_slice(m))
+    }
+
+    /// [`MarkingStore::find`] with the hash precomputed by the caller.
+    pub fn find_hashed(&self, m: &[u32], hash: u64) -> Option<u32> {
+        debug_assert_eq!(m.len(), self.stride, "marking over different net");
+        let tag = hash & HIGH_MASK;
+        let mut slot = (hash as usize) & self.mask;
+        loop {
+            let entry = self.table[slot];
+            if entry == EMPTY {
+                return None;
+            }
+            if entry & HIGH_MASK == tag {
+                let id = ((entry & !HIGH_MASK) - 1) as usize;
+                if &self.data[id * self.stride..(id + 1) * self.stride] == m {
+                    return Some(id as u32);
+                }
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+
+    /// Inserts a marking the caller has verified to be absent
+    /// (via [`MarkingStore::find_hashed`] with the same hash) and returns
+    /// its new id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PetriError::IndexOverflow`] when the store already holds
+    /// `u32::MAX - 1` markings (the id space of the packed index slots).
+    pub fn insert_new_hashed(&mut self, m: &[u32], hash: u64) -> Result<u32, PetriError> {
+        debug_assert_eq!(m.len(), self.stride, "marking over different net");
+        debug_assert!(self.find_hashed(m, hash).is_none(), "duplicate insert");
+        if self.len >= (u32::MAX - 1) as usize {
+            return Err(PetriError::IndexOverflow { index: self.len });
+        }
+        if (self.len + 1) * 8 >= self.table.len() * 7 {
+            self.grow();
+        }
+        let id = self.len as u32;
+        self.data.extend_from_slice(m);
+        self.hashes.push(hash);
+        self.len += 1;
+        self.place_slot(hash, id);
+        Ok(id)
+    }
+
+    /// Finds or inserts a marking; returns `(id, newly_inserted)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the 32-bit id space overflows (more than ~4 billion
+    /// distinct markings); budgeted explorers stop long before.
+    pub fn intern(&mut self, m: &[u32]) -> (u32, bool) {
+        let hash = Self::hash_slice(m);
+        match self.find_hashed(m, hash) {
+            Some(id) => (id, false),
+            None => match self.insert_new_hashed(m, hash) {
+                Ok(id) => (id, true),
+                Err(e) => panic!("marking arena overflow: {e}"),
+            },
+        }
+    }
+
+    /// Bytes resident in the arena, hash cache and index — the
+    /// `peak_resident_markings` counter of `BENCH_explore.json`.
+    pub fn resident_bytes(&self) -> usize {
+        self.data.capacity() * std::mem::size_of::<u32>()
+            + self.hashes.capacity() * std::mem::size_of::<u64>()
+            + self.table.capacity() * std::mem::size_of::<u64>()
+    }
+
+    fn place_slot(&mut self, hash: u64, id: u32) {
+        let entry = (hash & HIGH_MASK) | (u64::from(id) + 1);
+        let mut slot = (hash as usize) & self.mask;
+        while self.table[slot] != EMPTY {
+            slot = (slot + 1) & self.mask;
+        }
+        self.table[slot] = entry;
+    }
+
+    fn grow(&mut self) {
+        let new_slots = self.table.len() * 2;
+        self.table = vec![EMPTY; new_slots];
+        self.mask = new_slots - 1;
+        for i in 0..self.len {
+            let hash = self.hashes[i];
+            self.place_slot(hash, i as u32);
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_dedups_and_preserves_order() {
+        let mut s = MarkingStore::new(2);
+        assert_eq!(s.intern(&[0, 1]), (0, true));
+        assert_eq!(s.intern(&[1, 0]), (1, true));
+        assert_eq!(s.intern(&[0, 1]), (0, false));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(0), &[0, 1]);
+        assert_eq!(s.get(1), &[1, 0]);
+    }
+
+    #[test]
+    fn find_distinguishes_all_members() {
+        let mut s = MarkingStore::new(3);
+        for i in 0..500u32 {
+            s.intern(&[i, i / 3, i % 7]);
+        }
+        assert_eq!(s.len(), 500);
+        for i in 0..500u32 {
+            assert_eq!(s.find(&[i, i / 3, i % 7]), Some(i));
+        }
+        assert_eq!(s.find(&[1000, 0, 0]), None);
+    }
+
+    #[test]
+    fn growth_rehashes_correctly() {
+        let mut s = MarkingStore::with_capacity(1, 0);
+        for i in 0..10_000u32 {
+            assert_eq!(s.intern(&[i]), (i, true));
+        }
+        for i in 0..10_000u32 {
+            assert_eq!(s.find(&[i]), Some(i));
+            assert_eq!(s.get(i as usize), &[i]);
+        }
+    }
+
+    #[test]
+    fn zero_stride_degenerate_net() {
+        let mut s = MarkingStore::new(0);
+        assert_eq!(s.intern(&[]), (0, true));
+        assert_eq!(s.intern(&[]), (0, false));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(0), &[] as &[u32]);
+    }
+
+    #[test]
+    fn hash_is_content_deterministic() {
+        let a = MarkingStore::hash_slice(&[1, 2, 3]);
+        let b = MarkingStore::hash_slice(&[1, 2, 3]);
+        let c = MarkingStore::hash_slice(&[3, 2, 1]);
+        assert_eq!(a, b);
+        assert_ne!(a, c, "order must matter");
+    }
+
+    #[test]
+    fn resident_bytes_scales_with_content() {
+        let mut s = MarkingStore::new(4);
+        let before = s.resident_bytes();
+        for i in 0..1000u32 {
+            s.intern(&[i, 0, 0, 0]);
+        }
+        assert!(s.resident_bytes() > before);
+        // Arena dominates: 16 bytes of marking + 8 of hash per state,
+        // plus the slot table.
+        assert!(s.resident_bytes() < 1000 * 64);
+    }
+}

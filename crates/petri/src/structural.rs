@@ -202,6 +202,7 @@ pub fn token_count<L: Label>(net: &PetriNet<L>, places: &[PlaceId]) -> u64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

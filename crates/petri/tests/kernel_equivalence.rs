@@ -1,0 +1,140 @@
+//! Property tests: the three exploration kernels — the legacy cloned-map
+//! explorer, the compiled sequential explorer, and the deterministic
+//! parallel explorer (2 and 4 threads) — must be **bit-identical** on
+//! random nets: same state sequence, same edge lists, same deadlock
+//! sets, and the same exhaustion statistics under equal budgets.
+//!
+//! Driven by the deterministic `cpn-testkit` harness: failures print a
+//! case seed, replayable via `CPN_TESTKIT_SEED=<seed>`.
+
+use cpn_petri::{Bounded, Budget, PetriNet, ReachabilityGraph};
+use cpn_testkit::{check, prop_assert, prop_assert_eq, NetStrategy};
+
+/// Random nets: 2–5 places, 1–5 uniquely-labeled transitions, up to
+/// **three** tokens per place so multiset (non-safe) markings are
+/// exercised, not just safe ones.
+fn raw_net() -> NetStrategy {
+    NetStrategy::new(5, 5, 1).max_tokens(3)
+}
+
+/// Asserts two reachability graphs are bit-identical: same state
+/// numbering, same markings per state, same ordered edge lists.
+fn assert_graphs_identical(
+    a: &ReachabilityGraph,
+    b: &ReachabilityGraph,
+    what: &str,
+) -> Result<(), cpn_testkit::PropFail> {
+    prop_assert_eq!(a.state_count(), b.state_count(), "{}: state count", what);
+    prop_assert_eq!(a.edge_count(), b.edge_count(), "{}: edge count", what);
+    prop_assert_eq!(a.initial_state(), b.initial_state(), "{}: initial", what);
+    for s in a.state_ids() {
+        prop_assert_eq!(
+            a.marking_slice(s),
+            b.marking_slice(s),
+            "{}: marking of {}",
+            what,
+            s
+        );
+        prop_assert_eq!(a.edges(s), b.edges(s), "{}: edges of {}", what, s);
+    }
+    Ok(())
+}
+
+fn explorers(
+    net: &PetriNet<String>,
+    budget: &Budget,
+) -> Vec<(&'static str, Bounded<ReachabilityGraph>)> {
+    vec![
+        ("legacy", net.reachability_bounded_legacy(budget)),
+        ("compiled", net.reachability_bounded(budget)),
+        ("parallel-2", net.reachability_bounded_parallel(budget, 2)),
+        ("parallel-4", net.reachability_bounded_parallel(budget, 4)),
+    ]
+}
+
+#[test]
+fn all_kernels_agree_on_complete_exploration() {
+    check(
+        "all_kernels_agree_on_complete_exploration",
+        &raw_net(),
+        |raw| {
+            let net = raw.build_indexed();
+            let budget = Budget::states(50_000);
+            let results = explorers(&net, &budget);
+            let (_, reference) = &results[0];
+            let Bounded::Complete(ref_rg) = reference else {
+                return Ok(()); // budget: skip pathological instances
+            };
+            for (what, result) in &results[1..] {
+                let Bounded::Complete(rg) = result else {
+                    prop_assert!(false, "{} exhausted where legacy completed", what);
+                    return Ok(());
+                };
+                assert_graphs_identical(ref_rg, rg, what)?;
+                prop_assert_eq!(
+                    ref_rg.deadlock_states(),
+                    rg.deadlock_states(),
+                    "{}: deadlock set",
+                    what
+                );
+                prop_assert_eq!(
+                    ref_rg.token_bound(),
+                    rg.token_bound(),
+                    "{}: token bound",
+                    what
+                );
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn all_kernels_agree_under_tight_budgets() {
+    check("all_kernels_agree_under_tight_budgets", &raw_net(), |raw| {
+        let net = raw.build_indexed();
+        for budget in [
+            Budget::states(0),
+            Budget::states(1),
+            Budget::states(3),
+            Budget::new(100, 5),
+            Budget::new(4, 100),
+        ] {
+            let results = explorers(&net, &budget);
+            let (_, reference) = &results[0];
+            let ref_info = reference.exhausted().copied();
+            let ref_rg = reference.value();
+            for (what, result) in &results[1..] {
+                prop_assert_eq!(
+                    result.exhausted().copied(),
+                    ref_info,
+                    "{}: exhaustion stats under {:?}",
+                    what,
+                    budget
+                );
+                assert_graphs_identical(ref_rg, result.value(), what)?;
+            }
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn deadlock_and_membership_queries_agree() {
+    check("deadlock_and_membership_queries_agree", &raw_net(), |raw| {
+        let net = raw.build_indexed();
+        let Bounded::Complete(rg) = net.reachability_bounded(&Budget::states(50_000)) else {
+            return Ok(());
+        };
+        // Every stored marking is found by the hash index, at its own id.
+        for s in rg.state_ids() {
+            prop_assert_eq!(rg.find_state(&rg.marking(s)), Some(s));
+        }
+        // Deadlock states are exactly the edge-free ones.
+        let deadlocks = rg.deadlock_states();
+        for s in rg.state_ids() {
+            prop_assert_eq!(rg.edges(s).is_empty(), deadlocks.contains(&s));
+        }
+        Ok(())
+    });
+}

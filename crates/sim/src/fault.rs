@@ -642,6 +642,10 @@ const BENIGN_DEPTH: usize = 6;
 
 /// Liveness/safety/boundedness detector for labeled nets: bounded
 /// reachability plus Karp–Miller when the state space explodes.
+///
+/// Both passes run on the compiled exploration kernel (interned marking
+/// arena + CSR firing rule), so the 200k-state budget is a few
+/// milliseconds of work even on the larger mutants.
 pub fn detect_net_misbehavior<L: Label>(mutant: &PetriNet<L>) -> Option<(&'static str, String)> {
     let budget = Budget::states(EXPLORE_BUDGET);
     match mutant.reachability_bounded(&budget) {

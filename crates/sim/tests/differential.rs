@@ -45,15 +45,15 @@ fn enabled_sets_and_successors_agree_at_every_state() {
                 let m = rg.marking(s);
                 // The net's enabled set vs. the edges the BFS recorded.
                 let enabled: BTreeSet<TransitionId> =
-                    net.enabled_transitions(m).into_iter().collect();
+                    net.enabled_transitions(&m).into_iter().collect();
                 let edge_set: BTreeSet<TransitionId> =
                     rg.edges(s).iter().map(|&(t, _)| t).collect();
                 prop_assert_eq!(enabled, edge_set, "enabled set differs at {}", s);
                 // Each edge's target is exactly the fired marking, and
                 // the index locates it.
                 for &(t, to) in rg.edges(s) {
-                    let next = net.fire(m, t).expect("edge transition enabled");
-                    prop_assert_eq!(&next, rg.marking(to));
+                    let next = net.fire(&m, t).expect("edge transition enabled");
+                    prop_assert_eq!(next, rg.marking(to));
                     prop_assert_eq!(rg.find_state(&next), Some(to));
                 }
             }

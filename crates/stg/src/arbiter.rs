@@ -193,7 +193,7 @@ mod tests {
         for s in rg.state_ids() {
             let m = rg.marking(s);
             assert!(
-                !(use_enabled(m, 1) && use_enabled(m, 2)),
+                !(use_enabled(&m, 1) && use_enabled(&m, 2)),
                 "both clients using the resource at {m}"
             );
         }

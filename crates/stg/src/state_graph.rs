@@ -13,8 +13,8 @@
 
 use crate::signal::{Edge, Signal, SignalDir, StgLabel};
 use crate::stg::Stg;
-use cpn_petri::{Bounded, Budget, Marking, Meter, TransitionId};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use cpn_petri::{Bounded, Budget, CandidateScratch, Marking, MarkingStore, Meter, TransitionId};
+use std::collections::{BTreeMap, BTreeSet};
 use std::error::Error;
 use std::fmt;
 
@@ -74,13 +74,40 @@ impl fmt::Display for StateGraphError {
 impl Error for StateGraphError {}
 
 /// The encoded state graph.
+///
+/// States are packed rows of an interned [`MarkingStore`] arena: the
+/// marking's `u32` counts followed by `⌈|signals| / 32⌉` bit-words of
+/// the encoding. Accessors materialize [`Marking`]/[`Encoding`] values
+/// on demand.
 #[derive(Clone, Debug)]
 pub struct StateGraph {
     signals: Vec<Signal>,
     dirs: Vec<SignalDir>,
-    states: Vec<(Marking, Encoding)>,
+    /// Place count: the marking prefix length of each packed row.
+    places: usize,
+    store: MarkingStore,
     edges: Vec<Vec<(TransitionId, usize)>>,
     violations: Vec<ConsistencyViolation>,
+}
+
+/// Appends the encoding's bit-words to a packed state row.
+fn push_bits(bits: &[bool], out: &mut Vec<u32>) {
+    for chunk in bits.chunks(32) {
+        let mut word = 0u32;
+        for (b, &v) in chunk.iter().enumerate() {
+            if v {
+                word |= 1 << b;
+            }
+        }
+        out.push(word);
+    }
+}
+
+/// Decodes `n` signals from the bit-words of a packed state row.
+fn decode_bits(words: &[u32], n: usize) -> Encoding {
+    (0..n)
+        .map(|i| words[i / 32] & (1 << (i % 32)) != 0)
+        .collect()
 }
 
 impl StateGraph {
@@ -128,21 +155,37 @@ impl StateGraph {
             .iter()
             .map(|s| initial_values.get(s).copied().unwrap_or(false))
             .collect();
-        let m0 = stg.net().initial_marking();
+
+        let compiled = stg.net().compile();
+        let places = compiled.place_count();
 
         let mut meter = Meter::new(budget);
         // The initial state is always retained, budget permitting or not.
         meter.take_state();
-        let mut states: Vec<(Marking, Encoding)> = vec![(m0.clone(), enc0.clone())];
-        let mut ids: HashMap<(Marking, Encoding), usize> = HashMap::new();
-        ids.insert((m0, enc0), 0);
+        let mut store = MarkingStore::new(places + signals.len().div_ceil(32));
+        let mut row: Vec<u32> = Vec::with_capacity(store.stride());
+        row.extend_from_slice(stg.net().initial_marking().as_slice());
+        push_bits(&enc0, &mut row);
+        store.intern(&row);
         let mut edges: Vec<Vec<(TransitionId, usize)>> = vec![Vec::new()];
         let mut violations = Vec::new();
 
+        let mut scratch = CandidateScratch::new(compiled.transition_count());
+        let mut cands: Vec<u32> = Vec::new();
+        let mut cur: Vec<u32> = Vec::new();
+        let mut next_m: Vec<u32> = Vec::new();
+
         let mut frontier = 0usize;
-        'explore: while frontier < states.len() {
-            let (marking, encoding) = states[frontier].clone();
-            for t in stg.net().enabled_transitions(&marking) {
+        'explore: while frontier < store.len() {
+            cur.clear();
+            cur.extend_from_slice(store.get(frontier));
+            let encoding = decode_bits(&cur[places..], signals.len());
+            compiled.enabled_candidates(&cur[..places], &mut scratch, &mut cands);
+            for &tu in &cands {
+                if !compiled.is_enabled(&cur[..places], tu) {
+                    continue;
+                }
+                let t = TransitionId::from_index(tu as usize);
                 let label = stg.net().transition(t).label().clone();
                 // Guard check against current levels.
                 let guard = stg.guard(t);
@@ -153,54 +196,56 @@ impl StateGraph {
                     break 'explore;
                 }
                 // Encoding update + consistency.
-                let mut next_enc = encoding.clone();
+                let mut next_enc: Vec<u32> = cur[places..].to_vec();
                 if let StgLabel::Signal(s, e) = &label {
                     let i = index[s];
+                    let (w, b) = (i / 32, 1u32 << (i % 32));
                     match e {
                         Edge::Rise => {
                             if encoding[i] {
                                 violations.push(ConsistencyViolation {
                                     transition: t,
                                     label: label.clone(),
-                                    marking: marking.clone(),
+                                    marking: Marking::from_counts(cur[..places].to_vec()),
                                     value: true,
                                 });
                                 continue;
                             }
-                            next_enc[i] = true;
+                            next_enc[w] |= b;
                         }
                         Edge::Fall => {
                             if !encoding[i] {
                                 violations.push(ConsistencyViolation {
                                     transition: t,
                                     label: label.clone(),
-                                    marking: marking.clone(),
+                                    marking: Marking::from_counts(cur[..places].to_vec()),
                                     value: false,
                                 });
                                 continue;
                             }
-                            next_enc[i] = false;
+                            next_enc[w] &= !b;
                         }
-                        Edge::Toggle => next_enc[i] = !encoding[i],
+                        Edge::Toggle => next_enc[w] ^= b,
                         Edge::Stable | Edge::Unstable | Edge::DontCare => {}
                     }
                 }
                 // `t` is enabled, so firing cannot fail.
-                let Ok(next_marking) = stg.net().fire(&marking, t) else {
-                    continue;
-                };
-                let key = (next_marking, next_enc);
-                let to = match ids.get(&key) {
-                    Some(&i) => i,
+                compiled.fire_into(&cur[..places], tu, &mut next_m);
+                row.clear();
+                row.extend_from_slice(&next_m);
+                row.extend_from_slice(&next_enc);
+                let hash = MarkingStore::hash_slice(&row);
+                let to = match store.find_hashed(&row, hash) {
+                    Some(i) => i as usize,
                     None => {
                         if !meter.take_state() {
                             break 'explore;
                         }
-                        let i = states.len();
-                        states.push(key.clone());
+                        let Ok(i) = store.insert_new_hashed(&row, hash) else {
+                            break 'explore;
+                        };
                         edges.push(Vec::new());
-                        ids.insert(key, i);
-                        i
+                        i as usize
                     }
                 };
                 edges[frontier].push((t, to));
@@ -211,7 +256,8 @@ impl StateGraph {
         meter.finish(StateGraph {
             signals,
             dirs,
-            states,
+            places,
+            store,
             edges,
             violations,
         })
@@ -224,13 +270,20 @@ impl StateGraph {
 
     /// Number of states.
     pub fn state_count(&self) -> usize {
-        self.states.len()
+        self.store.len()
     }
 
-    /// The `(marking, encoding)` of a state.
-    pub fn state(&self, i: usize) -> (&Marking, &Encoding) {
-        let (m, e) = &self.states[i];
-        (m, e)
+    /// The `(marking, encoding)` of a state, unpacked from the arena.
+    pub fn state(&self, i: usize) -> (Marking, Encoding) {
+        (self.marking_of(i), self.encoding_of(i))
+    }
+
+    fn marking_of(&self, i: usize) -> Marking {
+        Marking::from_counts(self.store.get(i)[..self.places].to_vec())
+    }
+
+    fn encoding_of(&self, i: usize) -> Encoding {
+        decode_bits(&self.store.get(i)[self.places..], self.signals.len())
     }
 
     /// Outgoing edges of a state: `(transition, target state)`.
@@ -270,19 +323,24 @@ impl StateGraph {
         excited
     }
 
+    /// Groups state ids by their encodings.
+    fn states_by_code(&self) -> BTreeMap<Encoding, Vec<usize>> {
+        let mut by_code: BTreeMap<Encoding, Vec<usize>> = BTreeMap::new();
+        for i in 0..self.state_count() {
+            by_code.entry(self.encoding_of(i)).or_default().push(i);
+        }
+        by_code
+    }
+
     /// USC check: every pair of distinct states with identical encodings.
     pub fn usc_violations(&self) -> Vec<CscViolation> {
-        let mut by_code: BTreeMap<&Encoding, Vec<usize>> = BTreeMap::new();
-        for (i, (_, e)) in self.states.iter().enumerate() {
-            by_code.entry(e).or_default().push(i);
-        }
         let mut out = Vec::new();
-        for (code, group) in by_code {
+        for (code, group) in self.states_by_code() {
             for w in group.windows(2) {
                 out.push(CscViolation {
                     encoding: code.clone(),
-                    first: self.states[w[0]].0.clone(),
-                    second: self.states[w[1]].0.clone(),
+                    first: self.marking_of(w[0]),
+                    second: self.marking_of(w[1]),
                     conflicting_outputs: BTreeSet::new(),
                 });
             }
@@ -293,12 +351,8 @@ impl StateGraph {
     /// CSC check: pairs of equal-encoding states whose **output
     /// excitation** differs — the property logic derivation needs.
     pub fn csc_violations(&self, stg: &Stg) -> Vec<CscViolation> {
-        let mut by_code: BTreeMap<&Encoding, Vec<usize>> = BTreeMap::new();
-        for (i, (_, e)) in self.states.iter().enumerate() {
-            by_code.entry(e).or_default().push(i);
-        }
         let mut out = Vec::new();
-        for (code, group) in by_code {
+        for (code, group) in self.states_by_code() {
             for a in 0..group.len() {
                 for b in (a + 1)..group.len() {
                     let ea = self.output_excitation(stg, group[a]);
@@ -308,8 +362,8 @@ impl StateGraph {
                             ea.symmetric_difference(&eb).cloned().collect();
                         out.push(CscViolation {
                             encoding: code.clone(),
-                            first: self.states[group[a]].0.clone(),
-                            second: self.states[group[b]].0.clone(),
+                            first: self.marking_of(group[a]),
+                            second: self.marking_of(group[b]),
                             conflicting_outputs: conflicting,
                         });
                     }

@@ -1,6 +1,6 @@
 //! The [`Language`] type: a prefix-closed set of traces up to a depth.
 
-use cpn_petri::{Bounded, Budget, Label, Marking, Meter, PetriNet};
+use cpn_petri::{Bounded, Budget, CandidateScratch, Label, Marking, Meter, PetriNet, TransitionId};
 use std::collections::BTreeSet;
 use std::error::Error;
 use std::fmt;
@@ -110,10 +110,22 @@ impl<L: Label> Language<L> {
         let mut frontier: BTreeSet<(Marking, Vec<L>)> = BTreeSet::new();
         frontier.insert((net.initial_marking(), Vec::new()));
 
+        // Successor generation goes through the compiled firing rule:
+        // only consumers of marked places are re-tested, in ascending
+        // transition order like the legacy full scan.
+        let compiled = net.compile();
+        let mut scratch = CandidateScratch::new(compiled.transition_count());
+        let mut cands: Vec<u32> = Vec::new();
+
         'explore: for _ in 0..depth {
             let mut next: BTreeSet<(Marking, Vec<L>)> = BTreeSet::new();
             for (m, trace) in &frontier {
-                for t in net.enabled_transitions(m) {
+                compiled.enabled_candidates(m.as_slice(), &mut scratch, &mut cands);
+                for &tu in &cands {
+                    if !compiled.is_enabled(m.as_slice(), tu) {
+                        continue;
+                    }
+                    let t = TransitionId::from_index(tu as usize);
                     if !meter.take_transition() {
                         break 'explore;
                     }

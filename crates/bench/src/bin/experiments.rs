@@ -8,13 +8,52 @@
 //! instead of 8) for CI smoke runs.
 //!
 //! `bench` (never part of the default set) sweeps the exploration
-//! kernels over the `sync_pipeline`/`handshake_ring` families and, with
-//! `--json`, writes the machine-readable `BENCH_explore.json` (states
-//! per second per kernel, resident marking bytes, thread scaling) that
-//! CI uploads as an artifact. `--quick` shrinks the sweep for smoke
-//! runs; the default reaches the 2^20-state acceptance workload.
+//! kernels over the `sync_pipeline`/`handshake_ring` families and the
+//! contraction engines over the `tau_ring`/`cip_chain` families; with
+//! `--json` it writes the machine-readable `BENCH_explore.json` (states
+//! per second per kernel, resident marking bytes, thread scaling) and
+//! `BENCH_hide.json` (seconds and allocation counts per hiding engine,
+//! speedup and allocation ratios) that CI uploads as artifacts.
+//! `--quick` shrinks the sweeps for smoke runs; the default reaches the
+//! 2^20-state acceptance workload.
 
 use cpn_bench::{cycle_net, fig2_left, fig2_right, handshake_ring, tau_chain};
+use cpn_petri::Label;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// System allocator wrapper counting allocation calls, so the `bench`
+/// sweep can report allocations per hiding pass (the contraction
+/// engine's ≥5× allocation claim) without external tooling.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn alloc_count() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
 use cpn_cip::protocol::{protocol_cip, protocol_cip_restricted};
 use cpn_cip::HandshakeProtocol;
 use cpn_core::{
@@ -639,6 +678,153 @@ fn bench_explore(quick: bool, json: bool) {
     }
 }
 
+/// One timed hiding-engine run of the `bench` sweep.
+struct HideRun {
+    engine: &'static str,
+    seconds: f64,
+    allocs: u64,
+}
+
+/// Measured row for one contraction workload: both engines, checked for
+/// bit-identical output.
+struct HideRow {
+    family: String,
+    places: usize,
+    transitions: usize,
+    hidden_labels: usize,
+    legacy: HideRun,
+    engine: HideRun,
+}
+
+impl HideRow {
+    fn speedup(&self) -> f64 {
+        self.legacy.seconds / self.engine.seconds
+    }
+    fn alloc_ratio(&self) -> f64 {
+        self.legacy.allocs as f64 / self.engine.allocs as f64
+    }
+}
+
+fn measure_hide<L: Label>(family: String, net: &PetriNet<L>, hidden: &BTreeSet<L>) -> HideRow {
+    let budget = cpn_petri::Budget::new(usize::MAX, 1_000_000);
+    // Warm-up run doubling as the expectation for the identity check;
+    // its duration sizes the iteration count so micro-workloads are
+    // timed over enough repetitions to dominate scheduler noise.
+    let t0 = Instant::now();
+    let expect = cpn_core::hide_labels_bounded(net, hidden, &budget)
+        .expect("bench workloads hide cleanly")
+        .into_value();
+    let warm = t0.elapsed().as_secs_f64();
+    let iters = ((0.05 / warm.max(1e-9)) as usize).clamp(1, 2_000);
+    let run = |legacy: bool| -> HideRun {
+        let a0 = alloc_count();
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            let out = if legacy {
+                cpn_core::hide_labels_bounded_legacy(net, hidden, &budget)
+            } else {
+                cpn_core::hide_labels_bounded(net, hidden, &budget)
+            }
+            .expect("bench workloads hide cleanly")
+            .into_value();
+            assert_eq!(out, expect, "engines must agree (legacy={legacy})");
+        }
+        let seconds = t0.elapsed().as_secs_f64() / iters as f64;
+        let allocs = (alloc_count() - a0) / iters as u64;
+        HideRun {
+            engine: if legacy { "legacy" } else { "engine" },
+            seconds,
+            allocs,
+        }
+    };
+    let legacy = run(true);
+    let engine = run(false);
+    HideRow {
+        family,
+        places: net.place_count(),
+        transitions: net.transition_count(),
+        hidden_labels: hidden.len(),
+        legacy,
+        engine,
+    }
+}
+
+fn bench_hide(quick: bool, json: bool) {
+    header(
+        "BENCH",
+        "contraction engine sweep (legacy rebuild vs in-place editor)",
+    );
+    let rings: &[(usize, usize)] = if quick {
+        &[(4, 4), (8, 8)]
+    } else {
+        &[(8, 8), (16, 8), (16, 16), (24, 16)]
+    };
+    let chains: &[usize] = if quick { &[8, 16] } else { &[8, 16, 32] };
+    let mut rows = Vec::new();
+    for &(segments, taus) in rings {
+        let (net, hidden) = cpn_bench::tau_ring(segments, taus);
+        rows.push(measure_hide(
+            format!("tau_ring/{segments}x{taus}"),
+            &net,
+            &hidden,
+        ));
+    }
+    for &modules in chains {
+        let (net, hidden) = cpn_bench::cip_chain_workload(modules);
+        rows.push(measure_hide(format!("cip_chain/{modules}"), &net, &hidden));
+    }
+
+    for r in &rows {
+        println!(
+            "{}: {}p/{}t, {} hidden labels",
+            r.family, r.places, r.transitions, r.hidden_labels
+        );
+        for run in [&r.legacy, &r.engine] {
+            println!(
+                "  {:<8} {:>9.4} s  {:>12} allocs",
+                run.engine, run.seconds, run.allocs
+            );
+        }
+        println!(
+            "  -> speedup {:.2}x, alloc ratio {:.2}x",
+            r.speedup(),
+            r.alloc_ratio()
+        );
+    }
+
+    if json {
+        let mut out = String::from("{\n  \"bench\": \"hide_contract\",\n");
+        out.push_str(&format!(
+            "  \"mode\": \"{}\",\n",
+            if quick { "quick" } else { "full" }
+        ));
+        out.push_str("  \"workloads\": [\n");
+        for (i, r) in rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\n      \"family\": \"{}\",\n      \"places\": {},\n      \
+                 \"transitions\": {},\n      \"hidden_labels\": {},\n      \
+                 \"legacy_seconds\": {:.6},\n      \"engine_seconds\": {:.6},\n      \
+                 \"legacy_allocs\": {},\n      \"engine_allocs\": {},\n      \
+                 \"speedup\": {:.3},\n      \"alloc_ratio\": {:.3}\n    }}{}\n",
+                r.family,
+                r.places,
+                r.transitions,
+                r.hidden_labels,
+                r.legacy.seconds,
+                r.engine.seconds,
+                r.legacy.allocs,
+                r.engine.allocs,
+                r.speedup(),
+                r.alloc_ratio(),
+                if i + 1 < rows.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        std::fs::write("BENCH_hide.json", &out).expect("write BENCH_hide.json");
+        println!("wrote BENCH_hide.json");
+    }
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -647,6 +833,7 @@ fn main() {
     args.retain(|a| a != "--json");
     if args.iter().any(|a| a == "bench") {
         bench_explore(quick, json);
+        bench_hide(quick, json);
         return;
     }
     let run = |id: &str| args.is_empty() || args.iter().any(|a| a == id);

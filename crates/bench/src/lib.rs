@@ -156,6 +156,101 @@ pub fn wide_handshake(
     (producer, consumer, louts, routs)
 }
 
+/// A marked-graph **ring** of `segments` segments, each one observable
+/// transition `a{s}` followed by `taus` hidden transitions
+/// `h{s}_{j}` — the Figure 3(c) collapse case closed into a cycle, with
+/// per-transition-unique hidden labels so the hide-*set* size grows
+/// with the ring (`segments * taus` labels). One token circulates; one
+/// observable per segment keeps every hidden path divergence-free.
+///
+/// Returns the net together with the hide set, the input for the
+/// `hide_contract` contraction sweep.
+pub fn tau_ring(segments: usize, taus: usize) -> (PetriNet<String>, BTreeSet<String>) {
+    assert!(segments > 0);
+    let mut net: PetriNet<String> = PetriNet::new();
+    let total = segments * (taus + 1);
+    let ps: Vec<PlaceId> = (0..total).map(|i| net.add_place(format!("p{i}"))).collect();
+    let mut hidden = BTreeSet::new();
+    for s in 0..segments {
+        let base = s * (taus + 1);
+        net.add_transition([ps[base]], format!("a{s}"), [ps[(base + 1) % total]])
+            .expect("ring observable");
+        for j in 0..taus {
+            let label = format!("h{s}_{j}");
+            net.add_transition(
+                [ps[(base + 1 + j) % total]],
+                label.clone(),
+                [ps[(base + 2 + j) % total]],
+            )
+            .expect("ring hidden");
+            hidden.insert(label);
+        }
+    }
+    net.set_initial(ps[0], 1);
+    (net, hidden)
+}
+
+/// A CIP **pipeline chain** of `modules` modules connected by control
+/// channels `c0 … c{modules-2}`, expanded with 2-phase handshake
+/// signalling and composed into one net. Module `i` receives on
+/// `c{i-1}` and sends on `c{i}` (ends do one of the two).
+///
+/// Returns the composed net and the hide set: the *request* wires of
+/// every interior channel (the acknowledge wires stay observable, so
+/// no hidden cycle — hence no divergence — exists). This is the
+/// Section 6 derivation shape at benchmark scale: hiding the internal
+/// wiring of a module chain.
+pub fn cip_chain_workload(
+    modules: usize,
+) -> (
+    cpn_petri::PetriNet<cpn_stg::StgLabel>,
+    BTreeSet<cpn_stg::StgLabel>,
+) {
+    use cpn_cip::{ChannelSpec, CipGraph, HandshakeProtocol, Module};
+    assert!(modules >= 2);
+    let mut graph = CipGraph::new();
+    let mut ids = Vec::new();
+    for i in 0..modules {
+        let mut m = Module::new(format!("m{i}"));
+        let p = m.add_place("idle");
+        m.set_initial(p, 1);
+        if i == 0 {
+            m.add_send([p], "c0", None, [p]).expect("send");
+        } else if i == modules - 1 {
+            m.add_recv([p], format!("c{}", i - 1).as_str(), [p])
+                .expect("recv");
+        } else {
+            let q = m.add_place("got");
+            m.add_recv([p], format!("c{}", i - 1).as_str(), [q])
+                .expect("recv");
+            m.add_send([q], format!("c{i}").as_str(), None, [p])
+                .expect("send");
+        }
+        ids.push(graph.add_module(m));
+    }
+    for i in 0..modules - 1 {
+        graph
+            .add_channel_edge(
+                ids[i],
+                ids[i + 1],
+                ChannelSpec::control(format!("c{i}").as_str()),
+            )
+            .expect("channel");
+    }
+    let expanded = graph
+        .expand(HandshakeProtocol::TwoPhase)
+        .expect("expansion");
+    let composed = expanded.compose_all().expect("composition");
+    let hidden = composed
+        .net()
+        .alphabet()
+        .iter()
+        .filter(|l| l.signal_name().is_some_and(|s| s.name().ends_with("_req")))
+        .cloned()
+        .collect();
+    (composed.net().clone(), hidden)
+}
+
 /// `k` independent two-phase cycles synchronized pairwise on shared
 /// labels — a pipeline whose composed state space is exponential in `k`
 /// while the composed *net* is linear (the "no unfolding" claim).
@@ -230,6 +325,31 @@ mod tests {
         let st = cpn_core::check_receptiveness_structural_mg(&p, &c, &lo, &ro).unwrap();
         assert!(!ex.is_receptive());
         assert!(!st.is_receptive());
+    }
+
+    #[test]
+    fn tau_ring_hides_cleanly_both_engines() {
+        let (net, hidden) = tau_ring(3, 2);
+        assert_eq!(hidden.len(), 6);
+        let budget = cpn_petri::Budget::new(usize::MAX, 10_000);
+        let v2 = cpn_core::hide_labels_bounded(&net, &hidden, &budget).unwrap();
+        let legacy = cpn_core::hide_labels_bounded_legacy(&net, &hidden, &budget).unwrap();
+        assert_eq!(v2, legacy);
+        let done = v2.into_value();
+        for l in &hidden {
+            assert!(done.transitions_with_label(l).next().is_none());
+        }
+    }
+
+    #[test]
+    fn cip_chain_workload_hides_cleanly_both_engines() {
+        let (net, hidden) = cip_chain_workload(4);
+        assert!(!hidden.is_empty());
+        let budget = cpn_petri::Budget::new(usize::MAX, 100_000);
+        let v2 = cpn_core::hide_labels_bounded(&net, &hidden, &budget).unwrap();
+        let legacy = cpn_core::hide_labels_bounded_legacy(&net, &hidden, &budget).unwrap();
+        assert_eq!(v2, legacy);
+        assert!(v2.is_complete());
     }
 
     #[test]

@@ -213,6 +213,47 @@ impl ExpandedSystem {
         }
         Ok(out)
     }
+
+    /// Compositional reduction of one module against the rest of the
+    /// expanded system (Section 6's derivation shape: the translator is
+    /// reduced against the composition of its environment modules).
+    /// Composes every *other* module STG, then runs
+    /// [`Stg::reduce_against`] — compose, dead-removal, single-pass
+    /// engine projection onto the module's own signals, cleanup — so the
+    /// whole derivation executes on the contraction engine.
+    ///
+    /// # Errors
+    ///
+    /// [`CipError::UnknownModule`] for an out-of-range index;
+    /// composition, reachability-budget and hiding (divergence) errors
+    /// via [`CipError::Inner`].
+    pub fn reduce_module_against_rest(
+        &self,
+        i: usize,
+        options: &ReachabilityOptions,
+        hide_budget: usize,
+    ) -> Result<Stg, CipError> {
+        let Some(module) = self.stgs.get(i) else {
+            return Err(CipError::UnknownModule(i));
+        };
+        let mut rest: Option<Stg> = None;
+        for (j, stg) in self.stgs.iter().enumerate() {
+            if j == i {
+                continue;
+            }
+            rest = Some(match rest {
+                None => stg.clone(),
+                Some(acc) => acc.compose(stg).map_err(inner)?,
+            });
+        }
+        let Some(rest) = rest else {
+            // Nothing to reduce against: the module is the whole system.
+            return Ok(module.clone());
+        };
+        module
+            .reduce_against(&rest, options, hide_budget)
+            .map_err(inner)
+    }
 }
 
 fn inner(e: impl std::error::Error + Send + Sync + 'static) -> CipError {

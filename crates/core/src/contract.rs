@@ -1,0 +1,827 @@
+//! The contraction **engine**: in-place net editing for hiding and
+//! structural reduction.
+//!
+//! [`hide_transition`](crate::hide_transition) is the paper's
+//! Definition 4.10 in its purest form — and it rebuilds a fresh
+//! [`PetriNet`] per contraction, re-scanning all transitions for the
+//! preset/postset precondition. That is fine for one contraction and
+//! quadratic for a hiding pass. This module provides the production
+//! path: a [`NetEditor`] holding the net in tombstoned arenas with three
+//! persistent indexes —
+//!
+//! * label → transitions (the hiding worklist),
+//! * place → consumers (transitions reading it),
+//! * place → producers (transitions feeding it),
+//!
+//! so that each contraction is an **in-place splice** (delete `t`, mint
+//! the product places, rewrite the adjacent transitions, append the
+//! virtual duplicates), the both-sides precondition is an index
+//! intersection, and multi-label hiding drains a correctly-maintained
+//! worklist: a duplicate that carries a hidden label is re-enqueued by
+//! the same index update that registers it.
+//!
+//! # Order replication
+//!
+//! The reference implementation
+//! ([`hide_labels_bounded_legacy`](crate::hide_labels_bounded_legacy))
+//! always contracts the *first* transition carrying the label, and its
+//! rebuild inserts every virtual duplicate immediately after the real
+//! variant it was copied from. The editor replicates that order exactly
+//! with a **path key** per transition: original transition `i` carries
+//! key `[i]`; a duplicate of `u` carries `key(u) ++ [c]` with a globally
+//! decreasing counter `c`. Lexicographic order on keys then equals the
+//! legacy net order at every step (a duplicate sorts right behind its
+//! parent, and a later-round duplicate of the same parent sorts before
+//! an earlier one, exactly as repeated rebuilds interleave them), so the
+//! engine selects the same contraction at every step, produces
+//! bit-identical results, and reports bit-identical
+//! [`Bounded::Exhausted`](cpn_petri::Bounded) prefixes — the contract
+//! the differential property suite in `tests/contract_equivalence.rs`
+//! enforces.
+//!
+//! # Reduction rules
+//!
+//! On top of contraction the editor offers three structural reduction
+//! rules, each preserving the trace language *exactly* (not merely up to
+//! a depth):
+//!
+//! * [`dedup_transitions`](NetEditor::dedup_transitions) — duplicate
+//!   transitions (same label, preset and postset) collapse to one;
+//! * [`remove_redundant_places`](NetEditor::remove_redundant_places) —
+//!   places with identical producers, consumers and initial marking hold
+//!   identical token counts in every reachable marking, so all but one
+//!   are implied constraints;
+//! * [`prune_stranded`](NetEditor::prune_stranded) — a transition whose
+//!   preset contains an unmarked place with no producers can never fire;
+//!   removing it (to a fixpoint) and dropping the unmarked places left
+//!   isolated is what completes the marked-graph collapse of Figure
+//!   3(c): the two places straddling a contracted silent transition fuse
+//!   into their product place.
+//!
+//! [`reduce`](NetEditor::reduce) runs the three to a joint fixpoint —
+//! the between-contraction cleanup that stops product-place accretion in
+//! long hiding chains.
+
+use cpn_petri::{Label, Meter, PetriError, PetriNet, PlaceId, TransitionId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A place record in the editor arena.
+#[derive(Clone, Debug)]
+struct PlaceRec {
+    name: String,
+    tokens: u32,
+}
+
+/// A transition record in the editor arena. `key` is the path key that
+/// replicates the legacy rebuild order (see the module docs).
+#[derive(Clone, Debug)]
+struct TransRec<L> {
+    preset: BTreeSet<u32>,
+    label: L,
+    postset: BTreeSet<u32>,
+    key: Vec<u32>,
+}
+
+/// Counts of what [`NetEditor::reduce`] removed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReductionStats {
+    /// Duplicate transitions collapsed (same label/preset/postset).
+    pub duplicate_transitions: usize,
+    /// Redundant places removed (identical producers/consumers/marking).
+    pub redundant_places: usize,
+    /// Structurally dead transitions pruned (unmarked producer-less
+    /// preset place).
+    pub stranded_transitions: usize,
+    /// Unmarked places left with no adjacent transitions.
+    pub isolated_places: usize,
+}
+
+impl ReductionStats {
+    /// Total number of elements removed.
+    pub fn total(&self) -> usize {
+        self.duplicate_transitions
+            + self.redundant_places
+            + self.stranded_transitions
+            + self.isolated_places
+    }
+}
+
+/// A mutable, indexed view of a [`PetriNet`] supporting in-place
+/// contraction (Definition 4.10) and structural reduction.
+///
+/// Build one with [`NetEditor::from_net`], edit, then materialize the
+/// result with [`NetEditor::finish`]. See the module docs for the
+/// invariants (tombstoned arenas, persistent indexes, path-key order).
+#[derive(Clone, Debug)]
+pub struct NetEditor<L: Label> {
+    places: Vec<Option<PlaceRec>>,
+    transitions: Vec<Option<TransRec<L>>>,
+    alphabet: BTreeSet<L>,
+    /// label → live transitions carrying it (the hiding worklist).
+    label_index: BTreeMap<L, BTreeSet<u32>>,
+    /// place → live transitions with the place in their preset.
+    consumers: Vec<BTreeSet<u32>>,
+    /// place → live transitions with the place in their postset.
+    producers: Vec<BTreeSet<u32>>,
+    /// Globally decreasing duplicate counter (see module docs).
+    dup_counter: u32,
+    live_places: usize,
+    live_transitions: usize,
+    contractions: usize,
+    edits: usize,
+}
+
+impl<L: Label> NetEditor<L> {
+    /// Builds an editor over a copy of `net`. Place and transition arena
+    /// slots initially coincide with the net's ids, so original
+    /// [`TransitionId`]s remain valid selectors until the first edit.
+    pub fn from_net(net: &PetriNet<L>) -> Self {
+        let m0 = net.initial_marking();
+        let places: Vec<Option<PlaceRec>> = net
+            .places()
+            .map(|(id, p)| {
+                Some(PlaceRec {
+                    name: p.name().to_owned(),
+                    tokens: m0.tokens(id),
+                })
+            })
+            .collect();
+        let mut consumers = vec![BTreeSet::new(); places.len()];
+        let mut producers = vec![BTreeSet::new(); places.len()];
+        let mut label_index: BTreeMap<L, BTreeSet<u32>> = BTreeMap::new();
+        let mut transitions = Vec::with_capacity(net.transition_count());
+        for (id, t) in net.transitions() {
+            let i = id.index() as u32;
+            for &p in t.preset() {
+                consumers[p.index()].insert(i);
+            }
+            for &p in t.postset() {
+                producers[p.index()].insert(i);
+            }
+            label_index.entry(t.label().clone()).or_default().insert(i);
+            transitions.push(Some(TransRec {
+                preset: t.preset().iter().map(|p| p.index() as u32).collect(),
+                label: t.label().clone(),
+                postset: t.postset().iter().map(|p| p.index() as u32).collect(),
+                key: vec![i],
+            }));
+        }
+        NetEditor {
+            live_places: places.len(),
+            live_transitions: transitions.len(),
+            places,
+            transitions,
+            alphabet: net.alphabet().clone(),
+            label_index,
+            consumers,
+            producers,
+            dup_counter: u32::MAX,
+            contractions: 0,
+            edits: 0,
+        }
+    }
+
+    /// Number of live (non-tombstoned) places.
+    pub fn place_count(&self) -> usize {
+        self.live_places
+    }
+
+    /// Number of live (non-tombstoned) transitions.
+    pub fn transition_count(&self) -> usize {
+        self.live_transitions
+    }
+
+    /// Contractions performed so far.
+    pub fn contractions(&self) -> usize {
+        self.contractions
+    }
+
+    /// Monotone edit counter: increments on every structural change
+    /// (contraction, rule removal, transition removal). Snapshot it to
+    /// detect whether a phase changed anything.
+    pub fn edits(&self) -> usize {
+        self.edits
+    }
+
+    // ------------------------------------------------------------------
+    // Internal arena/index plumbing
+    // ------------------------------------------------------------------
+
+    fn add_place_rec(&mut self, name: String, tokens: u32) -> u32 {
+        let id = self.places.len() as u32;
+        self.places.push(Some(PlaceRec { name, tokens }));
+        self.consumers.push(BTreeSet::new());
+        self.producers.push(BTreeSet::new());
+        self.live_places += 1;
+        id
+    }
+
+    fn add_transition_rec(
+        &mut self,
+        preset: BTreeSet<u32>,
+        label: L,
+        postset: BTreeSet<u32>,
+        key: Vec<u32>,
+    ) -> u32 {
+        let id = self.transitions.len() as u32;
+        for &p in &preset {
+            self.consumers[p as usize].insert(id);
+        }
+        for &p in &postset {
+            self.producers[p as usize].insert(id);
+        }
+        self.label_index
+            .entry(label.clone())
+            .or_default()
+            .insert(id);
+        self.transitions.push(Some(TransRec {
+            preset,
+            label,
+            postset,
+            key,
+        }));
+        self.live_transitions += 1;
+        id
+    }
+
+    /// Unlinks a transition from every index and tombstones it,
+    /// returning its record. `None` if the slot was already dead.
+    fn detach(&mut self, t: usize) -> Option<TransRec<L>> {
+        let rec = self.transitions.get_mut(t)?.take()?;
+        let tid = t as u32;
+        for &p in &rec.preset {
+            self.consumers[p as usize].remove(&tid);
+        }
+        for &p in &rec.postset {
+            self.producers[p as usize].remove(&tid);
+        }
+        if let Some(set) = self.label_index.get_mut(&rec.label) {
+            set.remove(&tid);
+            if set.is_empty() {
+                self.label_index.remove(&rec.label);
+            }
+        }
+        self.live_transitions -= 1;
+        self.edits += 1;
+        Some(rec)
+    }
+
+    fn tombstone_place(&mut self, p: usize) {
+        if self.places[p].take().is_some() {
+            self.live_places -= 1;
+            self.edits += 1;
+        }
+        self.consumers[p].clear();
+        self.producers[p].clear();
+    }
+
+    /// The live transition carrying `label` that is first in legacy net
+    /// order (minimal path key).
+    fn first_with_label(&self, label: &L) -> Option<usize> {
+        let set = self.label_index.get(label)?;
+        let mut best: Option<(&[u32], u32)> = None;
+        for &tid in set {
+            let key = self.transitions[tid as usize].as_ref()?.key.as_slice();
+            if best.is_none_or(|(bk, _)| key < bk) {
+                best = Some((key, tid));
+            }
+        }
+        best.map(|(_, tid)| tid as usize)
+    }
+
+    // ------------------------------------------------------------------
+    // Contraction (Definition 4.10, in place)
+    // ------------------------------------------------------------------
+
+    /// Contracts transition `t` out of the net in place — the splice
+    /// form of [`hide_transition`](crate::hide_transition): delete `t`,
+    /// mint the product places `p × q`, rewrite the `p`-adjacent
+    /// transitions onto the product rows, and append one virtual
+    /// duplicate per successor.
+    ///
+    /// # Errors
+    ///
+    /// The same structural failures as
+    /// [`hide_transition`](crate::hide_transition):
+    /// [`PetriError::UnknownTransition`] for a dead or out-of-range
+    /// slot, [`PetriError::HideSelfLoop`] for a self-loop (divergence),
+    /// and [`PetriError::Precondition`] for an empty preset/postset or a
+    /// transition consuming from both sides of `t`.
+    pub fn contract(&mut self, t: usize) -> Result<(), PetriError> {
+        let (p, q) = {
+            let Some(rec) = self.transitions.get(t).and_then(|r| r.as_ref()) else {
+                return Err(PetriError::UnknownTransition(t as u32));
+            };
+            if rec.preset.intersection(&rec.postset).next().is_some() {
+                return Err(PetriError::HideSelfLoop(t as u32));
+            }
+            if rec.preset.is_empty() || rec.postset.is_empty() {
+                return Err(PetriError::Precondition(
+                    "contraction needs a non-empty preset and postset".to_owned(),
+                ));
+            }
+            (rec.preset.clone(), rec.postset.clone())
+        };
+
+        // Both-sides precondition as an index intersection: a transition
+        // consuming from p *and* q would need two tokens from one
+        // product place — inexpressible with set-valued arcs.
+        let mut p_consumers: BTreeSet<u32> = BTreeSet::new();
+        for &x in &p {
+            p_consumers.extend(self.consumers[x as usize].iter().copied());
+        }
+        p_consumers.remove(&(t as u32));
+        for &y in &q {
+            if let Some(&uid) = self.consumers[y as usize]
+                .iter()
+                .find(|&&u| u != t as u32 && p_consumers.contains(&u))
+            {
+                return Err(PetriError::Precondition(format!(
+                    "transition t{uid} consumes from both the preset and the postset of the hidden transition"
+                )));
+            }
+        }
+
+        self.detach(t);
+
+        // Successors (consumers of q) snapshot — rewriting below only
+        // touches p-membership, so q-membership stays as captured.
+        let successors: BTreeSet<u32> = q
+            .iter()
+            .flat_map(|&y| self.consumers[y as usize].iter().copied())
+            .collect();
+
+        // Mint the product places (p_i, q_j), marked with M0(p_i).
+        let mut row: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+        let mut all_products: BTreeSet<u32> = BTreeSet::new();
+        for &pi in &p {
+            let (name_pi, tokens_pi) = match self.places[pi as usize].as_ref() {
+                Some(rec) => (rec.name.clone(), rec.tokens),
+                None => return Err(PetriError::UnknownPlace(pi)),
+            };
+            let mut r = Vec::with_capacity(q.len());
+            for &qj in &q {
+                let name_qj = match self.places[qj as usize].as_ref() {
+                    Some(rec) => rec.name.clone(),
+                    None => return Err(PetriError::UnknownPlace(qj)),
+                };
+                let id = self.add_place_rec(format!("({name_pi},{name_qj})"), tokens_pi);
+                r.push(id);
+                all_products.insert(id);
+            }
+            row.insert(pi, r);
+        }
+
+        // Rewrite every p-adjacent transition onto the product rows.
+        for &pi in &p {
+            let r = row[&pi].clone();
+            for uid in std::mem::take(&mut self.consumers[pi as usize]) {
+                if let Some(rec) = self.transitions[uid as usize].as_mut() {
+                    rec.preset.remove(&pi);
+                    rec.preset.extend(r.iter().copied());
+                }
+                for &np in &r {
+                    self.consumers[np as usize].insert(uid);
+                }
+            }
+            for uid in std::mem::take(&mut self.producers[pi as usize]) {
+                if let Some(rec) = self.transitions[uid as usize].as_mut() {
+                    rec.postset.remove(&pi);
+                    rec.postset.extend(r.iter().copied());
+                }
+                for &np in &r {
+                    self.producers[np as usize].insert(uid);
+                }
+            }
+        }
+
+        // One virtual duplicate per successor: consume the complete
+        // pending firing of t plus the non-q preset, re-emit the q
+        // places the successor does not consume itself.
+        for &uid in &successors {
+            let Some(rec) = self.transitions[uid as usize].as_ref() else {
+                continue;
+            };
+            let mut vpre = all_products.clone();
+            for &x in &rec.preset {
+                if !q.contains(&x) {
+                    vpre.insert(x);
+                }
+            }
+            if vpre == rec.preset {
+                // Degenerate duplicate identical to the real variant
+                // (the pure marked-graph collapse case).
+                continue;
+            }
+            let mut vpost = rec.postset.clone();
+            for &qj in &q {
+                if !rec.preset.contains(&qj) {
+                    vpost.insert(qj);
+                }
+            }
+            let label = rec.label.clone();
+            let mut key = rec.key.clone();
+            key.push(self.dup_counter);
+            self.dup_counter -= 1;
+            self.add_transition_rec(vpre, label, vpost, key);
+        }
+
+        for &pi in &p {
+            self.tombstone_place(pi as usize);
+        }
+        self.contractions += 1;
+        Ok(())
+    }
+
+    /// Drains the worklist for one label: repeatedly contracts the
+    /// first (legacy-order) transition carrying `label`, charging one
+    /// transition per contraction against `meter`.
+    ///
+    /// Worklist invariant: the label index *is* the worklist. A
+    /// contraction that duplicates a transition carrying `label`
+    /// re-enqueues the duplicate through the same index update that
+    /// registers it, so no separate rescan is needed; path-key selection
+    /// keeps the order identical to the legacy rescan.
+    ///
+    /// Returns `true` when the label is fully hidden (and undeclared),
+    /// `false` when the meter ran out first (the label stays declared,
+    /// matching the legacy partial result).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NetEditor::contract`] failures.
+    pub fn hide_label(&mut self, label: &L, meter: &mut Meter) -> Result<bool, PetriError> {
+        loop {
+            let Some(t) = self.first_with_label(label) else {
+                self.alphabet.remove(label);
+                return Ok(true);
+            };
+            if !meter.take_transition() {
+                return Ok(false);
+            }
+            self.contract(t)?;
+        }
+    }
+
+    /// Hides a set of labels under one shared meter (the engine behind
+    /// [`hide_labels_bounded`](crate::hide_labels_bounded)). Returns
+    /// `true` when every label was fully hidden.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NetEditor::contract`] failures.
+    pub fn hide_labels(
+        &mut self,
+        labels: &BTreeSet<L>,
+        meter: &mut Meter,
+    ) -> Result<bool, PetriError> {
+        for l in labels {
+            if !self.hide_label(l, meter)? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Removes a batch of transitions by their **original** net ids.
+    ///
+    /// Valid only while original ids still coincide with arena slots —
+    /// i.e. before any contraction (duplicates shift nothing, but
+    /// contraction tombstones and appends). The fused synthesis pipeline
+    /// calls this with the dead-transition set right after
+    /// [`NetEditor::from_net`].
+    pub fn remove_transitions(&mut self, remove: &BTreeSet<TransitionId>) {
+        for &t in remove {
+            self.detach(t.index());
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Structural reduction rules (each exactly trace-preserving)
+    // ------------------------------------------------------------------
+
+    /// Collapses duplicate transitions (same label, preset and postset)
+    /// to the one earliest in legacy order. Returns the number removed.
+    pub fn dedup_transitions(&mut self) -> usize {
+        let mut order: Vec<(&[u32], usize)> = self
+            .transitions
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| t.as_ref().map(|t| (t.key.as_slice(), i)))
+            .collect();
+        order.sort_unstable_by(|a, b| a.0.cmp(b.0));
+        let mut seen: BTreeSet<(L, Vec<u32>, Vec<u32>)> = BTreeSet::new();
+        let mut kill: Vec<usize> = Vec::new();
+        for (_, i) in order {
+            if let Some(rec) = self.transitions[i].as_ref() {
+                let sig = (
+                    rec.label.clone(),
+                    rec.preset.iter().copied().collect(),
+                    rec.postset.iter().copied().collect(),
+                );
+                if !seen.insert(sig) {
+                    kill.push(i);
+                }
+            }
+        }
+        for t in &kill {
+            self.detach(*t);
+        }
+        kill.len()
+    }
+
+    /// Removes places that duplicate another place's constraint: same
+    /// producers, same consumers, same initial marking — their token
+    /// counts stay in lockstep in every reachable marking, so all but
+    /// the first are implied. Returns the number removed.
+    pub fn remove_redundant_places(&mut self) -> usize {
+        let mut seen: BTreeSet<(Vec<u32>, Vec<u32>, u32)> = BTreeSet::new();
+        let mut removed = 0usize;
+        for i in 0..self.places.len() {
+            let Some(rec) = self.places[i].as_ref() else {
+                continue;
+            };
+            if self.consumers[i].is_empty() && self.producers[i].is_empty() {
+                continue; // disconnected; prune_stranded's concern
+            }
+            let sig = (
+                self.producers[i].iter().copied().collect(),
+                self.consumers[i].iter().copied().collect(),
+                rec.tokens,
+            );
+            if seen.insert(sig) {
+                continue;
+            }
+            // Duplicate of an earlier place: every adjacent transition
+            // also carries the representative, so membership removal
+            // never empties a set.
+            let pid = i as u32;
+            for uid in self.consumers[i].clone() {
+                if let Some(t) = self.transitions[uid as usize].as_mut() {
+                    t.preset.remove(&pid);
+                }
+            }
+            for uid in self.producers[i].clone() {
+                if let Some(t) = self.transitions[uid as usize].as_mut() {
+                    t.postset.remove(&pid);
+                }
+            }
+            self.tombstone_place(i);
+            removed += 1;
+        }
+        removed
+    }
+
+    /// Prunes structurally dead transitions — any whose preset contains
+    /// an unmarked place with no producers can never fire — to a
+    /// fixpoint, then drops the unmarked places left with no adjacent
+    /// transitions. Returns `(transitions_pruned, places_dropped)`.
+    ///
+    /// This is the rule that finishes the marked-graph collapse: after a
+    /// series contraction the orphaned real variant consumes exactly
+    /// such a stranded place.
+    pub fn prune_stranded(&mut self) -> (usize, usize) {
+        let mut stack: Vec<usize> = (0..self.places.len())
+            .filter(|&i| {
+                self.places[i]
+                    .as_ref()
+                    .is_some_and(|r| r.tokens == 0 && self.producers[i].is_empty())
+            })
+            .collect();
+        let mut pruned = 0usize;
+        while let Some(x) = stack.pop() {
+            for uid in self.consumers[x].clone() {
+                let Some(rec) = self.detach(uid as usize) else {
+                    continue;
+                };
+                pruned += 1;
+                for &y in &rec.postset {
+                    let yi = y as usize;
+                    if self.places[yi]
+                        .as_ref()
+                        .is_some_and(|r| r.tokens == 0 && self.producers[yi].is_empty())
+                    {
+                        stack.push(yi);
+                    }
+                }
+            }
+        }
+        let mut dropped = 0usize;
+        for i in 0..self.places.len() {
+            let isolated = self.places[i].as_ref().is_some_and(|r| r.tokens == 0)
+                && self.consumers[i].is_empty()
+                && self.producers[i].is_empty();
+            if isolated {
+                self.tombstone_place(i);
+                dropped += 1;
+            }
+        }
+        (pruned, dropped)
+    }
+
+    /// Runs all three reduction rules to a joint fixpoint.
+    pub fn reduce(&mut self) -> ReductionStats {
+        let mut stats = ReductionStats::default();
+        loop {
+            let d = self.dedup_transitions();
+            let r = self.remove_redundant_places();
+            let (s, iso) = self.prune_stranded();
+            stats.duplicate_transitions += d;
+            stats.redundant_places += r;
+            stats.stranded_transitions += s;
+            stats.isolated_places += iso;
+            if d + r + s + iso == 0 {
+                return stats;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Materialization
+    // ------------------------------------------------------------------
+
+    /// Materializes the edited net: live places in arena (creation)
+    /// order, live transitions in path-key (legacy) order, the
+    /// maintained alphabet and marking. Bit-identical to what the
+    /// equivalent chain of [`hide_transition`](crate::hide_transition)
+    /// rebuilds would have produced.
+    ///
+    /// # Errors
+    ///
+    /// [`PetriError::UnknownPlace`] / [`PetriError::DegenerateTransition`]
+    /// only if internal invariants were violated — never for nets built
+    /// through the public editing operations.
+    pub fn finish(&self) -> Result<PetriNet<L>, PetriError> {
+        let mut net: PetriNet<L> = PetriNet::new();
+        let mut map: Vec<Option<PlaceId>> = vec![None; self.places.len()];
+        for (i, rec) in self.places.iter().enumerate() {
+            if let Some(rec) = rec {
+                let id = net.add_place(rec.name.clone());
+                net.set_initial(id, rec.tokens);
+                map[i] = Some(id);
+            }
+        }
+        let mut order: Vec<(&[u32], &TransRec<L>)> = self
+            .transitions
+            .iter()
+            .filter_map(|t| t.as_ref().map(|t| (t.key.as_slice(), t)))
+            .collect();
+        order.sort_unstable_by(|a, b| a.0.cmp(b.0));
+        for (_, rec) in order {
+            let mapped = |s: &BTreeSet<u32>| -> Result<Vec<PlaceId>, PetriError> {
+                s.iter()
+                    .map(|&x| map[x as usize].ok_or(PetriError::UnknownPlace(x)))
+                    .collect()
+            };
+            net.add_transition(
+                mapped(&rec.preset)?,
+                rec.label.clone(),
+                mapped(&rec.postset)?,
+            )?;
+        }
+        for l in &self.alphabet {
+            net.declare_label(l.clone());
+        }
+        Ok(net)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use cpn_petri::Budget;
+
+    fn chain() -> PetriNet<&'static str> {
+        // p0 -a-> p1 -tau-> p2 -b-> p3
+        let mut net: PetriNet<&str> = PetriNet::new();
+        let p0 = net.add_place("p0");
+        let p1 = net.add_place("p1");
+        let p2 = net.add_place("p2");
+        let p3 = net.add_place("p3");
+        net.add_transition([p0], "a", [p1]).unwrap();
+        net.add_transition([p1], "tau", [p2]).unwrap();
+        net.add_transition([p2], "b", [p3]).unwrap();
+        net.set_initial(p0, 1);
+        net
+    }
+
+    #[test]
+    fn contract_matches_reference_single_step() {
+        let net = chain();
+        let reference = crate::hide_transition(&net, TransitionId::from_index(1)).unwrap();
+        let mut ed = NetEditor::from_net(&net);
+        ed.contract(1).unwrap();
+        assert_eq!(ed.finish().unwrap(), reference);
+    }
+
+    #[test]
+    fn editor_counts_track_edits() {
+        let mut ed = NetEditor::from_net(&chain());
+        assert_eq!((ed.place_count(), ed.transition_count()), (4, 3));
+        assert_eq!(ed.edits(), 0);
+        ed.contract(1).unwrap();
+        assert_eq!(ed.contractions(), 1);
+        assert!(ed.edits() > 0);
+        // tau gone, product place minted, duplicate of b appended.
+        assert_eq!(ed.transition_count(), 3);
+        assert_eq!(ed.place_count(), 4);
+    }
+
+    #[test]
+    fn contract_error_parity_with_reference() {
+        let mut net: PetriNet<&str> = PetriNet::new();
+        let p = net.add_place("p");
+        let q = net.add_place("q");
+        let t = net.add_transition([p], "tau", [p, q]).unwrap();
+        net.set_initial(p, 1);
+        let mut ed = NetEditor::from_net(&net);
+        assert!(matches!(
+            ed.contract(t.index()),
+            Err(PetriError::HideSelfLoop(_))
+        ));
+        assert!(matches!(
+            ed.contract(99),
+            Err(PetriError::UnknownTransition(99))
+        ));
+    }
+
+    #[test]
+    fn both_sides_consumer_rejected_via_index() {
+        // u consumes from both the preset and postset of tau.
+        let mut net: PetriNet<&str> = PetriNet::new();
+        let a = net.add_place("a");
+        let b = net.add_place("b");
+        let c = net.add_place("c");
+        let tau = net.add_transition([a], "tau", [b]).unwrap();
+        net.add_transition([a, b], "u", [c]).unwrap();
+        net.set_initial(a, 1);
+        let mut ed = NetEditor::from_net(&net);
+        assert!(matches!(
+            ed.contract(tau.index()),
+            Err(PetriError::Precondition(_))
+        ));
+        assert!(matches!(
+            crate::hide_transition(&net, tau),
+            Err(PetriError::Precondition(_))
+        ));
+    }
+
+    #[test]
+    fn reduce_completes_marked_graph_collapse() {
+        // After contracting tau the orphaned real `b` and its stranded
+        // place fuse away: a -> (p1,p2) -> b remains.
+        let mut ed = NetEditor::from_net(&chain());
+        ed.contract(1).unwrap();
+        let stats = ed.reduce();
+        assert_eq!(stats.stranded_transitions, 1);
+        assert_eq!(ed.transition_count(), 2);
+        let net = ed.finish().unwrap();
+        assert_eq!(net.transition_count(), 2);
+        assert_eq!(net.place_count(), 3);
+    }
+
+    #[test]
+    fn dedup_collapses_identical_transitions() {
+        let mut net: PetriNet<&str> = PetriNet::new();
+        let p = net.add_place("p");
+        let q = net.add_place("q");
+        net.add_transition([p], "a", [q]).unwrap();
+        net.add_transition([p], "a", [q]).unwrap();
+        net.add_transition([p], "b", [q]).unwrap();
+        net.set_initial(p, 1);
+        let mut ed = NetEditor::from_net(&net);
+        assert_eq!(ed.dedup_transitions(), 1);
+        assert_eq!(ed.transition_count(), 2);
+    }
+
+    #[test]
+    fn redundant_places_lockstep_removed() {
+        // r mirrors q exactly (same producer, consumer, marking).
+        let mut net: PetriNet<&str> = PetriNet::new();
+        let p = net.add_place("p");
+        let q = net.add_place("q");
+        let r = net.add_place("r");
+        net.add_transition([p], "a", [q, r]).unwrap();
+        net.add_transition([q, r], "b", [p]).unwrap();
+        net.set_initial(p, 1);
+        let mut ed = NetEditor::from_net(&net);
+        assert_eq!(ed.remove_redundant_places(), 1);
+        let reduced = ed.finish().unwrap();
+        assert_eq!(reduced.place_count(), 2);
+        let l0 = cpn_trace::Language::from_net(&net, 4, 10_000).unwrap();
+        let l1 = cpn_trace::Language::from_net(&reduced, 4, 10_000).unwrap();
+        assert!(l0.eq_up_to(&l1, 4));
+    }
+
+    #[test]
+    fn hide_label_respects_meter() {
+        let net = chain();
+        let mut ed = NetEditor::from_net(&net);
+        let mut meter = Meter::new(&Budget::new(usize::MAX, 0));
+        assert!(!ed.hide_label(&"tau", &mut meter).unwrap());
+        assert_eq!(ed.contractions(), 0);
+        // Untouched: finishing returns the original net.
+        assert_eq!(ed.finish().unwrap(), net);
+    }
+}

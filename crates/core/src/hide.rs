@@ -239,7 +239,10 @@ pub fn hide_label_bounded<L: Label>(
     hide_labels_bounded(net, &BTreeSet::from([label.clone()]), budget)
 }
 
-/// Hides a set of labels (successive [`hide_label`] applications).
+/// Hides a set of labels (equivalent to successive [`hide_label`]
+/// applications, each with its own `budget` of contractions), executed
+/// on one [`NetEditor`](crate::NetEditor) so the intermediate nets are
+/// never materialized.
 ///
 /// # Errors
 ///
@@ -249,17 +252,33 @@ pub fn hide_labels<L: Label>(
     labels: &BTreeSet<L>,
     budget: usize,
 ) -> Result<PetriNet<L>, PetriError> {
-    let mut current = net.clone();
+    let mut editor = crate::NetEditor::from_net(net);
+    let per_label = Budget::new(usize::MAX, budget);
     for l in labels {
-        current = hide_label(&current, l, budget)?;
+        let mut meter = Meter::new(&per_label);
+        if !editor.hide_label(l, &mut meter)? {
+            return Err(PetriError::Precondition(format!(
+                "hiding of {l} did not converge within {budget} contractions"
+            )));
+        }
     }
-    Ok(current)
+    editor.finish()
 }
 
 /// Hides a set of labels under one shared [`Budget`]: the transition cap
 /// bounds the *total* number of contractions across all labels. On
 /// exhaustion the partially contracted net is returned in
 /// [`Bounded::Exhausted`] with statistics on how far hiding got.
+///
+/// Runs on the [`NetEditor`](crate::NetEditor) contraction engine: the
+/// label→transitions index doubles as the worklist, so a contraction
+/// that *duplicates* a transition carrying a hidden label (a successor
+/// of the contracted transition can carry the label itself) re-enqueues
+/// the duplicate through the same index update that registers it — no
+/// per-round rescan is needed, and path-key selection keeps the
+/// contraction order (hence the result, including any
+/// [`Bounded::Exhausted`] prefix) bit-identical to the reference
+/// [`hide_labels_bounded_legacy`] rescan loop.
 ///
 /// # Errors
 ///
@@ -271,14 +290,41 @@ pub fn hide_labels_bounded<L: Label>(
     budget: &Budget,
 ) -> Result<Bounded<PetriNet<L>>, crate::CoreError> {
     let mut meter = Meter::new(budget);
+    let mut editor = crate::NetEditor::from_net(net);
+    for l in labels {
+        if !editor.hide_label(l, &mut meter)? {
+            // Exhausted mid-label: the label stays declared and its
+            // remaining transitions survive into the partial net.
+            return Ok(meter.finish(editor.finish()?));
+        }
+    }
+    Ok(meter.finish(editor.finish()?))
+}
+
+/// The pre-engine reference implementation of [`hide_labels_bounded`]:
+/// one [`hide_transition`] rebuild per contraction, re-scanning
+/// `transitions_with_label` from the first match every round (the
+/// rebuild renumbers transitions, so a resume cursor would skip
+/// late-inserted duplicates — the engine instead maintains the worklist
+/// as an index).
+///
+/// Kept as the differential oracle for the `contract_equivalence`
+/// property suite and the `hide_contract` benchmark baseline; use
+/// [`hide_labels_bounded`] everywhere else.
+///
+/// # Errors
+///
+/// Structural contraction errors surface as
+/// [`CoreError`](crate::CoreError); running out of budget does not.
+pub fn hide_labels_bounded_legacy<L: Label>(
+    net: &PetriNet<L>,
+    labels: &BTreeSet<L>,
+    budget: &Budget,
+) -> Result<Bounded<PetriNet<L>>, crate::CoreError> {
+    let mut meter = Meter::new(budget);
     let mut current = net.clone();
     for l in labels {
         loop {
-            // Contraction renumbers transitions and may *duplicate* ones
-            // that carry `l` themselves (a successor of the contracted
-            // transition can be another `l`-transition), so every round
-            // re-scans from the first match — a resume cursor would skip
-            // late-inserted duplicates.
             let Some(t) = current.transitions_with_label(l).next() else {
                 current.undeclare_label(l);
                 break;

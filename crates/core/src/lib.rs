@@ -62,6 +62,7 @@
 
 pub mod choice;
 pub mod circuit;
+pub mod contract;
 pub mod error;
 pub mod hide;
 pub mod ops;
@@ -71,14 +72,18 @@ pub mod verify;
 
 pub use choice::{choice, choice_general, root_unwinding, RootUnwinding};
 pub use circuit::Circuit;
+pub use contract::{NetEditor, ReductionStats};
 pub use error::CoreError;
 pub use hide::{
-    hide_label, hide_label_bounded, hide_labels, hide_labels_bounded, hide_relabel,
-    hide_transition, project, project_bounded,
+    hide_label, hide_label_bounded, hide_labels, hide_labels_bounded, hide_labels_bounded_legacy,
+    hide_relabel, hide_transition, project, project_bounded,
 };
 pub use ops::{nil, prefix, prefix_general, rename};
 pub use parallel::{parallel, parallel_tracked, parallel_with_sync, Composition, SyncTransition};
-pub use synthesis::{closure_report, reduce_against_environment, ClosureReport, Reduction};
+pub use synthesis::{
+    closure_report, reduce_against_environment, reduce_against_environment_fused, ClosureReport,
+    Reduction,
+};
 pub use verify::{
     check_receptiveness, check_receptiveness_bounded, check_receptiveness_composed,
     check_receptiveness_composed_bounded, check_receptiveness_structural_mg,

@@ -14,10 +14,12 @@
 //! and marked graphs under prefix, renaming and parallel composition
 //! (Prop 5.4).
 
+use crate::contract::NetEditor;
 use crate::hide::project;
 use crate::parallel::parallel;
 use cpn_petri::{
-    dead_transitions_rg, remove_dead, Label, PetriError, PetriNet, ReachabilityOptions,
+    dead_transitions_rg, remove_dead, Budget, Label, Meter, PetriError, PetriNet,
+    ReachabilityOptions,
 };
 use std::collections::BTreeSet;
 use std::fmt;
@@ -96,7 +98,94 @@ pub fn reduce_against_environment<L: Label>(
     let pruned = remove_dead(&composed, &dead);
     let keep: BTreeSet<L> = module.alphabet().clone();
     let net = project(&pruned, &keep, hide_budget)?;
+    if net.same_structure(&pruned) {
+        // Projection was a no-op (nothing to hide, or hiding only shrank
+        // the alphabet): the reachability graph is unchanged, so the
+        // second dead-removal pass cannot find anything new.
+        return Ok(Reduction {
+            net,
+            dead_removed,
+            composed_transitions,
+        });
+    }
     // Projection can strand further transitions; one more cleanup pass.
+    let rg2 = net.reachability(options)?;
+    let dead2 = dead_transitions_rg(&net, &rg2);
+    let net = remove_dead(&net, &dead2);
+    Ok(Reduction {
+        net,
+        dead_removed: dead_removed + dead2.len(),
+        composed_transitions,
+    })
+}
+
+/// Single-pass, engine-fused variant of [`reduce_against_environment`]:
+/// dead-transition removal and projection run interleaved on one
+/// [`NetEditor`], so the pipeline materializes exactly one intermediate
+/// net (the composition) instead of one per stage, and the structural
+/// reduction rules ([`NetEditor::reduce`]) run between labels to stop
+/// product-place accretion. The compiled-kernel reachability pass is
+/// reused from the composition; the second pass is skipped outright when
+/// projection (plus reduction) changed nothing after pruning.
+///
+/// Semantically equivalent to the staged pipeline up to trace language —
+/// the interleaved reduction rules can remove structurally dead or
+/// duplicated elements the staged pipeline keeps, so the resulting net
+/// may be *smaller*, never behaviorally different.
+///
+/// # Errors
+///
+/// Propagates reachability budget errors and hiding errors (divergence),
+/// exactly as [`reduce_against_environment`] does; each hidden label
+/// gets its own `hide_budget` of contractions.
+pub fn reduce_against_environment_fused<L: Label>(
+    module: &PetriNet<L>,
+    env: &PetriNet<L>,
+    options: &ReachabilityOptions,
+    hide_budget: usize,
+) -> Result<Reduction<L>, PetriError> {
+    let composed = parallel(module, env)?;
+    let composed_transitions = composed.transition_count();
+    let rg = composed.reachability(options)?;
+    let dead = dead_transitions_rg(&composed, &rg);
+    let dead_removed = dead.len();
+
+    let mut editor = NetEditor::from_net(&composed);
+    // Original transition ids are still valid arena slots here (the
+    // editor has performed no contraction yet).
+    editor.remove_transitions(&dead);
+    let edits_after_prune = editor.edits();
+
+    let keep: BTreeSet<L> = module.alphabet().clone();
+    let hidden: BTreeSet<L> = composed
+        .alphabet()
+        .iter()
+        .filter(|l| !keep.contains(l))
+        .cloned()
+        .collect();
+    let per_label = Budget::new(usize::MAX, hide_budget);
+    for l in &hidden {
+        let mut meter = Meter::new(&per_label);
+        if !editor.hide_label(l, &mut meter)? {
+            return Err(PetriError::Precondition(format!(
+                "hiding of {l} did not converge within {hide_budget} contractions"
+            )));
+        }
+        // Interleaved structural cleanup: keeps the worklist small for
+        // the next label instead of letting product places accrete.
+        editor.reduce();
+    }
+
+    let net = editor.finish()?;
+    if editor.edits() == edits_after_prune {
+        // Neither projection nor reduction touched the pruned net: its
+        // reachability graph is the one already computed.
+        return Ok(Reduction {
+            net,
+            dead_removed,
+            composed_transitions,
+        });
+    }
     let rg2 = net.reachability(options)?;
     let dead2 = dead_transitions_rg(&net, &rg2);
     let net = remove_dead(&net, &dead2);

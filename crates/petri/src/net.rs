@@ -299,6 +299,17 @@ impl<L: Label> PetriNet<L> {
         &self.alphabet
     }
 
+    /// `true` when both nets have identical places, transitions and
+    /// initial marking — structural identity, ignoring the declared
+    /// alphabet (hiding shrinks `A` even when no transition changed).
+    /// The synthesis pipeline uses this to skip a second dead-removal
+    /// pass when projection turned out to be a no-op.
+    pub fn same_structure(&self, other: &PetriNet<L>) -> bool {
+        self.places == other.places
+            && self.transitions == other.transitions
+            && self.initial == other.initial
+    }
+
     /// The place with the given id.
     ///
     /// # Panics

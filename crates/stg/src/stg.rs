@@ -3,8 +3,8 @@
 //! composition/hiding operations of Section 5.1.
 
 use crate::signal::{Edge, Signal, SignalDir, StgLabel};
-use cpn_core::{hide_labels, parallel_with_sync};
-use cpn_petri::{PetriError, PetriNet, PlaceId, ReachabilityOptions, TransitionId};
+use cpn_core::{hide_labels, parallel_with_sync, NetEditor};
+use cpn_petri::{Budget, Meter, PetriError, PetriNet, PlaceId, ReachabilityOptions, TransitionId};
 use std::collections::{BTreeMap, BTreeSet};
 use std::error::Error;
 use std::fmt;
@@ -533,21 +533,64 @@ impl Stg {
     /// (contraction). The paper's
     /// `N̄_tr = project(N_send ‖ N_tr, A_tr)` (Section 6).
     ///
+    /// Runs as a single pass over one [`NetEditor`]: signals are hidden
+    /// in declaration order on the same editor instead of materializing
+    /// one intermediate STG per signal, producing a net bit-identical to
+    /// the chained [`Stg::hide_signal`] calls (each label still gets its
+    /// own `budget` of contractions).
+    ///
     /// # Errors
     ///
     /// Propagates [`Stg::hide_signal`] errors.
     pub fn project_signals(&self, keep: &BTreeSet<Signal>, budget: usize) -> Result<Stg, StgError> {
-        let mut current = self.clone();
         let to_hide: Vec<Signal> = self
             .signals
             .keys()
             .filter(|s| !keep.contains(*s))
             .cloned()
             .collect();
-        for s in to_hide {
-            current = current.hide_signal(&s, budget)?;
+        if to_hide.is_empty() {
+            return Ok(self.clone());
         }
-        Ok(current)
+        let mut editor = NetEditor::from_net(&self.net);
+        let per_label = Budget::new(usize::MAX, budget);
+        let mut signals = self.signals.clone();
+        for s in &to_hide {
+            // Same per-signal guard validation as `hide_signal`; past the
+            // first hidden signal the guard map is known to be empty.
+            for (t, g) in &self.guards {
+                if g.literals().any(|(sig, _)| sig == s) {
+                    return Err(StgError::Net(PetriError::Precondition(format!(
+                        "guard of {t} mentions hidden signal {s}"
+                    ))));
+                }
+                if self.net.transition(*t).label().signal_name() == Some(s) {
+                    return Err(StgError::Net(PetriError::Precondition(format!(
+                        "guarded transition {t} would be contracted"
+                    ))));
+                }
+            }
+            for l in self.labels_of(s) {
+                let mut meter = Meter::new(&per_label);
+                if !editor.hide_label(&l, &mut meter).map_err(StgError::Net)? {
+                    return Err(StgError::Net(PetriError::Precondition(format!(
+                        "hiding of {l} did not converge within {budget} contractions"
+                    ))));
+                }
+            }
+            signals.remove(s);
+            if !self.guards.is_empty() {
+                return Err(StgError::Net(PetriError::Precondition(
+                    "hiding on guarded STGs is limited to guard-free nets; relabel instead"
+                        .to_owned(),
+                )));
+            }
+        }
+        Ok(Stg {
+            net: editor.finish().map_err(StgError::Net)?,
+            signals,
+            guards: BTreeMap::new(),
+        })
     }
 
     /// Removes dead transitions (found on the reachability graph) and
@@ -648,7 +691,14 @@ impl Stg {
         let pruned = composed.remove_dead(options)?;
         let keep: BTreeSet<Signal> = self.signals.keys().cloned().collect();
         let projected = pruned.project_signals(&keep, hide_budget)?;
-        let mut reduced = projected.remove_dead(options)?;
+        // When projection was structurally a no-op the pruned net's
+        // reachability graph is still valid and held no dead transitions;
+        // skip the second exploration outright.
+        let mut reduced = if projected.net.same_structure(&pruned.net) {
+            projected
+        } else {
+            projected.remove_dead(options)?
+        };
         // Composition merged signal directions toward the driving side
         // (the environment drives this module's inputs); the derived
         // module keeps its own interface directions.

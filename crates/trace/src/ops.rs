@@ -120,6 +120,12 @@ impl<L: Label> Language<L> {
         let (a2, t2, d2) = other.raw_parts();
         let depth = d1.min(d2);
         let union_alpha: BTreeSet<L> = a1.union(a2).cloned().collect();
+        // Hoisted membership rows: which side(s) each union label belongs
+        // to, computed once instead of twice per frontier extension.
+        let alpha_rows: Vec<(&L, bool, bool)> = union_alpha
+            .iter()
+            .map(|a| (a, a1.contains(a), a2.contains(a)))
+            .collect();
 
         let mut result: BTreeSet<Vec<L>> = BTreeSet::new();
         result.insert(Vec::new());
@@ -128,37 +134,48 @@ impl<L: Label> Language<L> {
         let mut frontier: Vec<(Vec<L>, Vec<L>, Vec<L>)> =
             vec![(Vec::new(), Vec::new(), Vec::new())];
 
+        // Scratch buffers for the candidate projections and trace: the
+        // rejected candidates (the common case) never allocate — cloning
+        // happens only when a candidate actually extends the language.
+        let mut scratch1: Vec<L> = Vec::new();
+        let mut scratch2: Vec<L> = Vec::new();
+        let mut scratch_t: Vec<L> = Vec::new();
+
         for _ in 0..depth {
             let mut next = Vec::new();
             for (t, p1, p2) in &frontier {
-                for a in &union_alpha {
-                    let in1 = a1.contains(a);
-                    let in2 = a2.contains(a);
-                    let (q1, q2) = match (in1, in2) {
-                        (true, true) | (true, false) | (false, true) => {
-                            let mut q1 = p1.clone();
-                            let mut q2 = p2.clone();
-                            if in1 {
-                                q1.push(a.clone());
-                            }
-                            if in2 {
-                                q2.push(a.clone());
-                            }
-                            (q1, q2)
+                for &(a, in1, in2) in &alpha_rows {
+                    // A union label belongs to at least one side; a side
+                    // that has it must accept the extended projection.
+                    if in1 {
+                        scratch1.clear();
+                        scratch1.reserve(p1.len() + 1);
+                        scratch1.extend_from_slice(p1);
+                        scratch1.push(a.clone());
+                        if !t1.contains(scratch1.as_slice()) {
+                            continue;
                         }
-                        (false, false) => continue,
-                    };
-                    if in1 && !t1.contains(&q1) {
+                    }
+                    if in2 {
+                        scratch2.clear();
+                        scratch2.reserve(p2.len() + 1);
+                        scratch2.extend_from_slice(p2);
+                        scratch2.push(a.clone());
+                        if !t2.contains(scratch2.as_slice()) {
+                            continue;
+                        }
+                    }
+                    scratch_t.clear();
+                    scratch_t.reserve(t.len() + 1);
+                    scratch_t.extend_from_slice(t);
+                    scratch_t.push(a.clone());
+                    if result.contains(scratch_t.as_slice()) {
                         continue;
                     }
-                    if in2 && !t2.contains(&q2) {
-                        continue;
-                    }
-                    let mut nt = t.clone();
-                    nt.push(a.clone());
-                    if result.insert(nt.clone()) {
-                        next.push((nt, q1, q2));
-                    }
+                    result.insert(scratch_t.clone());
+                    let q1 = if in1 { scratch1.clone() } else { p1.clone() };
+                    let q2 = if in2 { scratch2.clone() } else { p2.clone() };
+                    next.push((scratch_t.clone(), q1, q2));
                 }
             }
             if next.is_empty() {

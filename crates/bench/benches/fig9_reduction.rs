@@ -26,7 +26,7 @@ fn main() {
     group.bench("thm_5_1_containment_depth5", || {
         let reduced_lang = tr_red.language(5, 2_000_000).unwrap();
         let orig = tr.language(7, 2_000_000).unwrap();
-        assert!(reduced_lang.subset_up_to(&orig.project(tr_red.net().alphabet()), 5));
+        assert!(reduced_lang.subset_up_to(&orig.project(&tr_red.net().alphabet()), 5));
     });
     group.finish();
 }

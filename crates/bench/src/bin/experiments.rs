@@ -13,7 +13,10 @@
 //! `--json` it writes the machine-readable `BENCH_explore.json` (states
 //! per second per kernel, resident marking bytes, thread scaling) and
 //! `BENCH_hide.json` (seconds and allocation counts per hiding engine,
-//! speedup and allocation ratios) that CI uploads as artifacts.
+//! speedup and allocation ratios) and `BENCH_alphabet.json` (generic
+//! label-level ops vs the interned symbol/bitset paths: hide/contract
+//! allocations, sync-set computation, language projection) that CI
+//! uploads as artifacts.
 //! `--quick` shrinks the sweeps for smoke runs; the default reaches the
 //! 2^20-state acceptance workload.
 
@@ -324,7 +327,7 @@ fn fig9() {
     let orig = tr.language(7, 2_000_000).unwrap();
     println!(
         "Thm 5.1 containment (depth 5): {}",
-        reduced_lang.subset_up_to(&orig.project(tr_red.net().alphabet()), 5)
+        reduced_lang.subset_up_to(&orig.project(&tr_red.net().alphabet()), 5)
     );
 
     let rx = receiver();
@@ -825,6 +828,229 @@ fn bench_hide(quick: bool, json: bool) {
     }
 }
 
+/// One alphabet-layer workload: the generic label-level baseline vs the
+/// symbolized (interned `Sym` + bitset) path.
+struct AlphaRow {
+    workload: String,
+    generic: HideRun,
+    symbolized: HideRun,
+}
+
+impl AlphaRow {
+    fn speedup(&self) -> f64 {
+        self.generic.seconds / self.symbolized.seconds
+    }
+    fn alloc_ratio(&self) -> f64 {
+        self.generic.allocs as f64 / self.symbolized.allocs.max(1) as f64
+    }
+}
+
+/// Times `generic` vs `symbolized` over enough iterations to dominate
+/// scheduler noise, counting allocations per iteration.
+fn measure_alpha(
+    workload: String,
+    mut generic: impl FnMut(),
+    mut symbolized: impl FnMut(),
+) -> AlphaRow {
+    let t0 = Instant::now();
+    generic();
+    let warm = t0.elapsed().as_secs_f64();
+    let iters = ((0.05 / warm.max(1e-9)) as usize).clamp(1, 5_000);
+    let run = |f: &mut dyn FnMut(), name: &'static str| -> HideRun {
+        let a0 = alloc_count();
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        HideRun {
+            engine: name,
+            seconds: t0.elapsed().as_secs_f64() / iters as f64,
+            allocs: (alloc_count() - a0) / iters as u64,
+        }
+    };
+    let generic = run(&mut generic, "generic");
+    let symbolized = run(&mut symbolized, "symbolized");
+    AlphaRow {
+        workload,
+        generic,
+        symbolized,
+    }
+}
+
+/// Two nets over large, partially overlapping alphabets (one shared
+/// label in four), for the sync-set computation workload.
+fn sync_pair(labels: usize) -> (PetriNet<String>, PetriNet<String>) {
+    let build = |prefix: &str| {
+        let mut net: PetriNet<String> = PetriNet::new();
+        let p = net.add_place("p");
+        net.set_initial(p, 1);
+        for i in 0..labels {
+            let label = if i % 4 == 0 {
+                format!("shared{i}")
+            } else {
+                format!("{prefix}{i}")
+            };
+            net.add_transition([p], label, [p]).expect("self loop");
+        }
+        net
+    };
+    (build("left"), build("right"))
+}
+
+fn bench_alphabet(quick: bool, json: bool) {
+    header(
+        "BENCH",
+        "alphabet layer sweep (generic label ops vs interned symbols)",
+    );
+    let mut rows: Vec<AlphaRow> = Vec::new();
+
+    // Hide/contract: the engine runs on symbols end-to-end, the legacy
+    // rebuild clones labels at every step.
+    let rings: &[(usize, usize)] = if quick {
+        &[(8, 8)]
+    } else {
+        &[(8, 8), (16, 16)]
+    };
+    for &(segments, taus) in rings {
+        let (net, hidden) = cpn_bench::tau_ring(segments, taus);
+        let r = measure_hide(
+            format!("hide_contract/tau_ring/{segments}x{taus}"),
+            &net,
+            &hidden,
+        );
+        rows.push(AlphaRow {
+            workload: r.family,
+            generic: r.legacy,
+            symbolized: r.engine,
+        });
+    }
+    let chain = if quick { 8 } else { 16 };
+    let (net, hidden) = cpn_bench::cip_chain_workload(chain);
+    let r = measure_hide(format!("hide_contract/cip_chain/{chain}"), &net, &hidden);
+    rows.push(AlphaRow {
+        workload: r.family,
+        generic: r.legacy,
+        symbolized: r.engine,
+    });
+
+    // Sync-set computation (parallel composition / receptiveness entry):
+    // owned label-set intersection vs the bitset-backed common alphabet.
+    let n_labels = if quick { 64 } else { 256 };
+    let (n1, n2) = sync_pair(n_labels);
+    let generic_sync = || {
+        let a1 = n1.alphabet();
+        let a2 = n2.alphabet();
+        let shared: BTreeSet<String> = a1.intersection(&a2).cloned().collect();
+        std::hint::black_box(shared);
+    };
+    let symbolized_sync = || {
+        std::hint::black_box(cpn_core::common_alphabet(&n1, &n2));
+    };
+    {
+        let a1 = n1.alphabet();
+        let a2 = n2.alphabet();
+        let expect: BTreeSet<String> = a1.intersection(&a2).cloned().collect();
+        assert_eq!(
+            expect,
+            cpn_core::common_alphabet(&n1, &n2),
+            "sync-set paths must agree"
+        );
+    }
+    rows.push(measure_alpha(
+        format!("sync_set/{n_labels}"),
+        generic_sync,
+        symbolized_sync,
+    ));
+
+    // Language projection: symbol-encoded trace filtering vs
+    // materialize-filter-rebuild at the label level.
+    let k = 4usize;
+    let depth = if quick { 5 } else { 6 };
+    let alphabet: BTreeSet<String> = (0..k).map(|i| format!("sig{i}")).collect();
+    let mut traces: Vec<Vec<String>> = vec![Vec::new()];
+    let mut frontier = traces.clone();
+    for _ in 0..depth {
+        let mut next = Vec::new();
+        for t in &frontier {
+            for l in &alphabet {
+                let mut ext = t.clone();
+                ext.push(l.clone());
+                next.push(ext);
+            }
+        }
+        traces.extend(next.iter().cloned());
+        frontier = next;
+    }
+    let lang = cpn_trace::Language::from_traces(alphabet.clone(), traces, depth);
+    let keep: BTreeSet<String> = alphabet.iter().take(k / 2).cloned().collect();
+    let keep_syms: cpn_petri::AlphaSet =
+        keep.iter().filter_map(|l| lang.interner().get(l)).collect();
+    let generic_project = || {
+        let filtered: Vec<Vec<String>> = lang
+            .iter()
+            .map(|t| t.into_iter().filter(|x| keep.contains(x)).collect())
+            .collect();
+        std::hint::black_box(cpn_trace::Language::from_traces(
+            keep.clone(),
+            filtered,
+            depth,
+        ));
+    };
+    let symbolized_project = || {
+        std::hint::black_box(lang.project_syms(&keep_syms));
+    };
+    assert_eq!(
+        lang.project_syms(&keep_syms),
+        lang.project(&keep),
+        "projection paths must agree"
+    );
+    rows.push(measure_alpha(
+        format!("lang_project/{k}x{depth}"),
+        generic_project,
+        symbolized_project,
+    ));
+
+    for r in &rows {
+        println!("{}", r.workload);
+        for run in [&r.generic, &r.symbolized] {
+            println!(
+                "  {:<10} {:>9.6} s  {:>12} allocs",
+                run.engine, run.seconds, run.allocs
+            );
+        }
+        println!(
+            "  -> speedup {:.2}x, alloc ratio {:.2}x",
+            r.speedup(),
+            r.alloc_ratio()
+        );
+    }
+
+    if json {
+        let mut out = String::from("{\n  \"bench\": \"alphabet\",\n");
+        out.push_str(&format!(
+            "  \"mode\": \"{}\",\n",
+            if quick { "quick" } else { "full" }
+        ));
+        out.push_str("  \"workloads\": [\n");
+        for (i, r) in rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\n      \"workload\": \"{}\",\n                       \"generic_seconds\": {:.6},\n      \"symbolized_seconds\": {:.6},\n                       \"generic_allocs\": {},\n      \"symbolized_allocs\": {},\n                       \"speedup\": {:.3},\n      \"alloc_ratio\": {:.3}\n    }}{}\n",
+                r.workload,
+                r.generic.seconds,
+                r.symbolized.seconds,
+                r.generic.allocs,
+                r.symbolized.allocs,
+                r.speedup(),
+                r.alloc_ratio(),
+                if i + 1 < rows.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        std::fs::write("BENCH_alphabet.json", &out).expect("write BENCH_alphabet.json");
+        println!("wrote BENCH_alphabet.json");
+    }
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -834,6 +1060,7 @@ fn main() {
     if args.iter().any(|a| a == "bench") {
         bench_explore(quick, json);
         bench_hide(quick, json);
+        bench_alphabet(quick, json);
         return;
     }
     let run = |id: &str| args.is_empty() || args.iter().any(|a| a == id);

@@ -24,7 +24,7 @@
 use crate::graph::{CipError, CipGraph, Link};
 use crate::label::{ChanOp, Channel, CipLabel};
 use crate::module::Module;
-use cpn_petri::{Bounded, Budget, Meter, PlaceId, ReachabilityOptions, Verdict};
+use cpn_petri::{Bounded, Budget, Meter, PlaceId, ReachabilityOptions, Sym, Verdict};
 use cpn_stg::{Edge, Signal, SignalDir, Stg, StgError, StgLabel};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -291,9 +291,10 @@ impl CipGraph {
     pub fn expand(&self, protocol: HandshakeProtocol) -> Result<ExpandedSystem, CipError> {
         self.validate()?;
 
-        // Wire bundles per channel.
-        let mut wires: BTreeMap<Channel, ChannelWires> = BTreeMap::new();
-        let mut roles: BTreeMap<(usize, Channel), Role> = BTreeMap::new();
+        // Wire bundles per channel, keyed by the channel's interned
+        // symbol: expansion-time lookups are integer-keyed.
+        let mut wires: BTreeMap<Sym, ChannelWires> = BTreeMap::new();
+        let mut roles: BTreeMap<(usize, Sym), Role> = BTreeMap::new();
         for e in self.edges() {
             if let Link::Channel(spec) = &e.link {
                 let bundle = match &spec.encoding {
@@ -329,9 +330,9 @@ impl CipGraph {
                         }
                     }
                 };
-                wires.insert(spec.channel.clone(), bundle);
-                roles.insert((e.from, spec.channel.clone()), Role::Sender);
-                roles.insert((e.to, spec.channel.clone()), Role::Receiver);
+                wires.insert(spec.channel.sym(), bundle);
+                roles.insert((e.from, spec.channel.sym()), Role::Sender);
+                roles.insert((e.to, spec.channel.sym()), Role::Receiver);
             }
         }
 
@@ -348,8 +349,8 @@ impl CipGraph {
 fn expand_module(
     module: &Module,
     mi: usize,
-    wires: &BTreeMap<Channel, ChannelWires>,
-    roles: &BTreeMap<(usize, Channel), Role>,
+    wires: &BTreeMap<Sym, ChannelWires>,
+    roles: &BTreeMap<(usize, Sym), Role>,
     protocol: HandshakeProtocol,
 ) -> Result<Stg, CipError> {
     let mut stg = Stg::new();
@@ -363,8 +364,8 @@ fn expand_module(
     let mut my_channels: BTreeSet<Channel> = module.sends();
     my_channels.extend(module.receives());
     for c in &my_channels {
-        let bundle = &wires[c];
-        let role = roles[&(mi, c.clone())];
+        let bundle = &wires[&c.sym()];
+        let role = roles[&(mi, c.sym())];
         let (data_dir, ack_dir) = match role {
             Role::Sender => (SignalDir::Output, SignalDir::Input),
             Role::Receiver => (SignalDir::Input, SignalDir::Output),
@@ -386,11 +387,11 @@ fn expand_module(
     }
 
     // Receiver-side wire trackers (once per received channel).
-    // tracker[(channel, wire)] = (low place, high place)
-    let mut tracker: BTreeMap<(Channel, usize), (PlaceId, PlaceId)> = BTreeMap::new();
+    // tracker[(channel sym, wire)] = (low place, high place)
+    let mut tracker: BTreeMap<(Sym, usize), (PlaceId, PlaceId)> = BTreeMap::new();
     if protocol == HandshakeProtocol::FourPhase {
         for c in &module.receives() {
-            let bundle = &wires[c];
+            let bundle = &wires[&c.sym()];
             for (wi, w) in bundle.data.iter().enumerate() {
                 let lo = stg.add_place(format!("{c}.{w}.lo"));
                 let hi = stg.add_place(format!("{c}.{w}.hi"));
@@ -399,7 +400,7 @@ fn expand_module(
                     .map_err(inner)?;
                 stg.add_signal_transition([hi], (w.clone(), Edge::Fall), [lo])
                     .map_err(inner)?;
-                tracker.insert((c.clone(), wi), (lo, hi));
+                tracker.insert((c.sym(), wi), (lo, hi));
             }
         }
     }
@@ -408,7 +409,7 @@ fn expand_module(
     for (tid, t) in module.net().transitions() {
         let pre: Vec<PlaceId> = t.preset().iter().map(|p| place_map[p]).collect();
         let post: Vec<PlaceId> = t.postset().iter().map(|p| place_map[p]).collect();
-        match t.label() {
+        match module.net().label_of(tid) {
             CipLabel::Signal(s, e) => {
                 stg.add_signal_transition(pre, (s.clone(), *e), post)
                     .map_err(inner)?;
@@ -417,7 +418,7 @@ fn expand_module(
                 stg.add_dummy(pre, post).map_err(inner)?;
             }
             CipLabel::Chan(c, op) => {
-                let bundle = &wires[c];
+                let bundle = &wires[&c.sym()];
                 match (op, protocol) {
                     (ChanOp::Send(v), HandshakeProtocol::FourPhase) => {
                         let value = match (v, bundle.codes.len()) {
@@ -540,7 +541,7 @@ fn expand_recv_4ph(
     channel: &Channel,
     bundle: &ChannelWires,
     values: &[usize],
-    tracker: &BTreeMap<(Channel, usize), (PlaceId, PlaceId)>,
+    tracker: &BTreeMap<(Sym, usize), (PlaceId, PlaceId)>,
 ) -> Result<(), StgError> {
     let ack = bundle.ack.clone();
     for &v in values {
@@ -550,7 +551,7 @@ fn expand_recv_4ph(
         let mut plus_pre: Vec<PlaceId> = pre.to_vec();
         let mut plus_post: Vec<PlaceId> = vec![mid];
         for &wi in &code {
-            let (_, hi) = tracker[&(channel.clone(), wi)];
+            let (_, hi) = tracker[&(channel.sym(), wi)];
             plus_pre.push(hi);
             plus_post.push(hi);
         }
@@ -559,7 +560,7 @@ fn expand_recv_4ph(
         let mut minus_pre: Vec<PlaceId> = vec![mid];
         let mut minus_post: Vec<PlaceId> = post.to_vec();
         for &wi in &code {
-            let (lo, _) = tracker[&(channel.clone(), wi)];
+            let (lo, _) = tracker[&(channel.sym(), wi)];
             minus_pre.push(lo);
             minus_post.push(lo);
         }

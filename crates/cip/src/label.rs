@@ -1,34 +1,93 @@
 //! The CIP action alphabet: `A = A_S ∪ A_Σ` (Definition 3.1).
 
+use cpn_petri::{Interner, Sym};
 use cpn_stg::{Edge, Signal};
+use std::cmp::Ordering;
 use std::fmt;
-use std::sync::Arc;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// The process-wide channel-name interner: every [`Channel`] ever
+/// created registers its name here once, so channel *identity* is a
+/// dense [`Sym`] and equality/hashing are integer operations.
+fn channel_names() -> &'static Mutex<Interner<Arc<str>>> {
+    static NAMES: OnceLock<Mutex<Interner<Arc<str>>>> = OnceLock::new();
+    NAMES.get_or_init(|| Mutex::new(Interner::new()))
+}
 
 /// An abstract communication channel `σ ∈ Σ`.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct Channel(Arc<str>);
+///
+/// Identity is the interned symbol of the channel name
+/// (process-global): equality and hashing compare the [`Sym`], not the
+/// string. Ordering still compares the resolved *name* — symbol
+/// assignment depends on construction order (nondeterministic across
+/// test threads), and the name order is the canonical one. The two are
+/// consistent: names and symbols are in bijection.
+#[derive(Clone)]
+pub struct Channel {
+    sym: Sym,
+    name: Arc<str>,
+}
 
 impl Channel {
-    /// Creates a channel with the given name.
+    /// Creates a channel with the given name, interning it in the
+    /// process-wide channel symbol table.
     pub fn new(name: impl AsRef<str>) -> Self {
-        Channel(Arc::from(name.as_ref()))
+        let name: Arc<str> = Arc::from(name.as_ref());
+        let mut table = channel_names().lock().unwrap_or_else(|e| e.into_inner());
+        let sym = table.intern(&name);
+        // Share the canonical Arc so equal channels alias one buffer.
+        let name = table.resolve(sym).clone();
+        Channel { sym, name }
     }
 
     /// The channel name.
     pub fn name(&self) -> &str {
-        &self.0
+        &self.name
+    }
+
+    /// The interned channel symbol (process-global).
+    pub fn sym(&self) -> Sym {
+        self.sym
+    }
+}
+
+impl PartialEq for Channel {
+    fn eq(&self, other: &Self) -> bool {
+        self.sym == other.sym
+    }
+}
+
+impl Eq for Channel {}
+
+impl Hash for Channel {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.sym.hash(state);
+    }
+}
+
+impl PartialOrd for Channel {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Channel {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // By name, not by symbol: deterministic across interning orders.
+        self.name.cmp(&other.name)
     }
 }
 
 impl fmt::Debug for Channel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Channel({})", self.0)
+        write!(f, "Channel({})", self.name)
     }
 }
 
 impl fmt::Display for Channel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.0)
+        f.write_str(&self.name)
     }
 }
 
@@ -146,5 +205,28 @@ mod tests {
     fn satisfies_label_trait() {
         fn takes<L: cpn_petri::Label>(_: L) {}
         takes(CipLabel::Dummy);
+    }
+
+    #[test]
+    fn channel_identity_is_the_interned_symbol() {
+        let a = Channel::new("sym_id_chan");
+        let b = Channel::new("sym_id_chan");
+        let c = Channel::new("sym_id_chan_other");
+        assert_eq!(a, b);
+        assert_eq!(a.sym(), b.sym());
+        assert_ne!(a, c);
+        assert_ne!(a.sym(), c.sym());
+    }
+
+    #[test]
+    fn channel_order_is_by_name_not_interning_order() {
+        // Intern in reverse lexicographic order: the later symbol must
+        // still sort after by *name*.
+        let z = Channel::new("zzz_order_probe");
+        let a = Channel::new("aaa_order_probe");
+        assert!(a < z, "ordering must follow names, not symbol assignment");
+        let mut v = vec![z.clone(), a.clone()];
+        v.sort();
+        assert_eq!(v, vec![a, z]);
     }
 }

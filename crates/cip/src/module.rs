@@ -231,7 +231,8 @@ mod tests {
         let p = m.add_place("p");
         let q = m.add_place("q");
         m.add_recv_case([p], "cmd", 2, [q]).unwrap();
-        let label = m.net().transitions().next().unwrap().1.label().clone();
+        let tid = m.net().transitions().next().unwrap().0;
+        let label = m.net().label_of(tid).clone();
         assert_eq!(label.to_string(), "cmd?2");
     }
 }

@@ -8,7 +8,7 @@
 //! re-marked by a cycle. The choice operator then glues two root-unwound
 //! nets on the product of their initial-place copies.
 
-use cpn_petri::{Label, PetriError, PetriNet, PlaceId};
+use cpn_petri::{Label, PetriError, PetriNet, PlaceId, Sym};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// The result of [`root_unwinding`]: the unwound net plus the copies `P0`
@@ -61,18 +61,18 @@ pub fn root_unwinding<L: Label>(net: &PetriNet<L>) -> Result<RootUnwinding<L>, P
         return Err(PetriError::UnsafeInitialMarking(p.index() as u32));
     }
 
-    let mut out = PetriNet::new();
+    let mut out = PetriNet::with_interner(net.interner().clone());
     let mut map: BTreeMap<PlaceId, PlaceId> = BTreeMap::new();
     for (old, place) in net.places() {
         map.insert(old, out.add_place(place.name().to_owned()));
     }
-    for l in net.alphabet() {
-        out.declare_label(l.clone());
+    for sym in net.alphabet_syms().iter() {
+        out.declare_sym(sym);
     }
     for (_, t) in net.transitions() {
-        out.add_transition(
+        out.add_transition_sym(
             t.preset().iter().map(|p| map[p]),
-            t.label().clone(),
+            t.sym(),
             t.postset().iter().map(|p| map[p]),
         )?;
     }
@@ -99,11 +99,11 @@ pub fn root_unwinding<L: Label>(net: &PetriNet<L>) -> Result<RootUnwinding<L>, P
     // exactly that subset redirected to the copies. Presets are small
     // sets, so the subset enumeration is cheap; on single-rooted nets it
     // degenerates to the paper's construction.
-    let snapshot: Vec<(BTreeSet<PlaceId>, L, BTreeSet<PlaceId>)> = out
+    let snapshot: Vec<(BTreeSet<PlaceId>, Sym, BTreeSet<PlaceId>)> = out
         .transitions()
-        .map(|(_, t)| (t.preset().clone(), t.label().clone(), t.postset().clone()))
+        .map(|(_, t)| (t.preset().clone(), t.sym(), t.postset().clone()))
         .collect();
-    for (pre, label, post) in snapshot {
+    for (pre, sym, post) in snapshot {
         let init_part: Vec<PlaceId> = pre
             .iter()
             .copied()
@@ -123,7 +123,7 @@ pub fn root_unwinding<L: Label>(net: &PetriNet<L>) -> Result<RootUnwinding<L>, P
                 .iter()
                 .map(|p| if redirect.contains(p) { copy_of[p] } else { *p })
                 .collect();
-            out.add_transition(new_pre, label.clone(), post.iter().copied())?;
+            out.add_transition_sym(new_pre, sym, post.iter().copied())?;
         }
     }
 
@@ -182,7 +182,14 @@ pub fn choice<L: Label>(n1: &PetriNet<L>, n2: &PetriNet<L>) -> Result<PetriNet<L
         }
     }
 
-    let mut out = PetriNet::new();
+    // Symbol space: the left unwinding's interner, right labels merged in.
+    let mut out = PetriNet::with_interner(rw1.net.interner().clone());
+    let remap2: Vec<Sym> = rw2
+        .net
+        .interner()
+        .iter()
+        .map(|(_, l)| out.intern_label(l))
+        .collect();
     // Copy the non-root places of both unwound nets.
     let mut map1: BTreeMap<PlaceId, PlaceId> = BTreeMap::new();
     let mut map2: BTreeMap<PlaceId, PlaceId> = BTreeMap::new();
@@ -198,8 +205,11 @@ pub fn choice<L: Label>(n1: &PetriNet<L>, n2: &PetriNet<L>) -> Result<PetriNet<L
             map2.insert(old, out.add_place(format!("R.{}", place.name())));
         }
     }
-    for l in rw1.net.alphabet().iter().chain(rw2.net.alphabet()) {
-        out.declare_label(l.clone());
+    for sym in rw1.net.alphabet_syms().iter() {
+        out.declare_sym(sym);
+    }
+    for sym in rw2.net.alphabet_syms().iter() {
+        out.declare_sym(remap2[sym.index()]);
     }
 
     // Product places (x, y) for x ∈ P0_1, y ∈ P0_2, all marked.
@@ -229,7 +239,7 @@ pub fn choice<L: Label>(n1: &PetriNet<L>, n2: &PetriNet<L>) -> Result<PetriNet<L
             }
         }
         let post: Vec<PlaceId> = t.postset().iter().map(|p| map1[p]).collect();
-        out.add_transition(pre, t.label().clone(), post)?;
+        out.add_transition_sym(pre, t.sym(), post)?;
     }
     // Transitions of N2': entry transitions consume full columns.
     for (_, t) in rw2.net.transitions() {
@@ -244,7 +254,7 @@ pub fn choice<L: Label>(n1: &PetriNet<L>, n2: &PetriNet<L>) -> Result<PetriNet<L
             }
         }
         let post: Vec<PlaceId> = t.postset().iter().map(|p| map2[p]).collect();
-        out.add_transition(pre, t.label().clone(), post)?;
+        out.add_transition_sym(pre, remap2[t.sym().index()], post)?;
     }
 
     // Degenerate roots: if one net has no initial places it contributes no
@@ -317,28 +327,34 @@ pub fn choice_general<L: Label>(
             out.set_initial(new, net.initial_marking().tokens(old));
             map.insert(old, new);
         }
-        for l in net.alphabet() {
-            out.declare_label(l.clone());
+        let remap: Vec<Sym> = net
+            .interner()
+            .iter()
+            .map(|(_, l)| out.intern_label(l))
+            .collect();
+        for sym in net.alphabet_syms().iter() {
+            out.declare_sym(remap[sym.index()]);
         }
         let m0 = net.initial_marking();
         for (tid, t) in net.transitions() {
             let pre: Vec<PlaceId> = t.preset().iter().map(|p| map[p]).collect();
             let post: Vec<PlaceId> = t.postset().iter().map(|p| map[p]).collect();
+            let sym = remap[t.sym().index()];
             if net.is_enabled(&m0, tid) {
                 // First-entry variant: commits this operand.
                 let mut p1 = pre.clone();
                 p1.push(free);
                 let mut q1 = post.clone();
                 q1.push(sentinel);
-                out.add_transition(p1, t.label().clone(), q1)?;
+                out.add_transition_sym(p1, sym, q1)?;
                 // Re-entry variant: sentinel self-loop.
                 let mut p2 = pre;
                 p2.push(sentinel);
                 let mut q2 = post;
                 q2.push(sentinel);
-                out.add_transition(p2, t.label().clone(), q2)?;
+                out.add_transition_sym(p2, sym, q2)?;
             } else {
-                out.add_transition(pre, t.label().clone(), post)?;
+                out.add_transition_sym(pre, sym, post)?;
             }
         }
     }

@@ -43,7 +43,7 @@ impl<L: Label> Circuit<L> {
                 "label {l} is both input and output"
             )));
         }
-        for l in net.alphabet() {
+        for l in &net.alphabet() {
             if !inputs.contains(l) && !outputs.contains(l) {
                 return Err(PetriError::Precondition(format!(
                     "net label {l} is neither input nor output"

@@ -62,7 +62,9 @@
 //! the between-contraction cleanup that stops product-place accretion in
 //! long hiding chains.
 
-use cpn_petri::{Label, Meter, PetriError, PetriNet, PlaceId, TransitionId};
+use cpn_petri::{
+    AlphaSet, Interner, Label, Meter, PetriError, PetriNet, PlaceId, Sym, TransitionId,
+};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// A place record in the editor arena.
@@ -72,12 +74,13 @@ struct PlaceRec {
     tokens: u32,
 }
 
-/// A transition record in the editor arena. `key` is the path key that
+/// A transition record in the editor arena. The label is an interned
+/// [`Sym`] in the editor's symbol space; `key` is the path key that
 /// replicates the legacy rebuild order (see the module docs).
 #[derive(Clone, Debug)]
-struct TransRec<L> {
+struct TransRec {
     preset: BTreeSet<u32>,
-    label: L,
+    sym: Sym,
     postset: BTreeSet<u32>,
     key: Vec<u32>,
 }
@@ -115,10 +118,13 @@ impl ReductionStats {
 #[derive(Clone, Debug)]
 pub struct NetEditor<L: Label> {
     places: Vec<Option<PlaceRec>>,
-    transitions: Vec<Option<TransRec<L>>>,
-    alphabet: BTreeSet<L>,
-    /// label → live transitions carrying it (the hiding worklist).
-    label_index: BTreeMap<L, BTreeSet<u32>>,
+    transitions: Vec<Option<TransRec>>,
+    /// The symbol space, snapshotted from the source net (append-only).
+    interner: Interner<L>,
+    alphabet: AlphaSet,
+    /// symbol → live transitions carrying it (the hiding worklist),
+    /// dense by symbol index.
+    label_index: Vec<BTreeSet<u32>>,
     /// place → live transitions with the place in their preset.
     consumers: Vec<BTreeSet<u32>>,
     /// place → live transitions with the place in their postset.
@@ -148,7 +154,8 @@ impl<L: Label> NetEditor<L> {
             .collect();
         let mut consumers = vec![BTreeSet::new(); places.len()];
         let mut producers = vec![BTreeSet::new(); places.len()];
-        let mut label_index: BTreeMap<L, BTreeSet<u32>> = BTreeMap::new();
+        let interner = net.interner().clone();
+        let mut label_index: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); interner.len()];
         let mut transitions = Vec::with_capacity(net.transition_count());
         for (id, t) in net.transitions() {
             let i = id.index() as u32;
@@ -158,10 +165,10 @@ impl<L: Label> NetEditor<L> {
             for &p in t.postset() {
                 producers[p.index()].insert(i);
             }
-            label_index.entry(t.label().clone()).or_default().insert(i);
+            label_index[t.sym().index()].insert(i);
             transitions.push(Some(TransRec {
                 preset: t.preset().iter().map(|p| p.index() as u32).collect(),
-                label: t.label().clone(),
+                sym: t.sym(),
                 postset: t.postset().iter().map(|p| p.index() as u32).collect(),
                 key: vec![i],
             }));
@@ -171,7 +178,8 @@ impl<L: Label> NetEditor<L> {
             live_transitions: transitions.len(),
             places,
             transitions,
-            alphabet: net.alphabet().clone(),
+            interner,
+            alphabet: net.alphabet_syms().clone(),
             label_index,
             consumers,
             producers,
@@ -219,7 +227,7 @@ impl<L: Label> NetEditor<L> {
     fn add_transition_rec(
         &mut self,
         preset: BTreeSet<u32>,
-        label: L,
+        sym: Sym,
         postset: BTreeSet<u32>,
         key: Vec<u32>,
     ) -> u32 {
@@ -230,13 +238,13 @@ impl<L: Label> NetEditor<L> {
         for &p in &postset {
             self.producers[p as usize].insert(id);
         }
-        self.label_index
-            .entry(label.clone())
-            .or_default()
-            .insert(id);
+        if self.label_index.len() <= sym.index() {
+            self.label_index.resize(sym.index() + 1, BTreeSet::new());
+        }
+        self.label_index[sym.index()].insert(id);
         self.transitions.push(Some(TransRec {
             preset,
-            label,
+            sym,
             postset,
             key,
         }));
@@ -246,7 +254,7 @@ impl<L: Label> NetEditor<L> {
 
     /// Unlinks a transition from every index and tombstones it,
     /// returning its record. `None` if the slot was already dead.
-    fn detach(&mut self, t: usize) -> Option<TransRec<L>> {
+    fn detach(&mut self, t: usize) -> Option<TransRec> {
         let rec = self.transitions.get_mut(t)?.take()?;
         let tid = t as u32;
         for &p in &rec.preset {
@@ -255,12 +263,7 @@ impl<L: Label> NetEditor<L> {
         for &p in &rec.postset {
             self.producers[p as usize].remove(&tid);
         }
-        if let Some(set) = self.label_index.get_mut(&rec.label) {
-            set.remove(&tid);
-            if set.is_empty() {
-                self.label_index.remove(&rec.label);
-            }
-        }
+        self.label_index[rec.sym.index()].remove(&tid);
         self.live_transitions -= 1;
         self.edits += 1;
         Some(rec)
@@ -275,10 +278,10 @@ impl<L: Label> NetEditor<L> {
         self.producers[p].clear();
     }
 
-    /// The live transition carrying `label` that is first in legacy net
+    /// The live transition carrying `sym` that is first in legacy net
     /// order (minimal path key).
-    fn first_with_label(&self, label: &L) -> Option<usize> {
-        let set = self.label_index.get(label)?;
+    fn first_with_sym(&self, sym: Sym) -> Option<usize> {
+        let set = self.label_index.get(sym.index())?;
         let mut best: Option<(&[u32], u32)> = None;
         for &tid in set {
             let key = self.transitions[tid as usize].as_ref()?.key.as_slice();
@@ -419,11 +422,11 @@ impl<L: Label> NetEditor<L> {
                     vpost.insert(qj);
                 }
             }
-            let label = rec.label.clone();
+            let sym = rec.sym;
             let mut key = rec.key.clone();
             key.push(self.dup_counter);
             self.dup_counter -= 1;
-            self.add_transition_rec(vpre, label, vpost, key);
+            self.add_transition_rec(vpre, sym, vpost, key);
         }
 
         for &pi in &p {
@@ -451,9 +454,21 @@ impl<L: Label> NetEditor<L> {
     ///
     /// Propagates [`NetEditor::contract`] failures.
     pub fn hide_label(&mut self, label: &L, meter: &mut Meter) -> Result<bool, PetriError> {
+        let Some(sym) = self.interner.get(label) else {
+            return Ok(true); // never interned — nothing to hide
+        };
+        self.hide_sym(sym, meter)
+    }
+
+    /// Symbol-space twin of [`hide_label`](Self::hide_label).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NetEditor::contract`] failures.
+    pub fn hide_sym(&mut self, sym: Sym, meter: &mut Meter) -> Result<bool, PetriError> {
         loop {
-            let Some(t) = self.first_with_label(label) else {
-                self.alphabet.remove(label);
+            let Some(t) = self.first_with_sym(sym) else {
+                self.alphabet.remove(sym);
                 return Ok(true);
             };
             if !meter.take_transition() {
@@ -510,12 +525,12 @@ impl<L: Label> NetEditor<L> {
             .filter_map(|(i, t)| t.as_ref().map(|t| (t.key.as_slice(), i)))
             .collect();
         order.sort_unstable_by(|a, b| a.0.cmp(b.0));
-        let mut seen: BTreeSet<(L, Vec<u32>, Vec<u32>)> = BTreeSet::new();
+        let mut seen: BTreeSet<(Sym, Vec<u32>, Vec<u32>)> = BTreeSet::new();
         let mut kill: Vec<usize> = Vec::new();
         for (_, i) in order {
             if let Some(rec) = self.transitions[i].as_ref() {
                 let sig = (
-                    rec.label.clone(),
+                    rec.sym,
                     rec.preset.iter().copied().collect(),
                     rec.postset.iter().copied().collect(),
                 );
@@ -652,7 +667,7 @@ impl<L: Label> NetEditor<L> {
     /// only if internal invariants were violated — never for nets built
     /// through the public editing operations.
     pub fn finish(&self) -> Result<PetriNet<L>, PetriError> {
-        let mut net: PetriNet<L> = PetriNet::new();
+        let mut net: PetriNet<L> = PetriNet::with_interner(self.interner.clone());
         let mut map: Vec<Option<PlaceId>> = vec![None; self.places.len()];
         for (i, rec) in self.places.iter().enumerate() {
             if let Some(rec) = rec {
@@ -661,7 +676,7 @@ impl<L: Label> NetEditor<L> {
                 map[i] = Some(id);
             }
         }
-        let mut order: Vec<(&[u32], &TransRec<L>)> = self
+        let mut order: Vec<(&[u32], &TransRec)> = self
             .transitions
             .iter()
             .filter_map(|t| t.as_ref().map(|t| (t.key.as_slice(), t)))
@@ -673,14 +688,10 @@ impl<L: Label> NetEditor<L> {
                     .map(|&x| map[x as usize].ok_or(PetriError::UnknownPlace(x)))
                     .collect()
             };
-            net.add_transition(
-                mapped(&rec.preset)?,
-                rec.label.clone(),
-                mapped(&rec.postset)?,
-            )?;
+            net.add_transition_sym(mapped(&rec.preset)?, rec.sym, mapped(&rec.postset)?)?;
         }
-        for l in &self.alphabet {
-            net.declare_label(l.clone());
+        for s in self.alphabet.iter() {
+            net.declare_sym(s);
         }
         Ok(net)
     }

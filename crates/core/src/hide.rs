@@ -99,7 +99,9 @@ pub fn hide_transition<L: Label>(
         }
     }
 
-    let mut out = PetriNet::new();
+    // The rebuild shares the source net's symbol space: transitions carry
+    // their syms across, no label is re-interned.
+    let mut out = PetriNet::with_interner(net.interner().clone());
     let m0 = net.initial_marking();
 
     // Kept places: everything except the preset p (the postset q stays).
@@ -125,8 +127,8 @@ pub fn hide_transition<L: Label>(
             product.insert((pi, qj), id);
         }
     }
-    for l in net.alphabet() {
-        out.declare_label(l.clone());
+    for s in net.alphabet_syms().iter() {
+        out.declare_sym(s);
     }
 
     // H_p: replace places of p by their product rows; keep the rest.
@@ -153,7 +155,7 @@ pub fn hide_transition<L: Label>(
         let consumes_q = u.preset().intersection(&q).next().is_some();
         // Real-token variant: also covers untouched and p-adjacent
         // transitions (map_set is the identity on them).
-        out.add_transition(pre.clone(), u.label().clone(), post.clone())?;
+        out.add_transition_sym(pre.clone(), u.sym(), post.clone())?;
         if consumes_q {
             // Virtual variant: consume the complete pending firing of t
             // plus the non-q part of the preset; re-emit the q places the
@@ -177,7 +179,7 @@ pub fn hide_transition<L: Label>(
             // Guard against degenerate duplicates identical to the real
             // variant (happens in the pure marked-graph collapse case).
             if vpre != pre {
-                out.add_transition(vpre, u.label().clone(), vpost)?;
+                out.add_transition_sym(vpre, u.sym(), vpost)?;
             }
         }
     }
@@ -353,9 +355,8 @@ pub fn project<L: Label>(
 ) -> Result<PetriNet<L>, PetriError> {
     let hidden: BTreeSet<L> = net
         .alphabet()
-        .iter()
+        .into_iter()
         .filter(|l| !keep.contains(l))
-        .cloned()
         .collect();
     hide_labels(net, &hidden, budget)
 }
@@ -373,9 +374,8 @@ pub fn project_bounded<L: Label>(
 ) -> Result<Bounded<PetriNet<L>>, crate::CoreError> {
     let hidden: BTreeSet<L> = net
         .alphabet()
-        .iter()
+        .into_iter()
         .filter(|l| !keep.contains(l))
-        .cloned()
         .collect();
     hide_labels_bounded(net, &hidden, budget)
 }
@@ -628,7 +628,7 @@ mod tests {
         let projected = project(&net, &BTreeSet::from(["a", "b"]), 1000).unwrap();
         assert_eq!(
             projected.alphabet(),
-            &BTreeSet::from(["a", "b"]),
+            BTreeSet::from(["a", "b"]),
             "alphabet reduced"
         );
         let l = lang(&projected, 4);

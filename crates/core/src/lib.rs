@@ -78,8 +78,10 @@ pub use hide::{
     hide_label, hide_label_bounded, hide_labels, hide_labels_bounded, hide_labels_bounded_legacy,
     hide_relabel, hide_transition, project, project_bounded,
 };
-pub use ops::{nil, prefix, prefix_general, rename};
-pub use parallel::{parallel, parallel_tracked, parallel_with_sync, Composition, SyncTransition};
+pub use ops::{nil, prefix, prefix_general, rename, rename_injective};
+pub use parallel::{
+    common_alphabet, parallel, parallel_tracked, parallel_with_sync, Composition, SyncTransition,
+};
 pub use synthesis::{
     closure_report, reduce_against_environment, reduce_against_environment_fused, ClosureReport,
     Reduction,

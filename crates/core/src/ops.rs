@@ -48,18 +48,18 @@ pub fn prefix<L: Label>(action: L, net: &PetriNet<L>) -> Result<PetriNet<L>, Pet
         return Err(PetriError::UnsafeInitialMarking(p.index() as u32));
     }
 
-    let mut out = PetriNet::new();
+    let mut out = PetriNet::with_interner(net.interner().clone());
     let mut map: BTreeMap<PlaceId, PlaceId> = BTreeMap::new();
     for (old, place) in net.places() {
         map.insert(old, out.add_place(place.name().to_owned()));
     }
-    for l in net.alphabet() {
-        out.declare_label(l.clone());
+    for sym in net.alphabet_syms().iter() {
+        out.declare_sym(sym);
     }
     for (_, t) in net.transitions() {
-        out.add_transition(
+        out.add_transition_sym(
             t.preset().iter().map(|p| map[p]),
-            t.label().clone(),
+            t.sym(),
             t.postset().iter().map(|p| map[p]),
         )?;
     }
@@ -103,15 +103,15 @@ pub fn prefix<L: Label>(action: L, net: &PetriNet<L>) -> Result<PetriNet<L>, Pet
 /// # }
 /// ```
 pub fn prefix_general<L: Label>(action: L, net: &PetriNet<L>) -> Result<PetriNet<L>, PetriError> {
-    let mut out = PetriNet::new();
+    let mut out = PetriNet::with_interner(net.interner().clone());
     let mut map: BTreeMap<PlaceId, PlaceId> = BTreeMap::new();
     for (old, place) in net.places() {
         let new = out.add_place(place.name().to_owned());
         out.set_initial(new, net.initial_marking().tokens(old));
         map.insert(old, new);
     }
-    for l in net.alphabet() {
-        out.declare_label(l.clone());
+    for sym in net.alphabet_syms().iter() {
+        out.declare_sym(sym);
     }
     let m0 = out.add_place("m0");
     let sentinel = out.add_place("sentinel");
@@ -126,7 +126,7 @@ pub fn prefix_general<L: Label>(action: L, net: &PetriNet<L>) -> Result<PetriNet
             pre.push(sentinel);
             post.push(sentinel);
         }
-        out.add_transition(pre, t.label().clone(), post)?;
+        out.add_transition_sym(pre, t.sym(), post)?;
     }
     out.add_transition([m0], action, [sentinel])?;
     Ok(out)
@@ -137,6 +137,17 @@ pub fn prefix_general<L: Label>(action: L, net: &PetriNet<L>) -> Result<PetriNet
 /// value; the alphabet drops the keys and gains the values.
 ///
 /// Satisfies `L(rename(N, b→c)) = rename(L(N), b→c)` (Proposition 4.3).
+///
+/// # Non-injective maps
+///
+/// The map need not be injective: `{a→z, b→z}` (or `{a→b}` when `b` is
+/// already in the alphabet) **merges** the source actions into one label,
+/// and distinct actions become indistinguishable afterwards — composition
+/// will synchronize them as a single action. This matches the pointwise
+/// trace-level [`rename`](cpn_trace::Language::rename), so Proposition
+/// 4.3 holds for non-injective maps too (regression-tested by
+/// `rename_non_injective_merge_still_satisfies_prop_4_3`); use
+/// [`rename_injective`] to rule merging out instead.
 ///
 /// # Example
 ///
@@ -162,6 +173,44 @@ pub fn rename<L: Label>(net: &PetriNet<L>, map: &BTreeMap<L, L>) -> PetriNet<L> 
         out.declare_label(v.clone());
     }
     out
+}
+
+/// [`rename`] restricted to maps that keep distinct actions distinct on
+/// this net's alphabet — Definition 4.4 read strictly.
+///
+/// Rejects a map when two alphabet labels would collapse into one: two
+/// keys sharing a value, or a value colliding with an alphabet label the
+/// map leaves fixed. Keys and values outside the alphabet are ignored
+/// (they rename nothing and collide with nothing).
+///
+/// # Errors
+///
+/// [`PetriError::Precondition`] naming the collided-on label.
+pub fn rename_injective<L: Label>(
+    net: &PetriNet<L>,
+    map: &BTreeMap<L, L>,
+) -> Result<PetriNet<L>, PetriError> {
+    let mut targets: BTreeMap<&L, &L> = BTreeMap::new();
+    for l in &net.alphabet() {
+        let Some((k, v)) = map.get_key_value(l) else {
+            continue;
+        };
+        if let Some(prev) = targets.insert(v, k) {
+            return Err(PetriError::Precondition(format!(
+                "non-injective rename: {prev} and {k} both map to {v}"
+            )));
+        }
+    }
+    for l in &net.alphabet() {
+        if !map.contains_key(l) {
+            if let Some(k) = targets.get(l) {
+                return Err(PetriError::Precondition(format!(
+                    "non-injective rename: {k} maps onto the unrenamed alphabet label {l}"
+                )));
+            }
+        }
+    }
+    Ok(rename(net, map))
 }
 
 #[cfg(test)]
@@ -266,7 +315,41 @@ mod tests {
         let n = ab_cycle();
         let renamed = rename(&n, &BTreeMap::from([("a", "c")]));
         let expect: BTreeSet<&str> = ["b", "c"].into();
-        assert_eq!(renamed.alphabet(), &expect);
+        assert_eq!(renamed.alphabet(), expect);
+    }
+
+    #[test]
+    fn rename_non_injective_merge_still_satisfies_prop_4_3() {
+        // {a→z, b→z} merges both actions into z; the net-level result
+        // must still agree with the pointwise trace-level rename.
+        let n = ab_cycle();
+        let merged = rename(&n, &BTreeMap::from([("a", "z"), ("b", "z")]));
+        assert_eq!(merged.alphabet(), BTreeSet::from(["z"]));
+        let lhs = Language::from_net(&merged, 4, 10_000).unwrap();
+        let rhs = Language::from_net(&n, 4, 10_000).unwrap().rename(|_| "z");
+        assert!(lhs.eq_up_to(&rhs, 4));
+        assert!(lhs.contains(&["z", "z", "z"]));
+    }
+
+    #[test]
+    fn rename_injective_rejects_merging_maps() {
+        let n = ab_cycle();
+        // Two keys sharing a value.
+        assert!(matches!(
+            rename_injective(&n, &BTreeMap::from([("a", "z"), ("b", "z")])),
+            Err(PetriError::Precondition(_))
+        ));
+        // A value colliding with an unrenamed alphabet label.
+        assert!(matches!(
+            rename_injective(&n, &BTreeMap::from([("a", "b")])),
+            Err(PetriError::Precondition(_))
+        ));
+        // A genuinely injective map passes and matches `rename`.
+        let ok = rename_injective(&n, &BTreeMap::from([("a", "z"), ("b", "a")])).unwrap();
+        assert_eq!(ok, rename(&n, &BTreeMap::from([("a", "z"), ("b", "a")])));
+        // Keys/values outside the alphabet are inert, not collisions.
+        let inert = rename_injective(&n, &BTreeMap::from([("ghost", "a")])).unwrap();
+        assert_eq!(inert.alphabet(), n.alphabet());
     }
 
     #[test]

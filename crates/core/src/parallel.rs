@@ -10,7 +10,7 @@
 //! unchanged. No unfolding is needed, and the construction works for
 //! general (non-safe) nets.
 
-use cpn_petri::{Label, PetriError, PetriNet, PlaceId, TransitionId};
+use cpn_petri::{AlphaSet, Label, PetriError, PetriNet, PlaceId, Sym, TransitionId};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// A parallel composition together with the provenance information the
@@ -35,6 +35,9 @@ pub struct Composition<L: Label> {
 pub struct SyncTransition<L: Label> {
     /// The synchronized label.
     pub label: L,
+    /// The synchronized label's symbol in the **composed net's** symbol
+    /// space — what the receptiveness obligations compare on.
+    pub sym: Sym,
     /// The fused transition in the composed net.
     pub transition: TransitionId,
     /// The left operand's transition that was fused.
@@ -82,8 +85,26 @@ pub struct SyncTransition<L: Label> {
 /// # }
 /// ```
 pub fn parallel<L: Label>(n1: &PetriNet<L>, n2: &PetriNet<L>) -> Result<PetriNet<L>, PetriError> {
-    let sync: BTreeSet<L> = n1.alphabet().intersection(n2.alphabet()).cloned().collect();
+    let sync = common_alphabet(n1, n2);
     parallel_with_sync(n1, n2, &sync)
+}
+
+/// The common alphabet `A1 ∩ A2` — the default synchronization set of
+/// Definition 4.7 — computed in symbol space: the right alphabet is
+/// remapped into the left net's symbol space and intersected as a
+/// bitset, with labels materialized only for the returned set.
+pub fn common_alphabet<L: Label>(n1: &PetriNet<L>, n2: &PetriNet<L>) -> BTreeSet<L> {
+    let mut right_in_left = AlphaSet::new();
+    for s2 in n2.alphabet_syms().iter() {
+        if let Some(s1) = n1.sym_of(n2.resolve(s2)) {
+            right_in_left.insert(s1);
+        }
+    }
+    right_in_left.intersect_with(n1.alphabet_syms());
+    right_in_left
+        .iter()
+        .map(|s| n1.resolve(s).clone())
+        .collect()
 }
 
 /// Parallel composition with an explicit synchronization set.
@@ -118,7 +139,14 @@ pub fn parallel_tracked<L: Label>(
     n2: &PetriNet<L>,
     sync: &BTreeSet<L>,
 ) -> Result<Composition<L>, PetriError> {
-    let mut out = PetriNet::new();
+    // The composed net's symbol space: the left interner verbatim, the
+    // right interner merged in (remap2 translates right syms).
+    let mut out = PetriNet::with_interner(n1.interner().clone());
+    let remap2: Vec<Sym> = n2
+        .interner()
+        .iter()
+        .map(|(_, l)| out.intern_label(l))
+        .collect();
     let mut map1: BTreeMap<PlaceId, PlaceId> = BTreeMap::new();
     let mut map2: BTreeMap<PlaceId, PlaceId> = BTreeMap::new();
     for (old, place) in n1.places() {
@@ -131,33 +159,44 @@ pub fn parallel_tracked<L: Label>(
         out.set_initial(new, n2.initial_marking().tokens(old));
         map2.insert(old, new);
     }
-    for l in n1.alphabet().iter().chain(n2.alphabet()) {
-        out.declare_label(l.clone());
+    for s in n1.alphabet_syms().iter() {
+        out.declare_sym(s);
     }
+    for s in n2.alphabet_syms().iter() {
+        out.declare_sym(remap2[s.index()]);
+    }
+    // The sync set in the composed net's symbol space (labels unknown to
+    // both operands carry no transitions and are dropped harmlessly).
+    let sync_syms: AlphaSet = sync.iter().filter_map(|l| out.sym_of(l)).collect();
 
-    // Private transitions are copied unchanged.
+    // Private transitions are copied unchanged. Left syms are valid in
+    // the composed space as-is (its interner extends the left one).
     for (_, t) in n1.transitions() {
-        if !sync.contains(t.label()) {
-            out.add_transition(
+        if !sync_syms.contains(t.sym()) {
+            out.add_transition_sym(
                 t.preset().iter().map(|p| map1[p]),
-                t.label().clone(),
+                t.sym(),
                 t.postset().iter().map(|p| map1[p]),
             )?;
         }
     }
     for (_, t) in n2.transitions() {
-        if !sync.contains(t.label()) {
-            out.add_transition(
+        let sym = remap2[t.sym().index()];
+        if !sync_syms.contains(sym) {
+            out.add_transition_sym(
                 t.preset().iter().map(|p| map2[p]),
-                t.label().clone(),
+                sym,
                 t.postset().iter().map(|p| map2[p]),
             )?;
         }
     }
 
     // Synchronized transitions: all pairs with a common label are joined.
+    // Iterated in label order (the caller's `BTreeSet`) so the composed
+    // net's transition order is independent of symbol assignment.
     let mut sync_transitions = Vec::new();
     for a in sync {
+        let Some(sym) = out.sym_of(a) else { continue };
         for t1 in n1.transitions_with_label(a).collect::<Vec<_>>() {
             for t2 in n2.transitions_with_label(a).collect::<Vec<_>>() {
                 let tr1 = n1.transition(t1);
@@ -176,9 +215,10 @@ pub fn parallel_tracked<L: Label>(
                     .map(|p| map1[p])
                     .chain(tr2.postset().iter().map(|p| map2[p]))
                     .collect();
-                let transition = out.add_transition(pre, a.clone(), post)?;
+                let transition = out.add_transition_sym(pre, sym, post)?;
                 sync_transitions.push(SyncTransition {
                     label: a.clone(),
+                    sym,
                     transition,
                     left_transition: t1,
                     right_transition: t2,

@@ -21,7 +21,8 @@
 use crate::parallel::{parallel_tracked, Composition};
 use cpn_petri::graph::{solve_difference_constraints, DiffConstraint};
 use cpn_petri::{
-    Budget, Label, Marking, Meter, PetriError, PetriNet, PlaceId, ReachabilityOptions, Verdict,
+    AlphaSet, Budget, Label, Marking, Meter, PetriError, PetriNet, PlaceId, ReachabilityOptions,
+    Sym, Verdict,
 };
 use std::collections::BTreeSet;
 use std::fmt;
@@ -80,35 +81,60 @@ impl<L: Label> ReceptivenessReport<L> {
 /// a failure exists only when the producer is committed and *no*
 /// consumer alternative is ready — checking fused pairs individually
 /// would flag spurious cross-pairings.
-struct Obligation<L: Label> {
-    label: L,
+///
+/// Obligations identify actions by their composed-net [`Sym`]; the label
+/// is resolved only when a failure is reported.
+struct Obligation {
+    sym: Sym,
     producer: Side,
     producer_pre: BTreeSet<PlaceId>,
     consumer_pres: Vec<BTreeSet<PlaceId>>,
+}
+
+impl Obligation {
+    fn fail<L: Label>(
+        &self,
+        comp: &Composition<L>,
+        witness: Option<Marking>,
+    ) -> ReceptivenessFailure<L> {
+        ReceptivenessFailure {
+            label: comp.net.resolve(self.sym).clone(),
+            producer: self.producer,
+            witness,
+        }
+    }
+}
+
+/// Interns an output-label set into the composed net's symbol space;
+/// labels the composition never saw cannot mis-fire and are dropped.
+fn output_syms<L: Label>(comp: &Composition<L>, outputs: &BTreeSet<L>) -> AlphaSet {
+    outputs.iter().filter_map(|l| comp.net.sym_of(l)).collect()
 }
 
 fn obligations<L: Label>(
     comp: &Composition<L>,
     left_outputs: &BTreeSet<L>,
     right_outputs: &BTreeSet<L>,
-) -> Vec<Obligation<L>> {
-    // Group fused transitions by (label, producer preset part).
-    let mut out: Vec<Obligation<L>> = Vec::new();
+) -> Vec<Obligation> {
+    let left_out = output_syms(comp, left_outputs);
+    let right_out = output_syms(comp, right_outputs);
+    // Group fused transitions by (symbol, producer preset part).
+    let mut out: Vec<Obligation> = Vec::new();
     for sync in &comp.sync_transitions {
-        let (side, ppre, cpre) = if left_outputs.contains(&sync.label) {
+        let (side, ppre, cpre) = if left_out.contains(sync.sym) {
             (Side::Left, &sync.left_preset, &sync.right_preset)
-        } else if right_outputs.contains(&sync.label) {
+        } else if right_out.contains(sync.sym) {
             (Side::Right, &sync.right_preset, &sync.left_preset)
         } else {
             continue;
         };
         match out
             .iter_mut()
-            .find(|o| o.label == sync.label && o.producer == side && o.producer_pre == *ppre)
+            .find(|o| o.sym == sync.sym && o.producer == side && o.producer_pre == *ppre)
         {
             Some(o) => o.consumer_pres.push(cpre.clone()),
             None => out.push(Obligation {
-                label: sync.label.clone(),
+                sym: sync.sym,
                 producer: side,
                 producer_pre: ppre.clone(),
                 consumer_pres: vec![cpre.clone()],
@@ -172,7 +198,7 @@ pub fn check_receptiveness<L: Label>(
     right_outputs: &BTreeSet<L>,
     options: &ReachabilityOptions,
 ) -> Result<ReceptivenessReport<L>, PetriError> {
-    let sync: BTreeSet<L> = n1.alphabet().intersection(n2.alphabet()).cloned().collect();
+    let sync = crate::parallel::common_alphabet(n1, n2);
     let comp = parallel_tracked(n1, n2, &sync)?;
     check_receptiveness_composed(&comp, left_outputs, right_outputs, options)
 }
@@ -229,7 +255,7 @@ pub fn check_receptiveness_bounded<L: Label>(
     right_outputs: &BTreeSet<L>,
     budget: &Budget,
 ) -> Result<Verdict<ReceptivenessReport<L>>, PetriError> {
-    let sync: BTreeSet<L> = n1.alphabet().intersection(n2.alphabet()).cloned().collect();
+    let sync = crate::parallel::common_alphabet(n1, n2);
     let comp = parallel_tracked(n1, n2, &sync)?;
     Ok(check_receptiveness_composed_bounded(
         &comp,
@@ -268,11 +294,7 @@ pub fn check_receptiveness_composed_bounded<L: Label>(
             }
         });
         if let Some(w) = witness {
-            failures.push(ReceptivenessFailure {
-                label: ob.label.clone(),
-                producer: ob.producer,
-                witness: Some(w),
-            });
+            failures.push(ob.fail(comp, Some(w)));
         }
     }
     if !failures.is_empty() {
@@ -315,7 +337,7 @@ pub fn check_receptiveness_structural_mg<L: Label>(
     left_outputs: &BTreeSet<L>,
     right_outputs: &BTreeSet<L>,
 ) -> Result<ReceptivenessReport<L>, PetriError> {
-    let sync: BTreeSet<L> = n1.alphabet().intersection(n2.alphabet()).cloned().collect();
+    let sync = crate::parallel::common_alphabet(n1, n2);
     let comp = parallel_tracked(n1, n2, &sync)?;
     check_receptiveness_structural_mg_composed(&comp, left_outputs, right_outputs)
 }
@@ -372,7 +394,7 @@ pub fn check_receptiveness_structural_mg_composed<L: Label>(
             return Err(PetriError::Precondition(format!(
                 "receptiveness obligation for {} needs {combos} starvation \
                  combinations; beyond the structural check's budget",
-                ob.label
+                comp.net.resolve(ob.sym)
             )));
         }
         let mut found = false;
@@ -415,11 +437,7 @@ pub fn check_receptiveness_structural_mg_composed<L: Label>(
             }
         }
         if found {
-            failures.push(ReceptivenessFailure {
-                label: ob.label.clone(),
-                producer: ob.producer,
-                witness: None,
-            });
+            failures.push(ob.fail(comp, None));
         }
     }
     Ok(ReceptivenessReport { failures })
@@ -446,7 +464,7 @@ pub fn check_receptiveness_structural_mg_bounded<L: Label>(
     right_outputs: &BTreeSet<L>,
     budget: &Budget,
 ) -> Result<Verdict<ReceptivenessReport<L>>, crate::CoreError> {
-    let sync: BTreeSet<L> = n1.alphabet().intersection(n2.alphabet()).cloned().collect();
+    let sync = crate::parallel::common_alphabet(n1, n2);
     let comp = parallel_tracked(n1, n2, &sync).map_err(crate::CoreError::Net)?;
     check_receptiveness_structural_mg_composed_bounded(&comp, left_outputs, right_outputs, budget)
 }
@@ -538,11 +556,7 @@ pub fn check_receptiveness_structural_mg_composed_bounded<L: Label>(
             }
         }
         if found {
-            failures.push(ReceptivenessFailure {
-                label: ob.label.clone(),
-                producer: ob.producer,
-                witness: None,
-            });
+            failures.push(ob.fail(comp, None));
         }
     }
 

@@ -223,7 +223,7 @@ fn law_5_4_marked_graphs_closed(raw1: &RawNet, raw2: &RawNet) -> PropResult {
         prop_assert!(prefixed.structural().is_marked_graph, "prefix");
     }
 
-    let common: Vec<&str> = n1.alphabet().intersection(n2.alphabet()).copied().collect();
+    let common: Vec<&str> = cpn_core::common_alphabet(&n1, &n2).into_iter().collect();
     let unique_sync = common.iter().all(|l| {
         n1.transitions_with_label(l).count() <= 1 && n2.transitions_with_label(l).count() <= 1
     });
@@ -243,7 +243,7 @@ fn law_5_1_projection_containment(raw1: &RawNet, raw2: &RawNet) -> PropResult {
     let lc = lang(&composed, DEPTH);
     let l1 = lang(&n1, DEPTH);
     prop_assume!(lc.is_some() && l1.is_some());
-    let projected = lc.unwrap().project(n1.alphabet());
+    let projected = lc.unwrap().project(&n1.alphabet());
     prop_assert!(
         projected.subset_up_to(&l1.unwrap(), DEPTH),
         "project(L(M1‖M2), A1) ⊆ L(M1)"

@@ -103,9 +103,9 @@ pub fn write_net<L: Label>(name: &str, net: &PetriNet<L>) -> String {
     let mut out = String::new();
     writeln!(out, "net {} {{", sanitize(name)).expect("writing to string");
     write_places(&mut out, net, &names);
-    for (tid, t) in net.transitions() {
-        let label = t
-            .label()
+    for (tid, _) in net.transitions() {
+        let label = net
+            .label_of(tid)
             .to_string()
             .replace('\\', "\\\\")
             .replace('"', "\\\"");
@@ -139,8 +139,8 @@ pub fn write_stg(name: &str, stg: &Stg) -> String {
         }
     }
     write_places(&mut out, net, &names);
-    for (tid, t) in net.transitions() {
-        match t.label() {
+    for (tid, _) in net.transitions() {
+        match net.label_of(tid) {
             StgLabel::Dummy => {
                 out.push_str("  dummy ");
             }
@@ -253,14 +253,8 @@ mod tests {
         net.set_initial(p, 1);
         let text = write_net("e", &net);
         let doc = parse(&text).unwrap();
-        let label = doc.nets[0]
-            .1
-            .transitions()
-            .next()
-            .unwrap()
-            .1
-            .label()
-            .clone();
+        let tid = doc.nets[0].1.transitions().next().unwrap().0;
+        let label = doc.nets[0].1.label_of(tid).clone();
         assert_eq!(label, "say \"hi\"");
     }
 

@@ -1,6 +1,6 @@
 //! The compiled firing rule: CSR pre/post deltas + consumer adjacency.
 //!
-//! [`CompiledNet`] flattens a [`PetriNet`](crate::net::PetriNet)'s
+//! [`CompiledNet`] flattens a [`PetriNet`]'s
 //! `BTreeSet`-based transition relation into four compressed-sparse-row
 //! (CSR) arrays so the exploration hot loop runs on contiguous `u32`
 //! slices with zero allocation:
@@ -22,6 +22,7 @@
 //! order as the legacy `for t in transition_ids()` loop — a requirement
 //! for bit-identical graphs and `Meter` accounting.
 
+use crate::alphabet::Sym;
 use crate::label::Label;
 use crate::net::PetriNet;
 use crate::store::MarkingStore;
@@ -71,6 +72,9 @@ pub struct CompiledNet {
     cons: Vec<u32>,
     /// Transitions with an empty preset: enabled in every marking.
     always: Vec<u32>,
+    /// Interned label symbol per transition (resolve against the source
+    /// net's interner). Lets trace extraction run symbol-only.
+    syms: Vec<Sym>,
 }
 
 /// Reusable per-worker scratch for candidate deduplication.
@@ -129,6 +133,13 @@ impl CompiledNet {
     pub fn give_set(&self, t: u32) -> &[u32] {
         let (a, b) = (self.give_off[t as usize], self.give_off[t as usize + 1]);
         &self.give[a as usize..b as usize]
+    }
+
+    /// The interned label symbol of transition `t`, in the source net's
+    /// symbol space.
+    #[inline]
+    pub fn sym(&self, t: u32) -> Sym {
+        self.syms[t as usize]
     }
 
     /// Transitions with place `p` in their preset (sorted).
@@ -326,6 +337,7 @@ impl<L: Label> PetriNet<L> {
             cons_off,
             cons,
             always,
+            syms: self.transitions().map(|(_, tr)| tr.sym()).collect(),
         }
     }
 }

@@ -8,7 +8,6 @@
 
 use crate::budget::{Bounded, Budget, Meter};
 use crate::compiled::OMEGA;
-use crate::error::PetriError;
 use crate::label::Label;
 use crate::net::{PetriNet, PlaceId};
 use crate::store::MarkingStore;
@@ -183,27 +182,6 @@ impl CoverabilityTree {
         meter.finish(CoverabilityTree { markings, outcome })
     }
 
-    /// Runs the Karp–Miller construction with a bare node cap.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`PetriError::StateBudgetExceeded`] if the budget is hit.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `build_bounded`, which returns a partial tree instead of a hard error"
-    )]
-    pub fn build<L: Label>(
-        net: &PetriNet<L>,
-        node_budget: usize,
-    ) -> Result<CoverabilityTree, PetriError> {
-        match Self::build_bounded(net, &Budget::states(node_budget)) {
-            Bounded::Complete(tree) => Ok(tree),
-            Bounded::Exhausted { .. } => Err(PetriError::StateBudgetExceeded {
-                budget: node_budget,
-            }),
-        }
-    }
-
     /// The verdict: bounded with a bound, or unbounded with witnesses.
     pub fn outcome(&self) -> &CoverabilityOutcome {
         &self.outcome
@@ -295,18 +273,5 @@ mod tests {
         let info = *built.exhausted().expect("budget of 1 is exhausted");
         assert_eq!(info.states_explored, 1);
         assert_eq!(built.value().markings().len(), 1);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_build_maps_exhaustion_to_error() {
-        let mut net: PetriNet<&str> = PetriNet::new();
-        let p = net.add_place("p");
-        let q = net.add_place("q");
-        net.add_transition([p], "a", [q]).unwrap();
-        net.set_initial(p, 1);
-        let err = CoverabilityTree::build(&net, 1).unwrap_err();
-        assert_eq!(err, PetriError::StateBudgetExceeded { budget: 1 });
-        assert!(CoverabilityTree::build(&net, 100).is_ok());
     }
 }

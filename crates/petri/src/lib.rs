@@ -14,6 +14,8 @@
 //!
 //! # Modules
 //!
+//! * [`alphabet`] — the interned alphabet layer: dense [`Sym`] symbols,
+//!   the label [`Interner`], and [`AlphaSet`] bitset label sets.
 //! * [`net`] — the arena-indexed [`PetriNet`] data structure and builder API.
 //! * [`budget`] — exploration [`Budget`]s, the [`Bounded`] partial-result
 //!   wrapper and the tri-state [`Verdict`] of budgeted checkers.
@@ -57,6 +59,7 @@
 
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 
+pub mod alphabet;
 pub mod analysis;
 pub mod budget;
 pub mod compiled;
@@ -74,6 +77,7 @@ pub mod siphon;
 pub mod store;
 pub mod structural;
 
+pub use alphabet::{AlphaSet, Interner, Sym};
 pub use analysis::{Analysis, LivenessLevel};
 pub use budget::{
     Bounded, Budget, Exhausted, Meter, Resource, Verdict, DEFAULT_MAX_STATES,

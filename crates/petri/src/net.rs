@@ -5,7 +5,15 @@
 //! the algebra of Section 4 synchronizes parallel composition on the common
 //! alphabet `A1 ∩ A2`, which may include labels that currently have no
 //! transitions in one of the nets.
+//!
+//! Labels are stored interned: each net owns an [`Interner`] mapping its
+//! labels to dense [`Sym`] symbols, transitions carry a `Sym`, and the
+//! alphabet is an [`AlphaSet`] bitset. The generic label-typed API is
+//! preserved — labels are materialized at the boundary — while the hot
+//! paths (firing, contraction, composition, trace extraction) run on
+//! symbols.
 
+use crate::alphabet::{AlphaSet, Interner, Sym};
 use crate::error::PetriError;
 use crate::label::Label;
 use crate::marking::Marking;
@@ -125,26 +133,29 @@ impl Place {
     }
 }
 
-/// A transition `(p, a, q)` with preset `p`, label `a` and postset `q`.
+/// A transition `(p, a, q)` with preset `p`, label symbol `a` and
+/// postset `q`.
 ///
 /// Presets and postsets are place **sets**, exactly as in the paper's
-/// transition relation `→ ⊆ 2^P × A × 2^P`.
+/// transition relation `→ ⊆ 2^P × A × 2^P`. The label is stored as an
+/// interned [`Sym`]; resolve it against the owning net with
+/// [`PetriNet::label_of`] or [`PetriNet::resolve`].
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub struct Transition<L> {
+pub struct Transition {
     preset: BTreeSet<PlaceId>,
-    label: L,
+    sym: Sym,
     postset: BTreeSet<PlaceId>,
 }
 
-impl<L: Label> Transition<L> {
+impl Transition {
     /// Input places `p` of the transition.
     pub fn preset(&self) -> &BTreeSet<PlaceId> {
         &self.preset
     }
 
-    /// The action label `a`.
-    pub fn label(&self) -> &L {
-        &self.label
+    /// The action label's interned symbol.
+    pub fn sym(&self) -> Sym {
+        self.sym
     }
 
     /// Output places `q` of the transition.
@@ -184,11 +195,12 @@ impl<L: Label> Transition<L> {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Clone, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct PetriNet<L: Label> {
     places: Vec<Place>,
-    transitions: Vec<Transition<L>>,
-    alphabet: BTreeSet<L>,
+    transitions: Vec<Transition>,
+    interner: Interner<L>,
+    alphabet: AlphaSet,
     initial: Marking,
 }
 
@@ -204,7 +216,25 @@ impl<L: Label> PetriNet<L> {
         PetriNet {
             places: Vec::new(),
             transitions: Vec::new(),
-            alphabet: BTreeSet::new(),
+            interner: Interner::new(),
+            alphabet: AlphaSet::new(),
+            initial: Marking::empty(0),
+        }
+    }
+
+    /// Creates an empty net whose interner is pre-seeded with `interner`.
+    ///
+    /// Builders that already work in an existing symbol space (the
+    /// contraction editor, parallel composition) use this so
+    /// [`add_transition_sym`](Self::add_transition_sym) needs no label
+    /// clones or lookups; symbols of the seed interner keep their
+    /// meaning in the new net.
+    pub fn with_interner(interner: Interner<L>) -> Self {
+        PetriNet {
+            places: Vec::new(),
+            transitions: Vec::new(),
+            interner,
+            alphabet: AlphaSet::new(),
             initial: Marking::empty(0),
         }
     }
@@ -221,9 +251,25 @@ impl<L: Label> PetriNet<L> {
         id
     }
 
+    fn check_transition(
+        &self,
+        preset: &BTreeSet<PlaceId>,
+        postset: &BTreeSet<PlaceId>,
+    ) -> Result<(), PetriError> {
+        for &p in preset.iter().chain(postset.iter()) {
+            if p.index() >= self.places.len() {
+                return Err(PetriError::UnknownPlace(p.0));
+            }
+        }
+        if preset.is_empty() && postset.is_empty() {
+            return Err(PetriError::DegenerateTransition);
+        }
+        Ok(())
+    }
+
     /// Adds a transition `(preset, label, postset)`.
     ///
-    /// The label is added to the alphabet.
+    /// The label is interned and added to the alphabet.
     ///
     /// # Errors
     ///
@@ -236,21 +282,39 @@ impl<L: Label> PetriNet<L> {
         label: L,
         postset: impl IntoIterator<Item = PlaceId>,
     ) -> Result<TransitionId, PetriError> {
+        let sym = self.interner.intern_owned(label);
+        self.add_transition_sym(preset, sym, postset)
+    }
+
+    /// Adds a transition whose label is the already-interned `sym`.
+    ///
+    /// The symbol-space twin of [`add_transition`](Self::add_transition):
+    /// no label value is touched. The symbol is added to the alphabet.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PetriError::UnknownPlace`] / [`PetriError::DegenerateTransition`]
+    /// as `add_transition`, and [`PetriError::Precondition`] if the symbol
+    /// is not part of this net's interner.
+    pub fn add_transition_sym(
+        &mut self,
+        preset: impl IntoIterator<Item = PlaceId>,
+        sym: Sym,
+        postset: impl IntoIterator<Item = PlaceId>,
+    ) -> Result<TransitionId, PetriError> {
         let preset: BTreeSet<PlaceId> = preset.into_iter().collect();
         let postset: BTreeSet<PlaceId> = postset.into_iter().collect();
-        for &p in preset.iter().chain(postset.iter()) {
-            if p.index() >= self.places.len() {
-                return Err(PetriError::UnknownPlace(p.0));
-            }
-        }
-        if preset.is_empty() && postset.is_empty() {
-            return Err(PetriError::DegenerateTransition);
+        self.check_transition(&preset, &postset)?;
+        if sym.index() >= self.interner.len() {
+            return Err(PetriError::Precondition(format!(
+                "symbol {sym} not interned in this net"
+            )));
         }
         let id = TransitionId::from_index(self.transitions.len());
-        self.alphabet.insert(label.clone());
+        self.alphabet.insert(sym);
         self.transitions.push(Transition {
             preset,
-            label,
+            sym,
             postset,
         });
         Ok(id)
@@ -259,15 +323,39 @@ impl<L: Label> PetriNet<L> {
     /// Declares a label as part of the alphabet even if no transition
     /// carries it (needed for faithful parallel composition, Def 4.7).
     pub fn declare_label(&mut self, label: L) {
-        self.alphabet.insert(label);
+        let sym = self.interner.intern_owned(label);
+        self.alphabet.insert(sym);
+    }
+
+    /// Interns a label without declaring it in the alphabet, returning
+    /// its symbol. Hidden labels keep resolvable symbols this way.
+    pub fn intern_label(&mut self, label: &L) -> Sym {
+        self.interner.intern(label)
+    }
+
+    /// Declares an already-interned symbol as part of the alphabet — the
+    /// symbol-space twin of [`declare_label`](Self::declare_label).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the symbol does not belong to this net's interner.
+    pub fn declare_sym(&mut self, sym: Sym) {
+        assert!(
+            sym.index() < self.interner.len(),
+            "symbol {sym} not interned in this net"
+        );
+        self.alphabet.insert(sym);
     }
 
     /// Removes a label from the alphabet.
     ///
     /// Has no effect on transitions; callers are expected to have removed
     /// or relabeled the transitions first (as the hiding operator does).
+    /// The label stays interned — symbols are never invalidated.
     pub fn undeclare_label(&mut self, label: &L) {
-        self.alphabet.remove(label);
+        if let Some(sym) = self.interner.get(label) {
+            self.alphabet.remove(sym);
+        }
     }
 
     /// Sets the initial token count of a place.
@@ -294,9 +382,60 @@ impl<L: Label> PetriNet<L> {
         self.transitions.len()
     }
 
-    /// The explicit alphabet `A`.
-    pub fn alphabet(&self) -> &BTreeSet<L> {
+    /// The explicit alphabet `A`, materialized as a label set.
+    ///
+    /// Boundary API: allocates. Hot paths use
+    /// [`alphabet_syms`](Self::alphabet_syms) and stay on symbols.
+    pub fn alphabet(&self) -> BTreeSet<L> {
+        self.alphabet
+            .iter()
+            .map(|s| self.interner.resolve(s).clone())
+            .collect()
+    }
+
+    /// The explicit alphabet `A` as a symbol bitset.
+    pub fn alphabet_syms(&self) -> &AlphaSet {
         &self.alphabet
+    }
+
+    /// Whether `label` is in the alphabet.
+    pub fn alphabet_contains(&self, label: &L) -> bool {
+        self.interner
+            .get(label)
+            .is_some_and(|s| self.alphabet.contains(s))
+    }
+
+    /// Number of labels in the alphabet.
+    pub fn alphabet_len(&self) -> usize {
+        self.alphabet.len()
+    }
+
+    /// This net's label interner.
+    pub fn interner(&self) -> &Interner<L> {
+        &self.interner
+    }
+
+    /// The symbol of `label` in this net's interner, if interned.
+    pub fn sym_of(&self, label: &L) -> Option<Sym> {
+        self.interner.get(label)
+    }
+
+    /// The label behind a symbol of this net's interner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the symbol does not belong to this net.
+    pub fn resolve(&self, sym: Sym) -> &L {
+        self.interner.resolve(sym)
+    }
+
+    /// The label of transition `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this net.
+    pub fn label_of(&self, t: TransitionId) -> &L {
+        self.interner.resolve(self.transitions[t.index()].sym)
     }
 
     /// `true` when both nets have identical places, transitions and
@@ -305,9 +444,22 @@ impl<L: Label> PetriNet<L> {
     /// The synthesis pipeline uses this to skip a second dead-removal
     /// pass when projection turned out to be a no-op.
     pub fn same_structure(&self, other: &PetriNet<L>) -> bool {
-        self.places == other.places
-            && self.transitions == other.transitions
-            && self.initial == other.initial
+        if self.places != other.places || self.initial != other.initial {
+            return false;
+        }
+        if self.interner == other.interner {
+            return self.transitions == other.transitions;
+        }
+        self.transitions.len() == other.transitions.len()
+            && self
+                .transitions
+                .iter()
+                .zip(&other.transitions)
+                .all(|(a, b)| {
+                    a.preset == b.preset
+                        && a.postset == b.postset
+                        && self.interner.resolve(a.sym) == other.interner.resolve(b.sym)
+                })
     }
 
     /// The place with the given id.
@@ -324,7 +476,7 @@ impl<L: Label> PetriNet<L> {
     /// # Panics
     ///
     /// Panics if the id does not belong to this net.
-    pub fn transition(&self, t: TransitionId) -> &Transition<L> {
+    pub fn transition(&self, t: TransitionId) -> &Transition {
         &self.transitions[t.index()]
     }
 
@@ -339,7 +491,7 @@ impl<L: Label> PetriNet<L> {
     }
 
     /// Iterates over `(id, transition)` pairs.
-    pub fn transitions(&self) -> impl Iterator<Item = (TransitionId, &Transition<L>)> {
+    pub fn transitions(&self) -> impl Iterator<Item = (TransitionId, &Transition)> {
         self.transitions
             .iter()
             .enumerate()
@@ -357,10 +509,18 @@ impl<L: Label> PetriNet<L> {
     /// All transitions carrying the given label.
     pub fn transitions_with_label<'a>(
         &'a self,
-        label: &'a L,
+        label: &L,
     ) -> impl Iterator<Item = TransitionId> + 'a {
+        let sym = self.interner.get(label);
         self.transitions()
-            .filter(move |(_, t)| t.label() == label)
+            .filter(move |(_, t)| Some(t.sym) == sym)
+            .map(|(id, _)| id)
+    }
+
+    /// All transitions carrying the given label symbol.
+    pub fn transitions_with_sym(&self, sym: Sym) -> impl Iterator<Item = TransitionId> + '_ {
+        self.transitions()
+            .filter(move |(_, t)| t.sym == sym)
             .map(|(id, _)| id)
     }
 
@@ -460,6 +620,7 @@ impl<L: Label> PetriNet<L> {
         let mut net = PetriNet {
             places: self.places.clone(),
             transitions: Vec::new(),
+            interner: self.interner.clone(),
             alphabet: self.alphabet.clone(),
             initial: self.initial.clone(),
         };
@@ -485,7 +646,7 @@ impl<L: Label> PetriNet<L> {
             used[p.index()] = true;
         }
         let mut map = BTreeMap::new();
-        let mut net = PetriNet::new();
+        let mut net = PetriNet::with_interner(self.interner.clone());
         net.alphabet = self.alphabet.clone();
         for (old, place) in self.places() {
             if used[old.index()] {
@@ -497,10 +658,10 @@ impl<L: Label> PetriNet<L> {
         for (_, t) in self.transitions() {
             // Remapped ids are valid by construction (every adjacent place
             // is `used`), so the transition can be pushed directly.
-            net.alphabet.insert(t.label().clone());
+            net.alphabet.insert(t.sym());
             net.transitions.push(Transition {
                 preset: t.preset().iter().map(|p| map[p]).collect(),
-                label: t.label().clone(),
+                sym: t.sym(),
                 postset: t.postset().iter().map(|p| map[p]).collect(),
             });
         }
@@ -509,25 +670,36 @@ impl<L: Label> PetriNet<L> {
 
     /// Maps every label through `f`, producing a net over a new label type.
     ///
-    /// The alphabet is mapped element-wise; distinct labels may collapse.
+    /// The alphabet is mapped element-wise; distinct labels may collapse
+    /// (their symbols merge in the new interner).
     pub fn map_labels<M: Label>(&self, mut f: impl FnMut(&L) -> M) -> PetriNet<M> {
-        let mut net = PetriNet {
+        let mut interner: Interner<M> = Interner::new();
+        // Old symbol index → new symbol; interning order follows the old
+        // symbol numbering so equal source nets map to equal results.
+        let sym_map: Vec<Sym> = self
+            .interner
+            .iter()
+            .map(|(_, l)| interner.intern_owned(f(l)))
+            .collect();
+        let mut alphabet = AlphaSet::new();
+        for s in self.alphabet.iter() {
+            alphabet.insert(sym_map[s.index()]);
+        }
+        PetriNet {
             places: self.places.clone(),
-            transitions: Vec::new(),
-            alphabet: BTreeSet::new(),
+            transitions: self
+                .transitions
+                .iter()
+                .map(|t| Transition {
+                    preset: t.preset.clone(),
+                    sym: sym_map[t.sym.index()],
+                    postset: t.postset.clone(),
+                })
+                .collect(),
+            interner,
+            alphabet,
             initial: self.initial.clone(),
-        };
-        for l in &self.alphabet {
-            net.alphabet.insert(f(l));
         }
-        for t in &self.transitions {
-            net.transitions.push(Transition {
-                preset: t.preset.clone(),
-                label: f(&t.label),
-                postset: t.postset.clone(),
-            });
-        }
-        net
     }
 
     /// Checks internal consistency (place ids in range, marking length,
@@ -550,16 +722,58 @@ impl<L: Label> PetriNet<L> {
                     return Err(PetriError::UnknownPlace(p.0));
                 }
             }
-            if !self.alphabet.contains(t.label()) {
+            if t.sym().index() >= self.interner.len() {
+                return Err(PetriError::Precondition(format!(
+                    "symbol {} of transition {id} not interned",
+                    t.sym()
+                )));
+            }
+            if !self.alphabet.contains(t.sym()) {
                 return Err(PetriError::Precondition(format!(
                     "label {} of transition {id} missing from alphabet",
-                    t.label()
+                    self.label_of(id)
                 )));
             }
         }
         Ok(())
     }
 }
+
+impl<L: Label> PartialEq for PetriNet<L> {
+    /// Semantic equality: identical places, initial marking, transition
+    /// structure with equal **labels** (not raw symbols), and equal
+    /// alphabet label sets. Two nets built through different interning
+    /// orders compare equal when they denote the same net.
+    fn eq(&self, other: &Self) -> bool {
+        if self.places != other.places || self.initial != other.initial {
+            return false;
+        }
+        if self.interner == other.interner {
+            return self.transitions == other.transitions && self.alphabet == other.alphabet;
+        }
+        if self.transitions.len() != other.transitions.len()
+            || self.alphabet.len() != other.alphabet.len()
+        {
+            return false;
+        }
+        self.transitions
+            .iter()
+            .zip(&other.transitions)
+            .all(|(a, b)| {
+                a.preset == b.preset
+                    && a.postset == b.postset
+                    && self.interner.resolve(a.sym) == other.interner.resolve(b.sym)
+            })
+            && self.alphabet.iter().all(|s| {
+                other
+                    .interner
+                    .get(self.interner.resolve(s))
+                    .is_some_and(|o| other.alphabet.contains(o))
+            })
+    }
+}
+
+impl<L: Label> Eq for PetriNet<L> {}
 
 impl<L: Label> fmt::Debug for PetriNet<L> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -576,7 +790,7 @@ impl<L: Label> fmt::Display for PetriNet<L> {
             "net: {} places, {} transitions, alphabet {{{}}}",
             self.place_count(),
             self.transition_count(),
-            self.alphabet
+            self.alphabet()
                 .iter()
                 .map(|l| l.to_string())
                 .collect::<Vec<_>>()
@@ -591,7 +805,7 @@ impl<L: Label> fmt::Display for PetriNet<L> {
                     .map(|p| self.place(*p).name().to_owned())
                     .collect::<Vec<_>>()
                     .join(","),
-                t.label(),
+                self.label_of(id),
                 t.postset()
                     .iter()
                     .map(|p| self.place(*p).name().to_owned())
@@ -692,12 +906,65 @@ mod tests {
     #[test]
     fn alphabet_tracks_labels_and_declarations() {
         let (mut net, ..) = two_cycle();
-        assert!(net.alphabet().contains(&"a"));
-        assert!(net.alphabet().contains(&"b"));
+        assert!(net.alphabet_contains(&"a"));
+        assert!(net.alphabet_contains(&"b"));
         net.declare_label("c");
-        assert!(net.alphabet().contains(&"c"));
+        assert!(net.alphabet_contains(&"c"));
         net.undeclare_label(&"c");
-        assert!(!net.alphabet().contains(&"c"));
+        assert!(!net.alphabet_contains(&"c"));
+        // Undeclared labels stay interned: their symbols survive.
+        assert!(net.sym_of(&"c").is_some());
+        assert_eq!(net.alphabet(), BTreeSet::from(["a", "b"]));
+    }
+
+    #[test]
+    fn symbols_are_dense_and_resolvable() {
+        let (net, _, _, a, b) = two_cycle();
+        let sa = net.transition(a).sym();
+        let sb = net.transition(b).sym();
+        assert_ne!(sa, sb);
+        assert_eq!(net.resolve(sa), &"a");
+        assert_eq!(net.label_of(b), &"b");
+        assert_eq!(net.sym_of(&"a"), Some(sa));
+        assert_eq!(
+            net.transitions_with_sym(sa).collect::<Vec<_>>(),
+            net.transitions_with_label(&"a").collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn add_transition_sym_rejects_foreign_symbol() {
+        let mut net: PetriNet<&str> = PetriNet::new();
+        let p = net.add_place("p");
+        let q = net.add_place("q");
+        assert!(net
+            .add_transition_sym([p], Sym::from_index(5), [q])
+            .is_err());
+        let s = net.intern_label(&"a");
+        let t = net.add_transition_sym([p], s, [q]).unwrap();
+        assert_eq!(net.label_of(t), &"a");
+        assert!(net.alphabet_contains(&"a"));
+    }
+
+    #[test]
+    fn equality_is_label_aware_across_interners() {
+        // Same net, labels interned in different orders.
+        let mut n1: PetriNet<&str> = PetriNet::new();
+        let mut n2: PetriNet<&str> = PetriNet::new();
+        n2.declare_label("b"); // "b" gets symbol 0 in n2, 1 in n1
+        for net in [&mut n1, &mut n2] {
+            let p = net.add_place("p");
+            let q = net.add_place("q");
+            net.add_transition([p], "a", [q]).unwrap();
+            net.add_transition([q], "b", [p]).unwrap();
+            net.set_initial(p, 1);
+        }
+        assert_ne!(n1.sym_of(&"b"), n2.sym_of(&"b"));
+        assert_eq!(n1, n2);
+        assert!(n1.same_structure(&n2));
+        n2.add_transition([PlaceId::from_index(0)], "c", [PlaceId::from_index(1)])
+            .unwrap();
+        assert_ne!(n1, n2);
     }
 
     #[test]
@@ -715,9 +982,10 @@ mod tests {
         let pruned = net.without_transitions(&BTreeSet::from([a]));
         assert_eq!(pruned.place_count(), 2);
         assert_eq!(pruned.transition_count(), 1);
-        assert_eq!(pruned.transitions().next().unwrap().1.label(), &"b");
+        let (only, _) = pruned.transitions().next().unwrap();
+        assert_eq!(pruned.label_of(only), &"b");
         // label "a" stays in the alphabet
-        assert!(pruned.alphabet().contains(&"a"));
+        assert!(pruned.alphabet_contains(&"a"));
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //!    flat arena; the open-addressing index stores only `(hash, id)`
 //!    pairs, so there is no per-state allocation and no duplicate key
 //!    storage.
-//! 2. [`CompiledNet`](crate::compiled::CompiledNet) — the firing rule in
+//! 2. [`CompiledNet`] — the firing rule in
 //!    CSR form with a place → consumers adjacency, so each state only
 //!    re-tests transitions whose preset touches a marked place instead of
 //!    scanning all of `transition_ids()`.

@@ -279,7 +279,12 @@ pub fn inject_edge_flip(stg: &Stg, rng: &mut TestRng) -> Option<(Stg, Fault)> {
         .net()
         .transitions()
         .enumerate()
-        .filter(|(_, (_, t))| matches!(t.label().edge(), Some(Edge::Rise | Edge::Fall)))
+        .filter(|(_, (tid, _))| {
+            matches!(
+                stg.net().label_of(*tid).edge(),
+                Some(Edge::Rise | Edge::Fall)
+            )
+        })
         .map(|(i, _)| i)
         .collect();
     if flippable.is_empty() {
@@ -367,7 +372,7 @@ pub fn inject_stuck_wire(stg: &Stg, rng: &mut TestRng) -> Option<(Stg, Fault)> {
             let mine = stg
                 .net()
                 .transitions()
-                .filter(|(_, t)| t.label().signal_name() == Some(s))
+                .filter(|&(tid, _)| stg.net().label_of(tid).signal_name() == Some(s))
                 .count();
             mine > 0 && mine < total
         })
@@ -452,11 +457,12 @@ fn rebuild_net<L: Label>(
         out.set_initial(new, m0.tokens(old));
         pmap.insert(old, new);
     }
-    for (i, (_, t)) in net.transitions().enumerate() {
+    for (i, (tid, t)) in net.transitions().enumerate() {
         let mut pre: Vec<PlaceId> = t.preset().iter().map(|p| pmap[p]).collect();
         let mut post: Vec<PlaceId> = t.postset().iter().map(|p| pmap[p]).collect();
         tweak(i, &mut pre, &mut post);
-        out.add_transition(pre, t.label().clone(), post).ok()?;
+        out.add_transition(pre, net.label_of(tid).clone(), post)
+            .ok()?;
     }
     Some(out)
 }
@@ -478,13 +484,13 @@ fn rebuild_stg(
     }
     let mut guards = BTreeMap::new();
     for (i, (tid, t)) in stg.net().transitions().enumerate() {
-        if !keep(i, t.label()) {
+        if !keep(i, stg.net().label_of(tid)) {
             continue;
         }
         let pre: Vec<PlaceId> = t.preset().iter().map(|p| pmap[p]).collect();
         let post: Vec<PlaceId> = t.postset().iter().map(|p| pmap[p]).collect();
         let new_tid = net
-            .add_transition(pre, relabel(i, t.label().clone()), post)
+            .add_transition(pre, relabel(i, stg.net().label_of(tid).clone()), post)
             .ok()?;
         let g = stg.guard(tid);
         if !g.is_true() {
@@ -759,7 +765,7 @@ pub fn detect_code_cover(
 }
 
 /// Probes whether the mutation preserved behavior: trace-language
-/// equality against the original up to [`BENIGN_DEPTH`]. Both languages
+/// equality against the original up to `BENIGN_DEPTH`. Both languages
 /// must be extracted completely within budget for the proof to count.
 pub fn behavior_preserved<L: Label>(orig: &PetriNet<L>, mutant: &PetriNet<L>) -> Option<String> {
     let budget = Budget::states(EXPLORE_BUDGET);

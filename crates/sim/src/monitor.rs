@@ -53,7 +53,7 @@ pub fn monitor_composition<L: Label>(
     seed: u64,
     steps: usize,
 ) -> Option<FailureObservation<L>> {
-    let sync: BTreeSet<L> = n1.alphabet().intersection(n2.alphabet()).cloned().collect();
+    let sync: BTreeSet<L> = cpn_core::common_alphabet(n1, n2);
     let comp = match parallel_tracked(n1, n2, &sync) {
         Ok(comp) => comp,
         Err(e) => panic!("monitored composition construction: {e}"),

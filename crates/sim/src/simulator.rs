@@ -97,7 +97,7 @@ impl<'n, L: Label> Simulator<'n, L> {
                 Some(t) => {
                     fired[t.index()] += 1;
                     if trace.len() < self.trace_cap {
-                        trace.push(self.net.transition(t).label().clone());
+                        trace.push(self.net.label_of(t).clone());
                     }
                     peak = peak.max(self.marking.max_tokens());
                     taken += 1;

@@ -97,7 +97,7 @@ impl<'s> StgSimulator<'s> {
                 break;
             }
             let t = fireable[self.rng.gen_range(0..fireable.len())];
-            let label = self.stg.net().transition(t).label().clone();
+            let label = self.stg.net().label_of(t).clone();
             if let StgLabel::Signal(s, e) = &label {
                 let i = self
                     .signals

@@ -183,8 +183,10 @@ mod tests {
         assert!(analysis.live && analysis.safe);
         // use1~ and use2~ never concurrent: no marking enables both.
         let use_enabled = |m: &cpn_petri::Marking, i: usize| {
-            system.net().transitions().any(|(tid, t)| {
-                t.label()
+            system.net().transitions().any(|(tid, _)| {
+                system
+                    .net()
+                    .label_of(tid)
                     .signal_name()
                     .is_some_and(|s| s.name() == format!("use{i}"))
                     && system.net().is_enabled(m, tid)

@@ -165,7 +165,7 @@ pub fn derive_logic(stg: &Stg, sg: &StateGraph) -> Result<Vec<NextStateFunction>
             let (_, code) = sg.state(i);
             let excited_up = sg.edges(i).iter().any(|&(t, _)| {
                 matches!(
-                    stg.net().transition(t).label(),
+                    stg.net().label_of(t),
                     StgLabel::Signal(s, e)
                         if s == signal
                         && (matches!(e, Edge::Rise)
@@ -174,7 +174,7 @@ pub fn derive_logic(stg: &Stg, sg: &StateGraph) -> Result<Vec<NextStateFunction>
             });
             let excited_down = sg.edges(i).iter().any(|&(t, _)| {
                 matches!(
-                    stg.net().transition(t).label(),
+                    stg.net().label_of(t),
                     StgLabel::Signal(s, e)
                         if s == signal
                         && (matches!(e, Edge::Fall)

@@ -519,7 +519,7 @@ mod tests {
                         .any(|p| system.net().place(*p).name().contains("init.start"))
                 },
                 "unexpected non-live transition {t}: {}",
-                system.net().transition(t).label()
+                system.net().label_of(t)
             );
         }
     }
@@ -617,8 +617,9 @@ mod tests {
             rx.net().transition_count()
         );
         // mute~ can never be produced.
-        assert!(!rx_reduced.net().transitions().any(|(_, t)| t
-            .label()
+        assert!(!rx_reduced.net().transitions().any(|(tid, _)| rx_reduced
+            .net()
+            .label_of(tid)
             .signal_name()
             .map(Signal::name)
             == Some("mute")));

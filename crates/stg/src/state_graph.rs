@@ -186,7 +186,7 @@ impl StateGraph {
                     continue;
                 }
                 let t = TransitionId::from_index(tu as usize);
-                let label = stg.net().transition(t).label().clone();
+                let label = stg.net().label_of(t).clone();
                 // Guard check against current levels.
                 let guard = stg.guard(t);
                 if !guard.eval(|s| index.get(s).map(|&i| encoding[i]).unwrap_or(false)) {
@@ -308,7 +308,7 @@ impl StateGraph {
     fn output_excitation(&self, stg: &Stg, i: usize) -> BTreeSet<Signal> {
         let mut excited = BTreeSet::new();
         for &(t, _) in &self.edges[i] {
-            if let StgLabel::Signal(s, e) = stg.net().transition(t).label() {
+            if let StgLabel::Signal(s, e) = stg.net().label_of(t) {
                 // Every labeled signal is declared (enforced at insertion).
                 let Some(idx) = self.signals.iter().position(|x| x == s) else {
                     continue;

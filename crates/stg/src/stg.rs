@@ -4,7 +4,9 @@
 
 use crate::signal::{Edge, Signal, SignalDir, StgLabel};
 use cpn_core::{hide_labels, parallel_with_sync, NetEditor};
-use cpn_petri::{Budget, Meter, PetriError, PetriNet, PlaceId, ReachabilityOptions, TransitionId};
+use cpn_petri::{
+    AlphaSet, Budget, Meter, PetriError, PetriNet, PlaceId, ReachabilityOptions, TransitionId,
+};
 use std::collections::{BTreeMap, BTreeSet};
 use std::error::Error;
 use std::fmt;
@@ -317,9 +319,8 @@ impl Stg {
     pub fn labels_of(&self, signal: &Signal) -> BTreeSet<StgLabel> {
         self.net
             .alphabet()
-            .iter()
+            .into_iter()
             .filter(|l| l.signal_name() == Some(signal))
-            .cloned()
             .collect()
     }
 
@@ -406,13 +407,11 @@ impl Stg {
         }
 
         // Synchronize on every label of every shared signal; ε stays
-        // private to each side.
-        let shared: BTreeSet<StgLabel> = self
-            .net
-            .alphabet()
-            .intersection(other.net.alphabet())
+        // private to each side. The common alphabet is computed on the
+        // nets' symbol bitsets.
+        let shared: BTreeSet<StgLabel> = cpn_core::common_alphabet(&self.net, &other.net)
+            .into_iter()
             .filter(|l| !l.is_dummy())
-            .cloned()
             .collect();
         let comp = cpn_core::parallel_tracked(&self.net, &other.net, &shared)?;
 
@@ -422,9 +421,11 @@ impl Stg {
         // Private transitions were added in operand order: left private,
         // right private, then fused. Recover by matching labels/presets
         // via the tracked maps.
+        let shared_left: AlphaSet = shared.iter().filter_map(|l| self.net.sym_of(l)).collect();
+        let shared_right: AlphaSet = shared.iter().filter_map(|l| other.net.sym_of(l)).collect();
         let mut next = 0usize;
         for (tid, t) in self.net.transitions() {
-            if !shared.contains(t.label()) {
+            if !shared_left.contains(t.sym()) {
                 let g = self.guard(tid);
                 if !g.is_true() {
                     guards.insert(TransitionId::from_index(next), g);
@@ -433,7 +434,7 @@ impl Stg {
             }
         }
         for (tid, t) in other.net.transitions() {
-            if !shared.contains(t.label()) {
+            if !shared_right.contains(t.sym()) {
                 let g = other.guard(tid);
                 if !g.is_true() {
                     guards.insert(TransitionId::from_index(next), g);
@@ -481,7 +482,7 @@ impl Stg {
                     "guard of {t} mentions hidden signal {signal}"
                 ))));
             }
-            if self.net.transition(*t).label().signal_name() == Some(signal) {
+            if self.net.label_of(*t).signal_name() == Some(signal) {
                 return Err(StgError::Net(PetriError::Precondition(format!(
                     "guarded transition {t} would be contracted"
                 ))));
@@ -564,7 +565,7 @@ impl Stg {
                         "guard of {t} mentions hidden signal {s}"
                     ))));
                 }
-                if self.net.transition(*t).label().signal_name() == Some(s) {
+                if self.net.label_of(*t).signal_name() == Some(s) {
                     return Err(StgError::Net(PetriError::Precondition(format!(
                         "guarded transition {t} would be contracted"
                     ))));
@@ -636,12 +637,11 @@ impl Stg {
     pub fn output_labels(&self) -> BTreeSet<StgLabel> {
         self.net
             .alphabet()
-            .iter()
+            .into_iter()
             .filter(|l| {
                 l.signal_name()
                     .is_some_and(|s| self.signals.get(s).is_some_and(|&d| d != SignalDir::Input))
             })
-            .cloned()
             .collect()
     }
 
@@ -726,12 +726,9 @@ impl Stg {
     ///
     /// Reachability budget errors on the composition.
     pub fn prune_against(&self, env: &Stg, options: &ReachabilityOptions) -> Result<Stg, StgError> {
-        let shared: BTreeSet<StgLabel> = self
-            .net
-            .alphabet()
-            .intersection(env.net.alphabet())
+        let shared: BTreeSet<StgLabel> = cpn_core::common_alphabet(&self.net, &env.net)
+            .into_iter()
             .filter(|l| !l.is_dummy())
-            .cloned()
             .collect();
         let comp = cpn_core::parallel_tracked(&self.net, &env.net, &shared)?;
         let rg = comp.net.reachability(options)?;
@@ -742,10 +739,11 @@ impl Stg {
 
         // Liveness of this STG's transitions: private ones map in order;
         // shared ones are alive iff any of their fused instances fired.
+        let shared_syms: AlphaSet = shared.iter().filter_map(|l| self.net.sym_of(l)).collect();
         let mut alive = vec![false; self.net.transition_count()];
         let mut composed_idx = 0usize;
         for (tid, t) in self.net.transitions() {
-            if !shared.contains(t.label()) {
+            if !shared_syms.contains(t.sym()) {
                 alive[tid.index()] = fired[composed_idx];
                 composed_idx += 1;
             }
@@ -798,7 +796,7 @@ impl Stg {
         let used: BTreeSet<Signal> = self
             .net
             .transitions()
-            .filter_map(|(_, t)| t.label().signal_name().cloned())
+            .filter_map(|(tid, _)| self.net.label_of(tid).signal_name().cloned())
             .collect();
         let unused: Vec<Signal> = self
             .signals
@@ -840,11 +838,9 @@ pub fn compose_nets(
     n1: &PetriNet<StgLabel>,
     n2: &PetriNet<StgLabel>,
 ) -> Result<PetriNet<StgLabel>, PetriError> {
-    let shared: BTreeSet<StgLabel> = n1
-        .alphabet()
-        .intersection(n2.alphabet())
+    let shared: BTreeSet<StgLabel> = cpn_core::common_alphabet(n1, n2)
+        .into_iter()
         .filter(|l| !l.is_dummy())
-        .cloned()
         .collect();
     parallel_with_sync(n1, n2, &shared)
 }
@@ -956,7 +952,7 @@ mod tests {
             hidden
                 .net()
                 .transitions()
-                .filter(|(_, t)| t.label().is_dummy())
+                .filter(|(tid, _)| hidden.net().label_of(*tid).is_dummy())
                 .count(),
             2
         );
@@ -1001,7 +997,7 @@ mod tests {
         let fused = c
             .net()
             .transitions()
-            .find(|(_, t)| !t.label().is_dummy())
+            .find(|&(tid, _)| !c.net().label_of(tid).is_dummy())
             .map(|(tid, _)| tid)
             .unwrap();
         assert!(!c.guard(fused).is_true());

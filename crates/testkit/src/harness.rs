@@ -11,7 +11,7 @@
 //! # Determinism and replay
 //!
 //! Every case seed is derived from a base seed and the case index with
-//! [`mix_seed`](crate::rng::mix_seed). The base seed defaults to a hash
+//! [`mix_seed`]. The base seed defaults to a hash
 //! of the property name, so a test binary produces the same inputs on
 //! every machine and every run — failures are reproducible by simply
 //! re-running the test. Two environment variables override this:

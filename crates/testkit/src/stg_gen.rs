@@ -1,6 +1,6 @@
 //! Domain generator: signal transition graphs.
 //!
-//! Builds STGs on top of [`RawNet`](crate::net_gen::RawNet) structure:
+//! Builds STGs on top of [`RawNet`] structure:
 //! one declared input (`DATA`), three outputs (`s0..s2`), a generated
 //! edge kind per transition and an optional guard on the first
 //! transition — the exact shape the `.cpn` round-trip suite exercises.

@@ -1,6 +1,14 @@
 //! The [`Language`] type: a prefix-closed set of traces up to a depth.
+//!
+//! Traces are stored symbol-encoded: the language owns an
+//! [`Interner`] and every trace is a `Vec<Sym>`, so set membership,
+//! BFS extension and the operator algebra run on `Copy` symbols with no
+//! label clones. Labels are materialized at the API boundary
+//! ([`Language::iter`], [`Display`](fmt::Display), [`Language::alphabet`]).
 
-use cpn_petri::{Bounded, Budget, CandidateScratch, Label, Marking, Meter, PetriNet, TransitionId};
+use cpn_petri::{
+    AlphaSet, Bounded, Budget, CandidateScratch, Interner, Label, Marking, Meter, PetriNet, Sym,
+};
 use std::collections::BTreeSet;
 use std::error::Error;
 use std::fmt;
@@ -33,10 +41,16 @@ impl Error for TraceError {}
 /// Contains every firing sequence of length at most `depth` (and always
 /// `ε`). The alphabet is carried explicitly because the language-level
 /// parallel composition (Definition 4.8) is projection-based and needs it.
-#[derive(Clone, PartialEq, Eq)]
+///
+/// Equality (and [`eq_up_to`](Language::eq_up_to)) is **semantic**: two
+/// languages compare equal when they denote the same label alphabet and
+/// trace set, regardless of the symbol numbering their interners happen
+/// to use.
+#[derive(Clone)]
 pub struct Language<L: Label> {
-    alphabet: BTreeSet<L>,
-    traces: BTreeSet<Vec<L>>,
+    interner: Interner<L>,
+    alphabet: AlphaSet,
+    traces: BTreeSet<Vec<Sym>>,
     depth: usize,
 }
 
@@ -44,9 +58,15 @@ impl<L: Label> Language<L> {
     /// The language containing only the empty trace (the semantics of
     /// `nil`), over the given alphabet.
     pub fn nil(alphabet: BTreeSet<L>, depth: usize) -> Self {
+        let mut interner = Interner::new();
+        let alphabet = alphabet
+            .into_iter()
+            .map(|l| interner.intern_owned(l))
+            .collect();
         let mut traces = BTreeSet::new();
         traces.insert(Vec::new());
         Language {
+            interner,
             alphabet,
             traces,
             depth,
@@ -62,15 +82,25 @@ impl<L: Label> Language<L> {
         traces: impl IntoIterator<Item = Vec<L>>,
         depth: usize,
     ) -> Self {
+        let mut interner = Interner::new();
+        let alphabet: AlphaSet = alphabet
+            .into_iter()
+            .map(|l| interner.intern_owned(l))
+            .collect();
         let mut set = BTreeSet::new();
         set.insert(Vec::new());
         for t in traces {
-            let t: Vec<L> = t.into_iter().take(depth).collect();
+            let t: Vec<Sym> = t
+                .into_iter()
+                .take(depth)
+                .map(|l| interner.intern_owned(l))
+                .collect();
             for i in 1..=t.len() {
                 set.insert(t[..i].to_vec());
             }
         }
         Language {
+            interner,
             alphabet,
             traces: set,
             depth,
@@ -101,13 +131,17 @@ impl<L: Label> Language<L> {
     /// collected so far is returned in [`Bounded::Exhausted`] — every
     /// trace in it is a genuine trace of the net, but traces past the
     /// stop point are missing.
+    ///
+    /// The language shares the net's symbol space (its interner is a
+    /// snapshot of the net's), and the enumeration itself is label-free:
+    /// each firing appends a `Copy` symbol read off the compiled net.
     pub fn from_net_bounded(net: &PetriNet<L>, depth: usize, budget: &Budget) -> Bounded<Self> {
         let mut meter = Meter::new(budget);
-        let mut traces: BTreeSet<Vec<L>> = BTreeSet::new();
+        let mut traces: BTreeSet<Vec<Sym>> = BTreeSet::new();
         traces.insert(Vec::new());
 
         // Frontier of distinct (marking, trace) pairs at the current depth.
-        let mut frontier: BTreeSet<(Marking, Vec<L>)> = BTreeSet::new();
+        let mut frontier: BTreeSet<(Marking, Vec<Sym>)> = BTreeSet::new();
         frontier.insert((net.initial_marking(), Vec::new()));
 
         // Successor generation goes through the compiled firing rule:
@@ -118,14 +152,14 @@ impl<L: Label> Language<L> {
         let mut cands: Vec<u32> = Vec::new();
 
         'explore: for _ in 0..depth {
-            let mut next: BTreeSet<(Marking, Vec<L>)> = BTreeSet::new();
+            let mut next: BTreeSet<(Marking, Vec<Sym>)> = BTreeSet::new();
             for (m, trace) in &frontier {
                 compiled.enabled_candidates(m.as_slice(), &mut scratch, &mut cands);
                 for &tu in &cands {
                     if !compiled.is_enabled(m.as_slice(), tu) {
                         continue;
                     }
-                    let t = TransitionId::from_index(tu as usize);
+                    let t = cpn_petri::TransitionId::from_index(tu as usize);
                     if !meter.take_transition() {
                         break 'explore;
                     }
@@ -133,15 +167,16 @@ impl<L: Label> Language<L> {
                         continue; // enabled transitions always fire
                     };
                     let mut t2 = trace.clone();
-                    t2.push(net.transition(t).label().clone());
+                    t2.push(compiled.sym(tu));
                     traces.insert(t2.clone());
-                    if next.contains(&(m2.clone(), t2.clone())) {
+                    let pair = (m2, t2);
+                    if next.contains(&pair) {
                         continue;
                     }
                     if !meter.take_state() {
                         break 'explore;
                     }
-                    next.insert((m2, t2));
+                    next.insert(pair);
                 }
             }
             if next.is_empty() {
@@ -151,15 +186,29 @@ impl<L: Label> Language<L> {
         }
 
         meter.finish(Language {
-            alphabet: net.alphabet().clone(),
+            interner: net.interner().clone(),
+            alphabet: net.alphabet_syms().clone(),
             traces,
             depth,
         })
     }
 
-    /// The alphabet the language is defined over.
-    pub fn alphabet(&self) -> &BTreeSet<L> {
+    /// The alphabet the language is defined over, materialized as labels.
+    pub fn alphabet(&self) -> BTreeSet<L> {
+        self.alphabet
+            .iter()
+            .map(|s| self.interner.resolve(s).clone())
+            .collect()
+    }
+
+    /// The alphabet as a symbol bitset (in this language's symbol space).
+    pub fn alphabet_syms(&self) -> &AlphaSet {
         &self.alphabet
+    }
+
+    /// This language's label interner.
+    pub fn interner(&self) -> &Interner<L> {
+        &self.interner
     }
 
     /// The exactness depth: all traces of length ≤ depth are present.
@@ -179,18 +228,31 @@ impl<L: Label> Language<L> {
 
     /// Membership test.
     pub fn contains(&self, trace: &[L]) -> bool {
-        self.traces.contains(trace)
+        let mut t = Vec::with_capacity(trace.len());
+        for l in trace {
+            match self.interner.get(l) {
+                Some(s) => t.push(s),
+                None => return false,
+            }
+        }
+        self.traces.contains(&t)
     }
 
-    /// Iterates over all traces in lexicographic order.
-    pub fn iter(&self) -> impl Iterator<Item = &Vec<L>> {
-        self.traces.iter()
+    /// Iterates over all traces (in symbol-lexicographic order),
+    /// materializing labels.
+    pub fn iter(&self) -> impl Iterator<Item = Vec<L>> + '_ {
+        self.traces.iter().map(|t| {
+            t.iter()
+                .map(|&s| self.interner.resolve(s).clone())
+                .collect()
+        })
     }
 
     /// Restricts the language (and its exactness depth) to traces of
     /// length at most `depth`.
     pub fn truncate(&self, depth: usize) -> Language<L> {
         Language {
+            interner: self.interner.clone(),
             alphabet: self.alphabet.clone(),
             traces: self
                 .traces
@@ -202,6 +264,36 @@ impl<L: Label> Language<L> {
         }
     }
 
+    /// Remaps `other`'s traces into `self`'s symbol space and tests trace
+    /// set equality. A label of `other` missing from `self`'s interner can
+    /// only appear in traces `self` cannot contain.
+    fn traces_equal(&self, other: &Language<L>) -> bool {
+        if self.interner == other.interner {
+            return self.traces == other.traces;
+        }
+        if self.traces.len() != other.traces.len() {
+            return false;
+        }
+        let map: Vec<Option<Sym>> = other
+            .interner
+            .iter()
+            .map(|(_, l)| self.interner.get(l))
+            .collect();
+        // The remap is injective (interners are bijections), so equal
+        // cardinality plus containment implies set equality.
+        let mut scratch: Vec<Sym> = Vec::new();
+        other.traces.iter().all(|t| {
+            scratch.clear();
+            for s in t {
+                match map[s.index()] {
+                    Some(m) => scratch.push(m),
+                    None => return false,
+                }
+            }
+            self.traces.contains(&scratch)
+        })
+    }
+
     /// Whether `self` and `other` agree on all traces up to `depth`
     /// (alphabets are *not* compared — the paper's equations are about
     /// trace sets).
@@ -210,30 +302,67 @@ impl<L: Label> Language<L> {
             depth <= self.depth && depth <= other.depth,
             "comparison depth exceeds language exactness"
         );
-        self.truncate(depth).traces == other.truncate(depth).traces
+        self.truncate(depth).traces_equal(&other.truncate(depth))
     }
 
     /// Whether every trace of `self` (up to `depth`) is a trace of
     /// `other` — the containment of Theorem 5.1.
     pub fn subset_up_to(&self, other: &Language<L>, depth: usize) -> bool {
-        self.truncate(depth)
-            .traces
+        let map: Vec<Option<Sym>> = self
+            .interner
             .iter()
-            .all(|t| other.contains(t))
+            .map(|(_, l)| other.interner.get(l))
+            .collect();
+        let mut scratch: Vec<Sym> = Vec::new();
+        self.traces.iter().filter(|t| t.len() <= depth).all(|t| {
+            scratch.clear();
+            for s in t {
+                match map[s.index()] {
+                    Some(m) => scratch.push(m),
+                    None => return false,
+                }
+            }
+            other.traces.contains(&scratch)
+        })
     }
 
-    pub(crate) fn raw_parts(&self) -> (&BTreeSet<L>, &BTreeSet<Vec<L>>, usize) {
-        (&self.alphabet, &self.traces, self.depth)
+    pub(crate) fn raw_parts(&self) -> (&Interner<L>, &AlphaSet, &BTreeSet<Vec<Sym>>, usize) {
+        (&self.interner, &self.alphabet, &self.traces, self.depth)
     }
 
-    pub(crate) fn from_raw(alphabet: BTreeSet<L>, traces: BTreeSet<Vec<L>>, depth: usize) -> Self {
+    pub(crate) fn from_raw(
+        interner: Interner<L>,
+        alphabet: AlphaSet,
+        traces: BTreeSet<Vec<Sym>>,
+        depth: usize,
+    ) -> Self {
         Language {
+            interner,
             alphabet,
             traces,
             depth,
         }
     }
 }
+
+impl<L: Label> PartialEq for Language<L> {
+    /// Semantic equality: same depth, same alphabet **label** set, same
+    /// trace set — independent of symbol numbering.
+    fn eq(&self, other: &Self) -> bool {
+        if self.depth != other.depth || self.alphabet.len() != other.alphabet.len() {
+            return false;
+        }
+        let alpha_eq = self.alphabet.iter().all(|s| {
+            other
+                .interner
+                .get(self.interner.resolve(s))
+                .is_some_and(|o| other.alphabet.contains(o))
+        });
+        alpha_eq && self.traces_equal(other)
+    }
+}
+
+impl<L: Label> Eq for Language<L> {}
 
 impl<L: Label> fmt::Debug for Language<L> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -244,7 +373,7 @@ impl<L: Label> fmt::Debug for Language<L> {
             self.traces.len(),
             self.alphabet
                 .iter()
-                .map(|l| l.to_string())
+                .map(|s| self.interner.resolve(s).to_string())
                 .collect::<Vec<_>>()
                 .join(",")
         )
@@ -262,7 +391,7 @@ impl<L: Label> fmt::Display for Language<L> {
                     f,
                     "  {}",
                     t.iter()
-                        .map(|l| l.to_string())
+                        .map(|&s| self.interner.resolve(s).to_string())
                         .collect::<Vec<_>>()
                         .join(" ")
                 )?;
@@ -336,6 +465,30 @@ mod tests {
         let l4 = Language::from_net(&ab_cycle(), 4, 1000).unwrap();
         assert!(l3.eq_up_to(&l4, 3));
         assert_ne!(l3, l4);
+    }
+
+    #[test]
+    fn equality_is_symbol_order_independent() {
+        // Same trace set {ε, "a b"}, interners numbered in opposite
+        // orders: l1 has a=0,b=1; rev is hand-built with b=0,a=1.
+        let l1 = Language::from_traces(BTreeSet::from(["a", "b"]), vec![vec!["a", "b"]], 4);
+        let mut interner: Interner<&str> = Interner::new();
+        let b = interner.intern(&"b");
+        let a = interner.intern(&"a");
+        let alphabet: AlphaSet = [a, b].into_iter().collect();
+        // Prefix-closed by hand, matching from_traces' closure of "a b".
+        let traces = BTreeSet::from([vec![], vec![a], vec![a, b]]);
+        let rev = Language::from_raw(interner, alphabet, traces, 4);
+        assert_ne!(
+            l1.interner().get(&"a"),
+            rev.interner().get(&"a"),
+            "the two interners must disagree on symbol assignment"
+        );
+        assert_eq!(l1, rev, "equality must resolve through the interners");
+        assert!(l1.eq_up_to(&rev, 4) && rev.eq_up_to(&l1, 4));
+        let same = Language::from_traces(BTreeSet::from(["b", "a"]), vec![vec!["a", "b"]], 4);
+        assert_eq!(l1, same);
+        assert!(l1.eq_up_to(&same, 4));
     }
 
     #[test]

@@ -2,59 +2,109 @@
 //! trace-preservation theorems.
 //!
 //! * `rename(L, b→c)` — Prop 4.3.
-//! * `L1 ∪ L2` — Prop 4.4 (choice).
+//! * `L1 ∪ L2` / `L1 ∩ L2` — Prop 4.4 (choice) and its dual.
 //! * `{ε, a} ∪ a.L` — Prop 4.2 (action prefix).
 //! * `project(L, A)` / `hide(L, a)` — Section 4.4.
 //! * `L1 ‖ L2` — Definitions 4.8/4.9 (synchronized shuffle).
+//!
+//! All operators run on the symbol-encoded representation: alphabet and
+//! keep/hide sets are [`AlphaSet`] bitsets, traces are `Vec<Sym>`, and
+//! cross-language operators remap the other operand's symbols **once**
+//! through [`Interner::merge`](cpn_petri::Interner::merge) instead of
+//! cloning labels per trace element.
 
 use crate::language::Language;
-use cpn_petri::Label;
+use cpn_petri::{AlphaSet, Interner, Label, Sym};
 use std::collections::BTreeSet;
+
+/// Remaps every trace of `traces` through the symbol table `map`.
+fn remap_traces(traces: &BTreeSet<Vec<Sym>>, map: &[Sym]) -> BTreeSet<Vec<Sym>> {
+    traces
+        .iter()
+        .map(|t| t.iter().map(|s| map[s.index()]).collect())
+        .collect()
+}
 
 impl<L: Label> Language<L> {
     /// Renames labels through `f` (Prop 4.3 generalized to arbitrary
-    /// relabelings). Distinct labels may collapse.
+    /// relabelings). Distinct labels may collapse (their symbols merge).
     pub fn rename(&self, mut f: impl FnMut(&L) -> L) -> Language<L> {
-        let (alphabet, traces, depth) = self.raw_parts();
-        let new_alpha: BTreeSet<L> = alphabet.iter().map(&mut f).collect();
-        let new_traces: BTreeSet<Vec<L>> = traces
+        let (interner, alphabet, traces, depth) = self.raw_parts();
+        let mut new_interner: Interner<L> = Interner::new();
+        // Each source label is mapped exactly once, in symbol order.
+        let map: Vec<Sym> = interner
             .iter()
-            .map(|t| t.iter().map(&mut f).collect())
+            .map(|(_, l)| new_interner.intern_owned(f(l)))
             .collect();
-        Language::from_raw(new_alpha, new_traces, depth)
+        let new_alpha: AlphaSet = alphabet.iter().map(|s| map[s.index()]).collect();
+        let new_traces = remap_traces(traces, &map);
+        Language::from_raw(new_interner, new_alpha, new_traces, depth)
     }
 
     /// The union of two languages (the trace semantics of choice,
     /// Prop 4.4). The result's exactness depth is the minimum of the two.
     pub fn union(&self, other: &Language<L>) -> Language<L> {
-        let (a1, t1, d1) = self.raw_parts();
-        let (a2, t2, d2) = other.raw_parts();
+        let (i1, a1, t1, d1) = self.raw_parts();
+        let (i2, a2, t2, d2) = other.raw_parts();
         let depth = d1.min(d2);
-        let alphabet: BTreeSet<L> = a1.union(a2).cloned().collect();
-        let traces: BTreeSet<Vec<L>> = t1
+        let mut interner = i1.clone();
+        let map = interner.merge(i2);
+        let mut alphabet = a1.clone();
+        alphabet.extend(a2.iter().map(|s| map[s.index()]));
+        let mut traces: BTreeSet<Vec<Sym>> =
+            t1.iter().filter(|t| t.len() <= depth).cloned().collect();
+        traces.extend(
+            t2.iter()
+                .filter(|t| t.len() <= depth)
+                .map(|t| t.iter().map(|s| map[s.index()]).collect::<Vec<Sym>>()),
+        );
+        Language::from_raw(interner, alphabet, traces, depth)
+    }
+
+    /// The intersection of two languages: traces present in both, over
+    /// the union alphabet. The exactness depth is the minimum of the two.
+    ///
+    /// A pure bitset/symbol operation: `other` is remapped into `self`'s
+    /// symbol space once; traces using labels unknown to `self` cannot
+    /// intersect and are skipped without materializing any label.
+    pub fn intersection(&self, other: &Language<L>) -> Language<L> {
+        let (i1, a1, t1, d1) = self.raw_parts();
+        let (i2, a2, t2, d2) = other.raw_parts();
+        let depth = d1.min(d2);
+        let mut interner = i1.clone();
+        let map = interner.merge(i2);
+        let mut alphabet = a1.clone();
+        alphabet.extend(a2.iter().map(|s| map[s.index()]));
+        let mut scratch: Vec<Sym> = Vec::new();
+        let traces: BTreeSet<Vec<Sym>> = t2
             .iter()
-            .chain(t2.iter())
             .filter(|t| t.len() <= depth)
-            .cloned()
+            .filter_map(|t| {
+                scratch.clear();
+                scratch.extend(t.iter().map(|s| map[s.index()]));
+                t1.contains(&scratch).then(|| scratch.clone())
+            })
             .collect();
-        Language::from_raw(alphabet, traces, depth)
+        Language::from_raw(interner, alphabet, traces, depth)
     }
 
     /// Action prefix: `{ε} ∪ {a}·L` (Prop 4.2). The exactness depth grows
     /// by one because every trace gained a leading action.
     pub fn prefix_action(&self, a: L) -> Language<L> {
-        let (alphabet, traces, depth) = self.raw_parts();
+        let (interner, alphabet, traces, depth) = self.raw_parts();
+        let mut new_interner = interner.clone();
+        let sa = new_interner.intern_owned(a);
         let mut new_alpha = alphabet.clone();
-        new_alpha.insert(a.clone());
-        let mut new_traces: BTreeSet<Vec<L>> = BTreeSet::new();
+        new_alpha.insert(sa);
+        let mut new_traces: BTreeSet<Vec<Sym>> = BTreeSet::new();
         new_traces.insert(Vec::new());
         for t in traces {
             let mut nt = Vec::with_capacity(t.len() + 1);
-            nt.push(a.clone());
-            nt.extend(t.iter().cloned());
+            nt.push(sa);
+            nt.extend_from_slice(t);
             new_traces.insert(nt);
         }
-        Language::from_raw(new_alpha, new_traces, depth + 1)
+        Language::from_raw(new_interner, new_alpha, new_traces, depth + 1)
     }
 
     /// Projection onto a label set: deletes every action not in `keep`
@@ -67,30 +117,36 @@ impl<L: Label> Language<L> {
     /// and [`truncate`](Language::truncate) both sides (exactly what the
     /// algebra property tests do).
     pub fn project(&self, keep: &BTreeSet<L>) -> Language<L> {
-        let (alphabet, traces, depth) = self.raw_parts();
-        let new_alpha: BTreeSet<L> = alphabet.intersection(keep).cloned().collect();
-        let new_traces: BTreeSet<Vec<L>> = traces
+        let (interner, _, _, _) = self.raw_parts();
+        // Labels in `keep` but foreign to this language cannot occur in
+        // any trace; dropping them from the bitset is sound.
+        let keep_syms: AlphaSet = keep.iter().filter_map(|l| interner.get(l)).collect();
+        self.project_syms(&keep_syms)
+    }
+
+    /// Projection onto a symbol bitset (in this language's symbol space):
+    /// the hot-path form of [`project`](Language::project).
+    pub fn project_syms(&self, keep: &AlphaSet) -> Language<L> {
+        let (interner, alphabet, traces, depth) = self.raw_parts();
+        let new_alpha = alphabet.intersection(keep);
+        let new_traces: BTreeSet<Vec<Sym>> = traces
             .iter()
             .map(|t| {
                 t.iter()
-                    .filter(|l| keep.contains(l))
-                    .cloned()
-                    .collect::<Vec<L>>()
+                    .filter(|s| keep.contains(**s))
+                    .copied()
+                    .collect::<Vec<Sym>>()
             })
             .collect();
-        Language::from_raw(new_alpha, new_traces, depth)
+        Language::from_raw(interner.clone(), new_alpha, new_traces, depth)
     }
 
     /// Hiding of a label set: `hide(L, A) = project(L, alphabet \ A)`
     /// (Section 4.4: "hiding is opposite to projection").
     pub fn hide(&self, hidden: &BTreeSet<L>) -> Language<L> {
-        let keep: BTreeSet<L> = self
-            .alphabet()
-            .iter()
-            .filter(|l| !hidden.contains(l))
-            .cloned()
-            .collect();
-        self.project(&keep)
+        let (interner, alphabet, _, _) = self.raw_parts();
+        let hidden_syms: AlphaSet = hidden.iter().filter_map(|l| interner.get(l)).collect();
+        self.project_syms(&alphabet.difference(&hidden_syms))
     }
 
     /// Synchronized parallel composition (Definitions 4.8/4.9): the
@@ -100,7 +156,9 @@ impl<L: Label> Language<L> {
     /// For prefix-closed languages this is equivalent to the paper's
     /// definition via shuffles of trace pairs, and is computed by a
     /// breadth-first extension so the cost is proportional to the result
-    /// size.
+    /// size. The frontier runs entirely on `Copy` symbols: each of
+    /// `other`'s labels is interned once up front, and candidate
+    /// extension allocates only when a candidate actually survives.
     ///
     /// # Example
     ///
@@ -116,42 +174,48 @@ impl<L: Label> Language<L> {
     /// assert!(!p.contains(&["a", "c"][..])); // c blocked until b happened
     /// ```
     pub fn parallel(&self, other: &Language<L>) -> Language<L> {
-        let (a1, t1, d1) = self.raw_parts();
-        let (a2, t2, d2) = other.raw_parts();
+        let (i1, a1, t1, d1) = self.raw_parts();
+        let (i2, a2, t2, d2) = other.raw_parts();
         let depth = d1.min(d2);
-        let union_alpha: BTreeSet<L> = a1.union(a2).cloned().collect();
-        // Hoisted membership rows: which side(s) each union label belongs
+        // Joint symbol space: self's symbols keep their meaning, other's
+        // are remapped through the merge table (one intern per label).
+        let mut interner = i1.clone();
+        let map = interner.merge(i2);
+        let a2_joint: AlphaSet = a2.iter().map(|s| map[s.index()]).collect();
+        let t2_joint = remap_traces(t2, &map);
+        let union_alpha = a1.union(&a2_joint);
+        // Hoisted membership rows: which side(s) each union symbol belongs
         // to, computed once instead of twice per frontier extension.
-        let alpha_rows: Vec<(&L, bool, bool)> = union_alpha
+        let alpha_rows: Vec<(Sym, bool, bool)> = union_alpha
             .iter()
-            .map(|a| (a, a1.contains(a), a2.contains(a)))
+            .map(|s| (s, a1.contains(s), a2_joint.contains(s)))
             .collect();
 
-        let mut result: BTreeSet<Vec<L>> = BTreeSet::new();
+        let mut result: BTreeSet<Vec<Sym>> = BTreeSet::new();
         result.insert(Vec::new());
         // Frontier traces paired with their two projections, so membership
         // checks are O(log n) set lookups.
-        let mut frontier: Vec<(Vec<L>, Vec<L>, Vec<L>)> =
+        let mut frontier: Vec<(Vec<Sym>, Vec<Sym>, Vec<Sym>)> =
             vec![(Vec::new(), Vec::new(), Vec::new())];
 
         // Scratch buffers for the candidate projections and trace: the
         // rejected candidates (the common case) never allocate — cloning
         // happens only when a candidate actually extends the language.
-        let mut scratch1: Vec<L> = Vec::new();
-        let mut scratch2: Vec<L> = Vec::new();
-        let mut scratch_t: Vec<L> = Vec::new();
+        let mut scratch1: Vec<Sym> = Vec::new();
+        let mut scratch2: Vec<Sym> = Vec::new();
+        let mut scratch_t: Vec<Sym> = Vec::new();
 
         for _ in 0..depth {
             let mut next = Vec::new();
             for (t, p1, p2) in &frontier {
                 for &(a, in1, in2) in &alpha_rows {
-                    // A union label belongs to at least one side; a side
+                    // A union symbol belongs to at least one side; a side
                     // that has it must accept the extended projection.
                     if in1 {
                         scratch1.clear();
                         scratch1.reserve(p1.len() + 1);
                         scratch1.extend_from_slice(p1);
-                        scratch1.push(a.clone());
+                        scratch1.push(a);
                         if !t1.contains(scratch1.as_slice()) {
                             continue;
                         }
@@ -160,15 +224,15 @@ impl<L: Label> Language<L> {
                         scratch2.clear();
                         scratch2.reserve(p2.len() + 1);
                         scratch2.extend_from_slice(p2);
-                        scratch2.push(a.clone());
-                        if !t2.contains(scratch2.as_slice()) {
+                        scratch2.push(a);
+                        if !t2_joint.contains(scratch2.as_slice()) {
                             continue;
                         }
                     }
                     scratch_t.clear();
                     scratch_t.reserve(t.len() + 1);
                     scratch_t.extend_from_slice(t);
-                    scratch_t.push(a.clone());
+                    scratch_t.push(a);
                     if result.contains(scratch_t.as_slice()) {
                         continue;
                     }
@@ -184,7 +248,7 @@ impl<L: Label> Language<L> {
             frontier = next;
         }
 
-        Language::from_raw(union_alpha, result, depth)
+        Language::from_raw(interner, union_alpha, result, depth)
     }
 }
 
@@ -232,6 +296,31 @@ mod tests {
         assert!(u.contains(&["a"]));
         assert!(u.contains(&["b"]));
         assert_eq!(u.alphabet().len(), 2);
+    }
+
+    #[test]
+    fn intersection_keeps_common_traces() {
+        let l1 = lang(&["a", "b"], &[&["a", "b"], &["a", "a"]], 4);
+        let l2 = lang(&["b", "a"], &[&["a", "b"], &["b"]], 4);
+        let i = l1.intersection(&l2);
+        assert!(i.contains(&[]));
+        assert!(i.contains(&["a"]));
+        assert!(i.contains(&["a", "b"]));
+        assert!(!i.contains(&["a", "a"]));
+        assert!(!i.contains(&["b"]));
+        assert_eq!(i.alphabet().len(), 2);
+        // Symmetric up to symbol numbering.
+        assert_eq!(i, l2.intersection(&l1));
+    }
+
+    #[test]
+    fn intersection_with_foreign_alphabet_drops_foreign_traces() {
+        let l1 = lang(&["a"], &[&["a"]], 3);
+        let l2 = lang(&["a", "z"], &[&["a"], &["z"]], 3);
+        let i = l1.intersection(&l2);
+        assert!(i.contains(&["a"]));
+        assert!(!i.contains(&["z"]));
+        assert!(i.alphabet().contains(&"z"), "alphabet is the union");
     }
 
     #[test]

@@ -39,7 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Theorem 5.1: the reduced behaviour is contained in the original's.
     let reduced_lang = tr_reduced.language(5, 1_000_000)?;
     let orig_lang = tr.language(7, 1_000_000)?;
-    let contained = reduced_lang.subset_up_to(&orig_lang.project(tr_reduced.net().alphabet()), 5);
+    let contained = reduced_lang.subset_up_to(&orig_lang.project(&tr_reduced.net().alphabet()), 5);
     println!("  -> trace containment (Thm 5.1) up to depth 5: {contained}");
 
     // Figure 9(c): the receiver against the reduced translator. The

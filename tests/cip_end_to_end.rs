@@ -100,8 +100,8 @@ fn every_sent_value_reaches_the_receiver() {
     for v in 0..4 {
         let wire = format!("w{v}");
         assert!(
-            composed.net().transitions().any(|(_, t)| {
-                matches!(t.label(), StgLabel::Signal(s, Edge::Rise) if s.name() == wire)
+            composed.net().transitions().any(|(tid, _)| {
+                matches!(composed.net().label_of(tid), StgLabel::Signal(s, Edge::Rise) if s.name() == wire)
             }),
             "{wire} is exercised"
         );
@@ -152,8 +152,8 @@ fn cip_protocol_system_matches_signal_level_behaviour() {
     // exist and share a fork in the expansion.
     for wire in ["a0", "b0", "a1", "b1"] {
         assert!(
-            sender.net().transitions().any(|(_, t)| {
-                matches!(t.label(), StgLabel::Signal(s, Edge::Rise) if s.name() == wire)
+            sender.net().transitions().any(|(tid, _)| {
+                matches!(sender.net().label_of(tid), StgLabel::Signal(s, Edge::Rise) if s.name() == wire)
             }),
             "sender drives {wire}"
         );

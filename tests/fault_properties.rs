@@ -180,7 +180,7 @@ fn partial_languages_are_prefixes_of_complete_ones() {
                 }
                 Bounded::Exhausted { partial, info } => {
                     prop_assert!(
-                        partial.iter().all(|t| full.contains(t)),
+                        partial.iter().all(|t| full.contains(&t)),
                         "partial language invented a trace (stopped at {info})"
                     );
                 }

@@ -68,6 +68,14 @@ fn net_roundtrip_preserves_structure_and_traces() {
                 parsed.initial_marking().total(),
                 net.initial_marking().total()
             );
+            // The reparsed net's symbol table must replicate the
+            // original exactly: interning order is first-use order, the
+            // writer emits transitions in id order, and the parser
+            // re-interns in file order.
+            prop_assert_eq!(
+                net.interner().iter().collect::<Vec<_>>(),
+                parsed.interner().iter().collect::<Vec<_>>()
+            );
             let l1 = Language::from_net(&net, 3, 100_000);
             let l2 = Language::from_net(parsed, 3, 100_000);
             if let (Ok(l1), Ok(l2)) = (l1, l2) {
@@ -149,4 +157,42 @@ fn stg_roundtrip_preserves_guards() {
             Ok(())
         },
     );
+}
+
+/// Satellite regression: the `.cpn` roundtrip preserves nets *and*
+/// symbol tables for non-ASCII and collision-prone label names —
+/// labels that differ only by escapes, embedded quotes, whitespace, or
+/// script must stay distinct symbols, in the same interning order.
+#[test]
+fn roundtrip_preserves_symbol_table_for_nasty_labels() {
+    let labels = [
+        "übergang", // non-ASCII latin
+        "τ",        // greek
+        "сигнал",   // cyrillic
+        "信号",     // CJK
+        "a b",      // embedded space
+        "a\\b",     // backslash (escaped in the format)
+        "a\"b",     // quote (escaped in the format)
+        "ab",       // collision-prone with the two above
+        "a",        // prefix of the others
+    ];
+    let mut net: PetriNet<String> = PetriNet::new();
+    let p = net.add_place("p");
+    net.set_initial(p, 1);
+    for l in labels {
+        net.add_transition([p], l.to_owned(), [p]).unwrap();
+    }
+    let text = write_net("symtab", &net);
+    let doc = parse(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+    let reparsed = &doc.nets[0].1;
+    assert_eq!(reparsed, &net, "reparsed net differs\n{text}");
+    // Identical symbol tables: same labels assigned the same symbols in
+    // the same order.
+    assert_eq!(
+        net.interner().iter().collect::<Vec<_>>(),
+        reparsed.interner().iter().collect::<Vec<_>>(),
+        "symbol tables diverged\n{text}"
+    );
+    // And a second writer pass is a fixed point.
+    assert_eq!(text, write_net("symtab", reparsed));
 }

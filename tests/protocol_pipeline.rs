@@ -109,10 +109,9 @@ fn full_system_runs_the_whole_command_set() {
     assert!(analysis.deadlock_free);
     // Every sender command toggle fires somewhere in the state space.
     for (cmd, _, _) in SENDER_COMMANDS {
-        let found = system
-            .net()
-            .transitions()
-            .any(|(_, t)| t.label().signal_name().map(Signal::name) == Some(cmd));
+        let found = system.net().transitions().any(|(tid, _)| {
+            system.net().label_of(tid).signal_name().map(Signal::name) == Some(cmd)
+        });
         assert!(found, "{cmd}~ survives in the composition");
     }
 }
@@ -156,10 +155,12 @@ fn fig9_reduction_chain_shrinks_state_spaces() {
     // The reduced receiver still implements start/zero/one.
     for cmd in ["start", "zero", "one"] {
         assert!(
-            rx_red
+            rx_red.net().transitions().any(|(tid, _)| rx_red
                 .net()
-                .transitions()
-                .any(|(_, t)| t.label().signal_name().map(Signal::name) == Some(cmd)),
+                .label_of(tid)
+                .signal_name()
+                .map(Signal::name)
+                == Some(cmd)),
             "{cmd} kept"
         );
     }

@@ -15,8 +15,10 @@
 //! `BENCH_hide.json` (seconds and allocation counts per hiding engine,
 //! speedup and allocation ratios) and `BENCH_alphabet.json` (generic
 //! label-level ops vs the interned symbol/bitset paths: hide/contract
-//! allocations, sync-set computation, language projection) that CI
-//! uploads as artifacts.
+//! allocations, sync-set computation, fused tracked composition,
+//! language projection) and `BENCH_reduce.json` (explored states and
+//! seconds for full / stubborn / reduced / reduced+stubborn exploration
+//! of composed CIP chains) that CI uploads as artifacts.
 //! `--quick` shrinks the sweeps for smoke runs; the default reaches the
 //! 2^20-state acceptance workload.
 
@@ -962,6 +964,29 @@ fn bench_alphabet(quick: bool, json: bool) {
         symbolized_sync,
     ));
 
+    // Full tracked composition on the common alphabet: the fused path
+    // resolves the sync set as a bitset intersection inside the compose
+    // (no owned label set, no per-label clone), the generic path
+    // materializes `common_alphabet` first and interns it back in.
+    let generic_compose = || {
+        let shared: BTreeSet<String> = cpn_core::common_alphabet(&n1, &n2);
+        std::hint::black_box(cpn_core::parallel_tracked(&n1, &n2, &shared).expect("composable"));
+    };
+    let fused_compose = || {
+        std::hint::black_box(cpn_core::parallel_tracked_common(&n1, &n2).expect("composable"));
+    };
+    {
+        let shared = cpn_core::common_alphabet(&n1, &n2);
+        let by_labels = cpn_core::parallel_tracked(&n1, &n2, &shared).expect("composable");
+        let fused = cpn_core::parallel_tracked_common(&n1, &n2).expect("composable");
+        assert_eq!(by_labels.net, fused.net, "compose paths must agree");
+    }
+    rows.push(measure_alpha(
+        format!("sync_set_compose/{n_labels}"),
+        generic_compose,
+        fused_compose,
+    ));
+
     // Language projection: symbol-encoded trace filtering vs
     // materialize-filter-rebuild at the label level.
     let k = 4usize;
@@ -1051,6 +1076,169 @@ fn bench_alphabet(quick: bool, json: bool) {
     }
 }
 
+/// One explored-state measurement of the `bench_reduce` sweep.
+struct ReduceMode {
+    mode: &'static str,
+    states: usize,
+    seconds: f64,
+    deadlock_free: bool,
+}
+
+fn run_reduce_mode<L: Label>(
+    mode: &'static str,
+    net: &PetriNet<L>,
+    stubborn: bool,
+    budget: &cpn_petri::Budget,
+) -> ReduceMode {
+    let t0 = Instant::now();
+    let rg = if stubborn {
+        net.reachability_stubborn_bounded(budget, &[])
+    } else {
+        net.reachability_bounded(budget)
+    }
+    .into_value();
+    ReduceMode {
+        mode,
+        states: rg.state_count(),
+        seconds: t0.elapsed().as_secs_f64(),
+        deadlock_free: rg.deadlock_states().is_empty(),
+    }
+}
+
+fn bench_reduce(quick: bool, json: bool) {
+    header(
+        "BENCH",
+        "reduction + stubborn exploration sweep (composed CIP chains)",
+    );
+    let chains: &[usize] = if quick { &[4, 8] } else { &[8, 12, 16] };
+    let budget = cpn_petri::Budget::states(1 << 22);
+    struct Row {
+        family: String,
+        places: usize,
+        transitions: usize,
+        reduced_places: usize,
+        reduced_transitions: usize,
+        stats: cpn_core::ReductionStats,
+        reduce_seconds: f64,
+        modes: Vec<ReduceMode>,
+        factor: f64,
+        deadlock_free_agrees: bool,
+    }
+    let mut rows: Vec<Row> = Vec::new();
+    for &modules in chains {
+        let (net, hidden) = cpn_bench::cip_chain_workload(modules);
+        let t0 = Instant::now();
+        let (reduced, stats) =
+            cpn_core::reduce_for_analysis(&net, &hidden).expect("cip chains reduce cleanly");
+        let reduce_seconds = t0.elapsed().as_secs_f64();
+        let modes = vec![
+            run_reduce_mode("full", &net, false, &budget),
+            run_reduce_mode("stubborn", &net, true, &budget),
+            run_reduce_mode("reduced", &reduced, false, &budget),
+            run_reduce_mode("reduced+stubborn", &reduced, true, &budget),
+        ];
+        let factor = modes[0].states as f64 / modes[3].states.max(1) as f64;
+        // Both techniques preserve deadlock freedom (reduction only when
+        // no transition was pruned as stranded — cip chains never are).
+        let deadlock_free_agrees = stats.stranded_transitions == 0
+            && modes
+                .iter()
+                .all(|m| m.deadlock_free == modes[0].deadlock_free);
+        rows.push(Row {
+            family: format!("cip_chain/{modules}"),
+            places: net.place_count(),
+            transitions: net.transition_count(),
+            reduced_places: reduced.place_count(),
+            reduced_transitions: reduced.transition_count(),
+            stats,
+            reduce_seconds,
+            modes,
+            factor,
+            deadlock_free_agrees,
+        });
+    }
+
+    for r in &rows {
+        println!(
+            "{}: {}p/{}t -> {}p/{}t after {} reductions ({:.4} s to reduce)",
+            r.family,
+            r.places,
+            r.transitions,
+            r.reduced_places,
+            r.reduced_transitions,
+            r.stats.total(),
+            r.reduce_seconds
+        );
+        for m in &r.modes {
+            println!(
+                "  {:<17} {:>9} states  {:>9.4} s  deadlock-free: {}",
+                m.mode, m.states, m.seconds, m.deadlock_free
+            );
+        }
+        println!(
+            "  -> explored-state reduction {:.1}x (reduced+stubborn vs full), \
+             verdicts agree: {}",
+            r.factor, r.deadlock_free_agrees
+        );
+    }
+
+    if json {
+        let mut out = String::from("{\n  \"bench\": \"reduce_stubborn\",\n");
+        out.push_str(&format!(
+            "  \"mode\": \"{}\",\n",
+            if quick { "quick" } else { "full" }
+        ));
+        out.push_str("  \"workloads\": [\n");
+        for (i, r) in rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\n      \"family\": \"{}\",\n      \"places\": {},\n      \
+                 \"transitions\": {},\n      \"reduced_places\": {},\n      \
+                 \"reduced_transitions\": {},\n      \"reductions\": {{\
+                 \"series_places\": {}, \"series_transitions\": {}, \
+                 \"self_loop_places\": {}, \"duplicate_transitions\": {}, \
+                 \"redundant_places\": {}, \"stranded_transitions\": {}, \
+                 \"isolated_places\": {}, \"total\": {}}},\n      \
+                 \"reduce_seconds\": {:.6},\n      \"modes\": [\n",
+                r.family,
+                r.places,
+                r.transitions,
+                r.reduced_places,
+                r.reduced_transitions,
+                r.stats.series_places,
+                r.stats.series_transitions,
+                r.stats.self_loop_places,
+                r.stats.duplicate_transitions,
+                r.stats.redundant_places,
+                r.stats.stranded_transitions,
+                r.stats.isolated_places,
+                r.stats.total(),
+                r.reduce_seconds,
+            ));
+            for (j, m) in r.modes.iter().enumerate() {
+                out.push_str(&format!(
+                    "        {{\"mode\": \"{}\", \"states\": {}, \"seconds\": {:.4}, \
+                     \"deadlock_free\": {}}}{}\n",
+                    m.mode,
+                    m.states,
+                    m.seconds,
+                    m.deadlock_free,
+                    if j + 1 < r.modes.len() { "," } else { "" }
+                ));
+            }
+            out.push_str(&format!(
+                "      ],\n      \"state_reduction_factor\": {:.2},\n      \
+                 \"deadlock_free_agrees\": {}\n    }}{}\n",
+                r.factor,
+                r.deadlock_free_agrees,
+                if i + 1 < rows.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        std::fs::write("BENCH_reduce.json", &out).expect("write BENCH_reduce.json");
+        println!("wrote BENCH_reduce.json");
+    }
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -1061,6 +1249,7 @@ fn main() {
         bench_explore(quick, json);
         bench_hide(quick, json);
         bench_alphabet(quick, json);
+        bench_reduce(quick, json);
         return;
     }
     let run = |id: &str| args.is_empty() || args.iter().any(|a| a == id);

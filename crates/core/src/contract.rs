@@ -61,6 +61,18 @@
 //! [`reduce`](NetEditor::reduce) runs the three to a joint fixpoint —
 //! the between-contraction cleanup that stops product-place accretion in
 //! long hiding chains.
+//!
+//! # Safe-net reduction
+//!
+//! [`reduce_with`](NetEditor::reduce_with) layers the safe-net rules on
+//! top: self-loop place elimination and the two series fusions (FSP and
+//! FST, after Khomenko's safe-net reduction catalogue), which erase
+//! *internal* transitions outright. The result is no longer trace-exact
+//! on the full alphabet — it preserves safety, deadlock-freedom, the
+//! observable-projected language, and liveness modulo dead-transition
+//! pruning (the precise contract is on `reduce_with` itself, and the
+//! differential battery in `tests/reduction_equivalence.rs` enforces
+//! it). [`reduce_for_analysis`] is the net-level wrapper.
 
 use cpn_petri::{
     AlphaSet, Interner, Label, Meter, PetriError, PetriNet, PlaceId, Sym, TransitionId,
@@ -97,6 +109,15 @@ pub struct ReductionStats {
     pub stranded_transitions: usize,
     /// Unmarked places left with no adjacent transitions.
     pub isolated_places: usize,
+    /// Series place fusions (an internal transition erased, its two
+    /// surrounding places merged). Only [`NetEditor::reduce_with`].
+    pub series_places: usize,
+    /// Series transition fusions (an internal follower folded into its
+    /// sole feeder). Only [`NetEditor::reduce_with`].
+    pub series_transitions: usize,
+    /// Constant self-loop places dropped. Only
+    /// [`NetEditor::reduce_with`].
+    pub self_loop_places: usize,
 }
 
 impl ReductionStats {
@@ -106,6 +127,9 @@ impl ReductionStats {
             + self.redundant_places
             + self.stranded_transitions
             + self.isolated_places
+            + self.series_places
+            + self.series_transitions
+            + self.self_loop_places
     }
 }
 
@@ -652,6 +676,220 @@ impl<L: Label> NetEditor<L> {
     }
 
     // ------------------------------------------------------------------
+    // Safe-net reduction rules (verdict-preserving, not trace-exact)
+    // ------------------------------------------------------------------
+
+    /// Drops places that are constant self-loop observers: marked with
+    /// exactly one token and looped on by every adjacent transition
+    /// (`p ∈ •t ⟺ p ∈ t•`, i.e. consumers = producers as sets). Such a
+    /// place holds 1 in every reachable marking — it never blocks, never
+    /// overfills, never changes — so removal preserves languages, safety,
+    /// liveness and deadlocks verbatim. A place whose removal would
+    /// leave some adjacent transition with no arcs at all is kept.
+    /// Returns the number removed.
+    pub fn eliminate_self_loop_places(&mut self) -> usize {
+        let mut removed = 0usize;
+        for i in 0..self.places.len() {
+            let constant = self.places[i].as_ref().is_some_and(|rec| rec.tokens == 1)
+                && !self.consumers[i].is_empty()
+                && self.consumers[i] == self.producers[i];
+            if !constant {
+                continue;
+            }
+            let degenerates = self.consumers[i].iter().any(|&uid| {
+                self.transitions[uid as usize]
+                    .as_ref()
+                    .is_some_and(|t| t.preset.len() == 1 && t.postset.len() == 1)
+            });
+            if degenerates {
+                continue;
+            }
+            let pid = i as u32;
+            for uid in self.consumers[i].clone() {
+                if let Some(t) = self.transitions[uid as usize].as_mut() {
+                    t.preset.remove(&pid);
+                    t.postset.remove(&pid);
+                }
+            }
+            self.tombstone_place(i);
+            removed += 1;
+        }
+        removed
+    }
+
+    /// Whether transition `t` is a series-place-fusion pivot under the
+    /// observable alphabet `keep`: internal, `•t = {p}`, `t• = {q}`,
+    /// `p ≠ q`, `t` is `p`'s only consumer and `q`'s only producer, and
+    /// `p` has at least one producer (the liveness-preservation gate —
+    /// without it, erasing a once-only internal transition could turn an
+    /// all-live verdict from false to true).
+    fn fsp_candidate(&self, t: usize, keep: &AlphaSet) -> Option<(u32, u32)> {
+        let rec = self.transitions.get(t)?.as_ref()?;
+        if keep.contains(rec.sym) || rec.preset.len() != 1 || rec.postset.len() != 1 {
+            return None;
+        }
+        let p = *rec.preset.iter().next()?;
+        let q = *rec.postset.iter().next()?;
+        let tid = t as u32;
+        let sole = |s: &BTreeSet<u32>| s.len() == 1 && s.contains(&tid);
+        if p != q
+            && sole(&self.consumers[p as usize])
+            && sole(&self.producers[q as usize])
+            && !self.producers[p as usize].is_empty()
+        {
+            Some((p, q))
+        } else {
+            None
+        }
+    }
+
+    /// **Series place fusion** (the FSP rule of safe-net reduction): an
+    /// internal transition `t` that merely moves a token from `p` to `q`
+    /// — sole consumer of `p`, sole producer of `q` — is erased and `q`
+    /// merged into `p` (tokens summed, `q`'s consumers rewired onto
+    /// `p`). `keep` is the observable alphabet; only transitions whose
+    /// symbol is outside it are fused.
+    ///
+    /// Sound in both directions for safety, deadlock-freedom and the
+    /// `keep`-projected language on *general* nets: reduced markings are
+    /// original markings with `t` fired eagerly (`M'(pq) = M(p) + M(q)`),
+    /// and whenever the merged place overfills the original can overfill
+    /// `q` too, because `t` is enabled by `p` alone. Returns the number
+    /// of fusions.
+    pub fn fuse_series_places(&mut self, keep: &AlphaSet) -> usize {
+        let mut fused = 0usize;
+        for t in 0..self.transitions.len() {
+            let Some((p, q)) = self.fsp_candidate(t, keep) else {
+                continue;
+            };
+            self.detach(t);
+            let Some(q_rec) = self.places[q as usize].as_ref() else {
+                continue;
+            };
+            let (q_tokens, q_name) = (q_rec.tokens, q_rec.name.clone());
+            // q's only producer was t, so only consumers need rewiring.
+            for uid in std::mem::take(&mut self.consumers[q as usize]) {
+                if let Some(rec) = self.transitions[uid as usize].as_mut() {
+                    rec.preset.remove(&q);
+                    rec.preset.insert(p);
+                }
+                self.consumers[p as usize].insert(uid);
+            }
+            if let Some(rec) = self.places[p as usize].as_mut() {
+                rec.tokens += q_tokens;
+                rec.name = format!("({}.{q_name})", rec.name);
+            }
+            self.tombstone_place(q as usize);
+            fused += 1;
+        }
+        fused
+    }
+
+    /// Whether place `i` is a series-transition-fusion pivot: unmarked,
+    /// fed by exactly one transition `t` and read by exactly one
+    /// internal transition `u ≠ t` whose whole preset is `{i}`, with a
+    /// non-empty postset disjoint from `t`'s (the overlap gate — a place
+    /// fed by both `t` and `u` would receive two tokens along the
+    /// original path but only one after fusion, and an empty `u`-postset
+    /// would let an unsafe token pile on `i` vanish).
+    fn fst_candidate(&self, i: usize, keep: &AlphaSet) -> Option<(u32, u32)> {
+        let place = self.places.get(i)?.as_ref()?;
+        if place.tokens != 0 || self.producers[i].len() != 1 || self.consumers[i].len() != 1 {
+            return None;
+        }
+        let t = *self.producers[i].iter().next()?;
+        let u = *self.consumers[i].iter().next()?;
+        if t == u {
+            return None;
+        }
+        let u_rec = self.transitions[u as usize].as_ref()?;
+        if keep.contains(u_rec.sym) || u_rec.preset.len() != 1 || u_rec.postset.is_empty() {
+            return None;
+        }
+        let t_rec = self.transitions[t as usize].as_ref()?;
+        if u_rec.postset.iter().any(|x| t_rec.postset.contains(x)) {
+            return None;
+        }
+        Some((t, u))
+    }
+
+    /// **Series transition fusion** (the FST rule): an internal follower
+    /// `u` whose sole input is an unmarked place `i` fed only by `t` is
+    /// folded into `t` — `t`'s postset swaps `i` for `u`'s postset, and
+    /// both `i` and `u` disappear.
+    ///
+    /// Sound in both directions for safety, deadlock-freedom, liveness
+    /// and the `keep`-projected language: reduced runs are original runs
+    /// with `u` fired eagerly after each `t` (valid because `u`'s only
+    /// enabling condition is the token `t` just produced, and firing it
+    /// earlier can only add tokens elsewhere), and `u` is live exactly
+    /// when `t` is. Returns the number of fusions.
+    pub fn fuse_series_transitions(&mut self, keep: &AlphaSet) -> usize {
+        let mut fused = 0usize;
+        for i in 0..self.places.len() {
+            let Some((t, u)) = self.fst_candidate(i, keep) else {
+                continue;
+            };
+            let Some(u_rec) = self.detach(u as usize) else {
+                continue;
+            };
+            let pid = i as u32;
+            if let Some(rec) = self.transitions[t as usize].as_mut() {
+                rec.postset.remove(&pid);
+                rec.postset.extend(u_rec.postset.iter().copied());
+            }
+            self.producers[i].remove(&t);
+            for &x in &u_rec.postset {
+                self.producers[x as usize].insert(t);
+            }
+            self.tombstone_place(i);
+            fused += 1;
+        }
+        fused
+    }
+
+    /// Runs the full safe-net reduction suite — the three trace-exact
+    /// rules plus self-loop place elimination and both series fusions —
+    /// to a joint fixpoint. `keep` is the observable alphabet:
+    /// transitions whose symbol is *not* in `keep` are internal and
+    /// eligible for series fusion.
+    ///
+    /// The result preserves, relative to the input net:
+    ///
+    /// * safety (1-boundedness) and deadlock-freedom verdicts, exactly;
+    /// * the trace language projected onto `keep`;
+    /// * receptiveness obligations, when `keep` covers the composition's
+    ///   shared alphabet;
+    /// * all-transitions-liveness, except that structurally dead
+    ///   transitions (never live by definition) are pruned — so a
+    ///   `false` verdict can turn `true` only when
+    ///   [`ReductionStats::stranded_transitions`] is non-zero.
+    ///
+    /// Unlike [`NetEditor::reduce`] the result is **not** trace-exact on
+    /// the full alphabet: internal transitions disappear.
+    pub fn reduce_with(&mut self, keep: &AlphaSet) -> ReductionStats {
+        let mut stats = ReductionStats::default();
+        loop {
+            let d = self.dedup_transitions();
+            let r = self.remove_redundant_places();
+            let (s, iso) = self.prune_stranded();
+            let sl = self.eliminate_self_loop_places();
+            let fsp = self.fuse_series_places(keep);
+            let fst = self.fuse_series_transitions(keep);
+            stats.duplicate_transitions += d;
+            stats.redundant_places += r;
+            stats.stranded_transitions += s;
+            stats.isolated_places += iso;
+            stats.self_loop_places += sl;
+            stats.series_places += fsp;
+            stats.series_transitions += fst;
+            if d + r + s + iso + sl + fsp + fst == 0 {
+                return stats;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Materialization
     // ------------------------------------------------------------------
 
@@ -695,6 +933,35 @@ impl<L: Label> NetEditor<L> {
         }
         Ok(net)
     }
+}
+
+/// Reduces `net` for verdict-level analysis: runs
+/// [`NetEditor::reduce_with`] treating every label in `internal` as
+/// unobservable, and returns the reduced net plus per-rule statistics.
+///
+/// The reduced net explores a state space no larger than the original's
+/// while agreeing with it on safety, deadlock-freedom, the
+/// `internal`-hidden language, and (modulo pruned dead transitions)
+/// liveness — see [`NetEditor::reduce_with`] for the exact contract.
+/// Labels in `internal` that the net never interned are ignored.
+///
+/// # Errors
+///
+/// Propagates [`NetEditor::finish`] failures (internal-invariant
+/// violations only).
+pub fn reduce_for_analysis<L: Label>(
+    net: &PetriNet<L>,
+    internal: &BTreeSet<L>,
+) -> Result<(PetriNet<L>, ReductionStats), PetriError> {
+    let mut keep = net.alphabet_syms().clone();
+    for l in internal {
+        if let Some(s) = net.interner().get(l) {
+            keep.remove(s);
+        }
+    }
+    let mut ed = NetEditor::from_net(net);
+    let stats = ed.reduce_with(&keep);
+    Ok((ed.finish()?, stats))
 }
 
 #[cfg(test)]
@@ -822,6 +1089,136 @@ mod tests {
         assert_eq!(reduced.place_count(), 2);
         let l0 = cpn_trace::Language::from_net(&net, 4, 10_000).unwrap();
         let l1 = cpn_trace::Language::from_net(&reduced, 4, 10_000).unwrap();
+        assert!(l0.eq_up_to(&l1, 4));
+    }
+
+    #[test]
+    fn series_place_fusion_collapses_tau_hop() {
+        // Cycle p0 -a-> p1 -tau-> p2 -b-> p0: tau merges p1 and p2.
+        let mut net: PetriNet<&str> = PetriNet::new();
+        let p0 = net.add_place("p0");
+        let p1 = net.add_place("p1");
+        let p2 = net.add_place("p2");
+        net.add_transition([p0], "a", [p1]).unwrap();
+        net.add_transition([p1], "tau", [p2]).unwrap();
+        net.add_transition([p2], "b", [p0]).unwrap();
+        net.set_initial(p0, 1);
+        let mut keep = AlphaSet::new();
+        keep.insert(net.sym_of(&"a").unwrap());
+        keep.insert(net.sym_of(&"b").unwrap());
+        let mut ed = NetEditor::from_net(&net);
+        assert_eq!(ed.fuse_series_places(&keep), 1);
+        let reduced = ed.finish().unwrap();
+        assert_eq!(reduced.place_count(), 2);
+        assert_eq!(reduced.transition_count(), 2);
+        // The observable language survives the fusion.
+        let l0 = cpn_trace::Language::from_net(&net, 4, 10_000)
+            .unwrap()
+            .hide(&BTreeSet::from(["tau"]));
+        let l1 = cpn_trace::Language::from_net(&reduced, 4, 10_000).unwrap();
+        assert!(l0.eq_up_to(&l1, 3));
+    }
+
+    #[test]
+    fn series_place_fusion_requires_a_producer() {
+        // p1 has no producer: fusing away the once-only tau would erase
+        // the only non-live transition. The chain must stay intact.
+        let mut net: PetriNet<&str> = PetriNet::new();
+        let p1 = net.add_place("p1");
+        let p2 = net.add_place("p2");
+        net.add_transition([p1], "tau", [p2]).unwrap();
+        net.set_initial(p1, 1);
+        let keep = AlphaSet::new();
+        let mut ed = NetEditor::from_net(&net);
+        assert_eq!(ed.fuse_series_places(&keep), 0);
+    }
+
+    #[test]
+    fn series_transition_fusion_folds_follower() {
+        // a feeds p1 whose only reader is tau; tau folds into a.
+        let mut ed = NetEditor::from_net(&chain());
+        let mut keep = AlphaSet::new();
+        let net = chain();
+        keep.insert(net.sym_of(&"a").unwrap());
+        keep.insert(net.sym_of(&"b").unwrap());
+        assert_eq!(ed.fuse_series_transitions(&keep), 1);
+        let reduced = ed.finish().unwrap();
+        assert_eq!(reduced.transition_count(), 2);
+        assert_eq!(reduced.place_count(), 3);
+        let l0 = cpn_trace::Language::from_net(&net, 6, 10_000)
+            .unwrap()
+            .hide(&BTreeSet::from(["tau"]));
+        let l1 = cpn_trace::Language::from_net(&reduced, 6, 10_000).unwrap();
+        assert!(l0.eq_up_to(&l1, 2));
+    }
+
+    #[test]
+    fn series_transition_fusion_rejects_postset_overlap() {
+        // Both t and u feed q: fusing would halve q's token intake.
+        let mut net: PetriNet<&str> = PetriNet::new();
+        let p0 = net.add_place("p0");
+        let p1 = net.add_place("p1");
+        let q = net.add_place("q");
+        net.add_transition([p0], "t", [p1, q]).unwrap();
+        net.add_transition([p1], "tau", [q]).unwrap();
+        net.set_initial(p0, 1);
+        let mut keep = AlphaSet::new();
+        keep.insert(net.sym_of(&"t").unwrap());
+        let mut ed = NetEditor::from_net(&net);
+        assert_eq!(ed.fuse_series_transitions(&keep), 0);
+    }
+
+    #[test]
+    fn self_loop_place_dropped() {
+        // `mutex` is a constant token looped on by both transitions.
+        let mut net: PetriNet<&str> = PetriNet::new();
+        let p0 = net.add_place("p0");
+        let p1 = net.add_place("p1");
+        let mx = net.add_place("mutex");
+        net.add_transition([p0, mx], "a", [p1, mx]).unwrap();
+        net.add_transition([p1, mx], "b", [p0, mx]).unwrap();
+        net.set_initial(p0, 1);
+        net.set_initial(mx, 1);
+        let mut ed = NetEditor::from_net(&net);
+        assert_eq!(ed.eliminate_self_loop_places(), 1);
+        let reduced = ed.finish().unwrap();
+        assert_eq!(reduced.place_count(), 2);
+        let l0 = cpn_trace::Language::from_net(&net, 4, 10_000).unwrap();
+        let l1 = cpn_trace::Language::from_net(&reduced, 4, 10_000).unwrap();
+        assert!(l0.eq_up_to(&l1, 4));
+    }
+
+    #[test]
+    fn self_loop_observer_keeps_its_place() {
+        // Removing p would leave `obs` with no arcs at all.
+        let mut net: PetriNet<&str> = PetriNet::new();
+        let p = net.add_place("p");
+        net.add_transition([p], "obs", [p]).unwrap();
+        net.set_initial(p, 1);
+        let mut ed = NetEditor::from_net(&net);
+        assert_eq!(ed.eliminate_self_loop_places(), 0);
+    }
+
+    #[test]
+    fn reduce_with_reaches_joint_fixpoint() {
+        // tau1 and tau2 in series collapse completely: a -> merged -> b.
+        let mut net: PetriNet<&str> = PetriNet::new();
+        let p: Vec<_> = (0..5).map(|i| net.add_place(format!("p{i}"))).collect();
+        net.add_transition([p[0]], "a", [p[1]]).unwrap();
+        net.add_transition([p[1]], "tau1", [p[2]]).unwrap();
+        net.add_transition([p[2]], "tau2", [p[3]]).unwrap();
+        net.add_transition([p[3]], "b", [p[4]]).unwrap();
+        net.add_transition([p[4]], "c", [p[0]]).unwrap();
+        net.set_initial(p[0], 1);
+        let (reduced, stats) =
+            reduce_for_analysis(&net, &BTreeSet::from(["tau1", "tau2"])).unwrap();
+        assert_eq!(stats.series_places + stats.series_transitions, 2);
+        assert_eq!(reduced.transition_count(), 3);
+        assert_eq!(reduced.place_count(), 3);
+        let l0 = cpn_trace::Language::from_net(&net, 8, 100_000)
+            .unwrap()
+            .hide(&BTreeSet::from(["tau1", "tau2"]));
+        let l1 = cpn_trace::Language::from_net(&reduced, 8, 100_000).unwrap();
         assert!(l0.eq_up_to(&l1, 4));
     }
 

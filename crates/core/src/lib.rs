@@ -72,7 +72,7 @@ pub mod verify;
 
 pub use choice::{choice, choice_general, root_unwinding, RootUnwinding};
 pub use circuit::Circuit;
-pub use contract::{NetEditor, ReductionStats};
+pub use contract::{reduce_for_analysis, NetEditor, ReductionStats};
 pub use error::CoreError;
 pub use hide::{
     hide_label, hide_label_bounded, hide_labels, hide_labels_bounded, hide_labels_bounded_legacy,
@@ -80,7 +80,8 @@ pub use hide::{
 };
 pub use ops::{nil, prefix, prefix_general, rename, rename_injective};
 pub use parallel::{
-    common_alphabet, parallel, parallel_tracked, parallel_with_sync, Composition, SyncTransition,
+    common_alphabet, parallel, parallel_tracked, parallel_tracked_common, parallel_with_sync,
+    Composition, SyncTransition,
 };
 pub use synthesis::{
     closure_report, reduce_against_environment, reduce_against_environment_fused, ClosureReport,
@@ -88,8 +89,8 @@ pub use synthesis::{
 };
 pub use verify::{
     check_receptiveness, check_receptiveness_bounded, check_receptiveness_composed,
-    check_receptiveness_composed_bounded, check_receptiveness_structural_mg,
-    check_receptiveness_structural_mg_bounded, check_receptiveness_structural_mg_composed,
-    check_receptiveness_structural_mg_composed_bounded, ReceptivenessFailure, ReceptivenessReport,
-    Side,
+    check_receptiveness_composed_bounded, check_receptiveness_composed_stubborn_bounded,
+    check_receptiveness_structural_mg, check_receptiveness_structural_mg_bounded,
+    check_receptiveness_structural_mg_composed, check_receptiveness_structural_mg_composed_bounded,
+    check_receptiveness_stubborn_bounded, ReceptivenessFailure, ReceptivenessReport, Side,
 };

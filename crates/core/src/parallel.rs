@@ -85,8 +85,7 @@ pub struct SyncTransition<L: Label> {
 /// # }
 /// ```
 pub fn parallel<L: Label>(n1: &PetriNet<L>, n2: &PetriNet<L>) -> Result<PetriNet<L>, PetriError> {
-    let sync = common_alphabet(n1, n2);
-    parallel_with_sync(n1, n2, &sync)
+    Ok(parallel_tracked_common(n1, n2)?.net)
 }
 
 /// The common alphabet `A1 ∩ A2` — the default synchronization set of
@@ -139,6 +138,42 @@ pub fn parallel_tracked<L: Label>(
     n2: &PetriNet<L>,
     sync: &BTreeSet<L>,
 ) -> Result<Composition<L>, PetriError> {
+    fuse_tracked(n1, n2, SyncSpec::Labels(sync))
+}
+
+/// [`parallel_tracked`] on the common alphabet `A1 ∩ A2`, with the sync
+/// set resolved **entirely in symbol space**: the right alphabet is
+/// remapped into the composed symbol space and intersected as a bitset —
+/// no `BTreeSet<L>` is materialized and no label is cloned per call.
+///
+/// The result is identical to
+/// `parallel_tracked(n1, n2, &common_alphabet(n1, n2))`.
+///
+/// # Errors
+///
+/// Propagates [`PetriError`] from transition construction (see
+/// [`parallel`]).
+pub fn parallel_tracked_common<L: Label>(
+    n1: &PetriNet<L>,
+    n2: &PetriNet<L>,
+) -> Result<Composition<L>, PetriError> {
+    fuse_tracked(n1, n2, SyncSpec::Common)
+}
+
+/// How [`fuse_tracked`] obtains the synchronization set.
+enum SyncSpec<'a, L: Label> {
+    /// An explicit label set, interned into the composed symbol space.
+    Labels(&'a BTreeSet<L>),
+    /// The common alphabet, as a pure bitset intersection.
+    Common,
+}
+
+/// The composition core shared by every `parallel*` entry point.
+fn fuse_tracked<L: Label>(
+    n1: &PetriNet<L>,
+    n2: &PetriNet<L>,
+    spec: SyncSpec<'_, L>,
+) -> Result<Composition<L>, PetriError> {
     // The composed net's symbol space: the left interner verbatim, the
     // right interner merged in (remap2 translates right syms).
     let mut out = PetriNet::with_interner(n1.interner().clone());
@@ -167,12 +202,29 @@ pub fn parallel_tracked<L: Label>(
     }
     // The sync set in the composed net's symbol space (labels unknown to
     // both operands carry no transitions and are dropped harmlessly).
-    let sync_syms: AlphaSet = sync.iter().filter_map(|l| out.sym_of(l)).collect();
+    let sync_syms: AlphaSet = match spec {
+        SyncSpec::Labels(sync) => sync.iter().filter_map(|l| out.sym_of(l)).collect(),
+        SyncSpec::Common => {
+            let mut s: AlphaSet = n2
+                .alphabet_syms()
+                .iter()
+                .map(|s2| remap2[s2.index()])
+                .collect();
+            s.intersect_with(n1.alphabet_syms());
+            s
+        }
+    };
 
     // Private transitions are copied unchanged. Left syms are valid in
     // the composed space as-is (its interner extends the left one).
-    for (_, t) in n1.transitions() {
-        if !sync_syms.contains(t.sym()) {
+    // Synchronizing transitions are bucketed by composed symbol in the
+    // same pass, replacing the per-label `transitions_with_label` scans.
+    let mut bucket1: BTreeMap<Sym, Vec<TransitionId>> = BTreeMap::new();
+    let mut bucket2: BTreeMap<Sym, Vec<TransitionId>> = BTreeMap::new();
+    for (id, t) in n1.transitions() {
+        if sync_syms.contains(t.sym()) {
+            bucket1.entry(t.sym()).or_default().push(id);
+        } else {
             out.add_transition_sym(
                 t.preset().iter().map(|p| map1[p]),
                 t.sym(),
@@ -180,9 +232,11 @@ pub fn parallel_tracked<L: Label>(
             )?;
         }
     }
-    for (_, t) in n2.transitions() {
+    for (id, t) in n2.transitions() {
         let sym = remap2[t.sym().index()];
-        if !sync_syms.contains(sym) {
+        if sync_syms.contains(sym) {
+            bucket2.entry(sym).or_default().push(id);
+        } else {
             out.add_transition_sym(
                 t.preset().iter().map(|p| map2[p]),
                 sym,
@@ -191,14 +245,19 @@ pub fn parallel_tracked<L: Label>(
         }
     }
 
-    // Synchronized transitions: all pairs with a common label are joined.
-    // Iterated in label order (the caller's `BTreeSet`) so the composed
-    // net's transition order is independent of symbol assignment.
+    // Synchronized transitions: all pairs with a common symbol are
+    // joined, iterated in **label** order so the composed net's
+    // transition order is independent of symbol assignment (and
+    // identical to the historical `BTreeSet<L>` iteration).
+    let mut order: Vec<Sym> = sync_syms.iter().collect();
+    order.sort_unstable_by(|&a, &b| out.resolve(a).cmp(out.resolve(b)));
     let mut sync_transitions = Vec::new();
-    for a in sync {
-        let Some(sym) = out.sym_of(a) else { continue };
-        for t1 in n1.transitions_with_label(a).collect::<Vec<_>>() {
-            for t2 in n2.transitions_with_label(a).collect::<Vec<_>>() {
+    for sym in order {
+        let (Some(ts1), Some(ts2)) = (bucket1.get(&sym), bucket2.get(&sym)) else {
+            continue;
+        };
+        for &t1 in ts1 {
+            for &t2 in ts2 {
                 let tr1 = n1.transition(t1);
                 let tr2 = n2.transition(t2);
                 let left_preset: BTreeSet<PlaceId> = tr1.preset().iter().map(|p| map1[p]).collect();
@@ -217,7 +276,7 @@ pub fn parallel_tracked<L: Label>(
                     .collect();
                 let transition = out.add_transition_sym(pre, sym, post)?;
                 sync_transitions.push(SyncTransition {
-                    label: a.clone(),
+                    label: out.resolve(sym).clone(),
                     sym,
                     transition,
                     left_transition: t1,
@@ -363,6 +422,39 @@ mod tests {
         let n2 = cycle2("c", "d");
         let composed = parallel(&n1, &n2).unwrap();
         assert_eq!(composed.initial_marking().total(), 2);
+    }
+
+    #[test]
+    fn fused_common_path_matches_label_path() {
+        // The symbol-space sync resolution must be observationally
+        // identical to the materialized common-alphabet path: same net,
+        // same provenance, same fused transitions in the same order.
+        let pairs = [
+            (fig2_left(), fig2_right()),
+            (cycle2("a", "b"), cycle2("b", "c")),
+            (cycle2("a", "b"), cycle2("c", "d")),
+        ];
+        for (n1, n2) in pairs {
+            let via_labels = parallel_tracked(&n1, &n2, &common_alphabet(&n1, &n2)).unwrap();
+            let fused = parallel_tracked_common(&n1, &n2).unwrap();
+            assert_eq!(fused.net, via_labels.net);
+            assert_eq!(fused.left_places, via_labels.left_places);
+            assert_eq!(fused.right_places, via_labels.right_places);
+            assert_eq!(
+                fused.sync_transitions.len(),
+                via_labels.sync_transitions.len()
+            );
+            for (a, b) in fused
+                .sync_transitions
+                .iter()
+                .zip(&via_labels.sync_transitions)
+            {
+                assert_eq!(a.label, b.label);
+                assert_eq!(a.transition, b.transition);
+                assert_eq!(a.left_preset, b.left_preset);
+                assert_eq!(a.right_preset, b.right_preset);
+            }
+        }
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //!   graphs**, via the marked-graph state equation reduced to difference
 //!   constraints (Bellman–Ford, no state space).
 
-use crate::parallel::{parallel_tracked, Composition};
+use crate::parallel::{parallel_tracked_common, Composition};
 use cpn_petri::graph::{solve_difference_constraints, DiffConstraint};
 use cpn_petri::{
     AlphaSet, Budget, Label, Marking, Meter, PetriError, PetriNet, PlaceId, ReachabilityOptions,
@@ -198,8 +198,7 @@ pub fn check_receptiveness<L: Label>(
     right_outputs: &BTreeSet<L>,
     options: &ReachabilityOptions,
 ) -> Result<ReceptivenessReport<L>, PetriError> {
-    let sync = crate::parallel::common_alphabet(n1, n2);
-    let comp = parallel_tracked(n1, n2, &sync)?;
+    let comp = parallel_tracked_common(n1, n2)?;
     check_receptiveness_composed(&comp, left_outputs, right_outputs, options)
 }
 
@@ -255,8 +254,7 @@ pub fn check_receptiveness_bounded<L: Label>(
     right_outputs: &BTreeSet<L>,
     budget: &Budget,
 ) -> Result<Verdict<ReceptivenessReport<L>>, PetriError> {
-    let sync = crate::parallel::common_alphabet(n1, n2);
-    let comp = parallel_tracked(n1, n2, &sync)?;
+    let comp = parallel_tracked_common(n1, n2)?;
     Ok(check_receptiveness_composed_bounded(
         &comp,
         left_outputs,
@@ -273,11 +271,77 @@ pub fn check_receptiveness_composed_bounded<L: Label>(
     right_outputs: &BTreeSet<L>,
     budget: &Budget,
 ) -> Verdict<ReceptivenessReport<L>> {
+    let obs = obligations(comp, left_outputs, right_outputs);
     let built = comp.net.reachability_bounded(budget);
+    scan_obligations(comp, &obs, built)
+}
+
+/// Stubborn-set variant of [`check_receptiveness_bounded`]: same
+/// tri-state verdict, typically a fraction of the states.
+///
+/// The composition is explored with partial-order reduction
+/// ([`PetriNet::reachability_stubborn_bounded`]), watching exactly the
+/// places the obligations read (every producer and consumer preset).
+/// Every transition touching a watched place is forced into each
+/// stubborn set, so the reduced graph reaches the same set of watched
+/// valuations as the full graph — `Holds`/`Fails` answers and the
+/// failing label set agree with the exhaustive check exactly. Witness
+/// markings are genuine reachable failure states but may differ from the
+/// full explorer's, and `Unknown` budgets are not comparable
+/// state-for-state between the two explorers.
+///
+/// # Errors
+///
+/// Propagates [`PetriError`] from composing the operands (impossible for
+/// well-formed nets).
+pub fn check_receptiveness_stubborn_bounded<L: Label>(
+    n1: &PetriNet<L>,
+    n2: &PetriNet<L>,
+    left_outputs: &BTreeSet<L>,
+    right_outputs: &BTreeSet<L>,
+    budget: &Budget,
+) -> Result<Verdict<ReceptivenessReport<L>>, PetriError> {
+    let comp = parallel_tracked_common(n1, n2)?;
+    Ok(check_receptiveness_composed_stubborn_bounded(
+        &comp,
+        left_outputs,
+        right_outputs,
+        budget,
+    ))
+}
+
+/// The stubborn-set check on an already-built tracked composition; see
+/// [`check_receptiveness_stubborn_bounded`].
+pub fn check_receptiveness_composed_stubborn_bounded<L: Label>(
+    comp: &Composition<L>,
+    left_outputs: &BTreeSet<L>,
+    right_outputs: &BTreeSet<L>,
+    budget: &Budget,
+) -> Verdict<ReceptivenessReport<L>> {
+    let obs = obligations(comp, left_outputs, right_outputs);
+    let mut watched: BTreeSet<PlaceId> = BTreeSet::new();
+    for ob in &obs {
+        watched.extend(ob.producer_pre.iter().copied());
+        for cpre in &ob.consumer_pres {
+            watched.extend(cpre.iter().copied());
+        }
+    }
+    let watched: Vec<PlaceId> = watched.into_iter().collect();
+    let built = comp.net.reachability_stubborn_bounded(budget, &watched);
+    scan_obligations(comp, &obs, built)
+}
+
+/// Shared failure scan: probes every explored marking against every
+/// obligation and folds the exploration outcome into a [`Verdict`].
+fn scan_obligations<L: Label>(
+    comp: &Composition<L>,
+    obs: &[Obligation],
+    built: cpn_petri::Bounded<cpn_petri::ReachabilityGraph>,
+) -> Verdict<ReceptivenessReport<L>> {
     let exhausted = built.exhausted().copied();
     let rg = built.value();
     let mut failures = Vec::new();
-    for ob in obligations(comp, left_outputs, right_outputs) {
+    for ob in obs {
         let witness = rg.state_ids().find_map(|s| {
             // Scan the raw arena row; materialize a `Marking` only for
             // the (rare) witness itself.
@@ -337,8 +401,7 @@ pub fn check_receptiveness_structural_mg<L: Label>(
     left_outputs: &BTreeSet<L>,
     right_outputs: &BTreeSet<L>,
 ) -> Result<ReceptivenessReport<L>, PetriError> {
-    let sync = crate::parallel::common_alphabet(n1, n2);
-    let comp = parallel_tracked(n1, n2, &sync)?;
+    let comp = parallel_tracked_common(n1, n2)?;
     check_receptiveness_structural_mg_composed(&comp, left_outputs, right_outputs)
 }
 
@@ -464,8 +527,7 @@ pub fn check_receptiveness_structural_mg_bounded<L: Label>(
     right_outputs: &BTreeSet<L>,
     budget: &Budget,
 ) -> Result<Verdict<ReceptivenessReport<L>>, crate::CoreError> {
-    let sync = crate::parallel::common_alphabet(n1, n2);
-    let comp = parallel_tracked(n1, n2, &sync).map_err(crate::CoreError::Net)?;
+    let comp = parallel_tracked_common(n1, n2).map_err(crate::CoreError::Net)?;
     check_receptiveness_structural_mg_composed_bounded(&comp, left_outputs, right_outputs, budget)
 }
 

@@ -70,6 +70,8 @@ pub struct CompiledNet {
     give: Vec<u32>,
     cons_off: Vec<u32>,
     cons: Vec<u32>,
+    prod_off: Vec<u32>,
+    prod: Vec<u32>,
     /// Transitions with an empty preset: enabled in every marking.
     always: Vec<u32>,
     /// Interned label symbol per transition (resolve against the source
@@ -103,6 +105,29 @@ impl CandidateScratch {
         }
         self.gen += 1;
         self.gen
+    }
+}
+
+/// Reusable scratch for the stubborn-set closure
+/// ([`CompiledNet::stubborn_enabled`]): candidate generation, set
+/// membership stamps, and the closure worklist.
+#[derive(Clone, Debug)]
+pub struct StubbornScratch {
+    cand: CandidateScratch,
+    member: CandidateScratch,
+    cands: Vec<u32>,
+    work: Vec<u32>,
+}
+
+impl StubbornScratch {
+    /// Scratch sized for a net with `transitions` transitions.
+    pub fn new(transitions: usize) -> Self {
+        StubbornScratch {
+            cand: CandidateScratch::new(transitions),
+            member: CandidateScratch::new(transitions),
+            cands: Vec::new(),
+            work: Vec::new(),
+        }
     }
 }
 
@@ -146,6 +171,15 @@ impl CompiledNet {
     pub fn consumers_of(&self, p: u32) -> &[u32] {
         let (a, b) = (self.cons_off[p as usize], self.cons_off[p as usize + 1]);
         &self.cons[a as usize..b as usize]
+    }
+
+    /// Transitions that can **mark** place `p` (sorted): those with `p`
+    /// in their give set. Self-loops on `p` are excluded — they need `p`
+    /// marked already, so they can never turn an unmarked `p` on. This is
+    /// the "necessary enabler" adjacency of the stubborn-set closure.
+    pub fn producers_of(&self, p: u32) -> &[u32] {
+        let (a, b) = (self.prod_off[p as usize], self.prod_off[p as usize + 1]);
+        &self.prod[a as usize..b as usize]
     }
 
     /// Whether `t` is enabled in the raw marking `m`.
@@ -269,6 +303,89 @@ impl CompiledNet {
         }
         out.sort_unstable();
     }
+
+    /// Computes a **stubborn set** at marking `m` and writes its enabled
+    /// members into `out`, ascending. Firing only these (instead of the
+    /// full enabled set) at every marking still reaches **every deadlock**
+    /// of the net, and — when `seeds` is closed over the transitions
+    /// adjacent to a watched place set — every reachable valuation of the
+    /// watched places (the attractor-set reachability argument).
+    ///
+    /// The closure is the classic strong-stubborn construction,
+    /// deterministic by choosing least indices everywhere:
+    ///
+    /// * the set is seeded with `seeds` plus the smallest enabled
+    ///   transition;
+    /// * an **enabled** member pulls in every transition sharing one of
+    ///   its preset places (the conflict set via [`consumers_of`]);
+    /// * a **disabled** member picks its smallest unmarked preset place as
+    ///   scapegoat and pulls in that place's net producers
+    ///   ([`producers_of`]) — the transitions that must fire before it can
+    ///   become enabled.
+    ///
+    /// An empty `out` means `m` is a deadlock (no transition enabled at
+    /// all); the set otherwise always contains at least one enabled
+    /// transition. The language and non-deadlock state set of the reduced
+    /// graph are generally **smaller** than the full graph's — callers
+    /// needing those must explore unreduced.
+    ///
+    /// [`consumers_of`]: CompiledNet::consumers_of
+    /// [`producers_of`]: CompiledNet::producers_of
+    pub fn stubborn_enabled(
+        &self,
+        m: &[u32],
+        seeds: &[u32],
+        scratch: &mut StubbornScratch,
+        out: &mut Vec<u32>,
+    ) {
+        out.clear();
+        let StubbornScratch {
+            cand,
+            member,
+            cands,
+            work,
+        } = scratch;
+        self.enabled_candidates(m, cand, cands);
+        let Some(&seed0) = cands.iter().find(|&&t| self.is_enabled(m, t)) else {
+            return; // Deadlock: the empty set is trivially stubborn.
+        };
+        let gen = member.next_gen();
+        work.clear();
+        for &t in seeds.iter().chain(std::iter::once(&seed0)) {
+            if member.stamp[t as usize] != gen {
+                member.stamp[t as usize] = gen;
+                work.push(t);
+            }
+        }
+        let mut i = 0;
+        while i < work.len() {
+            let t = work[i];
+            i += 1;
+            if self.is_enabled(m, t) {
+                for &p in self.preset(t) {
+                    for &t2 in self.consumers_of(p) {
+                        if member.stamp[t2 as usize] != gen {
+                            member.stamp[t2 as usize] = gen;
+                            work.push(t2);
+                        }
+                    }
+                }
+            } else if let Some(&p) = self.preset(t).iter().find(|&&p| m[p as usize] == 0) {
+                for &t2 in self.producers_of(p) {
+                    if member.stamp[t2 as usize] != gen {
+                        member.stamp[t2 as usize] = gen;
+                        work.push(t2);
+                    }
+                }
+            }
+        }
+        // Enabled ∩ stubborn, in ascending order (candidates are sorted).
+        for &t in cands.iter() {
+            if member.stamp[t as usize] == gen && self.is_enabled(m, t) {
+                out.push(t);
+            }
+        }
+    }
 }
 
 impl<L: Label> PetriNet<L> {
@@ -325,6 +442,28 @@ impl<L: Label> PetriNet<L> {
                 cursor[p.index()] += 1;
             }
         }
+        // Same trick for the producer adjacency, sourced from the give
+        // sets so self-loop places don't list their own observers.
+        let mut prod_count = vec![0u32; places];
+        for &q in &give {
+            prod_count[q as usize] += 1;
+        }
+        let mut prod_off = Vec::with_capacity(places + 1);
+        let mut acc = 0u32;
+        prod_off.push(0);
+        for &c in &prod_count {
+            acc += c;
+            prod_off.push(acc);
+        }
+        let mut cursor: Vec<u32> = prod_off[..places].to_vec();
+        let mut prod = vec![0u32; acc as usize];
+        for t in 0..transitions {
+            let (a, b) = (give_off[t] as usize, give_off[t + 1] as usize);
+            for &q in &give[a..b] {
+                prod[cursor[q as usize] as usize] = t as u32;
+                cursor[q as usize] += 1;
+            }
+        }
         CompiledNet {
             places,
             transitions,
@@ -336,6 +475,8 @@ impl<L: Label> PetriNet<L> {
             give,
             cons_off,
             cons,
+            prod_off,
+            prod,
             always,
             syms: self.transitions().map(|(_, tr)| tr.sym()).collect(),
         }
@@ -444,6 +585,60 @@ mod tests {
         assert_eq!(out, vec![2, OMEGA], "omega postset is not incremented");
         c.fire_omega_into(&[1, OMEGA - 1], 0, &mut out);
         assert_eq!(out, vec![0, OMEGA - 1], "finite counts clamp below omega");
+    }
+
+    #[test]
+    fn producer_adjacency_excludes_self_loops() {
+        let mut net: PetriNet<&str> = PetriNet::new();
+        let p = net.add_place("p");
+        let q = net.add_place("q");
+        net.add_transition([p], "a", [q]).unwrap();
+        net.add_transition([q], "b", [p, q]).unwrap(); // self-loop on q
+        let c = net.compile();
+        assert_eq!(c.producers_of(p.index() as u32), &[1]);
+        // "b" keeps q marked but cannot mark an unmarked q.
+        assert_eq!(c.producers_of(q.index() as u32), &[0]);
+    }
+
+    #[test]
+    fn stubborn_set_separates_independent_components() {
+        // Two disjoint 2-cycles: at any marking only one component's
+        // transition should be selected.
+        let mut net: PetriNet<&str> = PetriNet::new();
+        let a0 = net.add_place("a0");
+        let a1 = net.add_place("a1");
+        let b0 = net.add_place("b0");
+        let b1 = net.add_place("b1");
+        net.add_transition([a0], "fwd_a", [a1]).unwrap();
+        net.add_transition([a1], "bck_a", [a0]).unwrap();
+        net.add_transition([b0], "fwd_b", [b1]).unwrap();
+        net.add_transition([b1], "bck_b", [b0]).unwrap();
+        net.set_initial(a0, 1);
+        net.set_initial(b0, 1);
+        let c = net.compile();
+        let mut scratch = StubbornScratch::new(c.transition_count());
+        let mut out = Vec::new();
+        c.stubborn_enabled(&[1, 0, 1, 0], &[], &mut scratch, &mut out);
+        assert_eq!(out, vec![0], "only the first component is explored");
+        // Seeding the other component forces it into the set.
+        c.stubborn_enabled(&[1, 0, 1, 0], &[2], &mut scratch, &mut out);
+        assert_eq!(out, vec![0, 2]);
+        // A deadlock marking yields the empty set.
+        c.stubborn_enabled(&[0, 0, 0, 0], &[], &mut scratch, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn stubborn_set_closes_conflicts() {
+        // fork puts tokens in pa and pb; a, b, and both all contend.
+        let net = fig_like();
+        let c = net.compile();
+        let mut scratch = StubbornScratch::new(c.transition_count());
+        let mut out = Vec::new();
+        // pa and pb marked: "a" conflicts with "both" via pa, and "both"
+        // conflicts with "b" via pb — all three must be in the set.
+        c.stubborn_enabled(&[0, 1, 1, 0], &[], &mut scratch, &mut out);
+        assert_eq!(out, vec![1, 2, 3]);
     }
 
     #[test]

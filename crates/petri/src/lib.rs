@@ -83,7 +83,7 @@ pub use budget::{
     Bounded, Budget, Exhausted, Meter, Resource, Verdict, DEFAULT_MAX_STATES,
     DEFAULT_MAX_TRANSITIONS,
 };
-pub use compiled::{CandidateScratch, CompiledNet, OMEGA};
+pub use compiled::{CandidateScratch, CompiledNet, StubbornScratch, OMEGA};
 pub use coverability::{CoverabilityOutcome, CoverabilityTree};
 pub use dead::{dead_transitions_rg, dead_transitions_structural_mg, remove_dead};
 pub use error::PetriError;

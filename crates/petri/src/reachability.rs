@@ -27,12 +27,12 @@
 //! implementation the equivalence property suite differentiates against.
 
 use crate::budget::{Bounded, Budget, Meter};
-use crate::compiled::{CandidateScratch, CompiledNet};
+use crate::compiled::{CandidateScratch, CompiledNet, StubbornScratch};
 use crate::error::PetriError;
 use crate::graph::DiGraph;
 use crate::label::Label;
 use crate::marking::Marking;
-use crate::net::{PetriNet, TransitionId};
+use crate::net::{PetriNet, PlaceId, TransitionId};
 use crate::store::MarkingStore;
 use std::collections::HashMap;
 use std::fmt;
@@ -102,6 +102,13 @@ pub struct ReachabilityOptions {
     /// output is bit-identical to the sequential explorer's for every
     /// thread count. Defaults to `1`.
     pub threads: usize,
+    /// Opt into stubborn-set partial-order reduction. The reduced graph
+    /// contains **every deadlock marking** of the full graph but in
+    /// general fewer states and interleavings, so it is valid for
+    /// deadlock-style queries only — language, liveness, and safety must
+    /// explore unreduced. Forces sequential exploration (the sharded BFS
+    /// never runs reduced). Defaults to `false`.
+    pub stubborn: bool,
 }
 
 impl Default for ReachabilityOptions {
@@ -109,6 +116,7 @@ impl Default for ReachabilityOptions {
         ReachabilityOptions {
             max_states: crate::budget::DEFAULT_MAX_STATES,
             threads: 1,
+            stubborn: false,
         }
     }
 }
@@ -119,6 +127,7 @@ impl ReachabilityOptions {
         ReachabilityOptions {
             max_states,
             threads: 1,
+            stubborn: false,
         }
     }
 
@@ -127,15 +136,22 @@ impl ReachabilityOptions {
         self.threads = threads;
         self
     }
+
+    /// Returns the options with stubborn-set reduction toggled.
+    pub fn with_stubborn(mut self, stubborn: bool) -> Self {
+        self.stubborn = stubborn;
+        self
+    }
 }
 
 impl From<Budget> for ReachabilityOptions {
     /// Projects a [`Budget`] onto the options type (only the state cap is
-    /// representable; exploration stays sequential).
+    /// representable; exploration stays sequential and unreduced).
     fn from(b: Budget) -> Self {
         ReachabilityOptions {
             max_states: b.max_states,
             threads: 1,
+            stubborn: false,
         }
     }
 }
@@ -303,7 +319,9 @@ impl<L: Label> PetriNet<L> {
         options: &ReachabilityOptions,
     ) -> Result<ReachabilityGraph, PetriError> {
         let budget = Budget::states(options.max_states);
-        let built = if options.threads > 1 {
+        let built = if options.stubborn {
+            self.reachability_stubborn_bounded(&budget, &[])
+        } else if options.threads > 1 {
             self.reachability_bounded_parallel(&budget, options.threads)
         } else {
             self.reachability_bounded(&budget)
@@ -327,6 +345,33 @@ impl<L: Label> PetriNet<L> {
     /// missing outgoing edges.
     pub fn reachability_bounded(&self, budget: &Budget) -> Bounded<ReachabilityGraph> {
         explore_compiled(&self.compile(), self.initial_marking().as_slice(), budget)
+    }
+
+    /// Builds a **stubborn-set reduced** reachability graph breadth-first
+    /// under a [`Budget`].
+    ///
+    /// At every marking only a stubborn subset of the enabled transitions
+    /// is fired ([`CompiledNet::stubborn_enabled`]), which preserves:
+    ///
+    /// * **every deadlock marking** of the full graph, and
+    /// * every reachable valuation of the `watched` places — any
+    ///   transition touching a watched place is seeded into every
+    ///   stubborn set, so a predicate over `watched` holds somewhere in
+    ///   the full graph iff it holds somewhere in the reduced one (the
+    ///   attractor/up-set reachability argument). Witness markings for
+    ///   such a predicate are genuine but may differ from the full
+    ///   graph's.
+    ///
+    /// Everything else (state counts, languages, token bounds on
+    /// unwatched places, liveness) is generally under-approximated.
+    pub fn reachability_stubborn_bounded(
+        &self,
+        budget: &Budget,
+        watched: &[PlaceId],
+    ) -> Bounded<ReachabilityGraph> {
+        let compiled = self.compile();
+        let seeds = stubborn_seeds(&compiled, watched);
+        explore_stubborn(&compiled, self.initial_marking().as_slice(), budget, &seeds)
     }
 
     /// Builds the reachability graph with `threads` sharded workers.
@@ -491,6 +536,103 @@ fn explore_compiled(
     }
     // On early exit the offsets of unexpanded (and the partially
     // expanded) states still need closing so the CSR stays well-formed.
+    while edge_off.len() <= store.len() {
+        edge_off.push(edge_data.len());
+    }
+
+    meter.finish(ReachabilityGraph {
+        store,
+        edge_data,
+        edge_off,
+        initial: StateId(0),
+    })
+}
+
+// ----------------------------------------------------------------------
+// Stubborn-set reduced explorer
+// ----------------------------------------------------------------------
+
+/// Transitions adjacent to a watched place (take **or** give): the seed
+/// set forcing every stubborn set to contain all transitions that can
+/// change a watched valuation. Sorted ascending.
+fn stubborn_seeds(compiled: &CompiledNet, watched: &[PlaceId]) -> Vec<u32> {
+    if watched.is_empty() {
+        return Vec::new();
+    }
+    let mut mark = vec![false; compiled.place_count()];
+    for p in watched {
+        mark[p.index()] = true;
+    }
+    let mut seeds = Vec::new();
+    for t in 0..compiled.transition_count() as u32 {
+        let touches = compiled
+            .take_set(t)
+            .iter()
+            .chain(compiled.give_set(t))
+            .any(|&p| mark[p as usize]);
+        if touches {
+            seeds.push(t);
+        }
+    }
+    seeds
+}
+
+/// [`explore_compiled`] with the candidate set replaced by the stubborn
+/// filter; everything else (arena, delta hashing, meter accounting, CSR
+/// closing) is identical.
+fn explore_stubborn(
+    compiled: &CompiledNet,
+    m0: &[u32],
+    budget: &Budget,
+    seeds: &[u32],
+) -> Bounded<ReachabilityGraph> {
+    let mut meter = Meter::new(budget);
+    let stride = compiled.place_count();
+    let mut store = MarkingStore::new(stride);
+    store.intern(m0);
+    meter.take_state();
+
+    let mut edge_data: Vec<(TransitionId, StateId)> = Vec::new();
+    let mut edge_off: Vec<usize> = vec![0];
+    let mut cur: Vec<u32> = Vec::with_capacity(stride);
+    let mut cands: Vec<u32> = Vec::new();
+    let mut scratch = StubbornScratch::new(compiled.transition_count());
+
+    let mut frontier = 0usize;
+    'explore: while frontier < store.len() {
+        cur.clear();
+        cur.extend_from_slice(store.get(frontier));
+        let cur_hash = store.hash_of(frontier);
+        compiled.stubborn_enabled(&cur, seeds, &mut scratch, &mut cands);
+        for &t in &cands {
+            if !meter.take_transition() {
+                break 'explore;
+            }
+            let hash = compiled.apply_hashed(&mut cur, cur_hash, t);
+            debug_assert_eq!(hash, MarkingStore::hash_slice(&cur));
+            let found = store.find_hashed(&cur, hash);
+            let target = match found {
+                Some(id) => id,
+                None => {
+                    if !meter.take_state() {
+                        compiled.unapply(&mut cur, t);
+                        break 'explore;
+                    }
+                    match store.insert_new_hashed(&cur, hash) {
+                        Ok(id) => id,
+                        Err(_) => {
+                            compiled.unapply(&mut cur, t);
+                            break 'explore;
+                        }
+                    }
+                }
+            };
+            compiled.unapply(&mut cur, t);
+            edge_data.push((TransitionId::from_index(t as usize), StateId(target)));
+        }
+        edge_off.push(edge_data.len());
+        frontier += 1;
+    }
     while edge_off.len() <= store.len() {
         edge_off.push(edge_data.len());
     }

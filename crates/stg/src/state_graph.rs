@@ -13,7 +13,9 @@
 
 use crate::signal::{Edge, Signal, SignalDir, StgLabel};
 use crate::stg::Stg;
-use cpn_petri::{Bounded, Budget, CandidateScratch, Marking, MarkingStore, Meter, TransitionId};
+use cpn_petri::{
+    Bounded, Budget, CandidateScratch, Marking, MarkingStore, Meter, StubbornScratch, TransitionId,
+};
 use std::collections::{BTreeMap, BTreeSet};
 use std::error::Error;
 use std::fmt;
@@ -146,6 +148,34 @@ impl StateGraph {
         initial_values: &BTreeMap<Signal, bool>,
         budget: &Budget,
     ) -> Bounded<StateGraph> {
+        Self::build_inner(stg, initial_values, budget, false)
+    }
+
+    /// Stubborn-set state-graph construction for **deadlock-style**
+    /// queries, degrading gracefully like [`StateGraph::build_bounded`].
+    ///
+    /// Every signal-labeled or guarded transition is treated as visible
+    /// and seeds the stubborn set, so only the interleavings of
+    /// *unguarded dummy* transitions are reduced. The explored prefix is
+    /// deadlock-preserving at the net level; consistency/USC/CSC
+    /// violations found on it are definite, but their **absence is not
+    /// conclusive** — a state reachable only through a pruned dummy
+    /// interleaving may be missing. Use the full build for conclusive
+    /// negative answers.
+    pub fn build_stubborn_bounded(
+        stg: &Stg,
+        initial_values: &BTreeMap<Signal, bool>,
+        budget: &Budget,
+    ) -> Bounded<StateGraph> {
+        Self::build_inner(stg, initial_values, budget, true)
+    }
+
+    fn build_inner(
+        stg: &Stg,
+        initial_values: &BTreeMap<Signal, bool>,
+        budget: &Budget,
+        stubborn: bool,
+    ) -> Bounded<StateGraph> {
         let signals: Vec<Signal> = stg.signals().keys().cloned().collect();
         let dirs: Vec<SignalDir> = stg.signals().values().copied().collect();
         let index: BTreeMap<&Signal, usize> =
@@ -171,6 +201,17 @@ impl StateGraph {
         let mut violations = Vec::new();
 
         let mut scratch = CandidateScratch::new(compiled.transition_count());
+        // Stubborn mode: every signal-labeled or guarded transition is
+        // visible — encoding changes and guard reads must not be pruned.
+        let mut stub = stubborn.then(|| {
+            let seeds: Vec<u32> = (0..compiled.transition_count() as u32)
+                .filter(|&tu| {
+                    let t = TransitionId::from_index(tu as usize);
+                    !stg.net().label_of(t).is_dummy() || !stg.guard(t).is_true()
+                })
+                .collect();
+            (StubbornScratch::new(compiled.transition_count()), seeds)
+        });
         let mut cands: Vec<u32> = Vec::new();
         let mut cur: Vec<u32> = Vec::new();
         let mut next_m: Vec<u32> = Vec::new();
@@ -180,7 +221,12 @@ impl StateGraph {
             cur.clear();
             cur.extend_from_slice(store.get(frontier));
             let encoding = decode_bits(&cur[places..], signals.len());
-            compiled.enabled_candidates(&cur[..places], &mut scratch, &mut cands);
+            match stub.as_mut() {
+                Some((stub_scratch, seeds)) => {
+                    compiled.stubborn_enabled(&cur[..places], seeds, stub_scratch, &mut cands);
+                }
+                None => compiled.enabled_candidates(&cur[..places], &mut scratch, &mut cands),
+            }
             for &tu in &cands {
                 if !compiled.is_enabled(&cur[..places], tu) {
                     continue;
@@ -488,6 +534,74 @@ mod tests {
         let csc = sg.csc_violations(&stg);
         assert_eq!(csc.len(), 1);
         assert!(csc[0].conflicting_outputs.contains(&x));
+    }
+
+    #[test]
+    fn stubborn_build_matches_full_on_signal_only_nets() {
+        // Every transition is signal-labeled, so every transition seeds
+        // the stubborn set and the builds coincide exactly.
+        let stg = four_phase();
+        let full = StateGraph::build(&stg, &BTreeMap::new(), 1000).unwrap();
+        let Bounded::Complete(stub) =
+            StateGraph::build_stubborn_bounded(&stg, &BTreeMap::new(), &Budget::states(1000))
+        else {
+            panic!("budget not exhausted");
+        };
+        assert_eq!(stub.state_count(), full.state_count());
+        assert!(stub.is_consistent());
+        assert!(stub.usc_violations().is_empty());
+    }
+
+    #[test]
+    fn stubborn_build_prunes_independent_dummy_interleavings() {
+        // Two disjoint unguarded dummy cycles: the full graph is their
+        // 4-state product; the stubborn build explores one component.
+        let mut stg = Stg::new();
+        let a0 = stg.add_place("a0");
+        let a1 = stg.add_place("a1");
+        let b0 = stg.add_place("b0");
+        let b1 = stg.add_place("b1");
+        stg.add_dummy([a0], [a1]).unwrap();
+        stg.add_dummy([a1], [a0]).unwrap();
+        stg.add_dummy([b0], [b1]).unwrap();
+        stg.add_dummy([b1], [b0]).unwrap();
+        stg.set_initial(a0, 1);
+        stg.set_initial(b0, 1);
+
+        let full = StateGraph::build(&stg, &BTreeMap::new(), 1000).unwrap();
+        assert_eq!(full.state_count(), 4);
+        let Bounded::Complete(stub) =
+            StateGraph::build_stubborn_bounded(&stg, &BTreeMap::new(), &Budget::states(1000))
+        else {
+            panic!("budget not exhausted");
+        };
+        assert!(
+            stub.state_count() < full.state_count(),
+            "stubborn {} !< full {}",
+            stub.state_count(),
+            full.state_count()
+        );
+    }
+
+    #[test]
+    fn stubborn_build_still_finds_consistency_violation() {
+        // Violations reachable in the reduced graph are definite.
+        let mut stg = Stg::new();
+        let x = stg.add_signal("x", SignalDir::Output);
+        let p0 = stg.add_place("p0");
+        let p1 = stg.add_place("p1");
+        let p2 = stg.add_place("p2");
+        stg.add_signal_transition([p0], (x.clone(), Edge::Rise), [p1])
+            .unwrap();
+        stg.add_signal_transition([p1], (x, Edge::Rise), [p2])
+            .unwrap();
+        stg.set_initial(p0, 1);
+        let Bounded::Complete(sg) =
+            StateGraph::build_stubborn_bounded(&stg, &BTreeMap::new(), &Budget::states(1000))
+        else {
+            panic!("budget not exhausted");
+        };
+        assert_eq!(sg.consistency_violations().len(), 1);
     }
 
     #[test]

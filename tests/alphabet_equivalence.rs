@@ -21,11 +21,12 @@
 
 use cpn_core::{
     common_alphabet, hide_labels_bounded, hide_labels_bounded_legacy, parallel, project,
+    rename_injective,
 };
 use cpn_petri::{Budget, PetriNet};
 use cpn_testkit::{check, prop_assert, prop_assume, NetStrategy, PropFail, PropResult, RawNet};
 use cpn_trace::Language;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 const LABELS: [&str; 4] = ["a", "b", "c", "tau"];
 const DEPTH: usize = 3;
@@ -383,4 +384,174 @@ fn common_alphabet_resolves_across_interners() {
     n2.set_initial(q, 1);
     assert_eq!(common_alphabet(&n1, &n2), BTreeSet::from(["a"]));
     assert_eq!(common_alphabet(&n2, &n1), BTreeSet::from(["a"]));
+}
+
+// ---------------------------------------------------------------------
+// Named regressions: injective renaming and cross-interner equality
+// edge cases — colliding labels, empty alphabets, non-ASCII labels.
+// ---------------------------------------------------------------------
+
+fn ab_cycle() -> PetriNet<&'static str> {
+    let mut net: PetriNet<&str> = PetriNet::new();
+    let p = net.add_place("p");
+    let q = net.add_place("q");
+    net.add_transition([p], "a", [q]).unwrap();
+    net.add_transition([q], "b", [p]).unwrap();
+    net.set_initial(p, 1);
+    net
+}
+
+#[test]
+fn rename_injective_rejects_collapsing_maps() {
+    let net = ab_cycle();
+
+    // Two alphabet keys funnelled onto one value collapse {a, b}.
+    let err = rename_injective(&net, &BTreeMap::from([("a", "x"), ("b", "x")]))
+        .expect_err("a and b both map to x");
+    assert!(
+        matches!(&err, cpn_petri::PetriError::Precondition(m) if m.contains('x')),
+        "wrong error: {err}"
+    );
+
+    // A value colliding with an alphabet label the map leaves fixed is
+    // the sneaky collapse: {a → b} merges a into the existing b.
+    let err = rename_injective(&net, &BTreeMap::from([("a", "b")]))
+        .expect_err("a maps onto the unrenamed b");
+    assert!(
+        matches!(&err, cpn_petri::PetriError::Precondition(m) if m.contains('b')),
+        "wrong error: {err}"
+    );
+
+    // A swap is injective: both labels move, nothing merges. The traces
+    // are exactly the originals with the two labels exchanged.
+    let swapped = rename_injective(&net, &BTreeMap::from([("a", "b"), ("b", "a")])).unwrap();
+    let l = lang(&net, DEPTH).unwrap();
+    let ls = lang(&swapped, DEPTH).unwrap();
+    let reference: BTreeSet<Vec<&'static str>> = label_traces(&l)
+        .into_iter()
+        .map(|t| {
+            t.into_iter()
+                .map(|x| match x {
+                    "a" => "b",
+                    "b" => "a",
+                    other => other,
+                })
+                .collect()
+        })
+        .collect();
+    assert_eq!(label_traces(&ls), reference, "swap is not a pure relabel");
+
+    // Keys outside the alphabet rename nothing and never collide — even
+    // when their value is an existing label.
+    let noop = rename_injective(&net, &BTreeMap::from([("z", "b")])).unwrap();
+    assert_eq!(lang(&noop, DEPTH).unwrap(), l, "out-of-alphabet key acted");
+
+    // Renaming onto a fresh label is always fine and keeps the traces.
+    let fresh = rename_injective(&net, &BTreeMap::from([("a", "z")])).unwrap();
+    assert!(fresh.alphabet().contains(&"z") && !fresh.alphabet().contains(&"a"));
+}
+
+#[test]
+fn rename_injective_round_trips_non_ascii_labels() {
+    // Nothing in the interner or the rename path may assume ASCII or
+    // single-byte labels.
+    let mut net: PetriNet<String> = PetriNet::new();
+    let p = net.add_place("π");
+    let q = net.add_place("ρ");
+    net.add_transition([p], "σ↑".to_owned(), [q]).unwrap();
+    net.add_transition([q], "τ₀".to_owned(), [p]).unwrap();
+    net.set_initial(p, 1);
+
+    // Collision detection sees multi-byte labels like any other.
+    let err = rename_injective(&net, &BTreeMap::from([("σ↑".to_owned(), "τ₀".to_owned())]))
+        .expect_err("σ↑ maps onto the unrenamed τ₀");
+    assert!(
+        matches!(&err, cpn_petri::PetriError::Precondition(m) if m.contains("τ₀")),
+        "wrong error: {err}"
+    );
+
+    // There and back again: the round trip restores the exact language
+    // even though the final interner numbered the labels afresh.
+    let there =
+        rename_injective(&net, &BTreeMap::from([("σ↑".to_owned(), "σ↓".to_owned())])).unwrap();
+    assert!(there.alphabet().contains("σ↓"));
+    let back = rename_injective(
+        &there,
+        &BTreeMap::from([("σ↓".to_owned(), "σ↑".to_owned())]),
+    )
+    .unwrap();
+    let l0 = Language::from_net(&net, DEPTH, TRACE_BUDGET).unwrap();
+    let l2 = Language::from_net(&back, DEPTH, TRACE_BUDGET).unwrap();
+    assert_eq!(l0, l2, "rename round trip changed the language");
+}
+
+#[test]
+fn language_equality_tracks_alphabets_not_numbering() {
+    // Numbering alone never distinguishes: the reversed rebuild interns
+    // the same labels in the opposite order.
+    let net = ab_cycle();
+    let l = lang(&net, DEPTH).unwrap();
+    let lr = lang(&rebuilt_reversed(&net), DEPTH).unwrap();
+    assert_eq!(l, lr, "symbol numbering leaked into equality");
+    // But the interners themselves are order-sensitive by design.
+    assert!(
+        net.interner().get(&"a") != rebuilt_reversed(&net).interner().get(&"a"),
+        "reversed rebuild failed to renumber"
+    );
+
+    // Alphabets do distinguish, even with identical trace sets: a dead
+    // transition contributes its label to the alphabet and nothing else.
+    let mut with_dead = ab_cycle();
+    let dead = with_dead.add_place("dead");
+    with_dead.add_transition([dead], "c", [dead]).unwrap();
+    let ld = lang(&with_dead, DEPTH).unwrap();
+    assert_eq!(
+        label_traces(&ld),
+        label_traces(&l),
+        "dead transition fired somehow"
+    );
+    assert!(l != ld, "alphabet difference {{c}} must break equality");
+}
+
+#[test]
+fn empty_alphabet_languages_compare_equal() {
+    // Transition-free nets have the one-trace language {ε} over an empty
+    // alphabet — regardless of place structure or interner contents.
+    let mut n1: PetriNet<&str> = PetriNet::new();
+    let p = n1.add_place("p");
+    n1.set_initial(p, 1);
+    let mut n2: PetriNet<&str> = PetriNet::new();
+    n2.add_place("x");
+    n2.add_place("y");
+    // Interned but never declared: the interner is non-empty while the
+    // alphabet stays empty. Equality must look at the alphabet.
+    n2.intern_label(&"ghost");
+
+    let l1 = lang(&n1, DEPTH).unwrap();
+    let l2 = lang(&n2, DEPTH).unwrap();
+    assert_eq!(label_traces(&l1), BTreeSet::from([Vec::new()]));
+    assert_eq!(l1, l2, "empty-alphabet languages diverged");
+    assert!(l1.alphabet().is_empty() && l2.alphabet().is_empty());
+
+    // Hiding or projecting nothing on an empty language is the identity.
+    assert_eq!(l1.hide(&BTreeSet::new()), l1);
+    assert_eq!(l1.project(&BTreeSet::new()), l1);
+}
+
+#[test]
+fn alpha_set_equality_ignores_capacity() {
+    use cpn_petri::{AlphaSet, Sym};
+    // Two sets holding {0, 3}, one built after touching symbol 131 (three
+    // words of backing storage), one never grown past a single word.
+    let mut small = AlphaSet::new();
+    small.insert(Sym::from_index(0));
+    small.insert(Sym::from_index(3));
+    let mut big = AlphaSet::new();
+    big.insert(Sym::from_index(131));
+    big.insert(Sym::from_index(0));
+    big.insert(Sym::from_index(3));
+    assert!(small != big);
+    assert!(big.remove(Sym::from_index(131)), "131 was inserted");
+    assert_eq!(small, big, "trailing zero words leaked into equality");
+    assert_eq!(small.len(), 2);
 }

@@ -190,6 +190,110 @@ fn partial_languages_are_prefixes_of_complete_ones() {
     );
 }
 
+/// Structural-and-semantic net equality that does not depend on interner
+/// layout: the symbolized rebuild clones the original's interner while
+/// the generic reference re-interns from scratch, so raw `Sym` values
+/// may differ even when the nets are the same.
+fn assert_net_equiv<L: cpn::petri::Label + std::fmt::Debug>(
+    a: &cpn::petri::PetriNet<L>,
+    b: &cpn::petri::PetriNet<L>,
+    what: &str,
+) {
+    assert_eq!(a.place_count(), b.place_count(), "{what}: place count");
+    let (ma, mb) = (a.initial_marking(), b.initial_marking());
+    for ((pa, la), (pb, lb)) in a.places().zip(b.places()) {
+        assert_eq!(la.name(), lb.name(), "{what}: place name");
+        assert_eq!(ma.tokens(pa), mb.tokens(pb), "{what}: initial tokens");
+    }
+    assert_eq!(
+        a.transition_count(),
+        b.transition_count(),
+        "{what}: transition count"
+    );
+    for ((ta, tra), (tb, trb)) in a.transitions().zip(b.transitions()) {
+        assert_eq!(a.label_of(ta), b.label_of(tb), "{what}: label");
+        assert_eq!(tra.preset(), trb.preset(), "{what}: preset");
+        assert_eq!(tra.postset(), trb.postset(), "{what}: postset");
+    }
+    assert_eq!(a.alphabet(), b.alphabet(), "{what}: alphabet");
+}
+
+fn assert_stg_equiv(a: &cpn::stg::Stg, b: &cpn::stg::Stg, what: &str) {
+    assert_net_equiv(a.net(), b.net(), what);
+    assert_eq!(a.signals(), b.signals(), "{what}: signal declarations");
+    for (t, _) in a.net().transitions() {
+        assert_eq!(a.guard(t), b.guard(t), "{what}: guard of {t:?}");
+    }
+}
+
+#[test]
+fn symbolized_injectors_match_generic_reference() {
+    // The symbolized rebuild path (interner-sharing, `Sym`-keyed scans)
+    // must be observably identical to the retired generic path for the
+    // same (seed, class, trial): same applicability, same mutation site,
+    // same mutant. The generic path is kept under `fault::reference`
+    // exactly as this differential oracle.
+    use cpn::sim::fault::reference;
+
+    let plan = FaultPlan::new(0xFA03);
+    let stg_models = [
+        ("sender", cpn::stg::protocol::sender()),
+        ("translator", cpn::stg::protocol::translator()),
+        ("receiver", cpn::stg::protocol::receiver()),
+    ];
+    for (name, stg) in &stg_models {
+        for trial in 0..8u64 {
+            for class in [FaultClass::EdgeFlip, FaultClass::StuckWire] {
+                let new = plan.mutate_stg(class, stg, trial);
+                let mut rng = plan.rng_for(class, trial);
+                let old = match class {
+                    FaultClass::EdgeFlip => reference::inject_edge_flip(stg, &mut rng),
+                    _ => reference::inject_stuck_wire(stg, &mut rng),
+                };
+                match (new, old) {
+                    (Some((sn, fn_)), Some((so, fo))) => {
+                        assert_eq!(fn_.description, fo.description, "{name}/{class}/{trial}");
+                        assert_stg_equiv(&sn, &so, &format!("{name}/{class}/{trial}"));
+                    }
+                    (None, None) => {}
+                    (n, o) => panic!(
+                        "{name}/{class}/{trial}: applicability drifted (new {:?}, old {:?})",
+                        n.is_some(),
+                        o.is_some()
+                    ),
+                }
+            }
+        }
+    }
+
+    // Net-level arc classes over live-safe rings of several sizes.
+    for n in 2..7usize {
+        let ring = cpn_testkit::RawRing {
+            n,
+            marks: (0..n).map(|i| u32::from(i == 0)).collect(),
+        };
+        let net = ring.build();
+        for trial in 0..8u64 {
+            for class in [FaultClass::ArcDrop, FaultClass::ArcDup] {
+                let new = plan.mutate_net(class, &net, trial);
+                let mut rng = plan.rng_for(class, trial);
+                let old = match class {
+                    FaultClass::ArcDrop => reference::inject_arc_drop(&net, &mut rng),
+                    _ => reference::inject_arc_dup(&net, &mut rng),
+                };
+                match (new, old) {
+                    (Some((nn, fn_)), Some((no, fo))) => {
+                        assert_eq!(fn_.description, fo.description, "ring{n}/{class}/{trial}");
+                        assert_net_equiv(&nn, &no, &format!("ring{n}/{class}/{trial}"));
+                    }
+                    (None, None) => {}
+                    _ => panic!("ring{n}/{class}/{trial}: applicability drifted"),
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn unknown_verdict_reports_spent_budget() {
     // Exhaustion statistics are part of the degradation contract: an

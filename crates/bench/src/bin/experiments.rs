@@ -21,6 +21,12 @@
 //! of composed CIP chains) that CI uploads as artifacts.
 //! `--quick` shrinks the sweeps for smoke runs; the default reaches the
 //! 2^20-state acceptance workload.
+//!
+//! `serve` (also never part of the default set) boots an in-process
+//! `cpn-serve` daemon over loopback TCP and measures cached-compile
+//! round-trip latency/throughput, deadline-bounded degradation under an
+//! explosive request with concurrent small ones, and drain time; with
+//! `--json` it writes `BENCH_serve.json`.
 
 use cpn_bench::{cycle_net, fig2_left, fig2_right, handshake_ring, tau_chain};
 use cpn_petri::Label;
@@ -1239,6 +1245,165 @@ fn bench_reduce(quick: bool, json: bool) {
     }
 }
 
+/// `serve`: boot an in-process `cpn-serve` daemon on loopback TCP and
+/// measure the service-level numbers the robustness work claims —
+/// cached-compile round-trip latency and throughput, deadline-bounded
+/// degradation of an explosive request while small requests keep
+/// completing on the other workers, and graceful-drain time.
+fn bench_serve(quick: bool, json: bool) {
+    use cpn_serve::{Client, Endpoint, Request, Response, Server, ServerConfig};
+    use std::time::{Duration, Instant};
+
+    let small_net = r#"net small {
+    places { p* q }
+    transition "a" { pre: p; post: q }
+    transition "b" { pre: q; post: p }
+}"#;
+    // `toggles` independent flip-flops: 2^toggles reachable states,
+    // far beyond what a 50 ms deadline can finish.
+    let toggles = if quick { 18usize } else { 22 };
+    let mut boom_doc = String::from("net boom {\n    places {");
+    for i in 0..toggles {
+        boom_doc.push_str(&format!(" a{i}* b{i}"));
+    }
+    boom_doc.push_str(" }\n");
+    for i in 0..toggles {
+        boom_doc.push_str(&format!(
+            "    transition \"up{i}\" {{ pre: a{i}; post: b{i} }}\n"
+        ));
+        boom_doc.push_str(&format!(
+            "    transition \"down{i}\" {{ pre: b{i}; post: a{i} }}\n"
+        ));
+    }
+    boom_doc.push('}');
+
+    let config = ServerConfig {
+        workers: 4,
+        queue_depth: 16,
+        default_deadline: Duration::from_secs(10),
+        drain_grace: Duration::from_secs(2),
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(&[Endpoint::Tcp("127.0.0.1:0".into())], config).expect("bind");
+    let ep = server.local_endpoints().expect("endpoints").remove(0);
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run());
+
+    let reach = |deadline_ms| Request::Reach {
+        net: "small".into(),
+        max_states: 1_000,
+        deadline_ms,
+        doc: small_net.into(),
+    };
+    let requests = if quick { 200usize } else { 2_000 };
+    let mut client = Client::connect(&ep).expect("connect");
+    client
+        .request(&reach(None))
+        .expect("warm the compile cache");
+
+    let started = Instant::now();
+    let mut latencies = Vec::with_capacity(requests);
+    for _ in 0..requests {
+        let t = Instant::now();
+        match client.request(&reach(None)).expect("reach") {
+            Response::Result(s) => assert!(s.is_complete()),
+            other => panic!("unexpected response: {other:?}"),
+        }
+        latencies.push(t.elapsed().as_secs_f64());
+    }
+    let round_trip_seconds = started.elapsed().as_secs_f64();
+    latencies.sort_by(f64::total_cmp);
+    let rps = requests as f64 / round_trip_seconds;
+    let p50_us = latencies[requests / 2] * 1e6;
+    let p99_us = latencies[(requests * 99) / 100] * 1e6;
+
+    let boom_ep = ep.clone();
+    let boom = std::thread::spawn(move || {
+        let mut c = Client::connect(&boom_ep).expect("connect");
+        let t = Instant::now();
+        let resp = c
+            .request(&Request::Reach {
+                net: "boom".into(),
+                max_states: 500_000_000,
+                deadline_ms: Some(50),
+                doc: boom_doc,
+            })
+            .expect("explosive reach");
+        (resp, t.elapsed().as_secs_f64())
+    });
+    let mut concurrent_small: Vec<f64> = Vec::new();
+    for _ in 0..20 {
+        let t = Instant::now();
+        match client.request(&reach(Some(5_000))).expect("small reach") {
+            Response::Result(s) => assert!(s.is_complete()),
+            other => panic!("unexpected response: {other:?}"),
+        }
+        concurrent_small.push(t.elapsed().as_secs_f64());
+    }
+    let (boom_resp, boom_seconds) = boom.join().expect("boom thread");
+    let (boom_states, boom_stopped) = match boom_resp {
+        Response::Result(s) => (s.states, s.stopped.unwrap_or_default()),
+        other => panic!("expected a partial Result, got {other:?}"),
+    };
+    let worst_small_ms = concurrent_small.iter().copied().fold(0.0f64, f64::max) * 1e3;
+
+    drop(client);
+    let drain_started = Instant::now();
+    handle.begin_drain();
+    let stats = join.join().expect("server run");
+    let drain_seconds = drain_started.elapsed().as_secs_f64();
+
+    println!(
+        "serve: {requests} cached reach round-trips in {round_trip_seconds:.3} s \
+         ({rps:.0} req/s, p50 {p50_us:.0} us, p99 {p99_us:.0} us)"
+    );
+    println!(
+        "serve: explosive 2^{toggles}-state net under a 50 ms deadline -> {boom_states} \
+         states (stopped={boom_stopped}) in {boom_seconds:.3} s; worst concurrent small \
+         round-trip {worst_small_ms:.1} ms"
+    );
+    println!(
+        "serve: drain {drain_seconds:.3} s; served={} shed={} panics={} \
+         cache_hits={} cache_misses={}",
+        stats.served, stats.shed, stats.panics, stats.cache_hits, stats.cache_misses
+    );
+
+    if json {
+        let out = format!(
+            "{{\n  \"bench\": \"serve\",\n  \"mode\": \"{}\",\n  \
+             \"round_trip\": {{\"requests\": {}, \"seconds\": {:.4}, \
+             \"requests_per_second\": {:.0}, \"p50_us\": {:.1}, \"p99_us\": {:.1}}},\n  \
+             \"deadline_degradation\": {{\"toggles\": {}, \"deadline_ms\": 50, \
+             \"partial_states\": {}, \"stopped\": \"{}\", \"seconds\": {:.4}, \
+             \"worst_concurrent_small_ms\": {:.2}}},\n  \
+             \"drain_seconds\": {:.4},\n  \
+             \"stats\": {{\"accepted\": {}, \"served\": {}, \"shed\": {}, \"panics\": {}, \
+             \"cache_hits\": {}, \"cache_misses\": {}, \"workers_joined\": {}}}\n}}\n",
+            if quick { "quick" } else { "full" },
+            requests,
+            round_trip_seconds,
+            rps,
+            p50_us,
+            p99_us,
+            toggles,
+            boom_states,
+            boom_stopped,
+            boom_seconds,
+            worst_small_ms,
+            drain_seconds,
+            stats.accepted,
+            stats.served,
+            stats.shed,
+            stats.panics,
+            stats.cache_hits,
+            stats.cache_misses,
+            stats.workers_joined,
+        );
+        std::fs::write("BENCH_serve.json", &out).expect("write BENCH_serve.json");
+        println!("wrote BENCH_serve.json");
+    }
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -1250,6 +1415,10 @@ fn main() {
         bench_hide(quick, json);
         bench_alphabet(quick, json);
         bench_reduce(quick, json);
+        return;
+    }
+    if args.iter().any(|a| a == "serve") {
+        bench_serve(quick, json);
         return;
     }
     let run = |id: &str| args.is_empty() || args.iter().any(|a| a == id);

@@ -75,7 +75,7 @@
 //! it). [`reduce_for_analysis`] is the net-level wrapper.
 
 use cpn_petri::{
-    AlphaSet, Interner, Label, Meter, PetriError, PetriNet, PlaceId, Sym, TransitionId,
+    AlphaSet, Budget, Interner, Label, Meter, PetriError, PetriNet, PlaceId, Sym, TransitionId,
 };
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -660,8 +660,22 @@ impl<L: Label> NetEditor<L> {
 
     /// Runs all three reduction rules to a joint fixpoint.
     pub fn reduce(&mut self) -> ReductionStats {
+        let mut meter = Meter::new(&Budget::unlimited());
+        self.reduce_metered(&mut meter)
+    }
+
+    /// [`reduce`](Self::reduce) under a meter: the fixpoint loop polls
+    /// the meter's deadline/cancel state between rule passes and stops
+    /// early (returning the statistics so far, on a net that is still
+    /// well-formed — every individual pass is atomic) once the meter
+    /// stops. The resource caps do not bound rule applications; only
+    /// the interrupt axes (deadline, cancellation) apply here.
+    pub fn reduce_metered(&mut self, meter: &mut Meter) -> ReductionStats {
         let mut stats = ReductionStats::default();
         loop {
+            if meter.poll_interrupts() {
+                return stats;
+            }
             let d = self.dedup_transitions();
             let r = self.remove_redundant_places();
             let (s, iso) = self.prune_stranded();
@@ -868,8 +882,20 @@ impl<L: Label> NetEditor<L> {
     /// Unlike [`NetEditor::reduce`] the result is **not** trace-exact on
     /// the full alphabet: internal transitions disappear.
     pub fn reduce_with(&mut self, keep: &AlphaSet) -> ReductionStats {
+        let mut meter = Meter::new(&Budget::unlimited());
+        self.reduce_with_metered(keep, &mut meter)
+    }
+
+    /// [`reduce_with`](Self::reduce_with) under a meter: polls the
+    /// meter's deadline/cancel state between fixpoint passes and
+    /// returns early (net still well-formed, stats partial) once it
+    /// stops — see [`reduce_metered`](Self::reduce_metered).
+    pub fn reduce_with_metered(&mut self, keep: &AlphaSet, meter: &mut Meter) -> ReductionStats {
         let mut stats = ReductionStats::default();
         loop {
+            if meter.poll_interrupts() {
+                return stats;
+            }
             let d = self.dedup_transitions();
             let r = self.remove_redundant_places();
             let (s, iso) = self.prune_stranded();

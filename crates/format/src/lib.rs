@@ -36,5 +36,5 @@ pub mod lexer;
 pub mod parser;
 pub mod writer;
 
-pub use parser::{parse, Document, ParseError};
+pub use parser::{parse, parse_with_limits, Document, ParseError, ParseErrorKind, ParseLimits};
 pub use writer::{write_document, write_net, write_stg};

@@ -16,6 +16,51 @@ pub struct Document {
     pub stgs: Vec<(String, Stg)>,
 }
 
+/// The broad class of a [`ParseError`], so resource-limit rejections
+/// (which a caller may want to answer differently from plain syntax
+/// errors, e.g. a server shedding an adversarial document) are typed
+/// rather than string-matched.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum ParseErrorKind {
+    /// Malformed input (lexing or grammar).
+    #[default]
+    Syntax,
+    /// Brace nesting exceeded [`ParseLimits::max_depth`].
+    NestingTooDeep,
+    /// The document exceeded a size cap ([`ParseLimits::max_input_bytes`]
+    /// or [`ParseLimits::max_tokens`]).
+    InputTooLarge,
+}
+
+/// Resource caps applied while parsing untrusted `.cpn` documents.
+///
+/// The grammar itself is non-recursive, so the depth cap is a guard
+/// rail for future grammar growth and for adversarial brace floods; the
+/// size caps bound memory spent on hostile inputs before any net is
+/// built. [`parse`] uses `ParseLimits::default()`; callers facing the
+/// network (the `cpn-serve` daemon) pass tighter ones via
+/// [`parse_with_limits`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParseLimits {
+    /// Maximum input size in bytes (default 64 MiB).
+    pub max_input_bytes: usize,
+    /// Maximum number of lexed tokens (default 8M).
+    pub max_tokens: usize,
+    /// Maximum brace-nesting depth (default 64).
+    pub max_depth: usize,
+}
+
+impl Default for ParseLimits {
+    fn default() -> Self {
+        ParseLimits {
+            max_input_bytes: 64 << 20,
+            max_tokens: 8_000_000,
+            max_depth: 64,
+        }
+    }
+}
+
 /// A parse error with source location.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ParseError {
@@ -23,6 +68,8 @@ pub struct ParseError {
     pub message: String,
     /// 1-based source line (0 for end-of-input).
     pub line: usize,
+    /// The broad error class (syntax vs. resource limits).
+    pub kind: ParseErrorKind,
 }
 
 impl fmt::Display for ParseError {
@@ -38,6 +85,7 @@ impl From<LexError> for ParseError {
         ParseError {
             message: e.message,
             line: e.line,
+            kind: ParseErrorKind::Syntax,
         }
     }
 }
@@ -45,6 +93,8 @@ impl From<LexError> for ParseError {
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    depth: usize,
+    max_depth: usize,
 }
 
 impl Parser {
@@ -66,13 +116,40 @@ impl Parser {
         ParseError {
             message: message.into(),
             line: self.line(),
+            kind: ParseErrorKind::Syntax,
         }
+    }
+
+    /// Tracks brace depth on every consumed `{`/`}`; exceeding the cap
+    /// is a typed [`ParseErrorKind::NestingTooDeep`] error rather than
+    /// unbounded work (or, were the grammar ever to become recursive, a
+    /// stack overflow).
+    fn note_brace(&mut self, c: char) -> Result<(), ParseError> {
+        match c {
+            '{' => {
+                self.depth += 1;
+                if self.depth > self.max_depth {
+                    return Err(ParseError {
+                        message: format!("brace nesting exceeds depth limit {}", self.max_depth),
+                        line: self.tokens.get(self.pos - 1).map_or(0, |t| t.line),
+                        kind: ParseErrorKind::NestingTooDeep,
+                    });
+                }
+            }
+            '}' => self.depth = self.depth.saturating_sub(1),
+            _ => {}
+        }
+        Ok(())
     }
 
     fn expect_punct(&mut self, c: char) -> Result<(), ParseError> {
         match self.bump() {
-            Some(TokenKind::Punct(p)) if p == c => Ok(()),
+            Some(TokenKind::Punct(p)) if p == c => {
+                self.note_brace(c)?;
+                Ok(())
+            }
             other => Err(ParseError {
+                kind: ParseErrorKind::Syntax,
                 message: format!(
                     "expected `{c}`, found {}",
                     other.map_or("end of input".to_owned(), |t| t.to_string())
@@ -86,6 +163,7 @@ impl Parser {
         match self.bump() {
             Some(TokenKind::Ident(s)) => Ok(s),
             other => Err(ParseError {
+                kind: ParseErrorKind::Syntax,
                 message: format!(
                     "expected identifier, found {}",
                     other.map_or("end of input".to_owned(), |t| t.to_string())
@@ -102,6 +180,7 @@ impl Parser {
             Ok(())
         } else {
             Err(ParseError {
+                kind: ParseErrorKind::Syntax,
                 message: format!("expected `{kw}`, found `{got}`"),
                 line,
             })
@@ -111,6 +190,14 @@ impl Parser {
     fn eat_punct(&mut self, c: char) -> bool {
         if self.peek() == Some(&TokenKind::Punct(c)) {
             self.pos += 1;
+            // Depth cap violations surface on the next `expect_punct`;
+            // `eat` sites only ever consume closing braces or one
+            // opening brace per item, so only the counter matters here.
+            if c == '{' {
+                self.depth += 1;
+            } else if c == '}' {
+                self.depth = self.depth.saturating_sub(1);
+            }
             true
         } else {
             false
@@ -142,6 +229,7 @@ impl Parser {
             let name = self.expect_ident()?;
             if map.contains_key(&name) {
                 return Err(ParseError {
+                    kind: ParseErrorKind::Syntax,
                     message: format!("duplicate place `{name}`"),
                     line,
                 });
@@ -176,6 +264,7 @@ impl Parser {
             let line = self.line();
             let name = self.expect_ident()?;
             pre.push(*places.get(&name).ok_or(ParseError {
+                kind: ParseErrorKind::Syntax,
                 message: format!("unknown place `{name}`"),
                 line,
             })?);
@@ -188,6 +277,7 @@ impl Parser {
             let line = self.line();
             let name = self.expect_ident()?;
             post.push(*places.get(&name).ok_or(ParseError {
+                kind: ParseErrorKind::Syntax,
                 message: format!("unknown place `{name}`"),
                 line,
             })?);
@@ -215,6 +305,7 @@ impl Parser {
                 Some(TokenKind::Str(s)) => s,
                 other => {
                     return Err(ParseError {
+                        kind: ParseErrorKind::Syntax,
                         message: format!(
                             "expected quoted label, found {}",
                             other.map_or("end of input".to_owned(), |t| t.to_string())
@@ -226,6 +317,7 @@ impl Parser {
             let (pre, post) = self.parse_flows(&places)?;
             net.add_transition(pre, label, post)
                 .map_err(|e| ParseError {
+                    kind: ParseErrorKind::Syntax,
                     message: e.to_string(),
                     line,
                 })?;
@@ -236,11 +328,13 @@ impl Parser {
     fn parse_edge_suffix(&mut self) -> Result<Edge, ParseError> {
         match self.bump() {
             Some(TokenKind::Punct(c)) => Edge::from_suffix(c).ok_or(ParseError {
+                kind: ParseErrorKind::Syntax,
                 message: format!("`{c}` is not a signal edge"),
                 line: self.tokens.get(self.pos - 1).map_or(0, |t| t.line),
             }),
             // `=` is lexed as Punct('='), handled above; nothing else fits.
             other => Err(ParseError {
+                kind: ParseErrorKind::Syntax,
                 message: format!(
                     "expected signal edge suffix, found {}",
                     other.map_or("end of input".to_owned(), |t| t.to_string())
@@ -262,6 +356,7 @@ impl Parser {
                 Some(TokenKind::Number(1)) => true,
                 other => {
                     return Err(ParseError {
+                        kind: ParseErrorKind::Syntax,
                         message: format!(
                             "guard value must be 0 or 1, found {}",
                             other.map_or("end of input".to_owned(), |t| t.to_string())
@@ -299,6 +394,7 @@ impl Parser {
                 let line = self.line();
                 let sig = self.expect_ident()?;
                 stg.try_add_signal(&sig, dir).map_err(|e| ParseError {
+                    kind: ParseErrorKind::Syntax,
                     message: e.to_string(),
                     line,
                 })?;
@@ -322,6 +418,7 @@ impl Parser {
             let tid = if self.eat_keyword("dummy") {
                 let (pre, post) = self.parse_flows(&places)?;
                 stg.add_dummy(pre, post).map_err(|e| ParseError {
+                    kind: ParseErrorKind::Syntax,
                     message: e.to_string(),
                     line,
                 })?
@@ -332,6 +429,7 @@ impl Parser {
                 let (pre, post) = self.parse_flows(&places)?;
                 stg.add_signal_transition(pre, (Signal::new(sig), edge), post)
                     .map_err(|e| ParseError {
+                        kind: ParseErrorKind::Syntax,
                         message: e.to_string(),
                         line,
                     })?
@@ -362,8 +460,68 @@ impl Parser {
 /// # Ok::<(), cpn_format::ParseError>(())
 /// ```
 pub fn parse(input: &str) -> Result<Document, ParseError> {
+    parse_with_limits(input, &ParseLimits::default())
+}
+
+/// [`parse`] with explicit resource caps for untrusted input.
+///
+/// # Errors
+///
+/// [`ParseError`] with [`ParseErrorKind::InputTooLarge`] /
+/// [`ParseErrorKind::NestingTooDeep`] when a cap trips, or
+/// [`ParseErrorKind::Syntax`] on malformed input. Never panics and
+/// never recurses on input data, whatever the bytes.
+pub fn parse_with_limits(input: &str, limits: &ParseLimits) -> Result<Document, ParseError> {
+    if input.len() > limits.max_input_bytes {
+        return Err(ParseError {
+            message: format!(
+                "document is {} bytes; the limit is {}",
+                input.len(),
+                limits.max_input_bytes
+            ),
+            line: 0,
+            kind: ParseErrorKind::InputTooLarge,
+        });
+    }
     let tokens = lex(input)?;
-    let mut p = Parser { tokens, pos: 0 };
+    if tokens.len() > limits.max_tokens {
+        return Err(ParseError {
+            message: format!(
+                "document has {} tokens; the limit is {}",
+                tokens.len(),
+                limits.max_tokens
+            ),
+            line: 0,
+            kind: ParseErrorKind::InputTooLarge,
+        });
+    }
+    // Brace-depth pre-scan: the grammar is flat, so any brace run past
+    // the cap is adversarial; rejecting here (rather than only inside
+    // the descent, which bails on the grammar error first) guarantees
+    // the typed error regardless of which production trips.
+    let mut depth = 0usize;
+    for t in &tokens {
+        match t.kind {
+            TokenKind::Punct('{') => {
+                depth += 1;
+                if depth > limits.max_depth {
+                    return Err(ParseError {
+                        message: format!("brace nesting exceeds depth limit {}", limits.max_depth),
+                        line: t.line,
+                        kind: ParseErrorKind::NestingTooDeep,
+                    });
+                }
+            }
+            TokenKind::Punct('}') => depth = depth.saturating_sub(1),
+            _ => {}
+        }
+    }
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        depth: 0,
+        max_depth: limits.max_depth,
+    };
     let mut doc = Document::default();
     while p.peek().is_some() {
         if p.eat_keyword("net") {
@@ -476,5 +634,59 @@ mod tests {
     fn signal_list_declaration() {
         let doc = parse("stg s { input a b c; places { p* } }").unwrap();
         assert_eq!(doc.stgs[0].1.signals().len(), 3);
+    }
+
+    #[test]
+    fn input_byte_cap_reports_typed_error() {
+        let limits = ParseLimits {
+            max_input_bytes: 16,
+            ..ParseLimits::default()
+        };
+        let err = parse_with_limits("net n { places { p } }", &limits).unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::InputTooLarge);
+        assert!(err.message.contains("bytes"));
+    }
+
+    #[test]
+    fn token_cap_reports_typed_error() {
+        let limits = ParseLimits {
+            max_tokens: 4,
+            ..ParseLimits::default()
+        };
+        let err = parse_with_limits("net n { places { p } }", &limits).unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::InputTooLarge);
+        assert!(err.message.contains("tokens"));
+    }
+
+    #[test]
+    fn deep_brace_nesting_reports_typed_error_without_overflow() {
+        // A pathological run of opening braces. The grammar is flat, so
+        // legitimate documents never get near the cap; the parser must
+        // reject the run with a typed error rather than recurse or loop.
+        let doc = format!("net n {}", "{".repeat(100_000));
+        let err = parse(&doc).unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::NestingTooDeep);
+    }
+
+    #[test]
+    fn well_formed_document_fits_default_depth() {
+        // The deepest well-formed construct is 2 braces (net → section);
+        // the default cap of 64 leaves a wide margin.
+        let doc = parse(
+            r#"net d {
+                places { p* q }
+                transition "a" { pre: p; post: q }
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(doc.nets.len(), 1);
+    }
+
+    #[test]
+    fn syntax_errors_keep_syntax_kind() {
+        let err = parse("net n { places { p p } }").unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::Syntax);
+        let err = parse("net n {").unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::Syntax);
     }
 }

@@ -18,6 +18,9 @@
 //! and is used as a property-test oracle.
 
 use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
 
 /// Default cap on distinct states/nodes discovered by an explorer.
 ///
@@ -29,17 +32,263 @@ pub const DEFAULT_MAX_STATES: usize = 2_000_000;
 /// since bounded-degree graphs have a few edges per state).
 pub const DEFAULT_MAX_TRANSITIONS: usize = 8_000_000;
 
+/// A wall-clock deadline for an exploration.
+///
+/// A thin `Instant` wrapper so budgets can say *when* to give up, not
+/// just *how much* to explore. `Copy`/`Eq`/`Hash` like `Instant`, so
+/// embedding one keeps [`Budget`] freely copyable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Deadline(Instant);
+
+impl Deadline {
+    /// A deadline `d` from now.
+    pub fn after(d: Duration) -> Self {
+        Deadline(Instant::now().checked_add(d).unwrap_or_else(|| {
+            // Saturate absurd durations to "effectively never".
+            Instant::now() + Duration::from_secs(60 * 60 * 24 * 365)
+        }))
+    }
+
+    /// A deadline at an absolute instant.
+    pub fn at(instant: Instant) -> Self {
+        Deadline(instant)
+    }
+
+    /// The underlying instant.
+    pub fn instant(self) -> Instant {
+        self.0
+    }
+
+    /// Whether the deadline has passed.
+    pub fn expired(self) -> bool {
+        Instant::now() >= self.0
+    }
+
+    /// Time left before expiry (zero once expired).
+    pub fn remaining(self) -> Duration {
+        self.0.saturating_duration_since(Instant::now())
+    }
+
+    /// The earlier of two deadlines (used to shrink per-request
+    /// deadlines under a draining server's global grace period).
+    pub fn min(self, other: Deadline) -> Deadline {
+        Deadline(self.0.min(other.0))
+    }
+}
+
+// ----------------------------------------------------------------------
+// Cooperative cancellation
+// ----------------------------------------------------------------------
+//
+// A cancel flag must be shared between the thread running an exploration
+// and the thread that decides to abandon it (a server noticing a client
+// disconnect, a drain loop). `Arc<AtomicBool>` would force `Budget` to
+// give up `Copy`/`Eq`/`Hash`, which every explorer relies on. Instead
+// tokens are `Copy` handles `(slot, generation)` into a process-global
+// slot registry: polling is one or two atomic loads, allocation reuses
+// retired slots through a free list, and the generation word detects
+// slot reuse so a stale token can never cancel an unrelated request
+// silently. The registry tops out at `CANCEL_SLOT_CAP` *simultaneously
+// live* scopes; beyond that scopes degrade to inert (never-cancelled)
+// tokens rather than failing.
+
+const CANCEL_SEG_SLOTS: usize = 64;
+const CANCEL_SEGMENTS: usize = 64;
+/// Maximum simultaneously live [`CancelScope`]s before new scopes
+/// degrade to inert tokens.
+pub const CANCEL_SLOT_CAP: usize = CANCEL_SEG_SLOTS * CANCEL_SEGMENTS;
+const INERT_HANDLE: u32 = u32::MAX;
+
+struct CancelSlot {
+    gen: AtomicU32,
+    flag: AtomicBool,
+}
+
+struct CancelRegistry {
+    /// Lazily materialized fixed-address segments, so token polls read
+    /// stable memory without taking any lock.
+    segments: [OnceLock<Box<[CancelSlot; CANCEL_SEG_SLOTS]>>; CANCEL_SEGMENTS],
+    free: Mutex<Vec<u32>>,
+    next: AtomicU32,
+}
+
+fn cancel_registry() -> &'static CancelRegistry {
+    static REGISTRY: OnceLock<CancelRegistry> = OnceLock::new();
+    REGISTRY.get_or_init(|| CancelRegistry {
+        segments: std::array::from_fn(|_| OnceLock::new()),
+        free: Mutex::new(Vec::new()),
+        next: AtomicU32::new(0),
+    })
+}
+
+fn cancel_slot(handle: u32) -> Option<&'static CancelSlot> {
+    let reg = cancel_registry();
+    let seg = reg.segments.get((handle as usize) / CANCEL_SEG_SLOTS)?;
+    seg.get().map(|s| &s[(handle as usize) % CANCEL_SEG_SLOTS])
+}
+
+/// A `Copy` cancellation handle carried inside a [`Budget`].
+///
+/// Obtained from a [`CancelScope`]; any thread holding a copy may call
+/// [`CancelToken::cancel`] to ask in-flight explorations polling this
+/// token to stop with [`Resource::Cancelled`]. Cancellation is
+/// *advisory and sound*: it only ever turns a definite answer into
+/// `Unknown(Exhausted)`, never the reverse, so a spurious cancel (e.g.
+/// a token raced against its scope's drop) degrades gracefully.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CancelToken {
+    handle: u32,
+    gen: u32,
+}
+
+impl CancelToken {
+    /// A token that is never cancelled (the default for budgets built
+    /// without a scope, and the fallback when the registry is full).
+    pub const fn inert() -> Self {
+        CancelToken {
+            handle: INERT_HANDLE,
+            gen: 0,
+        }
+    }
+
+    /// Whether cancellation has been requested.
+    ///
+    /// A token whose [`CancelScope`] has been dropped reads as
+    /// cancelled: the request it guarded is over, so any exploration
+    /// still polling it should stop.
+    pub fn is_cancelled(self) -> bool {
+        if self.handle == INERT_HANDLE {
+            return false;
+        }
+        match cancel_slot(self.handle) {
+            Some(s) => s.gen.load(Ordering::Acquire) != self.gen || s.flag.load(Ordering::Acquire),
+            None => false,
+        }
+    }
+
+    /// Requests cancellation. No-op on inert or retired tokens.
+    pub fn cancel(self) {
+        if self.handle == INERT_HANDLE {
+            return;
+        }
+        if let Some(s) = cancel_slot(self.handle) {
+            if s.gen.load(Ordering::Acquire) == self.gen {
+                s.flag.store(true, Ordering::Release);
+            }
+        }
+    }
+}
+
+/// The owning side of a cancellation flag.
+///
+/// Creating a scope allocates (or reuses) a registry slot; dropping it
+/// retires the slot, after which every [`CancelToken`] copied from it
+/// reads as cancelled. Typical server use: one scope per in-flight
+/// request, token embedded in the request's [`Budget`], scope dropped
+/// when the response is written.
+#[derive(Debug)]
+pub struct CancelScope {
+    token: CancelToken,
+}
+
+impl CancelScope {
+    /// Allocates a fresh scope. Degrades to an inert scope (tokens
+    /// never cancel) if `CANCEL_SLOT_CAP` scopes are already live.
+    pub fn new() -> Self {
+        let reg = cancel_registry();
+        let handle = {
+            let popped = match reg.free.lock() {
+                Ok(mut f) => f.pop(),
+                Err(_) => None, // poisoned free list: allocate fresh
+            };
+            match popped {
+                Some(h) => Some(h),
+                None => reg
+                    .next
+                    .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                        if (v as usize) < CANCEL_SLOT_CAP {
+                            Some(v + 1)
+                        } else {
+                            None
+                        }
+                    })
+                    .ok(),
+            }
+        };
+        let Some(handle) = handle else {
+            return CancelScope {
+                token: CancelToken::inert(),
+            };
+        };
+        let seg = &reg.segments[(handle as usize) / CANCEL_SEG_SLOTS];
+        let slots = seg.get_or_init(|| {
+            Box::new(std::array::from_fn(|_| CancelSlot {
+                gen: AtomicU32::new(0),
+                flag: AtomicBool::new(false),
+            }))
+        });
+        let slot = &slots[(handle as usize) % CANCEL_SEG_SLOTS];
+        // Clear any flag leaked by a cancel that raced the previous
+        // owner's retirement, then publish the current generation.
+        slot.flag.store(false, Ordering::Release);
+        let gen = slot.gen.load(Ordering::Acquire);
+        CancelScope {
+            token: CancelToken { handle, gen },
+        }
+    }
+
+    /// A `Copy` token polling this scope's flag.
+    pub fn token(&self) -> CancelToken {
+        self.token
+    }
+
+    /// Requests cancellation of everything polling this scope's tokens.
+    pub fn cancel(&self) {
+        self.token.cancel();
+    }
+}
+
+impl Default for CancelScope {
+    fn default() -> Self {
+        CancelScope::new()
+    }
+}
+
+impl Drop for CancelScope {
+    fn drop(&mut self) {
+        if self.token.handle == INERT_HANDLE {
+            return;
+        }
+        if let Some(s) = cancel_slot(self.token.handle) {
+            // Bump the generation first so stale tokens fail their
+            // gen check before the slot is handed to a new owner.
+            s.gen.fetch_add(1, Ordering::AcqRel);
+            s.flag.store(false, Ordering::Release);
+        }
+        if let Ok(mut f) = cancel_registry().free.lock() {
+            f.push(self.token.handle);
+        }
+    }
+}
+
 /// A resource budget for state-space exploration.
 ///
 /// `max_states` bounds distinct markings/nodes discovered;
 /// `max_transitions` bounds edges/firings examined. Exhausting either
-/// stops the exploration gracefully.
+/// stops the exploration gracefully. Optionally a budget also carries a
+/// wall-clock [`Deadline`] and a cooperative [`CancelToken`]; explorers
+/// poll both coarsely (every [`POLL_INTERVAL`] meter events, not per
+/// state) and stop with [`Resource::Deadline`] / [`Resource::Cancelled`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct Budget {
     /// Maximum number of distinct states (markings, tree nodes, traces).
     pub max_states: usize,
     /// Maximum number of explored transitions (edges, firings).
     pub max_transitions: usize,
+    /// Wall-clock instant after which the exploration stops.
+    pub deadline: Option<Deadline>,
+    /// Cooperative cancellation flag polled alongside the deadline.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for Budget {
@@ -47,6 +296,8 @@ impl Default for Budget {
         Budget {
             max_states: DEFAULT_MAX_STATES,
             max_transitions: DEFAULT_MAX_TRANSITIONS,
+            deadline: None,
+            cancel: None,
         }
     }
 }
@@ -57,6 +308,8 @@ impl Budget {
         Budget {
             max_states,
             max_transitions,
+            deadline: None,
+            cancel: None,
         }
     }
 
@@ -65,6 +318,8 @@ impl Budget {
         Budget {
             max_states,
             max_transitions: usize::MAX,
+            deadline: None,
+            cancel: None,
         }
     }
 
@@ -73,7 +328,45 @@ impl Budget {
         Budget {
             max_states: usize::MAX,
             max_transitions: usize::MAX,
+            deadline: None,
+            cancel: None,
         }
+    }
+
+    /// This budget with a wall-clock deadline `d` from now.
+    pub fn with_deadline(mut self, d: Duration) -> Self {
+        self.deadline = Some(Deadline::after(d));
+        self
+    }
+
+    /// This budget with an absolute deadline.
+    pub fn with_deadline_at(mut self, deadline: Deadline) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// This budget with a cooperative cancellation token.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Immediate (not tick-gated) check of the deadline and cancel
+    /// flag. Explorers that do not thread a [`Meter`] — e.g. the
+    /// parallel BFS workers with their shared atomic accounting — call
+    /// this at their own coarse interval.
+    pub fn interrupted(&self) -> Option<Resource> {
+        if let Some(d) = self.deadline {
+            if d.expired() {
+                return Some(Resource::Deadline);
+            }
+        }
+        if let Some(c) = self.cancel {
+            if c.is_cancelled() {
+                return Some(Resource::Cancelled);
+            }
+        }
+        None
     }
 }
 
@@ -84,6 +377,10 @@ pub enum Resource {
     States,
     /// The transition cap was reached.
     Transitions,
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// Cooperative cancellation was requested.
+    Cancelled,
 }
 
 impl fmt::Display for Resource {
@@ -91,6 +388,8 @@ impl fmt::Display for Resource {
         match self {
             Resource::States => write!(f, "states"),
             Resource::Transitions => write!(f, "transitions"),
+            Resource::Deadline => write!(f, "deadline"),
+            Resource::Cancelled => write!(f, "cancelled"),
         }
     }
 }
@@ -262,17 +561,32 @@ impl<T> Bounded<T> {
     }
 }
 
+/// How many meter events pass between wall-clock/cancel polls.
+///
+/// Deadline and cancellation are checked only every `POLL_INTERVAL`
+/// calls to [`Meter::take_state`] / [`Meter::take_transition`] /
+/// [`Meter::should_stop`], so the per-state cost of carrying a deadline
+/// is one increment and one mask — `Instant::now()` never appears on
+/// the per-state path.
+pub const POLL_INTERVAL: u32 = 1024;
+
+const POLL_MASK: u32 = POLL_INTERVAL - 1;
+
 /// A mutable meter that explorers thread through their main loop.
 ///
 /// Call [`Meter::take_state`] when discovering a new state and
 /// [`Meter::take_transition`] when examining an edge; both return `false`
-/// once a cap is hit, after which the meter stays stopped.
+/// once a cap is hit, after which the meter stays stopped. Both also
+/// poll the budget's deadline and cancel flag at a coarse tick interval
+/// ([`POLL_INTERVAL`]); loops that can spin without taking states or
+/// transitions should call [`Meter::should_stop`] instead.
 #[derive(Clone, Debug)]
 pub struct Meter {
     budget: Budget,
     states: usize,
     transitions: usize,
     stopped: Option<Resource>,
+    tick: u32,
 }
 
 impl Meter {
@@ -283,12 +597,48 @@ impl Meter {
             states: 0,
             transitions: 0,
             stopped: None,
+            tick: 0,
         }
+    }
+
+    /// One coarse tick: polls the wall clock and cancel flag every
+    /// [`POLL_INTERVAL`] calls (including the very first, so an
+    /// already-expired deadline stops the exploration immediately).
+    #[inline]
+    fn tick_poll(&mut self) {
+        if self.stopped.is_some() {
+            return;
+        }
+        if self.tick & POLL_MASK == 0 {
+            self.poll_interrupts();
+        }
+        self.tick = self.tick.wrapping_add(1);
+    }
+
+    /// Immediately checks deadline and cancellation (no tick gating),
+    /// marking the meter stopped if either fired. Returns whether the
+    /// meter is stopped afterwards.
+    pub fn poll_interrupts(&mut self) -> bool {
+        if self.stopped.is_none() {
+            self.stopped = self.budget.interrupted();
+        }
+        self.stopped.is_some()
+    }
+
+    /// The cheap per-iteration stop check for loops that do their own
+    /// accounting: one increment + mask per call, a real wall-clock /
+    /// cancel poll every [`POLL_INTERVAL`] calls. Returns `true` once
+    /// the meter is stopped for any reason.
+    #[inline]
+    pub fn should_stop(&mut self) -> bool {
+        self.tick_poll();
+        self.stopped.is_some()
     }
 
     /// Accounts for one newly discovered state. Returns `false` (and
     /// marks the meter stopped) when the state cap is exhausted.
     pub fn take_state(&mut self) -> bool {
+        self.tick_poll();
         if self.stopped.is_some() {
             return false;
         }
@@ -303,6 +653,7 @@ impl Meter {
     /// Accounts for one examined transition. Returns `false` (and marks
     /// the meter stopped) when the transition cap is exhausted.
     pub fn take_transition(&mut self) -> bool {
+        self.tick_poll();
         if self.stopped.is_some() {
             return false;
         }
@@ -421,6 +772,110 @@ mod tests {
         assert_eq!(*c.value(), 7);
         assert_eq!(c.clone().complete(), Some(7));
         assert_eq!(c.map(|x| x + 1).into_value(), 8);
+    }
+
+    #[test]
+    fn budget_stays_copy_eq_hash() {
+        fn assert_copy_eq_hash<T: Copy + Eq + std::hash::Hash + Send + Sync>() {}
+        assert_copy_eq_hash::<Budget>();
+        assert_copy_eq_hash::<Deadline>();
+        assert_copy_eq_hash::<CancelToken>();
+        assert_copy_eq_hash::<Exhausted>();
+    }
+
+    #[test]
+    fn expired_deadline_stops_meter_with_deadline_resource() {
+        let budget = Budget::unlimited().with_deadline(Duration::ZERO);
+        let mut m = Meter::new(&budget);
+        // The first tick polls immediately, so an already-expired
+        // deadline refuses the very first take.
+        assert!(!m.take_state());
+        assert_eq!(m.report().unwrap().resource, Resource::Deadline);
+    }
+
+    #[test]
+    fn future_deadline_does_not_stop() {
+        let budget = Budget::unlimited().with_deadline(Duration::from_secs(3600));
+        let mut m = Meter::new(&budget);
+        for _ in 0..(POLL_INTERVAL * 3) {
+            assert!(m.take_transition());
+        }
+        assert!(!m.should_stop());
+    }
+
+    #[test]
+    fn deadline_is_polled_coarsely_not_per_take() {
+        // A deadline that expires mid-run is noticed within one poll
+        // interval, not necessarily on the very next take.
+        let budget = Budget::unlimited().with_deadline(Duration::from_millis(5));
+        let mut m = Meter::new(&budget);
+        assert!(m.take_state());
+        std::thread::sleep(Duration::from_millis(10));
+        let mut takes = 0u32;
+        while m.take_transition() {
+            takes += 1;
+            assert!(takes <= POLL_INTERVAL, "deadline never noticed");
+        }
+        assert_eq!(m.report().unwrap().resource, Resource::Deadline);
+    }
+
+    #[test]
+    fn cancel_token_stops_meter() {
+        let scope = CancelScope::new();
+        let budget = Budget::unlimited().with_cancel(scope.token());
+        let mut m = Meter::new(&budget);
+        assert!(m.take_state());
+        scope.cancel();
+        let mut takes = 0u32;
+        while m.take_transition() {
+            takes += 1;
+            assert!(takes <= POLL_INTERVAL, "cancel never noticed");
+        }
+        assert_eq!(m.report().unwrap().resource, Resource::Cancelled);
+    }
+
+    #[test]
+    fn dropped_scope_reads_as_cancelled_and_slot_reuse_is_isolated() {
+        let scope = CancelScope::new();
+        let stale = scope.token();
+        assert!(!stale.is_cancelled());
+        drop(scope);
+        // The guarded request is over: pollers of the stale token stop.
+        assert!(stale.is_cancelled());
+        // A new scope (possibly reusing the slot) is unaffected by the
+        // stale token, in either direction.
+        let fresh = CancelScope::new();
+        assert!(!fresh.token().is_cancelled());
+        stale.cancel();
+        assert!(!fresh.token().is_cancelled());
+    }
+
+    #[test]
+    fn inert_token_is_never_cancelled() {
+        let t = CancelToken::inert();
+        t.cancel();
+        assert!(!t.is_cancelled());
+    }
+
+    #[test]
+    fn interrupted_reports_first_firing_axis() {
+        let scope = CancelScope::new();
+        let b = Budget::unlimited().with_cancel(scope.token());
+        assert_eq!(b.interrupted(), None);
+        scope.cancel();
+        assert_eq!(b.interrupted(), Some(Resource::Cancelled));
+        let b = Budget::unlimited().with_deadline(Duration::ZERO);
+        assert_eq!(b.interrupted(), Some(Resource::Deadline));
+    }
+
+    #[test]
+    fn deadline_min_and_remaining() {
+        let near = Deadline::after(Duration::from_millis(1));
+        let far = Deadline::after(Duration::from_secs(100));
+        assert_eq!(near.min(far), near);
+        assert_eq!(far.min(near), near);
+        assert!(far.remaining() > Duration::from_secs(50));
+        assert!(!far.expired());
     }
 
     #[test]

@@ -101,6 +101,10 @@ impl CoverabilityTree {
         let mut next: Vec<u32> = Vec::with_capacity(store.stride());
         let mut work = vec![0u32];
         'explore: while let Some(cur) = work.pop() {
+            // Per-node deadline/cancel poll (coarse-ticked in the meter).
+            if meter.should_stop() {
+                break 'explore;
+            }
             for t in 0..transitions {
                 if !meter.take_transition() {
                     break 'explore;

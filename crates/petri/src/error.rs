@@ -58,6 +58,12 @@ pub enum PetriError {
         /// The offending index.
         index: usize,
     },
+    /// The allocator refused a growth request (pathological load); the
+    /// structure that reported this is unchanged and still usable.
+    AllocationFailed {
+        /// The size of the refused allocation, in bytes.
+        bytes: usize,
+    },
 }
 
 impl fmt::Display for PetriError {
@@ -97,6 +103,9 @@ impl fmt::Display for PetriError {
             }
             PetriError::IndexOverflow { index } => {
                 write!(f, "index {index} overflows the 32-bit id space")
+            }
+            PetriError::AllocationFailed { bytes } => {
+                write!(f, "allocator refused a {bytes}-byte growth request")
             }
         }
     }

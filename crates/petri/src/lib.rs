@@ -80,8 +80,8 @@ pub mod structural;
 pub use alphabet::{AlphaSet, Interner, Sym};
 pub use analysis::{Analysis, LivenessLevel};
 pub use budget::{
-    Bounded, Budget, Exhausted, Meter, Resource, Verdict, DEFAULT_MAX_STATES,
-    DEFAULT_MAX_TRANSITIONS,
+    Bounded, Budget, CancelScope, CancelToken, Deadline, Exhausted, Meter, Resource, Verdict,
+    DEFAULT_MAX_STATES, DEFAULT_MAX_TRANSITIONS, POLL_INTERVAL,
 };
 pub use compiled::{CandidateScratch, CompiledNet, StubbornScratch, OMEGA};
 pub use coverability::{CoverabilityOutcome, CoverabilityTree};
@@ -92,7 +92,9 @@ pub use label::Label;
 pub use marking::Marking;
 pub use mg::{mg_live_structural, mg_place_bounds, mg_safe_structural, token_free_cycle};
 pub use net::{PetriNet, Place, PlaceId, Transition, TransitionId};
-pub use reachability::{ReachabilityGraph, ReachabilityOptions, StateId};
+pub use reachability::{
+    reachability_bounded_compiled, ReachabilityGraph, ReachabilityOptions, StateId,
+};
 pub use siphon::{commoner_live, is_siphon, is_trap, max_siphon_in, max_trap_in, minimal_siphons};
 pub use store::MarkingStore;
 pub use structural::{NetClass, StructuralReport};

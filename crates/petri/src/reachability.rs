@@ -418,6 +418,9 @@ impl<L: Label> PetriNet<L> {
 
         let mut frontier = 0usize;
         'explore: while frontier < states.len() {
+            if meter.should_stop() {
+                break 'explore;
+            }
             let marking = states[frontier].clone();
             for t in self.transition_ids() {
                 if !self.is_enabled(&marking, t) {
@@ -471,6 +474,21 @@ impl<L: Label> PetriNet<L> {
     }
 }
 
+/// Explores a pre-compiled net under a [`Budget`], producing the same
+/// graph as [`PetriNet::reachability_bounded`] on the source net.
+///
+/// The entry point for callers that amortize [`PetriNet::compile`]
+/// across many explorations — e.g. the `cpn-serve` session cache, which
+/// keys compiled nets by document content hash and re-explores them
+/// under different budgets per request.
+pub fn reachability_bounded_compiled(
+    compiled: &CompiledNet,
+    m0: &[u32],
+    budget: &Budget,
+) -> Bounded<ReachabilityGraph> {
+    explore_compiled(compiled, m0, budget)
+}
+
 // ----------------------------------------------------------------------
 // Sequential compiled explorer
 // ----------------------------------------------------------------------
@@ -495,6 +513,11 @@ fn explore_compiled(
 
     let mut frontier = 0usize;
     'explore: while frontier < store.len() {
+        // Per-state deadline/cancel poll (coarse: real wall-clock reads
+        // happen every POLL_INTERVAL ticks inside the meter).
+        if meter.should_stop() {
+            break 'explore;
+        }
         cur.clear();
         cur.extend_from_slice(store.get(frontier));
         let cur_hash = store.hash_of(frontier);
@@ -600,6 +623,9 @@ fn explore_stubborn(
 
     let mut frontier = 0usize;
     'explore: while frontier < store.len() {
+        if meter.should_stop() {
+            break 'explore;
+        }
         cur.clear();
         cur.extend_from_slice(store.get(frontier));
         let cur_hash = store.hash_of(frontier);
@@ -758,6 +784,10 @@ fn explore_parallel(
                 let mut out_firings: Vec<Vec<u32>> = vec![Vec::new(); threads];
                 let mut out_replies: Vec<Vec<(u32, u32, u64)>> = vec![Vec::new(); threads];
                 let mut round = 0usize;
+                // Coarse per-worker deadline/cancel poll; a trip turns
+                // into `stopped`, which the sequential replay then
+                // reproduces deterministically.
+                let mut tick = 0u32;
 
                 loop {
                     // Phase 1: expand the local frontier level.
@@ -770,6 +800,11 @@ fn explore_parallel(
                             for &t in &cands {
                                 if !compiled.is_enabled(&cur, t) {
                                     continue;
+                                }
+                                tick = tick.wrapping_add(1);
+                                if tick & 0xFFF == 0 && budget.interrupted().is_some() {
+                                    stopped.store(true, Ordering::SeqCst);
+                                    break 'states;
                                 }
                                 if trans_used.fetch_add(1, Ordering::SeqCst)
                                     >= budget.max_transitions

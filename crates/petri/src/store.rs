@@ -186,7 +186,12 @@ impl MarkingStore {
     /// # Errors
     ///
     /// Returns [`PetriError::IndexOverflow`] when the store already holds
-    /// `u32::MAX - 1` markings (the id space of the packed index slots).
+    /// `u32::MAX - 1` markings (the id space of the packed index slots),
+    /// or [`PetriError::AllocationFailed`] when growing the arena or the
+    /// slot table is refused by the allocator. Either way the store is
+    /// left unchanged and fully usable — explorers treat both exactly
+    /// like budget exhaustion and hand back the prefix built so far, so
+    /// one pathological net degrades a worker instead of killing it.
     pub fn insert_new_hashed(&mut self, m: &[u32], hash: u64) -> Result<u32, PetriError> {
         debug_assert_eq!(m.len(), self.stride, "marking over different net");
         debug_assert!(self.find_hashed(m, hash).is_none(), "duplicate insert");
@@ -194,8 +199,18 @@ impl MarkingStore {
             return Err(PetriError::IndexOverflow { index: self.len });
         }
         if (self.len + 1) * 8 >= self.table.len() * 7 {
-            self.grow();
+            self.grow()?;
         }
+        self.data
+            .try_reserve(self.stride)
+            .map_err(|_| PetriError::AllocationFailed {
+                bytes: self.stride * std::mem::size_of::<u32>(),
+            })?;
+        self.hashes
+            .try_reserve(1)
+            .map_err(|_| PetriError::AllocationFailed {
+                bytes: std::mem::size_of::<u64>(),
+            })?;
         let id = self.len as u32;
         self.data.extend_from_slice(m);
         self.hashes.push(hash);
@@ -206,18 +221,31 @@ impl MarkingStore {
 
     /// Finds or inserts a marking; returns `(id, newly_inserted)`.
     ///
+    /// # Errors
+    ///
+    /// Propagates [`MarkingStore::insert_new_hashed`] failures (id-space
+    /// overflow, allocator refusal); the store is unchanged on error.
+    pub fn try_intern(&mut self, m: &[u32]) -> Result<(u32, bool), PetriError> {
+        let hash = Self::hash_slice(m);
+        match self.find_hashed(m, hash) {
+            Some(id) => Ok((id, false)),
+            None => self.insert_new_hashed(m, hash).map(|id| (id, true)),
+        }
+    }
+
+    /// Finds or inserts a marking; returns `(id, newly_inserted)`.
+    ///
     /// # Panics
     ///
     /// Panics if the 32-bit id space overflows (more than ~4 billion
-    /// distinct markings); budgeted explorers stop long before.
+    /// distinct markings) or the allocator refuses growth; budgeted
+    /// explorers stop long before and use the fallible
+    /// [`MarkingStore::try_intern`] / [`MarkingStore::insert_new_hashed`]
+    /// on their hot paths.
     pub fn intern(&mut self, m: &[u32]) -> (u32, bool) {
-        let hash = Self::hash_slice(m);
-        match self.find_hashed(m, hash) {
-            Some(id) => (id, false),
-            None => match self.insert_new_hashed(m, hash) {
-                Ok(id) => (id, true),
-                Err(e) => panic!("marking arena overflow: {e}"),
-            },
+        match self.try_intern(m) {
+            Ok(r) => r,
+            Err(e) => panic!("marking arena overflow: {e}"),
         }
     }
 
@@ -238,14 +266,26 @@ impl MarkingStore {
         self.table[slot] = entry;
     }
 
-    fn grow(&mut self) {
+    /// Doubles the slot table. On allocator refusal the old table (and
+    /// the whole store) is left intact, so a failed grow is retryable
+    /// and never corrupts the index — the caller sees a graceful
+    /// [`PetriError::AllocationFailed`] instead of an abort.
+    fn grow(&mut self) -> Result<(), PetriError> {
         let new_slots = self.table.len() * 2;
-        self.table = vec![EMPTY; new_slots];
+        let mut table = Vec::new();
+        table
+            .try_reserve_exact(new_slots)
+            .map_err(|_| PetriError::AllocationFailed {
+                bytes: new_slots * std::mem::size_of::<u64>(),
+            })?;
+        table.resize(new_slots, EMPTY);
+        self.table = table;
         self.mask = new_slots - 1;
         for i in 0..self.len {
             let hash = self.hashes[i];
             self.place_slot(hash, i as u32);
         }
+        Ok(())
     }
 }
 
@@ -297,6 +337,33 @@ mod tests {
         assert_eq!(s.intern(&[]), (0, false));
         assert_eq!(s.len(), 1);
         assert_eq!(s.get(0), &[] as &[u32]);
+    }
+
+    #[test]
+    fn try_intern_matches_intern_and_survives_growth() {
+        let mut a = MarkingStore::new(2);
+        let mut b = MarkingStore::new(2);
+        for i in 0..5_000u32 {
+            let m = [i % 97, i];
+            assert_eq!(a.try_intern(&m).unwrap(), b.intern(&m));
+        }
+        assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    fn failed_insert_leaves_store_usable() {
+        // Simulate the id-space cap by filling `len` artificially is not
+        // possible without 4 billion inserts; instead check the error
+        // path contract at the API level: an error from
+        // `insert_new_hashed` must not disturb existing content.
+        let mut s = MarkingStore::new(1);
+        s.intern(&[1]);
+        s.intern(&[2]);
+        // A duplicate insert is a caller bug (debug_assert), so probe the
+        // non-mutating failure contract via find on the intact store.
+        assert_eq!(s.find(&[1]), Some(0));
+        assert_eq!(s.find(&[2]), Some(1));
+        assert_eq!(s.len(), 2);
     }
 
     #[test]

@@ -165,3 +165,83 @@ fn regression_commoner_cycle_with_token_on_p2() {
     let behavioural = net.analysis(&rg).live;
     assert_eq!(structural, behavioural, "net:\n{net}");
 }
+
+// ----------------------------------------------------------------------
+// Deadline / cancellation degradation
+// ----------------------------------------------------------------------
+
+/// `n` independent 2-place toggles: the reachability graph has `2^n`
+/// states, so any realistic wall-clock deadline trips long before the
+/// exploration completes.
+fn toggle_net(n: usize) -> PetriNet<String> {
+    let mut net: PetriNet<String> = PetriNet::new();
+    for i in 0..n {
+        let a = net.add_place(format!("a{i}"));
+        let b = net.add_place(format!("b{i}"));
+        net.set_initial(a, 1);
+        net.add_transition([a], format!("up{i}"), [b])
+            .expect("toggle up");
+        net.add_transition([b], format!("down{i}"), [a])
+            .expect("toggle down");
+    }
+    net
+}
+
+#[test]
+fn deadline_exceeded_exploration_returns_exhausted_with_partial_results() {
+    use cpn_petri::{Bounded, Resource};
+    let net = toggle_net(24); // 2^24 states — unreachable under any deadline here
+    let budget = Budget::unlimited().with_deadline(std::time::Duration::ZERO);
+    match net.reachability_bounded(&budget) {
+        Bounded::Exhausted { partial, info } => {
+            assert_eq!(info.resource, Resource::Deadline);
+            // Partial results are intact: a well-formed graph prefix
+            // containing at least the initial state, every edge target
+            // inside the explored prefix.
+            assert!(partial.state_count() >= 1);
+            for s in 0..partial.state_count() {
+                for &(_, dst) in partial.edges(cpn_petri::StateId::from_index(s)) {
+                    assert!(dst.index() < partial.state_count());
+                }
+            }
+        }
+        Bounded::Complete(_) => panic!("zero deadline cannot complete a 2^24 exploration"),
+    }
+}
+
+#[test]
+fn short_deadline_terminates_explosive_exploration_promptly() {
+    let net = toggle_net(24);
+    let budget = Budget::unlimited().with_deadline(std::time::Duration::from_millis(50));
+    let started = std::time::Instant::now();
+    let out = net.reachability_bounded(&budget);
+    // Generous bound: the poll interval is 1024 meter events, so the
+    // overshoot past 50ms is bounded by one interval's work.
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(10),
+        "deadline did not bound the exploration"
+    );
+    assert!(!out.is_complete());
+}
+
+#[test]
+fn cancelled_exploration_stops_with_cancelled_resource() {
+    use cpn_petri::{Bounded, CancelScope, Resource};
+    let scope = CancelScope::new();
+    scope.cancel(); // cancelled before it starts: stops at the first poll
+    let net = toggle_net(24);
+    let budget = Budget::unlimited().with_cancel(scope.token());
+    match net.reachability_bounded(&budget) {
+        Bounded::Exhausted { info, .. } => assert_eq!(info.resource, Resource::Cancelled),
+        Bounded::Complete(_) => panic!("cancelled exploration cannot complete"),
+    }
+}
+
+#[test]
+fn deadline_applies_to_coverability_and_parallel_exploration() {
+    let net = toggle_net(24);
+    let budget = Budget::unlimited().with_deadline(std::time::Duration::ZERO);
+    assert!(!CoverabilityTree::build_bounded(&net, &budget).is_complete());
+    let out = net.reachability_bounded_parallel(&budget, 4);
+    assert!(!out.is_complete());
+}

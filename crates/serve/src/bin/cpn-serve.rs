@@ -1,0 +1,161 @@
+//! The `cpn-serve` daemon binary.
+//!
+//! ```text
+//! cpn-serve [--tcp ADDR] [--uds PATH] [--workers N] [--queue N]
+//!           [--deadline-ms N] [--drain-ms N] [--print-endpoints]
+//! ```
+//!
+//! At least one of `--tcp` / `--uds` is required. SIGTERM and SIGINT
+//! begin a graceful drain: the listener closes, in-flight requests
+//! finish under the shrinking drain deadline, and the process exits 0
+//! with final counters on stderr.
+
+use cpn_serve::{Endpoint, Server, ServerConfig};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// Set from the signal handler; polled by the main thread.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_signal_handlers() {
+    // Hand-rolled `signal(2)` binding: the workspace is dependency-free
+    // by construction, so no libc crate. The handler only stores a
+    // relaxed atomic — async-signal-safe.
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    extern "C" fn on_signal(_signum: i32) {
+        SHUTDOWN.store(true, Ordering::Relaxed);
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    let handler = on_signal as extern "C" fn(i32) as usize;
+    unsafe {
+        signal(SIGTERM, handler);
+        signal(SIGINT, handler);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
+
+struct Args {
+    endpoints: Vec<Endpoint>,
+    config: ServerConfig,
+    print_endpoints: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut endpoints = Vec::new();
+    let mut config = ServerConfig::default();
+    let mut print_endpoints = false;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        let mut value = |name: &str| {
+            argv.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--tcp" => endpoints.push(Endpoint::Tcp(value("--tcp")?)),
+            #[cfg(unix)]
+            "--uds" => endpoints.push(Endpoint::Unix(value("--uds")?.into())),
+            "--workers" => {
+                config.workers = value("--workers")?
+                    .parse()
+                    .map_err(|_| "bad --workers value")?;
+            }
+            "--queue" => {
+                config.queue_depth = value("--queue")?.parse().map_err(|_| "bad --queue value")?;
+            }
+            "--deadline-ms" => {
+                let ms: u64 = value("--deadline-ms")?
+                    .parse()
+                    .map_err(|_| "bad --deadline-ms value")?;
+                config.default_deadline = Duration::from_millis(ms);
+            }
+            "--drain-ms" => {
+                let ms: u64 = value("--drain-ms")?
+                    .parse()
+                    .map_err(|_| "bad --drain-ms value")?;
+                config.drain_grace = Duration::from_millis(ms);
+            }
+            "--print-endpoints" => print_endpoints = true,
+            "--help" | "-h" => {
+                return Err("usage: cpn-serve [--tcp ADDR] [--uds PATH] [--workers N] \
+                            [--queue N] [--deadline-ms N] [--drain-ms N] [--print-endpoints]"
+                    .to_owned())
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if endpoints.is_empty() {
+        return Err("at least one of --tcp / --uds is required".to_owned());
+    }
+    Ok(Args {
+        endpoints,
+        config,
+        print_endpoints,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("cpn-serve: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let server = match Server::bind(&args.endpoints, args.config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cpn-serve: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.print_endpoints {
+        match server.local_endpoints() {
+            Ok(eps) => {
+                for ep in eps {
+                    println!("{ep}");
+                }
+            }
+            Err(e) => {
+                eprintln!("cpn-serve: cannot read local endpoints: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    install_signal_handlers();
+
+    let handle = server.handle();
+    let signal_poller = std::thread::spawn(move || loop {
+        if SHUTDOWN.load(Ordering::Relaxed) {
+            handle.begin_drain();
+            return;
+        }
+        if handle.is_draining() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    });
+
+    let stats = server.run();
+    let _ = signal_poller.join();
+    eprintln!(
+        "cpn-serve: drained. accepted={} served={} shed={} panics={} bad_requests={} \
+         deadline_rejected={} cache_hits={} cache_misses={} workers_joined={}",
+        stats.accepted,
+        stats.served,
+        stats.shed,
+        stats.panics,
+        stats.bad_requests,
+        stats.deadline_rejected,
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.workers_joined,
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,205 @@
+//! Content-hash-keyed session cache of compiled nets.
+//!
+//! Clients resubmitting the same document (an interactive design loop
+//! re-verifying after each edit, a CI matrix fanning one net across
+//! many property checks) should not pay parse + compile per request.
+//! The cache keys on an FNV-1a hash of the raw document text plus the
+//! requested net name, so a one-byte edit is a different key and stale
+//! hits are impossible without comparing full documents.
+
+use cpn_format::{parse_with_limits, ParseLimits};
+use cpn_petri::{CompiledNet, PetriNet};
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+/// FNV-1a, 64-bit: tiny, allocation-free, good dispersion on text.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A parsed and compiled net, shared between workers.
+#[derive(Debug)]
+pub struct CachedNet {
+    /// The validated source net (used by analyses that need labels or
+    /// the interpreter, e.g. coverability).
+    pub net: PetriNet<String>,
+    /// The compiled firing rule for the hot explorers.
+    pub compiled: CompiledNet,
+    /// The initial marking as a flat slice.
+    pub m0: Vec<u32>,
+}
+
+/// Why a cache lookup failed to produce a net.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheMiss {
+    /// The document failed to parse (message from `cpn-format`).
+    Parse(String),
+    /// The document parsed but contains no `net` item with this name.
+    NoSuchNet(String),
+}
+
+/// Bounded FIFO cache mapping `(doc hash, net name)` to compiled nets.
+#[derive(Debug)]
+pub struct NetCache {
+    inner: Mutex<CacheInner>,
+    limits: ParseLimits,
+}
+
+#[derive(Debug)]
+struct CacheInner {
+    map: HashMap<(u64, String), Arc<CachedNet>>,
+    order: VecDeque<(u64, String)>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl NetCache {
+    /// A cache holding at most `capacity` compiled nets, parsing with
+    /// the given limits on misses.
+    pub fn new(capacity: usize, limits: ParseLimits) -> Self {
+        NetCache {
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+                capacity: capacity.max(1),
+                hits: 0,
+                misses: 0,
+            }),
+            limits,
+        }
+    }
+
+    /// The compiled net for `name` inside `doc`, parsing and compiling
+    /// on a miss.
+    ///
+    /// # Errors
+    ///
+    /// [`CacheMiss`] when the document is malformed or names no such
+    /// net; errors are not cached (the retry cost is the parse, and a
+    /// poisoned negative entry would outlive a client's fixed resubmit).
+    pub fn get_or_compile(&self, doc: &str, name: &str) -> Result<Arc<CachedNet>, CacheMiss> {
+        let key = (fnv1a(doc.as_bytes()), name.to_owned());
+        {
+            let mut inner = self.lock();
+            if let Some(hit) = inner.map.get(&key) {
+                let hit = Arc::clone(hit);
+                inner.hits += 1;
+                return Ok(hit);
+            }
+            inner.misses += 1;
+        }
+        // Parse and compile outside the lock: a slow adversarial
+        // document must not serialize every other worker's lookups.
+        let parsed =
+            parse_with_limits(doc, &self.limits).map_err(|e| CacheMiss::Parse(e.to_string()))?;
+        let net = parsed
+            .nets
+            .into_iter()
+            .find_map(|(n, net)| (n == name).then_some(net))
+            .ok_or_else(|| CacheMiss::NoSuchNet(name.to_owned()))?;
+        let compiled = net.compile();
+        let m0 = net.initial_marking().as_slice().to_vec();
+        let entry = Arc::new(CachedNet { net, compiled, m0 });
+        let mut inner = self.lock();
+        match inner.map.entry(key.clone()) {
+            // Another worker compiled the same document concurrently;
+            // keep its entry (both are equivalent).
+            Entry::Occupied(e) => Ok(Arc::clone(e.get())),
+            Entry::Vacant(e) => {
+                e.insert(Arc::clone(&entry));
+                inner.order.push_back(key);
+                while inner.order.len() > inner.capacity {
+                    if let Some(old) = inner.order.pop_front() {
+                        inner.map.remove(&old);
+                    }
+                }
+                Ok(entry)
+            }
+        }
+    }
+
+    /// `(hits, misses)` counters since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        let inner = self.lock();
+        (inner.hits, inner.misses)
+    }
+
+    /// Entries currently resident.
+    pub fn len(&self) -> usize {
+        self.lock().map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, CacheInner> {
+        // A worker that panicked while holding this lock has already
+        // been isolated by `catch_unwind`; the cache state itself is
+        // only ever mutated in small invariant-preserving steps.
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+
+    const DOC: &str = "net n { places { p* q } transition \"t\" { pre: p; post: q } }";
+
+    #[test]
+    fn second_lookup_hits() {
+        let cache = NetCache::new(8, ParseLimits::default());
+        let a = cache.get_or_compile(DOC, "n").unwrap();
+        let b = cache.get_or_compile(DOC, "n").unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats(), (1, 1));
+    }
+
+    #[test]
+    fn one_byte_edit_is_a_different_key() {
+        let cache = NetCache::new(8, ParseLimits::default());
+        let a = cache.get_or_compile(DOC, "n").unwrap();
+        let edited = DOC.replace("p*", "p*2");
+        let b = cache.get_or_compile(&edited, "n").unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(b.m0.iter().sum::<u32>(), 2);
+    }
+
+    #[test]
+    fn capacity_evicts_fifo() {
+        let cache = NetCache::new(2, ParseLimits::default());
+        for i in 0..4 {
+            let doc = format!("net n{i} {{ places {{ p* }} }}");
+            cache.get_or_compile(&doc, &format!("n{i}")).unwrap();
+        }
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn errors_are_typed_and_uncached() {
+        let cache = NetCache::new(8, ParseLimits::default());
+        assert!(matches!(
+            cache.get_or_compile("net n {", "n"),
+            Err(CacheMiss::Parse(_))
+        ));
+        assert!(matches!(
+            cache.get_or_compile(DOC, "ghost"),
+            Err(CacheMiss::NoSuchNet(_))
+        ));
+        assert!(cache.is_empty());
+    }
+}

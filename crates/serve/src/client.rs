@@ -1,0 +1,222 @@
+//! Client library: handshake, request/response, and
+//! retry-with-jittered-backoff for transient failures.
+
+use crate::frame::{read_frame, read_handshake, write_frame, write_handshake, FrameError};
+use crate::proto::{Request, Response};
+use crate::transport::{Conn, Endpoint};
+use std::fmt;
+use std::time::Duration;
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Dial, handshake, or framing failed.
+    Transport(FrameError),
+    /// The server's bytes decoded but were not a valid response.
+    Protocol(String),
+    /// Every attempt of a retried request failed; holds the last error.
+    RetriesExhausted(Box<ClientError>),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Transport(e) => write!(f, "transport: {e}"),
+            ClientError::Protocol(msg) => write!(f, "protocol: {msg}"),
+            ClientError::RetriesExhausted(last) => {
+                write!(f, "retries exhausted; last error: {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Transport(e)
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Transport(FrameError::Io(e))
+    }
+}
+
+/// A connected, handshaken client.
+pub struct Client {
+    conn: Conn,
+    max_frame: usize,
+}
+
+impl Client {
+    /// Dials and handshakes.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Transport`] on dial/handshake failure.
+    pub fn connect(ep: &Endpoint) -> Result<Client, ClientError> {
+        Client::connect_with(ep, crate::frame::DEFAULT_MAX_FRAME, Duration::from_secs(30))
+    }
+
+    /// [`Client::connect`] with an explicit frame cap and I/O timeout.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Transport`] on dial/handshake failure.
+    pub fn connect_with(
+        ep: &Endpoint,
+        max_frame: usize,
+        io_timeout: Duration,
+    ) -> Result<Client, ClientError> {
+        let mut conn = Conn::dial(ep)?;
+        conn.set_read_timeout(Some(io_timeout))?;
+        conn.set_write_timeout(Some(io_timeout))?;
+        write_handshake(&mut conn).map_err(FrameError::Io)?;
+        read_handshake(&mut conn)?;
+        Ok(Client { conn, max_frame })
+    }
+
+    /// Sends one request and waits for its response.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Transport`] on I/O failure,
+    /// [`ClientError::Protocol`] if the server's reply does not decode.
+    pub fn request(&mut self, req: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.conn, req.encode().as_bytes(), self.max_frame)?;
+        let payload = read_frame(&mut self.conn, self.max_frame)?;
+        let text = std::str::from_utf8(&payload)
+            .map_err(|_| ClientError::Protocol("response is not UTF-8".to_owned()))?;
+        Response::decode(text).map_err(ClientError::Protocol)
+    }
+}
+
+/// Backoff policy for [`request_with_retry`]: exponential growth from
+/// `base` capped at `cap`, with full jitter (each sleep is uniform in
+/// `[0, backoff]`, the AWS "full jitter" scheme — it decorrelates a
+/// thundering herd of clients retrying a shed server).
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included).
+    pub attempts: u32,
+    /// First backoff before jitter.
+    pub base: Duration,
+    /// Upper bound on the un-jittered backoff.
+    pub cap: Duration,
+    /// Seed for the jitter stream — deterministic tests pass a fixed
+    /// seed; production callers can derive one from the PID or clock.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 5,
+            base: Duration::from_millis(25),
+            cap: Duration::from_secs(2),
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// One request with reconnect-and-retry on transient failures: dial
+/// errors, transport errors, and [`Response::Overloaded`] sheds all
+/// back off and retry; definitive responses (results, typed errors)
+/// return immediately.
+///
+/// # Errors
+///
+/// [`ClientError::RetriesExhausted`] wrapping the last failure once the
+/// attempt budget is spent.
+pub fn request_with_retry(
+    ep: &Endpoint,
+    req: &Request,
+    policy: &RetryPolicy,
+) -> Result<Response, ClientError> {
+    let mut jitter = SplitMix64::new(policy.seed);
+    let mut backoff = policy.base;
+    let mut last: Option<ClientError> = None;
+    for attempt in 0..policy.attempts.max(1) {
+        if attempt > 0 {
+            std::thread::sleep(jitter.duration_in(backoff));
+            backoff = (backoff * 2).min(policy.cap);
+        }
+        let outcome = Client::connect(ep).and_then(|mut c| c.request(req));
+        match outcome {
+            Ok(Response::Overloaded) => {
+                last = Some(ClientError::Protocol("server overloaded".to_owned()));
+            }
+            Ok(resp) => return Ok(resp),
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(ClientError::RetriesExhausted(Box::new(last.unwrap_or(
+        ClientError::Protocol("no attempts made".to_owned()),
+    ))))
+}
+
+/// Minimal SplitMix64 for jitter — the client must not depend on the
+/// test-only `cpn-testkit` crate.
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform duration in `[0, max]` (full jitter).
+    fn duration_in(&mut self, max: Duration) -> Duration {
+        let nanos = max.as_nanos().min(u128::from(u64::MAX)) as u64;
+        if nanos == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos(((u128::from(self.next_u64()) * u128::from(nanos + 1)) >> 64) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+
+    #[test]
+    fn jitter_is_bounded_and_deterministic() {
+        let max = Duration::from_millis(100);
+        let mut a = SplitMix64::new(9);
+        let mut b = SplitMix64::new(9);
+        for _ in 0..100 {
+            let d = a.duration_in(max);
+            assert!(d <= max);
+            assert_eq!(d, b.duration_in(max));
+        }
+    }
+
+    #[test]
+    fn retry_against_dead_endpoint_exhausts() {
+        // Port 1 on localhost is essentially never listening.
+        let ep = Endpoint::Tcp("127.0.0.1:1".to_owned());
+        let policy = RetryPolicy {
+            attempts: 2,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(2),
+            seed: 1,
+        };
+        match request_with_retry(&ep, &Request::Ping, &policy) {
+            Err(ClientError::RetriesExhausted(_)) => {}
+            other => panic!("expected RetriesExhausted, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! # cpn-serve — a fault-tolerant verification daemon
+//!
+//! Long-running verification service over the workspace's Petri-net
+//! kernel: clients submit `.cpn` documents over TCP or Unix domain
+//! sockets and receive typed verdicts. The design goal is *graceful
+//! degradation everywhere* — every overload, deadline, malformed
+//! input, transport fault, or worker panic maps to a typed response or
+//! a clean close, never a crash, hang, or silent wrong answer:
+//!
+//! * **Framing** ([`frame`]) — magic + version handshake, then
+//!   length-prefixed frames with the length validated before any
+//!   allocation.
+//! * **Protocol** ([`proto`]) — typed [`Request`]/[`Response`] enums
+//!   with a text codec (`key=value` command line + `.cpn` document),
+//!   debuggable with `nc`.
+//! * **Pool** ([`server`]) — fixed worker threads behind a bounded
+//!   queue; a full queue sheds with [`Response::Overloaded`]; worker
+//!   panics are isolated per-request with `catch_unwind`.
+//! * **Budgets** — every request runs under a `cpn-petri` [`Budget`]
+//!   with a wall-clock deadline and the server's cancellation token,
+//!   so explosive state spaces return `Unknown`-style partial results
+//!   on time (no head-of-line blocking past the deadline).
+//! * **Drain** — SIGTERM (or [`ServerHandle::begin_drain`]) stops
+//!   accepting, sheds new work, lets in-flight requests finish under a
+//!   shrinking deadline, then cancels stragglers and joins the pool.
+//! * **Cache** ([`cache`]) — compiled nets keyed by document content
+//!   hash, so an edit-verify loop pays parse + compile once per edit.
+//! * **Client** ([`client`]) — handshake, typed errors, and
+//!   retry-with-full-jitter backoff for sheds and transient faults.
+//!
+//! [`Budget`]: cpn_petri::Budget
+//!
+//! ## Example (in-process round trip)
+//!
+//! ```
+//! use cpn_serve::{Client, Endpoint, Request, Response, Server, ServerConfig};
+//!
+//! let server = Server::bind(
+//!     &[Endpoint::Tcp("127.0.0.1:0".into())],
+//!     ServerConfig::default(),
+//! )?;
+//! let ep = server.local_endpoints()?.remove(0);
+//! let handle = server.handle();
+//! let join = std::thread::spawn(move || server.run());
+//!
+//! let mut client = Client::connect(&ep)?;
+//! assert_eq!(client.request(&Request::Ping)?, Response::Pong);
+//!
+//! handle.begin_drain();
+//! let stats = join.join().expect("server thread");
+//! assert_eq!(stats.accepted, 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
+pub mod cache;
+pub mod client;
+pub mod frame;
+pub mod proto;
+pub mod server;
+pub mod transport;
+
+pub use cache::{CacheMiss, CachedNet, NetCache};
+pub use client::{request_with_retry, Client, ClientError, RetryPolicy};
+pub use frame::{FrameError, DEFAULT_MAX_FRAME, MAGIC, PROTO_VERSION};
+pub use proto::{ExploreSummary, Request, Response};
+pub use server::{Server, ServerConfig, ServerHandle, ServerStats};
+pub use transport::{Conn, Endpoint, Listener};

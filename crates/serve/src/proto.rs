@@ -1,0 +1,352 @@
+//! Typed requests and responses, and their wire codec.
+//!
+//! A request payload is UTF-8 text: one command line (`verb key=value
+//! ...`), then — for verbs that analyse a net — the `.cpn` document on
+//! the following lines, exactly as `cpn-format` parses it. Responses
+//! are a single line of the same `verb key=value` shape. Reusing the
+//! workspace text format keeps the daemon debuggable with `nc`/`socat`
+//! and means the server-side document parser is the same hardened
+//! [`cpn_format::parse_with_limits`] the rest of the workspace uses.
+
+use std::fmt;
+use std::time::Duration;
+
+/// A client request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness probe; answered inline, never queued.
+    Ping,
+    /// Explore the reachability graph of the named net in the document.
+    Reach {
+        /// Name of the `net` item inside `doc` to analyse.
+        net: String,
+        /// State cap (server further caps this).
+        max_states: usize,
+        /// Per-request wall-clock deadline in milliseconds.
+        deadline_ms: Option<u64>,
+        /// The `.cpn` document text.
+        doc: String,
+    },
+    /// Build the Karp–Miller coverability tree of the named net.
+    Cover {
+        /// Name of the `net` item inside `doc` to analyse.
+        net: String,
+        /// Node cap (server further caps this).
+        max_states: usize,
+        /// Per-request wall-clock deadline in milliseconds.
+        deadline_ms: Option<u64>,
+        /// The `.cpn` document text.
+        doc: String,
+    },
+}
+
+impl Request {
+    /// The per-request deadline, if the client set one.
+    pub fn deadline(&self) -> Option<Duration> {
+        match self {
+            Request::Ping => None,
+            Request::Reach { deadline_ms, .. } | Request::Cover { deadline_ms, .. } => {
+                deadline_ms.map(Duration::from_millis)
+            }
+        }
+    }
+
+    /// Serializes to the wire text form.
+    pub fn encode(&self) -> String {
+        match self {
+            Request::Ping => "ping".to_owned(),
+            Request::Reach {
+                net,
+                max_states,
+                deadline_ms,
+                doc,
+            } => encode_doc_request("reach", net, *max_states, *deadline_ms, doc),
+            Request::Cover {
+                net,
+                max_states,
+                deadline_ms,
+                doc,
+            } => encode_doc_request("cover", net, *max_states, *deadline_ms, doc),
+        }
+    }
+
+    /// Parses the wire text form.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the malformation; the server
+    /// maps it to [`Response::BadRequest`].
+    pub fn decode(text: &str) -> Result<Request, String> {
+        let (line, rest) = match text.split_once('\n') {
+            Some((l, r)) => (l, r),
+            None => (text, ""),
+        };
+        let mut words = line.split_whitespace();
+        let verb = words.next().ok_or("empty request")?;
+        match verb {
+            "ping" => Ok(Request::Ping),
+            "reach" | "cover" => {
+                let mut net = None;
+                let mut max_states = 100_000usize;
+                let mut deadline_ms = None;
+                for word in words {
+                    let (k, v) = word
+                        .split_once('=')
+                        .ok_or_else(|| format!("malformed option `{word}` (expected key=value)"))?;
+                    match k {
+                        "net" => net = Some(v.to_owned()),
+                        "max_states" => {
+                            max_states = v.parse().map_err(|_| format!("bad max_states `{v}`"))?;
+                        }
+                        "deadline_ms" => {
+                            deadline_ms =
+                                Some(v.parse().map_err(|_| format!("bad deadline_ms `{v}`"))?);
+                        }
+                        other => return Err(format!("unknown option `{other}`")),
+                    }
+                }
+                let net = net.ok_or("missing `net=` option")?;
+                let doc = rest.to_owned();
+                Ok(if verb == "reach" {
+                    Request::Reach {
+                        net,
+                        max_states,
+                        deadline_ms,
+                        doc,
+                    }
+                } else {
+                    Request::Cover {
+                        net,
+                        max_states,
+                        deadline_ms,
+                        doc,
+                    }
+                })
+            }
+            other => Err(format!("unknown verb `{other}`")),
+        }
+    }
+}
+
+fn encode_doc_request(
+    verb: &str,
+    net: &str,
+    max_states: usize,
+    deadline_ms: Option<u64>,
+    doc: &str,
+) -> String {
+    let mut line = format!("{verb} net={net} max_states={max_states}");
+    if let Some(ms) = deadline_ms {
+        line.push_str(&format!(" deadline_ms={ms}"));
+    }
+    line.push('\n');
+    line.push_str(doc);
+    line
+}
+
+/// How far an exploration got, complete or not.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExploreSummary {
+    /// Distinct states (or tree nodes) discovered.
+    pub states: usize,
+    /// Edges examined.
+    pub edges: usize,
+    /// `None` if the exploration completed; otherwise the resource that
+    /// ran out first (`states`, `transitions`, `deadline`, `cancelled`).
+    pub stopped: Option<String>,
+    /// Verb-specific detail: the token bound for `reach`, the
+    /// boundedness verdict for `cover`.
+    pub detail: String,
+}
+
+impl ExploreSummary {
+    /// Whether the exploration saw the whole structure.
+    pub fn is_complete(&self) -> bool {
+        self.stopped.is_none()
+    }
+}
+
+/// A server response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// A verification result — definite if `summary.is_complete()`,
+    /// otherwise a sound partial answer (the `Unknown` arm of the
+    /// workspace's verdict lattice).
+    Result(ExploreSummary),
+    /// The bounded work queue was full; retry with backoff.
+    Overloaded,
+    /// The request's deadline passed before a worker picked it up.
+    DeadlineExceeded,
+    /// The request was malformed (framing was fine, content was not).
+    BadRequest(String),
+    /// The worker handling the request panicked; the daemon survives.
+    InternalError(String),
+}
+
+impl Response {
+    /// Serializes to the wire text form.
+    pub fn encode(&self) -> String {
+        match self {
+            Response::Pong => "pong".to_owned(),
+            Response::Result(s) => {
+                let mut line = format!("result states={} edges={}", s.states, s.edges);
+                match &s.stopped {
+                    None => line.push_str(" complete=true"),
+                    Some(r) => {
+                        line.push_str(&format!(" complete=false stopped={r}"));
+                    }
+                }
+                if !s.detail.is_empty() {
+                    line.push_str(&format!(" detail={}", s.detail));
+                }
+                line
+            }
+            Response::Overloaded => "overloaded".to_owned(),
+            Response::DeadlineExceeded => "deadline-exceeded".to_owned(),
+            Response::BadRequest(msg) => format!("bad-request {}", escape(msg)),
+            Response::InternalError(msg) => format!("internal-error {}", escape(msg)),
+        }
+    }
+
+    /// Parses the wire text form.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the malformation; the client
+    /// surfaces it as a protocol error.
+    pub fn decode(text: &str) -> Result<Response, String> {
+        let line = text.lines().next().unwrap_or("");
+        let (verb, rest) = match line.split_once(' ') {
+            Some((v, r)) => (v, r),
+            None => (line, ""),
+        };
+        match verb {
+            "pong" => Ok(Response::Pong),
+            "overloaded" => Ok(Response::Overloaded),
+            "deadline-exceeded" => Ok(Response::DeadlineExceeded),
+            "bad-request" => Ok(Response::BadRequest(unescape(rest))),
+            "internal-error" => Ok(Response::InternalError(unescape(rest))),
+            "result" => {
+                let mut s = ExploreSummary {
+                    states: 0,
+                    edges: 0,
+                    stopped: None,
+                    detail: String::new(),
+                };
+                let mut complete = false;
+                for word in rest.split_whitespace() {
+                    let (k, v) = word
+                        .split_once('=')
+                        .ok_or_else(|| format!("malformed field `{word}`"))?;
+                    match k {
+                        "states" => s.states = v.parse().map_err(|_| "bad states")?,
+                        "edges" => s.edges = v.parse().map_err(|_| "bad edges")?,
+                        "complete" => complete = v == "true",
+                        "stopped" => s.stopped = Some(v.to_owned()),
+                        "detail" => s.detail = v.to_owned(),
+                        other => return Err(format!("unknown field `{other}`")),
+                    }
+                }
+                if complete && s.stopped.is_some() {
+                    return Err("complete result carries a stop reason".to_owned());
+                }
+                if !complete && s.stopped.is_none() {
+                    return Err("incomplete result missing stop reason".to_owned());
+                }
+                Ok(Response::Result(s))
+            }
+            other => Err(format!("unknown response verb `{other}`")),
+        }
+    }
+}
+
+impl fmt::Display for Response {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.encode())
+    }
+}
+
+/// Newlines and the field separator cannot appear inside a message.
+fn escape(msg: &str) -> String {
+    msg.replace(['\n', '\r'], " ")
+}
+
+fn unescape(msg: &str) -> String {
+    msg.to_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+
+    const DOC: &str = "net n { places { p* q } transition \"t\" { pre: p; post: q } }";
+
+    #[test]
+    fn request_round_trips() {
+        let reqs = [
+            Request::Ping,
+            Request::Reach {
+                net: "n".into(),
+                max_states: 500,
+                deadline_ms: Some(50),
+                doc: DOC.into(),
+            },
+            Request::Cover {
+                net: "n".into(),
+                max_states: 1000,
+                deadline_ms: None,
+                doc: DOC.into(),
+            },
+        ];
+        for req in reqs {
+            assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let resps = [
+            Response::Pong,
+            Response::Result(ExploreSummary {
+                states: 12,
+                edges: 30,
+                stopped: None,
+                detail: "bound=1".into(),
+            }),
+            Response::Result(ExploreSummary {
+                states: 4096,
+                edges: 9999,
+                stopped: Some("deadline".into()),
+                detail: String::new(),
+            }),
+            Response::Overloaded,
+            Response::DeadlineExceeded,
+            Response::BadRequest("missing `net=` option".into()),
+            Response::InternalError("worker panicked".into()),
+        ];
+        for resp in resps {
+            assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_typed_errors() {
+        assert!(Request::decode("").is_err());
+        assert!(Request::decode("frobnicate x=1").is_err());
+        assert!(Request::decode("reach max_states=10").is_err()); // no net=
+        assert!(Request::decode("reach net=n max_states=banana").is_err());
+        assert!(Request::decode("reach net=n bogus").is_err());
+    }
+
+    #[test]
+    fn inconsistent_results_rejected() {
+        assert!(
+            Response::decode("result states=1 edges=0 complete=true stopped=deadline").is_err()
+        );
+        assert!(Response::decode("result states=1 edges=0 complete=false").is_err());
+    }
+}

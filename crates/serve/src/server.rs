@@ -1,0 +1,670 @@
+//! The verification daemon: accept loop, bounded worker pool, load
+//! shedding, panic isolation, and graceful drain.
+//!
+//! ## Architecture
+//!
+//! One lightweight thread per connection reads frames and decodes
+//! requests; compute runs on a **fixed pool** of worker threads fed by
+//! a **bounded queue**. When the queue is full the connection thread
+//! answers [`Response::Overloaded`] immediately instead of buffering —
+//! explicit load shedding, so a flood of explosive requests degrades
+//! into fast typed refusals rather than unbounded memory growth.
+//!
+//! Every compute request runs under a [`Budget`] carrying a wall-clock
+//! [`Deadline`] and the server's [`CancelToken`](cpn_petri::CancelToken); the kernel's
+//! explorers poll both coarsely and return sound partial results
+//! (`Unknown` verdicts) rather than overrunning. Worker panics are
+//! caught per-request with `catch_unwind`; the worker survives and the
+//! client receives [`Response::InternalError`].
+//!
+//! ## Drain
+//!
+//! [`ServerHandle::begin_drain`] (wired to SIGTERM in the binary)
+//! stops the accept loop and stamps a drain deadline. Requests already
+//! queued or executing finish under a deadline shrunk to the drain
+//! deadline; new requests are shed. When the grace period ends, the
+//! server cancels its token — in-flight explorations stop at the next
+//! poll with partial results — and the pool is joined.
+
+use crate::cache::{CacheMiss, NetCache};
+use crate::frame::{
+    read_frame_payload, write_frame, write_handshake, FrameError, DEFAULT_MAX_FRAME,
+};
+use crate::proto::{ExploreSummary, Request, Response};
+use crate::transport::{Conn, Endpoint, Listener};
+use cpn_format::ParseLimits;
+use cpn_petri::{
+    reachability_bounded_compiled, Bounded, Budget, CancelScope, CoverabilityOutcome,
+    CoverabilityTree, Deadline,
+};
+use std::io::{self, Read};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Tunables for a [`Server`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Compute worker threads (the fixed pool).
+    pub workers: usize,
+    /// Bounded depth of the work queue; a full queue sheds.
+    pub queue_depth: usize,
+    /// Cap on a single frame's payload.
+    pub max_frame: usize,
+    /// Idle timeout: a connection sending nothing for this long closes.
+    pub idle_timeout: Duration,
+    /// I/O timeout for mid-frame reads and response writes (a stalled
+    /// peer is cut off, not waited on forever).
+    pub io_timeout: Duration,
+    /// Deadline applied to requests that do not set their own (and the
+    /// cap on those that do).
+    pub default_deadline: Duration,
+    /// How long in-flight work may run after drain begins.
+    pub drain_grace: Duration,
+    /// Cap on concurrently served connections; beyond it new
+    /// connections are shed with `Overloaded`.
+    pub max_connections: usize,
+    /// Cap on `max_states` a request may ask for.
+    pub max_states_cap: usize,
+    /// Parse limits for client documents.
+    pub parse_limits: ParseLimits,
+    /// Compiled-net cache entries.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            queue_depth: 32,
+            max_frame: DEFAULT_MAX_FRAME,
+            idle_timeout: Duration::from_secs(60),
+            io_timeout: Duration::from_secs(10),
+            default_deadline: Duration::from_secs(30),
+            drain_grace: Duration::from_secs(5),
+            max_connections: 256,
+            max_states_cap: 5_000_000,
+            parse_limits: ParseLimits::default(),
+            cache_capacity: 64,
+        }
+    }
+}
+
+/// Counters exposed after [`Server::run`] returns (all monotonic).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections accepted and handshaken.
+    pub accepted: u64,
+    /// Requests answered with a non-shed response.
+    pub served: u64,
+    /// Requests or connections shed with `Overloaded`.
+    pub shed: u64,
+    /// Worker panics caught (each produced an `InternalError`).
+    pub panics: u64,
+    /// Malformed requests answered with `BadRequest`.
+    pub bad_requests: u64,
+    /// Requests whose deadline passed before compute started.
+    pub deadline_rejected: u64,
+    /// Connections dropped during handshake (bad magic/version/EOF).
+    pub handshake_failures: u64,
+    /// Compiled-net cache hits / misses.
+    pub cache_hits: u64,
+    /// Compiled-net cache misses.
+    pub cache_misses: u64,
+    /// Workers that exited cleanly at drain (equals the pool size when
+    /// the drain left the pool idle).
+    pub workers_joined: usize,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    accepted: AtomicU64,
+    served: AtomicU64,
+    shed: AtomicU64,
+    panics: AtomicU64,
+    bad_requests: AtomicU64,
+    deadline_rejected: AtomicU64,
+    handshake_failures: AtomicU64,
+}
+
+struct Shared {
+    config: ServerConfig,
+    cache: NetCache,
+    counters: Counters,
+    accepting: AtomicBool,
+    draining: AtomicBool,
+    hard_stop: AtomicBool,
+    stop_workers: AtomicBool,
+    drain_deadline: Mutex<Option<Deadline>>,
+    cancel: CancelScope,
+    active_conns: AtomicUsize,
+}
+
+impl Shared {
+    /// The deadline stamped by `begin_drain`, if draining.
+    fn drain_deadline(&self) -> Option<Deadline> {
+        *lock(&self.drain_deadline)
+    }
+}
+
+/// Remote control over a running [`Server`] (cloneable, thread-safe).
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// Begins a graceful drain: stop accepting, shed new requests, let
+    /// in-flight work finish under the shrinking drain deadline.
+    pub fn begin_drain(&self) {
+        let mut dd = lock(&self.shared.drain_deadline);
+        if dd.is_none() {
+            *dd = Some(Deadline::after(self.shared.config.drain_grace));
+        }
+        drop(dd);
+        self.shared.accepting.store(false, Ordering::SeqCst);
+        self.shared.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Cancels all in-flight explorations immediately (they return
+    /// partial results at their next poll).
+    pub fn hard_cancel(&self) {
+        self.shared.hard_stop.store(true, Ordering::SeqCst);
+        self.shared.cancel.cancel();
+    }
+
+    /// Whether a drain has begun.
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
+    }
+}
+
+struct Job {
+    request: Request,
+    reply: SyncSender<Response>,
+}
+
+/// The verification daemon. Bind with [`Server::bind`], then
+/// [`Server::run`] until a [`ServerHandle::begin_drain`] completes.
+pub struct Server {
+    listeners: Vec<Listener>,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds every endpoint and prepares the pool.
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] if any endpoint fails to bind.
+    pub fn bind(endpoints: &[Endpoint], config: ServerConfig) -> io::Result<Server> {
+        let listeners = endpoints
+            .iter()
+            .map(Listener::bind)
+            .collect::<io::Result<Vec<_>>>()?;
+        let cache = NetCache::new(config.cache_capacity, config.parse_limits);
+        let shared = Arc::new(Shared {
+            config,
+            cache,
+            counters: Counters::default(),
+            accepting: AtomicBool::new(true),
+            draining: AtomicBool::new(false),
+            hard_stop: AtomicBool::new(false),
+            stop_workers: AtomicBool::new(false),
+            drain_deadline: Mutex::new(None),
+            cancel: CancelScope::new(),
+            active_conns: AtomicUsize::new(0),
+        });
+        Ok(Server { listeners, shared })
+    }
+
+    /// A handle for drain/cancel control from other threads (e.g. the
+    /// signal handler poll loop).
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// The concrete bound endpoints (resolves `:0` ports).
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] if a local address cannot be read.
+    pub fn local_endpoints(&self) -> io::Result<Vec<Endpoint>> {
+        self.listeners
+            .iter()
+            .map(Listener::local_endpoint)
+            .collect()
+    }
+
+    /// Serves until a drain completes; returns the final counters.
+    pub fn run(self) -> ServerStats {
+        let Server { listeners, shared } = self;
+        let (job_tx, job_rx) = sync_channel::<Job>(shared.config.queue_depth);
+        let job_rx = Arc::new(Mutex::new(job_rx));
+
+        let workers: Vec<JoinHandle<()>> = (0..shared.config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let rx = Arc::clone(&job_rx);
+                thread::Builder::new()
+                    .name(format!("cpn-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, &rx))
+                    .unwrap_or_else(|e| panic!("spawning worker {i}: {e}"))
+            })
+            .collect();
+
+        let mut conn_threads: Vec<JoinHandle<()>> = Vec::new();
+        while shared.accepting.load(Ordering::SeqCst) {
+            let mut any = false;
+            for listener in &listeners {
+                match listener.try_accept() {
+                    Ok(Some(conn)) => {
+                        any = true;
+                        self::accept_conn(&shared, conn, &job_tx, &mut conn_threads);
+                    }
+                    Ok(None) => {}
+                    Err(_) => {}
+                }
+            }
+            conn_threads.retain(|h| !h.is_finished());
+            if !any {
+                thread::sleep(Duration::from_millis(5));
+            }
+        }
+        // Stop accepting: drop the listeners now so the OS refuses new
+        // connections for the rest of the drain.
+        drop(listeners);
+
+        // Let in-flight connections finish under the drain deadline.
+        loop {
+            let deadline = shared.drain_deadline();
+            let idle = shared.active_conns.load(Ordering::SeqCst) == 0;
+            if idle {
+                break;
+            }
+            if let Some(d) = deadline {
+                if d.expired() {
+                    // Grace over: cancel in-flight exploration; give
+                    // connections a short moment to flush replies.
+                    shared.hard_stop.store(true, Ordering::SeqCst);
+                    shared.cancel.cancel();
+                    if d.instant().elapsed() > shared.config.io_timeout {
+                        break;
+                    }
+                }
+            }
+            thread::sleep(Duration::from_millis(10));
+        }
+
+        // Retire the pool.
+        shared.stop_workers.store(true, Ordering::SeqCst);
+        drop(job_tx);
+        let mut joined = 0;
+        for w in workers {
+            if w.join().is_ok() {
+                joined += 1;
+            }
+        }
+        for h in conn_threads {
+            let _ = h.join();
+        }
+
+        let (cache_hits, cache_misses) = shared.cache.stats();
+        let c = &shared.counters;
+        ServerStats {
+            accepted: c.accepted.load(Ordering::SeqCst),
+            served: c.served.load(Ordering::SeqCst),
+            shed: c.shed.load(Ordering::SeqCst),
+            panics: c.panics.load(Ordering::SeqCst),
+            bad_requests: c.bad_requests.load(Ordering::SeqCst),
+            deadline_rejected: c.deadline_rejected.load(Ordering::SeqCst),
+            handshake_failures: c.handshake_failures.load(Ordering::SeqCst),
+            cache_hits,
+            cache_misses,
+            workers_joined: joined,
+        }
+    }
+}
+
+fn accept_conn(
+    shared: &Arc<Shared>,
+    conn: Conn,
+    job_tx: &SyncSender<Job>,
+    conn_threads: &mut Vec<JoinHandle<()>>,
+) {
+    let active = shared.active_conns.load(Ordering::SeqCst);
+    if active >= shared.config.max_connections {
+        // Shed at the door: handshake so the client can read a typed
+        // refusal, then close.
+        shared.counters.shed.fetch_add(1, Ordering::SeqCst);
+        let shared = Arc::clone(shared);
+        let _ = thread::Builder::new()
+            .name("cpn-serve-shed".to_owned())
+            .spawn(move || {
+                let mut conn = conn;
+                let _ = conn.set_write_timeout(Some(shared.config.io_timeout));
+                if write_handshake(&mut conn).is_ok() {
+                    let _ = write_frame(
+                        &mut conn,
+                        Response::Overloaded.encode().as_bytes(),
+                        shared.config.max_frame,
+                    );
+                }
+            });
+        return;
+    }
+    shared.active_conns.fetch_add(1, Ordering::SeqCst);
+    let shared_cl = Arc::clone(shared);
+    let tx = job_tx.clone();
+    let spawned = thread::Builder::new()
+        .name("cpn-serve-conn".to_owned())
+        .spawn(move || {
+            serve_conn(&shared_cl, conn, &tx);
+            shared_cl.active_conns.fetch_sub(1, Ordering::SeqCst);
+        });
+    match spawned {
+        Ok(h) => conn_threads.push(h),
+        Err(_) => {
+            shared.active_conns.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Reads one frame with separate idle and I/O timeouts. Returns
+/// `Ok(None)` when the server is hard-stopping and the peer is idle.
+fn read_frame_with_timeouts(
+    shared: &Shared,
+    conn: &mut Conn,
+) -> Result<Option<Vec<u8>>, FrameError> {
+    // Idle phase: poll for the first byte in short slices so drain and
+    // hard-stop are observed promptly.
+    let poll = Duration::from_millis(200);
+    let started = Instant::now();
+    let mut first = [0u8; 1];
+    loop {
+        conn.set_read_timeout(Some(poll))?;
+        match conn.read(&mut first) {
+            Ok(0) => {
+                return Err(FrameError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "peer closed",
+                )))
+            }
+            Ok(_) => break,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                // An idle connection (no frame started) has nothing
+                // in flight: close it as soon as a drain begins rather
+                // than holding the drain open for the whole grace.
+                if shared.hard_stop.load(Ordering::SeqCst) || shared.draining.load(Ordering::SeqCst)
+                {
+                    return Ok(None);
+                }
+                if started.elapsed() >= shared.config.idle_timeout {
+                    return Err(FrameError::Io(e));
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    // Frame phase: the peer has started a frame; finish it under the
+    // I/O timeout (a stalled writer is cut off, not waited on).
+    conn.set_read_timeout(Some(shared.config.io_timeout))?;
+    let mut rest = [0u8; 3];
+    conn.read_exact(&mut rest)?;
+    let claimed = u32::from_be_bytes([first[0], rest[0], rest[1], rest[2]]) as usize;
+    read_frame_payload(conn, claimed, shared.config.max_frame).map(Some)
+}
+
+fn serve_conn(shared: &Arc<Shared>, mut conn: Conn, job_tx: &SyncSender<Job>) {
+    let _ = conn.set_write_timeout(Some(shared.config.io_timeout));
+    let _ = conn.set_read_timeout(Some(shared.config.io_timeout));
+    if crate::frame::read_handshake(&mut conn).is_err() || write_handshake(&mut conn).is_err() {
+        shared
+            .counters
+            .handshake_failures
+            .fetch_add(1, Ordering::SeqCst);
+        conn.shutdown();
+        return;
+    }
+    shared.counters.accepted.fetch_add(1, Ordering::SeqCst);
+
+    loop {
+        let payload = match read_frame_with_timeouts(shared, &mut conn) {
+            Ok(Some(p)) => p,
+            Ok(None) => break, // hard stop, peer idle
+            Err(FrameError::Oversized { claimed, max }) => {
+                // The stream is desynchronized past this point (we did
+                // not consume the oversized payload): answer, close.
+                let resp = Response::BadRequest(format!(
+                    "frame of {claimed} bytes exceeds the {max}-byte cap"
+                ));
+                let _ = write_frame(&mut conn, resp.encode().as_bytes(), shared.config.max_frame);
+                shared.counters.bad_requests.fetch_add(1, Ordering::SeqCst);
+                break;
+            }
+            Err(_) => break, // EOF, idle timeout, truncation, transport fault
+        };
+        let response = match std::str::from_utf8(&payload) {
+            Err(_) => Response::BadRequest("request is not UTF-8".to_owned()),
+            Ok(text) => match Request::decode(text) {
+                Err(msg) => Response::BadRequest(msg),
+                Ok(Request::Ping) => Response::Pong,
+                Ok(request) => dispatch(shared, request, job_tx),
+            },
+        };
+        match &response {
+            Response::BadRequest(_) => {
+                shared.counters.bad_requests.fetch_add(1, Ordering::SeqCst);
+            }
+            // Sheds are counted where they happen (queue or door).
+            Response::Overloaded => {}
+            _ => {
+                shared.counters.served.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        if write_frame(
+            &mut conn,
+            response.encode().as_bytes(),
+            shared.config.max_frame,
+        )
+        .is_err()
+        {
+            break;
+        }
+    }
+    conn.shutdown();
+}
+
+/// Queues a compute request, shedding when full, and waits for the
+/// worker's reply.
+fn dispatch(shared: &Arc<Shared>, request: Request, job_tx: &SyncSender<Job>) -> Response {
+    if shared.draining.load(Ordering::SeqCst) {
+        // New work during drain is shed; only already-queued requests
+        // finish.
+        shared.counters.shed.fetch_add(1, Ordering::SeqCst);
+        return Response::Overloaded;
+    }
+    let wait = request
+        .deadline()
+        .unwrap_or(shared.config.default_deadline)
+        .min(shared.config.default_deadline);
+    let (reply_tx, reply_rx) = sync_channel(1);
+    match job_tx.try_send(Job {
+        request,
+        reply: reply_tx,
+    }) {
+        Ok(()) => {}
+        Err(TrySendError::Full(_)) => {
+            shared.counters.shed.fetch_add(1, Ordering::SeqCst);
+            return Response::Overloaded;
+        }
+        Err(TrySendError::Disconnected(_)) => {
+            shared.counters.shed.fetch_add(1, Ordering::SeqCst);
+            return Response::Overloaded;
+        }
+    }
+    // Deadline + queue wait + poll slack; the worker answers
+    // DeadlineExceeded itself if the deadline passes in the queue.
+    let reply_timeout = wait + shared.config.io_timeout + Duration::from_secs(2);
+    match reply_rx.recv_timeout(reply_timeout) {
+        Ok(resp) => resp,
+        Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => {
+            Response::InternalError("worker did not reply in time".to_owned())
+        }
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>, rx: &Arc<Mutex<Receiver<Job>>>) {
+    loop {
+        let job = {
+            let guard = lock(rx);
+            guard.recv_timeout(Duration::from_millis(100))
+        };
+        match job {
+            Ok(job) => {
+                let response =
+                    catch_unwind(AssertUnwindSafe(|| handle_request(shared, &job.request)))
+                        .unwrap_or_else(|panic| {
+                            shared.counters.panics.fetch_add(1, Ordering::SeqCst);
+                            Response::InternalError(format!(
+                                "worker panicked: {}",
+                                panic_message(&panic)
+                            ))
+                        });
+                // The connection thread may have timed out and gone.
+                let _ = job.reply.send(response);
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if shared.stop_workers.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// Computes one request under its budget. Runs inside `catch_unwind`.
+fn handle_request(shared: &Shared, request: &Request) -> Response {
+    let (net_name, max_states, doc, is_cover) = match request {
+        Request::Ping => return Response::Pong,
+        Request::Reach {
+            net,
+            max_states,
+            doc,
+            ..
+        } => (net, *max_states, doc, false),
+        Request::Cover {
+            net,
+            max_states,
+            doc,
+            ..
+        } => (net, *max_states, doc, true),
+    };
+
+    // Chaos hook: with CPN_SERVE_CHAOS set, a request for this net name
+    // panics inside the worker on purpose, so panic isolation is
+    // testable end-to-end over the real wire path. Inert in normal
+    // operation.
+    if net_name == "__chaos_panic" && std::env::var_os("CPN_SERVE_CHAOS").is_some() {
+        panic!("chaos hook: deliberate worker panic");
+    }
+
+    // Budget: client's caps clamped by the server's, the deadline shrunk
+    // to the drain deadline when draining, the server's cancel token.
+    let mut deadline = Deadline::after(
+        request
+            .deadline()
+            .unwrap_or(shared.config.default_deadline)
+            .min(shared.config.default_deadline),
+    );
+    if let Some(dd) = shared.drain_deadline() {
+        deadline = deadline.min(dd);
+    }
+    if deadline.expired() {
+        shared
+            .counters
+            .deadline_rejected
+            .fetch_add(1, Ordering::SeqCst);
+        return Response::DeadlineExceeded;
+    }
+    let budget = Budget::states(max_states.min(shared.config.max_states_cap))
+        .with_deadline_at(deadline)
+        .with_cancel(shared.cancel.token());
+
+    let cached = match shared.cache.get_or_compile(doc, net_name) {
+        Ok(c) => c,
+        Err(CacheMiss::Parse(msg)) => return Response::BadRequest(format!("parse error: {msg}")),
+        Err(CacheMiss::NoSuchNet(name)) => {
+            return Response::BadRequest(format!("no net named `{name}` in document"))
+        }
+    };
+
+    let summary = if is_cover {
+        match CoverabilityTree::build_bounded(&cached.net, &budget) {
+            Bounded::Complete(tree) => {
+                let detail = match tree.outcome() {
+                    CoverabilityOutcome::Bounded { bound } => format!("bounded={bound}"),
+                    CoverabilityOutcome::Unbounded { witnesses } => {
+                        format!("unbounded_witnesses={}", witnesses.len())
+                    }
+                };
+                ExploreSummary {
+                    states: tree.markings().len(),
+                    edges: 0,
+                    stopped: None,
+                    detail,
+                }
+            }
+            Bounded::Exhausted { partial, info } => ExploreSummary {
+                states: partial.markings().len(),
+                edges: info.transitions_explored,
+                stopped: Some(info.resource.to_string()),
+                detail: String::new(),
+            },
+        }
+    } else {
+        match reachability_bounded_compiled(&cached.compiled, &cached.m0, &budget) {
+            Bounded::Complete(rg) => ExploreSummary {
+                states: rg.state_count(),
+                edges: rg.edge_count(),
+                stopped: None,
+                detail: format!("bound={}", rg.token_bound()),
+            },
+            Bounded::Exhausted { partial, info } => ExploreSummary {
+                states: partial.state_count(),
+                edges: partial.edge_count(),
+                stopped: Some(info.resource.to_string()),
+                detail: String::new(),
+            },
+        }
+    };
+    Response::Result(summary)
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_owned()
+    }
+}
+
+/// Locks a mutex, recovering from poisoning (a panicking worker has
+/// already been isolated; the guarded state stays consistent).
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}

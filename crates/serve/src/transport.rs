@@ -1,0 +1,220 @@
+//! Transport abstraction: one API over TCP sockets and Unix domain
+//! sockets, so the server, client, and chaos tests are written once.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Where a daemon listens (or a client connects).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Endpoint {
+    /// A TCP socket address, e.g. `127.0.0.1:7878`.
+    Tcp(String),
+    /// A Unix domain socket path.
+    #[cfg(unix)]
+    Unix(PathBuf),
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Endpoint::Tcp(a) => write!(f, "tcp://{a}"),
+            #[cfg(unix)]
+            Endpoint::Unix(p) => write!(f, "unix://{}", p.display()),
+        }
+    }
+}
+
+/// An accepted or dialed connection.
+#[derive(Debug)]
+pub enum Conn {
+    /// A TCP stream.
+    Tcp(TcpStream),
+    /// A Unix domain stream.
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Conn {
+    /// Dials the endpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] if the dial fails.
+    pub fn dial(ep: &Endpoint) -> io::Result<Conn> {
+        match ep {
+            Endpoint::Tcp(addr) => {
+                let s = TcpStream::connect(addr)?;
+                // Frames are written as a small length prefix followed by
+                // the payload; Nagle + delayed ACK would add ~40 ms per
+                // direction to every request without this.
+                s.set_nodelay(true)?;
+                Ok(Conn::Tcp(s))
+            }
+            #[cfg(unix)]
+            Endpoint::Unix(path) => UnixStream::connect(path).map(Conn::Unix),
+        }
+    }
+
+    /// Sets the read timeout (`None` blocks forever).
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] if the socket option cannot be set.
+    pub fn set_read_timeout(&self, t: Option<Duration>) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.set_read_timeout(t),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.set_read_timeout(t),
+        }
+    }
+
+    /// Sets the write timeout (`None` blocks forever).
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] if the socket option cannot be set.
+    pub fn set_write_timeout(&self, t: Option<Duration>) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.set_write_timeout(t),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.set_write_timeout(t),
+        }
+    }
+
+    /// Shuts down both directions, unblocking any pending peer read.
+    pub fn shutdown(&self) {
+        match self {
+            Conn::Tcp(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+            #[cfg(unix)]
+            Conn::Unix(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// A bound, non-blocking listener.
+#[derive(Debug)]
+pub enum Listener {
+    /// A TCP listener.
+    Tcp(TcpListener),
+    /// A Unix domain listener (removes the socket file on drop).
+    #[cfg(unix)]
+    Unix(UnixListener, PathBuf),
+}
+
+impl Listener {
+    /// Binds the endpoint in non-blocking mode (the accept loop polls
+    /// between accepts so it can observe the shutdown flag).
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] if the bind fails. An existing Unix socket file is
+    /// removed first (the standard stale-socket convention).
+    pub fn bind(ep: &Endpoint) -> io::Result<Listener> {
+        match ep {
+            Endpoint::Tcp(addr) => {
+                let l = TcpListener::bind(addr)?;
+                l.set_nonblocking(true)?;
+                Ok(Listener::Tcp(l))
+            }
+            #[cfg(unix)]
+            Endpoint::Unix(path) => {
+                let _ = std::fs::remove_file(path);
+                let l = UnixListener::bind(path)?;
+                l.set_nonblocking(true)?;
+                Ok(Listener::Unix(l, path.clone()))
+            }
+        }
+    }
+
+    /// The concrete local endpoint (resolves `:0` TCP ports).
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] if the local address cannot be read.
+    pub fn local_endpoint(&self) -> io::Result<Endpoint> {
+        match self {
+            Listener::Tcp(l) => {
+                let addr: SocketAddr = l.local_addr()?;
+                Ok(Endpoint::Tcp(addr.to_string()))
+            }
+            #[cfg(unix)]
+            Listener::Unix(_, path) => Ok(Endpoint::Unix(path.clone())),
+        }
+    }
+
+    /// One non-blocking accept attempt; `Ok(None)` when no connection
+    /// is pending.
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] on a real accept failure (not `WouldBlock`).
+    pub fn try_accept(&self) -> io::Result<Option<Conn>> {
+        let conn = match self {
+            Listener::Tcp(l) => match l.accept() {
+                Ok((s, _)) => {
+                    s.set_nonblocking(false)?;
+                    s.set_nodelay(true)?;
+                    Some(Conn::Tcp(s))
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => None,
+                Err(e) => return Err(e),
+            },
+            #[cfg(unix)]
+            Listener::Unix(l, _) => match l.accept() {
+                Ok((s, _)) => {
+                    s.set_nonblocking(false)?;
+                    Some(Conn::Unix(s))
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => None,
+                Err(e) => return Err(e),
+            },
+        };
+        Ok(conn)
+    }
+}
+
+impl Drop for Listener {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let Listener::Unix(_, path) = self {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Chaos soak: a seeded transport fault injector hammers the daemon
+//! with truncated frames, oversized length prefixes, garbage bytes,
+//! mid-request disconnects, and stalled writes, interleaved with
+//! well-formed requests. Invariants, from the issue's acceptance
+//! criteria:
+//!
+//! * every **well-formed** request receives a typed response,
+//! * the daemon neither panics nor deadlocks,
+//! * the worker pool is idle (fully joined) after the drain.
+//!
+//! The schedule is a pure function of `CHAOS_SEED`, so a failure
+//! reproduces exactly. `CPN_CHAOS_QUICK=1` (the CI smoke setting)
+//! trims the connection count.
+
+use cpn_serve::frame::{encode_frame, read_frame, read_handshake, write_handshake};
+use cpn_serve::{Client, Endpoint, Request, Response, Server, ServerConfig};
+use cpn_testkit::{corrupt_frame, ChaosInjector, TransportFault, WriteStep};
+use std::io::Write;
+use std::time::Duration;
+
+const CHAOS_SEED: u64 = 0xDAC9_4CAF_E001;
+
+const SMALL_NET: &str = r#"net small {
+    places { p* q }
+    transition "a" { pre: p; post: q }
+    transition "b" { pre: q; post: p }
+}"#;
+
+fn soak_config() -> ServerConfig {
+    ServerConfig {
+        workers: 3,
+        queue_depth: 4,
+        default_deadline: Duration::from_secs(5),
+        drain_grace: Duration::from_secs(2),
+        idle_timeout: Duration::from_secs(2),
+        // Short I/O timeout so stalled writers are cut quickly.
+        io_timeout: Duration::from_millis(500),
+        ..ServerConfig::default()
+    }
+}
+
+/// One faulty connection: handshake correctly, then run the corruption
+/// script for a would-be request frame. Nothing here may hang or panic
+/// the server; whatever comes back (a typed error frame, a close) is
+/// acceptable for a *malformed* exchange.
+fn run_faulty_connection(ep: &Endpoint, fault: &TransportFault, injector: &mut ChaosInjector) {
+    let Ok(mut conn) = cpn_serve::Conn::dial(ep) else {
+        return; // server mid-shed; dial refusal is a typed outcome
+    };
+    let _ = conn.set_read_timeout(Some(Duration::from_secs(2)));
+    let _ = conn.set_write_timeout(Some(Duration::from_secs(2)));
+    if write_handshake(&mut conn).is_err() || read_handshake(&mut conn).is_err() {
+        return;
+    }
+    let request = Request::Reach {
+        net: "small".into(),
+        max_states: 1000,
+        deadline_ms: Some(1000),
+        doc: SMALL_NET.into(),
+    };
+    let wire = encode_frame(request.encode().as_bytes());
+    let steps = corrupt_frame(&wire, fault, injector);
+    for step in steps {
+        match step {
+            WriteStep::Bytes(bytes) => {
+                if conn.write_all(&bytes).is_err() {
+                    return; // server already cut us off — fine
+                }
+                let _ = conn.flush();
+            }
+            WriteStep::Pause(d) => std::thread::sleep(d),
+            WriteStep::CloseNow => {
+                conn.shutdown();
+                return;
+            }
+        }
+    }
+    // A stalled-but-complete frame is a well-formed request: it must
+    // still get a typed response (the stall is under the I/O timeout).
+    if matches!(fault, TransportFault::StalledWrite { .. }) {
+        let payload = read_frame(&mut conn, 1 << 20).expect("stalled frame still answered");
+        let text = std::str::from_utf8(&payload).expect("UTF-8 response");
+        let resp = Response::decode(text).expect("typed response");
+        assert!(
+            matches!(
+                resp,
+                Response::Result(_)
+                    | Response::Overloaded
+                    | Response::DeadlineExceeded
+                    | Response::InternalError(_)
+            ),
+            "unexpected response to stalled request: {resp:?}"
+        );
+    }
+}
+
+/// One clean connection: a well-formed request that MUST get a typed
+/// response.
+fn run_clean_connection(ep: &Endpoint, i: usize) -> Response {
+    let mut client = Client::connect(ep).expect("clean connect");
+    let req = match i % 3 {
+        0 => Request::Ping,
+        1 => Request::Reach {
+            net: "small".into(),
+            max_states: 1000,
+            deadline_ms: Some(2000),
+            doc: SMALL_NET.into(),
+        },
+        _ => Request::Cover {
+            net: "small".into(),
+            max_states: 1000,
+            deadline_ms: Some(2000),
+            doc: SMALL_NET.into(),
+        },
+    };
+    client.request(&req).expect("typed response")
+}
+
+#[test]
+fn chaos_soak_every_wellformed_request_answered() {
+    let connections: usize = if std::env::var_os("CPN_CHAOS_QUICK").is_some() {
+        25
+    } else {
+        80
+    };
+    let server = Server::bind(&[Endpoint::Tcp("127.0.0.1:0".into())], soak_config()).expect("bind");
+    let ep = server.local_endpoints().expect("endpoints").remove(0);
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run());
+
+    let mut injector = ChaosInjector::new(CHAOS_SEED).with_ratio(2, 5);
+    let mut clean = 0usize;
+    let mut answered = 0usize;
+    for i in 0..connections {
+        match injector.next_connection() {
+            Some(fault) => run_faulty_connection(&ep, &fault, &mut injector),
+            None => {
+                clean += 1;
+                match run_clean_connection(&ep, i) {
+                    Response::Pong | Response::Result(_) => answered += 1,
+                    Response::Overloaded | Response::DeadlineExceeded => answered += 1,
+                    other => panic!("well-formed request got {other:?}"),
+                }
+            }
+        }
+    }
+    let (seen, faulted) = injector.stats();
+    assert_eq!(seen as usize, connections);
+    assert!(
+        faulted as f64 / seen as f64 >= 0.3,
+        "fault rate too low under seed {CHAOS_SEED:#x}: {faulted}/{seen}"
+    );
+    assert_eq!(answered, clean, "every well-formed request answered");
+
+    handle.begin_drain();
+    let stats = join.join().expect("server run");
+    assert_eq!(stats.panics, 0, "no worker panics under chaos: {stats:?}");
+    assert_eq!(
+        stats.workers_joined, 3,
+        "worker pool idle and joined post-drain: {stats:?}"
+    );
+    assert!(stats.accepted >= clean as u64);
+}
+
+/// Oversized length prefixes specifically must produce the typed
+/// `bad-request` refusal before the connection closes — the frame cap
+/// is checked before allocation.
+#[test]
+fn oversized_prefix_gets_typed_refusal() {
+    let server = Server::bind(&[Endpoint::Tcp("127.0.0.1:0".into())], soak_config()).expect("bind");
+    let ep = server.local_endpoints().expect("endpoints").remove(0);
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run());
+
+    let mut conn = cpn_serve::Conn::dial(&ep).expect("dial");
+    let _ = conn.set_read_timeout(Some(Duration::from_secs(2)));
+    write_handshake(&mut conn).expect("handshake out");
+    read_handshake(&mut conn).expect("handshake in");
+    conn.write_all(&u32::MAX.to_be_bytes())
+        .expect("evil prefix");
+    conn.write_all(b"junk").expect("junk");
+    let payload = read_frame(&mut conn, 1 << 20).expect("refusal frame");
+    let resp = Response::decode(std::str::from_utf8(&payload).expect("UTF-8")).expect("typed");
+    match resp {
+        Response::BadRequest(msg) => assert!(msg.contains("exceeds"), "msg: {msg}"),
+        other => panic!("expected BadRequest, got {other:?}"),
+    }
+
+    handle.begin_drain();
+    let stats = join.join().expect("server run");
+    assert_eq!(stats.bad_requests, 1);
+}

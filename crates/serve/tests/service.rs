@@ -1,0 +1,319 @@
+//! End-to-end service tests: round trips over TCP and UDS, deadline
+//! degradation without head-of-line starvation, panic isolation, load
+//! shedding, and graceful drain.
+
+use cpn_serve::{
+    request_with_retry, Client, Endpoint, Request, Response, RetryPolicy, Server, ServerConfig,
+};
+use std::time::{Duration, Instant};
+
+const SMALL_NET: &str = r#"net small {
+    places { p* q }
+    transition "a" { pre: p; post: q }
+    transition "b" { pre: q; post: p }
+}"#;
+
+/// `n` independent toggles: `2^n` reachable states, far beyond any
+/// short deadline.
+fn explosive_doc(n: usize) -> String {
+    let mut doc = String::from("net boom {\n    places {");
+    for i in 0..n {
+        doc.push_str(&format!(" a{i}* b{i}"));
+    }
+    doc.push_str(" }\n");
+    for i in 0..n {
+        doc.push_str(&format!(
+            "    transition \"up{i}\" {{ pre: a{i}; post: b{i} }}\n"
+        ));
+        doc.push_str(&format!(
+            "    transition \"down{i}\" {{ pre: b{i}; post: a{i} }}\n"
+        ));
+    }
+    doc.push('}');
+    doc
+}
+
+fn quick_config() -> ServerConfig {
+    ServerConfig {
+        workers: 4,
+        queue_depth: 8,
+        default_deadline: Duration::from_secs(10),
+        drain_grace: Duration::from_secs(2),
+        idle_timeout: Duration::from_secs(5),
+        io_timeout: Duration::from_secs(2),
+        ..ServerConfig::default()
+    }
+}
+
+fn start(
+    config: ServerConfig,
+) -> (
+    Endpoint,
+    cpn_serve::ServerHandle,
+    std::thread::JoinHandle<cpn_serve::ServerStats>,
+) {
+    let server = Server::bind(&[Endpoint::Tcp("127.0.0.1:0".into())], config).expect("bind");
+    let ep = server.local_endpoints().expect("endpoints").remove(0);
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run());
+    (ep, handle, join)
+}
+
+#[test]
+fn tcp_round_trip_and_cache_hit() {
+    let (ep, handle, join) = start(quick_config());
+    let mut client = Client::connect(&ep).expect("connect");
+    assert_eq!(
+        client.request(&Request::Ping).expect("ping"),
+        Response::Pong
+    );
+
+    let req = Request::Reach {
+        net: "small".into(),
+        max_states: 1000,
+        deadline_ms: None,
+        doc: SMALL_NET.into(),
+    };
+    for _ in 0..2 {
+        match client.request(&req).expect("reach") {
+            Response::Result(s) => {
+                assert!(s.is_complete());
+                assert_eq!(s.states, 2);
+                assert_eq!(s.edges, 2);
+                assert!(s.detail.contains("bound=1"));
+            }
+            other => panic!("expected Result, got {other:?}"),
+        }
+    }
+    let cover = Request::Cover {
+        net: "small".into(),
+        max_states: 1000,
+        deadline_ms: None,
+        doc: SMALL_NET.into(),
+    };
+    match client.request(&cover).expect("cover") {
+        Response::Result(s) => {
+            assert!(s.is_complete());
+            assert!(s.detail.contains("bounded=1"), "detail: {}", s.detail);
+        }
+        other => panic!("expected Result, got {other:?}"),
+    }
+    drop(client);
+    handle.begin_drain();
+    let stats = join.join().expect("server");
+    assert_eq!(stats.accepted, 1);
+    assert_eq!(stats.served, 4);
+    // Second identical reach and the cover reused the parsed document.
+    assert!(stats.cache_hits >= 1, "stats: {stats:?}");
+    assert_eq!(stats.workers_joined, 4);
+}
+
+#[cfg(unix)]
+#[test]
+fn uds_round_trip() {
+    let dir = std::env::temp_dir().join(format!("cpn-serve-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    let path = dir.join("uds-round-trip.sock");
+    let server = Server::bind(&[Endpoint::Unix(path.clone())], quick_config()).expect("bind");
+    let ep = server.local_endpoints().expect("endpoints").remove(0);
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run());
+
+    let mut client = Client::connect(&ep).expect("connect");
+    assert_eq!(
+        client.request(&Request::Ping).expect("ping"),
+        Response::Pong
+    );
+    drop(client);
+    handle.begin_drain();
+    let stats = join.join().expect("server");
+    assert_eq!(stats.accepted, 1);
+    assert!(!path.exists(), "socket file removed on drop");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn explosive_request_degrades_without_starving_small_ones() {
+    let (ep, handle, join) = start(quick_config());
+    let doc = explosive_doc(24);
+
+    // The explosive request occupies one worker for ~50ms and must come
+    // back as a sound partial result, not a hang or a crash.
+    let ep_boom = ep.clone();
+    let boom = std::thread::spawn(move || {
+        let mut c = Client::connect(&ep_boom).expect("connect");
+        let started = Instant::now();
+        let resp = c
+            .request(&Request::Reach {
+                net: "boom".into(),
+                max_states: 50_000_000,
+                deadline_ms: Some(50),
+                doc,
+            })
+            .expect("reach");
+        (resp, started.elapsed())
+    });
+
+    // Meanwhile small requests keep completing on the other workers.
+    for _ in 0..5 {
+        let mut c = Client::connect(&ep).expect("connect");
+        let started = Instant::now();
+        match c
+            .request(&Request::Reach {
+                net: "small".into(),
+                max_states: 1000,
+                deadline_ms: Some(5_000),
+                doc: SMALL_NET.into(),
+            })
+            .expect("small reach")
+        {
+            Response::Result(s) => assert!(s.is_complete()),
+            other => panic!("expected Result, got {other:?}"),
+        }
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "small request starved behind the explosive one"
+        );
+    }
+
+    let (resp, elapsed) = boom.join().expect("boom thread");
+    match resp {
+        Response::Result(s) => {
+            assert!(!s.is_complete(), "2^24 states cannot finish in 50ms");
+            assert_eq!(s.stopped.as_deref(), Some("deadline"));
+            assert!(s.states >= 1, "partial results intact");
+        }
+        other => panic!("expected partial Result, got {other:?}"),
+    }
+    assert!(
+        elapsed < Duration::from_secs(10),
+        "deadline did not bound the explosive request ({elapsed:?})"
+    );
+
+    handle.begin_drain();
+    let stats = join.join().expect("server");
+    assert_eq!(stats.panics, 0);
+    assert_eq!(stats.workers_joined, 4);
+}
+
+#[test]
+fn worker_panic_is_isolated_and_typed() {
+    std::env::set_var("CPN_SERVE_CHAOS", "1");
+    let (ep, handle, join) = start(quick_config());
+    let mut client = Client::connect(&ep).expect("connect");
+    let poison = Request::Reach {
+        net: "__chaos_panic".into(),
+        max_states: 10,
+        deadline_ms: None,
+        doc: SMALL_NET.into(),
+    };
+    match client.request(&poison).expect("poison request") {
+        Response::InternalError(msg) => assert!(msg.contains("panic"), "msg: {msg}"),
+        other => panic!("expected InternalError, got {other:?}"),
+    }
+    // The pool survives: the same connection keeps working.
+    assert_eq!(
+        client.request(&Request::Ping).expect("ping"),
+        Response::Pong
+    );
+    match client
+        .request(&Request::Reach {
+            net: "small".into(),
+            max_states: 100,
+            deadline_ms: None,
+            doc: SMALL_NET.into(),
+        })
+        .expect("reach after panic")
+    {
+        Response::Result(s) => assert!(s.is_complete()),
+        other => panic!("expected Result, got {other:?}"),
+    }
+    drop(client);
+    handle.begin_drain();
+    let stats = join.join().expect("server");
+    assert_eq!(stats.panics, 1);
+    assert_eq!(stats.workers_joined, 4);
+}
+
+#[test]
+fn malformed_requests_get_bad_request() {
+    let (ep, handle, join) = start(quick_config());
+    let mut client = Client::connect(&ep).expect("connect");
+    let cases = [
+        Request::Reach {
+            net: "ghost".into(),
+            max_states: 10,
+            deadline_ms: None,
+            doc: SMALL_NET.into(),
+        },
+        Request::Reach {
+            net: "small".into(),
+            max_states: 10,
+            deadline_ms: None,
+            doc: "net small {".into(),
+        },
+    ];
+    for req in cases {
+        match client.request(&req).expect("request") {
+            Response::BadRequest(_) => {}
+            other => panic!("expected BadRequest, got {other:?}"),
+        }
+    }
+    drop(client);
+    handle.begin_drain();
+    let stats = join.join().expect("server");
+    assert_eq!(stats.bad_requests, 2);
+}
+
+#[test]
+fn drain_refuses_new_connections_and_finishes() {
+    let (ep, handle, join) = start(quick_config());
+    let mut client = Client::connect(&ep).expect("connect");
+    assert_eq!(
+        client.request(&Request::Ping).expect("ping"),
+        Response::Pong
+    );
+    handle.begin_drain();
+    let stats = join.join().expect("server");
+    assert_eq!(stats.workers_joined, 4);
+    // The listener is gone: a retried request exhausts its attempts.
+    let policy = RetryPolicy {
+        attempts: 2,
+        base: Duration::from_millis(1),
+        cap: Duration::from_millis(4),
+        seed: 3,
+    };
+    assert!(request_with_retry(&ep, &Request::Ping, &policy).is_err());
+}
+
+#[test]
+fn retry_rides_out_a_late_starting_server() {
+    // Bind to learn a free port, drain immediately, then restart a
+    // server on that port after a delay; the retrying client connects
+    // once the listener is back.
+    let (ep, handle, join) = start(quick_config());
+    handle.begin_drain();
+    join.join().expect("server");
+
+    let ep_for_server = ep.clone();
+    let starter = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(150));
+        let server = Server::bind(&[ep_for_server], quick_config()).expect("rebind");
+        let handle = server.handle();
+        let join = std::thread::spawn(move || server.run());
+        (handle, join)
+    });
+
+    let policy = RetryPolicy {
+        attempts: 8,
+        base: Duration::from_millis(50),
+        cap: Duration::from_millis(200),
+        seed: 11,
+    };
+    let resp = request_with_retry(&ep, &Request::Ping, &policy).expect("retry succeeds");
+    assert_eq!(resp, Response::Pong);
+
+    let (handle, join) = starter.join().expect("starter");
+    handle.begin_drain();
+    join.join().expect("server");
+}

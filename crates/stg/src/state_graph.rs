@@ -218,6 +218,10 @@ impl StateGraph {
 
         let mut frontier = 0usize;
         'explore: while frontier < store.len() {
+            // Per-state deadline/cancel poll (coarse-ticked in the meter).
+            if meter.should_stop() {
+                break 'explore;
+            }
             cur.clear();
             cur.extend_from_slice(store.get(frontier));
             let encoding = decode_bits(&cur[places..], signals.len());

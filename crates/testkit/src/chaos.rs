@@ -1,0 +1,250 @@
+//! Transport-level fault injection for chaos testing framed protocols.
+//!
+//! [`ChaosInjector`] decides, per connection, whether and how to
+//! corrupt a well-formed wire exchange; [`corrupt_frame`] turns a
+//! framed message (length prefix + payload) into the byte-level
+//! [`WriteStep`] script realizing a chosen [`TransportFault`]. The
+//! injector is seeded, so a soak test's exact fault schedule replays
+//! from a single `u64`.
+//!
+//! The module is protocol-agnostic: it only assumes "a 4-byte length
+//! prefix followed by that many payload bytes", which is the framing
+//! `cpn-serve` speaks, and says nothing about the payload.
+
+use crate::rng::TestRng;
+use std::time::Duration;
+
+/// A way to corrupt one framed message on the wire.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TransportFault {
+    /// Send only a prefix of the frame, then close the connection.
+    TruncatedFrame {
+        /// How many bytes of the full wire form survive.
+        keep: usize,
+    },
+    /// Overwrite the length prefix with a huge claimed length.
+    OversizedPrefix {
+        /// The hostile claimed length.
+        claimed: u32,
+    },
+    /// Replace the frame with unstructured random bytes.
+    GarbageBytes {
+        /// How many garbage bytes to send.
+        len: usize,
+    },
+    /// Send the frame, then disconnect before reading the response.
+    MidRequestDisconnect,
+    /// Send the frame in two halves with a pause in between (a slow
+    /// or stalling writer).
+    StalledWrite {
+        /// The pause between the halves.
+        pause: Duration,
+    },
+}
+
+/// One step of a corrupted wire exchange.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WriteStep {
+    /// Write these bytes.
+    Bytes(Vec<u8>),
+    /// Sleep this long (stalled writer).
+    Pause(Duration),
+    /// Close the connection without reading a response.
+    CloseNow,
+}
+
+/// Seeded per-connection fault scheduler.
+#[derive(Debug)]
+pub struct ChaosInjector {
+    rng: TestRng,
+    fault_num: usize,
+    fault_den: usize,
+    connections: u64,
+    faulted: u64,
+}
+
+impl ChaosInjector {
+    /// An injector faulting 2 in 5 connections (seeded, replayable).
+    pub fn new(seed: u64) -> Self {
+        ChaosInjector {
+            rng: TestRng::seed_from_u64(seed),
+            fault_num: 2,
+            fault_den: 5,
+            connections: 0,
+            faulted: 0,
+        }
+    }
+
+    /// Overrides the fault ratio to `num / den` of connections.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    pub fn with_ratio(mut self, num: usize, den: usize) -> Self {
+        assert!(den > 0, "fault ratio denominator must be positive");
+        self.fault_num = num;
+        self.fault_den = den;
+        self
+    }
+
+    /// The fault plan for the next connection: `None` means the
+    /// connection behaves correctly.
+    pub fn next_connection(&mut self) -> Option<TransportFault> {
+        self.connections += 1;
+        if !self.rng.gen_ratio(self.fault_num, self.fault_den) {
+            return None;
+        }
+        self.faulted += 1;
+        Some(match self.rng.below(5) {
+            0 => TransportFault::TruncatedFrame {
+                keep: self.rng.below(64),
+            },
+            1 => TransportFault::OversizedPrefix {
+                claimed: self.rng.gen_range_u32(1 << 24..u32::MAX),
+            },
+            2 => TransportFault::GarbageBytes {
+                len: self.rng.gen_range(1..256),
+            },
+            3 => TransportFault::MidRequestDisconnect,
+            _ => TransportFault::StalledWrite {
+                pause: Duration::from_millis(self.rng.gen_range(10..120) as u64),
+            },
+        })
+    }
+
+    /// `(connections seen, connections faulted)` so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.connections, self.faulted)
+    }
+
+    /// Fresh random bytes from the injector's stream (for garbage).
+    pub fn bytes(&mut self, len: usize) -> Vec<u8> {
+        (0..len).map(|_| self.rng.next_u64() as u8).collect()
+    }
+}
+
+/// Realizes a fault as a write script over the well-formed wire bytes
+/// of one frame (`prefix + payload`, as produced by the protocol's
+/// encoder).
+pub fn corrupt_frame(
+    wire: &[u8],
+    fault: &TransportFault,
+    injector: &mut ChaosInjector,
+) -> Vec<WriteStep> {
+    match fault {
+        TransportFault::TruncatedFrame { keep } => {
+            let keep = (*keep).min(wire.len().saturating_sub(1));
+            vec![WriteStep::Bytes(wire[..keep].to_vec()), WriteStep::CloseNow]
+        }
+        TransportFault::OversizedPrefix { claimed } => {
+            let mut bytes = wire.to_vec();
+            if bytes.len() >= 4 {
+                bytes[..4].copy_from_slice(&claimed.to_be_bytes());
+            }
+            vec![WriteStep::Bytes(bytes)]
+        }
+        TransportFault::GarbageBytes { len } => vec![WriteStep::Bytes(injector.bytes(*len))],
+        TransportFault::MidRequestDisconnect => {
+            vec![WriteStep::Bytes(wire.to_vec()), WriteStep::CloseNow]
+        }
+        TransportFault::StalledWrite { pause } => {
+            let mid = wire.len() / 2;
+            vec![
+                WriteStep::Bytes(wire[..mid].to_vec()),
+                WriteStep::Pause(*pause),
+                WriteStep::Bytes(wire[mid..].to_vec()),
+            ]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(payload: &[u8]) -> Vec<u8> {
+        let mut wire = (payload.len() as u32).to_be_bytes().to_vec();
+        wire.extend_from_slice(payload);
+        wire
+    }
+
+    #[test]
+    fn schedule_is_deterministic() {
+        let mut a = ChaosInjector::new(77);
+        let mut b = ChaosInjector::new(77);
+        for _ in 0..100 {
+            assert_eq!(a.next_connection(), b.next_connection());
+        }
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn ratio_is_roughly_honored() {
+        let mut inj = ChaosInjector::new(5).with_ratio(2, 5);
+        for _ in 0..1000 {
+            inj.next_connection();
+        }
+        let (seen, faulted) = inj.stats();
+        assert_eq!(seen, 1000);
+        let rate = faulted as f64 / seen as f64;
+        assert!((0.3..0.5).contains(&rate), "fault rate {rate}");
+    }
+
+    #[test]
+    fn truncation_never_sends_the_whole_frame() {
+        let mut inj = ChaosInjector::new(9);
+        let wire = frame(b"ping");
+        let steps = corrupt_frame(
+            &wire,
+            &TransportFault::TruncatedFrame { keep: 1000 },
+            &mut inj,
+        );
+        match &steps[0] {
+            WriteStep::Bytes(b) => assert!(b.len() < wire.len()),
+            other => panic!("expected Bytes, got {other:?}"),
+        }
+        assert_eq!(steps[1], WriteStep::CloseNow);
+    }
+
+    #[test]
+    fn oversized_prefix_rewrites_only_the_length() {
+        let mut inj = ChaosInjector::new(9);
+        let wire = frame(b"ping");
+        let steps = corrupt_frame(
+            &wire,
+            &TransportFault::OversizedPrefix { claimed: u32::MAX },
+            &mut inj,
+        );
+        match &steps[0] {
+            WriteStep::Bytes(b) => {
+                assert_eq!(&b[..4], &u32::MAX.to_be_bytes());
+                assert_eq!(&b[4..], b"ping");
+            }
+            other => panic!("expected Bytes, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stalled_write_splits_with_a_pause() {
+        let mut inj = ChaosInjector::new(9);
+        let wire = frame(b"ping");
+        let steps = corrupt_frame(
+            &wire,
+            &TransportFault::StalledWrite {
+                pause: Duration::from_millis(10),
+            },
+            &mut inj,
+        );
+        assert_eq!(steps.len(), 3);
+        assert!(matches!(steps[1], WriteStep::Pause(_)));
+        let rejoined: Vec<u8> = steps
+            .iter()
+            .filter_map(|s| match s {
+                WriteStep::Bytes(b) => Some(b.clone()),
+                _ => None,
+            })
+            .flatten()
+            .collect();
+        assert_eq!(rejoined, wire);
+    }
+}

@@ -19,6 +19,13 @@
 //! * [`net_gen`] / [`stg_gen`] / [`cip_gen`] / [`fault_gen`] — domain generators for
 //!   bounded Petri nets (safe or multiset-marked), strongly-connected
 //!   marked-graph rings (optionally live-safe), STGs and CIP modules.
+//! * [`mutate`] — seeded corruption of text documents ([`DocMutator`]:
+//!   truncation, byte flips, garbage splices, brace floods) for parser
+//!   robustness tests.
+//! * [`chaos`] — seeded transport fault injection ([`ChaosInjector`]:
+//!   truncated frames, oversized length prefixes, garbage bytes,
+//!   mid-request disconnects, stalled writes) for soak-testing framed
+//!   network protocols.
 //! * [`bench`] (feature `bench`) — a `std::time::Instant` micro-bench
 //!   harness with a fast smoke mode for `cargo test` and a calibrated
 //!   timing mode under `CPN_BENCH_FULL=1`.
@@ -38,9 +45,11 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod fault_gen;
 pub mod gen;
 pub mod harness;
+pub mod mutate;
 pub mod net_gen;
 pub mod rng;
 pub mod stg_gen;
@@ -51,9 +60,11 @@ pub mod cip_gen;
 #[cfg(feature = "bench")]
 pub mod bench;
 
+pub use chaos::{corrupt_frame, ChaosInjector, TransportFault, WriteStep};
 pub use fault_gen::{FaultStrategy, RawFault};
 pub use gen::{any_bool, just, u32_in, usize_in, vec_of, Strategy};
 pub use harness::{check, check_with, Config, PropFail, PropResult};
+pub use mutate::{DocMutator, Mutant, MutationKind};
 pub use net_gen::{NetStrategy, RawNet, RawRing, RawTransition, RingStrategy};
 pub use rng::{mix_seed, SplitMix64, TestRng};
 pub use stg_gen::{RawStg, StgStrategy};

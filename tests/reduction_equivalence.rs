@@ -403,6 +403,59 @@ fn stubborn_receptiveness_matches_full_exploration() {
     }
 }
 
+/// `Verdict::agrees_with` monotonicity along the **deadline** axis: the
+/// budget lattice gained wall-clock deadlines, and the same law must
+/// hold as for state caps — an `Unknown` from a short deadline is
+/// consistent with any definite verdict from a longer (or absent) one,
+/// and no pair of deadlines may yield contradictory definite verdicts.
+#[test]
+fn verdicts_agree_along_the_deadline_axis() {
+    use std::time::Duration;
+
+    let (p, c) = ring_pair(5, 0);
+    let outputs: BTreeSet<String> = (0..5).map(|i| format!("x{i}")).collect();
+    let deadlines = [
+        Some(Duration::ZERO),
+        Some(Duration::from_micros(50)),
+        Some(Duration::from_millis(5)),
+        None, // unconstrained reference
+    ];
+    let verdicts: Vec<_> = deadlines
+        .iter()
+        .map(|d| {
+            let mut budget = Budget::default();
+            if let Some(d) = d {
+                budget = budget.with_deadline(*d);
+            }
+            cpn::core::check_receptiveness_bounded(&p, &c, &outputs, &BTreeSet::new(), &budget)
+                .expect("receptiveness check")
+        })
+        .collect();
+
+    // A zero deadline stops at the very first poll: Unknown, with the
+    // deadline recorded as the exhausted resource.
+    let zero = &verdicts[0];
+    assert!(zero.is_unknown(), "zero deadline cannot decide: {zero}");
+    assert_eq!(
+        zero.exhausted().map(|e| e.resource),
+        Some(cpn::petri::Resource::Deadline)
+    );
+    // The unconstrained run decides this small instance definitively.
+    let reference = &verdicts[3];
+    assert!(reference.is_definite(), "reference run must decide");
+
+    for (i, a) in verdicts.iter().enumerate() {
+        for (j, b) in verdicts.iter().enumerate() {
+            assert!(
+                a.agrees_with(b),
+                "verdicts contradict across deadlines {:?} vs {:?}: {a} vs {b}",
+                deadlines[i],
+                deadlines[j]
+            );
+        }
+    }
+}
+
 // ---------------------------------------------------------------------
 // Paper corpora: Figure 5/7 protocol models and a composed CIP chain
 // ---------------------------------------------------------------------

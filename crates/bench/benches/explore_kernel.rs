@@ -1,12 +1,16 @@
 //! Exploration-kernel scaling sweep: legacy cloned-map explorer vs the
-//! compiled arena explorer vs the deterministic parallel BFS at 2 and 4
-//! threads, on the two workload families whose composed state spaces
-//! stress the kernel differently:
+//! compiled arena explorer vs the lock-free parallel explorer at 1, 2,
+//! 4 and 8 threads, on the three workload families whose composed state
+//! spaces stress the kernel differently:
 //!
 //! * `sync_pipeline(k)` — linear net, exactly `2^k` composed states
 //!   (throughput / memory stress);
 //! * `handshake_ring(s)` — linear net, linear state count with long
-//!   BFS levels of width ~1 (parallel-overhead stress).
+//!   BFS levels of width ~1 (parallel-overhead stress);
+//! * `sync_mesh(3,3,t)` — token-shift torus with `C(t+8, 8)` states on
+//!   nine places (frontier-width stress; the 10^7-state acceptance
+//!   family at `t = 24` under `CPN_BENCH_FULL=1` stays at `t = 8`
+//!   here to keep the harness's repeated timing loops bounded).
 //!
 //! Every timed closure re-asserts that all kernels report the same
 //! state count, so the sweep doubles as a smoke check of the
@@ -41,7 +45,7 @@ fn sweep(group: &mut BenchGroup, family: &str, net: &PetriNet<String>, expect_st
         let rg = net.reachability_bounded(&budget);
         assert_eq!(states_of(&rg), expect_states);
     });
-    for threads in [2usize, 4] {
+    for threads in [1usize, 2, 4, 8] {
         group.bench(format!("{family}/parallel-{threads}"), || {
             let rg = net.reachability_bounded_parallel(&budget, threads);
             assert_eq!(states_of(&rg), expect_states);
@@ -66,5 +70,14 @@ fn main() {
         let expect = states_of(&net.reachability_bounded(&Budget::states(1 << 22)));
         sweep(&mut group, &format!("handshake_ring/{s}"), &net, expect);
     }
+    let mesh_tokens: u32 = if full { 8 } else { 4 };
+    let mesh_states = cpn_testkit::sync_mesh_states(3, 3, mesh_tokens) as usize;
+    let mesh = cpn_testkit::sync_mesh(3, 3, mesh_tokens);
+    sweep(
+        &mut group,
+        &format!("sync_mesh/3x3t{mesh_tokens}"),
+        &mesh,
+        mesh_states,
+    );
     group.finish();
 }

@@ -8,10 +8,13 @@
 //! instead of 8) for CI smoke runs.
 //!
 //! `bench` (never part of the default set) sweeps the exploration
-//! kernels over the `sync_pipeline`/`handshake_ring` families and the
-//! contraction engines over the `tau_ring`/`cip_chain` families; with
-//! `--json` it writes the machine-readable `BENCH_explore.json` (states
-//! per second per kernel, resident marking bytes, thread scaling) and
+//! kernels over the `sync_pipeline`/`handshake_ring`/`sync_mesh`
+//! families (the mesh is the 10^7-state acceptance workload, with a
+//! thread sweep over 1/2/4/8 workers and an out-of-core spill-tier row)
+//! and the contraction engines over the `tau_ring`/`cip_chain`
+//! families; with `--json` it writes the machine-readable
+//! `BENCH_explore.json` (states per second per kernel, resident marking
+//! bytes, host core count, thread scaling, spill-tier counters) and
 //! `BENCH_hide.json` (seconds and allocation counts per hiding engine,
 //! speedup and allocation ratios) and `BENCH_alphabet.json` (generic
 //! label-level ops vs the interned symbol/bitset paths: hide/contract
@@ -20,7 +23,12 @@
 //! seconds for full / stubborn / reduced / reduced+stubborn exploration
 //! of composed CIP chains) that CI uploads as artifacts.
 //! `--quick` shrinks the sweeps for smoke runs; the default reaches the
-//! 2^20-state acceptance workload.
+//! 2^20-state and 10^7-state acceptance workloads.
+//!
+//! `smoke-parallel` (also never part of the default set) is the CI
+//! acceptance check for the lock-free kernel: it asserts parallel/4 ≥
+//! 2.0× compiled/1 on `sync_pipeline/20` when the host has ≥4 cores,
+//! and prints an explicit skip otherwise.
 //!
 //! `serve` (also never part of the default set) boots an in-process
 //! `cpn-serve` daemon over loopback TCP and measures cached-compile
@@ -551,6 +559,16 @@ struct KernelRun {
     seconds: f64,
     states_per_sec: f64,
     resident_marking_bytes: usize,
+    spill: Option<SpillRun>,
+}
+
+/// Spill-tier counters attached to an out-of-core kernel run.
+struct SpillRun {
+    resident_budget_bytes: usize,
+    segments: usize,
+    page_outs: u64,
+    page_ins: u64,
+    spilled_bytes: u64,
 }
 
 fn time_kernel(
@@ -569,6 +587,44 @@ fn time_kernel(
         seconds,
         states_per_sec: states as f64 / seconds,
         resident_marking_bytes: rg.resident_marking_bytes(),
+        spill: None,
+    }
+}
+
+/// Times the out-of-core spill explorer under a resident-payload budget
+/// deliberately far below the workload's full arena footprint, so the
+/// run proves the marking set genuinely lives (mostly) on disk.
+fn time_spilled(
+    states: usize,
+    net: &PetriNet<String>,
+    budget: &cpn_petri::Budget,
+    resident_budget_bytes: usize,
+) -> KernelRun {
+    let compiled = net.compile();
+    let m0 = net.initial_marking();
+    let config = cpn_petri::SpillConfig {
+        resident_payload_bytes: resident_budget_bytes,
+        ..cpn_petri::SpillConfig::default()
+    };
+    let t0 = Instant::now();
+    let sp = cpn_petri::reachability_bounded_spilled(&compiled, m0.as_slice(), budget, &config)
+        .into_value();
+    let seconds = t0.elapsed().as_secs_f64();
+    assert_eq!(sp.state_count(), states, "spilled state count");
+    let stats = sp.spill_stats();
+    KernelRun {
+        kernel: "spilled",
+        threads: 1,
+        seconds,
+        states_per_sec: states as f64 / seconds,
+        resident_marking_bytes: sp.resident_bytes(),
+        spill: Some(SpillRun {
+            resident_budget_bytes,
+            segments: stats.segments,
+            page_outs: stats.page_outs,
+            page_ins: stats.page_ins,
+            spilled_bytes: stats.spilled_bytes,
+        }),
     }
 }
 
@@ -583,8 +639,10 @@ fn legacy_marking_model(places: usize, states: usize) -> usize {
 fn bench_explore(quick: bool, json: bool) {
     header(
         "BENCH",
-        "exploration kernel sweep (legacy / compiled / parallel)",
+        "exploration kernel sweep (legacy / compiled / parallel / spilled)",
     );
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("host cores: {host_cores} (parallel rows beyond that run oversubscribed)");
     let compose_all = |nets: &[PetriNet<String>]| {
         let mut acc = nets[0].clone();
         for n in &nets[1..] {
@@ -594,10 +652,20 @@ fn bench_explore(quick: bool, json: bool) {
     };
     let pipeline_ks: &[usize] = if quick { &[12, 14] } else { &[17, 20] };
     let ring_stages: &[usize] = if quick { &[64] } else { &[512] };
-    let mut nets: Vec<(String, usize, PetriNet<String>)> = Vec::new();
+    // The mesh is the 10^7-state acceptance workload: a w×h token-shift
+    // torus whose state count is the closed form C(tokens+wh-1, wh-1)
+    // on only w*h places, so even ten million markings fit a few
+    // hundred MB of arena — and a few MB once delta-spilled.
+    let (mesh_tokens, spill_budget) = if quick { (8, 16 << 10) } else { (24, 32 << 20) };
+    let mesh_states = cpn_testkit::sync_mesh_states(3, 3, mesh_tokens) as usize;
+    // (family, states, net, with_legacy): legacy is skipped on the mesh
+    // — two cloned `Marking`s plus HashMap buckets per state put the
+    // 10^7 run in multi-GB / multi-minute territory for a kernel that
+    // exists only as a baseline.
+    let mut nets: Vec<(String, usize, PetriNet<String>, bool)> = Vec::new();
     for &k in pipeline_ks {
         let net = compose_all(&cpn_bench::sync_pipeline(k));
-        nets.push((format!("sync_pipeline/{k}"), 1 << k, net));
+        nets.push((format!("sync_pipeline/{k}"), 1 << k, net, true));
     }
     for &s in ring_stages {
         let (p, c, _, _) = handshake_ring(s, 0);
@@ -606,38 +674,64 @@ fn bench_explore(quick: bool, json: bool) {
             .reachability_bounded(&cpn_petri::Budget::states(1 << 22))
             .into_value()
             .state_count();
-        nets.push((format!("handshake_ring/{s}"), states, net));
+        nets.push((format!("handshake_ring/{s}"), states, net, true));
     }
+    nets.push((
+        format!("sync_mesh/3x3t{mesh_tokens}"),
+        mesh_states,
+        cpn_testkit::sync_mesh(3, 3, mesh_tokens),
+        false,
+    ));
 
     let mut rows = Vec::new();
-    for (family, states, net) in &nets {
+    for (family, states, net, with_legacy) in &nets {
         let budget = cpn_petri::Budget::states(states + 1);
-        let runs = vec![
-            time_kernel("legacy", 1, *states, || {
+        let mut runs = Vec::new();
+        if *with_legacy {
+            runs.push(time_kernel("legacy", 1, *states, || {
                 net.reachability_bounded_legacy(&budget)
-            }),
-            time_kernel("compiled", 1, *states, || net.reachability_bounded(&budget)),
-            time_kernel("parallel", 2, *states, || {
-                net.reachability_bounded_parallel(&budget, 2)
-            }),
-            time_kernel("parallel", 4, *states, || {
-                net.reachability_bounded_parallel(&budget, 4)
-            }),
-        ];
-        let legacy_rate = runs[0].states_per_sec;
+            }));
+        }
+        runs.push(time_kernel("compiled", 1, *states, || {
+            net.reachability_bounded(&budget)
+        }));
+        for threads in [1usize, 2, 4, 8] {
+            runs.push(time_kernel("parallel", threads, *states, || {
+                net.reachability_bounded_parallel(&budget, threads)
+            }));
+        }
+        if !*with_legacy {
+            runs.push(time_spilled(*states, net, &budget, spill_budget));
+        }
+        let base_rate = runs[0].states_per_sec;
         let legacy_bytes = legacy_marking_model(net.place_count(), *states);
-        let arena_bytes = runs[1].resident_marking_bytes;
+        let arena_bytes = runs
+            .iter()
+            .find(|r| r.kernel == "compiled")
+            .map_or(0, |r| r.resident_marking_bytes);
         let drop_pct = 100.0 * (1.0 - arena_bytes as f64 / legacy_bytes as f64);
         println!("{family}: {states} states, {} places", net.place_count());
         for r in &runs {
             println!(
-                "  {:<10} x{} {:>10.0} states/s ({:.2}x legacy)  markings {:>12} B",
+                "  {:<10} x{} {:>10.0} states/s ({:.2}x {})  markings {:>12} B",
                 r.kernel,
                 r.threads,
                 r.states_per_sec,
-                r.states_per_sec / legacy_rate,
+                r.states_per_sec / base_rate,
+                runs[0].kernel,
                 r.resident_marking_bytes
             );
+            if let Some(sp) = &r.spill {
+                println!(
+                    "             resident budget {} B, {} segments, \
+                     {} page-outs / {} page-ins, {} B spilled to disk",
+                    sp.resident_budget_bytes,
+                    sp.segments,
+                    sp.page_outs,
+                    sp.page_ins,
+                    sp.spilled_bytes
+                );
+            }
         }
         println!(
             "  marking memory: arena {arena_bytes} B vs modeled legacy {legacy_bytes} B \
@@ -649,7 +743,7 @@ fn bench_explore(quick: bool, json: bool) {
     if json {
         let mut out = String::from("{\n  \"bench\": \"explore_kernel\",\n");
         out.push_str(&format!(
-            "  \"mode\": \"{}\",\n",
+            "  \"mode\": \"{}\",\n  \"host_cores\": {host_cores},\n",
             if quick { "quick" } else { "full" }
         ));
         out.push_str(
@@ -658,23 +752,43 @@ fn bench_explore(quick: bool, json: bool) {
         );
         out.push_str("  \"workloads\": [\n");
         for (i, (family, states, places, runs, drop_pct)) in rows.iter().enumerate() {
+            let arena_bytes = runs
+                .iter()
+                .find(|r| r.kernel == "compiled")
+                .map_or(0, |r| r.resident_marking_bytes);
             out.push_str(&format!(
                 "    {{\n      \"family\": \"{family}\",\n      \"states\": {states},\n      \
                  \"places\": {places},\n      \"legacy_marking_bytes_modeled\": {},\n      \
-                 \"resident_marking_bytes\": {},\n      \
-                 \"marking_memory_drop_pct\": {drop_pct:.1},\n      \"kernels\": [\n",
+                 \"resident_marking_bytes\": {arena_bytes},\n      \
+                 \"marking_memory_drop_pct\": {drop_pct:.1},\n      \
+                 \"baseline\": \"{}\",\n      \"kernels\": [\n",
                 legacy_marking_model(*places, *states),
-                runs[1].resident_marking_bytes,
+                runs[0].kernel,
             ));
             for (j, r) in runs.iter().enumerate() {
+                let spill_json = match &r.spill {
+                    Some(sp) => format!(
+                        ", \"resident_marking_bytes\": {}, \"spill\": {{\
+                         \"resident_budget_bytes\": {}, \"segments\": {}, \
+                         \"page_outs\": {}, \"page_ins\": {}, \"spilled_bytes\": {}}}",
+                        r.resident_marking_bytes,
+                        sp.resident_budget_bytes,
+                        sp.segments,
+                        sp.page_outs,
+                        sp.page_ins,
+                        sp.spilled_bytes
+                    ),
+                    None => String::new(),
+                };
                 out.push_str(&format!(
                     "        {{\"kernel\": \"{}\", \"threads\": {}, \"seconds\": {:.4}, \
-                     \"states_per_sec\": {:.0}, \"speedup_vs_legacy\": {:.3}}}{}\n",
+                     \"states_per_sec\": {:.0}, \"speedup_vs_baseline\": {:.3}{}}}{}\n",
                     r.kernel,
                     r.threads,
                     r.seconds,
                     r.states_per_sec,
                     r.states_per_sec / runs[0].states_per_sec,
+                    spill_json,
                     if j + 1 < runs.len() { "," } else { "" }
                 ));
             }
@@ -687,6 +801,52 @@ fn bench_explore(quick: bool, json: bool) {
         std::fs::write("BENCH_explore.json", &out).expect("write BENCH_explore.json");
         println!("wrote BENCH_explore.json");
     }
+}
+
+/// CI acceptance smoke for the lock-free kernel: on hosts with at least
+/// four cores, `parallel/4` must reach ≥2.0× the sequential compiled
+/// kernel's rate on the 2^20-state `sync_pipeline/20` workload. On
+/// smaller hosts the measurement still runs and prints, but the
+/// assertion is skipped — a 1-core container cannot exhibit parallel
+/// speedup, and asserting there would only test the OS scheduler.
+fn smoke_parallel() {
+    header(
+        "SMOKE",
+        "lock-free parallel acceptance: parallel/4 >= 2.0x compiled/1 on sync_pipeline/20",
+    );
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let net = cpn_testkit::sync_pipeline_net(20);
+    let states = 1usize << 20;
+    let budget = cpn_petri::Budget::states(states + 1);
+    let best_of = |run: &dyn Fn() -> usize| {
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            assert_eq!(run(), states, "state count");
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        best
+    };
+    let seq = best_of(&|| net.reachability_bounded(&budget).into_value().state_count());
+    let par = best_of(&|| {
+        net.reachability_bounded_parallel(&budget, 4)
+            .into_value()
+            .state_count()
+    });
+    let speedup = seq / par;
+    println!(
+        "host cores: {host_cores}\ncompiled/1: {seq:.3}s  parallel/4: {par:.3}s  \
+         speedup: {speedup:.2}x (best of 3)"
+    );
+    if host_cores < 4 {
+        println!("SKIP: host has {host_cores} core(s); the >=2.0x assertion needs 4");
+        return;
+    }
+    assert!(
+        speedup >= 2.0,
+        "parallel/4 must be >=2.0x compiled/1 on sync_pipeline/20, measured {speedup:.2}x"
+    );
+    println!("PASS");
 }
 
 /// One timed hiding-engine run of the `bench` sweep.
@@ -1293,6 +1453,7 @@ fn bench_serve(quick: bool, json: bool) {
         net: "small".into(),
         max_states: 1_000,
         deadline_ms,
+        threads: 1,
         doc: small_net.into(),
     };
     let requests = if quick { 200usize } else { 2_000 };
@@ -1326,6 +1487,7 @@ fn bench_serve(quick: bool, json: bool) {
                 net: "boom".into(),
                 max_states: 500_000_000,
                 deadline_ms: Some(50),
+                threads: 1,
                 doc: boom_doc,
             })
             .expect("explosive reach");
@@ -1415,6 +1577,10 @@ fn main() {
         bench_hide(quick, json);
         bench_alphabet(quick, json);
         bench_reduce(quick, json);
+        return;
+    }
+    if args.iter().any(|a| a == "smoke-parallel") {
+        smoke_parallel();
         return;
     }
     if args.iter().any(|a| a == "serve") {

@@ -93,8 +93,10 @@ pub use marking::Marking;
 pub use mg::{mg_live_structural, mg_place_bounds, mg_safe_structural, token_free_cycle};
 pub use net::{PetriNet, Place, PlaceId, Transition, TransitionId};
 pub use reachability::{
-    reachability_bounded_compiled, ReachabilityGraph, ReachabilityOptions, StateId,
+    reachability_bounded_compiled, reachability_bounded_parallel_compiled,
+    reachability_bounded_spilled, ReachabilityGraph, ReachabilityOptions, SpilledReachability,
+    StateId,
 };
 pub use siphon::{commoner_live, is_siphon, is_trap, max_siphon_in, max_trap_in, minimal_siphons};
-pub use store::MarkingStore;
+pub use store::{MarkingStore, SpillConfig, SpillStats, SpillStore};
 pub use structural::{NetClass, StructuralReport};

@@ -1,4 +1,4 @@
-//! Explicit reachability graphs (exploration kernel v2).
+//! Explicit reachability graphs (exploration kernel v3).
 //!
 //! The reachability graph `RG(N)` (Section 2.1 of the paper) is the
 //! transitive closure of the next-state relation: nodes are reachable
@@ -16,11 +16,18 @@
 //!    CSR form with a place → consumers adjacency, so each state only
 //!    re-tests transitions whose preset touches a marked place instead of
 //!    scanning all of `transition_ids()`.
-//! 3. An opt-in deterministic parallel BFS
-//!    ([`ReachabilityOptions::threads`]) that shards markings by content
-//!    hash across `std::thread` workers and renumbers the result into
-//!    canonical BFS order, so the graph is **bit-identical for every
-//!    thread count** (and to the sequential explorer).
+//! 3. An opt-in deterministic **lock-free parallel explorer**
+//!    ([`ReachabilityOptions::threads`]): one shared open-addressing
+//!    index claimed slot-by-slot with atomic CAS, per-worker deques with
+//!    work stealing (no rounds, no barriers), cooperative termination
+//!    via a global in-flight counter, and a canonical renumbering pass
+//!    that makes the graph **bit-identical for every thread count** (and
+//!    to the sequential explorer). See DESIGN.md §5f.
+//!
+//! For state spaces whose resident marking set outgrows RAM there is a
+//! fourth layer: [`reachability_bounded_spilled`] runs the sequential
+//! kernel over a [`SpillStore`], whose delta-encoded segments page out to
+//! an unlinked temp file under a configurable resident-byte ceiling.
 //!
 //! The pre-arena explorer survives as
 //! [`PetriNet::reachability_bounded_legacy`], the reference
@@ -33,11 +40,11 @@ use crate::graph::DiGraph;
 use crate::label::Label;
 use crate::marking::Marking;
 use crate::net::{PetriNet, PlaceId, TransitionId};
-use crate::store::MarkingStore;
-use std::collections::HashMap;
+use crate::store::{MarkingStore, SpillConfig, SpillStats, SpillStore};
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Barrier, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
 
 /// Identifier of a state (reachable marking) in a [`ReachabilityGraph`].
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -374,31 +381,27 @@ impl<L: Label> PetriNet<L> {
         explore_stubborn(&compiled, self.initial_marking().as_slice(), budget, &seeds)
     }
 
-    /// Builds the reachability graph with `threads` sharded workers.
+    /// Builds the reachability graph with `threads` lock-free workers.
     ///
-    /// Marking ownership is decided by content hash, `Budget` accounting
-    /// runs over shared atomic counters, and a final canonical BFS-order
-    /// renumbering pass makes the result **bit-identical** to
-    /// [`PetriNet::reachability_bounded`] for every thread count. When
-    /// the budget is exhausted mid-flight, the partially explored shards
-    /// are discarded and the sequential explorer re-runs under the same
-    /// budget, so `Exhausted` prefixes and statistics are also identical.
+    /// Discovered markings are published to a single shared CAS-claimed
+    /// index, the frontier is traded through work-stealing deques, and a
+    /// final canonical BFS-order renumbering pass makes the result
+    /// **bit-identical** to [`PetriNet::reachability_bounded`] for every
+    /// thread count. When the budget is exhausted mid-flight, the
+    /// partial exploration is discarded and the sequential explorer
+    /// re-runs under the same budget, so `Exhausted` prefixes and
+    /// statistics are also identical.
     pub fn reachability_bounded_parallel(
         &self,
         budget: &Budget,
         threads: usize,
     ) -> Bounded<ReachabilityGraph> {
-        let compiled = self.compile();
-        let m0 = self.initial_marking();
-        let threads = threads.clamp(1, 64);
-        if threads == 1 || budget.max_states < 2 {
-            return explore_compiled(&compiled, m0.as_slice(), budget);
-        }
-        match explore_parallel(&compiled, m0.as_slice(), budget, threads) {
-            Some(rg) => Bounded::Complete(rg),
-            // Budget hit: replay sequentially for a deterministic prefix.
-            None => explore_compiled(&compiled, m0.as_slice(), budget),
-        }
+        reachability_bounded_parallel_compiled(
+            &self.compile(),
+            self.initial_marking().as_slice(),
+            budget,
+            threads,
+        )
     }
 
     /// The pre-arena explorer (interpreted firing rule, `Vec<Marking>` +
@@ -489,6 +492,31 @@ pub fn reachability_bounded_compiled(
     explore_compiled(compiled, m0, budget)
 }
 
+/// [`PetriNet::reachability_bounded_parallel`] over a pre-compiled net —
+/// the multi-threaded sibling of [`reachability_bounded_compiled`], used
+/// by `cpn-serve` when a request carries `threads > 1`.
+///
+/// `threads` is clamped to `1..=64`. One thread (or a degenerate budget)
+/// runs the sequential kernel directly; any budget or table exhaustion
+/// inside the lock-free kernel falls back to a sequential replay under
+/// the same budget, so `Exhausted` results are deterministic too.
+pub fn reachability_bounded_parallel_compiled(
+    compiled: &CompiledNet,
+    m0: &[u32],
+    budget: &Budget,
+    threads: usize,
+) -> Bounded<ReachabilityGraph> {
+    let threads = threads.clamp(1, 64);
+    if threads == 1 || budget.max_states < 2 {
+        return explore_compiled(compiled, m0, budget);
+    }
+    match explore_parallel(compiled, m0, budget, threads) {
+        Some(rg) => Bounded::Complete(rg),
+        // Budget hit: replay sequentially for a deterministic prefix.
+        None => explore_compiled(compiled, m0, budget),
+    }
+}
+
 // ----------------------------------------------------------------------
 // Sequential compiled explorer
 // ----------------------------------------------------------------------
@@ -500,7 +528,9 @@ fn explore_compiled(
 ) -> Bounded<ReachabilityGraph> {
     let mut meter = Meter::new(budget);
     let stride = compiled.place_count();
-    let mut store = MarkingStore::new(stride);
+    // Pre-size the probe table from the state budget so big bounded
+    // explorations skip the rehash cascade (store.rs, budget hint).
+    let mut store = MarkingStore::with_state_budget(stride, budget.max_states);
     store.intern(m0);
     // The initial state always exists, even under a zero budget.
     meter.take_state();
@@ -611,7 +641,7 @@ fn explore_stubborn(
 ) -> Bounded<ReachabilityGraph> {
     let mut meter = Meter::new(budget);
     let stride = compiled.place_count();
-    let mut store = MarkingStore::new(stride);
+    let mut store = MarkingStore::with_state_budget(stride, budget.max_states);
     store.intern(m0);
     meter.take_state();
 
@@ -672,21 +702,234 @@ fn explore_stubborn(
 }
 
 // ----------------------------------------------------------------------
-// Deterministic parallel BFS
+// Out-of-core explorer over the spillable tiered store
 // ----------------------------------------------------------------------
 
-/// One worker's slice of the state space: the markings it owns (those
-/// whose hash shards to it) plus their outgoing edges as packed
-/// `(shard, local)` targets.
-struct ShardGraph {
-    store: MarkingStore,
-    /// Outgoing edges per local state: `(transition, packed target)`.
-    edges: Vec<Vec<(u32, u64)>>,
+/// A reachability graph whose markings live in a [`SpillStore`]: resident
+/// segments are delta-encoded, cold ones are paged out to an unlinked
+/// temp file, and only the hash index stays pinned in memory.
+///
+/// State ids, edge order, and counts are **identical** to the resident
+/// [`ReachabilityGraph`] the sequential kernel would build — the store
+/// tier changes where markings live, not which states exist. Marking
+/// access takes `&mut self` because reading a spilled row may page its
+/// segment back in (and evict another).
+#[derive(Debug)]
+pub struct SpilledReachability {
+    store: SpillStore,
+    edge_data: Vec<(TransitionId, StateId)>,
+    edge_off: Vec<usize>,
+    initial: StateId,
 }
 
+impl SpilledReachability {
+    /// Number of reachable states.
+    pub fn state_count(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Total number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_data.len()
+    }
+
+    /// The state corresponding to the initial marking.
+    pub fn initial_state(&self) -> StateId {
+        self.initial
+    }
+
+    /// Decodes the marking of a state into `out` (cleared first), paging
+    /// its segment in if it was spilled.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PetriError::SpillIo`] when the page-in fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this graph.
+    pub fn marking_into(&mut self, s: StateId, out: &mut Vec<u32>) -> Result<(), PetriError> {
+        self.store.get_into(s.index(), out)
+    }
+
+    /// Outgoing edges of a state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this graph.
+    pub fn edges(&self, s: StateId) -> &[(TransitionId, StateId)] {
+        &self.edge_data[self.edge_off[s.index()]..self.edge_off[s.index() + 1]]
+    }
+
+    /// Looks up a marking's state id, paging candidate segments in as
+    /// needed for confirmation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PetriError::SpillIo`] when a page-in fails.
+    pub fn find_state(&mut self, m: &Marking) -> Result<Option<StateId>, PetriError> {
+        if m.len() != self.store.stride() {
+            return Ok(None);
+        }
+        let hash = MarkingStore::hash_slice(m.as_slice());
+        Ok(self.store.find_hashed(m.as_slice(), hash)?.map(StateId))
+    }
+
+    /// States with no outgoing edges (deadlocks).
+    pub fn deadlock_states(&self) -> Vec<StateId> {
+        (0..self.store.len())
+            .filter(|&i| self.edge_off[i] == self.edge_off[i + 1])
+            .map(StateId::from_index)
+            .collect()
+    }
+
+    /// The largest token count any place reaches in any state (tracked
+    /// incrementally at insert, so no decode pass is needed).
+    pub fn token_bound(&self) -> u32 {
+        self.store.max_word()
+    }
+
+    /// Spill-tier counters: segment totals, page-in/out traffic, bytes on
+    /// disk, and the resident ceiling.
+    pub fn spill_stats(&self) -> SpillStats {
+        self.store.stats()
+    }
+
+    /// Bytes currently resident (index, hashes, and in-memory segments).
+    pub fn resident_bytes(&self) -> usize {
+        self.store.resident_bytes()
+    }
+}
+
+/// Sequential BFS over a [`SpillStore`]: the out-of-core sibling of
+/// [`reachability_bounded_compiled`], for state spaces whose resident
+/// marking set outgrows RAM.
+///
+/// Visits states in the exact order of the resident kernel, so ids and
+/// edges match byte-for-byte; only the marking storage tier differs. A
+/// spill i/o failure is treated like budget exhaustion — the prefix built
+/// so far is sound and is returned as [`Bounded::Exhausted`].
+pub fn reachability_bounded_spilled(
+    compiled: &CompiledNet,
+    m0: &[u32],
+    budget: &Budget,
+    config: &SpillConfig,
+) -> Bounded<SpilledReachability> {
+    let mut meter = Meter::new(budget);
+    let stride = compiled.place_count();
+    let hint = if budget.max_states < usize::MAX / 2 {
+        budget.max_states + 1
+    } else {
+        0
+    };
+    let mut store = SpillStore::new(stride, config, hint);
+    let h0 = MarkingStore::hash_slice(m0);
+    match store.insert_new_hashed(m0, h0) {
+        Ok(_) => {}
+        Err(e) => panic!("spill store rejected the initial marking: {e}"),
+    }
+    // The initial state always exists, even under a zero budget.
+    meter.take_state();
+
+    let mut edge_data: Vec<(TransitionId, StateId)> = Vec::new();
+    let mut edge_off: Vec<usize> = vec![0];
+    let mut cur: Vec<u32> = Vec::with_capacity(stride);
+    let mut cands: Vec<u32> = Vec::new();
+    let mut scratch = CandidateScratch::new(compiled.transition_count());
+
+    let mut frontier = 0usize;
+    'explore: while frontier < store.len() {
+        if meter.should_stop() {
+            break 'explore;
+        }
+        if store.get_into(frontier, &mut cur).is_err() {
+            // Disk trouble: stop with the sound prefix built so far.
+            break 'explore;
+        }
+        let cur_hash = MarkingStore::hash_slice(&cur);
+        compiled.enabled_candidates(&cur, &mut scratch, &mut cands);
+        for &t in &cands {
+            if !compiled.is_enabled(&cur, t) {
+                continue;
+            }
+            if !meter.take_transition() {
+                break 'explore;
+            }
+            let hash = compiled.apply_hashed(&mut cur, cur_hash, t);
+            let found = match store.find_hashed(&cur, hash) {
+                Ok(found) => found,
+                Err(_) => {
+                    compiled.unapply(&mut cur, t);
+                    break 'explore;
+                }
+            };
+            let target = match found {
+                Some(id) => id,
+                None => {
+                    if !meter.take_state() {
+                        compiled.unapply(&mut cur, t);
+                        break 'explore;
+                    }
+                    match store.insert_new_hashed(&cur, hash) {
+                        Ok(id) => id,
+                        Err(_) => {
+                            compiled.unapply(&mut cur, t);
+                            break 'explore;
+                        }
+                    }
+                }
+            };
+            compiled.unapply(&mut cur, t);
+            edge_data.push((TransitionId::from_index(t as usize), StateId(target)));
+        }
+        edge_off.push(edge_data.len());
+        frontier += 1;
+    }
+    while edge_off.len() <= store.len() {
+        edge_off.push(edge_data.len());
+    }
+
+    meter.finish(SpilledReachability {
+        store,
+        edge_data,
+        edge_off,
+        initial: StateId(0),
+    })
+}
+
+// ----------------------------------------------------------------------
+// Lock-free parallel BFS (kernel v3)
+// ----------------------------------------------------------------------
+//
+// One shared open-addressing table, claimed slot-by-slot with CAS; no
+// rounds, no barriers, no mailboxes. Each worker appends the markings it
+// discovers to its own segmented arena (stable addresses, readable by
+// every worker), publishes them by CAS-ing a packed entry into the
+// table, and trades frontier work through per-worker steal deques. A
+// global in-flight counter detects termination. A final renumbering pass
+// replays the sequential discovery recurrence over the logged edges, so
+// the output is byte-identical to `explore_compiled` for any thread
+// count. See DESIGN.md §5f.
+
+/// Empty table slot.
+const EMPTY_SLOT: u64 = 0;
+/// Published-entry marker (keeps every live entry nonzero).
+const PRESENT: u64 = 1 << 63;
+/// Entry layout below the marker: 23 hash tag bits, 8 worker bits,
+/// 32 local-id bits.
+const TAG_SHIFT: u32 = 40;
+const TAG_BITS: u64 = 0x7F_FFFF;
+const TAG_FIELD: u64 = TAG_BITS << TAG_SHIFT;
+const GID_MASK: u64 = (1 << TAG_SHIFT) - 1;
+/// Hard ceiling on the shared table (2^28 slots = 2 GiB of index).
+const PAR_SLOTS_CAP: usize = 1 << 28;
+/// Floor so tiny explorations don't immediately exhaust the 7/8 load cap.
+const PAR_SLOTS_MIN: usize = 1 << 10;
+
+/// Packs a worker-local state reference: `(worker << 32) | local`.
 #[inline]
-fn pack(shard: usize, local: u32) -> u64 {
-    ((shard as u64) << 32) | u64::from(local)
+fn pack(worker: usize, local: u32) -> u64 {
+    ((worker as u64) << 32) | u64::from(local)
 }
 
 #[inline]
@@ -694,12 +937,13 @@ fn unpack(packed: u64) -> (usize, u32) {
     ((packed >> 32) as usize, packed as u32)
 }
 
-/// Shard ownership: a pure function of the marking's content hash, so
-/// every worker routes a given marking to the same owner without
-/// coordination. Uses bits disjoint from the table-probe bits.
+/// The table entry publishing marking `(worker, local)` under `hash`.
+/// The tag reuses the hash's top 23 bits — disjoint from the probe bits
+/// (low `log2(slots) ≤ 28`), so tag collisions are independent of slot
+/// clustering.
 #[inline]
-fn shard_of(hash: u64, shards: usize) -> usize {
-    ((hash >> 33) as usize) % shards
+fn make_entry(hash: u64, worker: usize, local: u32) -> u64 {
+    PRESENT | (((hash >> 41) & TAG_BITS) << TAG_SHIFT) | pack(worker, local)
 }
 
 fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
@@ -709,308 +953,484 @@ fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
     }
 }
 
-/// A reply mailbox cell: resolved `(src_local, transition,
-/// packed_target)` triples for one `(src, dst)` worker pair.
-type ReplyBox = Mutex<Vec<(u32, u32, u64)>>;
+/// One worker's append-only marking arena. Rows live in fixed-size
+/// segments allocated on demand through `OnceLock`, so a row's address
+/// never moves after publication and other workers can read it without
+/// locks: the publishing CAS (Release) on the table entry orders the
+/// row's Relaxed stores before any reader that Acquire-loads the entry.
+struct WorkerArena {
+    stride: usize,
+    seg_rows: usize,
+    marks: Vec<OnceLock<Box<[AtomicU32]>>>,
+    hashes: Vec<OnceLock<Box<[AtomicU64]>>>,
+}
 
-/// Level-synchronous sharded BFS. Returns `Some(graph)` on complete
+impl WorkerArena {
+    fn new(stride: usize, cap_states: usize) -> Self {
+        // ~4 MiB segments, clamped so huge strides still get a few rows
+        // per segment and small ones don't balloon the pointer tables.
+        let seg_rows = ((1usize << 20) / stride.max(1)).clamp(64, 8192);
+        let segs = cap_states / seg_rows + 2;
+        WorkerArena {
+            stride,
+            seg_rows,
+            marks: (0..segs).map(|_| OnceLock::new()).collect(),
+            hashes: (0..segs).map(|_| OnceLock::new()).collect(),
+        }
+    }
+
+    #[inline]
+    fn split(&self, local: u32) -> (usize, usize) {
+        (
+            local as usize / self.seg_rows,
+            local as usize % self.seg_rows,
+        )
+    }
+
+    /// Owner-side tentative append: writes row `local` before it is
+    /// published. Safe to overwrite (a lost insert race reuses the row).
+    fn write_row(&self, local: u32, m: &[u32], hash: u64) {
+        let (s, r) = self.split(local);
+        let seg = self.marks[s].get_or_init(|| {
+            (0..self.seg_rows * self.stride)
+                .map(|_| AtomicU32::new(0))
+                .collect()
+        });
+        let hseg =
+            self.hashes[s].get_or_init(|| (0..self.seg_rows).map(|_| AtomicU64::new(0)).collect());
+        for (i, &w) in m.iter().enumerate() {
+            seg[r * self.stride + i].store(w, Ordering::Relaxed);
+        }
+        hseg[r].store(hash, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn row(&self, local: u32) -> &[AtomicU32] {
+        let (s, r) = self.split(local);
+        match self.marks[s].get() {
+            Some(seg) => &seg[r * self.stride..(r + 1) * self.stride],
+            None => unreachable!("arena row read before publication"),
+        }
+    }
+
+    fn read_row_into(&self, local: u32, out: &mut Vec<u32>) {
+        out.clear();
+        out.extend(self.row(local).iter().map(|a| a.load(Ordering::Relaxed)));
+    }
+
+    #[inline]
+    fn row_eq(&self, local: u32, m: &[u32]) -> bool {
+        m.iter()
+            .zip(self.row(local))
+            .all(|(&w, a)| a.load(Ordering::Relaxed) == w)
+    }
+
+    #[inline]
+    fn hash_of(&self, local: u32) -> u64 {
+        let (s, r) = self.split(local);
+        match self.hashes[s].get() {
+            Some(h) => h[r].load(Ordering::Relaxed),
+            None => unreachable!("arena hash read before publication"),
+        }
+    }
+}
+
+enum Probe {
+    /// The marking is published under this packed `(worker, local)` gid.
+    Found(u64),
+    /// Not present; the probe stopped at this empty slot.
+    Vacant(usize),
+}
+
+/// The shared lock-free insert-or-get index over all worker arenas.
+struct SharedIndex<'a> {
+    slots: &'a [AtomicU64],
+    mask: usize,
+    arenas: &'a [WorkerArena],
+}
+
+impl SharedIndex<'_> {
+    /// Linear-probes from `slot`. Occupancy is monotone (slots fill,
+    /// never empty), so a restarted probe never misses an insert that
+    /// happened behind its scan frontier: every slot it passed was
+    /// already occupied and stays occupied.
+    fn probe_from(&self, mut slot: usize, m: &[u32], hash: u64) -> Probe {
+        let tag = ((hash >> 41) & TAG_BITS) << TAG_SHIFT;
+        loop {
+            let e = self.slots[slot].load(Ordering::Acquire);
+            if e == EMPTY_SLOT {
+                return Probe::Vacant(slot);
+            }
+            if e & TAG_FIELD == tag {
+                let (w, l) = unpack(e & GID_MASK);
+                if self.arenas[w].hash_of(l) == hash && self.arenas[w].row_eq(l, m) {
+                    return Probe::Found(e & GID_MASK);
+                }
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+
+    #[inline]
+    fn find(&self, m: &[u32], hash: u64) -> Probe {
+        self.probe_from((hash as usize) & self.mask, m, hash)
+    }
+
+    /// Races to claim the vacant `slot` for the tentative row
+    /// `(me, local)`. Returns `None` when the claim won (the row is now
+    /// published) or `Some(gid)` when a concurrent insert published an
+    /// equal marking first (the tentative row must be rolled back).
+    fn claim(&self, mut slot: usize, m: &[u32], hash: u64, me: usize, local: u32) -> Option<u64> {
+        let entry = make_entry(hash, me, local);
+        loop {
+            // Release on success publishes the row's Relaxed stores to
+            // every reader that Acquire-loads this entry.
+            if self.slots[slot]
+                .compare_exchange(EMPTY_SLOT, entry, Ordering::Release, Ordering::Acquire)
+                .is_ok()
+            {
+                return None;
+            }
+            // Lost the slot: somebody filled it under us. Re-examine
+            // from here — the newcomer may be our own marking.
+            match self.probe_from(slot, m, hash) {
+                Probe::Found(gid) => return Some(gid),
+                Probe::Vacant(s) => slot = s,
+            }
+        }
+    }
+}
+
+/// A worker's public deque plus an occupancy counter so peers can scan
+/// for victims without taking the lock.
+struct StealQueue {
+    q: Mutex<VecDeque<u64>>,
+    size: AtomicUsize,
+}
+
+/// One worker's exploration log: how many states it owns, which states
+/// it expanded (in its own expansion order) and their edges, grouped
+/// contiguously per expansion and ascending by transition id within one.
+struct WorkerLog {
+    len: u32,
+    /// `(gid expanded, first index into edges)`; the range ends at the
+    /// next entry's start (or `edges.len()`).
+    srcs: Vec<(u64, usize)>,
+    /// `(transition, target gid)`.
+    edges: Vec<(u32, u64)>,
+}
+
+/// Pops local work, then the worker's own public deque, then steals half
+/// of the first non-empty victim's deque (scanning round-robin from
+/// `me + 1`). Returns `None` when no work is visible anywhere.
+fn next_work(me: usize, local: &mut Vec<u64>, queues: &[StealQueue]) -> Option<u64> {
+    if let Some(g) = local.pop() {
+        return Some(g);
+    }
+    {
+        let mut q = lock(&queues[me].q);
+        if let Some(g) = q.pop_back() {
+            queues[me].size.store(q.len(), Ordering::Relaxed);
+            return Some(g);
+        }
+    }
+    let n = queues.len();
+    for d in 1..n {
+        let v = (me + d) % n;
+        if queues[v].size.load(Ordering::Relaxed) == 0 {
+            continue;
+        }
+        let mut q = lock(&queues[v].q);
+        let take = q.len().div_ceil(2);
+        for _ in 0..take {
+            if let Some(g) = q.pop_front() {
+                local.push(g);
+            }
+        }
+        queues[v].size.store(q.len(), Ordering::Relaxed);
+        drop(q);
+        if let Some(g) = local.pop() {
+            return Some(g);
+        }
+    }
+    None
+}
+
+/// Barrier-free work-stealing BFS. Returns `Some(graph)` on complete
 /// exploration (already canonically renumbered), `None` when the budget
-/// ran out (the caller replays sequentially for a deterministic prefix).
+/// ran out or the fixed table filled (the caller replays sequentially
+/// for a deterministic prefix).
 fn explore_parallel(
     compiled: &CompiledNet,
     m0: &[u32],
     budget: &Budget,
     threads: usize,
 ) -> Option<ReachabilityGraph> {
+    // An already-expired deadline or pre-cancelled token must produce
+    // the same result as the sequential meter, whose very first tick
+    // polls interrupts — so poll before any work happens. (Mid-flight
+    // interrupts are wall-clock races either way; completes are always
+    // the true graph.)
+    if budget.interrupted().is_some() {
+        return None;
+    }
     let stride = compiled.place_count();
     let h0 = MarkingStore::hash_slice(m0);
-    let owner0 = shard_of(h0, threads);
 
-    // Shared budget accounting: `fetch_add` tickets replicate
-    // `Meter::take_*` — a ticket below the cap is a successful take, at
-    // or above it trips the stop flag. On a completed run the number of
-    // successful takes equals the sequential meter's counts exactly.
-    let states_used = AtomicUsize::new(1); // the initial marking's take
+    // Pre-size the shared table from the budget (it never grows — a
+    // fixed table is what makes CAS claims sufficient). An effectively
+    // infinite budget falls back to the workspace default; blowing past
+    // the 7/8 load cap trips `stopped` and the sequential replay (which
+    // does grow) takes over.
+    let sizing = if budget.max_states < usize::MAX / 2 {
+        budget.max_states + 1
+    } else {
+        crate::budget::DEFAULT_MAX_STATES
+    };
+    let slots = (sizing.min(PAR_SLOTS_CAP) * 8 / 7 + 1)
+        .next_power_of_two()
+        .clamp(PAR_SLOTS_MIN, PAR_SLOTS_CAP);
+    let state_cap = budget.max_states.min(slots * 7 / 8);
+
+    let slots_vec: Vec<AtomicU64> = (0..slots).map(|_| AtomicU64::new(EMPTY_SLOT)).collect();
+    let arenas: Vec<WorkerArena> = (0..threads)
+        .map(|_| WorkerArena::new(stride, state_cap))
+        .collect();
+    let index = SharedIndex {
+        slots: &slots_vec,
+        mask: slots - 1,
+        arenas: &arenas,
+    };
+
+    // Seed: worker 0 owns the initial marking as (0, 0). Single-threaded
+    // here, so a plain store publishes it.
+    arenas[0].write_row(0, m0, h0);
+    match index.find(m0, h0) {
+        Probe::Vacant(s) => slots_vec[s].store(make_entry(h0, 0, 0), Ordering::Relaxed),
+        Probe::Found(_) => unreachable!("empty table cannot contain the seed"),
+    }
+
+    let queues: Vec<StealQueue> = (0..threads)
+        .map(|_| StealQueue {
+            q: Mutex::new(VecDeque::new()),
+            size: AtomicUsize::new(0),
+        })
+        .collect();
+    // States discovered but not yet fully expanded. Insert increments
+    // (before the state becomes visible), retiring an expansion
+    // decrements; zero with empty queues means the wavefront is done.
+    let in_flight = AtomicUsize::new(1);
+    let states_used = AtomicUsize::new(1); // the seed's ticket
     let trans_used = AtomicUsize::new(0);
     let stopped = AtomicBool::new(false);
-    // Next-level population, double-buffered by round parity so resets
-    // never race with increments.
-    let pending = [AtomicUsize::new(0), AtomicUsize::new(0)];
-    let barrier = Barrier::new(threads);
 
-    // Mailboxes. `firings[dst][src]` carries flat records
-    // `[src_local, transition, hash_lo, hash_hi, marking words…]` from
-    // src's expansion to the marking's owner dst (the hash rides along
-    // so the owner never rehashes); `replies[src][dst]` carries the
-    // resolved `(src_local, transition, packed_target)` back. Each cell
-    // has one writer and one reader per phase, separated by barriers.
-    let firings: Vec<Vec<Mutex<Vec<u32>>>> = (0..threads)
-        .map(|_| (0..threads).map(|_| Mutex::new(Vec::new())).collect())
-        .collect();
-    let replies: Vec<Vec<ReplyBox>> = (0..threads)
-        .map(|_| (0..threads).map(|_| Mutex::new(Vec::new())).collect())
-        .collect();
-
-    let mut shards: Vec<Option<ShardGraph>> = Vec::with_capacity(threads);
+    let mut logs: Vec<WorkerLog> = Vec::with_capacity(threads);
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for me in 0..threads {
-            let firings = &firings;
-            let replies = &replies;
+            let index = &index;
+            let arenas = &arenas;
+            let queues = &queues;
+            let in_flight = &in_flight;
             let states_used = &states_used;
             let trans_used = &trans_used;
             let stopped = &stopped;
-            let pending = &pending;
-            let barrier = &barrier;
             handles.push(scope.spawn(move || {
-                let mut shard = ShardGraph {
-                    store: MarkingStore::new(stride),
-                    edges: Vec::new(),
+                let mut my_len: u32 = u32::from(me == 0);
+                let mut local: Vec<u64> = if me == 0 {
+                    vec![pack(0, 0)]
+                } else {
+                    Vec::new()
                 };
-                let mut level: Vec<u32> = Vec::new();
-                if me == owner0 {
-                    match shard.store.insert_new_hashed(m0, h0) {
-                        Ok(id) => {
-                            shard.edges.push(Vec::new());
-                            level.push(id);
-                        }
-                        Err(_) => stopped.store(true, Ordering::SeqCst),
-                    }
-                }
-                let mut next_level: Vec<u32> = Vec::new();
+                let mut srcs: Vec<(u64, usize)> = Vec::new();
+                let mut edges: Vec<(u32, u64)> = Vec::new();
                 let mut cur: Vec<u32> = Vec::with_capacity(stride);
                 let mut cands: Vec<u32> = Vec::new();
                 let mut scratch = CandidateScratch::new(compiled.transition_count());
-                let mut out_firings: Vec<Vec<u32>> = vec![Vec::new(); threads];
-                let mut out_replies: Vec<Vec<(u32, u32, u64)>> = vec![Vec::new(); threads];
-                let mut round = 0usize;
-                // Coarse per-worker deadline/cancel poll; a trip turns
-                // into `stopped`, which the sequential replay then
-                // reproduces deterministically.
-                let mut tick = 0u32;
+                let mut expansions: u32 = 0;
 
-                loop {
-                    // Phase 1: expand the local frontier level.
-                    if !stopped.load(Ordering::SeqCst) {
-                        'states: for &local in &level {
-                            cur.clear();
-                            cur.extend_from_slice(shard.store.get(local as usize));
-                            let cur_hash = shard.store.hash_of(local as usize);
-                            compiled.enabled_candidates(&cur, &mut scratch, &mut cands);
-                            for &t in &cands {
-                                if !compiled.is_enabled(&cur, t) {
-                                    continue;
-                                }
-                                tick = tick.wrapping_add(1);
-                                if tick & 0xFFF == 0 && budget.interrupted().is_some() {
-                                    stopped.store(true, Ordering::SeqCst);
-                                    break 'states;
-                                }
-                                if trans_used.fetch_add(1, Ordering::SeqCst)
-                                    >= budget.max_transitions
-                                {
-                                    stopped.store(true, Ordering::SeqCst);
-                                    break 'states;
-                                }
-                                // Fire in place with a delta-updated hash
-                                // (see the sequential explorer); `cur` is
-                                // reloaded after a `break`, so unapply
-                                // only matters on the continue paths.
-                                let hash = compiled.apply_hashed(&mut cur, cur_hash, t);
-                                let dst = shard_of(hash, threads);
-                                if dst == me {
-                                    let target = match shard.store.find_hashed(&cur, hash) {
-                                        Some(id) => id,
-                                        None => {
-                                            if states_used.fetch_add(1, Ordering::SeqCst)
-                                                >= budget.max_states
-                                            {
-                                                stopped.store(true, Ordering::SeqCst);
-                                                break 'states;
-                                            }
-                                            let Ok(id) = shard.store.insert_new_hashed(&cur, hash)
-                                            else {
-                                                stopped.store(true, Ordering::SeqCst);
-                                                break 'states;
-                                            };
-                                            shard.edges.push(Vec::new());
-                                            next_level.push(id);
-                                            id
-                                        }
-                                    };
-                                    shard.edges[local as usize].push((t, pack(me, target)));
-                                } else {
-                                    // Record carries the already-computed
-                                    // hash so the owner never rehashes:
-                                    // `[src_local, t, hash_lo, hash_hi,
-                                    //   marking…]`.
-                                    let buf = &mut out_firings[dst];
-                                    buf.push(local);
-                                    buf.push(t);
-                                    buf.push(hash as u32);
-                                    buf.push((hash >> 32) as u32);
-                                    buf.extend_from_slice(&cur);
-                                }
-                                compiled.unapply(&mut cur, t);
-                            }
+                'work: loop {
+                    let Some(gid) = next_work(me, &mut local, queues) else {
+                        if stopped.load(Ordering::Relaxed) {
+                            break 'work;
                         }
-                    }
-                    for dst in 0..threads {
-                        if dst != me && !out_firings[dst].is_empty() {
-                            *lock(&firings[dst][me]) = std::mem::take(&mut out_firings[dst]);
+                        if in_flight.load(Ordering::Acquire) == 0 {
+                            break 'work;
                         }
+                        // Poll the deadline/cancel while starved so a
+                        // stall cannot outlive the budget (cancellation
+                        // lands mid-steal, not just mid-expansion).
+                        if budget.interrupted().is_some() {
+                            stopped.store(true, Ordering::Relaxed);
+                            break 'work;
+                        }
+                        std::thread::yield_now();
+                        continue 'work;
+                    };
+                    if stopped.load(Ordering::Relaxed) {
+                        break 'work;
                     }
-                    barrier.wait();
+                    expansions = expansions.wrapping_add(1);
+                    if expansions & 0x3F == 0 && budget.interrupted().is_some() {
+                        stopped.store(true, Ordering::Relaxed);
+                        break 'work;
+                    }
 
-                    // Phase 2: resolve firings arriving at markings this
-                    // shard owns; queue replies with the assigned ids.
-                    if !stopped.load(Ordering::SeqCst) {
-                        'drain: for src in 0..threads {
-                            if src == me {
-                                continue;
-                            }
-                            let buf = std::mem::take(&mut *lock(&firings[me][src]));
-                            let mut k = 0;
-                            while k < buf.len() {
-                                let src_local = buf[k];
-                                let t = buf[k + 1];
-                                let hash = u64::from(buf[k + 2]) | (u64::from(buf[k + 3]) << 32);
-                                let m = &buf[k + 4..k + 4 + stride];
-                                k += 4 + stride;
-                                let target = match shard.store.find_hashed(m, hash) {
-                                    Some(id) => id,
-                                    None => {
-                                        if states_used.fetch_add(1, Ordering::SeqCst)
-                                            >= budget.max_states
-                                        {
-                                            stopped.store(true, Ordering::SeqCst);
-                                            break 'drain;
-                                        }
-                                        let Ok(id) = shard.store.insert_new_hashed(m, hash) else {
-                                            stopped.store(true, Ordering::SeqCst);
-                                            break 'drain;
-                                        };
-                                        shard.edges.push(Vec::new());
-                                        next_level.push(id);
-                                        id
+                    let (ow, ol) = unpack(gid);
+                    arenas[ow].read_row_into(ol, &mut cur);
+                    let cur_hash = arenas[ow].hash_of(ol);
+                    srcs.push((gid, edges.len()));
+                    compiled.enabled_candidates(&cur, &mut scratch, &mut cands);
+                    for &t in &cands {
+                        if !compiled.is_enabled(&cur, t) {
+                            continue;
+                        }
+                        if trans_used.fetch_add(1, Ordering::Relaxed) >= budget.max_transitions {
+                            stopped.store(true, Ordering::Relaxed);
+                            break 'work;
+                        }
+                        let hash = compiled.apply_hashed(&mut cur, cur_hash, t);
+                        let target = match index.find(&cur, hash) {
+                            Probe::Found(g) => g,
+                            Probe::Vacant(slot) => {
+                                // Tentative append: write the row, take a
+                                // state ticket, then race for the slot.
+                                // The ticket precedes the CAS so total
+                                // published states never exceed the
+                                // table's load cap — that is what bounds
+                                // every probe loop.
+                                arenas[me].write_row(my_len, &cur, hash);
+                                if states_used.fetch_add(1, Ordering::Relaxed) >= state_cap {
+                                    stopped.store(true, Ordering::Relaxed);
+                                    break 'work;
+                                }
+                                match index.claim(slot, &cur, hash, me, my_len) {
+                                    Some(existing) => {
+                                        // Lost to an equal marking: roll
+                                        // back the append, refund the
+                                        // ticket.
+                                        states_used.fetch_sub(1, Ordering::Relaxed);
+                                        existing
                                     }
-                                };
-                                out_replies[src].push((src_local, t, pack(me, target)));
+                                    None => {
+                                        let g = pack(me, my_len);
+                                        my_len += 1;
+                                        // Count the child before it can
+                                        // become visible so `in_flight`
+                                        // never dips to zero with work
+                                        // still queued.
+                                        in_flight.fetch_add(1, Ordering::Relaxed);
+                                        local.push(g);
+                                        g
+                                    }
+                                }
                             }
-                        }
+                        };
+                        compiled.unapply(&mut cur, t);
+                        edges.push((t, target));
                     }
-                    for src in 0..threads {
-                        if src != me && !out_replies[src].is_empty() {
-                            *lock(&replies[src][me]) = std::mem::take(&mut out_replies[src]);
-                        }
-                    }
-                    pending[(round + 1) % 2].store(0, Ordering::SeqCst);
-                    pending[round % 2].fetch_add(next_level.len(), Ordering::SeqCst);
-                    barrier.wait();
-
-                    // Phase 3: record edges from replies; agree on
-                    // termination (all stop-flag writes happened before
-                    // the barrier, so every worker reads the same state).
-                    for (dst, cell) in replies[me].iter().enumerate() {
-                        if dst != me {
-                            let buf = std::mem::take(&mut *lock(cell));
-                            for (src_local, t, packed) in buf {
-                                shard.edges[src_local as usize].push((t, packed));
-                            }
-                        }
-                    }
-                    let total_next = pending[round % 2].load(Ordering::SeqCst);
-                    let stop_now = stopped.load(Ordering::SeqCst);
-                    // Third barrier: every worker must read the verdict
-                    // before any worker can enter the next round and
-                    // write `stopped` again — otherwise a fast worker's
-                    // round-`r+1` budget trip could leak into a slow
-                    // worker's round-`r` read and the two would disagree
-                    // on the exit round, stranding one on the barrier.
-                    barrier.wait();
-                    level.clear();
-                    std::mem::swap(&mut level, &mut next_level);
-                    round += 1;
-                    if stop_now || total_next == 0 {
-                        break;
+                    in_flight.fetch_sub(1, Ordering::Release);
+                    // Offer surplus to starving peers: cheap occupancy
+                    // check first, lock only when actually publishing.
+                    if local.len() > 1 && queues[me].size.load(Ordering::Relaxed) == 0 {
+                        let give = local.len() / 2;
+                        let mut q = lock(&queues[me].q);
+                        q.extend(local.drain(..give));
+                        queues[me].size.store(q.len(), Ordering::Relaxed);
                     }
                 }
-                shard
+                WorkerLog {
+                    len: my_len,
+                    srcs,
+                    edges,
+                }
             }));
         }
         for h in handles {
             match h.join() {
-                Ok(shard) => shards.push(Some(shard)),
+                Ok(log) => logs.push(log),
                 Err(panic) => std::panic::resume_unwind(panic),
             }
         }
     });
 
-    if stopped.load(Ordering::SeqCst) {
+    if stopped.load(Ordering::Relaxed) {
         return None;
     }
-    let shards: Vec<ShardGraph> = shards.into_iter().flatten().collect();
-    Some(merge_shards(shards, owner0, stride))
+    Some(merge_lockfree(&arenas, &logs, stride))
 }
 
-/// Renumbers the sharded graph into canonical (sequential) BFS order.
+/// Renumbers the lock-free exploration into canonical (sequential) BFS
+/// order.
 ///
-/// Each state's edges are sorted by transition id — the order the
-/// sequential explorer emits them in, since candidates are examined
-/// ascending and each enabled transition fires exactly once per state —
-/// and the rebuilt id assignment follows the exact discovery recurrence
-/// of the sequential BFS. The output is therefore bit-identical to
-/// `explore_compiled` on the same net.
-fn merge_shards(mut shards: Vec<ShardGraph>, owner0: usize, stride: usize) -> ReachabilityGraph {
-    for shard in &mut shards {
-        for outs in &mut shard.edges {
-            outs.sort_unstable_by_key(|&(t, _)| t);
+/// Each expanded state's edge range is already in ascending transition
+/// order (candidates are examined ascending and each state is expanded
+/// by exactly one worker), so replaying the sequential discovery
+/// recurrence — scan states in discovery order, number new targets in
+/// edge order — reproduces the sequential numbering exactly. The rebuilt
+/// arena re-interns markings in that order, making the result
+/// byte-identical to `explore_compiled`.
+fn merge_lockfree(arenas: &[WorkerArena], logs: &[WorkerLog], stride: usize) -> ReachabilityGraph {
+    let total: usize = logs.iter().map(|o| o.len as usize).sum();
+    // Locate each state's expansion: owner gid -> (expander, src slot).
+    let mut expander: Vec<Vec<(u32, u32)>> = logs
+        .iter()
+        .map(|o| vec![(u32::MAX, 0); o.len as usize])
+        .collect();
+    for (ew, o) in logs.iter().enumerate() {
+        for (si, &(gid, _)) in o.srcs.iter().enumerate() {
+            let (w, l) = unpack(gid);
+            expander[w][l as usize] = (ew as u32, si as u32);
         }
     }
-    let total: usize = shards.iter().map(|s| s.store.len()).sum();
-    let mut new_id: Vec<Vec<u32>> = shards
+    let edge_range = |ew: usize, si: usize| {
+        let o = &logs[ew];
+        let begin = o.srcs[si].1;
+        let end = o.srcs.get(si + 1).map_or(o.edges.len(), |s| s.1);
+        &o.edges[begin..end]
+    };
+
+    let mut new_id: Vec<Vec<u32>> = logs
         .iter()
-        .map(|s| vec![u32::MAX; s.store.len()])
+        .map(|o| vec![u32::MAX; o.len as usize])
         .collect();
     let mut order: Vec<u64> = Vec::with_capacity(total);
-    order.push(pack(owner0, 0));
-    new_id[owner0][0] = 0;
+    order.push(pack(0, 0));
+    new_id[0][0] = 0;
     let mut head = 0usize;
     while head < order.len() {
-        let (sh, local) = unpack(order[head]);
+        let (w, l) = unpack(order[head]);
         head += 1;
-        for &(_, target) in &shards[sh].edges[local as usize] {
-            let (ts, tl) = unpack(target);
-            if new_id[ts][tl as usize] == u32::MAX {
-                new_id[ts][tl as usize] = order.len() as u32;
-                order.push(target);
+        let (ew, si) = expander[w][l as usize];
+        debug_assert_ne!(ew, u32::MAX, "complete run expanded every state");
+        for &(_, tgt) in edge_range(ew as usize, si as usize) {
+            let (tw, tl) = unpack(tgt);
+            if new_id[tw][tl as usize] == u32::MAX {
+                new_id[tw][tl as usize] = order.len() as u32;
+                order.push(tgt);
             }
         }
     }
     debug_assert_eq!(order.len(), total, "every discovered state is reachable");
 
     let mut store = MarkingStore::with_capacity(stride, total);
+    let mut buf: Vec<u32> = Vec::with_capacity(stride);
     let mut edge_data: Vec<(TransitionId, StateId)> = Vec::new();
     let mut edge_off: Vec<usize> = Vec::with_capacity(total + 1);
     edge_off.push(0);
-    for &packed in &order {
-        let (sh, local) = unpack(packed);
-        let src = &shards[sh];
-        if store
-            .insert_new_hashed(
-                src.store.get(local as usize),
-                src.store.hash_of(local as usize),
-            )
-            .is_err()
-        {
+    for &gid in &order {
+        let (w, l) = unpack(gid);
+        arenas[w].read_row_into(l, &mut buf);
+        if store.insert_new_hashed(&buf, arenas[w].hash_of(l)).is_err() {
             // Unreachable: `total` ids fit u32 by construction.
             debug_assert!(false, "id overflow during merge");
         }
-        for &(t, target) in &src.edges[local as usize] {
-            let (ts, tl) = unpack(target);
+        let (ew, si) = expander[w][l as usize];
+        for &(t, tgt) in edge_range(ew as usize, si as usize) {
+            let (tw, tl) = unpack(tgt);
             edge_data.push((
                 TransitionId::from_index(t as usize),
-                StateId(new_id[ts][tl as usize]),
+                StateId(new_id[tw][tl as usize]),
             ));
         }
         edge_off.push(edge_data.len());

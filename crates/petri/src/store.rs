@@ -23,6 +23,14 @@ use crate::error::PetriError;
 const EMPTY: u64 = 0;
 /// Initial table capacity (power of two).
 const INITIAL_SLOTS: usize = 16;
+/// Ceiling on what a [`Budget`](crate::budget::Budget) hint may pre-size
+/// the slot table to (2^26 slots = 512 MiB of index).
+const HINT_SLOTS_CAP: usize = 1 << 26;
+/// Table size at which a pending budget hint is applied in one jump.
+/// Below this a run has not proven it is big, and a tiny exploration
+/// should not fault in a multi-megabyte table; above it, one resize
+/// straight to the hinted size replaces the remaining doubling cascade.
+const HINT_JUMP_SLOTS: usize = 1 << 15;
 
 /// A deduplicating arena of fixed-stride `u32` vectors (markings, or any
 /// packed per-state payload such as the STG kernel's marking+encoding
@@ -55,6 +63,10 @@ pub struct MarkingStore {
     table: Vec<u64>,
     mask: usize,
     len: usize,
+    /// Slot-count target from a finite state budget (0 = no hint): once
+    /// the table outgrows `HINT_JUMP_SLOTS`, the next growth jumps
+    /// straight here instead of doubling through every power of two.
+    hint_slots: usize,
 }
 
 const HIGH_MASK: u64 = 0xFFFF_FFFF_0000_0000;
@@ -75,7 +87,29 @@ impl MarkingStore {
             table: vec![EMPTY; slots],
             mask: slots - 1,
             len: 0,
+            hint_slots: 0,
         }
+    }
+
+    /// An empty store whose slot table growth is pre-planned from a state
+    /// budget: explorations that stay small behave exactly like
+    /// [`MarkingStore::new`], but once the table proves it is on a big
+    /// run (> `HINT_JUMP_SLOTS` slots) the next growth resizes straight
+    /// to a table fitting `max_states` at the 7/8 load ceiling — the
+    /// doubling-and-rehash cascade of a multi-million-state exploration
+    /// collapses into a single jump. An effectively infinite budget
+    /// (`usize::MAX`-ish, as produced by [`crate::budget::Budget`] with
+    /// no state cap) leaves growth untouched.
+    pub fn with_state_budget(stride: usize, max_states: usize) -> Self {
+        let mut store = Self::new(stride);
+        if max_states < usize::MAX / 2 {
+            let capped = max_states.min(HINT_SLOTS_CAP);
+            let want = (capped * 8 / 7 + 1).next_power_of_two().min(HINT_SLOTS_CAP);
+            if want > HINT_JUMP_SLOTS {
+                store.hint_slots = want;
+            }
+        }
+        store
     }
 
     /// The per-marking stride (place count).
@@ -271,6 +305,561 @@ impl MarkingStore {
     /// and never corrupts the index — the caller sees a graceful
     /// [`PetriError::AllocationFailed`] instead of an abort.
     fn grow(&mut self) -> Result<(), PetriError> {
+        let doubled = self.table.len() * 2;
+        let new_slots = if self.hint_slots > doubled && self.table.len() >= HINT_JUMP_SLOTS {
+            self.hint_slots
+        } else {
+            doubled
+        };
+        let mut table = Vec::new();
+        table
+            .try_reserve_exact(new_slots)
+            .map_err(|_| PetriError::AllocationFailed {
+                bytes: new_slots * std::mem::size_of::<u64>(),
+            })?;
+        table.resize(new_slots, EMPTY);
+        self.table = table;
+        self.mask = new_slots - 1;
+        for i in 0..self.len {
+            let hash = self.hashes[i];
+            self.place_slot(hash, i as u32);
+        }
+        Ok(())
+    }
+}
+
+// ----------------------------------------------------------------------
+// Spillable tier
+// ----------------------------------------------------------------------
+
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Configuration of the spillable marking tier ([`SpillStore`]).
+#[derive(Clone, Debug)]
+pub struct SpillConfig {
+    /// Ceiling on resident **encoded row payload** bytes (delta pairs +
+    /// row offsets of all resident segments). When an insert pushes past
+    /// it, cold sealed segments are written to disk and dropped from RAM
+    /// until the payload fits again. The hash cache, the slot table and
+    /// the per-segment reference markings always stay resident — they
+    /// are what keeps lookups from touching disk on the hot path.
+    pub resident_payload_bytes: usize,
+    /// Rows per segment. Only full (sealed) segments spill; the tail
+    /// segment currently being filled never does.
+    pub segment_rows: usize,
+    /// Directory for the spill file. `None` uses the system temp dir.
+    /// The file is unlinked at creation where the platform allows it, so
+    /// even a crashed process leaks no on-disk state.
+    pub spill_dir: Option<PathBuf>,
+}
+
+impl Default for SpillConfig {
+    /// 64 MiB of resident payload, 4096-row segments, system temp dir.
+    fn default() -> Self {
+        SpillConfig {
+            resident_payload_bytes: 64 << 20,
+            segment_rows: 4096,
+            spill_dir: None,
+        }
+    }
+}
+
+impl SpillConfig {
+    /// Config with the given resident-payload ceiling.
+    pub fn with_resident_bytes(bytes: usize) -> Self {
+        SpillConfig {
+            resident_payload_bytes: bytes,
+            ..Self::default()
+        }
+    }
+}
+
+/// Counters describing how much a [`SpillStore`] actually spilled.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpillStats {
+    /// Total segments (resident + spilled).
+    pub segments: usize,
+    /// Segments currently resident in RAM.
+    pub resident_segments: usize,
+    /// Bytes ever written to the spill file (segments write at most once).
+    pub spilled_bytes: u64,
+    /// Segments re-read from disk (page-ins).
+    pub page_ins: u64,
+    /// Segments evicted to disk (page-outs).
+    pub page_outs: u64,
+    /// Encoded payload bytes currently resident.
+    pub resident_payload_bytes: usize,
+}
+
+/// One run of `segment_rows` consecutive ids, delta-encoded against a
+/// shared reference marking (the first row of the segment). BFS
+/// successors differ from their parent in a handful of places, and BFS
+/// discovery order keeps parents and children close in id space, so the
+/// deltas stay short.
+#[derive(Debug)]
+struct Segment {
+    /// The reference marking (always resident; also row 0's content).
+    reference: Vec<u32>,
+    /// Row `j`'s delta pairs live at
+    /// `payload[offsets[j] as usize..offsets[j + 1] as usize]`.
+    /// Empty when paged out.
+    offsets: Vec<u32>,
+    /// Flat `(position, value)` pairs. Empty when paged out.
+    payload: Vec<u32>,
+    /// Rows stored (== `segment_rows` once sealed).
+    rows: usize,
+    /// Byte offset + word counts in the spill file, once written.
+    disk: Option<(u64, u32, u32)>,
+    /// Sealed segments are immutable and eligible for eviction.
+    sealed: bool,
+    /// Whether `offsets`/`payload` are in RAM.
+    resident: bool,
+    /// Eviction clock stamp (oldest goes first).
+    touch: u64,
+}
+
+impl Segment {
+    fn fresh(reference: Vec<u32>) -> Self {
+        Segment {
+            reference,
+            offsets: vec![0, 0],
+            payload: Vec::new(),
+            rows: 1,
+            disk: None,
+            sealed: false,
+            resident: true,
+            touch: 0,
+        }
+    }
+
+    /// Resident payload footprint: encoded pairs plus the offset table.
+    fn payload_bytes(&self) -> usize {
+        (self.payload.len() + self.offsets.len()) * std::mem::size_of::<u32>()
+    }
+}
+
+fn spill_err(e: std::io::Error) -> PetriError {
+    PetriError::SpillIo {
+        detail: e.to_string(),
+    }
+}
+
+/// Append-only spill file. Sealed segments are immutable, so each is
+/// written at most once; re-eviction after a page-in is free.
+#[derive(Debug)]
+struct Pager {
+    file: File,
+    end: u64,
+    /// Kept only if the eager unlink failed (non-POSIX semantics); the
+    /// `Drop` impl then removes the file by path.
+    path: Option<PathBuf>,
+}
+
+impl Pager {
+    fn open(dir: Option<&Path>) -> Result<Self, PetriError> {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = dir.map_or_else(std::env::temp_dir, Path::to_path_buf);
+        let name = format!(
+            "cpn-spill-{}-{}.bin",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        );
+        let path = dir.join(name);
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create_new(true)
+            .open(&path)
+            .map_err(spill_err)?;
+        // On POSIX the unlinked file stays usable through the handle and
+        // vanishes even if the process dies; elsewhere fall back to
+        // removal on drop.
+        let path = match std::fs::remove_file(&path) {
+            Ok(()) => None,
+            Err(_) => Some(path),
+        };
+        Ok(Pager { file, end: 0, path })
+    }
+
+    /// Appends two word runs back to back; returns the byte offset.
+    fn append(&mut self, a: &[u32], b: &[u32]) -> Result<u64, PetriError> {
+        let off = self.end;
+        self.file.seek(SeekFrom::Start(off)).map_err(spill_err)?;
+        let mut buf = Vec::with_capacity((a.len() + b.len()) * 4);
+        for &w in a.iter().chain(b) {
+            buf.extend_from_slice(&w.to_le_bytes());
+        }
+        self.file.write_all(&buf).map_err(spill_err)?;
+        self.end = off + buf.len() as u64;
+        Ok(off)
+    }
+
+    /// Reads `words` u32s starting at byte offset `off` into `out`.
+    fn read_words(&mut self, off: u64, words: usize, out: &mut Vec<u32>) -> Result<(), PetriError> {
+        self.file.seek(SeekFrom::Start(off)).map_err(spill_err)?;
+        let mut buf = vec![0u8; words * 4];
+        self.file.read_exact(&mut buf).map_err(spill_err)?;
+        out.clear();
+        out.reserve(words);
+        for chunk in buf.chunks_exact(4) {
+            out.push(u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]));
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Pager {
+    fn drop(&mut self) {
+        if let Some(p) = &self.path {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+}
+
+/// A [`MarkingStore`]-shaped arena whose marking rows are delta-encoded
+/// in segments and spillable to disk, so an exploration's resident set is
+/// bounded by [`SpillConfig::resident_payload_bytes`] instead of
+/// `states × places × 4` bytes.
+///
+/// The membership index (slot table + full 64-bit hash per row) is always
+/// resident: a negative lookup — the overwhelmingly common case during
+/// exploration — never touches disk, and a positive lookup pages in at
+/// most one segment. Ids are dense `u32`s in insertion order, exactly
+/// like [`MarkingStore`], so the sequential explorer runs unchanged on
+/// either tier and produces bit-identical numbering.
+///
+/// Rows are materialized by copy ([`SpillStore::get_into`]) rather than
+/// borrowed: a paged-out row has no stable address to borrow from.
+#[derive(Debug)]
+pub struct SpillStore {
+    stride: usize,
+    len: usize,
+    table: Vec<u64>,
+    mask: usize,
+    hashes: Vec<u64>,
+    seg_rows: usize,
+    segments: Vec<Segment>,
+    resident_payload: usize,
+    budget_bytes: usize,
+    spill_dir: Option<PathBuf>,
+    pager: Option<Pager>,
+    clock: u64,
+    page_ins: u64,
+    page_outs: u64,
+    spilled_bytes: u64,
+    /// Largest token count ever inserted (the token bound of a completed
+    /// exploration) — tracked incrementally so computing it never pages.
+    max_word: u32,
+}
+
+impl SpillStore {
+    /// An empty spillable store over `stride` places.
+    ///
+    /// `state_hint` pre-sizes the slot table like
+    /// [`MarkingStore::with_state_budget`]; pass `usize::MAX` for no
+    /// hint.
+    pub fn new(stride: usize, config: &SpillConfig, state_hint: usize) -> Self {
+        let slots = if state_hint < usize::MAX / 2 {
+            let capped = state_hint.min(HINT_SLOTS_CAP);
+            (capped * 8 / 7 + 1)
+                .next_power_of_two()
+                .clamp(INITIAL_SLOTS, HINT_SLOTS_CAP)
+        } else {
+            INITIAL_SLOTS
+        };
+        SpillStore {
+            stride,
+            len: 0,
+            table: vec![EMPTY; slots],
+            mask: slots - 1,
+            hashes: Vec::new(),
+            seg_rows: config.segment_rows.max(2),
+            segments: Vec::new(),
+            resident_payload: 0,
+            budget_bytes: config.resident_payload_bytes,
+            spill_dir: config.spill_dir.clone(),
+            pager: None,
+            clock: 0,
+            page_ins: 0,
+            page_outs: 0,
+            spilled_bytes: 0,
+            max_word: 0,
+        }
+    }
+
+    /// The per-marking stride (place count).
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Number of distinct markings stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the store holds no markings.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The cached 64-bit hash of marking `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn hash_of(&self, i: usize) -> u64 {
+        self.hashes[i]
+    }
+
+    /// The largest token count any stored marking puts in any place.
+    pub fn max_word(&self) -> u32 {
+        self.max_word
+    }
+
+    /// Spill activity counters.
+    pub fn stats(&self) -> SpillStats {
+        SpillStats {
+            segments: self.segments.len(),
+            resident_segments: self.segments.iter().filter(|s| s.resident).count(),
+            spilled_bytes: self.spilled_bytes,
+            page_ins: self.page_ins,
+            page_outs: self.page_outs,
+            resident_payload_bytes: self.resident_payload,
+        }
+    }
+
+    /// Bytes currently resident: index + hashes + references + payload.
+    pub fn resident_bytes(&self) -> usize {
+        self.table.capacity() * std::mem::size_of::<u64>()
+            + self.hashes.capacity() * std::mem::size_of::<u64>()
+            + self
+                .segments
+                .iter()
+                .map(|s| s.reference.capacity() * std::mem::size_of::<u32>())
+                .sum::<usize>()
+            + self.resident_payload
+    }
+
+    /// Materializes marking `i` into `out` (cleared first), paging its
+    /// segment in if needed.
+    ///
+    /// # Errors
+    ///
+    /// [`PetriError::SpillIo`] if the page-in fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn get_into(&mut self, i: usize, out: &mut Vec<u32>) -> Result<(), PetriError> {
+        assert!(i < self.len, "marking id {i} out of range");
+        let seg_idx = i / self.seg_rows;
+        self.ensure_resident(seg_idx)?;
+        let seg = &self.segments[seg_idx];
+        let row = i % self.seg_rows;
+        out.clear();
+        out.extend_from_slice(&seg.reference);
+        let (a, b) = (seg.offsets[row] as usize, seg.offsets[row + 1] as usize);
+        for pair in seg.payload[a..b].chunks_exact(2) {
+            out[pair[0] as usize] = pair[1];
+        }
+        Ok(())
+    }
+
+    /// Looks up a marking, returning its id if present. May page in the
+    /// candidate's segment to confirm equality (at most one segment: the
+    /// full 64-bit hash is compared first, so false candidates are
+    /// rejected without touching disk in all but ~2^-64 of probes).
+    ///
+    /// # Errors
+    ///
+    /// [`PetriError::SpillIo`] if a confirming page-in fails.
+    pub fn find_hashed(&mut self, m: &[u32], hash: u64) -> Result<Option<u32>, PetriError> {
+        debug_assert_eq!(m.len(), self.stride, "marking over different net");
+        let tag = hash & HIGH_MASK;
+        let mut slot = (hash as usize) & self.mask;
+        loop {
+            let entry = self.table[slot];
+            if entry == EMPTY {
+                return Ok(None);
+            }
+            if entry & HIGH_MASK == tag {
+                let id = ((entry & !HIGH_MASK) - 1) as usize;
+                if self.hashes[id] == hash && self.row_matches(id, m)? {
+                    return Ok(Some(id as u32));
+                }
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+
+    /// Inserts a marking the caller has verified absent (via
+    /// [`SpillStore::find_hashed`] with the same hash); returns its id.
+    ///
+    /// # Errors
+    ///
+    /// [`PetriError::IndexOverflow`] at the 32-bit id cap,
+    /// [`PetriError::AllocationFailed`] on refused growth, or
+    /// [`PetriError::SpillIo`] if making room required an eviction that
+    /// failed. The store stays usable on error.
+    pub fn insert_new_hashed(&mut self, m: &[u32], hash: u64) -> Result<u32, PetriError> {
+        debug_assert_eq!(m.len(), self.stride, "marking over different net");
+        if self.len >= (u32::MAX - 1) as usize {
+            return Err(PetriError::IndexOverflow { index: self.len });
+        }
+        if (self.len + 1) * 8 >= self.table.len() * 7 {
+            self.grow()?;
+        }
+        let start_new = self
+            .segments
+            .last()
+            .is_none_or(|tail| tail.rows == self.seg_rows);
+        if start_new {
+            if let Some(tail) = self.segments.last_mut() {
+                tail.sealed = true;
+            }
+            self.segments.push(Segment::fresh(m.to_vec()));
+            self.resident_payload += self.segments[self.segments.len() - 1].payload_bytes();
+            self.enforce_budget(usize::MAX)?;
+            for &w in m {
+                self.max_word = self.max_word.max(w);
+            }
+        } else {
+            let tail_idx = self.segments.len() - 1;
+            let before = self.segments[tail_idx].payload_bytes();
+            let tail = &mut self.segments[tail_idx];
+            for (pos, (&new, &old)) in m.iter().zip(&tail.reference).enumerate() {
+                if new != old {
+                    tail.payload.push(pos as u32);
+                    tail.payload.push(new);
+                    self.max_word = self.max_word.max(new);
+                }
+            }
+            tail.offsets.push(tail.payload.len() as u32);
+            tail.rows += 1;
+            self.resident_payload += self.segments[tail_idx].payload_bytes() - before;
+        }
+        let id = self.len as u32;
+        self.hashes.push(hash);
+        self.len += 1;
+        self.place_slot(hash, id);
+        Ok(id)
+    }
+
+    /// Finds or inserts; returns `(id, newly_inserted)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SpillStore::find_hashed`] /
+    /// [`SpillStore::insert_new_hashed`] failures.
+    pub fn try_intern(&mut self, m: &[u32]) -> Result<(u32, bool), PetriError> {
+        let hash = MarkingStore::hash_slice(m);
+        match self.find_hashed(m, hash)? {
+            Some(id) => Ok((id, false)),
+            None => self.insert_new_hashed(m, hash).map(|id| (id, true)),
+        }
+    }
+
+    /// Compares row `id` against `m` without materializing the row:
+    /// interleaves the reference run-compare with the delta pairs.
+    fn row_matches(&mut self, id: usize, m: &[u32]) -> Result<bool, PetriError> {
+        let seg_idx = id / self.seg_rows;
+        self.ensure_resident(seg_idx)?;
+        let seg = &self.segments[seg_idx];
+        let row = id % self.seg_rows;
+        let (a, b) = (seg.offsets[row] as usize, seg.offsets[row + 1] as usize);
+        let mut next = 0usize;
+        for pair in seg.payload[a..b].chunks_exact(2) {
+            let pos = pair[0] as usize;
+            if m[next..pos] != seg.reference[next..pos] || m[pos] != pair[1] {
+                return Ok(false);
+            }
+            next = pos + 1;
+        }
+        Ok(m[next..] == seg.reference[next..])
+    }
+
+    fn ensure_resident(&mut self, seg_idx: usize) -> Result<(), PetriError> {
+        self.clock += 1;
+        let clock = self.clock;
+        if !self.segments[seg_idx].resident {
+            let (off, off_words, pay_words) = match self.segments[seg_idx].disk {
+                Some(d) => d,
+                // A non-resident segment always has a disk extent.
+                None => unreachable!("paged-out segment without disk extent"),
+            };
+            let pager = match self.pager.as_mut() {
+                Some(p) => p,
+                None => unreachable!("paged-out segment without pager"),
+            };
+            let mut words = Vec::new();
+            pager.read_words(off, off_words as usize + pay_words as usize, &mut words)?;
+            let seg = &mut self.segments[seg_idx];
+            seg.payload = words.split_off(off_words as usize);
+            seg.offsets = words;
+            seg.resident = true;
+            self.page_ins += 1;
+            self.resident_payload += self.segments[seg_idx].payload_bytes();
+            self.enforce_budget(seg_idx)?;
+        }
+        self.segments[seg_idx].touch = clock;
+        Ok(())
+    }
+
+    /// Evicts cold sealed segments (never `protect`, never the tail)
+    /// until the resident payload fits the budget or nothing evictable
+    /// remains.
+    fn enforce_budget(&mut self, protect: usize) -> Result<(), PetriError> {
+        while self.resident_payload > self.budget_bytes {
+            let victim = self
+                .segments
+                .iter()
+                .enumerate()
+                .filter(|(i, s)| *i != protect && s.sealed && s.resident)
+                .min_by_key(|(_, s)| s.touch)
+                .map(|(i, _)| i);
+            let Some(v) = victim else { return Ok(()) };
+            self.evict(v)?;
+        }
+        Ok(())
+    }
+
+    fn evict(&mut self, seg_idx: usize) -> Result<(), PetriError> {
+        if self.segments[seg_idx].disk.is_none() {
+            if self.pager.is_none() {
+                self.pager = Some(Pager::open(self.spill_dir.as_deref())?);
+            }
+            let pager = match self.pager.as_mut() {
+                Some(p) => p,
+                None => unreachable!("pager just created"),
+            };
+            let seg = &self.segments[seg_idx];
+            let off = pager.append(&seg.offsets, &seg.payload)?;
+            let extent = (off, seg.offsets.len() as u32, seg.payload.len() as u32);
+            self.spilled_bytes += (seg.offsets.len() + seg.payload.len()) as u64 * 4;
+            self.segments[seg_idx].disk = Some(extent);
+        }
+        let seg = &mut self.segments[seg_idx];
+        self.resident_payload -= seg.payload_bytes();
+        seg.offsets = Vec::new();
+        seg.payload = Vec::new();
+        seg.resident = false;
+        self.page_outs += 1;
+        Ok(())
+    }
+
+    fn place_slot(&mut self, hash: u64, id: u32) {
+        let entry = (hash & HIGH_MASK) | (u64::from(id) + 1);
+        let mut slot = (hash as usize) & self.mask;
+        while self.table[slot] != EMPTY {
+            slot = (slot + 1) & self.mask;
+        }
+        self.table[slot] = entry;
+    }
+
+    fn grow(&mut self) -> Result<(), PetriError> {
         let new_slots = self.table.len() * 2;
         let mut table = Vec::new();
         table
@@ -373,6 +962,128 @@ mod tests {
         let c = MarkingStore::hash_slice(&[3, 2, 1]);
         assert_eq!(a, b);
         assert_ne!(a, c, "order must matter");
+    }
+
+    fn tiny_spill_config() -> SpillConfig {
+        // Zero payload budget + tiny segments: every sealed segment is
+        // forced to disk immediately, so the spill path is exercised
+        // even by small test stores.
+        SpillConfig {
+            resident_payload_bytes: 0,
+            segment_rows: 8,
+            spill_dir: None,
+        }
+    }
+
+    fn pseudo_marking(i: u32, stride: usize) -> Vec<u32> {
+        (0..stride as u32)
+            .map(|p| MarkingStore::mix(u64::from(i) << 16 | u64::from(p)) as u32 % 5)
+            .collect()
+    }
+
+    #[test]
+    fn budget_hint_jumps_growth_to_target() {
+        let mut hinted = MarkingStore::with_state_budget(1, 300_000);
+        let mut plain = MarkingStore::new(1);
+        for i in 0..200_000u32 {
+            assert_eq!(hinted.intern(&[i]), plain.intern(&[i]));
+        }
+        // The hint sized the table for 300k states in one jump; the
+        // plain store doubled its way to the same occupancy.
+        assert_eq!(hinted.table.len(), hinted.hint_slots);
+        assert!(hinted.table.len() > plain.table.len());
+        for i in 0..200_000u32 {
+            assert_eq!(hinted.find(&[i]), Some(i));
+        }
+    }
+
+    #[test]
+    fn infinite_budget_means_no_hint() {
+        let s = MarkingStore::with_state_budget(4, usize::MAX);
+        assert_eq!(s.hint_slots, 0);
+        assert_eq!(s.table.len(), INITIAL_SLOTS);
+    }
+
+    #[test]
+    fn spill_roundtrips_every_row_exactly() {
+        let stride = 11;
+        let mut spill = SpillStore::new(stride, &tiny_spill_config(), usize::MAX);
+        let mut resident = MarkingStore::new(stride);
+        for i in 0..2_000u32 {
+            let m = pseudo_marking(i, stride);
+            let (a, new_a) = spill.try_intern(&m).unwrap();
+            let (b, new_b) = resident.intern(&m);
+            assert_eq!((a, new_a), (b, new_b), "id divergence at {i}");
+        }
+        let stats = spill.stats();
+        assert!(stats.page_outs > 0, "tiny budget must force spilling");
+        assert!(stats.spilled_bytes > 0);
+        let mut buf = Vec::new();
+        for id in 0..resident.len() {
+            spill.get_into(id, &mut buf).unwrap();
+            assert_eq!(buf.as_slice(), resident.get(id), "row {id} corrupt");
+            assert_eq!(spill.hash_of(id), resident.hash_of(id));
+        }
+        // Lookups agree after all that paging, too.
+        for i in 0..2_000u32 {
+            let m = pseudo_marking(i, stride);
+            let hash = MarkingStore::hash_slice(&m);
+            assert_eq!(
+                spill.find_hashed(&m, hash).unwrap(),
+                resident.find_hashed(&m, hash)
+            );
+        }
+    }
+
+    #[test]
+    fn spill_find_rejects_absent_markings() {
+        let mut spill = SpillStore::new(3, &tiny_spill_config(), usize::MAX);
+        for i in 0..100u32 {
+            spill.try_intern(&[i, i % 3, 1]).unwrap();
+        }
+        let absent = [999u32, 0, 1];
+        assert_eq!(
+            spill
+                .find_hashed(&absent, MarkingStore::hash_slice(&absent))
+                .unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn spill_tracks_max_word_incrementally() {
+        let mut spill = SpillStore::new(2, &tiny_spill_config(), usize::MAX);
+        spill.try_intern(&[1, 0]).unwrap();
+        spill.try_intern(&[1, 7]).unwrap();
+        spill.try_intern(&[3, 2]).unwrap();
+        assert_eq!(spill.max_word(), 7);
+    }
+
+    #[test]
+    fn spill_resident_bytes_bounded_by_budget() {
+        let stride = 64;
+        let cfg = SpillConfig {
+            resident_payload_bytes: 4 << 10,
+            segment_rows: 32,
+            spill_dir: None,
+        };
+        let mut spill = SpillStore::new(stride, &cfg, usize::MAX);
+        let mut m = vec![0u32; stride];
+        for i in 0..4_000u32 {
+            m[(i as usize * 7) % stride] = i % 9;
+            m[(i as usize * 13) % stride] = i % 4;
+            spill.try_intern(&m).unwrap();
+        }
+        let stats = spill.stats();
+        // The sealed payload must respect the ceiling (the tail segment
+        // and references stay resident by design).
+        assert!(
+            stats.resident_payload_bytes
+                <= cfg.resident_payload_bytes + (stride * 8 + 8) * std::mem::size_of::<u32>(),
+            "resident payload {} exceeds budget",
+            stats.resident_payload_bytes
+        );
+        assert!(stats.page_outs > 0);
     }
 
     #[test]

@@ -1,13 +1,17 @@
-//! Property tests: the three exploration kernels — the legacy cloned-map
-//! explorer, the compiled sequential explorer, and the deterministic
-//! parallel explorer (2 and 4 threads) — must be **bit-identical** on
-//! random nets: same state sequence, same edge lists, same deadlock
-//! sets, and the same exhaustion statistics under equal budgets.
+//! Property tests: the exploration kernels — the legacy cloned-map
+//! explorer, the compiled sequential explorer, the lock-free parallel
+//! explorer (2, 4, and 8 threads), and the out-of-core spill explorer —
+//! must be **bit-identical** on random nets: same state sequence, same
+//! edge lists, same deadlock sets, and the same exhaustion statistics
+//! under equal budgets.
 //!
 //! Driven by the deterministic `cpn-testkit` harness: failures print a
 //! case seed, replayable via `CPN_TESTKIT_SEED=<seed>`.
 
-use cpn_petri::{Bounded, Budget, PetriNet, ReachabilityGraph};
+use cpn_petri::{
+    reachability_bounded_spilled, Bounded, Budget, CancelScope, PetriNet, ReachabilityGraph,
+    SpillConfig,
+};
 use cpn_testkit::{check, prop_assert, prop_assert_eq, NetStrategy};
 
 /// Random nets: 2–5 places, 1–5 uniquely-labeled transitions, up to
@@ -49,7 +53,18 @@ fn explorers(
         ("compiled", net.reachability_bounded(budget)),
         ("parallel-2", net.reachability_bounded_parallel(budget, 2)),
         ("parallel-4", net.reachability_bounded_parallel(budget, 4)),
+        ("parallel-8", net.reachability_bounded_parallel(budget, 8)),
     ]
+}
+
+/// A spill config so small that every segment seals after 4 rows and no
+/// payload is allowed to stay resident — maximal page traffic.
+fn aggressive_spill() -> SpillConfig {
+    SpillConfig {
+        resident_payload_bytes: 0,
+        segment_rows: 4,
+        ..SpillConfig::default()
+    }
 }
 
 #[test]
@@ -117,6 +132,132 @@ fn all_kernels_agree_under_tight_budgets() {
         }
         Ok(())
     });
+}
+
+#[test]
+fn spill_explorer_matches_resident_kernel_exactly() {
+    // Zero resident budget + 4-row segments turns every lookup into
+    // page traffic, so the state budget is kept small: the point is
+    // roundtrip fidelity under maximal thrash, not scale (scale is the
+    // bench's job).
+    let config = cpn_testkit::Config {
+        cases: 32,
+        ..cpn_testkit::Config::default()
+    };
+    cpn_testkit::check_with(
+        "spill_explorer_matches_resident_kernel_exactly",
+        &config,
+        &raw_net(),
+        |raw| {
+            let net = raw.build_indexed();
+            let compiled = net.compile();
+            let m0 = net.initial_marking();
+            for budget in [
+                Budget::states(1_500),
+                Budget::states(7),
+                Budget::new(100, 9),
+            ] {
+                let resident = net.reachability_bounded(&budget);
+                let spilled = reachability_bounded_spilled(
+                    &compiled,
+                    m0.as_slice(),
+                    &budget,
+                    &aggressive_spill(),
+                );
+                prop_assert_eq!(
+                    spilled.exhausted().copied(),
+                    resident.exhausted().copied(),
+                    "exhaustion stats under {:?}",
+                    budget
+                );
+                let ref_rg = resident.value();
+                let mut sp = spilled.into_value();
+                let sp = &mut sp;
+                prop_assert_eq!(sp.state_count(), ref_rg.state_count(), "state count");
+                prop_assert_eq!(sp.edge_count(), ref_rg.edge_count(), "edge count");
+                prop_assert_eq!(sp.token_bound(), ref_rg.token_bound(), "token bound");
+                prop_assert_eq!(sp.deadlock_states(), ref_rg.deadlock_states(), "deadlocks");
+                // Every row decodes back byte-identical through the page
+                // cache (segments of 4 rows, zero resident budget, so
+                // this loop thrashes page-in/page-out on purpose).
+                let mut buf = Vec::new();
+                for s in ref_rg.state_ids() {
+                    let Ok(()) = sp.marking_into(s, &mut buf) else {
+                        prop_assert!(false, "spill read failed for {}", s);
+                        return Ok(());
+                    };
+                    prop_assert_eq!(buf.as_slice(), ref_rg.marking_slice(s), "marking {}", s);
+                    prop_assert_eq!(sp.edges(s), ref_rg.edges(s), "edges {}", s);
+                }
+                if ref_rg.state_count() > 8 {
+                    let stats = sp.spill_stats();
+                    prop_assert!(
+                        stats.page_outs > 0,
+                        "zero-budget spill config never paged out ({} states)",
+                        ref_rg.state_count()
+                    );
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn cancellation_mid_exploration_is_deterministic() {
+    // A pre-cancelled token: every kernel observes the interrupt at its
+    // first poll — including parallel workers mid-steal, which must then
+    // agree (via the sequential replay) with the directly-run sequential
+    // kernel on the exact prefix and stop statistics.
+    check(
+        "cancellation_mid_exploration_is_deterministic",
+        &raw_net(),
+        |raw| {
+            let net = raw.build_indexed();
+            let scope = CancelScope::new();
+            scope.cancel();
+            let budget = Budget::states(50_000).with_cancel(scope.token());
+            let reference = net.reachability_bounded(&budget);
+            for threads in [2usize, 4, 8] {
+                let parallel = net.reachability_bounded_parallel(&budget, threads);
+                prop_assert_eq!(
+                    parallel.exhausted().copied(),
+                    reference.exhausted().copied(),
+                    "stats at {} threads",
+                    threads
+                );
+                assert_graphs_identical(
+                    reference.value(),
+                    parallel.value(),
+                    &format!("cancelled parallel-{threads}"),
+                )?;
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn deadline_cancellation_mid_steal_terminates() {
+    // An already-expired deadline on a workload big enough that all
+    // workers are live: exploration must terminate promptly and fall
+    // back to the deterministic sequential prefix.
+    let net = cpn_testkit::sync_pipeline_net(14);
+    let budget = Budget::states(1 << 20).with_deadline(std::time::Duration::ZERO);
+    let reference = net.reachability_bounded(&budget);
+    for threads in [2usize, 4, 8] {
+        let parallel = net.reachability_bounded_parallel(&budget, threads);
+        assert_eq!(
+            parallel.exhausted().map(|i| i.resource),
+            reference.exhausted().map(|i| i.resource),
+            "stop resource at {threads} threads"
+        );
+        assert_eq!(
+            parallel.value().state_count(),
+            reference.value().state_count(),
+            "prefix size at {threads} threads"
+        );
+    }
 }
 
 #[test]

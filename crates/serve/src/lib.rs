@@ -66,5 +66,5 @@ pub use cache::{CacheMiss, CachedNet, NetCache};
 pub use client::{request_with_retry, Client, ClientError, RetryPolicy};
 pub use frame::{FrameError, DEFAULT_MAX_FRAME, MAGIC, PROTO_VERSION};
 pub use proto::{ExploreSummary, Request, Response};
-pub use server::{Server, ServerConfig, ServerHandle, ServerStats};
+pub use server::{Server, ServerConfig, ServerHandle, ServerStats, MAX_REQUEST_THREADS};
 pub use transport::{Conn, Endpoint, Listener};

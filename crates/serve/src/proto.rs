@@ -24,6 +24,9 @@ pub enum Request {
         max_states: usize,
         /// Per-request wall-clock deadline in milliseconds.
         deadline_ms: Option<u64>,
+        /// Exploration worker threads (server clamps; `1` = sequential,
+        /// values above the server cap or `0` are rejected).
+        threads: usize,
         /// The `.cpn` document text.
         doc: String,
     },
@@ -35,6 +38,10 @@ pub enum Request {
         max_states: usize,
         /// Per-request wall-clock deadline in milliseconds.
         deadline_ms: Option<u64>,
+        /// Accepted and validated like `Reach::threads`, but the tree
+        /// build itself is sequential (Karp–Miller node construction is
+        /// inherently ordered); present so clients can set one knob.
+        threads: usize,
         /// The `.cpn` document text.
         doc: String,
     },
@@ -59,14 +66,16 @@ impl Request {
                 net,
                 max_states,
                 deadline_ms,
+                threads,
                 doc,
-            } => encode_doc_request("reach", net, *max_states, *deadline_ms, doc),
+            } => encode_doc_request("reach", net, *max_states, *deadline_ms, *threads, doc),
             Request::Cover {
                 net,
                 max_states,
                 deadline_ms,
+                threads,
                 doc,
-            } => encode_doc_request("cover", net, *max_states, *deadline_ms, doc),
+            } => encode_doc_request("cover", net, *max_states, *deadline_ms, *threads, doc),
         }
     }
 
@@ -89,6 +98,7 @@ impl Request {
                 let mut net = None;
                 let mut max_states = 100_000usize;
                 let mut deadline_ms = None;
+                let mut threads = 1usize;
                 for word in words {
                     let (k, v) = word
                         .split_once('=')
@@ -102,6 +112,9 @@ impl Request {
                             deadline_ms =
                                 Some(v.parse().map_err(|_| format!("bad deadline_ms `{v}`"))?);
                         }
+                        "threads" => {
+                            threads = v.parse().map_err(|_| format!("bad threads `{v}`"))?;
+                        }
                         other => return Err(format!("unknown option `{other}`")),
                     }
                 }
@@ -112,6 +125,7 @@ impl Request {
                         net,
                         max_states,
                         deadline_ms,
+                        threads,
                         doc,
                     }
                 } else {
@@ -119,6 +133,7 @@ impl Request {
                         net,
                         max_states,
                         deadline_ms,
+                        threads,
                         doc,
                     }
                 })
@@ -133,11 +148,17 @@ fn encode_doc_request(
     net: &str,
     max_states: usize,
     deadline_ms: Option<u64>,
+    threads: usize,
     doc: &str,
 ) -> String {
     let mut line = format!("{verb} net={net} max_states={max_states}");
     if let Some(ms) = deadline_ms {
         line.push_str(&format!(" deadline_ms={ms}"));
+    }
+    // `threads=1` is the default: omit it so pre-threads peers still
+    // parse requests from new clients.
+    if threads != 1 {
+        line.push_str(&format!(" threads={threads}"));
     }
     line.push('\n');
     line.push_str(doc);
@@ -293,18 +314,41 @@ mod tests {
                 net: "n".into(),
                 max_states: 500,
                 deadline_ms: Some(50),
+                threads: 1,
+                doc: DOC.into(),
+            },
+            Request::Reach {
+                net: "n".into(),
+                max_states: 500,
+                deadline_ms: None,
+                threads: 4,
                 doc: DOC.into(),
             },
             Request::Cover {
                 net: "n".into(),
                 max_states: 1000,
                 deadline_ms: None,
+                threads: 2,
                 doc: DOC.into(),
             },
         ];
         for req in reqs {
             assert_eq!(Request::decode(&req.encode()).unwrap(), req);
         }
+    }
+
+    #[test]
+    fn default_threads_stays_off_the_wire() {
+        let req = Request::Reach {
+            net: "n".into(),
+            max_states: 500,
+            deadline_ms: None,
+            threads: 1,
+            doc: DOC.into(),
+        };
+        assert!(!req.encode().contains("threads="));
+        // Absent on the wire decodes back to the default.
+        assert_eq!(Request::decode(&req.encode()).unwrap(), req);
     }
 
     #[test]
@@ -340,6 +384,8 @@ mod tests {
         assert!(Request::decode("reach max_states=10").is_err()); // no net=
         assert!(Request::decode("reach net=n max_states=banana").is_err());
         assert!(Request::decode("reach net=n bogus").is_err());
+        assert!(Request::decode("reach net=n threads=many").is_err());
+        assert!(Request::decode("reach net=n threads=-2").is_err());
     }
 
     #[test]

@@ -34,7 +34,7 @@ use crate::proto::{ExploreSummary, Request, Response};
 use crate::transport::{Conn, Endpoint, Listener};
 use cpn_format::ParseLimits;
 use cpn_petri::{
-    reachability_bounded_compiled, Bounded, Budget, CancelScope, CoverabilityOutcome,
+    reachability_bounded_parallel_compiled, Bounded, Budget, CancelScope, CoverabilityOutcome,
     CoverabilityTree, Deadline,
 };
 use std::io::{self, Read};
@@ -44,6 +44,11 @@ use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TryS
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
+
+/// Protocol ceiling on `threads=` in a request: values above it (or `0`)
+/// are nonsense and rejected with `BadRequest` rather than clamped.
+/// Matches the exploration kernel's own worker cap.
+pub const MAX_REQUEST_THREADS: usize = 64;
 
 /// Tunables for a [`Server`].
 #[derive(Clone, Debug)]
@@ -69,6 +74,10 @@ pub struct ServerConfig {
     pub max_connections: usize,
     /// Cap on `max_states` a request may ask for.
     pub max_states_cap: usize,
+    /// Cap on exploration threads a request may use; requests asking for
+    /// more are clamped here (asking for `0` or for more than
+    /// [`MAX_REQUEST_THREADS`] is a `BadRequest` instead).
+    pub max_threads: usize,
     /// Parse limits for client documents.
     pub parse_limits: ParseLimits,
     /// Compiled-net cache entries.
@@ -87,6 +96,7 @@ impl Default for ServerConfig {
             drain_grace: Duration::from_secs(5),
             max_connections: 256,
             max_states_cap: 5_000_000,
+            max_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
             parse_limits: ParseLimits::default(),
             cache_capacity: 64,
         }
@@ -554,21 +564,33 @@ fn worker_loop(shared: &Arc<Shared>, rx: &Arc<Mutex<Receiver<Job>>>) {
 
 /// Computes one request under its budget. Runs inside `catch_unwind`.
 fn handle_request(shared: &Shared, request: &Request) -> Response {
-    let (net_name, max_states, doc, is_cover) = match request {
+    let (net_name, max_states, threads, doc, is_cover) = match request {
         Request::Ping => return Response::Pong,
         Request::Reach {
             net,
             max_states,
+            threads,
             doc,
             ..
-        } => (net, *max_states, doc, false),
+        } => (net, *max_states, *threads, doc, false),
         Request::Cover {
             net,
             max_states,
+            threads,
             doc,
             ..
-        } => (net, *max_states, doc, true),
+        } => (net, *max_states, *threads, doc, true),
     };
+
+    // Validate, then clamp: zero threads or requests beyond the protocol
+    // ceiling are client nonsense and get a typed rejection; anything
+    // else is clamped to what this server is willing to run.
+    if threads == 0 || threads > MAX_REQUEST_THREADS {
+        return Response::BadRequest(format!(
+            "threads must be in 1..={MAX_REQUEST_THREADS}, got {threads}"
+        ));
+    }
+    let threads = threads.min(shared.config.max_threads.max(1));
 
     // Chaos hook: with CPN_SERVE_CHAOS set, a request for this net name
     // panics inside the worker on purpose, so panic isolation is
@@ -632,7 +654,11 @@ fn handle_request(shared: &Shared, request: &Request) -> Response {
             },
         }
     } else {
-        match reachability_bounded_compiled(&cached.compiled, &cached.m0, &budget) {
+        // The lock-free kernel's output is byte-identical to the
+        // sequential one, so the thread count never changes an answer —
+        // only how fast it arrives.
+        match reachability_bounded_parallel_compiled(&cached.compiled, &cached.m0, &budget, threads)
+        {
             Bounded::Complete(rg) => ExploreSummary {
                 states: rg.state_count(),
                 edges: rg.edge_count(),

@@ -56,6 +56,7 @@ fn run_faulty_connection(ep: &Endpoint, fault: &TransportFault, injector: &mut C
         net: "small".into(),
         max_states: 1000,
         deadline_ms: Some(1000),
+        threads: 1,
         doc: SMALL_NET.into(),
     };
     let wire = encode_frame(request.encode().as_bytes());
@@ -104,12 +105,14 @@ fn run_clean_connection(ep: &Endpoint, i: usize) -> Response {
             net: "small".into(),
             max_states: 1000,
             deadline_ms: Some(2000),
+            threads: 1,
             doc: SMALL_NET.into(),
         },
         _ => Request::Cover {
             net: "small".into(),
             max_states: 1000,
             deadline_ms: Some(2000),
+            threads: 1,
             doc: SMALL_NET.into(),
         },
     };

@@ -72,6 +72,7 @@ fn tcp_round_trip_and_cache_hit() {
         net: "small".into(),
         max_states: 1000,
         deadline_ms: None,
+        threads: 1,
         doc: SMALL_NET.into(),
     };
     for _ in 0..2 {
@@ -89,6 +90,7 @@ fn tcp_round_trip_and_cache_hit() {
         net: "small".into(),
         max_states: 1000,
         deadline_ms: None,
+        threads: 1,
         doc: SMALL_NET.into(),
     };
     match client.request(&cover).expect("cover") {
@@ -148,6 +150,7 @@ fn explosive_request_degrades_without_starving_small_ones() {
                 net: "boom".into(),
                 max_states: 50_000_000,
                 deadline_ms: Some(50),
+                threads: 1,
                 doc,
             })
             .expect("reach");
@@ -163,6 +166,7 @@ fn explosive_request_degrades_without_starving_small_ones() {
                 net: "small".into(),
                 max_states: 1000,
                 deadline_ms: Some(5_000),
+                threads: 1,
                 doc: SMALL_NET.into(),
             })
             .expect("small reach")
@@ -205,6 +209,7 @@ fn worker_panic_is_isolated_and_typed() {
         net: "__chaos_panic".into(),
         max_states: 10,
         deadline_ms: None,
+        threads: 1,
         doc: SMALL_NET.into(),
     };
     match client.request(&poison).expect("poison request") {
@@ -221,6 +226,7 @@ fn worker_panic_is_isolated_and_typed() {
             net: "small".into(),
             max_states: 100,
             deadline_ms: None,
+            threads: 1,
             doc: SMALL_NET.into(),
         })
         .expect("reach after panic")
@@ -244,12 +250,14 @@ fn malformed_requests_get_bad_request() {
             net: "ghost".into(),
             max_states: 10,
             deadline_ms: None,
+            threads: 1,
             doc: SMALL_NET.into(),
         },
         Request::Reach {
             net: "small".into(),
             max_states: 10,
             deadline_ms: None,
+            threads: 1,
             doc: "net small {".into(),
         },
     ];
@@ -263,6 +271,67 @@ fn malformed_requests_get_bad_request() {
     handle.begin_drain();
     let stats = join.join().expect("server");
     assert_eq!(stats.bad_requests, 2);
+}
+
+#[test]
+fn nonsense_thread_counts_are_rejected_typed() {
+    let (ep, handle, join) = start(quick_config());
+    let mut client = Client::connect(&ep).expect("connect");
+    for threads in [0, cpn_serve::MAX_REQUEST_THREADS + 1, usize::MAX] {
+        let req = Request::Reach {
+            net: "small".into(),
+            max_states: 1000,
+            deadline_ms: None,
+            threads,
+            doc: SMALL_NET.into(),
+        };
+        match client.request(&req).expect("request") {
+            Response::BadRequest(msg) => {
+                assert!(msg.contains("threads"), "msg: {msg}");
+            }
+            other => panic!("expected BadRequest for threads={threads}, got {other:?}"),
+        }
+    }
+    drop(client);
+    handle.begin_drain();
+    let stats = join.join().expect("server");
+    assert_eq!(stats.panics, 0);
+}
+
+#[test]
+fn parallel_reach_answers_match_sequential() {
+    let (ep, handle, join) = start(quick_config());
+    let doc = explosive_doc(10); // 1024 states
+    let mut client = Client::connect(&ep).expect("connect");
+    let mut answers = Vec::new();
+    // 4 exceeds this host's core count on CI runners sometimes; the
+    // server clamps, and the kernel's determinism contract makes every
+    // variant byte-identical anyway.
+    for threads in [1usize, 2, 4] {
+        let req = Request::Reach {
+            net: "boom".into(),
+            max_states: 100_000,
+            deadline_ms: None,
+            threads,
+            doc: doc.clone(),
+        };
+        match client.request(&req).expect("reach") {
+            Response::Result(s) => {
+                assert!(s.is_complete(), "threads={threads}");
+                answers.push(s);
+            }
+            other => panic!("expected Result at threads={threads}, got {other:?}"),
+        }
+    }
+    assert_eq!(answers[0].states, 1024);
+    assert!(
+        answers.windows(2).all(|w| w[0] == w[1]),
+        "thread count changed an answer: {answers:?}"
+    );
+    drop(client);
+    handle.begin_drain();
+    let stats = join.join().expect("server");
+    assert_eq!(stats.panics, 0);
 }
 
 #[test]

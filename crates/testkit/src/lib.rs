@@ -19,6 +19,10 @@
 //! * [`net_gen`] / [`stg_gen`] / [`cip_gen`] / [`fault_gen`] — domain generators for
 //!   bounded Petri nets (safe or multiset-marked), strongly-connected
 //!   marked-graph rings (optionally live-safe), STGs and CIP modules.
+//! * [`workload`] — parametric large-scale exploration nets with
+//!   closed-form state counts (`sync_pipeline_net`, `sync_mesh`,
+//!   `cip_chain`), the inputs for the kernel benchmarks and the
+//!   spill-tier acceptance runs.
 //! * [`mutate`] — seeded corruption of text documents ([`DocMutator`]:
 //!   truncation, byte flips, garbage splices, brace floods) for parser
 //!   robustness tests.
@@ -26,7 +30,7 @@
 //!   truncated frames, oversized length prefixes, garbage bytes,
 //!   mid-request disconnects, stalled writes) for soak-testing framed
 //!   network protocols.
-//! * [`bench`] (feature `bench`) — a `std::time::Instant` micro-bench
+//! * [`bench`](mod@bench) (feature `bench`) — a `std::time::Instant` micro-bench
 //!   harness with a fast smoke mode for `cargo test` and a calibrated
 //!   timing mode under `CPN_BENCH_FULL=1`.
 //!
@@ -57,6 +61,8 @@ pub mod stg_gen;
 /// CIP module generation.
 pub mod cip_gen;
 
+pub mod workload;
+
 #[cfg(feature = "bench")]
 pub mod bench;
 
@@ -70,3 +76,4 @@ pub use rng::{mix_seed, SplitMix64, TestRng};
 pub use stg_gen::{RawStg, StgStrategy};
 
 pub use cip_gen::{CipStrategy, RawCip, RawStage};
+pub use workload::{cip_chain, sync_mesh, sync_mesh_states, sync_pipeline_net};

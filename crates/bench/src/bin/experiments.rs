@@ -1410,8 +1410,16 @@ fn bench_reduce(quick: bool, json: bool) {
 /// cached-compile round-trip latency and throughput, deadline-bounded
 /// degradation of an explosive request while small requests keep
 /// completing on the other workers, and graceful-drain time.
+/// The fastest of `n` timed attempts. On a small busy host a single
+/// measurement can absorb a scheduler stall several times the workload
+/// itself; the minimum is the standard noise-free estimate, and taking
+/// it for *every* row keeps the reported ratios symmetric.
+fn best_of(n: usize, mut attempt: impl FnMut() -> f64) -> f64 {
+    (0..n).map(|_| attempt()).fold(f64::INFINITY, f64::min)
+}
+
 fn bench_serve(quick: bool, json: bool) {
-    use cpn_serve::{Client, Endpoint, Request, Response, Server, ServerConfig};
+    use cpn_serve::{Client, Endpoint, PipelinedClient, Request, Response, Server, ServerConfig};
     use std::time::{Duration, Instant};
 
     let small_net = r#"net small {
@@ -1439,7 +1447,9 @@ fn bench_serve(quick: bool, json: bool) {
 
     let config = ServerConfig {
         workers: 4,
-        queue_depth: 16,
+        // Deep enough that the pipeline-depth sweep (window up to 16)
+        // never sheds; shedding behaviour has its own measurements.
+        queue_depth: 64,
         default_deadline: Duration::from_secs(10),
         drain_grace: Duration::from_secs(2),
         ..ServerConfig::default()
@@ -1454,7 +1464,12 @@ fn bench_serve(quick: bool, json: bool) {
         max_states: 1_000,
         deadline_ms,
         threads: 1,
+        stream: false,
         doc: small_net.into(),
+    };
+    let expect_complete = |resp: Response| match resp {
+        Response::Result(s) => assert!(s.is_complete()),
+        other => panic!("unexpected response: {other:?}"),
     };
     let requests = if quick { 200usize } else { 2_000 };
     let mut client = Client::connect(&ep).expect("connect");
@@ -1478,6 +1493,63 @@ fn bench_serve(quick: bool, json: bool) {
     let p50_us = latencies[requests / 2] * 1e6;
     let p99_us = latencies[(requests * 99) / 100] * 1e6;
 
+    // Batch-size sweep: the same 64 cached reaches as 64 sequential
+    // round trips vs batches of 1/8/64. The per-item compute is
+    // microseconds, so the ratio isolates the per-round-trip overhead
+    // (syscalls, scheduling, wire turnarounds) the batch path amortizes.
+    let batch_total = 64usize;
+    let seq64_seconds = best_of(3, || {
+        let t = Instant::now();
+        for _ in 0..batch_total {
+            expect_complete(client.request(&reach(None)).expect("sequential baseline"));
+        }
+        t.elapsed().as_secs_f64()
+    });
+    let mut batch_rows: Vec<(usize, f64, f64, f64)> = Vec::new();
+    for &size in &[1usize, 8, 64] {
+        let rounds = batch_total / size;
+        let secs = best_of(3, || {
+            let t = Instant::now();
+            for _ in 0..rounds {
+                let items: Vec<Request> = (0..size).map(|_| reach(None)).collect();
+                let resps = client.batch(items, Some(10_000)).expect("batch");
+                assert_eq!(resps.len(), size);
+                for resp in resps {
+                    expect_complete(resp);
+                }
+            }
+            t.elapsed().as_secs_f64()
+        });
+        batch_rows.push((size, secs, batch_total as f64 / secs, seq64_seconds / secs));
+    }
+
+    // Pipeline-depth sweep: the same request stream through a window of
+    // 1/4/8/16 in-flight requests. Depth 1 is lock-step; deeper windows
+    // keep the pipe full instead of stalling a full round trip per
+    // request.
+    let pipe_total = if quick { 192usize } else { 768 };
+    let mut pipe_rows: Vec<(usize, f64, f64)> = Vec::new();
+    for &depth in &[1usize, 4, 8, 16] {
+        let secs = best_of(3, || {
+            let mut pc = PipelinedClient::connect(&ep, depth).expect("pipelined connect");
+            let t = Instant::now();
+            for _ in 0..pipe_total {
+                pc.submit(&reach(None)).expect("submit");
+            }
+            let done = pc.drain().expect("drain");
+            let secs = t.elapsed().as_secs_f64();
+            assert_eq!(done.len(), pipe_total);
+            for (_, resp) in done {
+                expect_complete(resp);
+            }
+            secs
+        });
+        pipe_rows.push((depth, secs, pipe_total as f64 / secs));
+    }
+    let batch64_speedup = batch_rows.last().map_or(0.0, |r| r.3);
+    let depth1_seconds = pipe_rows[0].1;
+    let depth8_speedup = depth1_seconds / pipe_rows[2].1;
+
     let boom_ep = ep.clone();
     let boom = std::thread::spawn(move || {
         let mut c = Client::connect(&boom_ep).expect("connect");
@@ -1488,6 +1560,7 @@ fn bench_serve(quick: bool, json: bool) {
                 max_states: 500_000_000,
                 deadline_ms: Some(50),
                 threads: 1,
+                stream: false,
                 doc: boom_doc,
             })
             .expect("explosive reach");
@@ -1519,6 +1592,22 @@ fn bench_serve(quick: bool, json: bool) {
         "serve: {requests} cached reach round-trips in {round_trip_seconds:.3} s \
          ({rps:.0} req/s, p50 {p50_us:.0} us, p99 {p99_us:.0} us)"
     );
+    for (size, secs, brps, speedup) in &batch_rows {
+        println!(
+            "serve: batch size {size:>2}: {batch_total} reaches in {secs:.4} s \
+             ({brps:.0} req/s, {speedup:.1}x vs sequential)"
+        );
+    }
+    for (depth, secs, prps) in &pipe_rows {
+        println!(
+            "serve: pipeline depth {depth:>2}: {pipe_total} reaches in {secs:.4} s \
+             ({prps:.0} req/s)"
+        );
+    }
+    println!(
+        "serve: batch-64 speedup {batch64_speedup:.1}x, pipeline depth-8 speedup \
+         {depth8_speedup:.1}x"
+    );
     println!(
         "serve: explosive 2^{toggles}-state net under a 50 ms deadline -> {boom_states} \
          states (stopped={boom_stopped}) in {boom_seconds:.3} s; worst concurrent small \
@@ -1531,10 +1620,32 @@ fn bench_serve(quick: bool, json: bool) {
     );
 
     if json {
+        let mut batch_json = String::new();
+        for (i, (size, secs, brps, speedup)) in batch_rows.iter().enumerate() {
+            batch_json.push_str(&format!(
+                "    {{\"size\": {size}, \"requests\": {batch_total}, \"seconds\": {secs:.4}, \
+                 \"requests_per_second\": {brps:.0}, \"speedup_vs_sequential\": \
+                 {speedup:.2}}}{}\n",
+                if i + 1 < batch_rows.len() { "," } else { "" }
+            ));
+        }
+        let mut pipe_json = String::new();
+        for (i, (depth, secs, prps)) in pipe_rows.iter().enumerate() {
+            pipe_json.push_str(&format!(
+                "    {{\"depth\": {depth}, \"requests\": {pipe_total}, \"seconds\": {secs:.4}, \
+                 \"requests_per_second\": {prps:.0}}}{}\n",
+                if i + 1 < pipe_rows.len() { "," } else { "" }
+            ));
+        }
         let out = format!(
             "{{\n  \"bench\": \"serve\",\n  \"mode\": \"{}\",\n  \
              \"round_trip\": {{\"requests\": {}, \"seconds\": {:.4}, \
              \"requests_per_second\": {:.0}, \"p50_us\": {:.1}, \"p99_us\": {:.1}}},\n  \
+             \"sequential_64_seconds\": {:.4},\n  \
+             \"batch_sweep\": [\n{}  ],\n  \
+             \"batch64_speedup\": {:.2},\n  \
+             \"pipeline_sweep\": [\n{}  ],\n  \
+             \"pipeline_depth8_speedup\": {:.2},\n  \
              \"deadline_degradation\": {{\"toggles\": {}, \"deadline_ms\": 50, \
              \"partial_states\": {}, \"stopped\": \"{}\", \"seconds\": {:.4}, \
              \"worst_concurrent_small_ms\": {:.2}}},\n  \
@@ -1547,6 +1658,11 @@ fn bench_serve(quick: bool, json: bool) {
             rps,
             p50_us,
             p99_us,
+            seq64_seconds,
+            batch_json,
+            batch64_speedup,
+            pipe_json,
+            depth8_speedup,
             toggles,
             boom_states,
             boom_stopped,

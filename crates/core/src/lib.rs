@@ -84,8 +84,8 @@ pub use parallel::{
     Composition, SyncTransition,
 };
 pub use synthesis::{
-    closure_report, reduce_against_environment, reduce_against_environment_fused, ClosureReport,
-    Reduction,
+    closure_report, reduce_against_environment, reduce_against_environment_fused,
+    reduce_against_environment_fused_bounded, ClosureReport, Reduction,
 };
 pub use verify::{
     check_receptiveness, check_receptiveness_bounded, check_receptiveness_composed,

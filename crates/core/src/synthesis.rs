@@ -18,8 +18,8 @@ use crate::contract::NetEditor;
 use crate::hide::project;
 use crate::parallel::parallel;
 use cpn_petri::{
-    dead_transitions_rg, remove_dead, Budget, Label, Meter, PetriError, PetriNet,
-    ReachabilityOptions,
+    dead_transitions_rg, remove_dead, Bounded, Budget, Exhausted, Label, Meter, PetriError,
+    PetriNet, ReachabilityOptions,
 };
 use std::collections::BTreeSet;
 use std::fmt;
@@ -193,6 +193,123 @@ pub fn reduce_against_environment_fused<L: Label>(
         net,
         dead_removed: dead_removed + dead2.len(),
         composed_transitions,
+    })
+}
+
+/// Budgeted variant of [`reduce_against_environment_fused`], degrading
+/// gracefully instead of erroring when the budget runs out.
+///
+/// The full [`Budget`] lattice applies — state caps, wall-clock
+/// deadlines, and cooperative cancellation — which is what a serving
+/// path needs: an explosive composition comes back as a sound partial
+/// artifact on time instead of a hard error. Degradation is
+/// conservative in the safe direction:
+///
+/// * If the composition's reachability pass stops early, **no** dead
+///   transitions are pruned (a transition is only removable when the
+///   *whole* graph proves it dead); hiding and structural reduction
+///   still run, so the result is a correct — just less minimized —
+///   reduced module.
+/// * If the budget interrupts between hidden labels, the remaining
+///   labels stay visible. The returned net is a sound intermediate of
+///   the pipeline (hiding is applied label-by-label), flagged
+///   [`Bounded::Exhausted`].
+/// * The post-hiding cleanup pass is skipped when the budget is
+///   already spent; again this only costs minimality.
+///
+/// # Errors
+///
+/// Propagates composition errors and hiding divergence
+/// ([`PetriError::HideSelfLoop`]) exactly as the unbounded variant;
+/// running out of budget is **not** an error.
+pub fn reduce_against_environment_fused_bounded<L: Label>(
+    module: &PetriNet<L>,
+    env: &PetriNet<L>,
+    budget: &Budget,
+    hide_budget: usize,
+) -> Result<Bounded<Reduction<L>>, PetriError> {
+    let composed = parallel(module, env)?;
+    let composed_transitions = composed.transition_count();
+    let built = composed.reachability_bounded(budget);
+    let mut stop = built.exhausted().copied();
+    let mut dead_removed = 0usize;
+
+    let mut editor = NetEditor::from_net(&composed);
+    if let Bounded::Complete(rg) = &built {
+        let dead = dead_transitions_rg(&composed, rg);
+        dead_removed = dead.len();
+        editor.remove_transitions(&dead);
+    }
+    let edits_after_prune = editor.edits();
+
+    let keep: BTreeSet<L> = module.alphabet().clone();
+    let hidden: BTreeSet<L> = composed
+        .alphabet()
+        .iter()
+        .filter(|l| !keep.contains(l))
+        .cloned()
+        .collect();
+    let per_label = Budget::new(usize::MAX, hide_budget);
+    for l in &hidden {
+        if stop.is_none() {
+            if let Some(resource) = budget.interrupted() {
+                stop = Some(Exhausted {
+                    resource,
+                    states_explored: 0,
+                    transitions_explored: 0,
+                    budget: *budget,
+                });
+            }
+        }
+        if stop.is_some() {
+            break;
+        }
+        let mut meter = Meter::new(&per_label);
+        if !editor.hide_label(l, &mut meter)? {
+            return Err(PetriError::Precondition(format!(
+                "hiding of {l} did not converge within {hide_budget} contractions"
+            )));
+        }
+        editor.reduce();
+    }
+
+    let net = editor.finish()?;
+    let reduction = if stop.is_some() || editor.edits() == edits_after_prune {
+        // Out of budget (skip the cleanup pass) or nothing changed
+        // since pruning (the pass provably finds nothing).
+        Reduction {
+            net,
+            dead_removed,
+            composed_transitions,
+        }
+    } else {
+        let built2 = net.reachability_bounded(budget);
+        match built2 {
+            Bounded::Complete(rg2) => {
+                let dead2 = dead_transitions_rg(&net, &rg2);
+                let net = remove_dead(&net, &dead2);
+                Reduction {
+                    net,
+                    dead_removed: dead_removed + dead2.len(),
+                    composed_transitions,
+                }
+            }
+            Bounded::Exhausted { info, .. } => {
+                stop = Some(info);
+                Reduction {
+                    net,
+                    dead_removed,
+                    composed_transitions,
+                }
+            }
+        }
+    };
+    Ok(match stop {
+        None => Bounded::Complete(reduction),
+        Some(info) => Bounded::Exhausted {
+            partial: reduction,
+            info,
+        },
     })
 }
 

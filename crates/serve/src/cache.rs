@@ -1,16 +1,25 @@
-//! Content-hash-keyed session cache of compiled nets.
+//! Content-hash-keyed LRU cache of compiled nets.
 //!
 //! Clients resubmitting the same document (an interactive design loop
 //! re-verifying after each edit, a CI matrix fanning one net across
-//! many property checks) should not pay parse + compile per request.
-//! The cache keys on an FNV-1a hash of the raw document text plus the
-//! requested net name, so a one-byte edit is a different key and stale
-//! hits are impossible without comparing full documents.
+//! many property checks, a batch hash-consing its items' documents)
+//! should not pay parse + compile per request. The cache keys on an
+//! FNV-1a hash of the raw document text plus the requested net name, so
+//! a one-byte edit is a different key and stale hits are impossible
+//! without comparing full documents.
+//!
+//! Eviction is least-recently-*used* (every hit refreshes the entry),
+//! not FIFO: a hot net a pipelined client hammers between submissions
+//! of many cold one-off documents must survive the churn. Capacities
+//! are tens of entries, so eviction scans the map for the minimum tick
+//! instead of maintaining an ordering structure — O(capacity) per
+//! *eviction* (misses only, at most one scan each) and zero overhead on
+//! the hit path beyond a counter store.
 
 use cpn_format::{parse_with_limits, ParseLimits};
 use cpn_petri::{CompiledNet, PetriNet};
 use std::collections::hash_map::Entry;
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 /// FNV-1a, 64-bit: tiny, allocation-free, good dispersion on text.
@@ -44,7 +53,22 @@ pub enum CacheMiss {
     NoSuchNet(String),
 }
 
-/// Bounded FIFO cache mapping `(doc hash, net name)` to compiled nets.
+/// Counters describing the cache's behaviour since construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to parse + compile.
+    pub misses: u64,
+    /// Entries discarded to make room (LRU victims).
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub len: usize,
+    /// Configured capacity.
+    pub capacity: usize,
+}
+
+/// Bounded LRU cache mapping `(doc hash, net name)` to compiled nets.
 #[derive(Debug)]
 pub struct NetCache {
     inner: Mutex<CacheInner>,
@@ -53,11 +77,38 @@ pub struct NetCache {
 
 #[derive(Debug)]
 struct CacheInner {
-    map: HashMap<(u64, String), Arc<CachedNet>>,
-    order: VecDeque<(u64, String)>,
+    map: HashMap<(u64, String), (Arc<CachedNet>, u64)>,
+    /// Monotonic use counter; the entry with the smallest stored tick
+    /// is the least recently used.
+    tick: u64,
     capacity: usize,
     hits: u64,
     misses: u64,
+    evictions: u64,
+}
+
+impl CacheInner {
+    fn touch(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    fn evict_to_capacity(&mut self) {
+        while self.map.len() > self.capacity {
+            let victim = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, tick))| *tick)
+                .map(|(k, _)| k.clone());
+            match victim {
+                Some(k) => {
+                    self.map.remove(&k);
+                    self.evictions += 1;
+                }
+                None => break,
+            }
+        }
+    }
 }
 
 impl NetCache {
@@ -67,17 +118,18 @@ impl NetCache {
         NetCache {
             inner: Mutex::new(CacheInner {
                 map: HashMap::new(),
-                order: VecDeque::new(),
+                tick: 0,
                 capacity: capacity.max(1),
                 hits: 0,
                 misses: 0,
+                evictions: 0,
             }),
             limits,
         }
     }
 
     /// The compiled net for `name` inside `doc`, parsing and compiling
-    /// on a miss.
+    /// on a miss. Hits refresh the entry's recency.
     ///
     /// # Errors
     ///
@@ -88,7 +140,9 @@ impl NetCache {
         let key = (fnv1a(doc.as_bytes()), name.to_owned());
         {
             let mut inner = self.lock();
-            if let Some(hit) = inner.map.get(&key) {
+            let tick = inner.touch();
+            if let Some((hit, last_used)) = inner.map.get_mut(&key) {
+                *last_used = tick;
                 let hit = Arc::clone(hit);
                 inner.hits += 1;
                 return Ok(hit);
@@ -108,27 +162,47 @@ impl NetCache {
         let m0 = net.initial_marking().as_slice().to_vec();
         let entry = Arc::new(CachedNet { net, compiled, m0 });
         let mut inner = self.lock();
-        match inner.map.entry(key.clone()) {
+        let tick = inner.touch();
+        match inner.map.entry(key) {
             // Another worker compiled the same document concurrently;
-            // keep its entry (both are equivalent).
-            Entry::Occupied(e) => Ok(Arc::clone(e.get())),
+            // keep its entry (both are equivalent) and refresh it.
+            Entry::Occupied(mut e) => {
+                e.get_mut().1 = tick;
+                Ok(Arc::clone(&e.get().0))
+            }
             Entry::Vacant(e) => {
-                e.insert(Arc::clone(&entry));
-                inner.order.push_back(key);
-                while inner.order.len() > inner.capacity {
-                    if let Some(old) = inner.order.pop_front() {
-                        inner.map.remove(&old);
-                    }
-                }
+                e.insert((Arc::clone(&entry), tick));
+                inner.evict_to_capacity();
                 Ok(entry)
             }
         }
     }
 
+    /// Whether a compiled net for `name` inside `doc` is already
+    /// resident. Read-only routing probe: no recency refresh and no
+    /// hit/miss accounting — callers that decide to take the entry go
+    /// through [`NetCache::get_or_compile`], which does the counting.
+    pub fn peek(&self, doc: &str, name: &str) -> bool {
+        let key = (fnv1a(doc.as_bytes()), name.to_owned());
+        self.lock().map.contains_key(&key)
+    }
+
+    /// All counters since construction.
+    pub fn full_stats(&self) -> CacheStats {
+        let inner = self.lock();
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            len: inner.map.len(),
+            capacity: inner.capacity,
+        }
+    }
+
     /// `(hits, misses)` counters since construction.
     pub fn stats(&self) -> (u64, u64) {
-        let inner = self.lock();
-        (inner.hits, inner.misses)
+        let s = self.full_stats();
+        (s.hits, s.misses)
     }
 
     /// Entries currently resident.
@@ -180,13 +254,35 @@ mod tests {
     }
 
     #[test]
-    fn capacity_evicts_fifo() {
+    fn capacity_evicts_and_counts() {
         let cache = NetCache::new(2, ParseLimits::default());
         for i in 0..4 {
             let doc = format!("net n{i} {{ places {{ p* }} }}");
             cache.get_or_compile(&doc, &format!("n{i}")).unwrap();
         }
-        assert_eq!(cache.len(), 2);
+        let stats = cache.full_stats();
+        assert_eq!(stats.len, 2);
+        assert_eq!(stats.evictions, 2);
+        assert_eq!(stats.capacity, 2);
+    }
+
+    #[test]
+    fn hot_entry_survives_churn() {
+        // The LRU property: an entry touched between insertions of cold
+        // entries is never the eviction victim.
+        let cache = NetCache::new(2, ParseLimits::default());
+        let hot = cache.get_or_compile(DOC, "n").unwrap();
+        for i in 0..8 {
+            let doc = format!("net cold{i} {{ places {{ p* }} }}");
+            cache.get_or_compile(&doc, &format!("cold{i}")).unwrap();
+            // Re-touch the hot entry after every cold insertion.
+            let again = cache.get_or_compile(DOC, "n").unwrap();
+            assert!(Arc::ptr_eq(&hot, &again), "hot entry evicted at churn {i}");
+        }
+        let stats = cache.full_stats();
+        assert_eq!(stats.hits, 8, "every hot re-touch was a hit");
+        assert_eq!(stats.misses, 9);
+        assert_eq!(stats.evictions, 7);
     }
 
     #[test]

@@ -1,10 +1,29 @@
-//! Client library: handshake, request/response, and
-//! retry-with-jittered-backoff for transient failures.
+//! Client library: handshake negotiation, request/response, batches,
+//! pipelining, and retry-with-jittered-backoff for transient failures.
+//!
+//! Three client shapes, cheapest first:
+//!
+//! * [`Client::request`] — one request, one response, lock-step. Works
+//!   against v1 and v2 servers (the handshake negotiates down
+//!   automatically).
+//! * [`Client::batch`] — N sub-requests in one frame, N answers in one
+//!   round trip (v2). The dominant cost of small verification requests
+//!   is the per-round-trip overhead, not the exploration; batching
+//!   amortizes it across the batch.
+//! * [`PipelinedClient`] — a configurable window of requests in flight
+//!   at once, correlated by id, completions consumable out of order
+//!   (v2). Keeps the connection's pipe full without waiting for each
+//!   answer before sending the next question.
 
-use crate::frame::{read_frame, read_handshake, write_frame, write_handshake, FrameError};
-use crate::proto::{Request, Response};
+use crate::frame::{
+    read_frame, read_handshake_in, write_frame, write_handshake, FrameError, MIN_PROTO_VERSION,
+    PROTO_VERSION,
+};
+use crate::proto::{split_corr, with_corr, ProgressUpdate, Request, Response};
 use crate::transport::{Conn, Endpoint};
+use std::collections::{HashSet, VecDeque};
 use std::fmt;
+use std::io::{BufReader, Write};
 use std::time::Duration;
 
 /// A client-side failure.
@@ -14,6 +33,9 @@ pub enum ClientError {
     Transport(FrameError),
     /// The server's bytes decoded but were not a valid response.
     Protocol(String),
+    /// A batch was refused as a whole before any item ran (shed,
+    /// malformed frame, …); holds the server's typed answer.
+    Refused(Response),
     /// Every attempt of a retried request failed; holds the last error.
     RetriesExhausted(Box<ClientError>),
 }
@@ -23,6 +45,7 @@ impl fmt::Display for ClientError {
         match self {
             ClientError::Transport(e) => write!(f, "transport: {e}"),
             ClientError::Protocol(msg) => write!(f, "protocol: {msg}"),
+            ClientError::Refused(resp) => write!(f, "refused: {resp}"),
             ClientError::RetriesExhausted(last) => {
                 write!(f, "retries exhausted; last error: {last}")
             }
@@ -44,14 +67,29 @@ impl From<std::io::Error> for ClientError {
     }
 }
 
+fn decode_frame(payload: &[u8]) -> Result<(Option<u64>, Response), ClientError> {
+    let text = std::str::from_utf8(payload)
+        .map_err(|_| ClientError::Protocol("response is not UTF-8".to_owned()))?;
+    let (corr, body) = split_corr(text).map_err(ClientError::Protocol)?;
+    let response = Response::decode(body).map_err(ClientError::Protocol)?;
+    Ok((corr, response))
+}
+
 /// A connected, handshaken client.
+///
+/// Reads are buffered: a server flushing a coalesced burst of frames
+/// (a whole batch's items, pipelined completions) is consumed with one
+/// `read` syscall instead of two per frame.
 pub struct Client {
-    conn: Conn,
+    reader: BufReader<Conn>,
     max_frame: usize,
+    io_timeout: Duration,
+    version: u16,
 }
 
 impl Client {
-    /// Dials and handshakes.
+    /// Dials and handshakes (negotiating the protocol version down to
+    /// what the server speaks).
     ///
     /// # Errors
     ///
@@ -74,22 +112,342 @@ impl Client {
         conn.set_read_timeout(Some(io_timeout))?;
         conn.set_write_timeout(Some(io_timeout))?;
         write_handshake(&mut conn).map_err(FrameError::Io)?;
-        read_handshake(&mut conn)?;
-        Ok(Client { conn, max_frame })
+        let version = read_handshake_in(&mut conn, MIN_PROTO_VERSION..=PROTO_VERSION)?;
+        Ok(Client {
+            reader: BufReader::with_capacity(64 * 1024, conn),
+            max_frame,
+            io_timeout,
+            version,
+        })
     }
 
-    /// Sends one request and waits for its response.
+    /// The protocol version negotiated with the server.
+    pub fn version(&self) -> u16 {
+        self.version
+    }
+
+    /// Sends one request and waits for its final response, discarding
+    /// any streamed progress frames.
     ///
     /// # Errors
     ///
     /// [`ClientError::Transport`] on I/O failure,
     /// [`ClientError::Protocol`] if the server's reply does not decode.
     pub fn request(&mut self, req: &Request) -> Result<Response, ClientError> {
-        write_frame(&mut self.conn, req.encode().as_bytes(), self.max_frame)?;
-        let payload = read_frame(&mut self.conn, self.max_frame)?;
-        let text = std::str::from_utf8(&payload)
-            .map_err(|_| ClientError::Protocol("response is not UTF-8".to_owned()))?;
-        Response::decode(text).map_err(ClientError::Protocol)
+        self.request_streaming(req, |_| {})
+    }
+
+    /// Sends one request, invoking `on_progress` for each streamed
+    /// [`Response::Progress`] frame, and returns the final response.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`]. A batch request gets a whole-batch error
+    /// here — use [`Client::batch`] for batches.
+    pub fn request_streaming(
+        &mut self,
+        req: &Request,
+        mut on_progress: impl FnMut(ProgressUpdate),
+    ) -> Result<Response, ClientError> {
+        write_frame(
+            self.reader.get_mut(),
+            req.encode().as_bytes(),
+            self.max_frame,
+        )?;
+        loop {
+            let payload = read_frame(&mut self.reader, self.max_frame)?;
+            let (_, response) = decode_frame(&payload)?;
+            match response {
+                Response::Progress(p) => on_progress(p),
+                Response::Item { .. } | Response::BatchDone { .. } => {
+                    return Err(ClientError::Protocol(
+                        "unexpected batch frame for a single request".to_owned(),
+                    ))
+                }
+                final_resp => return Ok(final_resp),
+            }
+        }
+    }
+
+    /// Sends `items` as one batch frame and collects the per-item
+    /// answers, in item order, through the closing `batch-done` frame.
+    /// Requires a v2 server.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Protocol`] on a v1 connection or a malformed item
+    /// list, [`ClientError::Refused`] when the server answered the
+    /// whole batch with a single typed refusal (e.g. `Overloaded`),
+    /// [`ClientError::Transport`] on I/O failure.
+    pub fn batch(
+        &mut self,
+        items: Vec<Request>,
+        deadline_ms: Option<u64>,
+    ) -> Result<Vec<Response>, ClientError> {
+        if self.version < 2 {
+            return Err(ClientError::Protocol(
+                "batch requires protocol v2; server negotiated v1".to_owned(),
+            ));
+        }
+        let n = items.len();
+        let req = Request::batch(items, deadline_ms).map_err(ClientError::Protocol)?;
+        write_frame(
+            self.reader.get_mut(),
+            req.encode().as_bytes(),
+            self.max_frame,
+        )?;
+
+        // Item frames may be spaced by whole explorations; wait per
+        // frame for the umbrella deadline (or the server's default),
+        // plus margin, instead of the plain I/O timeout.
+        let umbrella = deadline_ms.map_or(Duration::from_secs(30), Duration::from_millis);
+        self.reader
+            .get_mut()
+            .set_read_timeout(Some(crate::frame::reply_timeout(umbrella)))?;
+        let result = self.collect_batch(n);
+        let _ = self
+            .reader
+            .get_mut()
+            .set_read_timeout(Some(self.io_timeout));
+        result
+    }
+
+    fn collect_batch(&mut self, n: usize) -> Result<Vec<Response>, ClientError> {
+        let mut out: Vec<Option<Response>> = (0..n).map(|_| None).collect();
+        let mut filled = 0usize;
+        loop {
+            let payload = read_frame(&mut self.reader, self.max_frame)?;
+            let (_, response) = decode_frame(&payload)?;
+            match response {
+                Response::Progress(_) => {}
+                Response::Item { index, inner } => {
+                    let slot = out.get_mut(index).ok_or_else(|| {
+                        ClientError::Protocol(format!("item index {index} out of range 0..{n}"))
+                    })?;
+                    if slot.replace(*inner).is_some() {
+                        return Err(ClientError::Protocol(format!(
+                            "item {index} answered twice"
+                        )));
+                    }
+                    filled += 1;
+                }
+                Response::BatchDone { n: done } => {
+                    if done != n || filled != n {
+                        return Err(ClientError::Protocol(format!(
+                            "batch-done n={done} after {filled} of {n} items"
+                        )));
+                    }
+                    return Ok(out.into_iter().flatten().collect());
+                }
+                refusal if filled == 0 => return Err(ClientError::Refused(refusal)),
+                other => {
+                    return Err(ClientError::Protocol(format!(
+                        "unexpected mid-batch frame `{other}`"
+                    )))
+                }
+            }
+        }
+    }
+}
+
+/// A v2 client keeping up to `window` requests in flight on one
+/// connection. Submissions past the window block until a completion
+/// frees a slot; completions are correlated by id, so they can be
+/// consumed out of submission order.
+///
+/// Writes coalesce: submitted frames collect in a buffer that is
+/// flushed in one syscall the moment the client turns around to read
+/// (window full, [`PipelinedClient::recv`], [`PipelinedClient::drain`])
+/// or on an explicit [`PipelinedClient::flush`]. A full window of
+/// small requests therefore costs one `write`, not `window` of them.
+pub struct PipelinedClient {
+    reader: BufReader<Conn>,
+    wbuf: Vec<u8>,
+    max_frame: usize,
+    window: usize,
+    next_corr: u64,
+    in_flight: HashSet<u64>,
+    ready: VecDeque<(u64, Response)>,
+    progress: Vec<(u64, ProgressUpdate)>,
+}
+
+impl PipelinedClient {
+    /// Dials, handshakes, and requires protocol v2.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Transport`] on dial/handshake failure,
+    /// [`ClientError::Protocol`] if the server only speaks v1.
+    pub fn connect(ep: &Endpoint, window: usize) -> Result<PipelinedClient, ClientError> {
+        PipelinedClient::connect_with(
+            ep,
+            window,
+            crate::frame::DEFAULT_MAX_FRAME,
+            Duration::from_secs(30),
+        )
+    }
+
+    /// [`PipelinedClient::connect`] with an explicit frame cap and I/O
+    /// timeout.
+    ///
+    /// # Errors
+    ///
+    /// As [`PipelinedClient::connect`].
+    pub fn connect_with(
+        ep: &Endpoint,
+        window: usize,
+        max_frame: usize,
+        io_timeout: Duration,
+    ) -> Result<PipelinedClient, ClientError> {
+        let mut conn = Conn::dial(ep)?;
+        conn.set_read_timeout(Some(io_timeout))?;
+        conn.set_write_timeout(Some(io_timeout))?;
+        write_handshake(&mut conn).map_err(FrameError::Io)?;
+        let version = read_handshake_in(&mut conn, MIN_PROTO_VERSION..=PROTO_VERSION)?;
+        if version < 2 {
+            return Err(ClientError::Protocol(
+                "pipelining requires protocol v2; server negotiated v1".to_owned(),
+            ));
+        }
+        Ok(PipelinedClient {
+            reader: BufReader::with_capacity(64 * 1024, conn),
+            wbuf: Vec::new(),
+            max_frame,
+            window: window.max(1),
+            next_corr: 1,
+            in_flight: HashSet::new(),
+            ready: VecDeque::new(),
+            progress: Vec::new(),
+        })
+    }
+
+    /// Requests currently awaiting their final frame.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Submits a request, returning its correlation id. Blocks (by
+    /// receiving completions) while the in-flight window is full.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Protocol`] for a batch request (one batch is
+    /// already a pipeline — submit it via [`Client::batch`]),
+    /// [`ClientError::Transport`] on I/O failure.
+    pub fn submit(&mut self, req: &Request) -> Result<u64, ClientError> {
+        if matches!(req, Request::Batch { .. }) {
+            return Err(ClientError::Protocol(
+                "submit individual requests; batches go through Client::batch".to_owned(),
+            ));
+        }
+        // Hysteresis: when the window fills, receive until *half* of
+        // it is free rather than exactly one slot. Submissions then
+        // alternate between a burst of writes (one coalesced syscall)
+        // and a burst of reads, instead of degenerating into strict
+        // one-in-one-out lock-step at full depth. A window of 1 keeps
+        // exact lock-step.
+        if self.in_flight.len() >= self.window {
+            let refill = (self.window / 2).max(1);
+            while self.in_flight.len() > self.window - refill {
+                self.pump_one()?;
+            }
+        }
+        let corr = self.next_corr;
+        self.next_corr += 1;
+        let text = with_corr(Some(corr), &req.encode());
+        // Into the coalescing buffer (a Vec sinks write_frame's single
+        // write); the wire write happens at the next flush point.
+        write_frame(&mut self.wbuf, text.as_bytes(), self.max_frame)?;
+        self.in_flight.insert(corr);
+        Ok(corr)
+    }
+
+    /// Pushes any buffered submissions onto the wire now. Called
+    /// automatically before every read; useful when the window is not
+    /// yet full and the caller wants the server started immediately.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Transport`] on I/O failure.
+    pub fn flush(&mut self) -> Result<(), ClientError> {
+        if self.wbuf.is_empty() {
+            return Ok(());
+        }
+        let conn = self.reader.get_mut();
+        conn.write_all(&self.wbuf)?;
+        conn.flush()?;
+        self.wbuf.clear();
+        Ok(())
+    }
+
+    /// The next completed `(correlation id, final response)`, in
+    /// completion order.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Protocol`] when nothing is in flight, or on a
+    /// frame that violates the protocol; [`ClientError::Transport`] on
+    /// I/O failure.
+    pub fn recv(&mut self) -> Result<(u64, Response), ClientError> {
+        loop {
+            if let Some(done) = self.ready.pop_front() {
+                return Ok(done);
+            }
+            if self.in_flight.is_empty() {
+                return Err(ClientError::Protocol("no requests in flight".to_owned()));
+            }
+            self.pump_one()?;
+        }
+    }
+
+    /// Receives until every in-flight request has completed; returns
+    /// all buffered completions in completion order.
+    ///
+    /// # Errors
+    ///
+    /// As [`PipelinedClient::recv`].
+    pub fn drain(&mut self) -> Result<Vec<(u64, Response)>, ClientError> {
+        while !self.in_flight.is_empty() {
+            self.pump_one()?;
+        }
+        Ok(self.ready.drain(..).collect())
+    }
+
+    /// Takes the streamed progress frames buffered so far (tagged with
+    /// their request's correlation id).
+    pub fn take_progress(&mut self) -> Vec<(u64, ProgressUpdate)> {
+        std::mem::take(&mut self.progress)
+    }
+
+    /// Reads frames until one final response completes some request.
+    fn pump_one(&mut self) -> Result<(), ClientError> {
+        self.flush()?; // everything we owe the server goes first
+        loop {
+            let payload = read_frame(&mut self.reader, self.max_frame)?;
+            let (corr, response) = decode_frame(&payload)?;
+            let corr = corr.ok_or_else(|| {
+                ClientError::Protocol(format!("response `{response}` missing correlation id"))
+            })?;
+            match response {
+                Response::Progress(p) => {
+                    self.progress.push((corr, p));
+                }
+                Response::Item { .. } | Response::BatchDone { .. } => {
+                    return Err(ClientError::Protocol(
+                        "unexpected batch frame on a pipelined connection".to_owned(),
+                    ))
+                }
+                final_resp => {
+                    if !self.in_flight.remove(&corr) {
+                        return Err(ClientError::Protocol(format!(
+                            "completion for unknown correlation id {corr}"
+                        )));
+                    }
+                    self.ready.push_back((corr, final_resp));
+                    return Ok(());
+                }
+            }
+        }
     }
 }
 

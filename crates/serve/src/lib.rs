@@ -24,9 +24,30 @@
 //!   accepting, sheds new work, lets in-flight requests finish under a
 //!   shrinking deadline, then cancels stragglers and joins the pool.
 //! * **Cache** ([`cache`]) — compiled nets keyed by document content
-//!   hash, so an edit-verify loop pays parse + compile once per edit.
+//!   hash with LRU eviction, so an edit-verify loop pays parse +
+//!   compile once per edit and a batch hash-conses repeated documents.
 //! * **Client** ([`client`]) — handshake, typed errors, and
 //!   retry-with-full-jitter backoff for sheds and transient faults.
+//!
+//! ## Protocol v2: batching, pipelining, streaming, server-side verify
+//!
+//! The handshake negotiates `min(client, server)` versions, so v1
+//! clients keep working unchanged. On a v2 connection:
+//!
+//! * [`Request::Batch`] carries N sub-requests in one frame, answered
+//!   in order with [`Response::Item`] frames and closed by
+//!   [`Response::BatchDone`] — one round trip for N verdicts, with a
+//!   batch-level umbrella deadline degrading unstarted items to typed
+//!   `DeadlineExceeded` partials instead of poisoning siblings.
+//! * [`PipelinedClient`] keeps a configurable window of correlated
+//!   requests in flight on one connection; frames carry `@<id>`
+//!   correlation prefixes so completions are matched out of order.
+//! * `stream=true` requests emit non-final [`Response::Progress`]
+//!   frames while long explorations run.
+//! * [`Request::Verify`] runs the paper pipeline server-side: compose
+//!   `module ‖ env`, check receptiveness, reduce against the
+//!   environment — answered with [`Response::VerifyResult`].
+//! * [`Request::Stats`] reports live service and cache counters.
 //!
 //! [`Budget`]: cpn_petri::Budget
 //!
@@ -62,9 +83,12 @@ pub mod proto;
 pub mod server;
 pub mod transport;
 
-pub use cache::{CacheMiss, CachedNet, NetCache};
-pub use client::{request_with_retry, Client, ClientError, RetryPolicy};
-pub use frame::{FrameError, DEFAULT_MAX_FRAME, MAGIC, PROTO_VERSION};
-pub use proto::{ExploreSummary, Request, Response};
+pub use cache::{CacheMiss, CacheStats, CachedNet, NetCache};
+pub use client::{request_with_retry, Client, ClientError, PipelinedClient, RetryPolicy};
+pub use frame::{FrameError, DEFAULT_MAX_FRAME, MAGIC, MIN_PROTO_VERSION, PROTO_VERSION};
+pub use proto::{
+    BatchItem, BatchLimits, ExploreSummary, ProgressUpdate, Receptive, Request, Response,
+    StatsReply, VerifySummary, DEFAULT_HIDE_BUDGET, MAX_BATCH_ITEMS,
+};
 pub use server::{Server, ServerConfig, ServerHandle, ServerStats, MAX_REQUEST_THREADS};
 pub use transport::{Conn, Endpoint, Listener};

@@ -7,15 +7,90 @@
 //! workspace text format keeps the daemon debuggable with `nc`/`socat`
 //! and means the server-side document parser is the same hardened
 //! [`cpn_format::parse_with_limits`] the rest of the workspace uses.
+//!
+//! ## Protocol v2 additions
+//!
+//! * **Correlation ids** — any frame may be prefixed `@<id> ` (a
+//!   decimal `u64` chosen by the client); every response frame to that
+//!   request carries the same prefix, so a pipelined client matching
+//!   out-of-order completions needs no bookkeeping beyond the id. See
+//!   [`split_corr`]/[`with_corr`].
+//! * **[`Request::Batch`]** — N sub-requests (reach/cover/verify) in
+//!   one frame, answered by N [`Response::Item`] frames *in order*
+//!   followed by one [`Response::BatchDone`]. Each item is
+//!   byte-length-prefixed (`item <len>` line, then exactly `len` bytes
+//!   of the sub-request text), so documents containing arbitrary lines
+//!   cannot desynchronize the batch. Item framing is validated against
+//!   [`BatchLimits`] — per-item size accounting, a cap on the item
+//!   count, and **no** allocation sized from attacker-controlled
+//!   headers: items are collected incrementally as they actually
+//!   arrive.
+//! * **[`Request::Verify`]** — the paper pipeline server-side: compose
+//!   `module ‖ env`, check receptiveness of the composition, and
+//!   reduce the module against the environment (hide the internal
+//!   labels). Answered with [`Response::VerifyResult`].
+//! * **[`Request::Stats`]** — live service and cache counters,
+//!   answered with [`Response::Stats`].
+//! * **[`Response::Progress`]** — non-final streamed frames emitted
+//!   while a long exploration or verify pipeline runs, when the
+//!   request set `stream=true`.
 
 use std::fmt;
 use std::time::Duration;
+
+/// Default cap on hiding contractions per label in a server-side
+/// verify (the client may lower it with `hide_budget=`).
+pub const DEFAULT_HIDE_BUDGET: usize = 100_000;
+
+/// Hard protocol ceiling on items per batch. A server may impose a
+/// lower cap via [`BatchLimits`]; beyond this, the frame is rejected
+/// regardless of configuration.
+pub const MAX_BATCH_ITEMS: usize = 1024;
+
+/// Validation limits for decoding batch frames.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchLimits {
+    /// Maximum number of items in one batch frame.
+    pub max_items: usize,
+    /// Maximum size in bytes of a single item's sub-request text
+    /// (command line + document). Servers derive this from their
+    /// `ParseLimits::max_input_bytes`.
+    pub max_item_bytes: usize,
+}
+
+impl Default for BatchLimits {
+    fn default() -> Self {
+        BatchLimits {
+            max_items: MAX_BATCH_ITEMS,
+            max_item_bytes: crate::frame::DEFAULT_MAX_FRAME,
+        }
+    }
+}
+
+/// One entry of a decoded batch.
+///
+/// Item *framing* errors that can be skipped safely (an oversized
+/// per-item length with the bytes still inside the frame) and item
+/// *content* errors (a sub-request that does not decode) surface as
+/// [`BatchItem::Malformed`] so the server can answer that single item
+/// with a typed `BadRequest` while its siblings still run — one bad
+/// item must not poison the batch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BatchItem {
+    /// A well-formed sub-request (reach, cover, or verify).
+    Request(Request),
+    /// The item was framed but is not a servable sub-request; the
+    /// message explains why.
+    Malformed(String),
+}
 
 /// A client request.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Request {
     /// Liveness probe; answered inline, never queued.
     Ping,
+    /// Live service and cache counters (v2); answered inline.
+    Stats,
     /// Explore the reachability graph of the named net in the document.
     Reach {
         /// Name of the `net` item inside `doc` to analyse.
@@ -27,6 +102,10 @@ pub enum Request {
         /// Exploration worker threads (server clamps; `1` = sequential,
         /// values above the server cap or `0` are rejected).
         threads: usize,
+        /// Stream non-final [`Response::Progress`] frames while the
+        /// exploration runs (v2 connections only; ignored inside a
+        /// batch).
+        stream: bool,
         /// The `.cpn` document text.
         doc: String,
     },
@@ -45,16 +124,100 @@ pub enum Request {
         /// The `.cpn` document text.
         doc: String,
     },
+    /// The paper pipeline server-side (v2): compose `module ‖ env`,
+    /// check receptiveness of the composition
+    /// (`cpn_core::check_receptiveness_bounded`), and reduce the
+    /// module against the environment
+    /// (`cpn_core::reduce_against_environment_fused_bounded` — dead
+    /// pruning, hiding of the environment-internal labels, structural
+    /// reduction).
+    Verify {
+        /// Name of the module net inside `doc`.
+        module: String,
+        /// Name of the environment net inside `doc`.
+        env: String,
+        /// Labels the module drives (outputs of the left operand).
+        /// Labels containing whitespace are not expressible on the
+        /// wire; commas and `%` are percent-escaped.
+        louts: Vec<String>,
+        /// Labels the environment drives (outputs of the right operand).
+        routs: Vec<String>,
+        /// State cap for both exploration passes.
+        max_states: usize,
+        /// Per-request wall-clock deadline in milliseconds.
+        deadline_ms: Option<u64>,
+        /// Cap on hiding contractions per hidden label.
+        hide_budget: usize,
+        /// Stream per-stage [`Response::Progress`] frames.
+        stream: bool,
+        /// The `.cpn` document text (must contain both nets).
+        doc: String,
+    },
+    /// N sub-requests in one frame (v2), answered in order with
+    /// [`Response::Item`] frames and closed by [`Response::BatchDone`].
+    Batch {
+        /// Umbrella wall-clock deadline for the whole batch in
+        /// milliseconds; items not yet started when it passes are
+        /// answered `DeadlineExceeded` individually.
+        deadline_ms: Option<u64>,
+        /// The sub-requests, in answer order.
+        items: Vec<BatchItem>,
+    },
 }
 
 impl Request {
-    /// The per-request deadline, if the client set one.
+    /// A batch of well-formed sub-requests.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first item that is not batchable (only
+    /// reach, cover, and verify are) or a count over
+    /// [`MAX_BATCH_ITEMS`].
+    pub fn batch(items: Vec<Request>, deadline_ms: Option<u64>) -> Result<Request, String> {
+        if items.len() > MAX_BATCH_ITEMS {
+            return Err(format!(
+                "batch of {} items exceeds the protocol cap of {MAX_BATCH_ITEMS}",
+                items.len()
+            ));
+        }
+        for (i, item) in items.iter().enumerate() {
+            match item {
+                Request::Reach { .. } | Request::Cover { .. } | Request::Verify { .. } => {}
+                other => {
+                    return Err(format!(
+                        "item {i}: `{}` cannot appear inside a batch",
+                        other.verb()
+                    ))
+                }
+            }
+        }
+        Ok(Request::Batch {
+            deadline_ms,
+            items: items.into_iter().map(BatchItem::Request).collect(),
+        })
+    }
+
+    /// The wire verb of this request.
+    pub fn verb(&self) -> &'static str {
+        match self {
+            Request::Ping => "ping",
+            Request::Stats => "stats",
+            Request::Reach { .. } => "reach",
+            Request::Cover { .. } => "cover",
+            Request::Verify { .. } => "verify",
+            Request::Batch { .. } => "batch",
+        }
+    }
+
+    /// The per-request deadline, if the client set one (for a batch:
+    /// the umbrella deadline).
     pub fn deadline(&self) -> Option<Duration> {
         match self {
-            Request::Ping => None,
-            Request::Reach { deadline_ms, .. } | Request::Cover { deadline_ms, .. } => {
-                deadline_ms.map(Duration::from_millis)
-            }
+            Request::Ping | Request::Stats => None,
+            Request::Reach { deadline_ms, .. }
+            | Request::Cover { deadline_ms, .. }
+            | Request::Verify { deadline_ms, .. }
+            | Request::Batch { deadline_ms, .. } => deadline_ms.map(Duration::from_millis),
         }
     }
 
@@ -62,30 +225,114 @@ impl Request {
     pub fn encode(&self) -> String {
         match self {
             Request::Ping => "ping".to_owned(),
+            Request::Stats => "stats".to_owned(),
             Request::Reach {
                 net,
                 max_states,
                 deadline_ms,
                 threads,
+                stream,
                 doc,
-            } => encode_doc_request("reach", net, *max_states, *deadline_ms, *threads, doc),
+            } => encode_doc_request(
+                "reach",
+                net,
+                *max_states,
+                *deadline_ms,
+                *threads,
+                *stream,
+                doc,
+            ),
             Request::Cover {
                 net,
                 max_states,
                 deadline_ms,
                 threads,
                 doc,
-            } => encode_doc_request("cover", net, *max_states, *deadline_ms, *threads, doc),
+            } => encode_doc_request(
+                "cover",
+                net,
+                *max_states,
+                *deadline_ms,
+                *threads,
+                false,
+                doc,
+            ),
+            Request::Verify {
+                module,
+                env,
+                louts,
+                routs,
+                max_states,
+                deadline_ms,
+                hide_budget,
+                stream,
+                doc,
+            } => {
+                let mut line = format!("verify module={module} env={env} max_states={max_states}");
+                if !louts.is_empty() {
+                    line.push_str(&format!(" louts={}", encode_label_list(louts)));
+                }
+                if !routs.is_empty() {
+                    line.push_str(&format!(" routs={}", encode_label_list(routs)));
+                }
+                if let Some(ms) = deadline_ms {
+                    line.push_str(&format!(" deadline_ms={ms}"));
+                }
+                if *hide_budget != DEFAULT_HIDE_BUDGET {
+                    line.push_str(&format!(" hide_budget={hide_budget}"));
+                }
+                if *stream {
+                    line.push_str(" stream=true");
+                }
+                line.push('\n');
+                line.push_str(doc);
+                line
+            }
+            Request::Batch { deadline_ms, items } => {
+                let mut out = format!("batch n={}", items.len());
+                if let Some(ms) = deadline_ms {
+                    out.push_str(&format!(" deadline_ms={ms}"));
+                }
+                out.push('\n');
+                for item in items {
+                    let text = match item {
+                        BatchItem::Request(req) => req.encode(),
+                        // A decoded-as-malformed item re-encodes as an
+                        // intentionally invalid verb carrying its message,
+                        // so encode∘decode is total (it will decode as
+                        // Malformed again).
+                        BatchItem::Malformed(msg) => format!("!malformed {msg}"),
+                    };
+                    out.push_str(&format!("item {}\n", text.len()));
+                    out.push_str(&text);
+                    out.push('\n');
+                }
+                out
+            }
         }
     }
 
-    /// Parses the wire text form.
+    /// Parses the wire text form under default [`BatchLimits`].
     ///
     /// # Errors
     ///
     /// A human-readable description of the malformation; the server
     /// maps it to [`Response::BadRequest`].
     pub fn decode(text: &str) -> Result<Request, String> {
+        Request::decode_with_limits(text, &BatchLimits::default())
+    }
+
+    /// Parses the wire text form, validating batch frames against
+    /// explicit limits.
+    ///
+    /// # Errors
+    ///
+    /// As [`Request::decode`]. Batch *framing* violations (item count
+    /// over the cap, a length running past the frame, trailing bytes)
+    /// are errors naming the item index; a recoverable single item
+    /// (oversized but skippable, or undecodable content) comes back as
+    /// [`BatchItem::Malformed`] instead so its siblings still run.
+    pub fn decode_with_limits(text: &str, limits: &BatchLimits) -> Result<Request, String> {
         let (line, rest) = match text.split_once('\n') {
             Some((l, r)) => (l, r),
             None => (text, ""),
@@ -94,11 +341,13 @@ impl Request {
         let verb = words.next().ok_or("empty request")?;
         match verb {
             "ping" => Ok(Request::Ping),
+            "stats" => Ok(Request::Stats),
             "reach" | "cover" => {
                 let mut net = None;
                 let mut max_states = 100_000usize;
                 let mut deadline_ms = None;
                 let mut threads = 1usize;
+                let mut stream = false;
                 for word in words {
                     let (k, v) = word
                         .split_once('=')
@@ -115,6 +364,9 @@ impl Request {
                         "threads" => {
                             threads = v.parse().map_err(|_| format!("bad threads `{v}`"))?;
                         }
+                        "stream" if verb == "reach" => {
+                            stream = parse_bool(v)?;
+                        }
                         other => return Err(format!("unknown option `{other}`")),
                     }
                 }
@@ -126,6 +378,7 @@ impl Request {
                         max_states,
                         deadline_ms,
                         threads,
+                        stream,
                         doc,
                     }
                 } else {
@@ -138,8 +391,170 @@ impl Request {
                     }
                 })
             }
+            "verify" => {
+                let mut module = None;
+                let mut env = None;
+                let mut louts = Vec::new();
+                let mut routs = Vec::new();
+                let mut max_states = 100_000usize;
+                let mut deadline_ms = None;
+                let mut hide_budget = DEFAULT_HIDE_BUDGET;
+                let mut stream = false;
+                for word in words {
+                    let (k, v) = word
+                        .split_once('=')
+                        .ok_or_else(|| format!("malformed option `{word}` (expected key=value)"))?;
+                    match k {
+                        "module" => module = Some(v.to_owned()),
+                        "env" => env = Some(v.to_owned()),
+                        "louts" => louts = decode_label_list(v),
+                        "routs" => routs = decode_label_list(v),
+                        "max_states" => {
+                            max_states = v.parse().map_err(|_| format!("bad max_states `{v}`"))?;
+                        }
+                        "deadline_ms" => {
+                            deadline_ms =
+                                Some(v.parse().map_err(|_| format!("bad deadline_ms `{v}`"))?);
+                        }
+                        "hide_budget" => {
+                            hide_budget =
+                                v.parse().map_err(|_| format!("bad hide_budget `{v}`"))?;
+                        }
+                        "stream" => stream = parse_bool(v)?,
+                        other => return Err(format!("unknown option `{other}`")),
+                    }
+                }
+                Ok(Request::Verify {
+                    module: module.ok_or("missing `module=` option")?,
+                    env: env.ok_or("missing `env=` option")?,
+                    louts,
+                    routs,
+                    max_states,
+                    deadline_ms,
+                    hide_budget,
+                    stream,
+                    doc: rest.to_owned(),
+                })
+            }
+            "batch" => decode_batch(words, rest, limits),
             other => Err(format!("unknown verb `{other}`")),
         }
+    }
+}
+
+/// Parses the body of a `batch` frame: `item <len>` lines each followed
+/// by exactly `len` bytes of sub-request text and a terminating
+/// newline. Items are collected as they arrive — never pre-allocated
+/// from the claimed `n=` — and `n=` must match the actual count.
+fn decode_batch<'a>(
+    words: impl Iterator<Item = &'a str>,
+    body: &str,
+    limits: &BatchLimits,
+) -> Result<Request, String> {
+    let mut declared: Option<usize> = None;
+    let mut deadline_ms = None;
+    for word in words {
+        let (k, v) = word
+            .split_once('=')
+            .ok_or_else(|| format!("malformed option `{word}` (expected key=value)"))?;
+        match k {
+            "n" => declared = Some(v.parse().map_err(|_| format!("bad n `{v}`"))?),
+            "deadline_ms" => {
+                deadline_ms = Some(v.parse().map_err(|_| format!("bad deadline_ms `{v}`"))?);
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    let declared = declared.ok_or("missing `n=` option")?;
+    let max_items = limits.max_items.min(MAX_BATCH_ITEMS);
+    if declared > max_items {
+        return Err(format!(
+            "batch of {declared} items exceeds the {max_items}-item cap"
+        ));
+    }
+
+    let mut items = Vec::new(); // grown per parsed item, never from `n=`
+    let mut at = 0usize;
+    let bytes = body.as_bytes();
+    while at < bytes.len() {
+        let index = items.len();
+        if index >= declared {
+            return Err(format!(
+                "batch declared n={declared} but carries trailing bytes after item {}",
+                declared.saturating_sub(1)
+            ));
+        }
+        let line_end = body[at..]
+            .find('\n')
+            .map(|o| at + o)
+            .ok_or_else(|| format!("item {index}: unterminated item header"))?;
+        let header = &body[at..line_end];
+        let len: usize = header
+            .strip_prefix("item ")
+            .and_then(|l| l.trim().parse().ok())
+            .ok_or_else(|| format!("item {index}: malformed item header `{header}`"))?;
+        let start = line_end + 1;
+        // Size accounting happens *before* touching the payload, and a
+        // length running past the frame is a framing error for the
+        // whole batch (nothing after it can be trusted).
+        if len > body.len().saturating_sub(start) {
+            return Err(format!(
+                "item {index}: length {len} runs past the end of the frame"
+            ));
+        }
+        let end = start + len;
+        let item = if len > limits.max_item_bytes {
+            // Oversized but skippable: reject this item, keep siblings.
+            Some(BatchItem::Malformed(format!(
+                "item of {len} bytes exceeds the {}-byte per-item cap",
+                limits.max_item_bytes
+            )))
+        } else {
+            match body.get(start..end) {
+                None => {
+                    return Err(format!(
+                        "item {index}: length {len} splits a UTF-8 character"
+                    ))
+                }
+                Some(text) => Some(match Request::decode_with_limits(text, limits) {
+                    Ok(
+                        req @ (Request::Reach { .. }
+                        | Request::Cover { .. }
+                        | Request::Verify { .. }),
+                    ) => BatchItem::Request(req),
+                    Ok(other) => BatchItem::Malformed(format!(
+                        "`{}` cannot appear inside a batch",
+                        other.verb()
+                    )),
+                    Err(msg) => BatchItem::Malformed(msg),
+                }),
+            }
+        };
+        if let Some(item) = item {
+            items.push(item);
+        }
+        at = end;
+        // Each item body is followed by exactly one newline.
+        if bytes.get(at) == Some(&b'\n') {
+            at += 1;
+        } else if at < bytes.len() {
+            return Err(format!("item {index}: missing terminator after item body"));
+        }
+    }
+    if items.len() != declared {
+        return Err(format!(
+            "batch declared n={declared} but carries {} items",
+            items.len()
+        ));
+    }
+    Ok(Request::Batch { deadline_ms, items })
+}
+
+fn parse_bool(v: &str) -> Result<bool, String> {
+    match v {
+        "true" => Ok(true),
+        "false" => Ok(false),
+        other => Err(format!("bad boolean `{other}`")),
     }
 }
 
@@ -149,6 +564,7 @@ fn encode_doc_request(
     max_states: usize,
     deadline_ms: Option<u64>,
     threads: usize,
+    stream: bool,
     doc: &str,
 ) -> String {
     let mut line = format!("{verb} net={net} max_states={max_states}");
@@ -159,6 +575,9 @@ fn encode_doc_request(
     // parse requests from new clients.
     if threads != 1 {
         line.push_str(&format!(" threads={threads}"));
+    }
+    if stream {
+        line.push_str(" stream=true");
     }
     line.push('\n');
     line.push_str(doc);
@@ -187,6 +606,86 @@ impl ExploreSummary {
     }
 }
 
+/// Tri-state receptiveness answer carried by [`Response::VerifyResult`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Receptive {
+    /// The composition is receptive (full state space explored).
+    Yes,
+    /// A definite violation was found on the explored prefix.
+    No,
+    /// The budget ran out before a definite answer.
+    Unknown,
+}
+
+impl fmt::Display for Receptive {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Receptive::Yes => "true",
+            Receptive::No => "false",
+            Receptive::Unknown => "unknown",
+        })
+    }
+}
+
+/// Result of a server-side verify pipeline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VerifySummary {
+    /// The receptiveness verdict for `module ‖ env`.
+    pub receptive: Receptive,
+    /// Labels that can mis-fire (non-empty iff `receptive` is `No`).
+    pub failures: Vec<String>,
+    /// States explored when the receptiveness pass stopped early
+    /// (0 for definite verdicts, which report no exploration counts).
+    pub states: usize,
+    /// Edges explored when the receptiveness pass stopped early.
+    pub edges: usize,
+    /// `None` when every pipeline stage completed; otherwise the first
+    /// resource that ran out.
+    pub stopped: Option<String>,
+    /// Transitions of the composition before reduction.
+    pub composed_transitions: usize,
+    /// Transitions of the reduced module, when the reduction stage ran
+    /// (it is skipped when the budget dies earlier).
+    pub reduced_transitions: Option<usize>,
+    /// Dead transitions removed by the reduction stage.
+    pub dead_removed: usize,
+}
+
+/// Live service and cache counters carried by [`Response::Stats`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StatsReply {
+    /// Requests answered with a non-shed response so far.
+    pub served: u64,
+    /// Requests or connections shed with `Overloaded` so far.
+    pub shed: u64,
+    /// Malformed requests so far.
+    pub bad_requests: u64,
+    /// Worker panics caught so far.
+    pub panics: u64,
+    /// Compiled-net cache hits.
+    pub cache_hits: u64,
+    /// Compiled-net cache misses.
+    pub cache_misses: u64,
+    /// Compiled-net cache evictions (LRU victims).
+    pub cache_evictions: u64,
+    /// Entries currently resident in the cache.
+    pub cache_len: usize,
+    /// Configured cache capacity.
+    pub cache_capacity: usize,
+}
+
+/// A non-final streamed update for a `stream=true` request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProgressUpdate {
+    /// Pipeline stage (`explore` for sliced reachability; `composed`,
+    /// `checked`, `reduced` for the verify pipeline).
+    pub stage: String,
+    /// States discovered so far (stage-specific).
+    pub states: usize,
+    /// Edges examined so far (stage-specific).
+    pub edges: usize,
+}
+
 /// A server response.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Response {
@@ -196,6 +695,26 @@ pub enum Response {
     /// otherwise a sound partial answer (the `Unknown` arm of the
     /// workspace's verdict lattice).
     Result(ExploreSummary),
+    /// Answer to [`Request::Verify`].
+    VerifyResult(VerifySummary),
+    /// Answer to [`Request::Stats`].
+    Stats(StatsReply),
+    /// A non-final streamed update (only on v2 connections, only for
+    /// `stream=true` requests); one or more may precede the final
+    /// response with the same correlation id.
+    Progress(ProgressUpdate),
+    /// One batch item's answer, tagged with its index; non-final.
+    Item {
+        /// Zero-based index of the item inside its batch.
+        index: usize,
+        /// The item's own response (never `Item`/`BatchDone`/`Progress`).
+        inner: Box<Response>,
+    },
+    /// Final frame of a batch: all `n` items have been answered.
+    BatchDone {
+        /// Number of item frames that preceded this one.
+        n: usize,
+    },
     /// The bounded work queue was full; retry with backoff.
     Overloaded,
     /// The request's deadline passed before a worker picked it up.
@@ -207,6 +726,12 @@ pub enum Response {
 }
 
 impl Response {
+    /// Whether this frame completes its request (a pipelined client
+    /// keeps reading for the same correlation id until a final frame).
+    pub fn is_final(&self) -> bool {
+        !matches!(self, Response::Progress(_) | Response::Item { .. })
+    }
+
     /// Serializes to the wire text form.
     pub fn encode(&self) -> String {
         match self {
@@ -224,6 +749,42 @@ impl Response {
                 }
                 line
             }
+            Response::VerifyResult(s) => {
+                let mut line = format!(
+                    "verify-result receptive={} states={} edges={} composed_transitions={} \
+                     dead_removed={}",
+                    s.receptive, s.states, s.edges, s.composed_transitions, s.dead_removed
+                );
+                if let Some(rt) = s.reduced_transitions {
+                    line.push_str(&format!(" reduced_transitions={rt}"));
+                }
+                if let Some(r) = &s.stopped {
+                    line.push_str(&format!(" stopped={r}"));
+                }
+                if !s.failures.is_empty() {
+                    line.push_str(&format!(" failures={}", encode_label_list(&s.failures)));
+                }
+                line
+            }
+            Response::Stats(s) => format!(
+                "stats served={} shed={} bad_requests={} panics={} cache_hits={} \
+                 cache_misses={} cache_evictions={} cache_len={} cache_capacity={}",
+                s.served,
+                s.shed,
+                s.bad_requests,
+                s.panics,
+                s.cache_hits,
+                s.cache_misses,
+                s.cache_evictions,
+                s.cache_len,
+                s.cache_capacity
+            ),
+            Response::Progress(p) => format!(
+                "progress stage={} states={} edges={}",
+                p.stage, p.states, p.edges
+            ),
+            Response::Item { index, inner } => format!("item {index} {}", inner.encode()),
+            Response::BatchDone { n } => format!("batch-done n={n}"),
             Response::Overloaded => "overloaded".to_owned(),
             Response::DeadlineExceeded => "deadline-exceeded".to_owned(),
             Response::BadRequest(msg) => format!("bad-request {}", escape(msg)),
@@ -249,6 +810,131 @@ impl Response {
             "deadline-exceeded" => Ok(Response::DeadlineExceeded),
             "bad-request" => Ok(Response::BadRequest(unescape(rest))),
             "internal-error" => Ok(Response::InternalError(unescape(rest))),
+            "batch-done" => {
+                let n = rest
+                    .strip_prefix("n=")
+                    .and_then(|v| v.trim().parse().ok())
+                    .ok_or_else(|| format!("malformed batch-done `{rest}`"))?;
+                Ok(Response::BatchDone { n })
+            }
+            "item" => {
+                let (idx, inner) = rest
+                    .split_once(' ')
+                    .ok_or_else(|| format!("malformed item frame `{rest}`"))?;
+                let index = idx.parse().map_err(|_| format!("bad item index `{idx}`"))?;
+                let inner = Response::decode(inner)?;
+                if !matches!(
+                    inner,
+                    Response::Result(_)
+                        | Response::VerifyResult(_)
+                        | Response::BadRequest(_)
+                        | Response::DeadlineExceeded
+                        | Response::InternalError(_)
+                        | Response::Overloaded
+                ) {
+                    return Err(format!("invalid nested item response `{inner:?}`"));
+                }
+                Ok(Response::Item {
+                    index,
+                    inner: Box::new(inner),
+                })
+            }
+            "progress" => {
+                let mut p = ProgressUpdate {
+                    stage: String::new(),
+                    states: 0,
+                    edges: 0,
+                };
+                for word in rest.split_whitespace() {
+                    let (k, v) = word
+                        .split_once('=')
+                        .ok_or_else(|| format!("malformed field `{word}`"))?;
+                    match k {
+                        "stage" => p.stage = v.to_owned(),
+                        "states" => p.states = v.parse().map_err(|_| "bad states")?,
+                        "edges" => p.edges = v.parse().map_err(|_| "bad edges")?,
+                        other => return Err(format!("unknown field `{other}`")),
+                    }
+                }
+                if p.stage.is_empty() {
+                    return Err("progress frame missing stage".to_owned());
+                }
+                Ok(Response::Progress(p))
+            }
+            "stats" => {
+                let mut s = StatsReply::default();
+                for word in rest.split_whitespace() {
+                    let (k, v) = word
+                        .split_once('=')
+                        .ok_or_else(|| format!("malformed field `{word}`"))?;
+                    let parsed: u64 = v.parse().map_err(|_| format!("bad {k}"))?;
+                    match k {
+                        "served" => s.served = parsed,
+                        "shed" => s.shed = parsed,
+                        "bad_requests" => s.bad_requests = parsed,
+                        "panics" => s.panics = parsed,
+                        "cache_hits" => s.cache_hits = parsed,
+                        "cache_misses" => s.cache_misses = parsed,
+                        "cache_evictions" => s.cache_evictions = parsed,
+                        "cache_len" => s.cache_len = parsed as usize,
+                        "cache_capacity" => s.cache_capacity = parsed as usize,
+                        other => return Err(format!("unknown field `{other}`")),
+                    }
+                }
+                Ok(Response::Stats(s))
+            }
+            "verify-result" => {
+                let mut s = VerifySummary {
+                    receptive: Receptive::Unknown,
+                    failures: Vec::new(),
+                    states: 0,
+                    edges: 0,
+                    stopped: None,
+                    composed_transitions: 0,
+                    reduced_transitions: None,
+                    dead_removed: 0,
+                };
+                let mut saw_receptive = false;
+                for word in rest.split_whitespace() {
+                    let (k, v) = word
+                        .split_once('=')
+                        .ok_or_else(|| format!("malformed field `{word}`"))?;
+                    match k {
+                        "receptive" => {
+                            saw_receptive = true;
+                            s.receptive = match v {
+                                "true" => Receptive::Yes,
+                                "false" => Receptive::No,
+                                "unknown" => Receptive::Unknown,
+                                other => return Err(format!("bad receptive `{other}`")),
+                            };
+                        }
+                        "states" => s.states = v.parse().map_err(|_| "bad states")?,
+                        "edges" => s.edges = v.parse().map_err(|_| "bad edges")?,
+                        "stopped" => s.stopped = Some(v.to_owned()),
+                        "composed_transitions" => {
+                            s.composed_transitions =
+                                v.parse().map_err(|_| "bad composed_transitions")?;
+                        }
+                        "reduced_transitions" => {
+                            s.reduced_transitions =
+                                Some(v.parse().map_err(|_| "bad reduced_transitions")?);
+                        }
+                        "dead_removed" => {
+                            s.dead_removed = v.parse().map_err(|_| "bad dead_removed")?;
+                        }
+                        "failures" => s.failures = decode_label_list(v),
+                        other => return Err(format!("unknown field `{other}`")),
+                    }
+                }
+                if !saw_receptive {
+                    return Err("verify-result missing receptive field".to_owned());
+                }
+                if s.receptive == Receptive::No && s.failures.is_empty() {
+                    return Err("non-receptive result missing failures".to_owned());
+                }
+                Ok(Response::VerifyResult(s))
+            }
             "result" => {
                 let mut s = ExploreSummary {
                     states: 0,
@@ -289,6 +975,85 @@ impl fmt::Display for Response {
     }
 }
 
+/// Prefixes a frame's text with a correlation id (`@<id> `); the
+/// identity when `corr` is `None` (v1 frames carry no id).
+pub fn with_corr(corr: Option<u64>, text: &str) -> String {
+    match corr {
+        Some(id) => format!("@{id} {text}"),
+        None => text.to_owned(),
+    }
+}
+
+/// Splits an optional `@<id> ` correlation prefix off a frame's text.
+///
+/// # Errors
+///
+/// A description of a malformed prefix (an `@` not followed by
+/// `digits `+space).
+pub fn split_corr(text: &str) -> Result<(Option<u64>, &str), String> {
+    let Some(rest) = text.strip_prefix('@') else {
+        return Ok((None, text));
+    };
+    let (id, body) = rest
+        .split_once(' ')
+        .ok_or("malformed correlation prefix (no body)")?;
+    let id = id
+        .parse()
+        .map_err(|_| format!("bad correlation id `{id}`"))?;
+    Ok((Some(id), body))
+}
+
+/// Encodes a label list as a single `key=value` word: items joined by
+/// commas with `%`, `,`, and whitespace percent-escaped (labels are
+/// arbitrary strings; command-line words must contain neither spaces
+/// nor newlines).
+fn encode_label_list(labels: &[String]) -> String {
+    let mut out = String::new();
+    for (i, l) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        for ch in l.chars() {
+            match ch {
+                '%' => out.push_str("%25"),
+                ',' => out.push_str("%2C"),
+                ' ' => out.push_str("%20"),
+                '\n' => out.push_str("%0A"),
+                '\t' => out.push_str("%09"),
+                '\r' => out.push_str("%0D"),
+                other => out.push(other),
+            }
+        }
+    }
+    out
+}
+
+fn decode_label_list(value: &str) -> Vec<String> {
+    value
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|item| {
+            let mut out = String::with_capacity(item.len());
+            let mut chars = item.chars().peekable();
+            while let Some(ch) = chars.next() {
+                if ch == '%' {
+                    let hex: String = chars.by_ref().take(2).collect();
+                    match u8::from_str_radix(&hex, 16) {
+                        Ok(b) => out.push(b as char),
+                        Err(_) => {
+                            out.push('%');
+                            out.push_str(&hex);
+                        }
+                    }
+                } else {
+                    out.push(ch);
+                }
+            }
+            out
+        })
+        .collect()
+}
+
 /// Newlines and the field separator cannot appear inside a message.
 fn escape(msg: &str) -> String {
     msg.replace(['\n', '\r'], " ")
@@ -306,15 +1071,28 @@ mod tests {
 
     const DOC: &str = "net n { places { p* q } transition \"t\" { pre: p; post: q } }";
 
+    fn reach(net: &str, max_states: usize) -> Request {
+        Request::Reach {
+            net: net.into(),
+            max_states,
+            deadline_ms: None,
+            threads: 1,
+            stream: false,
+            doc: DOC.into(),
+        }
+    }
+
     #[test]
     fn request_round_trips() {
         let reqs = [
             Request::Ping,
+            Request::Stats,
             Request::Reach {
                 net: "n".into(),
                 max_states: 500,
                 deadline_ms: Some(50),
                 threads: 1,
+                stream: false,
                 doc: DOC.into(),
             },
             Request::Reach {
@@ -322,6 +1100,7 @@ mod tests {
                 max_states: 500,
                 deadline_ms: None,
                 threads: 4,
+                stream: true,
                 doc: DOC.into(),
             },
             Request::Cover {
@@ -331,6 +1110,17 @@ mod tests {
                 threads: 2,
                 doc: DOC.into(),
             },
+            Request::Verify {
+                module: "m".into(),
+                env: "e".into(),
+                louts: vec!["req".into(), "weird,label".into()],
+                routs: vec!["ack".into()],
+                max_states: 2000,
+                deadline_ms: Some(250),
+                hide_budget: 99,
+                stream: true,
+                doc: DOC.into(),
+            },
         ];
         for req in reqs {
             assert_eq!(Request::decode(&req.encode()).unwrap(), req);
@@ -338,17 +1128,152 @@ mod tests {
     }
 
     #[test]
-    fn default_threads_stays_off_the_wire() {
-        let req = Request::Reach {
-            net: "n".into(),
-            max_states: 500,
-            deadline_ms: None,
-            threads: 1,
-            doc: DOC.into(),
+    fn batch_round_trips() {
+        let batch = Request::batch(
+            vec![
+                reach("n", 100),
+                Request::Cover {
+                    net: "n".into(),
+                    max_states: 10,
+                    deadline_ms: Some(5),
+                    threads: 1,
+                    doc: DOC.into(),
+                },
+                Request::Verify {
+                    module: "m".into(),
+                    env: "e".into(),
+                    louts: vec!["a".into()],
+                    routs: vec![],
+                    max_states: 50,
+                    deadline_ms: None,
+                    hide_budget: DEFAULT_HIDE_BUDGET,
+                    stream: false,
+                    doc: DOC.into(),
+                },
+            ],
+            Some(750),
+        )
+        .unwrap();
+        assert_eq!(Request::decode(&batch.encode()).unwrap(), batch);
+    }
+
+    #[test]
+    fn batch_rejects_unbatchable_items_at_construction() {
+        assert!(Request::batch(vec![Request::Ping], None).is_err());
+        assert!(Request::batch(vec![Request::Stats], None).is_err());
+    }
+
+    #[test]
+    fn batch_count_mismatch_rejected() {
+        let good = Request::batch(vec![reach("n", 100)], None)
+            .unwrap()
+            .encode();
+        let lying = good.replacen("batch n=1", "batch n=2", 1);
+        assert!(Request::decode(&lying).unwrap_err().contains("1 items"));
+        let lying_low = {
+            let two = Request::batch(vec![reach("n", 100), reach("n", 200)], None)
+                .unwrap()
+                .encode();
+            two.replacen("batch n=2", "batch n=1", 1)
         };
+        assert!(Request::decode(&lying_low).is_err());
+    }
+
+    #[test]
+    fn batch_item_running_past_frame_rejected() {
+        let wire = "batch n=1\nitem 99999\nshort";
+        let err = Request::decode(wire).unwrap_err();
+        assert!(err.contains("item 0"), "{err}");
+        assert!(err.contains("runs past"), "{err}");
+    }
+
+    #[test]
+    fn batch_over_item_cap_rejected_without_allocation() {
+        let wire = format!("batch n={}\n", usize::MAX);
+        let err = Request::decode(&wire).unwrap_err();
+        assert!(err.contains("cap"), "{err}");
+    }
+
+    #[test]
+    fn oversized_item_is_typed_per_item_and_siblings_survive() {
+        let limits = BatchLimits {
+            max_items: 16,
+            max_item_bytes: 32,
+        };
+        let small = "reach net=n max_states=5\n";
+        let big = format!("reach net=n max_states=5\n{}", "x".repeat(100));
+        let wire = format!(
+            "batch n=2\nitem {}\n{}\nitem {}\n{}\n",
+            big.len(),
+            big,
+            small.len(),
+            small
+        );
+        match Request::decode_with_limits(&wire, &limits).unwrap() {
+            Request::Batch { items, .. } => {
+                assert!(matches!(&items[0], BatchItem::Malformed(m) if m.contains("per-item")));
+                assert!(matches!(
+                    &items[1],
+                    BatchItem::Request(Request::Reach { .. })
+                ));
+            }
+            other => panic!("expected batch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_item_content_is_per_item_not_fatal() {
+        let bad = "frobnicate x=1";
+        let good = "reach net=n max_states=5\n";
+        let wire = format!(
+            "batch n=2\nitem {}\n{}\nitem {}\n{}\n",
+            bad.len(),
+            bad,
+            good.len(),
+            good
+        );
+        match Request::decode(&wire).unwrap() {
+            Request::Batch { items, .. } => {
+                assert!(matches!(&items[0], BatchItem::Malformed(_)));
+                assert!(matches!(&items[1], BatchItem::Request(_)));
+            }
+            other => panic!("expected batch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_batch_is_per_item_malformed() {
+        let inner = Request::batch(vec![reach("n", 5)], None).unwrap().encode();
+        let wire = format!("batch n=1\nitem {}\n{}\n", inner.len(), inner);
+        match Request::decode(&wire).unwrap() {
+            Request::Batch { items, .. } => {
+                assert!(matches!(&items[0], BatchItem::Malformed(m) if m.contains("batch")));
+            }
+            other => panic!("expected batch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn default_threads_stays_off_the_wire() {
+        let req = reach("n", 500);
         assert!(!req.encode().contains("threads="));
+        assert!(!req.encode().contains("stream="));
         // Absent on the wire decodes back to the default.
         assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+    }
+
+    #[test]
+    fn correlation_prefix_round_trips() {
+        assert_eq!(with_corr(None, "ping"), "ping");
+        assert_eq!(with_corr(Some(7), "ping"), "@7 ping");
+        assert_eq!(split_corr("ping").unwrap(), (None, "ping"));
+        assert_eq!(split_corr("@7 ping").unwrap(), (Some(7), "ping"));
+        assert_eq!(
+            split_corr("@12 reach net=n\ndoc").unwrap(),
+            (Some(12), "reach net=n\ndoc")
+        );
+        assert!(split_corr("@x ping").is_err());
+        assert!(split_corr("@7").is_err());
     }
 
     #[test]
@@ -367,6 +1292,56 @@ mod tests {
                 stopped: Some("deadline".into()),
                 detail: String::new(),
             }),
+            Response::VerifyResult(VerifySummary {
+                receptive: Receptive::No,
+                failures: vec!["req".into(), "comma,label".into()],
+                states: 40,
+                edges: 80,
+                stopped: None,
+                composed_transitions: 12,
+                reduced_transitions: Some(4),
+                dead_removed: 2,
+            }),
+            Response::VerifyResult(VerifySummary {
+                receptive: Receptive::Unknown,
+                failures: vec![],
+                states: 7,
+                edges: 9,
+                stopped: Some("deadline".into()),
+                composed_transitions: 12,
+                reduced_transitions: None,
+                dead_removed: 0,
+            }),
+            Response::Stats(StatsReply {
+                served: 10,
+                shed: 1,
+                bad_requests: 2,
+                panics: 0,
+                cache_hits: 5,
+                cache_misses: 6,
+                cache_evictions: 3,
+                cache_len: 3,
+                cache_capacity: 64,
+            }),
+            Response::Progress(ProgressUpdate {
+                stage: "explore".into(),
+                states: 4096,
+                edges: 20480,
+            }),
+            Response::Item {
+                index: 3,
+                inner: Box::new(Response::DeadlineExceeded),
+            },
+            Response::Item {
+                index: 0,
+                inner: Box::new(Response::Result(ExploreSummary {
+                    states: 2,
+                    edges: 2,
+                    stopped: None,
+                    detail: "bound=1".into(),
+                })),
+            },
+            Response::BatchDone { n: 64 },
             Response::Overloaded,
             Response::DeadlineExceeded,
             Response::BadRequest("missing `net=` option".into()),
@@ -378,6 +1353,23 @@ mod tests {
     }
 
     #[test]
+    fn finality_is_classified() {
+        assert!(Response::Pong.is_final());
+        assert!(Response::BatchDone { n: 0 }.is_final());
+        assert!(!Response::Progress(ProgressUpdate {
+            stage: "explore".into(),
+            states: 0,
+            edges: 0
+        })
+        .is_final());
+        assert!(!Response::Item {
+            index: 0,
+            inner: Box::new(Response::DeadlineExceeded)
+        }
+        .is_final());
+    }
+
+    #[test]
     fn malformed_requests_are_typed_errors() {
         assert!(Request::decode("").is_err());
         assert!(Request::decode("frobnicate x=1").is_err());
@@ -386,6 +1378,11 @@ mod tests {
         assert!(Request::decode("reach net=n bogus").is_err());
         assert!(Request::decode("reach net=n threads=many").is_err());
         assert!(Request::decode("reach net=n threads=-2").is_err());
+        assert!(Request::decode("reach net=n stream=maybe").is_err());
+        assert!(Request::decode("cover net=n stream=true").is_err());
+        assert!(Request::decode("verify env=e").is_err()); // no module=
+        assert!(Request::decode("verify module=m").is_err()); // no env=
+        assert!(Request::decode("batch deadline_ms=5\n").is_err()); // no n=
     }
 
     #[test]
@@ -394,5 +1391,9 @@ mod tests {
             Response::decode("result states=1 edges=0 complete=true stopped=deadline").is_err()
         );
         assert!(Response::decode("result states=1 edges=0 complete=false").is_err());
+        assert!(Response::decode("verify-result states=1 edges=0").is_err());
+        assert!(Response::decode("verify-result receptive=false states=1 edges=0").is_err());
+        assert!(Response::decode("item 0 progress stage=explore").is_err());
+        assert!(Response::decode("item 0 item 1 pong").is_err());
     }
 }

@@ -17,6 +17,31 @@
 //! caught per-request with `catch_unwind`; the worker survives and the
 //! client receives [`Response::InternalError`].
 //!
+//! ## Protocol v2: pipelining, batches, streaming
+//!
+//! The handshake negotiates `min(client, PROTO_VERSION)` per
+//! connection. A v1 connection keeps the strict lock-step loop above —
+//! one frame in, one frame out, byte-identical to earlier builds. A v2
+//! connection splits reading from writing: the connection thread keeps
+//! reading (and dispatching) frames while workers write responses
+//! through a shared, mutex-serialized clone of the socket, each frame
+//! tagged with the request's correlation id. That gives
+//!
+//! * **pipelining** — many requests in flight on one connection, each
+//!   answered as it finishes;
+//! * **batches** — one frame carrying N sub-requests, executed as a
+//!   single pool job that emits [`Response::Item`] frames in order and
+//!   closes with [`Response::BatchDone`]. A per-batch umbrella deadline
+//!   caps the whole batch: items not started when it passes degrade to
+//!   per-item `DeadlineExceeded` without poisoning finished siblings,
+//!   and a panicking item is caught per-item. Documents repeated across
+//!   items hash-cons through the compiled-net cache, so N items over
+//!   one net parse once;
+//! * **streaming** — `stream=true` explorations emit non-final
+//!   [`Response::Progress`] frames (geometrically growing exploration
+//!   slices; total re-exploration overhead is bounded by a constant
+//!   factor of the final run) before the final answer.
+//!
 //! ## Drain
 //!
 //! [`ServerHandle::begin_drain`] (wired to SIGTERM in the binary)
@@ -28,16 +53,25 @@
 
 use crate::cache::{CacheMiss, NetCache};
 use crate::frame::{
-    read_frame_payload, write_frame, write_handshake, FrameError, DEFAULT_MAX_FRAME,
+    read_frame_payload, read_handshake_in, write_frame, write_handshake_version, FrameError,
+    DEFAULT_MAX_FRAME, MIN_PROTO_VERSION, PROTO_VERSION,
 };
-use crate::proto::{ExploreSummary, Request, Response};
+use crate::proto::{
+    split_corr, with_corr, BatchItem, BatchLimits, ExploreSummary, ProgressUpdate, Receptive,
+    Request, Response, StatsReply, VerifySummary,
+};
 use crate::transport::{Conn, Endpoint, Listener};
+use cpn_core::{
+    check_receptiveness_composed_bounded, parallel_tracked_common,
+    reduce_against_environment_fused_bounded,
+};
 use cpn_format::ParseLimits;
 use cpn_petri::{
     reachability_bounded_parallel_compiled, Bounded, Budget, CancelScope, CoverabilityOutcome,
-    CoverabilityTree, Deadline,
+    CoverabilityTree, Deadline, Resource, Verdict,
 };
-use std::io::{self, Read};
+use std::collections::{BTreeSet, HashMap};
+use std::io::{self, BufReader, Read, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
@@ -49,6 +83,11 @@ use std::time::{Duration, Instant};
 /// are nonsense and rejected with `BadRequest` rather than clamped.
 /// Matches the exploration kernel's own worker cap.
 pub const MAX_REQUEST_THREADS: usize = 64;
+
+/// First streamed exploration slice (states); each subsequent slice is
+/// four times larger, so the re-explored prefix sums to at most a third
+/// of the final slice.
+const STREAM_FIRST_SLICE: usize = 4096;
 
 /// Tunables for a [`Server`].
 #[derive(Clone, Debug)]
@@ -78,8 +117,11 @@ pub struct ServerConfig {
     /// more are clamped here (asking for `0` or for more than
     /// [`MAX_REQUEST_THREADS`] is a `BadRequest` instead).
     pub max_threads: usize,
-    /// Parse limits for client documents.
+    /// Parse limits for client documents (also bound per-item batch
+    /// sizes).
     pub parse_limits: ParseLimits,
+    /// Cap on items in one batch frame.
+    pub max_batch_items: usize,
     /// Compiled-net cache entries.
     pub cache_capacity: usize,
 }
@@ -98,7 +140,21 @@ impl Default for ServerConfig {
             max_states_cap: 5_000_000,
             max_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
             parse_limits: ParseLimits::default(),
+            max_batch_items: crate::proto::MAX_BATCH_ITEMS,
             cache_capacity: 64,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// The batch-frame validation limits this configuration implies:
+    /// per-item text is bounded by both the frame cap and the document
+    /// parse limits, so an item can never smuggle in a document the
+    /// parser would refuse standalone.
+    fn batch_limits(&self) -> BatchLimits {
+        BatchLimits {
+            max_items: self.max_batch_items,
+            max_item_bytes: self.max_frame.min(self.parse_limits.max_input_bytes),
         }
     }
 }
@@ -108,7 +164,8 @@ impl Default for ServerConfig {
 pub struct ServerStats {
     /// Connections accepted and handshaken.
     pub accepted: u64,
-    /// Requests answered with a non-shed response.
+    /// Requests answered with a non-shed response (batch items count
+    /// individually; `batch-done` and `progress` frames do not).
     pub served: u64,
     /// Requests or connections shed with `Overloaded`.
     pub shed: u64,
@@ -151,12 +208,47 @@ struct Shared {
     drain_deadline: Mutex<Option<Deadline>>,
     cancel: CancelScope,
     active_conns: AtomicUsize,
+    /// Permits for the v2 inline fast path (see [`inline_eligible`]):
+    /// connection threads may run at most this many small queries
+    /// beside the pool, so total concurrent compute stays bounded by
+    /// `2 * workers` even with many pipelining clients.
+    inline_permits: AtomicUsize,
 }
 
 impl Shared {
     /// The deadline stamped by `begin_drain`, if draining.
     fn drain_deadline(&self) -> Option<Deadline> {
         *lock(&self.drain_deadline)
+    }
+
+    /// Updates the served / bad-request counters for one final
+    /// response (sheds are counted where they happen).
+    fn count_final(&self, response: &Response) {
+        match response {
+            Response::BadRequest(_) => {
+                self.counters.bad_requests.fetch_add(1, Ordering::SeqCst);
+            }
+            Response::Overloaded => {}
+            _ => {
+                self.counters.served.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+    }
+
+    /// A point-in-time snapshot for `Request::Stats`.
+    fn stats_reply(&self) -> StatsReply {
+        let cache = self.cache.full_stats();
+        StatsReply {
+            served: self.counters.served.load(Ordering::SeqCst),
+            shed: self.counters.shed.load(Ordering::SeqCst),
+            bad_requests: self.counters.bad_requests.load(Ordering::SeqCst),
+            panics: self.counters.panics.load(Ordering::SeqCst),
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_evictions: cache.evictions,
+            cache_len: cache.len,
+            cache_capacity: cache.capacity,
+        }
     }
 }
 
@@ -192,9 +284,145 @@ impl ServerHandle {
     }
 }
 
+/// Coalesce pending response bytes into one `write` once this many
+/// bytes accumulate, even while more completions are imminent.
+const SINK_FLUSH_BYTES: usize = 64 * 1024;
+
+/// The writer half of a [`ConnSink`]: the socket clone plus the
+/// pending coalescing buffer, guarded together so frames append and
+/// flush atomically.
+struct SinkState {
+    conn: Conn,
+    pending: Vec<u8>,
+}
+
+/// The write half of a v2 connection, shared between the connection
+/// thread and the workers computing its requests. Frames are appended
+/// whole under the mutex (concurrent completions interleave at frame
+/// granularity, never byte granularity) into a pending buffer, and the
+/// buffer is flushed with a single `write` syscall when no further
+/// completion is imminent — so a burst of pipelined or batched answers
+/// costs one syscall, not one per frame.
+struct ConnSink {
+    state: Mutex<SinkState>,
+    max_frame: usize,
+    /// Requests dispatched to the pool whose final frame has not been
+    /// written yet; the connection thread drains to zero before closing.
+    in_flight: AtomicUsize,
+    /// Requests dispatched but not yet picked up by a worker. While
+    /// nonzero, another completion is imminent and workers leave their
+    /// frames in the pending buffer for the last one to flush.
+    queued: AtomicUsize,
+    /// Set on the first write failure; workers stop computing for a
+    /// connection whose peer is gone.
+    broken: AtomicBool,
+}
+
+impl ConnSink {
+    /// Appends one frame to the pending buffer without flushing
+    /// (unless the buffer has grown past [`SINK_FLUSH_BYTES`]).
+    fn enqueue(&self, corr: Option<u64>, response: &Response) -> bool {
+        if self.broken.load(Ordering::SeqCst) {
+            return false;
+        }
+        let text = with_corr(corr, &response.encode());
+        if text.len() > self.max_frame {
+            // Our own encodings stay under the cap; treat an overrun
+            // like a dead peer rather than desynchronize the stream.
+            self.broken.store(true, Ordering::SeqCst);
+            return false;
+        }
+        let mut state = lock(&self.state);
+        state
+            .pending
+            .extend_from_slice(&(text.len() as u32).to_be_bytes());
+        state.pending.extend_from_slice(text.as_bytes());
+        if state.pending.len() >= SINK_FLUSH_BYTES {
+            return self.flush_locked(&mut state);
+        }
+        true
+    }
+
+    /// Writes everything pending in one syscall.
+    fn flush(&self) -> bool {
+        let mut state = lock(&self.state);
+        self.flush_locked(&mut state)
+    }
+
+    fn flush_locked(&self, state: &mut SinkState) -> bool {
+        if self.broken.load(Ordering::SeqCst) {
+            return false;
+        }
+        if state.pending.is_empty() {
+            return true;
+        }
+        let result = state
+            .conn
+            .write_all(&state.pending)
+            .and_then(|()| state.conn.flush());
+        state.pending.clear();
+        if result.is_err() {
+            self.broken.store(true, Ordering::SeqCst);
+            return false;
+        }
+        true
+    }
+
+    /// Appends and flushes immediately — for frames a peer is waiting
+    /// on right now (inline replies, sheds, progress updates).
+    fn send(&self, corr: Option<u64>, response: &Response) -> bool {
+        self.enqueue(corr, response) && self.flush()
+    }
+
+    /// Appends a worker's final frame, flushing only when no other
+    /// dispatched request is waiting for a worker — the common case
+    /// under pipelining is that the next completion is milliseconds
+    /// away and rides the same syscall.
+    fn send_coalesced(&self, corr: Option<u64>, response: &Response) -> bool {
+        if !self.enqueue(corr, response) {
+            return false;
+        }
+        if self.queued.load(Ordering::SeqCst) == 0 {
+            return self.flush();
+        }
+        true
+    }
+
+    fn is_broken(&self) -> bool {
+        self.broken.load(Ordering::SeqCst)
+    }
+}
+
+/// Where a worker's answer goes.
+enum Reply {
+    /// v1 lock-step: the connection thread blocks on this channel.
+    Channel(SyncSender<Response>),
+    /// v2 pipelined: the worker writes frames itself, tagged with the
+    /// request's correlation id.
+    Sink(Arc<ConnSink>, Option<u64>),
+}
+
 struct Job {
     request: Request,
-    reply: SyncSender<Response>,
+    reply: Reply,
+}
+
+/// Streaming context threaded into a handler when the client asked for
+/// progress frames (v2, non-batch only).
+struct StreamCtx<'a> {
+    sink: &'a ConnSink,
+    corr: Option<u64>,
+}
+
+impl StreamCtx<'_> {
+    fn progress(&self, stage: &str, states: usize, edges: usize) {
+        let update = ProgressUpdate {
+            stage: stage.to_owned(),
+            states,
+            edges,
+        };
+        self.sink.send(self.corr, &Response::Progress(update));
+    }
 }
 
 /// The verification daemon. Bind with [`Server::bind`], then
@@ -216,6 +444,7 @@ impl Server {
             .map(Listener::bind)
             .collect::<io::Result<Vec<_>>>()?;
         let cache = NetCache::new(config.cache_capacity, config.parse_limits);
+        let inline_slots = config.workers.max(1);
         let shared = Arc::new(Shared {
             config,
             cache,
@@ -227,6 +456,7 @@ impl Server {
             drain_deadline: Mutex::new(None),
             cancel: CancelScope::new(),
             active_conns: AtomicUsize::new(0),
+            inline_permits: AtomicUsize::new(inline_slots),
         });
         Ok(Server { listeners, shared })
     }
@@ -349,21 +579,24 @@ fn accept_conn(
 ) {
     let active = shared.active_conns.load(Ordering::SeqCst);
     if active >= shared.config.max_connections {
-        // Shed at the door: handshake so the client can read a typed
-        // refusal, then close.
+        // Shed at the door: complete the (negotiated) handshake so the
+        // client can read a typed refusal, then close.
         shared.counters.shed.fetch_add(1, Ordering::SeqCst);
         let shared = Arc::clone(shared);
         let _ = thread::Builder::new()
             .name("cpn-serve-shed".to_owned())
             .spawn(move || {
                 let mut conn = conn;
+                let _ = conn.set_read_timeout(Some(shared.config.io_timeout));
                 let _ = conn.set_write_timeout(Some(shared.config.io_timeout));
-                if write_handshake(&mut conn).is_ok() {
-                    let _ = write_frame(
-                        &mut conn,
-                        Response::Overloaded.encode().as_bytes(),
-                        shared.config.max_frame,
-                    );
+                if let Ok(peer) = read_handshake_in(&mut conn, MIN_PROTO_VERSION..=PROTO_VERSION) {
+                    if write_handshake_version(&mut conn, peer.min(PROTO_VERSION)).is_ok() {
+                        let _ = write_frame(
+                            &mut conn,
+                            Response::Overloaded.encode().as_bytes(),
+                            shared.config.max_frame,
+                        );
+                    }
                 }
             });
         return;
@@ -436,7 +669,19 @@ fn read_frame_with_timeouts(
 fn serve_conn(shared: &Arc<Shared>, mut conn: Conn, job_tx: &SyncSender<Job>) {
     let _ = conn.set_write_timeout(Some(shared.config.io_timeout));
     let _ = conn.set_read_timeout(Some(shared.config.io_timeout));
-    if crate::frame::read_handshake(&mut conn).is_err() || write_handshake(&mut conn).is_err() {
+    let peer = match read_handshake_in(&mut conn, MIN_PROTO_VERSION..=PROTO_VERSION) {
+        Ok(v) => v,
+        Err(_) => {
+            shared
+                .counters
+                .handshake_failures
+                .fetch_add(1, Ordering::SeqCst);
+            conn.shutdown();
+            return;
+        }
+    };
+    let version = peer.min(PROTO_VERSION);
+    if write_handshake_version(&mut conn, version).is_err() {
         shared
             .counters
             .handshake_failures
@@ -445,7 +690,17 @@ fn serve_conn(shared: &Arc<Shared>, mut conn: Conn, job_tx: &SyncSender<Job>) {
         return;
     }
     shared.counters.accepted.fetch_add(1, Ordering::SeqCst);
+    if version >= 2 {
+        serve_conn_v2(shared, conn, job_tx);
+    } else {
+        serve_conn_v1(shared, conn, job_tx);
+    }
+}
 
+/// The v1 lock-step loop: one frame in, one frame out, the connection
+/// thread blocking on the worker's reply. Byte-identical to earlier
+/// builds — a v1 client cannot observe the upgrade.
+fn serve_conn_v1(shared: &Arc<Shared>, mut conn: Conn, job_tx: &SyncSender<Job>) {
     loop {
         let payload = match read_frame_with_timeouts(shared, &mut conn) {
             Ok(Some(p)) => p,
@@ -464,22 +719,17 @@ fn serve_conn(shared: &Arc<Shared>, mut conn: Conn, job_tx: &SyncSender<Job>) {
         };
         let response = match std::str::from_utf8(&payload) {
             Err(_) => Response::BadRequest("request is not UTF-8".to_owned()),
-            Ok(text) => match Request::decode(text) {
+            Ok(text) => match Request::decode_with_limits(text, &shared.config.batch_limits()) {
                 Err(msg) => Response::BadRequest(msg),
                 Ok(Request::Ping) => Response::Pong,
-                Ok(request) => dispatch(shared, request, job_tx),
+                Ok(Request::Stats) => Response::Stats(shared.stats_reply()),
+                Ok(Request::Batch { .. }) => {
+                    Response::BadRequest("batch requires protocol v2".to_owned())
+                }
+                Ok(request) => dispatch_v1(shared, request, job_tx),
             },
         };
-        match &response {
-            Response::BadRequest(_) => {
-                shared.counters.bad_requests.fetch_add(1, Ordering::SeqCst);
-            }
-            // Sheds are counted where they happen (queue or door).
-            Response::Overloaded => {}
-            _ => {
-                shared.counters.served.fetch_add(1, Ordering::SeqCst);
-            }
-        }
+        shared.count_final(&response);
         if write_frame(
             &mut conn,
             response.encode().as_bytes(),
@@ -493,9 +743,275 @@ fn serve_conn(shared: &Arc<Shared>, mut conn: Conn, job_tx: &SyncSender<Job>) {
     conn.shutdown();
 }
 
+/// The v2 pipelined loop: the connection thread only reads and
+/// dispatches; workers write through the shared [`ConnSink`]. Inline
+/// verbs (`ping`, `stats`) are answered from this thread so they never
+/// queue behind compute.
+fn serve_conn_v2(shared: &Arc<Shared>, conn: Conn, job_tx: &SyncSender<Job>) {
+    let writer = match conn.try_clone() {
+        Ok(w) => w,
+        Err(_) => {
+            conn.shutdown();
+            return;
+        }
+    };
+    let _ = writer.set_write_timeout(Some(shared.config.io_timeout));
+    let sink = Arc::new(ConnSink {
+        state: Mutex::new(SinkState {
+            conn: writer,
+            pending: Vec::new(),
+        }),
+        max_frame: shared.config.max_frame,
+        in_flight: AtomicUsize::new(0),
+        queued: AtomicUsize::new(0),
+        broken: AtomicBool::new(false),
+    });
+    let limits = shared.config.batch_limits();
+    // Buffer reads: a pipelined burst of small request frames arrives
+    // in one TCP segment and is parsed from one `read` syscall.
+    let mut reader = BufReader::with_capacity(64 * 1024, conn);
+    // Sticky "this peer pipelines" bit: set the first time a frame
+    // arrives with another already buffered behind it. It lets the
+    // *tail* frame of a burst take the inline fast path too — without
+    // it every burst pays one pool handoff, which dominates the cost
+    // of a burst of microsecond queries.
+    let mut bursty = false;
+
+    loop {
+        if sink.is_broken() {
+            break;
+        }
+        let payload = match read_frame_buffered(shared, &mut reader) {
+            Ok(Some(p)) => p,
+            Ok(None) => break, // drain/hard stop, peer idle
+            Err(FrameError::Oversized { claimed, max }) => {
+                let resp = Response::BadRequest(format!(
+                    "frame of {claimed} bytes exceeds the {max}-byte cap"
+                ));
+                shared.count_final(&resp);
+                sink.send(None, &resp);
+                break; // stream desynchronized
+            }
+            Err(_) => break,
+        };
+        let (corr, body) = match std::str::from_utf8(&payload) {
+            Err(_) => {
+                let resp = Response::BadRequest("request is not UTF-8".to_owned());
+                shared.count_final(&resp);
+                sink.send(None, &resp);
+                continue;
+            }
+            Ok(text) => match split_corr(text) {
+                Ok(split) => split,
+                Err(msg) => {
+                    let resp = Response::BadRequest(msg);
+                    shared.count_final(&resp);
+                    sink.send(None, &resp);
+                    continue;
+                }
+            },
+        };
+        match Request::decode_with_limits(body, &limits) {
+            Err(msg) => {
+                let resp = Response::BadRequest(msg);
+                shared.count_final(&resp);
+                sink.send(corr, &resp);
+            }
+            Ok(Request::Ping) => {
+                shared.count_final(&Response::Pong);
+                sink.send(corr, &Response::Pong);
+            }
+            Ok(Request::Stats) => {
+                let resp = Response::Stats(shared.stats_reply());
+                shared.count_final(&resp);
+                sink.send(corr, &resp);
+            }
+            Ok(request) => {
+                // Fast path for pipelined bursts: when another complete
+                // frame is already waiting in the read buffer, a small
+                // query over an already-compiled net runs right here —
+                // the pool handoff costs two context switches that
+                // dwarf the exploration itself. A lock-step client
+                // (empty buffer) stays on the pool: it is RTT-bound, so
+                // inlining buys nothing and the read loop stays free.
+                let more = frame_buffered(&reader);
+                bursty |= more;
+                if bursty
+                    && !shared.draining.load(Ordering::SeqCst)
+                    && inline_eligible(shared, &request)
+                    && try_acquire_inline(shared)
+                {
+                    let response = run_guarded(shared, &request, None, None);
+                    shared.inline_permits.fetch_add(1, Ordering::SeqCst);
+                    shared.count_final(&response);
+                    if more {
+                        // Coalesce behind the burst: the next frame's
+                        // own send (or the post-loop flush) carries
+                        // this reply.
+                        sink.enqueue(corr, &response);
+                    } else {
+                        // Tail of the burst: flush everything in one
+                        // write before blocking on the socket again.
+                        sink.send(corr, &response);
+                    }
+                } else {
+                    // Pool handoff: flush any replies the fast path
+                    // coalesced first, so they are not stranded behind
+                    // pooled compute.
+                    sink.flush();
+                    if let Some(resp) = dispatch_v2(shared, request, corr, &sink, job_tx) {
+                        // Shed (never queued): answer from this thread.
+                        sink.send(corr, &resp);
+                    }
+                }
+            }
+        }
+    }
+
+    // Stop reading, but let dispatched work flush its final frames
+    // before the socket closes — a pipelined client is owed exactly one
+    // final frame per accepted request.
+    let grace =
+        shared.config.drain_grace.max(shared.config.io_timeout) + shared.config.default_deadline;
+    let wait_until = Instant::now() + grace;
+    while sink.in_flight.load(Ordering::SeqCst) > 0
+        && !sink.is_broken()
+        && Instant::now() < wait_until
+    {
+        thread::sleep(Duration::from_millis(5));
+    }
+    sink.flush(); // anything a worker left coalesced goes out first
+    reader.into_inner().shutdown();
+}
+
+/// [`read_frame_with_timeouts`] over a buffered reader: identical idle
+/// and I/O timeout behavior, but consecutive small frames are served
+/// from one underlying `read`. Timeouts only bite when the buffer is
+/// empty and the socket is actually consulted.
+fn read_frame_buffered(
+    shared: &Shared,
+    reader: &mut BufReader<Conn>,
+) -> Result<Option<Vec<u8>>, FrameError> {
+    let poll = Duration::from_millis(200);
+    let started = Instant::now();
+    let mut first = [0u8; 1];
+    loop {
+        reader.get_mut().set_read_timeout(Some(poll))?;
+        match reader.read(&mut first) {
+            Ok(0) => {
+                return Err(FrameError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "peer closed",
+                )))
+            }
+            Ok(_) => break,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if shared.hard_stop.load(Ordering::SeqCst) || shared.draining.load(Ordering::SeqCst)
+                {
+                    return Ok(None);
+                }
+                if started.elapsed() >= shared.config.idle_timeout {
+                    return Err(FrameError::Io(e));
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    reader
+        .get_mut()
+        .set_read_timeout(Some(shared.config.io_timeout))?;
+    let mut rest = [0u8; 3];
+    reader.read_exact(&mut rest)?;
+    let claimed = u32::from_be_bytes([first[0], rest[0], rest[1], rest[2]]) as usize;
+    read_frame_payload(reader, claimed, shared.config.max_frame).map(Some)
+}
+
+/// Ceiling on `max_states` for the inline fast path: an exploration
+/// this small finishes in microseconds, so running it on the
+/// connection thread costs less than waking a worker for it.
+const INLINE_MAX_STATES: usize = 10_000;
+
+/// Whether the read buffer already holds a complete frame — i.e. the
+/// connection thread will process another request before it can block
+/// on the socket, so a fast-path reply may coalesce behind it.
+fn frame_buffered(reader: &BufReader<Conn>) -> bool {
+    let buf = reader.buffer();
+    buf.len() >= 4 && buf.len() - 4 >= u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize
+}
+
+/// Whether a request may run on the connection thread instead of the
+/// pool: a non-streaming reach/cover query capped small enough
+/// ([`INLINE_MAX_STATES`]) to finish in microseconds, over a net that
+/// is already compiled (a cache miss would put an unbounded parse on
+/// the read loop). Routing hint only — the answer is byte-identical on
+/// either path.
+fn inline_eligible(shared: &Shared, request: &Request) -> bool {
+    let (net, doc, max_states) = match request {
+        Request::Reach {
+            stream: false,
+            net,
+            doc,
+            max_states,
+            ..
+        } => (net, doc, max_states),
+        Request::Cover {
+            net,
+            doc,
+            max_states,
+            ..
+        } => (net, doc, max_states),
+        _ => return false,
+    };
+    *max_states <= INLINE_MAX_STATES && shared.cache.peek(doc, net)
+}
+
+/// Takes one inline permit if any are free. Released by incrementing
+/// [`Shared::inline_permits`] after the inline run.
+fn try_acquire_inline(shared: &Shared) -> bool {
+    shared
+        .inline_permits
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+        .is_ok()
+}
+
+/// Queues a compute request for the v2 path. Returns `Some(shed
+/// response)` when the request never reached the pool, `None` when a
+/// worker now owns answering it.
+fn dispatch_v2(
+    shared: &Arc<Shared>,
+    request: Request,
+    corr: Option<u64>,
+    sink: &Arc<ConnSink>,
+    job_tx: &SyncSender<Job>,
+) -> Option<Response> {
+    if shared.draining.load(Ordering::SeqCst) {
+        shared.counters.shed.fetch_add(1, Ordering::SeqCst);
+        return Some(Response::Overloaded);
+    }
+    // Count in-flight before the send: the worker may finish (and
+    // decrement) before try_send even returns.
+    sink.in_flight.fetch_add(1, Ordering::SeqCst);
+    sink.queued.fetch_add(1, Ordering::SeqCst);
+    match job_tx.try_send(Job {
+        request,
+        reply: Reply::Sink(Arc::clone(sink), corr),
+    }) {
+        Ok(()) => None,
+        Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => {
+            sink.queued.fetch_sub(1, Ordering::SeqCst);
+            sink.in_flight.fetch_sub(1, Ordering::SeqCst);
+            shared.counters.shed.fetch_add(1, Ordering::SeqCst);
+            Some(Response::Overloaded)
+        }
+    }
+}
+
 /// Queues a compute request, shedding when full, and waits for the
-/// worker's reply.
-fn dispatch(shared: &Arc<Shared>, request: Request, job_tx: &SyncSender<Job>) -> Response {
+/// worker's reply (v1 lock-step path).
+fn dispatch_v1(shared: &Arc<Shared>, request: Request, job_tx: &SyncSender<Job>) -> Response {
     if shared.draining.load(Ordering::SeqCst) {
         // New work during drain is shed; only already-queued requests
         // finish.
@@ -509,14 +1025,10 @@ fn dispatch(shared: &Arc<Shared>, request: Request, job_tx: &SyncSender<Job>) ->
     let (reply_tx, reply_rx) = sync_channel(1);
     match job_tx.try_send(Job {
         request,
-        reply: reply_tx,
+        reply: Reply::Channel(reply_tx),
     }) {
         Ok(()) => {}
-        Err(TrySendError::Full(_)) => {
-            shared.counters.shed.fetch_add(1, Ordering::SeqCst);
-            return Response::Overloaded;
-        }
-        Err(TrySendError::Disconnected(_)) => {
+        Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => {
             shared.counters.shed.fetch_add(1, Ordering::SeqCst);
             return Response::Overloaded;
         }
@@ -539,19 +1051,21 @@ fn worker_loop(shared: &Arc<Shared>, rx: &Arc<Mutex<Receiver<Job>>>) {
             guard.recv_timeout(Duration::from_millis(100))
         };
         match job {
-            Ok(job) => {
-                let response =
-                    catch_unwind(AssertUnwindSafe(|| handle_request(shared, &job.request)))
-                        .unwrap_or_else(|panic| {
-                            shared.counters.panics.fetch_add(1, Ordering::SeqCst);
-                            Response::InternalError(format!(
-                                "worker panicked: {}",
-                                panic_message(&panic)
-                            ))
-                        });
-                // The connection thread may have timed out and gone.
-                let _ = job.reply.send(response);
-            }
+            Ok(job) => match job.reply {
+                Reply::Channel(tx) => {
+                    let response = run_guarded(shared, &job.request, None, None);
+                    // The connection thread may have timed out and gone.
+                    // (v1 counts finals on the connection thread.)
+                    let _ = tx.send(response);
+                }
+                Reply::Sink(sink, corr) => {
+                    // No longer waiting for a worker: completions
+                    // behind this one shouldn't hold the flush.
+                    sink.queued.fetch_sub(1, Ordering::SeqCst);
+                    run_v2_job(shared, &job.request, &sink, corr);
+                    sink.in_flight.fetch_sub(1, Ordering::SeqCst);
+                }
+            },
             Err(RecvTimeoutError::Timeout) => {
                 if shared.stop_workers.load(Ordering::SeqCst) {
                     return;
@@ -562,10 +1076,139 @@ fn worker_loop(shared: &Arc<Shared>, rx: &Arc<Mutex<Receiver<Job>>>) {
     }
 }
 
+/// Runs one request's handler inside `catch_unwind`, converting a panic
+/// into `InternalError` (and counting it) without killing the worker.
+fn run_guarded(
+    shared: &Shared,
+    request: &Request,
+    umbrella: Option<Deadline>,
+    stream: Option<&StreamCtx<'_>>,
+) -> Response {
+    catch_unwind(AssertUnwindSafe(|| {
+        handle_request_opts(shared, request, umbrella, stream)
+    }))
+    .unwrap_or_else(|panic| {
+        shared.counters.panics.fetch_add(1, Ordering::SeqCst);
+        Response::InternalError(format!("worker panicked: {}", panic_message(&panic)))
+    })
+}
+
+/// Executes one v2 job end-to-end: computes, counts, and writes every
+/// frame it owes (per-item frames and `batch-done` for a batch, the
+/// single final otherwise).
+fn run_v2_job(shared: &Shared, request: &Request, sink: &ConnSink, corr: Option<u64>) {
+    match request {
+        Request::Batch { deadline_ms, items } => {
+            // Umbrella deadline for the whole batch, capped by the
+            // server default and the drain deadline like any single
+            // request's.
+            let mut umbrella = Deadline::after(
+                deadline_ms
+                    .map(Duration::from_millis)
+                    .unwrap_or(shared.config.default_deadline)
+                    .min(shared.config.default_deadline),
+            );
+            if let Some(dd) = shared.drain_deadline() {
+                umbrella = umbrella.min(dd);
+            }
+            // Repeated identical items hash-cons their *answers*: the
+            // kernel's determinism contract makes a completed or
+            // states-exhausted verdict a pure function of the request,
+            // so byte-identical items share one computation. Verdicts
+            // cut short by wall-clock (deadline/cancel) are not pure
+            // and always recompute.
+            let mut memo: HashMap<String, Response> = HashMap::new();
+            for (index, item) in items.iter().enumerate() {
+                // A gone peer makes the remaining compute pointless.
+                if sink.is_broken() {
+                    return;
+                }
+                let inner = match item {
+                    BatchItem::Malformed(msg) => {
+                        Response::BadRequest(format!("item {index}: {msg}"))
+                    }
+                    BatchItem::Request(_) if umbrella.expired() => {
+                        // Umbrella over: unstarted items degrade to
+                        // typed partials; finished siblings stand.
+                        shared
+                            .counters
+                            .deadline_rejected
+                            .fetch_add(1, Ordering::SeqCst);
+                        Response::DeadlineExceeded
+                    }
+                    BatchItem::Request(req) => {
+                        let key = req.encode();
+                        match memo.get(&key) {
+                            Some(hit) => hit.clone(),
+                            None => {
+                                let resp = run_guarded(shared, req, Some(umbrella), None);
+                                if response_is_pure(&resp) {
+                                    memo.insert(key, resp.clone());
+                                }
+                                resp
+                            }
+                        }
+                    }
+                };
+                shared.count_final(&inner);
+                // Items coalesce in the sink (the client reads nothing
+                // until `batch-done` anyway); size overflow flushes.
+                sink.enqueue(
+                    corr,
+                    &Response::Item {
+                        index,
+                        inner: Box::new(inner),
+                    },
+                );
+            }
+            // Always close the batch, even when every item degraded —
+            // the client's collect loop keys on this frame. This send
+            // flushes the whole batch in one write.
+            sink.send(corr, &Response::BatchDone { n: items.len() });
+        }
+        _ => {
+            let wants_stream = matches!(
+                request,
+                Request::Reach { stream: true, .. } | Request::Verify { stream: true, .. }
+            );
+            let ctx = StreamCtx { sink, corr };
+            let response = run_guarded(shared, request, None, wants_stream.then_some(&ctx));
+            shared.count_final(&response);
+            sink.send_coalesced(corr, &response);
+        }
+    }
+}
+
+/// Whether a response is a pure function of its request — reusable for
+/// a byte-identical sibling in the same batch. Complete verdicts and
+/// states-exhausted partials are deterministic (the kernel's contract);
+/// anything the wall clock or a cancellation shaped is not.
+fn response_is_pure(resp: &Response) -> bool {
+    let deterministic_stop = |stopped: &Option<String>| {
+        !matches!(stopped.as_deref(), Some("deadline") | Some("cancelled"))
+    };
+    match resp {
+        Response::Result(s) => deterministic_stop(&s.stopped),
+        Response::VerifyResult(v) => deterministic_stop(&v.stopped),
+        Response::BadRequest(_) => true,
+        _ => false,
+    }
+}
+
 /// Computes one request under its budget. Runs inside `catch_unwind`.
-fn handle_request(shared: &Shared, request: &Request) -> Response {
+fn handle_request_opts(
+    shared: &Shared,
+    request: &Request,
+    umbrella: Option<Deadline>,
+    stream: Option<&StreamCtx<'_>>,
+) -> Response {
     let (net_name, max_states, threads, doc, is_cover) = match request {
         Request::Ping => return Response::Pong,
+        Request::Stats => return Response::Stats(shared.stats_reply()),
+        Request::Batch { .. } => {
+            return Response::BadRequest("batch requires protocol v2".to_owned())
+        }
+        Request::Verify { .. } => return handle_verify(shared, request, umbrella, stream),
         Request::Reach {
             net,
             max_states,
@@ -600,27 +1243,11 @@ fn handle_request(shared: &Shared, request: &Request) -> Response {
         panic!("chaos hook: deliberate worker panic");
     }
 
-    // Budget: client's caps clamped by the server's, the deadline shrunk
-    // to the drain deadline when draining, the server's cancel token.
-    let mut deadline = Deadline::after(
-        request
-            .deadline()
-            .unwrap_or(shared.config.default_deadline)
-            .min(shared.config.default_deadline),
-    );
-    if let Some(dd) = shared.drain_deadline() {
-        deadline = deadline.min(dd);
-    }
-    if deadline.expired() {
-        shared
-            .counters
-            .deadline_rejected
-            .fetch_add(1, Ordering::SeqCst);
-        return Response::DeadlineExceeded;
-    }
-    let budget = Budget::states(max_states.min(shared.config.max_states_cap))
-        .with_deadline_at(deadline)
-        .with_cancel(shared.cancel.token());
+    let deadline = match effective_deadline(shared, request, umbrella) {
+        Some(d) => d,
+        None => return Response::DeadlineExceeded,
+    };
+    let cap = max_states.min(shared.config.max_states_cap);
 
     let cached = match shared.cache.get_or_compile(doc, net_name) {
         Ok(c) => c,
@@ -631,6 +1258,9 @@ fn handle_request(shared: &Shared, request: &Request) -> Response {
     };
 
     let summary = if is_cover {
+        let budget = Budget::states(cap)
+            .with_deadline_at(deadline)
+            .with_cancel(shared.cancel.token());
         match CoverabilityTree::build_bounded(&cached.net, &budget) {
             Bounded::Complete(tree) => {
                 let detail = match tree.outcome() {
@@ -654,26 +1284,214 @@ fn handle_request(shared: &Shared, request: &Request) -> Response {
             },
         }
     } else {
+        explore_reach(shared, &cached, cap, deadline, threads, stream)
+    };
+    Response::Result(summary)
+}
+
+/// The shrunk per-request deadline (client's, server default, batch
+/// umbrella, drain), or `None` when it has already passed.
+fn effective_deadline(
+    shared: &Shared,
+    request: &Request,
+    umbrella: Option<Deadline>,
+) -> Option<Deadline> {
+    let mut deadline = Deadline::after(
+        request
+            .deadline()
+            .unwrap_or(shared.config.default_deadline)
+            .min(shared.config.default_deadline),
+    );
+    if let Some(u) = umbrella {
+        deadline = deadline.min(u);
+    }
+    if let Some(dd) = shared.drain_deadline() {
+        deadline = deadline.min(dd);
+    }
+    if deadline.expired() {
+        shared
+            .counters
+            .deadline_rejected
+            .fetch_add(1, Ordering::SeqCst);
+        return None;
+    }
+    Some(deadline)
+}
+
+/// Reachability, optionally streamed. The streamed variant re-explores
+/// in geometrically growing slices (×4), emitting a `progress` frame
+/// after each exhausted slice; because the slices grow geometrically,
+/// the re-explored prefixes sum to less than a third of the final
+/// exploration, and the final answer is byte-identical to the
+/// unstreamed one (the kernel is deterministic under a states cap).
+fn explore_reach(
+    shared: &Shared,
+    cached: &crate::cache::CachedNet,
+    cap: usize,
+    deadline: Deadline,
+    threads: usize,
+    stream: Option<&StreamCtx<'_>>,
+) -> ExploreSummary {
+    let mut slice = match stream {
+        Some(_) => STREAM_FIRST_SLICE.min(cap),
+        None => cap,
+    };
+    loop {
+        let budget = Budget::states(slice)
+            .with_deadline_at(deadline)
+            .with_cancel(shared.cancel.token());
         // The lock-free kernel's output is byte-identical to the
         // sequential one, so the thread count never changes an answer —
         // only how fast it arrives.
         match reachability_bounded_parallel_compiled(&cached.compiled, &cached.m0, &budget, threads)
         {
-            Bounded::Complete(rg) => ExploreSummary {
-                states: rg.state_count(),
-                edges: rg.edge_count(),
-                stopped: None,
-                detail: format!("bound={}", rg.token_bound()),
-            },
-            Bounded::Exhausted { partial, info } => ExploreSummary {
-                states: partial.state_count(),
-                edges: partial.edge_count(),
-                stopped: Some(info.resource.to_string()),
-                detail: String::new(),
-            },
+            Bounded::Complete(rg) => {
+                return ExploreSummary {
+                    states: rg.state_count(),
+                    edges: rg.edge_count(),
+                    stopped: None,
+                    detail: format!("bound={}", rg.token_bound()),
+                }
+            }
+            Bounded::Exhausted { partial, info } => {
+                if slice < cap && matches!(info.resource, Resource::States) {
+                    if let Some(ctx) = stream {
+                        ctx.progress("explore", partial.state_count(), partial.edge_count());
+                    }
+                    slice = slice.saturating_mul(4).min(cap);
+                    continue;
+                }
+                return ExploreSummary {
+                    states: partial.state_count(),
+                    edges: partial.edge_count(),
+                    stopped: Some(info.resource.to_string()),
+                    detail: String::new(),
+                };
+            }
+        }
+    }
+}
+
+/// The paper pipeline server-side: compose, check receptiveness, reduce
+/// against the environment — each stage under the one shared budget,
+/// each stage boundary streamed when asked.
+fn handle_verify(
+    shared: &Shared,
+    request: &Request,
+    umbrella: Option<Deadline>,
+    stream: Option<&StreamCtx<'_>>,
+) -> Response {
+    let Request::Verify {
+        module,
+        env,
+        louts,
+        routs,
+        max_states,
+        hide_budget,
+        doc,
+        ..
+    } = request
+    else {
+        return Response::InternalError("handle_verify on non-verify request".to_owned());
+    };
+    let deadline = match effective_deadline(shared, request, umbrella) {
+        Some(d) => d,
+        None => return Response::DeadlineExceeded,
+    };
+    let cap = (*max_states).min(shared.config.max_states_cap);
+    let budget = Budget::states(cap)
+        .with_deadline_at(deadline)
+        .with_cancel(shared.cancel.token());
+
+    // Both nets come out of the same cache the single-request paths
+    // use, so a batch fanning one document across many (module, env)
+    // pairs parses it once.
+    let module_net = match shared.cache.get_or_compile(doc, module) {
+        Ok(c) => c,
+        Err(CacheMiss::Parse(msg)) => return Response::BadRequest(format!("parse error: {msg}")),
+        Err(CacheMiss::NoSuchNet(name)) => {
+            return Response::BadRequest(format!("no net named `{name}` in document"))
         }
     };
-    Response::Result(summary)
+    let env_net = match shared.cache.get_or_compile(doc, env) {
+        Ok(c) => c,
+        Err(CacheMiss::Parse(msg)) => return Response::BadRequest(format!("parse error: {msg}")),
+        Err(CacheMiss::NoSuchNet(name)) => {
+            return Response::BadRequest(format!("no net named `{name}` in document"))
+        }
+    };
+    let louts: BTreeSet<String> = louts.iter().cloned().collect();
+    let routs: BTreeSet<String> = routs.iter().cloned().collect();
+
+    let comp = match parallel_tracked_common(&module_net.net, &env_net.net) {
+        Ok(c) => c,
+        Err(err) => return Response::BadRequest(format!("composition failed: {err}")),
+    };
+    let composed_transitions = comp.net.transition_count();
+    if let Some(ctx) = stream {
+        ctx.progress("composed", 0, composed_transitions);
+    }
+
+    // Stage 2: receptiveness of the composition (Propositions 5.5/5.6).
+    let verdict = check_receptiveness_composed_bounded(&comp, &louts, &routs, &budget);
+    let (receptive, failures, states, edges, mut stopped) = match verdict {
+        Verdict::Holds => (Receptive::Yes, Vec::new(), 0, 0, None),
+        Verdict::Fails(report) => {
+            let labels = report.failures.into_iter().map(|f| f.label).collect();
+            (Receptive::No, labels, 0, 0, None)
+        }
+        Verdict::Unknown(info) => (
+            Receptive::Unknown,
+            Vec::new(),
+            info.states_explored,
+            info.transitions_explored,
+            Some(info.resource.to_string()),
+        ),
+    };
+    if let Some(ctx) = stream {
+        ctx.progress("checked", states, edges);
+    }
+
+    // Stage 3: reduce the module against the environment — skipped
+    // entirely once the budget is spent (the partial receptiveness
+    // verdict is already the most the client can get).
+    let mut reduced_transitions = None;
+    let mut dead_removed = 0;
+    if budget.interrupted().is_none() && stopped.is_none() {
+        match reduce_against_environment_fused_bounded(
+            &module_net.net,
+            &env_net.net,
+            &budget,
+            *hide_budget,
+        ) {
+            Ok(Bounded::Complete(red)) => {
+                reduced_transitions = Some(red.net.transition_count());
+                dead_removed = red.dead_removed;
+                if let Some(ctx) = stream {
+                    ctx.progress("reduced", 0, red.net.transition_count());
+                }
+            }
+            Ok(Bounded::Exhausted { partial, info }) => {
+                dead_removed = partial.dead_removed;
+                stopped = Some(info.resource.to_string());
+            }
+            // Divergent hiding is a property of the submitted nets
+            // (unbounded internal behaviour), not of the server: typed
+            // rejection, like a parse failure.
+            Err(err) => return Response::BadRequest(format!("reduction failed: {err}")),
+        }
+    }
+
+    Response::VerifyResult(VerifySummary {
+        receptive,
+        failures,
+        states,
+        edges,
+        stopped,
+        composed_transitions,
+        reduced_transitions,
+        dead_removed,
+    })
 }
 
 fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {

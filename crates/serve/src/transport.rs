@@ -86,6 +86,21 @@ impl Conn {
         }
     }
 
+    /// Clones the connection handle (both halves share one socket) —
+    /// the pipelined serving path reads frames on the connection thread
+    /// while workers write responses through a clone.
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] if the OS refuses to duplicate the descriptor.
+    pub fn try_clone(&self) -> io::Result<Conn> {
+        match self {
+            Conn::Tcp(s) => s.try_clone().map(Conn::Tcp),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.try_clone().map(Conn::Unix),
+        }
+    }
+
     /// Shuts down both directions, unblocking any pending peer read.
     pub fn shutdown(&self) {
         match self {

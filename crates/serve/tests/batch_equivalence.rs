@@ -1,0 +1,207 @@
+//! Equivalence property from the issue's acceptance criteria: a batch
+//! of N requests, and N pipelined requests, produce responses
+//! **byte-identical** to N sequential single requests on a lock-step
+//! connection — including typed partial verdicts (`DeadlineExceeded`,
+//! states-exhausted partial results), `threads=` variants, and
+//! per-item errors.
+//!
+//! Determinism hinges on the kernel's exploration contract: under a
+//! fixed `max_states` cap the explored prefix is a pure function of
+//! the net, so even truncated answers replay exactly.
+
+use cpn_serve::{Client, Endpoint, PipelinedClient, Request, Response, Server, ServerConfig};
+use std::time::Duration;
+
+const SMALL_NET: &str = r#"net small {
+    places { p* q }
+    transition "a" { pre: p; post: q }
+    transition "b" { pre: q; post: p }
+}"#;
+
+const HANDSHAKE_DOC: &str = r#"net producer {
+    places { a0* a1 }
+    transition "req" { pre: a0; post: a1 }
+    transition "ack" { pre: a1; post: a0 }
+}
+
+net consumer {
+    places { b0* b1 }
+    transition "req" { pre: b0; post: b1 }
+    transition "ack" { pre: b1; post: b0 }
+}"#;
+
+fn toggles_doc(n: usize) -> String {
+    let mut doc = String::from("net boom {\n    places {");
+    for i in 0..n {
+        doc.push_str(&format!(" a{i}* b{i}"));
+    }
+    doc.push_str(" }\n");
+    for i in 0..n {
+        doc.push_str(&format!(
+            "    transition \"up{i}\" {{ pre: a{i}; post: b{i} }}\n"
+        ));
+        doc.push_str(&format!(
+            "    transition \"down{i}\" {{ pre: b{i}; post: a{i} }}\n"
+        ));
+    }
+    doc.push('}');
+    doc
+}
+
+/// The deterministic request mix. Every case has exactly one possible
+/// typed answer, so byte-comparison is sound:
+///
+/// * complete reach / cover on a tiny net,
+/// * a states-exhausted partial (`max_states` below the state count),
+/// * a `threads=2` variant (kernel answers are thread-count invariant),
+/// * `deadline_ms=0`, already expired on arrival → `DeadlineExceeded`,
+/// * a missing net name → `BadRequest`,
+/// * a server-side `verify` of the handshake pair.
+fn request_mix() -> Vec<Request> {
+    let boom = toggles_doc(10); // 1024 states
+    vec![
+        Request::Reach {
+            net: "small".into(),
+            max_states: 1000,
+            deadline_ms: None,
+            threads: 1,
+            stream: false,
+            doc: SMALL_NET.into(),
+        },
+        Request::Cover {
+            net: "small".into(),
+            max_states: 1000,
+            deadline_ms: None,
+            threads: 1,
+            doc: SMALL_NET.into(),
+        },
+        Request::Reach {
+            net: "boom".into(),
+            max_states: 100,
+            deadline_ms: None,
+            threads: 1,
+            stream: false,
+            doc: boom.clone(),
+        },
+        Request::Reach {
+            net: "boom".into(),
+            max_states: 100_000,
+            deadline_ms: None,
+            threads: 2,
+            stream: false,
+            doc: boom.clone(),
+        },
+        Request::Reach {
+            net: "boom".into(),
+            max_states: 100_000,
+            deadline_ms: Some(0),
+            threads: 1,
+            stream: false,
+            doc: boom,
+        },
+        Request::Reach {
+            net: "ghost".into(),
+            max_states: 10,
+            deadline_ms: None,
+            threads: 1,
+            stream: false,
+            doc: SMALL_NET.into(),
+        },
+        Request::Verify {
+            module: "producer".into(),
+            env: "consumer".into(),
+            louts: vec!["req".into()],
+            routs: vec!["ack".into()],
+            max_states: 100_000,
+            deadline_ms: None,
+            hide_budget: 10_000,
+            stream: false,
+            doc: HANDSHAKE_DOC.into(),
+        },
+    ]
+}
+
+fn start() -> (
+    Endpoint,
+    cpn_serve::ServerHandle,
+    std::thread::JoinHandle<cpn_serve::ServerStats>,
+) {
+    let config = ServerConfig {
+        workers: 4,
+        queue_depth: 32,
+        default_deadline: Duration::from_secs(30),
+        drain_grace: Duration::from_secs(2),
+        idle_timeout: Duration::from_secs(5),
+        io_timeout: Duration::from_secs(5),
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(&[Endpoint::Tcp("127.0.0.1:0".into())], config).expect("bind");
+    let ep = server.local_endpoints().expect("endpoints").remove(0);
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run());
+    (ep, handle, join)
+}
+
+fn sequential_baseline(ep: &Endpoint, reqs: &[Request]) -> Vec<String> {
+    let mut client = Client::connect(ep).expect("connect");
+    reqs.iter()
+        .map(|r| client.request(r).expect("sequential response").encode())
+        .collect()
+}
+
+#[test]
+fn batch_responses_byte_identical_to_sequential() {
+    let (ep, handle, join) = start();
+    let reqs = request_mix();
+    let baseline = sequential_baseline(&ep, &reqs);
+
+    let mut client = Client::connect(&ep).expect("connect");
+    // No umbrella deadline: per-item behavior must match the
+    // sequential requests, where only the items' own deadlines apply.
+    let replies = client.batch(reqs.clone(), None).expect("batch");
+    let got: Vec<String> = replies.iter().map(Response::encode).collect();
+    assert_eq!(
+        got, baseline,
+        "batch items must be byte-identical to sequential answers"
+    );
+
+    // Repeat the batch: cache hits must not change any byte either.
+    let replies = client.batch(reqs, None).expect("second batch");
+    let got: Vec<String> = replies.iter().map(Response::encode).collect();
+    assert_eq!(got, baseline, "warm-cache batch still identical");
+
+    drop(client);
+    handle.begin_drain();
+    let stats = join.join().expect("server");
+    assert_eq!(stats.panics, 0);
+}
+
+#[test]
+fn pipelined_responses_byte_identical_to_sequential() {
+    let (ep, handle, join) = start();
+    let reqs = request_mix();
+    let baseline = sequential_baseline(&ep, &reqs);
+
+    for window in [1usize, 4, 16] {
+        let mut client = PipelinedClient::connect(&ep, window).expect("pipelined connect");
+        let mut corr_to_index = std::collections::HashMap::new();
+        let mut got = vec![String::new(); reqs.len()];
+        for (i, req) in reqs.iter().enumerate() {
+            // submit() pumps completions while the window is full, so
+            // collect as we go rather than only at the end.
+            corr_to_index.insert(client.submit(req).expect("submit"), i);
+        }
+        for (corr, resp) in client.drain().expect("drain") {
+            let i = corr_to_index[&corr];
+            got[i] = resp.encode();
+        }
+        assert_eq!(
+            got, baseline,
+            "pipelined answers at window {window} must be byte-identical"
+        );
+    }
+
+    handle.begin_drain();
+    let stats = join.join().expect("server");
+    assert_eq!(stats.panics, 0);
+}

@@ -13,8 +13,11 @@
 //! trims the connection count.
 
 use cpn_serve::frame::{encode_frame, read_frame, read_handshake, write_handshake};
-use cpn_serve::{Client, Endpoint, Request, Response, Server, ServerConfig};
-use cpn_testkit::{corrupt_frame, ChaosInjector, TransportFault, WriteStep};
+use cpn_serve::proto::{split_corr, with_corr};
+use cpn_serve::{Client, Endpoint, PipelinedClient, Request, Response, Server, ServerConfig};
+use cpn_testkit::{
+    corrupt_exchange, corrupt_frame, BurstFault, ChaosInjector, TransportFault, WriteStep,
+};
 use std::io::Write;
 use std::time::Duration;
 
@@ -57,6 +60,7 @@ fn run_faulty_connection(ep: &Endpoint, fault: &TransportFault, injector: &mut C
         max_states: 1000,
         deadline_ms: Some(1000),
         threads: 1,
+        stream: false,
         doc: SMALL_NET.into(),
     };
     let wire = encode_frame(request.encode().as_bytes());
@@ -106,6 +110,7 @@ fn run_clean_connection(ep: &Endpoint, i: usize) -> Response {
             max_states: 1000,
             deadline_ms: Some(2000),
             threads: 1,
+            stream: false,
             doc: SMALL_NET.into(),
         },
         _ => Request::Cover {
@@ -192,4 +197,264 @@ fn oversized_prefix_gets_typed_refusal() {
     handle.begin_drain();
     let stats = join.join().expect("server run");
     assert_eq!(stats.bad_requests, 1);
+}
+
+/// One faulty *pipelined* connection: handshake at v2, then write a
+/// burst of correlated request frames through the burst corruptor.
+/// Frames that went out complete and uncorrupted are well-formed
+/// requests; if the connection survived the script (no close), each
+/// must be answered exactly once, matched by correlation id.
+fn run_faulty_burst(ep: &Endpoint, fault: &BurstFault, burst: usize) {
+    let Ok(mut conn) = cpn_serve::Conn::dial(ep) else {
+        return;
+    };
+    let _ = conn.set_read_timeout(Some(Duration::from_secs(5)));
+    let _ = conn.set_write_timeout(Some(Duration::from_secs(2)));
+    if write_handshake(&mut conn).is_err() || read_handshake(&mut conn).is_err() {
+        return;
+    }
+    let frames: Vec<Vec<u8>> = (0..burst)
+        .map(|i| {
+            let req = Request::Reach {
+                net: "small".into(),
+                max_states: 1000,
+                deadline_ms: Some(2000),
+                threads: 1,
+                stream: false,
+                doc: SMALL_NET.into(),
+            };
+            encode_frame(with_corr(Some(i as u64 + 1), &req.encode()).as_bytes())
+        })
+        .collect();
+    let (steps, clean) = corrupt_exchange(&frames, fault);
+    let closed = steps.iter().any(|s| matches!(s, WriteStep::CloseNow));
+    for step in steps {
+        match step {
+            WriteStep::Bytes(bytes) => {
+                if conn.write_all(&bytes).is_err() {
+                    return;
+                }
+                let _ = conn.flush();
+            }
+            WriteStep::Pause(d) => std::thread::sleep(d),
+            WriteStep::CloseNow => {
+                conn.shutdown();
+                return;
+            }
+        }
+    }
+    if closed {
+        return;
+    }
+    // Connection survived: every clean frame gets exactly one final
+    // response, correlation ids covering exactly the submitted set.
+    let mut seen = std::collections::BTreeSet::new();
+    while seen.len() < clean {
+        let payload = read_frame(&mut conn, 1 << 20).expect("burst response frame");
+        let text = std::str::from_utf8(&payload).expect("UTF-8 response");
+        let (corr, body) = split_corr(text).expect("correlated response");
+        let resp = Response::decode(body).expect("typed response");
+        if !resp.is_final() {
+            continue; // progress frames don't settle an id
+        }
+        let id = corr.expect("v2 responses carry correlation ids");
+        assert!(
+            (1..=clean as u64).contains(&id),
+            "response for a frame never sent cleanly: {id}"
+        );
+        assert!(seen.insert(id), "correlation id {id} answered twice");
+    }
+}
+
+/// One clean *batch* connection: every item must come back, in order.
+fn run_clean_batch(ep: &Endpoint, items: usize) -> usize {
+    let mut client = Client::connect(ep).expect("batch connect");
+    let reqs: Vec<Request> = (0..items)
+        .map(|_| Request::Reach {
+            net: "small".into(),
+            max_states: 1000,
+            deadline_ms: Some(2000),
+            threads: 1,
+            stream: false,
+            doc: SMALL_NET.into(),
+        })
+        .collect();
+    let replies = client.batch(reqs, Some(10_000)).expect("batch replies");
+    assert_eq!(replies.len(), items, "every batch item answered");
+    replies
+        .iter()
+        .filter(|r| {
+            matches!(
+                r,
+                Response::Result(_) | Response::Overloaded | Response::DeadlineExceeded
+            )
+        })
+        .count()
+}
+
+/// One clean *pipelined* connection: submit a window of requests, then
+/// drain; every submission must settle exactly once.
+fn run_clean_pipeline(ep: &Endpoint, depth: usize, count: usize) -> usize {
+    let mut client = PipelinedClient::connect(ep, depth).expect("pipelined connect");
+    let req = Request::Reach {
+        net: "small".into(),
+        max_states: 1000,
+        deadline_ms: Some(2000),
+        threads: 1,
+        stream: false,
+        doc: SMALL_NET.into(),
+    };
+    let mut submitted = std::collections::BTreeSet::new();
+    for _ in 0..count {
+        submitted.insert(client.submit(&req).expect("submit"));
+    }
+    let settled = client.drain().expect("drain");
+    assert_eq!(settled.len(), count, "every pipelined request settled");
+    let mut seen = std::collections::BTreeSet::new();
+    for (corr, resp) in settled {
+        assert!(submitted.contains(&corr), "unknown correlation id {corr}");
+        assert!(seen.insert(corr), "correlation id {corr} settled twice");
+        assert!(resp.is_final(), "drain returned a non-final frame");
+    }
+    count
+}
+
+/// Chaos soak over protocol v2: batched and pipelined connections with
+/// mid-burst disconnects, truncated tails, and stalled interleaved
+/// frames mixed in. Every well-formed item is answered exactly once;
+/// the daemon neither panics nor leaks workers.
+#[test]
+fn chaos_soak_batched_and_pipelined() {
+    let connections: usize = if std::env::var_os("CPN_CHAOS_QUICK").is_some() {
+        20
+    } else {
+        60
+    };
+    let config = ServerConfig {
+        queue_depth: 32, // batches fan out; don't shed the clean ones
+        ..soak_config()
+    };
+    let server = Server::bind(&[Endpoint::Tcp("127.0.0.1:0".into())], config).expect("bind");
+    let ep = server.local_endpoints().expect("endpoints").remove(0);
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run());
+
+    let mut injector = ChaosInjector::new(CHAOS_SEED ^ 0xB417).with_ratio(2, 5);
+    let mut clean_items = 0usize;
+    let mut answered = 0usize;
+    for i in 0..connections {
+        let burst = 2 + i % 5;
+        match injector.next_burst(burst) {
+            Some(fault) => run_faulty_burst(&ep, &fault, burst),
+            None if i % 2 == 0 => {
+                clean_items += burst;
+                answered += run_clean_batch(&ep, burst);
+            }
+            None => {
+                clean_items += burst;
+                answered += run_clean_pipeline(&ep, 4, burst);
+            }
+        }
+    }
+    assert_eq!(
+        answered, clean_items,
+        "every well-formed item answered exactly once"
+    );
+
+    handle.begin_drain();
+    let stats = join.join().expect("server run");
+    assert_eq!(
+        stats.panics, 0,
+        "no worker panics under v2 chaos: {stats:?}"
+    );
+    assert_eq!(stats.workers_joined, 3, "pool joined post-drain: {stats:?}");
+}
+
+/// A client that sends a well-formed batch and disconnects before
+/// reading any replies must not wedge or panic the server: the sink
+/// turns broken, in-flight items finish, the pool drains clean.
+#[test]
+fn mid_batch_disconnect_does_not_poison_the_pool() {
+    let server = Server::bind(&[Endpoint::Tcp("127.0.0.1:0".into())], soak_config()).expect("bind");
+    let ep = server.local_endpoints().expect("endpoints").remove(0);
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run());
+
+    for _ in 0..4 {
+        let mut conn = cpn_serve::Conn::dial(&ep).expect("dial");
+        write_handshake(&mut conn).expect("handshake out");
+        read_handshake(&mut conn).expect("handshake in");
+        let items: Vec<Request> = (0..6)
+            .map(|_| Request::Reach {
+                net: "small".into(),
+                max_states: 1000,
+                deadline_ms: Some(2000),
+                threads: 1,
+                stream: false,
+                doc: SMALL_NET.into(),
+            })
+            .collect();
+        let batch = Request::batch(items, Some(5_000)).expect("batch");
+        conn.write_all(&encode_frame(batch.encode().as_bytes()))
+            .expect("batch frame");
+        let _ = conn.flush();
+        conn.shutdown(); // gone before any Item frame comes back
+    }
+    // The server is still healthy for a well-behaved client.
+    let mut client = Client::connect(&ep).expect("connect after abandonments");
+    assert_eq!(
+        client.request(&Request::Ping).expect("ping"),
+        Response::Pong
+    );
+    drop(client);
+    handle.begin_drain();
+    let stats = join.join().expect("server run");
+    assert_eq!(stats.panics, 0, "stats: {stats:?}");
+    assert_eq!(stats.workers_joined, 3, "stats: {stats:?}");
+}
+
+/// A streaming client that disconnects mid-stream (truncating the
+/// progress sequence from its side) must not panic the server.
+#[test]
+fn disconnect_during_streaming_reach_is_harmless() {
+    let server = Server::bind(&[Endpoint::Tcp("127.0.0.1:0".into())], soak_config()).expect("bind");
+    let ep = server.local_endpoints().expect("endpoints").remove(0);
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run());
+
+    // 2^20 states: big enough that streaming emits progress slices.
+    let mut doc = String::from("net boom {\n    places {");
+    for i in 0..20 {
+        doc.push_str(&format!(" a{i}* b{i}"));
+    }
+    doc.push_str(" }\n");
+    for i in 0..20 {
+        doc.push_str(&format!(
+            "    transition \"t{i}\" {{ pre: a{i}; post: b{i} }}\n"
+        ));
+    }
+    doc.push('}');
+
+    let mut conn = cpn_serve::Conn::dial(&ep).expect("dial");
+    let _ = conn.set_read_timeout(Some(Duration::from_secs(5)));
+    write_handshake(&mut conn).expect("handshake out");
+    read_handshake(&mut conn).expect("handshake in");
+    let req = Request::Reach {
+        net: "boom".into(),
+        max_states: 1_000_000,
+        deadline_ms: Some(5_000),
+        threads: 1,
+        stream: true,
+        doc,
+    };
+    conn.write_all(&encode_frame(with_corr(Some(7), &req.encode()).as_bytes()))
+        .expect("streaming request");
+    // Read exactly one frame (a progress slice or the final), then cut.
+    let _ = read_frame(&mut conn, 1 << 20).expect("first streamed frame");
+    conn.shutdown();
+
+    handle.begin_drain();
+    let stats = join.join().expect("server run");
+    assert_eq!(stats.panics, 0, "stats: {stats:?}");
+    assert_eq!(stats.workers_joined, 3, "stats: {stats:?}");
 }

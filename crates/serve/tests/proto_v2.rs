@@ -1,0 +1,486 @@
+//! Protocol v2 end-to-end tests: version negotiation with v1 clients,
+//! server-side `verify` (the paper pipeline), batching with per-item
+//! results and umbrella deadlines, live stats with cache counters,
+//! streaming progress frames, and pipelined correlation.
+
+use cpn_serve::frame::{
+    encode_frame, read_frame, read_handshake, read_handshake_in, write_handshake_version,
+    MIN_PROTO_VERSION, PROTO_VERSION,
+};
+use cpn_serve::proto::{split_corr, with_corr};
+use cpn_serve::{
+    BatchItem, Client, Endpoint, PipelinedClient, Receptive, Request, Response, Server,
+    ServerConfig,
+};
+use std::io::Write;
+use std::time::Duration;
+
+const SMALL_NET: &str = r#"net small {
+    places { p* q }
+    transition "a" { pre: p; post: q }
+    transition "b" { pre: q; post: p }
+}"#;
+
+/// The paper's running example: a producer/consumer handshake pair in
+/// one document. `req` is the module's output, `ack` the
+/// environment's; the composition is receptive.
+const HANDSHAKE_DOC: &str = r#"net producer {
+    places { a0* a1 }
+    transition "req" { pre: a0; post: a1 }
+    transition "ack" { pre: a1; post: a0 }
+}
+
+net consumer {
+    places { b0* b1 }
+    transition "req" { pre: b0; post: b1 }
+    transition "ack" { pre: b1; post: b0 }
+}"#;
+
+/// Same pair with the consumer phase-shifted half a handshake: the
+/// producer can offer `req` when the consumer is not ready.
+const BROKEN_DOC: &str = r#"net producer {
+    places { a0* a1 }
+    transition "req" { pre: a0; post: a1 }
+    transition "ack" { pre: a1; post: a0 }
+}
+
+net consumer {
+    places { b0 b1* }
+    transition "req" { pre: b0; post: b1 }
+    transition "ack" { pre: b1; post: b0 }
+}"#;
+
+fn explosive_doc(n: usize) -> String {
+    let mut doc = String::from("net boom {\n    places {");
+    for i in 0..n {
+        doc.push_str(&format!(" a{i}* b{i}"));
+    }
+    doc.push_str(" }\n");
+    for i in 0..n {
+        doc.push_str(&format!(
+            "    transition \"up{i}\" {{ pre: a{i}; post: b{i} }}\n"
+        ));
+        doc.push_str(&format!(
+            "    transition \"down{i}\" {{ pre: b{i}; post: a{i} }}\n"
+        ));
+    }
+    doc.push('}');
+    doc
+}
+
+fn small_reach(deadline_ms: Option<u64>) -> Request {
+    Request::Reach {
+        net: "small".into(),
+        max_states: 1000,
+        deadline_ms,
+        threads: 1,
+        stream: false,
+        doc: SMALL_NET.into(),
+    }
+}
+
+fn config() -> ServerConfig {
+    ServerConfig {
+        workers: 4,
+        queue_depth: 32,
+        default_deadline: Duration::from_secs(10),
+        drain_grace: Duration::from_secs(2),
+        idle_timeout: Duration::from_secs(5),
+        io_timeout: Duration::from_secs(2),
+        ..ServerConfig::default()
+    }
+}
+
+fn start() -> (
+    Endpoint,
+    cpn_serve::ServerHandle,
+    std::thread::JoinHandle<cpn_serve::ServerStats>,
+) {
+    let server = Server::bind(&[Endpoint::Tcp("127.0.0.1:0".into())], config()).expect("bind");
+    let ep = server.local_endpoints().expect("endpoints").remove(0);
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run());
+    (ep, handle, join)
+}
+
+/// A v1 client (advertising version 1) still handshakes and runs the
+/// lock-step loop unchanged against the v2 server; batch frames are
+/// refused with a typed error instead of a protocol break.
+#[test]
+fn v1_client_handshakes_and_works_unchanged() {
+    let (ep, handle, join) = start();
+    let mut conn = cpn_serve::Conn::dial(&ep).expect("dial");
+    let _ = conn.set_read_timeout(Some(Duration::from_secs(5)));
+    write_handshake_version(&mut conn, 1).expect("handshake out");
+    let negotiated =
+        read_handshake_in(&mut conn, MIN_PROTO_VERSION..=PROTO_VERSION).expect("handshake in");
+    assert_eq!(negotiated, 1, "server must meet a v1 client at v1");
+
+    // Lock-step request/response, no correlation prefixes.
+    for _ in 0..2 {
+        conn.write_all(&encode_frame(small_reach(None).encode().as_bytes()))
+            .expect("request frame");
+        let payload = read_frame(&mut conn, 1 << 20).expect("response frame");
+        let text = std::str::from_utf8(&payload).expect("UTF-8");
+        assert!(
+            !text.starts_with('@'),
+            "v1 responses must not carry correlation ids: {text}"
+        );
+        match Response::decode(text).expect("typed") {
+            Response::Result(s) => assert_eq!(s.states, 2),
+            other => panic!("expected Result, got {other:?}"),
+        }
+    }
+
+    // Batch is a v2 feature: typed refusal, connection stays up.
+    let batch = Request::batch(vec![small_reach(None)], None).expect("batch");
+    conn.write_all(&encode_frame(batch.encode().as_bytes()))
+        .expect("batch frame");
+    let payload = read_frame(&mut conn, 1 << 20).expect("refusal");
+    match Response::decode(std::str::from_utf8(&payload).expect("UTF-8")).expect("typed") {
+        Response::BadRequest(msg) => assert!(msg.contains("v2"), "msg: {msg}"),
+        other => panic!("expected BadRequest, got {other:?}"),
+    }
+    conn.shutdown();
+    handle.begin_drain();
+    let stats = join.join().expect("server");
+    assert_eq!(stats.panics, 0);
+}
+
+#[test]
+fn default_client_negotiates_v2() {
+    let (ep, handle, join) = start();
+    let client = Client::connect(&ep).expect("connect");
+    assert_eq!(client.version(), PROTO_VERSION);
+    drop(client);
+    handle.begin_drain();
+    join.join().expect("server");
+}
+
+/// The tentpole `verify` request: compose module ‖ environment, check
+/// receptiveness, reduce against the environment — one round trip.
+#[test]
+fn verify_runs_the_paper_pipeline_server_side() {
+    let (ep, handle, join) = start();
+    let mut client = Client::connect(&ep).expect("connect");
+
+    let req = Request::Verify {
+        module: "producer".into(),
+        env: "consumer".into(),
+        louts: vec!["req".into()],
+        routs: vec!["ack".into()],
+        max_states: 100_000,
+        deadline_ms: Some(5_000),
+        hide_budget: 10_000,
+        stream: false,
+        doc: HANDSHAKE_DOC.into(),
+    };
+    match client.request(&req).expect("verify") {
+        Response::VerifyResult(v) => {
+            assert_eq!(v.receptive, Receptive::Yes, "{v:?}");
+            assert!(v.failures.is_empty());
+            assert_eq!(v.composed_transitions, 2, "req and ack synchronize");
+            assert!(v.stopped.is_none());
+            assert!(
+                v.reduced_transitions.is_some(),
+                "reduction stage ran: {v:?}"
+            );
+        }
+        other => panic!("expected VerifyResult, got {other:?}"),
+    }
+
+    let broken = Request::Verify {
+        module: "producer".into(),
+        env: "consumer".into(),
+        louts: vec!["req".into()],
+        routs: vec!["ack".into()],
+        max_states: 100_000,
+        deadline_ms: Some(5_000),
+        hide_budget: 10_000,
+        stream: false,
+        doc: BROKEN_DOC.into(),
+    };
+    match client.request(&broken).expect("verify broken") {
+        Response::VerifyResult(v) => {
+            assert_eq!(v.receptive, Receptive::No, "{v:?}");
+            assert!(
+                v.failures.iter().any(|l| l == "req"),
+                "failing label reported: {v:?}"
+            );
+        }
+        other => panic!("expected VerifyResult, got {other:?}"),
+    }
+    drop(client);
+    handle.begin_drain();
+    let stats = join.join().expect("server");
+    assert_eq!(stats.panics, 0);
+}
+
+/// A batch answers every item in submission order, including typed
+/// per-item errors; siblings of a bad item are unaffected.
+#[test]
+fn batch_answers_every_item_in_order() {
+    let (ep, handle, join) = start();
+    let mut client = Client::connect(&ep).expect("connect");
+    let items = vec![
+        small_reach(None),
+        Request::Cover {
+            net: "small".into(),
+            max_states: 1000,
+            deadline_ms: None,
+            threads: 1,
+            doc: SMALL_NET.into(),
+        },
+        Request::Reach {
+            net: "ghost".into(),
+            max_states: 10,
+            deadline_ms: None,
+            threads: 1,
+            stream: false,
+            doc: SMALL_NET.into(),
+        },
+        small_reach(None),
+    ];
+    let replies = client.batch(items, Some(10_000)).expect("batch");
+    assert_eq!(replies.len(), 4);
+    assert!(matches!(&replies[0], Response::Result(s) if s.states == 2));
+    assert!(matches!(&replies[1], Response::Result(_)));
+    assert!(matches!(&replies[2], Response::BadRequest(_)));
+    assert!(matches!(&replies[3], Response::Result(s) if s.states == 2));
+    drop(client);
+    handle.begin_drain();
+    let stats = join.join().expect("server");
+    assert_eq!(stats.bad_requests, 1);
+    assert_eq!(stats.served, 3, "good items served, BatchDone uncounted");
+}
+
+/// An undecodable item inside a batch frame gets its own typed
+/// `BadRequest` naming the index; well-formed siblings still run.
+#[test]
+fn malformed_batch_item_does_not_poison_siblings() {
+    let (ep, handle, join) = start();
+    let mut conn = cpn_serve::Conn::dial(&ep).expect("dial");
+    let _ = conn.set_read_timeout(Some(Duration::from_secs(5)));
+    write_handshake_version(&mut conn, PROTO_VERSION).expect("handshake out");
+    assert_eq!(read_handshake(&mut conn).expect("handshake in"), 2);
+
+    let batch = Request::Batch {
+        deadline_ms: Some(5_000),
+        items: vec![
+            BatchItem::Request(small_reach(None)),
+            BatchItem::Malformed("unparseable verb".into()),
+            BatchItem::Request(small_reach(None)),
+        ],
+    };
+    conn.write_all(&encode_frame(
+        with_corr(Some(9), &batch.encode()).as_bytes(),
+    ))
+    .expect("batch frame");
+
+    let mut by_index = std::collections::BTreeMap::new();
+    loop {
+        let payload = read_frame(&mut conn, 1 << 20).expect("frame");
+        let text = std::str::from_utf8(&payload).expect("UTF-8");
+        let (corr, body) = split_corr(text).expect("corr");
+        assert_eq!(corr, Some(9), "batch replies echo the request id");
+        match Response::decode(body).expect("typed") {
+            Response::Item { index, inner } => {
+                assert!(
+                    by_index.insert(index, *inner).is_none(),
+                    "index {index} twice"
+                );
+            }
+            Response::BatchDone { n } => {
+                assert_eq!(n, 3);
+                break;
+            }
+            other => panic!("unexpected frame {other:?}"),
+        }
+    }
+    assert_eq!(by_index.len(), 3, "every item answered exactly once");
+    assert!(matches!(&by_index[&0], Response::Result(s) if s.states == 2));
+    match &by_index[&1] {
+        Response::BadRequest(msg) => assert!(msg.contains("item 1"), "msg: {msg}"),
+        other => panic!("expected BadRequest, got {other:?}"),
+    }
+    assert!(matches!(&by_index[&2], Response::Result(s) if s.states == 2));
+
+    conn.shutdown();
+    handle.begin_drain();
+    let stats = join.join().expect("server");
+    assert_eq!(stats.bad_requests, 1);
+}
+
+/// An explosive item under a batch umbrella deadline degrades to a
+/// typed partial; already-finished siblings keep their results, and
+/// unstarted siblings get `DeadlineExceeded` rather than hanging.
+#[test]
+fn batch_umbrella_deadline_degrades_without_poisoning() {
+    let (ep, handle, join) = start();
+    let mut client = Client::connect(&ep).expect("connect");
+    let items = vec![
+        small_reach(None),
+        Request::Reach {
+            net: "boom".into(),
+            max_states: 50_000_000,
+            deadline_ms: None,
+            threads: 1,
+            stream: false,
+            doc: explosive_doc(24),
+        },
+        small_reach(None),
+    ];
+    let replies = client.batch(items, Some(400)).expect("batch");
+    assert_eq!(replies.len(), 3, "every item answered");
+    assert!(
+        matches!(&replies[0], Response::Result(s) if s.is_complete()),
+        "first item ran before the umbrella expired: {:?}",
+        replies[0]
+    );
+    match &replies[1] {
+        Response::Result(s) => {
+            assert!(!s.is_complete(), "2^24 states cannot finish in 400ms");
+            assert_eq!(s.stopped.as_deref(), Some("deadline"));
+        }
+        Response::DeadlineExceeded => {}
+        other => panic!("expected typed degradation, got {other:?}"),
+    }
+    assert!(
+        matches!(
+            &replies[2],
+            Response::Result(_) | Response::DeadlineExceeded
+        ),
+        "trailing item typed, not hung: {:?}",
+        replies[2]
+    );
+    drop(client);
+    handle.begin_drain();
+    let stats = join.join().expect("server");
+    assert_eq!(stats.panics, 0);
+}
+
+/// `stats` reports live service counters and the compiled-net cache's
+/// hit/miss/eviction numbers.
+#[test]
+fn stats_reports_cache_counters() {
+    let (ep, handle, join) = start();
+    let mut client = Client::connect(&ep).expect("connect");
+    for _ in 0..2 {
+        match client.request(&small_reach(None)).expect("reach") {
+            Response::Result(_) => {}
+            other => panic!("expected Result, got {other:?}"),
+        }
+    }
+    match client.request(&Request::Stats).expect("stats") {
+        Response::Stats(s) => {
+            assert!(s.served >= 2, "{s:?}");
+            assert_eq!(s.cache_misses, 1, "first reach compiled: {s:?}");
+            assert!(s.cache_hits >= 1, "second reach hit: {s:?}");
+            assert_eq!(s.cache_evictions, 0, "{s:?}");
+            assert_eq!(s.cache_len, 1, "{s:?}");
+            assert!(s.cache_capacity >= 1, "{s:?}");
+        }
+        other => panic!("expected Stats, got {other:?}"),
+    }
+    drop(client);
+    handle.begin_drain();
+    join.join().expect("server");
+}
+
+/// A streaming reach emits monotone progress frames and a final answer
+/// byte-identical to the unstreamed one.
+#[test]
+fn streaming_reach_emits_progress_and_identical_final() {
+    let (ep, handle, join) = start();
+    let doc = explosive_doc(16); // 65536 states: several stream slices
+    let mut client = Client::connect(&ep).expect("connect");
+
+    let unstreamed = client
+        .request(&Request::Reach {
+            net: "boom".into(),
+            max_states: 1_000_000,
+            deadline_ms: Some(30_000),
+            threads: 1,
+            stream: false,
+            doc: doc.clone(),
+        })
+        .expect("plain reach");
+
+    let mut progress = Vec::new();
+    let streamed = client
+        .request_streaming(
+            &Request::Reach {
+                net: "boom".into(),
+                max_states: 1_000_000,
+                deadline_ms: Some(30_000),
+                threads: 1,
+                stream: true,
+                doc,
+            },
+            |p| progress.push(p.clone()),
+        )
+        .expect("streaming reach");
+
+    assert!(
+        !progress.is_empty(),
+        "65536 states must cross the first stream slice"
+    );
+    assert!(progress.iter().all(|p| p.stage == "explore"));
+    assert!(
+        progress.windows(2).all(|w| w[0].states <= w[1].states),
+        "progress is monotone: {progress:?}"
+    );
+    assert_eq!(
+        streamed.encode(),
+        unstreamed.encode(),
+        "streamed final byte-identical to unstreamed"
+    );
+    match streamed {
+        Response::Result(s) => assert_eq!(s.states, 65536),
+        other => panic!("expected Result, got {other:?}"),
+    }
+    drop(client);
+    handle.begin_drain();
+    join.join().expect("server");
+}
+
+/// Pipelined requests settle against the right correlation ids even
+/// when answers differ per request.
+#[test]
+fn pipelined_client_matches_answers_to_submissions() {
+    let (ep, handle, join) = start();
+    let mut client = PipelinedClient::connect(&ep, 4).expect("pipelined connect");
+    let mut expected = std::collections::HashMap::new();
+    for i in 0..12 {
+        let (req, kind) = if i % 3 == 2 {
+            (
+                Request::Reach {
+                    net: "ghost".into(),
+                    max_states: 10,
+                    deadline_ms: None,
+                    threads: 1,
+                    stream: false,
+                    doc: SMALL_NET.into(),
+                },
+                "bad",
+            )
+        } else {
+            (small_reach(None), "ok")
+        };
+        let corr = client.submit(&req).expect("submit");
+        expected.insert(corr, kind);
+    }
+    let settled = client.drain().expect("drain");
+    assert_eq!(settled.len(), 12);
+    for (corr, resp) in settled {
+        match (expected[&corr], resp) {
+            ("ok", Response::Result(s)) => assert_eq!(s.states, 2),
+            ("bad", Response::BadRequest(_)) => {}
+            (kind, other) => panic!("corr {corr} expected {kind}, got {other:?}"),
+        }
+    }
+    drop(client);
+    handle.begin_drain();
+    let stats = join.join().expect("server");
+    assert_eq!(stats.panics, 0);
+}

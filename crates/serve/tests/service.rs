@@ -73,6 +73,7 @@ fn tcp_round_trip_and_cache_hit() {
         max_states: 1000,
         deadline_ms: None,
         threads: 1,
+        stream: false,
         doc: SMALL_NET.into(),
     };
     for _ in 0..2 {
@@ -151,6 +152,7 @@ fn explosive_request_degrades_without_starving_small_ones() {
                 max_states: 50_000_000,
                 deadline_ms: Some(50),
                 threads: 1,
+                stream: false,
                 doc,
             })
             .expect("reach");
@@ -167,6 +169,7 @@ fn explosive_request_degrades_without_starving_small_ones() {
                 max_states: 1000,
                 deadline_ms: Some(5_000),
                 threads: 1,
+                stream: false,
                 doc: SMALL_NET.into(),
             })
             .expect("small reach")
@@ -210,6 +213,7 @@ fn worker_panic_is_isolated_and_typed() {
         max_states: 10,
         deadline_ms: None,
         threads: 1,
+        stream: false,
         doc: SMALL_NET.into(),
     };
     match client.request(&poison).expect("poison request") {
@@ -227,6 +231,7 @@ fn worker_panic_is_isolated_and_typed() {
             max_states: 100,
             deadline_ms: None,
             threads: 1,
+            stream: false,
             doc: SMALL_NET.into(),
         })
         .expect("reach after panic")
@@ -251,6 +256,7 @@ fn malformed_requests_get_bad_request() {
             max_states: 10,
             deadline_ms: None,
             threads: 1,
+            stream: false,
             doc: SMALL_NET.into(),
         },
         Request::Reach {
@@ -258,6 +264,7 @@ fn malformed_requests_get_bad_request() {
             max_states: 10,
             deadline_ms: None,
             threads: 1,
+            stream: false,
             doc: "net small {".into(),
         },
     ];
@@ -283,6 +290,7 @@ fn nonsense_thread_counts_are_rejected_typed() {
             max_states: 1000,
             deadline_ms: None,
             threads,
+            stream: false,
             doc: SMALL_NET.into(),
         };
         match client.request(&req).expect("request") {
@@ -313,6 +321,7 @@ fn parallel_reach_answers_match_sequential() {
             max_states: 100_000,
             deadline_ms: None,
             threads,
+            stream: false,
             doc: doc.clone(),
         };
         match client.request(&req).expect("reach") {

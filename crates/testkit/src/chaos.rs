@@ -123,6 +123,103 @@ impl ChaosInjector {
     }
 }
 
+/// A way to corrupt a *burst* of framed messages written back-to-back
+/// on one pipelined connection (protocol v2: batches, windowed
+/// clients). Unlike [`TransportFault`], which mangles a single frame,
+/// a burst fault decides where in a multi-frame sequence the
+/// connection misbehaves — the interesting invariant is that frames
+/// *before* the fault are well-formed and must each be answered
+/// exactly once.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BurstFault {
+    /// Send the first `after` frames whole, then disconnect without
+    /// reading any responses.
+    MidBurstDisconnect {
+        /// How many complete frames go out before the close.
+        after: usize,
+    },
+    /// Send every frame whole except the last, which is truncated to
+    /// `keep` bytes before the close (a crash mid-write).
+    TruncatedTail {
+        /// How many bytes of the final frame survive.
+        keep: usize,
+    },
+    /// Send all frames, but pause between consecutive frames (a slow
+    /// pipelining writer). Every frame is well-formed; all must be
+    /// answered.
+    StalledBurst {
+        /// The pause between consecutive frames.
+        pause: Duration,
+    },
+}
+
+impl ChaosInjector {
+    /// The fault plan for the next multi-frame burst of `frames`
+    /// frames: `None` means the burst goes out clean. Draws from the
+    /// same seeded stream as [`ChaosInjector::next_connection`], so a
+    /// soak mixing single- and multi-frame connections still replays
+    /// from one seed.
+    pub fn next_burst(&mut self, frames: usize) -> Option<BurstFault> {
+        self.connections += 1;
+        if !self.rng.gen_ratio(self.fault_num, self.fault_den) {
+            return None;
+        }
+        self.faulted += 1;
+        Some(match self.rng.below(3) {
+            0 => BurstFault::MidBurstDisconnect {
+                after: self.rng.below(frames.max(1)),
+            },
+            1 => BurstFault::TruncatedTail {
+                keep: self.rng.below(64),
+            },
+            _ => BurstFault::StalledBurst {
+                pause: Duration::from_millis(self.rng.gen_range(5..40) as u64),
+            },
+        })
+    }
+}
+
+/// Realizes a burst fault as a write script over the well-formed wire
+/// bytes of the individual frames. Returns the script plus the number
+/// of frames that went out *complete and uncorrupted* — the caller's
+/// exactly-once accounting baseline.
+pub fn corrupt_exchange(frames: &[Vec<u8>], fault: &BurstFault) -> (Vec<WriteStep>, usize) {
+    match fault {
+        BurstFault::MidBurstDisconnect { after } => {
+            let after = (*after).min(frames.len());
+            let mut steps: Vec<WriteStep> = frames[..after]
+                .iter()
+                .map(|f| WriteStep::Bytes(f.clone()))
+                .collect();
+            steps.push(WriteStep::CloseNow);
+            (steps, after)
+        }
+        BurstFault::TruncatedTail { keep } => {
+            let mut steps = Vec::new();
+            let whole = frames.len().saturating_sub(1);
+            for f in &frames[..whole] {
+                steps.push(WriteStep::Bytes(f.clone()));
+            }
+            if let Some(last) = frames.last() {
+                let keep = (*keep).min(last.len().saturating_sub(1));
+                steps.push(WriteStep::Bytes(last[..keep].to_vec()));
+            }
+            steps.push(WriteStep::CloseNow);
+            (steps, whole)
+        }
+        BurstFault::StalledBurst { pause } => {
+            let mut steps = Vec::new();
+            for (i, f) in frames.iter().enumerate() {
+                if i > 0 {
+                    steps.push(WriteStep::Pause(*pause));
+                }
+                steps.push(WriteStep::Bytes(f.clone()));
+            }
+            (steps, frames.len())
+        }
+    }
+}
+
 /// Realizes a fault as a write script over the well-formed wire bytes
 /// of one frame (`prefix + payload`, as produced by the protocol's
 /// encoder).
@@ -221,6 +318,66 @@ mod tests {
                 assert_eq!(&b[4..], b"ping");
             }
             other => panic!("expected Bytes, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mid_burst_disconnect_sends_whole_frames_then_closes() {
+        let frames: Vec<Vec<u8>> = (0..4).map(|i| frame(&[b'a' + i as u8; 8])).collect();
+        let (steps, clean) =
+            corrupt_exchange(&frames, &BurstFault::MidBurstDisconnect { after: 2 });
+        assert_eq!(clean, 2);
+        assert_eq!(steps.len(), 3);
+        assert_eq!(steps[0], WriteStep::Bytes(frames[0].clone()));
+        assert_eq!(steps[1], WriteStep::Bytes(frames[1].clone()));
+        assert_eq!(steps[2], WriteStep::CloseNow);
+    }
+
+    #[test]
+    fn truncated_tail_keeps_all_but_last_frame_intact() {
+        let frames: Vec<Vec<u8>> = (0..3).map(|i| frame(&[b'x' + i as u8; 10])).collect();
+        let (steps, clean) = corrupt_exchange(&frames, &BurstFault::TruncatedTail { keep: 5 });
+        assert_eq!(clean, 2);
+        assert_eq!(steps[0], WriteStep::Bytes(frames[0].clone()));
+        assert_eq!(steps[1], WriteStep::Bytes(frames[1].clone()));
+        match &steps[2] {
+            WriteStep::Bytes(b) => {
+                assert_eq!(b.len(), 5);
+                assert_eq!(&b[..], &frames[2][..5]);
+            }
+            other => panic!("expected truncated Bytes, got {other:?}"),
+        }
+        assert_eq!(*steps.last().expect("close"), WriteStep::CloseNow);
+    }
+
+    #[test]
+    fn stalled_burst_sends_everything_with_pauses() {
+        let frames: Vec<Vec<u8>> = (0..3).map(|_| frame(b"req")).collect();
+        let (steps, clean) = corrupt_exchange(
+            &frames,
+            &BurstFault::StalledBurst {
+                pause: Duration::from_millis(5),
+            },
+        );
+        assert_eq!(clean, 3);
+        let sent: usize = steps
+            .iter()
+            .filter(|s| matches!(s, WriteStep::Bytes(_)))
+            .count();
+        let pauses = steps
+            .iter()
+            .filter(|s| matches!(s, WriteStep::Pause(_)))
+            .count();
+        assert_eq!(sent, 3);
+        assert_eq!(pauses, 2);
+    }
+
+    #[test]
+    fn burst_schedule_is_deterministic() {
+        let mut a = ChaosInjector::new(42);
+        let mut b = ChaosInjector::new(42);
+        for _ in 0..50 {
+            assert_eq!(a.next_burst(8), b.next_burst(8));
         }
     }
 

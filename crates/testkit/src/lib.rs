@@ -66,7 +66,9 @@ pub mod workload;
 #[cfg(feature = "bench")]
 pub mod bench;
 
-pub use chaos::{corrupt_frame, ChaosInjector, TransportFault, WriteStep};
+pub use chaos::{
+    corrupt_exchange, corrupt_frame, BurstFault, ChaosInjector, TransportFault, WriteStep,
+};
 pub use fault_gen::{FaultStrategy, RawFault};
 pub use gen::{any_bool, just, u32_in, usize_in, vec_of, Strategy};
 pub use harness::{check, check_with, Config, PropFail, PropResult};

@@ -1405,6 +1405,192 @@ fn bench_reduce(quick: bool, json: bool) {
     }
 }
 
+/// One module-stack recompile measurement: a cold build of the full
+/// balanced compose plan against a fresh derivation store, then a
+/// single-leaf edit and a warm re-run against the same store.
+struct ModulesRow {
+    family: String,
+    leaves: usize,
+    plan_steps: usize,
+    spine: usize,
+    cold_seconds: f64,
+    incremental_seconds: f64,
+    cold_misses: u64,
+    incremental_hits: u64,
+    incremental_misses: u64,
+}
+
+impl ModulesRow {
+    /// Incremental time as a fraction of cold time.
+    fn ratio(&self) -> f64 {
+        if self.cold_seconds > 0.0 {
+            self.incremental_seconds / self.cold_seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+fn measure_modules(mut sc: cpn_testkit::ModuleScenario) -> ModulesRow {
+    use cpn_petri::Bounded;
+
+    let budget = cpn_petri::Budget::new(usize::MAX, usize::MAX);
+    let leaves = sc.leaves.clone();
+    let name = sc.name.clone();
+    let plan_steps = sc.plan.len();
+    let spine = sc.spine_len(0);
+
+    let t0 = Instant::now();
+    let cold_top = sc.run(&leaves, &budget).expect("cold compose plan");
+    let cold_seconds = t0.elapsed().as_secs_f64();
+    assert!(
+        matches!(cold_top, Bounded::Complete(_)),
+        "{name}: cold build exhausted an unbounded budget"
+    );
+    let cold_misses = sc.lib.store().stats().misses;
+
+    let edited = sc.edited_leaf(0);
+    let mut patched = leaves.clone();
+    patched[0] = edited;
+    sc.lib.store_mut().reset_counters();
+    let t1 = Instant::now();
+    sc.run(&patched, &budget).expect("incremental compose plan");
+    let incremental_seconds = t1.elapsed().as_secs_f64();
+    let warm = sc.lib.store().stats();
+
+    ModulesRow {
+        family: name,
+        leaves: leaves.len(),
+        plan_steps,
+        spine,
+        cold_seconds,
+        incremental_seconds,
+        cold_misses,
+        incremental_hits: warm.hits,
+        incremental_misses: warm.misses,
+    }
+}
+
+/// `bench` (modules): cold-vs-incremental recompile sweep over the
+/// testkit's module-stack scenarios. The headline acceptance number is
+/// the 1000-leaf translator chain: a single-leaf edit must recompile
+/// in well under 5% of the cold-build time, because the balanced plan
+/// confines recomputation to the `⌈log₂ n⌉`-node spine.
+fn bench_modules(quick: bool, json: bool) {
+    header(
+        "BENCH",
+        "module library cold vs incremental recompile (hash-consed derivation store)",
+    );
+    let chains: &[usize] = if quick { &[64, 256] } else { &[64, 256, 1000] };
+    let mut rows = Vec::new();
+    for &n in chains {
+        rows.push(measure_modules(
+            cpn_testkit::ModuleScenario::translator_chain(n),
+        ));
+    }
+    rows.push(measure_modules(
+        cpn_testkit::ModuleScenario::handshake_mesh(if quick { 4 } else { 8 }, 2),
+    ));
+    rows.push(measure_modules(cpn_testkit::ModuleScenario::arbiter_tree(
+        if quick { 3 } else { 4 },
+    )));
+
+    for r in &rows {
+        println!(
+            "{}: {} leaves, {} compose steps, spine {}",
+            r.family, r.leaves, r.plan_steps, r.spine
+        );
+        println!(
+            "  cold {:>9.4} s ({} store misses)   incremental {:>9.4} s \
+             ({} hits / {} misses)   ratio {:.3}%",
+            r.cold_seconds,
+            r.cold_misses,
+            r.incremental_seconds,
+            r.incremental_hits,
+            r.incremental_misses,
+            100.0 * r.ratio()
+        );
+    }
+
+    if json {
+        let mut out = String::from("{\n  \"bench\": \"modules\",\n");
+        out.push_str(&format!(
+            "  \"mode\": \"{}\",\n",
+            if quick { "quick" } else { "full" }
+        ));
+        out.push_str("  \"workloads\": [\n");
+        for (i, r) in rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\n      \"family\": \"{}\",\n      \"leaves\": {},\n      \
+                 \"plan_steps\": {},\n      \"spine\": {},\n      \
+                 \"cold_seconds\": {:.6},\n      \"incremental_seconds\": {:.6},\n      \
+                 \"cold_misses\": {},\n      \"incremental_hits\": {},\n      \
+                 \"incremental_misses\": {},\n      \"incremental_ratio\": {:.6}\n    }}{}\n",
+                r.family,
+                r.leaves,
+                r.plan_steps,
+                r.spine,
+                r.cold_seconds,
+                r.incremental_seconds,
+                r.cold_misses,
+                r.incremental_hits,
+                r.incremental_misses,
+                r.ratio(),
+                if i + 1 < rows.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        std::fs::write("BENCH_modules.json", &out).expect("write BENCH_modules.json");
+        println!("wrote BENCH_modules.json");
+    }
+}
+
+/// `smoke-incremental`: the CI gate for the derivation store. Builds a
+/// fixed 256-module translator chain cold, edits one leaf, re-runs the
+/// plan, and asserts *by store counters* (not timing, which would be
+/// flaky on shared runners) that untouched modules were not
+/// recompiled: every non-spine compose node must replay from the memo.
+fn smoke_incremental() {
+    use cpn_petri::Bounded;
+
+    header(
+        "SMOKE",
+        "incremental recompile: 1-leaf edit of a 256-module stack",
+    );
+    let n = 256;
+    let mut sc = cpn_testkit::ModuleScenario::translator_chain(n);
+    let budget = cpn_petri::Budget::new(usize::MAX, usize::MAX);
+    let leaves = sc.leaves.clone();
+    let top = sc.run(&leaves, &budget).expect("cold compose plan");
+    assert!(matches!(top, Bounded::Complete(_)), "cold build exhausted");
+
+    let edited = sc.edited_leaf(0);
+    let mut patched = leaves.clone();
+    patched[0] = edited;
+    sc.lib.store_mut().reset_counters();
+    sc.run(&patched, &budget).expect("incremental compose plan");
+
+    let spine = sc.spine_len(0);
+    let stats = sc.lib.store().stats();
+    let untouched = (sc.plan.len() - spine) as u64;
+    assert_eq!(
+        stats.hits, untouched,
+        "every untouched compose node must replay from the memo \
+         (hits {} != untouched nodes {untouched})",
+        stats.hits
+    );
+    assert_eq!(
+        stats.misses,
+        4 * spine as u64,
+        "only the {spine}-node spine may recompute (compose + parallel \
+         + hide + reduce each)"
+    );
+    println!(
+        "  ok: {} untouched nodes replayed, {} spine nodes recomputed ({} memo misses)",
+        untouched, spine, stats.misses
+    );
+}
+
 /// `serve`: boot an in-process `cpn-serve` daemon on loopback TCP and
 /// measure the service-level numbers the robustness work claims —
 /// cached-compile round-trip latency and throughput, deadline-bounded
@@ -1693,10 +1879,19 @@ fn main() {
         bench_hide(quick, json);
         bench_alphabet(quick, json);
         bench_reduce(quick, json);
+        bench_modules(quick, json);
+        return;
+    }
+    if args.iter().any(|a| a == "modules") {
+        bench_modules(quick, json);
         return;
     }
     if args.iter().any(|a| a == "smoke-parallel") {
         smoke_parallel();
+        return;
+    }
+    if args.iter().any(|a| a == "smoke-incremental") {
+        smoke_incremental();
         return;
     }
     if args.iter().any(|a| a == "serve") {

@@ -279,6 +279,10 @@ struct ChannelWires {
     ack: Signal,
 }
 
+/// The channel tables of a graph: wire bundles per channel symbol and
+/// the role each `(module index, channel)` pair plays.
+type ChannelTables = (BTreeMap<Sym, ChannelWires>, BTreeMap<(usize, Sym), Role>);
+
 impl CipGraph {
     /// Expands every module, mapping channel events to handshake
     /// signalling per the protocol.
@@ -290,9 +294,60 @@ impl CipGraph {
     /// sends (`c!` without a value) on data channels are rejected.
     pub fn expand(&self, protocol: HandshakeProtocol) -> Result<ExpandedSystem, CipError> {
         self.validate()?;
+        let (wires, roles) = self.channel_tables(protocol)?;
 
-        // Wire bundles per channel, keyed by the channel's interned
-        // symbol: expansion-time lookups are integer-keyed.
+        let mut stgs = Vec::new();
+        let mut names = Vec::new();
+        for (mi, module) in self.modules().iter().enumerate() {
+            stgs.push(expand_module(module, mi, &wires, &roles, protocol)?);
+            names.push(module.name().to_owned());
+        }
+        Ok(ExpandedSystem { names, stgs })
+    }
+
+    /// [`CipGraph::expand`] with per-module memoization: modules whose
+    /// expansion fingerprint (net, place/transition numbering, signal
+    /// declarations, channel wire bundles and roles, protocol) is
+    /// already in `cache` reuse the cached STG instead of re-running
+    /// the expansion — re-expanding a large system after a one-module
+    /// edit only pays for the edited module.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`CipGraph::expand`]; errors are never cached.
+    pub fn expand_cached(
+        &self,
+        protocol: HandshakeProtocol,
+        cache: &mut ExpandCache,
+    ) -> Result<ExpandedSystem, CipError> {
+        self.validate()?;
+        let (wires, roles) = self.channel_tables(protocol)?;
+
+        let mut stgs = Vec::new();
+        let mut names = Vec::new();
+        for (mi, module) in self.modules().iter().enumerate() {
+            let key = module_fingerprint(module, mi, &wires, &roles, protocol);
+            match cache.map.get(&key) {
+                Some(stg) => {
+                    cache.hits += 1;
+                    stgs.push(Stg::clone(stg));
+                }
+                None => {
+                    let stg = expand_module(module, mi, &wires, &roles, protocol)?;
+                    cache.misses += 1;
+                    cache.map.insert(key, std::sync::Arc::new(stg.clone()));
+                    stgs.push(stg);
+                }
+            }
+            names.push(module.name().to_owned());
+        }
+        Ok(ExpandedSystem { names, stgs })
+    }
+
+    /// Wire bundles per channel (keyed by the channel's interned
+    /// symbol, so expansion-time lookups are integer-keyed) and the
+    /// role each module plays on each channel.
+    fn channel_tables(&self, protocol: HandshakeProtocol) -> Result<ChannelTables, CipError> {
         let mut wires: BTreeMap<Sym, ChannelWires> = BTreeMap::new();
         let mut roles: BTreeMap<(usize, Sym), Role> = BTreeMap::new();
         for e in self.edges() {
@@ -335,15 +390,121 @@ impl CipGraph {
                 roles.insert((e.to, spec.channel.sym()), Role::Receiver);
             }
         }
-
-        let mut stgs = Vec::new();
-        let mut names = Vec::new();
-        for (mi, module) in self.modules().iter().enumerate() {
-            stgs.push(expand_module(module, mi, &wires, &roles, protocol)?);
-            names.push(module.name().to_owned());
-        }
-        Ok(ExpandedSystem { names, stgs })
+        Ok((wires, roles))
     }
+}
+
+/// Memo of per-module expansions, keyed on a 128-bit FNV fingerprint
+/// of everything the (private) module expander reads: the module net's structural
+/// [`NetId`](cpn_petri::NetId) *plus* its as-built numbering (place
+/// names in `PlaceId` order, transition labels and arc lists in
+/// `TransitionId` order — generated STG place names embed transition
+/// indices, so isomorphic-but-renumbered modules must not share an
+/// entry), the signal declarations, the wire bundle and role of every
+/// channel the module touches, and the protocol.
+///
+/// Shareable across [`CipGraph`]s: a fingerprint hit from a different
+/// graph is sound because the fingerprint covers the full input of the
+/// pure function `expand_module`.
+#[derive(Debug, Default)]
+pub struct ExpandCache {
+    map: std::collections::HashMap<u128, std::sync::Arc<Stg>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ExpandCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `(hits, misses)` counters since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Distinct module expansions resident.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Drops every entry (counters are kept).
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+/// See [`ExpandCache`] for what the fingerprint must cover and why.
+fn module_fingerprint(
+    module: &Module,
+    mi: usize,
+    wires: &BTreeMap<Sym, ChannelWires>,
+    roles: &BTreeMap<(usize, Sym), Role>,
+    protocol: HandshakeProtocol,
+) -> u128 {
+    use cpn_petri::hash::Fnv128;
+
+    let mut h = Fnv128::new();
+    h.write(&[match protocol {
+        HandshakeProtocol::FourPhase => 4,
+        HandshakeProtocol::TwoPhase => 2,
+    }]);
+    let net = module.net();
+    h.write(&net.net_id().as_u128().to_le_bytes());
+    // As-built numbering on top of the structural id (see type docs).
+    let m0 = net.initial_marking();
+    for (pid, place) in net.places() {
+        h.write_len_prefixed(place.name().as_bytes());
+        h.write_u32(m0.tokens(pid));
+    }
+    for (tid, t) in net.transitions() {
+        h.write_len_prefixed(net.label_of(tid).to_string().as_bytes());
+        h.write_u64(t.preset().len() as u64);
+        for p in t.preset() {
+            h.write_u64(p.index() as u64);
+        }
+        h.write_u64(t.postset().len() as u64);
+        for p in t.postset() {
+            h.write_u64(p.index() as u64);
+        }
+    }
+    for (s, dir) in module.signals() {
+        h.write_len_prefixed(s.name().as_bytes());
+        h.write(&[match dir {
+            SignalDir::Input => 0xA0,
+            SignalDir::Output => 0xA1,
+            SignalDir::Internal => 0xA2,
+        }]);
+    }
+    let mut channels: BTreeSet<Channel> = module.sends();
+    channels.extend(module.receives());
+    for c in &channels {
+        h.write_len_prefixed(c.name().as_bytes());
+        h.write(&[match roles[&(mi, c.sym())] {
+            Role::Sender => 0xB0,
+            Role::Receiver => 0xB1,
+        }]);
+        let bundle = &wires[&c.sym()];
+        h.write_u64(bundle.data.len() as u64);
+        for w in &bundle.data {
+            h.write_len_prefixed(w.name().as_bytes());
+        }
+        h.write_u64(bundle.codes.len() as u64);
+        for code in &bundle.codes {
+            h.write_u64(code.len() as u64);
+            for &wi in code {
+                h.write_u64(wi as u64);
+            }
+        }
+        h.write_len_prefixed(bundle.ack.name().as_bytes());
+    }
+    h.finish()
 }
 
 fn expand_module(
@@ -754,5 +915,88 @@ mod tests {
             .unwrap();
         let err = g.expand(HandshakeProtocol::FourPhase).unwrap_err();
         assert!(matches!(err, CipError::ChannelMismatch(_)));
+    }
+
+    /// Structural equality of STGs for the cache tests: same canonical
+    /// net bytes, same signal declarations.
+    fn assert_stgs_equivalent(a: &Stg, b: &Stg, what: &str) {
+        assert_eq!(
+            cpn_petri::canonical_form(a.net()),
+            cpn_petri::canonical_form(b.net()),
+            "{what}: nets differ"
+        );
+        assert_eq!(a.signals(), b.signals(), "{what}: signals differ");
+    }
+
+    #[test]
+    fn expand_cached_matches_expand() {
+        for protocol in [HandshakeProtocol::FourPhase, HandshakeProtocol::TwoPhase] {
+            let g = control_pair();
+            let plain = g.expand(protocol).unwrap();
+            let mut cache = ExpandCache::new();
+            let cached = g.expand_cached(protocol, &mut cache).unwrap();
+            assert_eq!(plain.names(), cached.names());
+            for (i, (a, b)) in plain.stgs().iter().zip(cached.stgs()).enumerate() {
+                assert_stgs_equivalent(a, b, &format!("{protocol:?} module {i}"));
+            }
+            assert_eq!(cache.stats(), (0, 2), "first expansion misses per module");
+        }
+    }
+
+    #[test]
+    fn re_expansion_hits_per_module() {
+        let g = control_pair();
+        let mut cache = ExpandCache::new();
+        let first = g
+            .expand_cached(HandshakeProtocol::FourPhase, &mut cache)
+            .unwrap();
+        let second = g
+            .expand_cached(HandshakeProtocol::FourPhase, &mut cache)
+            .unwrap();
+        assert_eq!(cache.stats(), (2, 2), "second expansion is all hits");
+        for (i, (a, b)) in first.stgs().iter().zip(second.stgs()).enumerate() {
+            assert_stgs_equivalent(a, b, &format!("replay module {i}"));
+        }
+        // The two protocols never share entries.
+        let _ = g
+            .expand_cached(HandshakeProtocol::TwoPhase, &mut cache)
+            .unwrap();
+        assert_eq!(cache.stats(), (2, 4));
+    }
+
+    #[test]
+    fn one_module_edit_re_expands_only_that_module() {
+        // Build the same two-module system twice; the second build
+        // edits rx (one extra internal place) and must only pay for rx.
+        let build = |edit_rx: bool| {
+            let mut tx = Module::new("tx");
+            let p = tx.add_place("p");
+            tx.add_send([p], "go", None, [p]).unwrap();
+            tx.set_initial(p, 1);
+            let mut rx = Module::new("rx");
+            let r = rx.add_place("r");
+            rx.add_recv([r], "go", [r]).unwrap();
+            rx.set_initial(r, 1);
+            if edit_rx {
+                rx.add_place("scratch");
+            }
+            let mut g = CipGraph::new();
+            let a = g.add_module(tx);
+            let b = g.add_module(rx);
+            g.add_channel_edge(a, b, ChannelSpec::control("go"))
+                .unwrap();
+            g
+        };
+        let mut cache = ExpandCache::new();
+        build(false)
+            .expand_cached(HandshakeProtocol::FourPhase, &mut cache)
+            .unwrap();
+        assert_eq!(cache.stats(), (0, 2));
+        build(true)
+            .expand_cached(HandshakeProtocol::FourPhase, &mut cache)
+            .unwrap();
+        let (hits, misses) = cache.stats();
+        assert_eq!(hits, 1, "untouched tx must hit");
+        assert_eq!(misses, 3, "edited rx must re-expand");
     }
 }

@@ -59,7 +59,7 @@ pub mod module;
 pub mod protocol;
 
 pub use encoding::DataEncoding;
-pub use expand::{ExpandedSystem, HandshakeProtocol, ModuleVerdicts};
+pub use expand::{ExpandCache, ExpandedSystem, HandshakeProtocol, ModuleVerdicts};
 pub use graph::{ChannelSpec, CipEdge, CipError, CipGraph, Link};
 pub use label::{ChanOp, Channel, CipLabel};
 pub use module::Module;

@@ -65,6 +65,7 @@ pub mod circuit;
 pub mod contract;
 pub mod error;
 pub mod hide;
+pub mod library;
 pub mod ops;
 pub mod parallel;
 pub mod synthesis;
@@ -74,6 +75,8 @@ pub use choice::{choice, choice_general, root_unwinding, RootUnwinding};
 pub use circuit::Circuit;
 pub use contract::{reduce_for_analysis, NetEditor, ReductionStats};
 pub use error::CoreError;
+pub use library::{DerivationStats, DerivationStore, ModuleDef, ModuleInstance, ModuleLib};
+
 pub use hide::{
     hide_label, hide_label_bounded, hide_labels, hide_labels_bounded, hide_labels_bounded_legacy,
     hide_relabel, hide_transition, project, project_bounded,

@@ -1,0 +1,735 @@
+//! Module library and hash-consed derivation store.
+//!
+//! The paper's whole method is compositional: modules are designed as
+//! nets, instantiated by renaming onto concrete channel names, composed
+//! in parallel, and reduced against their environment. This module makes
+//! that workflow *incremental* by treating every net as a value addressed
+//! by its [`NetId`] (canonical-form hash) and memoizing each algebra
+//! operation on `(op, child ids, params)`:
+//!
+//! * [`DerivationStore`] — a hash-consed arena of nets plus the memo
+//!   table. Re-deriving `parallel(a, b)` with the same children is a
+//!   table lookup; recomposing a 1000-module stack after a single-leaf
+//!   edit re-derives only the spine above the changed leaf.
+//! * [`ModuleLib`] — named, reusable circuits with typed interface
+//!   alphabets (inputs/outputs), instantiated by injective renaming.
+//!
+//! Invalidation is automatic and exact: a derivation is keyed by the
+//! canonical identity of its operands, so any structural change to a
+//! child produces a different key, and unchanged subtrees keep hitting
+//! the memo. Operations under a wall-clock [`Budget`] deadline or a
+//! cancellation token are computed but **never memoized** — their
+//! `Exhausted` prefixes depend on timing, and the store must stay
+//! deterministic (state/transition caps alone are deterministic and are
+//! part of the key, so `Exhausted` prefixes from cap-only budgets *are*
+//! memoized, caps included).
+
+use crate::contract::reduce_for_analysis;
+use crate::error::CoreError;
+use crate::hide::hide_labels_bounded;
+use crate::ops::rename_injective;
+use crate::parallel::parallel;
+use cpn_petri::hash::Fnv128;
+use cpn_petri::{Bounded, Budget, Exhausted, Label, NetId, PetriError, PetriNet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
+
+/// The memoized algebra operations (the `op` component of a derivation
+/// key).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum Op {
+    Parallel,
+    HideLabels,
+    Reduce,
+    Rename,
+    Compose,
+}
+
+/// A derivation key: `(op, child ids, parameter hash)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+struct DerivKey {
+    op: Op,
+    left: NetId,
+    right: Option<NetId>,
+    params: u128,
+}
+
+/// A memoized result: the derived net's id, plus the exhaustion record
+/// when the (deterministic, cap-only) budget ran out mid-operation.
+#[derive(Clone, Copy, Debug)]
+enum MemoVal {
+    Complete(NetId),
+    Exhausted(NetId, Exhausted),
+}
+
+/// Hit/miss/size counters of a [`DerivationStore`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DerivationStats {
+    /// Memoized operations answered from the table.
+    pub hits: u64,
+    /// Operations that had to run the underlying algebra.
+    pub misses: u64,
+    /// Distinct nets interned (hash-consed) in the store.
+    pub nets: usize,
+    /// Derivation entries in the memo table.
+    pub memo_entries: u64,
+}
+
+/// A hash-consed arena of nets with memoized algebra operations.
+///
+/// Every net handled by the store is interned under its [`NetId`]:
+/// structurally equal nets share one `Arc`. Each operation first checks
+/// the memo table; on a miss it runs the real operator from
+/// `cpn-core` and interns the result. The `hits`/`misses` counters are
+/// the observable that the incremental-recompile smoke test asserts on:
+/// after a single-leaf edit of a module stack, recomposing must miss
+/// only on the spine above the edited leaf.
+pub struct DerivationStore<L: Label> {
+    nets: HashMap<NetId, Arc<PetriNet<L>>>,
+    memo: HashMap<DerivKey, MemoVal>,
+    hits: u64,
+    misses: u64,
+}
+
+impl<L: Label> Default for DerivationStore<L> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn unknown_id(id: NetId) -> CoreError {
+    CoreError::Net(PetriError::Precondition(format!(
+        "net {id} is not interned in this derivation store"
+    )))
+}
+
+/// Hashes a label set into derivation-key parameter space: count, then
+/// each label's `Display` bytes length-prefixed, in `Ord` order.
+fn hash_labels<L: Label>(h: &mut Fnv128, labels: &BTreeSet<L>) {
+    h.write_u64(labels.len() as u64);
+    for l in labels {
+        h.write_len_prefixed(l.to_string().as_bytes());
+    }
+}
+
+/// Hashes the deterministic caps of a budget. Callers must have
+/// excluded deadline/cancel budgets from memoization already.
+fn hash_budget(h: &mut Fnv128, budget: &Budget) {
+    h.write_u64(budget.max_states as u64);
+    h.write_u64(budget.max_transitions as u64);
+}
+
+/// Whether a budget's outcome is a pure function of the net (caps
+/// only). Deadlines and cancellation tokens make results depend on
+/// wall-clock timing, so they are computed but never memoized.
+fn is_deterministic(budget: &Budget) -> bool {
+    budget.deadline.is_none() && budget.cancel.is_none()
+}
+
+impl<L: Label> DerivationStore<L> {
+    /// An empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        DerivationStore {
+            nets: HashMap::new(),
+            memo: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Interns a net, returning its canonical id and the shared value.
+    /// A structurally equal net already in the store wins: the argument
+    /// is dropped and the existing `Arc` is returned.
+    pub fn intern(&mut self, net: PetriNet<L>) -> (NetId, Arc<PetriNet<L>>) {
+        let id = net.net_id();
+        let arc = Arc::clone(self.nets.entry(id).or_insert_with(|| Arc::new(net)));
+        (id, arc)
+    }
+
+    /// The net behind an id, if interned.
+    #[must_use]
+    pub fn net(&self, id: NetId) -> Option<Arc<PetriNet<L>>> {
+        self.nets.get(&id).map(Arc::clone)
+    }
+
+    fn resolve(&self, id: NetId) -> Result<Arc<PetriNet<L>>, CoreError> {
+        self.net(id).ok_or_else(|| unknown_id(id))
+    }
+
+    /// Current counters and sizes.
+    #[must_use]
+    pub fn stats(&self) -> DerivationStats {
+        DerivationStats {
+            hits: self.hits,
+            misses: self.misses,
+            nets: self.nets.len(),
+            memo_entries: self.memo.len() as u64,
+        }
+    }
+
+    /// Resets the hit/miss counters (the interned nets and memo table
+    /// are kept). The bench harness brackets phases with this.
+    pub fn reset_counters(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+    }
+
+    fn lookup(&mut self, key: &DerivKey) -> Option<MemoVal> {
+        match self.memo.get(key) {
+            Some(v) => {
+                self.hits += 1;
+                Some(*v)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Memoized parallel composition (Definition 4.7).
+    ///
+    /// # Errors
+    ///
+    /// Unknown ids, or any error of [`parallel`].
+    pub fn parallel(&mut self, a: NetId, b: NetId) -> Result<NetId, CoreError> {
+        let key = DerivKey {
+            op: Op::Parallel,
+            left: a,
+            right: Some(b),
+            params: 0,
+        };
+        if let Some(MemoVal::Complete(id) | MemoVal::Exhausted(id, _)) = self.lookup(&key) {
+            return Ok(id);
+        }
+        let (na, nb) = (self.resolve(a)?, self.resolve(b)?);
+        let composed = parallel(&na, &nb).map_err(CoreError::Net)?;
+        let (id, _) = self.intern(composed);
+        self.memo.insert(key, MemoVal::Complete(id));
+        Ok(id)
+    }
+
+    /// Memoized label hiding (Definition 4.10) under a budget. The
+    /// budget caps are part of the derivation key, so a sweep over
+    /// budgets memoizes each cap separately — including the `Exhausted`
+    /// prefixes, which are deterministic for cap-only budgets.
+    ///
+    /// # Errors
+    ///
+    /// Unknown ids, or any error of [`hide_labels_bounded`].
+    pub fn hide_labels(
+        &mut self,
+        id: NetId,
+        labels: &BTreeSet<L>,
+        budget: &Budget,
+    ) -> Result<Bounded<NetId>, CoreError> {
+        let mut h = Fnv128::new();
+        hash_labels(&mut h, labels);
+        hash_budget(&mut h, budget);
+        let key = DerivKey {
+            op: Op::HideLabels,
+            left: id,
+            right: None,
+            params: h.finish(),
+        };
+        let memoizable = is_deterministic(budget);
+        if memoizable {
+            match self.lookup(&key) {
+                Some(MemoVal::Complete(out)) => return Ok(Bounded::Complete(out)),
+                Some(MemoVal::Exhausted(out, info)) => {
+                    return Ok(Bounded::Exhausted { partial: out, info })
+                }
+                None => {}
+            }
+        }
+        let net = self.resolve(id)?;
+        let bounded = hide_labels_bounded(&net, labels, budget)?;
+        Ok(match bounded {
+            Bounded::Complete(out) => {
+                let (out_id, _) = self.intern(out);
+                if memoizable {
+                    self.memo.insert(key, MemoVal::Complete(out_id));
+                }
+                Bounded::Complete(out_id)
+            }
+            Bounded::Exhausted { partial, info } => {
+                let (out_id, _) = self.intern(partial);
+                if memoizable {
+                    self.memo.insert(key, MemoVal::Exhausted(out_id, info));
+                }
+                Bounded::Exhausted {
+                    partial: out_id,
+                    info,
+                }
+            }
+        })
+    }
+
+    /// Memoized safe-net reduction ([`reduce_for_analysis`]), keyed on
+    /// the internal-label set.
+    ///
+    /// # Errors
+    ///
+    /// Unknown ids, or any error of [`reduce_for_analysis`].
+    pub fn reduce(&mut self, id: NetId, internal: &BTreeSet<L>) -> Result<NetId, CoreError> {
+        let mut h = Fnv128::new();
+        hash_labels(&mut h, internal);
+        let key = DerivKey {
+            op: Op::Reduce,
+            left: id,
+            right: None,
+            params: h.finish(),
+        };
+        if let Some(MemoVal::Complete(out) | MemoVal::Exhausted(out, _)) = self.lookup(&key) {
+            return Ok(out);
+        }
+        let net = self.resolve(id)?;
+        let (reduced, _stats) = reduce_for_analysis(&net, internal).map_err(CoreError::Net)?;
+        let (out_id, _) = self.intern(reduced);
+        self.memo.insert(key, MemoVal::Complete(out_id));
+        Ok(out_id)
+    }
+
+    /// Memoized injective renaming (Definition 4.4 restricted to
+    /// injective maps), keyed on the `(from, to)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Unknown ids, or any error of [`rename_injective`].
+    pub fn rename(&mut self, id: NetId, map: &BTreeMap<L, L>) -> Result<NetId, CoreError> {
+        let mut h = Fnv128::new();
+        h.write_u64(map.len() as u64);
+        for (k, v) in map {
+            h.write_len_prefixed(k.to_string().as_bytes());
+            h.write_len_prefixed(v.to_string().as_bytes());
+        }
+        let key = DerivKey {
+            op: Op::Rename,
+            left: id,
+            right: None,
+            params: h.finish(),
+        };
+        if let Some(MemoVal::Complete(out) | MemoVal::Exhausted(out, _)) = self.lookup(&key) {
+            return Ok(out);
+        }
+        let net = self.resolve(id)?;
+        let renamed = rename_injective(&net, map).map_err(CoreError::Net)?;
+        let (out_id, _) = self.intern(renamed);
+        self.memo.insert(key, MemoVal::Complete(out_id));
+        Ok(out_id)
+    }
+
+    /// Memoized synthesis-style composition: `parallel(a, b)`, then the
+    /// `internal` labels hidden, then safe-net reduction (the per-node
+    /// operation of a balanced module-stack build; keeping intermediate
+    /// nets reduced is what makes a 1000-module compose tractable).
+    ///
+    /// On budget exhaustion mid-hide, the partial hidden net is
+    /// returned *without* reduction (a sound prefix; reduction only
+    /// runs on complete results).
+    ///
+    /// # Errors
+    ///
+    /// Unknown ids, or any error of the three underlying operators.
+    pub fn compose(
+        &mut self,
+        a: NetId,
+        b: NetId,
+        internal: &BTreeSet<L>,
+        budget: &Budget,
+    ) -> Result<Bounded<NetId>, CoreError> {
+        let mut h = Fnv128::new();
+        hash_labels(&mut h, internal);
+        hash_budget(&mut h, budget);
+        let key = DerivKey {
+            op: Op::Compose,
+            left: a,
+            right: Some(b),
+            params: h.finish(),
+        };
+        let memoizable = is_deterministic(budget);
+        if memoizable {
+            match self.lookup(&key) {
+                Some(MemoVal::Complete(out)) => return Ok(Bounded::Complete(out)),
+                Some(MemoVal::Exhausted(out, info)) => {
+                    return Ok(Bounded::Exhausted { partial: out, info })
+                }
+                None => {}
+            }
+        }
+        let par = self.parallel(a, b)?;
+        let result = match self.hide_labels(par, internal, budget)? {
+            Bounded::Complete(hidden) => {
+                let reduced = self.reduce(hidden, &BTreeSet::new())?;
+                if memoizable {
+                    self.memo.insert(key, MemoVal::Complete(reduced));
+                }
+                Bounded::Complete(reduced)
+            }
+            Bounded::Exhausted { partial, info } => {
+                if memoizable {
+                    self.memo.insert(key, MemoVal::Exhausted(partial, info));
+                }
+                Bounded::Exhausted { partial, info }
+            }
+        };
+        Ok(result)
+    }
+}
+
+/// A named module: a behaviour net with a typed interface alphabet.
+///
+/// Interface discipline mirrors the paper's circuit `C = (I, O, N)`:
+/// inputs and outputs are disjoint and both drawn from the net's
+/// alphabet; alphabet labels outside `I ∪ O` are internal.
+#[derive(Clone, Debug)]
+pub struct ModuleDef<L: Label> {
+    name: String,
+    inputs: BTreeSet<L>,
+    outputs: BTreeSet<L>,
+    id: NetId,
+}
+
+impl<L: Label> ModuleDef<L> {
+    /// The module's library name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The input actions `I`.
+    #[must_use]
+    pub fn inputs(&self) -> &BTreeSet<L> {
+        &self.inputs
+    }
+
+    /// The output actions `O`.
+    #[must_use]
+    pub fn outputs(&self) -> &BTreeSet<L> {
+        &self.outputs
+    }
+
+    /// The behaviour net's canonical id.
+    #[must_use]
+    pub fn id(&self) -> NetId {
+        self.id
+    }
+}
+
+/// One instantiation of a library module: the renamed net plus its
+/// renamed interface.
+#[derive(Clone, Debug)]
+pub struct ModuleInstance<L: Label> {
+    /// The instantiated net's canonical id (in the library's store).
+    pub id: NetId,
+    /// The instance's input actions (renamed through the map).
+    pub inputs: BTreeSet<L>,
+    /// The instance's output actions (renamed through the map).
+    pub outputs: BTreeSet<L>,
+}
+
+/// A library of named, reusable modules over one [`DerivationStore`].
+///
+/// Registration hash-conses the definition net; instantiation applies
+/// an injective renaming through the store, so stamping out the same
+/// instance twice is a memo hit, and two *different* modules with
+/// structurally equal nets share storage.
+pub struct ModuleLib<L: Label> {
+    modules: BTreeMap<String, ModuleDef<L>>,
+    store: DerivationStore<L>,
+}
+
+impl<L: Label> Default for ModuleLib<L> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<L: Label> ModuleLib<L> {
+    /// An empty library with a fresh store.
+    #[must_use]
+    pub fn new() -> Self {
+        ModuleLib {
+            modules: BTreeMap::new(),
+            store: DerivationStore::new(),
+        }
+    }
+
+    /// Registers a named module, validating its interface: `I ∩ O = ∅`
+    /// and `I ∪ O ⊆ A`. Returns the definition net's canonical id.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnsupportedShape`] on a duplicate name or an
+    /// interface violation.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        inputs: BTreeSet<L>,
+        outputs: BTreeSet<L>,
+        net: PetriNet<L>,
+    ) -> Result<NetId, CoreError> {
+        let name = name.into();
+        if self.modules.contains_key(&name) {
+            return Err(CoreError::UnsupportedShape(format!(
+                "module {name:?} is already registered"
+            )));
+        }
+        if let Some(l) = inputs.intersection(&outputs).next() {
+            return Err(CoreError::UnsupportedShape(format!(
+                "module {name:?}: label {l} is both input and output"
+            )));
+        }
+        for l in inputs.iter().chain(outputs.iter()) {
+            if !net.alphabet_contains(l) {
+                return Err(CoreError::UnsupportedShape(format!(
+                    "module {name:?}: interface label {l} is not in the net's alphabet"
+                )));
+            }
+        }
+        let (id, _) = self.store.intern(net);
+        self.modules.insert(
+            name.clone(),
+            ModuleDef {
+                name,
+                inputs,
+                outputs,
+                id,
+            },
+        );
+        Ok(id)
+    }
+
+    /// The definition of a registered module.
+    #[must_use]
+    pub fn module(&self, name: &str) -> Option<&ModuleDef<L>> {
+        self.modules.get(name)
+    }
+
+    /// Iterates over registered modules in name order.
+    pub fn modules(&self) -> impl Iterator<Item = &ModuleDef<L>> {
+        self.modules.values()
+    }
+
+    /// Number of registered modules.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.modules.len()
+    }
+
+    /// Whether no modules are registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.modules.is_empty()
+    }
+
+    /// Instantiates a module by injective renaming of its interface
+    /// (and any other alphabet labels named in the map). Labels absent
+    /// from the map keep their names.
+    ///
+    /// # Errors
+    ///
+    /// Unknown module name, or any error of
+    /// [`rename_injective`] (non-injective maps on the alphabet are
+    /// rejected).
+    pub fn instantiate(
+        &mut self,
+        name: &str,
+        renaming: &BTreeMap<L, L>,
+    ) -> Result<ModuleInstance<L>, CoreError> {
+        let def = self
+            .modules
+            .get(name)
+            .ok_or_else(|| CoreError::UnsupportedShape(format!("unknown module {name:?}")))?
+            .clone();
+        let id = if renaming.is_empty() {
+            def.id
+        } else {
+            self.store.rename(def.id, renaming)?
+        };
+        let apply = |set: &BTreeSet<L>| {
+            set.iter()
+                .map(|l| renaming.get(l).cloned().unwrap_or_else(|| l.clone()))
+                .collect()
+        };
+        Ok(ModuleInstance {
+            id,
+            inputs: apply(&def.inputs),
+            outputs: apply(&def.outputs),
+        })
+    }
+
+    /// The library's derivation store.
+    #[must_use]
+    pub fn store(&self) -> &DerivationStore<L> {
+        &self.store
+    }
+
+    /// Mutable access to the derivation store (for running compose
+    /// plans over instantiated modules).
+    pub fn store_mut(&mut self) -> &mut DerivationStore<L> {
+        &mut self.store
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    fn cycle(a: &str, b: &str) -> PetriNet<String> {
+        let mut net: PetriNet<String> = PetriNet::new();
+        let p = net.add_place("p");
+        let q = net.add_place("q");
+        net.add_transition([p], a.to_owned(), [q]).unwrap();
+        net.add_transition([q], b.to_owned(), [p]).unwrap();
+        net.set_initial(p, 1);
+        net
+    }
+
+    fn labels(ls: &[&str]) -> BTreeSet<String> {
+        ls.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn intern_hash_conses_equal_nets() {
+        let mut store: DerivationStore<String> = DerivationStore::new();
+        let (id1, n1) = store.intern(cycle("a", "b"));
+        let (id2, n2) = store.intern(cycle("a", "b"));
+        assert_eq!(id1, id2);
+        assert!(Arc::ptr_eq(&n1, &n2));
+        assert_eq!(store.stats().nets, 1);
+    }
+
+    #[test]
+    fn parallel_memoizes_on_child_ids() {
+        let mut store: DerivationStore<String> = DerivationStore::new();
+        let (a, _) = store.intern(cycle("x", "c"));
+        let (b, _) = store.intern(cycle("c", "y"));
+        let first = store.parallel(a, b).unwrap();
+        let again = store.parallel(a, b).unwrap();
+        assert_eq!(first, again);
+        let stats = store.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        // The memoized result equals an uncached recomputation.
+        let fresh = parallel(&store.net(a).unwrap(), &store.net(b).unwrap()).unwrap();
+        assert_eq!(fresh.net_id(), first);
+    }
+
+    #[test]
+    fn hide_budget_is_part_of_the_key() {
+        let mut store: DerivationStore<String> = DerivationStore::new();
+        let (a, _) = store.intern(cycle("x", "c"));
+        let (b, _) = store.intern(cycle("c", "y"));
+        let par = store.parallel(a, b).unwrap();
+        let big = Budget::new(usize::MAX, 10_000);
+        let r1 = store.hide_labels(par, &labels(&["c"]), &big).unwrap();
+        let r2 = store.hide_labels(par, &labels(&["c"]), &big).unwrap();
+        assert!(matches!(r1, Bounded::Complete(_)));
+        match (&r1, &r2) {
+            (Bounded::Complete(x), Bounded::Complete(y)) => assert_eq!(x, y),
+            other => panic!("expected two complete results, got {other:?}"),
+        }
+        // A different cap is a different derivation — no false hit.
+        let small = Budget::new(usize::MAX, 1);
+        let before = store.stats().hits;
+        let _ = store.hide_labels(par, &labels(&["c"]), &small);
+        assert_eq!(store.stats().hits, before, "different budget must miss");
+    }
+
+    #[test]
+    fn deadline_budgets_are_never_memoized() {
+        let mut store: DerivationStore<String> = DerivationStore::new();
+        let (a, _) = store.intern(cycle("x", "c"));
+        let par = store.parallel(a, a).unwrap();
+        let mut budget = Budget::new(usize::MAX, 10_000);
+        budget.deadline = Some(cpn_petri::Deadline::after(std::time::Duration::from_secs(
+            3600,
+        )));
+        let entries_before = store.stats().memo_entries;
+        let _ = store.hide_labels(par, &labels(&["c"]), &budget).unwrap();
+        assert_eq!(store.stats().memo_entries, entries_before);
+    }
+
+    #[test]
+    fn compose_hits_as_one_unit() {
+        let mut store: DerivationStore<String> = DerivationStore::new();
+        let (a, _) = store.intern(cycle("x", "c"));
+        let (b, _) = store.intern(cycle("c", "y"));
+        let budget = Budget::new(usize::MAX, 100_000);
+        let r1 = store.compose(a, b, &labels(&["c"]), &budget).unwrap();
+        store.reset_counters();
+        let r2 = store.compose(a, b, &labels(&["c"]), &budget).unwrap();
+        let stats = store.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 0), "one top-level hit");
+        match (r1, r2) {
+            (Bounded::Complete(x), Bounded::Complete(y)) => assert_eq!(x, y),
+            other => panic!("expected complete compositions, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn library_registers_validates_and_instantiates() {
+        let mut lib: ModuleLib<String> = ModuleLib::new();
+        lib.register(
+            "buf",
+            labels(&["req"]),
+            labels(&["ack"]),
+            cycle("req", "ack"),
+        )
+        .unwrap();
+        // Duplicate name rejected.
+        assert!(lib
+            .register(
+                "buf",
+                labels(&["req"]),
+                labels(&["ack"]),
+                cycle("req", "ack")
+            )
+            .is_err());
+        // Overlapping interface rejected.
+        assert!(lib
+            .register(
+                "bad",
+                labels(&["req"]),
+                labels(&["req"]),
+                cycle("req", "ack")
+            )
+            .is_err());
+        // Interface label not in alphabet rejected.
+        assert!(lib
+            .register(
+                "bad2",
+                labels(&["zz"]),
+                labels(&["ack"]),
+                cycle("req", "ack")
+            )
+            .is_err());
+
+        let map: BTreeMap<String, String> = [("req", "r0"), ("ack", "a0")]
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+            .collect();
+        let inst = lib.instantiate("buf", &map).unwrap();
+        assert_eq!(inst.inputs, labels(&["r0"]));
+        assert_eq!(inst.outputs, labels(&["a0"]));
+        let net = lib.store().net(inst.id).unwrap();
+        assert!(net.alphabet_contains(&"r0".to_owned()));
+        assert!(!net.alphabet_contains(&"req".to_owned()));
+
+        // Stamping out the same instance again is a memo hit.
+        let before = lib.store().stats().hits;
+        let inst2 = lib.instantiate("buf", &map).unwrap();
+        assert_eq!(inst2.id, inst.id);
+        assert_eq!(lib.store().stats().hits, before + 1);
+    }
+
+    #[test]
+    fn unknown_ids_are_rejected() {
+        let mut store: DerivationStore<String> = DerivationStore::new();
+        let bogus = NetId::from_u128(42);
+        assert!(store.parallel(bogus, bogus).is_err());
+        assert!(store.reduce(bogus, &BTreeSet::new()).is_err());
+    }
+}

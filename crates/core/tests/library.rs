@@ -1,0 +1,347 @@
+//! Differential tests: the hash-consed [`DerivationStore`] must be a
+//! *transparent* cache — every memoized derivation is byte-identical
+//! (canonical form, not just `NetId`) to the same operator applied
+//! directly to the same nets, with no store in the loop. Budget sweeps
+//! cover the `Exhausted` regime: cap-only partial results are
+//! memoized per-cap and must replay the identical partial net *and*
+//! the identical exhaustion statistics.
+//!
+//! Driven by the deterministic `cpn-testkit` harness: failures print a
+//! case seed, replayable via `CPN_TESTKIT_SEED=<seed>`.
+
+use cpn_core::{
+    hide_labels_bounded, parallel, reduce_for_analysis, rename_injective, DerivationStore,
+};
+use cpn_petri::{canonical_form, Bounded, Budget, PetriNet};
+use cpn_testkit::{check, prop_assert, prop_assert_eq, NetStrategy, Strategy, TestRng};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Shared three-letter alphabet so parallel composition synchronizes
+/// on common labels; up to two tokens per place (non-safe markings).
+const LABELS: [&str; 3] = ["a", "b", "c"];
+
+fn raw_net() -> NetStrategy {
+    NetStrategy::new(4, 4, LABELS.len()).max_tokens(2)
+}
+
+/// A pair of raw nets over the shared alphabet.
+#[derive(Clone, Debug)]
+struct PairStrategy;
+
+impl Strategy for PairStrategy {
+    type Value = (cpn_testkit::RawNet, cpn_testkit::RawNet);
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (raw_net().generate(rng), raw_net().generate(rng))
+    }
+
+    fn shrink(&self, (a, b): &Self::Value) -> Vec<Self::Value> {
+        let mut out: Vec<Self::Value> = raw_net()
+            .shrink(a)
+            .into_iter()
+            .map(|s| (s, b.clone()))
+            .collect();
+        out.extend(raw_net().shrink(b).into_iter().map(|s| (a.clone(), s)));
+        out
+    }
+}
+
+fn build(raw: &cpn_testkit::RawNet) -> PetriNet<&'static str> {
+    raw.build_labels(&LABELS)
+}
+
+/// The canonical bytes of the net behind `id` in `store`.
+fn form_of(store: &DerivationStore<&'static str>, id: cpn_petri::NetId) -> Vec<u8> {
+    let net = store.net(id).expect("derived id is interned");
+    canonical_form(&net)
+}
+
+/// Cap sweep: tight enough that small random compositions exhaust on
+/// the low caps and complete on the high ones, so both `Bounded` arms
+/// get real coverage in one run.
+const CAPS: [usize; 5] = [1, 3, 8, 64, 100_000];
+
+#[test]
+fn memoized_parallel_matches_uncached() {
+    check(
+        "memoized_parallel_matches_uncached",
+        &PairStrategy,
+        |(ra, rb)| {
+            let (na, nb) = (build(ra), build(rb));
+            let direct = parallel(&na, &nb).expect("parallel of generated nets");
+
+            let mut store: DerivationStore<&'static str> = DerivationStore::new();
+            let (ia, _) = store.intern(na);
+            let (ib, _) = store.intern(nb);
+            let first = store.parallel(ia, ib).expect("memoized parallel");
+            let second = store.parallel(ia, ib).expect("replayed parallel");
+
+            prop_assert_eq!(first, second, "replay returned a different id");
+            prop_assert_eq!(
+                form_of(&store, first),
+                canonical_form(&direct),
+                "memoized parallel is not byte-identical to the direct operator"
+            );
+            let stats = store.stats();
+            prop_assert_eq!(stats.hits, 1, "second call must be a memo hit");
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn memoized_hide_sweep_matches_uncached() {
+    check(
+        "memoized_hide_sweep_matches_uncached",
+        &PairStrategy,
+        |(ra, rb)| {
+            let (na, nb) = (build(ra), build(rb));
+            let composed = parallel(&na, &nb).expect("parallel of generated nets");
+            let hidden: BTreeSet<&'static str> = [LABELS[2]].into();
+
+            let mut store: DerivationStore<&'static str> = DerivationStore::new();
+            let (ia, _) = store.intern(na);
+            let (ib, _) = store.intern(nb);
+            let par = store.parallel(ia, ib).expect("memoized parallel");
+
+            let mut expected_hits = 0u64;
+            for cap in CAPS {
+                let budget = Budget::new(cap, cap.saturating_mul(4));
+                let direct = hide_labels_bounded(&composed, &hidden, &budget);
+                let via_store = store.hide_labels(par, &hidden, &budget);
+                let replay = store.hide_labels(par, &hidden, &budget);
+
+                // A contraction that hits an unsupported shape errors at
+                // caps large enough to reach it; the store must agree
+                // (errors are never cached, so the replay re-errors too).
+                let (direct, via_store, replay) = match (direct, via_store, replay) {
+                    (Err(_), Err(_), Err(_)) => continue,
+                    (Ok(d), Ok(v), Ok(r)) => {
+                        expected_hits += 1;
+                        (d, v, r)
+                    }
+                    _ => {
+                        prop_assert!(
+                            false,
+                            "cap {}: direct and memoized hides disagree on erroring",
+                            cap
+                        );
+                        continue;
+                    }
+                };
+
+                match (&direct, &via_store, &replay) {
+                    (
+                        Bounded::Complete(direct_net),
+                        Bounded::Complete(id),
+                        Bounded::Complete(id2),
+                    ) => {
+                        prop_assert_eq!(id, id2, "cap {}: replay changed the id", cap);
+                        prop_assert_eq!(
+                            form_of(&store, *id),
+                            canonical_form(direct_net),
+                            "cap {}: complete hide differs from uncached",
+                            cap
+                        );
+                    }
+                    (
+                        Bounded::Exhausted { partial, info },
+                        Bounded::Exhausted {
+                            partial: id,
+                            info: store_info,
+                        },
+                        Bounded::Exhausted {
+                            partial: id2,
+                            info: replay_info,
+                        },
+                    ) => {
+                        prop_assert_eq!(id, id2, "cap {}: replay changed the partial id", cap);
+                        prop_assert_eq!(
+                            info,
+                            store_info,
+                            "cap {}: exhaustion stats differ from uncached",
+                            cap
+                        );
+                        prop_assert_eq!(
+                            store_info,
+                            replay_info,
+                            "cap {}: exhaustion stats changed on replay",
+                            cap
+                        );
+                        prop_assert_eq!(
+                            form_of(&store, *id),
+                            canonical_form(partial),
+                            "cap {}: exhausted prefix differs from uncached",
+                            cap
+                        );
+                    }
+                    _ => {
+                        prop_assert!(
+                            false,
+                            "cap {}: memoized and direct hides disagree on completion",
+                            cap
+                        );
+                    }
+                }
+            }
+            // Every successful cap was looked up twice; the second lookup
+            // of each must have hit (cap-only budgets are deterministic,
+            // so Exhausted prefixes memoize too).
+            let stats = store.stats();
+            prop_assert_eq!(
+                stats.hits,
+                expected_hits,
+                "one memo hit per successfully swept cap expected"
+            );
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn memoized_compose_matches_uncached_pipeline() {
+    check(
+        "memoized_compose_matches_uncached_pipeline",
+        &PairStrategy,
+        |(ra, rb)| {
+            let (na, nb) = (build(ra), build(rb));
+            let internal: BTreeSet<&'static str> = [LABELS[2]].into();
+
+            for cap in CAPS {
+                let budget = Budget::new(cap, cap.saturating_mul(4));
+
+                // Uncached pipeline, exactly as compose() documents it:
+                // parallel → hide(internal) → reduce on completion.
+                let composed = parallel(&na, &nb).expect("parallel");
+                let direct_hide = hide_labels_bounded(&composed, &internal, &budget);
+                let Ok(direct_hide) = direct_hide else {
+                    // Unsupported contraction shape: compose must
+                    // surface the same error.
+                    let mut store: DerivationStore<&'static str> = DerivationStore::new();
+                    let (ia, _) = store.intern(na.clone());
+                    let (ib, _) = store.intern(nb.clone());
+                    prop_assert!(
+                        store.compose(ia, ib, &internal, &budget).is_err(),
+                        "cap {}: direct hide errored but compose succeeded",
+                        cap
+                    );
+                    continue;
+                };
+                let direct = match direct_hide {
+                    Bounded::Complete(hidden) => {
+                        let (reduced, _) =
+                            reduce_for_analysis(&hidden, &BTreeSet::new()).expect("direct reduce");
+                        Bounded::Complete(canonical_form(&reduced))
+                    }
+                    Bounded::Exhausted { partial, info } => Bounded::Exhausted {
+                        partial: canonical_form(&partial),
+                        info,
+                    },
+                };
+
+                let mut store: DerivationStore<&'static str> = DerivationStore::new();
+                let (ia, _) = store.intern(na.clone());
+                let (ib, _) = store.intern(nb.clone());
+                let via_store = store
+                    .compose(ia, ib, &internal, &budget)
+                    .expect("memoized compose");
+
+                match (direct, via_store) {
+                    (Bounded::Complete(direct_form), Bounded::Complete(id)) => {
+                        prop_assert_eq!(
+                            form_of(&store, id),
+                            direct_form,
+                            "cap {}: composed module differs from uncached pipeline",
+                            cap
+                        );
+                    }
+                    (
+                        Bounded::Exhausted {
+                            partial: direct_form,
+                            info: direct_info,
+                        },
+                        Bounded::Exhausted {
+                            partial: id,
+                            info: store_info,
+                        },
+                    ) => {
+                        prop_assert_eq!(direct_info, store_info, "cap {}: stats differ", cap);
+                        prop_assert_eq!(
+                            form_of(&store, id),
+                            direct_form,
+                            "cap {}: exhausted compose prefix differs",
+                            cap
+                        );
+                    }
+                    _ => {
+                        prop_assert!(
+                            false,
+                            "cap {}: compose and pipeline disagree on completion",
+                            cap
+                        );
+                    }
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn memoized_rename_matches_uncached() {
+    check("memoized_rename_matches_uncached", &raw_net(), |raw| {
+        let net = build(raw);
+        let map: BTreeMap<&'static str, &'static str> = [("a", "x"), ("b", "y"), ("c", "z")].into();
+        let direct = rename_injective(&net, &map).expect("direct rename");
+
+        let mut store: DerivationStore<&'static str> = DerivationStore::new();
+        let (id, _) = store.intern(net);
+        let renamed = store.rename(id, &map).expect("memoized rename");
+        let replay = store.rename(id, &map).expect("replayed rename");
+        prop_assert_eq!(renamed, replay);
+        prop_assert_eq!(
+            form_of(&store, renamed),
+            canonical_form(&direct),
+            "memoized rename differs from the direct operator"
+        );
+        Ok(())
+    });
+}
+
+#[test]
+fn store_replay_is_deterministic_across_fresh_stores() {
+    // The same derivation script on two fresh stores must produce the
+    // same ids in the same order — the store adds no hidden state to
+    // the algebra.
+    check(
+        "store_replay_is_deterministic_across_fresh_stores",
+        &PairStrategy,
+        |(ra, rb)| {
+            let script = |store: &mut DerivationStore<&'static str>| {
+                let (ia, _) = store.intern(build(ra));
+                let (ib, _) = store.intern(build(rb));
+                let par = store.parallel(ia, ib)?;
+                let hidden: BTreeSet<&'static str> = [LABELS[2]].into();
+                let mut ids = vec![par];
+                for cap in CAPS {
+                    let budget = Budget::new(cap, cap.saturating_mul(4));
+                    match store.hide_labels(par, &hidden, &budget)? {
+                        Bounded::Complete(id) => ids.push(id),
+                        Bounded::Exhausted { partial, .. } => ids.push(partial),
+                    }
+                }
+                Ok::<_, cpn_core::CoreError>(ids)
+            };
+            let mut s1 = DerivationStore::new();
+            let mut s2 = DerivationStore::new();
+            match (script(&mut s1), script(&mut s2)) {
+                (Ok(ids1), Ok(ids2)) => {
+                    prop_assert_eq!(ids1, ids2, "fresh-store replay diverged");
+                }
+                (Err(_), Err(_)) => {} // deterministic error, both agree
+                _ => prop_assert!(false, "one store errored where the other succeeded"),
+            }
+            Ok(())
+        },
+    );
+}

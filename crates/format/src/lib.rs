@@ -36,5 +36,11 @@ pub mod lexer;
 pub mod parser;
 pub mod writer;
 
-pub use parser::{parse, parse_with_limits, Document, ParseError, ParseErrorKind, ParseLimits};
-pub use writer::{write_document, write_net, write_stg};
+pub use parser::{
+    parse, parse_lib, parse_lib_with_limits, parse_with_limits, Document, LibDocument, LibInstance,
+    LibModule, ParseError, ParseErrorKind, ParseLimits,
+};
+pub use writer::{
+    write_document, write_lib, write_lib_instance, write_lib_module, write_net,
+    write_net_canonical, write_stg,
+};

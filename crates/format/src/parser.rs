@@ -16,6 +16,43 @@ pub struct Document {
     pub stgs: Vec<(String, Stg)>,
 }
 
+/// A named module of a `.cpnlib` document: a behaviour net plus its
+/// interface alphabets. Plain data — interface validation and
+/// instantiation live in `cpn-core`'s `ModuleLib`.
+#[derive(Debug, Clone)]
+pub struct LibModule {
+    /// The module's library name.
+    pub name: String,
+    /// Input action labels.
+    pub inputs: Vec<String>,
+    /// Output action labels.
+    pub outputs: Vec<String>,
+    /// The behaviour net.
+    pub net: PetriNet<String>,
+}
+
+/// An instantiation item of a `.cpnlib` document: stamp out `module`
+/// under `rename`.
+#[derive(Debug, Clone)]
+pub struct LibInstance {
+    /// The instance's name.
+    pub name: String,
+    /// The library module being instantiated.
+    pub module: String,
+    /// Injective label renaming `old → new` applied at instantiation.
+    pub rename: BTreeMap<String, String>,
+}
+
+/// A parsed `.cpnlib` module-library document: named modules and their
+/// instantiations, in source order.
+#[derive(Debug, Default)]
+pub struct LibDocument {
+    /// `module NAME { … }` items.
+    pub modules: Vec<LibModule>,
+    /// `instance NAME of MODULE { … }` items.
+    pub instances: Vec<LibInstance>,
+}
+
 /// The broad class of a [`ParseError`], so resource-limit rejections
 /// (which a caller may want to answer differently from plain syntax
 /// errors, e.g. a server shedding an adversarial document) are typed
@@ -286,34 +323,52 @@ impl Parser {
         Ok((pre, post))
     }
 
-    fn parse_net(&mut self) -> Result<(String, PetriNet<String>), ParseError> {
-        let name = self.expect_ident()?;
-        self.expect_punct('{')?;
+    fn expect_str(&mut self) -> Result<String, ParseError> {
+        let line = self.line();
+        match self.bump() {
+            Some(TokenKind::Str(s)) => Ok(s),
+            other => Err(ParseError {
+                kind: ParseErrorKind::Syntax,
+                message: format!(
+                    "expected quoted label, found {}",
+                    other.map_or("end of input".to_owned(), |t| t.to_string())
+                ),
+                line,
+            }),
+        }
+    }
+
+    /// The body of a `net` item, after its opening `{`: a `places`
+    /// section, an optional `symbols` alphabet section, then
+    /// transitions until the closing `}`.
+    fn parse_net_body(&mut self) -> Result<PetriNet<String>, ParseError> {
         let mut net: PetriNet<String> = PetriNet::new();
         let places = self.parse_places(|n, tok| {
             let id = net.add_place(n);
             net.set_initial(id, tok);
             id
         })?;
+        // Optional explicit symbol table: quoted labels declared in the
+        // alphabet whether or not any transition carries them (the
+        // alphabet is part of the net per Definition 2.1, and parallel
+        // composition synchronizes on it).
+        if self.eat_keyword("symbols") {
+            self.expect_punct('{')?;
+            loop {
+                if self.eat_punct('}') {
+                    break;
+                }
+                let label = self.expect_str()?;
+                net.declare_label(label);
+            }
+        }
         loop {
             if self.eat_punct('}') {
                 break;
             }
             let line = self.line();
             self.expect_keyword("transition")?;
-            let label = match self.bump() {
-                Some(TokenKind::Str(s)) => s,
-                other => {
-                    return Err(ParseError {
-                        kind: ParseErrorKind::Syntax,
-                        message: format!(
-                            "expected quoted label, found {}",
-                            other.map_or("end of input".to_owned(), |t| t.to_string())
-                        ),
-                        line,
-                    })
-                }
-            };
+            let label = self.expect_str()?;
             let (pre, post) = self.parse_flows(&places)?;
             net.add_transition(pre, label, post)
                 .map_err(|e| ParseError {
@@ -322,7 +377,88 @@ impl Parser {
                     line,
                 })?;
         }
+        Ok(net)
+    }
+
+    fn parse_net(&mut self) -> Result<(String, PetriNet<String>), ParseError> {
+        let name = self.expect_ident()?;
+        self.expect_punct('{')?;
+        let net = self.parse_net_body()?;
         Ok((name, net))
+    }
+
+    /// A quoted-label list section: `KEYWORD { "a" "b" … }`.
+    fn parse_label_list(&mut self) -> Result<Vec<String>, ParseError> {
+        self.expect_punct('{')?;
+        let mut out = Vec::new();
+        loop {
+            if self.eat_punct('}') {
+                break;
+            }
+            out.push(self.expect_str()?);
+        }
+        Ok(out)
+    }
+
+    /// `module NAME { [inputs {…}] [outputs {…}] net { … } }`
+    fn parse_module(&mut self) -> Result<LibModule, ParseError> {
+        let name = self.expect_ident()?;
+        self.expect_punct('{')?;
+        let mut inputs = Vec::new();
+        let mut outputs = Vec::new();
+        loop {
+            if self.eat_keyword("inputs") {
+                inputs = self.parse_label_list()?;
+            } else if self.eat_keyword("outputs") {
+                outputs = self.parse_label_list()?;
+            } else {
+                break;
+            }
+        }
+        self.expect_keyword("net")?;
+        self.expect_punct('{')?;
+        let net = self.parse_net_body()?;
+        self.expect_punct('}')?;
+        Ok(LibModule {
+            name,
+            inputs,
+            outputs,
+            net,
+        })
+    }
+
+    /// `instance NAME of MODULE { [rename { "old" = "new" … }] }`
+    fn parse_instance(&mut self) -> Result<LibInstance, ParseError> {
+        let name = self.expect_ident()?;
+        self.expect_keyword("of")?;
+        let module = self.expect_ident()?;
+        self.expect_punct('{')?;
+        let mut rename = BTreeMap::new();
+        if self.eat_keyword("rename") {
+            self.expect_punct('{')?;
+            loop {
+                if self.eat_punct('}') {
+                    break;
+                }
+                let line = self.line();
+                let from = self.expect_str()?;
+                self.expect_punct('=')?;
+                let to = self.expect_str()?;
+                if rename.insert(from.clone(), to).is_some() {
+                    return Err(ParseError {
+                        kind: ParseErrorKind::Syntax,
+                        message: format!("label {from:?} renamed twice"),
+                        line,
+                    });
+                }
+            }
+        }
+        self.expect_punct('}')?;
+        Ok(LibInstance {
+            name,
+            module,
+            rename,
+        })
     }
 
     fn parse_edge_suffix(&mut self) -> Result<Edge, ParseError> {
@@ -463,15 +599,10 @@ pub fn parse(input: &str) -> Result<Document, ParseError> {
     parse_with_limits(input, &ParseLimits::default())
 }
 
-/// [`parse`] with explicit resource caps for untrusted input.
-///
-/// # Errors
-///
-/// [`ParseError`] with [`ParseErrorKind::InputTooLarge`] /
-/// [`ParseErrorKind::NestingTooDeep`] when a cap trips, or
-/// [`ParseErrorKind::Syntax`] on malformed input. Never panics and
-/// never recurses on input data, whatever the bytes.
-pub fn parse_with_limits(input: &str, limits: &ParseLimits) -> Result<Document, ParseError> {
+/// Applies the resource caps and builds a [`Parser`] over the lexed
+/// tokens — the shared front half of [`parse_with_limits`] and
+/// [`parse_lib_with_limits`].
+fn make_parser(input: &str, limits: &ParseLimits) -> Result<Parser, ParseError> {
     if input.len() > limits.max_input_bytes {
         return Err(ParseError {
             message: format!(
@@ -516,12 +647,24 @@ pub fn parse_with_limits(input: &str, limits: &ParseLimits) -> Result<Document, 
             _ => {}
         }
     }
-    let mut p = Parser {
+    Ok(Parser {
         tokens,
         pos: 0,
         depth: 0,
         max_depth: limits.max_depth,
-    };
+    })
+}
+
+/// [`parse`] with explicit resource caps for untrusted input.
+///
+/// # Errors
+///
+/// [`ParseError`] with [`ParseErrorKind::InputTooLarge`] /
+/// [`ParseErrorKind::NestingTooDeep`] when a cap trips, or
+/// [`ParseErrorKind::Syntax`] on malformed input. Never panics and
+/// never recurses on input data, whatever the bytes.
+pub fn parse_with_limits(input: &str, limits: &ParseLimits) -> Result<Document, ParseError> {
+    let mut p = make_parser(input, limits)?;
     let mut doc = Document::default();
     while p.peek().is_some() {
         if p.eat_keyword("net") {
@@ -530,6 +673,53 @@ pub fn parse_with_limits(input: &str, limits: &ParseLimits) -> Result<Document, 
             doc.stgs.push(p.parse_stg()?);
         } else {
             return Err(p.err("expected `net` or `stg`"));
+        }
+    }
+    Ok(doc)
+}
+
+/// Parses a `.cpnlib` module-library document.
+///
+/// # Errors
+///
+/// [`ParseError`] with the offending line on malformed input.
+///
+/// # Example
+///
+/// ```
+/// let lib = cpn_format::parse_lib(
+///     r#"module buf {
+///          inputs { "req" } outputs { "ack" }
+///          net { places { idle* busy }
+///                transition "req" { pre: idle; post: busy }
+///                transition "ack" { pre: busy; post: idle } }
+///        }
+///        instance buf0 of buf { rename { "req" = "r0" "ack" = "a0" } }"#,
+/// )?;
+/// assert_eq!(lib.modules.len(), 1);
+/// assert_eq!(lib.instances[0].rename.len(), 2);
+/// # Ok::<(), cpn_format::ParseError>(())
+/// ```
+pub fn parse_lib(input: &str) -> Result<LibDocument, ParseError> {
+    parse_lib_with_limits(input, &ParseLimits::default())
+}
+
+/// [`parse_lib`] with explicit resource caps for untrusted input.
+///
+/// # Errors
+///
+/// As [`parse_with_limits`]: typed resource-limit errors or syntax
+/// errors, never a panic.
+pub fn parse_lib_with_limits(input: &str, limits: &ParseLimits) -> Result<LibDocument, ParseError> {
+    let mut p = make_parser(input, limits)?;
+    let mut doc = LibDocument::default();
+    while p.peek().is_some() {
+        if p.eat_keyword("module") {
+            doc.modules.push(p.parse_module()?);
+        } else if p.eat_keyword("instance") {
+            doc.instances.push(p.parse_instance()?);
+        } else {
+            return Err(p.err("expected `module` or `instance`"));
         }
     }
     Ok(doc)
@@ -680,6 +870,62 @@ mod tests {
         )
         .unwrap();
         assert_eq!(doc.nets.len(), 1);
+    }
+
+    #[test]
+    fn symbols_section_declares_alphabet() {
+        let doc = parse(
+            r#"net n {
+                places { p* }
+                symbols { "a" "quiet" }
+                transition "a" { pre: p; post: p }
+            }"#,
+        )
+        .unwrap();
+        let net = &doc.nets[0].1;
+        assert!(net.alphabet_contains(&"quiet".to_owned()));
+        assert_eq!(net.alphabet_len(), 2);
+        assert_eq!(net.transition_count(), 1);
+    }
+
+    #[test]
+    fn lib_document_parses_modules_and_instances() {
+        let lib = parse_lib(
+            r#"module wire {
+                inputs { "in" }
+                outputs { "out" }
+                net {
+                    places { w }
+                    transition "in" { pre: ; post: w }
+                    transition "out" { pre: w; post: }
+                }
+            }
+            instance w1 of wire { rename { "in" = "a" "out" = "b" } }
+            instance w2 of wire { }"#,
+        )
+        .unwrap();
+        assert_eq!(lib.modules.len(), 1);
+        assert_eq!(lib.modules[0].name, "wire");
+        assert_eq!(lib.modules[0].net.transition_count(), 2);
+        assert_eq!(lib.instances.len(), 2);
+        assert_eq!(lib.instances[0].rename.len(), 2);
+        assert!(lib.instances[1].rename.is_empty());
+    }
+
+    #[test]
+    fn lib_duplicate_rename_rejected() {
+        let err = parse_lib(
+            r#"module m { net { places { p* } } }
+               instance i of m { rename { "a" = "b" "a" = "c" } }"#,
+        )
+        .unwrap_err();
+        assert!(err.message.contains("renamed twice"));
+    }
+
+    #[test]
+    fn lib_junk_toplevel_rejected() {
+        let err = parse_lib("net n { places { p } }").unwrap_err();
+        assert!(err.message.contains("expected `module` or `instance`"));
     }
 
     #[test]

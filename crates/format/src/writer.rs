@@ -5,10 +5,16 @@
 //! identifiers here, but e.g. spaces are not); sanitized names are made
 //! unique by suffixing.
 
-use cpn_petri::{Label, PetriNet, PlaceId};
+use crate::parser::{LibDocument, LibInstance, LibModule};
+use cpn_petri::{canonical_order, Label, PetriNet, PlaceId};
 use cpn_stg::{Stg, StgLabel};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+
+/// Escapes a label for a quoted-string position.
+fn escape_label(label: &str) -> String {
+    label.replace('\\', "\\\\").replace('"', "\\\"")
+}
 
 fn sanitize(name: &str) -> String {
     let cleaned: String = name
@@ -102,16 +108,114 @@ pub fn write_net<L: Label>(name: &str, net: &PetriNet<L>) -> String {
     let names = place_names(net);
     let mut out = String::new();
     writeln!(out, "net {} {{", sanitize(name)).expect("writing to string");
-    write_places(&mut out, net, &names);
+    write_net_body(&mut out, net, &names, "  ");
+    out.push_str("}\n");
+    out
+}
+
+/// The body of a `net` item: places, the symbol table in interning
+/// order, then transitions in id order — shared by [`write_net`] and
+/// [`write_lib`].
+fn write_net_body<L: Label>(
+    out: &mut String,
+    net: &PetriNet<L>,
+    names: &BTreeMap<PlaceId, String>,
+    indent: &str,
+) {
+    write!(out, "{}", &indent[2..]).expect("writing to string");
+    write_places(out, net, names);
+    write_symbols_interned(out, net, indent);
     for (tid, _) in net.transitions() {
-        let label = net
-            .label_of(tid)
-            .to_string()
-            .replace('\\', "\\\\")
-            .replace('"', "\\\"");
-        write!(out, "  transition \"{label}\" ").expect("writing to string");
-        write_flows(&mut out, net, &names, tid);
+        let label = escape_label(&net.label_of(tid).to_string());
+        write!(out, "{indent}transition \"{label}\" ").expect("writing to string");
+        write_flows(out, net, names, tid);
         out.push('\n');
+    }
+}
+
+/// Emits the explicit alphabet as a `symbols { … }` section in
+/// **interning order**, so the declared alphabet survives the
+/// round-trip — including labels with no transitions — and the parser
+/// re-interns every symbol at its original index (`parse ∘ print`
+/// preserves the symbol table, which the roundtrip suite asserts).
+fn write_symbols_interned<L: Label>(out: &mut String, net: &PetriNet<L>, indent: &str) {
+    if net.alphabet_len() == 0 {
+        return;
+    }
+    let alpha = net.alphabet_syms();
+    write!(out, "{indent}symbols {{").expect("writing to string");
+    for (sym, label) in net.interner().iter() {
+        if alpha.contains(sym) {
+            write!(out, " \"{}\"", escape_label(&label.to_string())).expect("writing to string");
+        }
+    }
+    out.push_str(" }\n");
+}
+
+/// Emits the explicit alphabet as a `symbols { … }` section, labels in
+/// sorted (`Ord`) order — the canonical-form variant, whose bytes do
+/// not depend on interner history.
+fn write_symbols<L: Label>(out: &mut String, net: &PetriNet<L>, indent: &str) {
+    if net.alphabet_len() == 0 {
+        return;
+    }
+    write!(out, "{indent}symbols {{").expect("writing to string");
+    for label in net.alphabet() {
+        write!(out, " \"{}\"", escape_label(&label.to_string())).expect("writing to string");
+    }
+    out.push_str(" }\n");
+}
+
+/// Renders a net in **canonical form**: places, transitions, and the
+/// symbol table all in the canonical order behind the net's
+/// [`NetId`](cpn_petri::NetId), with canonical place names `s0…sN`.
+///
+/// Two nets with equal `NetId`s — however they were constructed,
+/// interned, named, or formatted — serialize to byte-identical text
+/// (given the same `name`). The `cpn-serve` cache and the golden tests
+/// rely on this to compare nets as strings.
+pub fn write_net_canonical<L: Label>(name: &str, net: &PetriNet<L>) -> String {
+    let order = canonical_order(net);
+    let names: BTreeMap<PlaceId, String> = order
+        .places
+        .iter()
+        .enumerate()
+        .map(|(pos, &p)| (p, format!("s{pos}")))
+        .collect();
+    let mut pos_of = vec![0usize; net.place_count()];
+    for (pos, &p) in order.places.iter().enumerate() {
+        pos_of[p.index()] = pos;
+    }
+    let mut out = String::new();
+    writeln!(out, "net {} {{", sanitize(name)).expect("writing to string");
+    let m0 = net.initial_marking();
+    out.push_str("  places {");
+    for &p in &order.places {
+        match m0.tokens(p) {
+            0 => write!(out, " {}", names[&p]),
+            1 => write!(out, " {}*", names[&p]),
+            n => write!(out, " {}*{n}", names[&p]),
+        }
+        .expect("writing to string");
+    }
+    out.push_str(" }\n");
+    write_symbols(&mut out, net, "  ");
+    for &tid in &order.transitions {
+        let label = escape_label(&net.label_of(tid).to_string());
+        write!(out, "  transition \"{label}\" {{ pre:").expect("writing to string");
+        let tr = net.transition(tid);
+        let mut pre: Vec<usize> = tr.preset().iter().map(|p| pos_of[p.index()]).collect();
+        pre.sort_unstable();
+        for pos in pre {
+            write!(out, " s{pos}").expect("writing to string");
+        }
+        out.push_str("; post:");
+        let mut post: Vec<usize> = tr.postset().iter().map(|p| pos_of[p.index()]).collect();
+        post.sort_unstable();
+        for pos in post {
+            write!(out, " s{pos}").expect("writing to string");
+        }
+        out.push_str(" }\n");
     }
     out.push_str("}\n");
     out
@@ -165,6 +269,72 @@ pub fn write_stg(name: &str, stg: &Stg) -> String {
         out.push('\n');
     }
     out.push_str("}\n");
+    out
+}
+
+fn write_label_list(out: &mut String, keyword: &str, labels: &[String]) {
+    if labels.is_empty() {
+        return;
+    }
+    write!(out, "  {keyword} {{").expect("writing to string");
+    for l in labels {
+        write!(out, " \"{}\"", escape_label(l)).expect("writing to string");
+    }
+    out.push_str(" }\n");
+}
+
+/// Renders one `module NAME { … }` item of a `.cpnlib` document.
+pub fn write_lib_module(module: &LibModule) -> String {
+    let mut out = String::new();
+    writeln!(out, "module {} {{", sanitize(&module.name)).expect("writing to string");
+    write_label_list(&mut out, "inputs", &module.inputs);
+    write_label_list(&mut out, "outputs", &module.outputs);
+    out.push_str("  net {\n");
+    let names = place_names(&module.net);
+    write_net_body(&mut out, &module.net, &names, "    ");
+    out.push_str("  }\n}\n");
+    out
+}
+
+/// Renders one `instance NAME of MODULE { … }` item.
+pub fn write_lib_instance(inst: &LibInstance) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "instance {} of {} {{",
+        sanitize(&inst.name),
+        sanitize(&inst.module)
+    )
+    .expect("writing to string");
+    if !inst.rename.is_empty() {
+        out.push_str("  rename {");
+        for (from, to) in &inst.rename {
+            write!(
+                out,
+                " \"{}\" = \"{}\"",
+                escape_label(from),
+                escape_label(to)
+            )
+            .expect("writing to string");
+        }
+        out.push_str(" }\n");
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a whole `.cpnlib` module-library document
+/// (round-trips through [`crate::parse_lib`]).
+pub fn write_lib(lib: &LibDocument) -> String {
+    let mut out = String::new();
+    for m in &lib.modules {
+        out.push_str(&write_lib_module(m));
+        out.push('\n');
+    }
+    for i in &lib.instances {
+        out.push_str(&write_lib_instance(i));
+        out.push('\n');
+    }
     out
 }
 
@@ -280,6 +450,95 @@ mod tests {
             );
             assert_eq!(parsed.signals(), stg.signals(), "{name} signals survive");
         }
+    }
+
+    #[test]
+    fn declared_alphabet_survives_roundtrip() {
+        // A label with no transitions used to be silently dropped; the
+        // symbols section keeps the alphabet faithful to Definition 2.1.
+        let mut net: PetriNet<String> = PetriNet::new();
+        let p = net.add_place("p");
+        net.add_transition([p], "a".to_owned(), [p]).unwrap();
+        net.declare_label("lonely".to_owned());
+        net.set_initial(p, 1);
+        let text = write_net("w", &net);
+        let doc = parse(&text).unwrap();
+        assert!(doc.nets[0].1.alphabet_contains(&"lonely".to_owned()));
+        assert_eq!(doc.nets[0].1.alphabet_len(), 2);
+    }
+
+    #[test]
+    fn canonical_writer_is_invariant_under_construction_order() {
+        // The same net built in permuted place/transition/interner
+        // order, with different place names.
+        let mut a: PetriNet<String> = PetriNet::new();
+        let p = a.add_place("idle");
+        let q = a.add_place("busy");
+        a.add_transition([p], "go".to_owned(), [q]).unwrap();
+        a.add_transition([q], "back".to_owned(), [p]).unwrap();
+        a.set_initial(p, 1);
+
+        let mut b: PetriNet<String> = PetriNet::new();
+        b.intern_label(&"back".to_owned());
+        let y = b.add_place("two");
+        let x = b.add_place("one");
+        b.add_transition([y], "back".to_owned(), [x]).unwrap();
+        b.add_transition([x], "go".to_owned(), [y]).unwrap();
+        b.set_initial(x, 1);
+
+        assert_eq!(a.net_id(), b.net_id());
+        let ta = write_net_canonical("m", &a);
+        let tb = write_net_canonical("m", &b);
+        assert_eq!(ta, tb, "NetId-equal nets must serialize identically");
+        // And the canonical text parses back to a NetId-equal net.
+        let parsed = parse(&ta).unwrap();
+        assert_eq!(parsed.nets[0].1.net_id(), a.net_id());
+    }
+
+    #[test]
+    fn canonical_writer_distinguishes_different_nets() {
+        let mut a: PetriNet<String> = PetriNet::new();
+        let p = a.add_place("p");
+        a.add_transition([p], "x".to_owned(), [p]).unwrap();
+        a.set_initial(p, 1);
+        let mut b = a.clone();
+        b.set_initial(cpn_petri::PlaceId::from_index(0), 2);
+        assert_ne!(write_net_canonical("m", &a), write_net_canonical("m", &b));
+    }
+
+    #[test]
+    fn lib_roundtrip() {
+        let mut net: PetriNet<String> = PetriNet::new();
+        let p = net.add_place("idle");
+        let q = net.add_place("busy");
+        net.add_transition([p], "req".to_owned(), [q]).unwrap();
+        net.add_transition([q], "ack".to_owned(), [p]).unwrap();
+        net.set_initial(p, 1);
+        let lib = LibDocument {
+            modules: vec![LibModule {
+                name: "buf".into(),
+                inputs: vec!["req".into()],
+                outputs: vec!["ack".into()],
+                net: net.clone(),
+            }],
+            instances: vec![LibInstance {
+                name: "buf0".into(),
+                module: "buf".into(),
+                rename: [("req", "r0"), ("ack", "a0")]
+                    .iter()
+                    .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+                    .collect(),
+            }],
+        };
+        let text = write_lib(&lib);
+        let parsed = crate::parser::parse_lib(&text).unwrap();
+        assert_eq!(parsed.modules.len(), 1);
+        assert_eq!(parsed.modules[0].inputs, vec!["req".to_owned()]);
+        assert_eq!(parsed.modules[0].net.net_id(), net.net_id());
+        assert_eq!(parsed.instances[0].module, "buf");
+        assert_eq!(parsed.instances[0].rename["req"], "r0");
+        // Writing the parsed document again is byte-stable.
+        assert_eq!(write_lib(&parsed), text);
     }
 
     #[test]

@@ -23,7 +23,12 @@
 //! * [`store`] — the interned flat-arena [`MarkingStore`] with its
 //!   open-addressing hash index (the exploration kernel's state storage).
 //! * [`compiled`] — the CSR-compiled firing rule ([`CompiledNet`]) with
-//!   place→consumer candidate generation.
+//!   place→consumer candidate generation, and the [`NetId`]-keyed
+//!   [`CompiledStore`].
+//! * [`hash`] — the shared deterministic content-hash primitives
+//!   (FNV-1a 64/128, SplitMix64 finalizer).
+//! * [`netid`] — content-addressed structural identity: canonical form
+//!   and the [`NetId`] cache key.
 //! * [`reachability`] — explicit reachability graphs with state budgets,
 //!   sequential or deterministically parallel.
 //! * [`coverability`] — Karp–Miller style boundedness detection.
@@ -67,11 +72,13 @@ pub mod coverability;
 pub mod dead;
 pub mod error;
 pub mod graph;
+pub mod hash;
 pub mod invariant;
 pub mod label;
 pub mod marking;
 pub mod mg;
 pub mod net;
+pub mod netid;
 pub mod reachability;
 pub mod siphon;
 pub mod store;
@@ -83,7 +90,9 @@ pub use budget::{
     Bounded, Budget, CancelScope, CancelToken, Deadline, Exhausted, Meter, Resource, Verdict,
     DEFAULT_MAX_STATES, DEFAULT_MAX_TRANSITIONS, POLL_INTERVAL,
 };
-pub use compiled::{CandidateScratch, CompiledNet, StubbornScratch, OMEGA};
+pub use compiled::{
+    CandidateScratch, CompiledNet, CompiledStore, CompiledStoreStats, StubbornScratch, OMEGA,
+};
 pub use coverability::{CoverabilityOutcome, CoverabilityTree};
 pub use dead::{dead_transitions_rg, dead_transitions_structural_mg, remove_dead};
 pub use error::PetriError;
@@ -92,6 +101,7 @@ pub use label::Label;
 pub use marking::Marking;
 pub use mg::{mg_live_structural, mg_place_bounds, mg_safe_structural, token_free_cycle};
 pub use net::{PetriNet, Place, PlaceId, Transition, TransitionId};
+pub use netid::{canonical_form, canonical_order, CanonicalOrder, NetId};
 pub use reachability::{
     reachability_bounded_compiled, reachability_bounded_parallel_compiled,
     reachability_bounded_spilled, ReachabilityGraph, ReachabilityOptions, SpilledReachability,

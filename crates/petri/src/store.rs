@@ -151,15 +151,12 @@ impl MarkingStore {
         (0..self.len).map(move |i| self.get(i))
     }
 
-    /// SplitMix64 finalizer: full avalanche, so summing outputs keeps
-    /// high-bit entropy (the index tag and the shard router both read
-    /// the high bits).
+    /// SplitMix64 finalizer (see [`crate::hash::mix64`]): full avalanche,
+    /// so summing outputs keeps high-bit entropy (the index tag and the
+    /// shard router both read the high bits).
     #[inline]
     fn mix(z: u64) -> u64 {
-        let z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        let z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
+        crate::hash::mix64(z)
     }
 
     /// The contribution of `(position, value)` to a marking's hash.

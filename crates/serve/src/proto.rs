@@ -662,8 +662,13 @@ pub struct StatsReply {
     pub bad_requests: u64,
     /// Worker panics caught so far.
     pub panics: u64,
-    /// Compiled-net cache hits.
+    /// Compiled-net cache hits (byte + structural).
     pub cache_hits: u64,
+    /// Byte-tier hits: identical document text, answered with no parse.
+    pub cache_byte_hits: u64,
+    /// Structural-tier hits: byte-distinct documents whose canonical
+    /// net identity was already resident (parsed, but not recompiled).
+    pub cache_structural_hits: u64,
     /// Compiled-net cache misses.
     pub cache_misses: u64,
     /// Compiled-net cache evictions (LRU victims).
@@ -672,6 +677,8 @@ pub struct StatsReply {
     pub cache_len: usize,
     /// Configured cache capacity.
     pub cache_capacity: usize,
+    /// Approximate bytes held by resident cache entries.
+    pub cache_bytes: u64,
 }
 
 /// A non-final streamed update for a `stream=true` request.
@@ -768,16 +775,20 @@ impl Response {
             }
             Response::Stats(s) => format!(
                 "stats served={} shed={} bad_requests={} panics={} cache_hits={} \
-                 cache_misses={} cache_evictions={} cache_len={} cache_capacity={}",
+                 cache_byte_hits={} cache_structural_hits={} cache_misses={} \
+                 cache_evictions={} cache_len={} cache_capacity={} cache_bytes={}",
                 s.served,
                 s.shed,
                 s.bad_requests,
                 s.panics,
                 s.cache_hits,
+                s.cache_byte_hits,
+                s.cache_structural_hits,
                 s.cache_misses,
                 s.cache_evictions,
                 s.cache_len,
-                s.cache_capacity
+                s.cache_capacity,
+                s.cache_bytes
             ),
             Response::Progress(p) => format!(
                 "progress stage={} states={} edges={}",
@@ -874,10 +885,13 @@ impl Response {
                         "bad_requests" => s.bad_requests = parsed,
                         "panics" => s.panics = parsed,
                         "cache_hits" => s.cache_hits = parsed,
+                        "cache_byte_hits" => s.cache_byte_hits = parsed,
+                        "cache_structural_hits" => s.cache_structural_hits = parsed,
                         "cache_misses" => s.cache_misses = parsed,
                         "cache_evictions" => s.cache_evictions = parsed,
                         "cache_len" => s.cache_len = parsed as usize,
                         "cache_capacity" => s.cache_capacity = parsed as usize,
+                        "cache_bytes" => s.cache_bytes = parsed,
                         other => return Err(format!("unknown field `{other}`")),
                     }
                 }
@@ -1318,10 +1332,13 @@ mod tests {
                 bad_requests: 2,
                 panics: 0,
                 cache_hits: 5,
+                cache_byte_hits: 4,
+                cache_structural_hits: 1,
                 cache_misses: 6,
                 cache_evictions: 3,
                 cache_len: 3,
                 cache_capacity: 64,
+                cache_bytes: 4096,
             }),
             Response::Progress(ProgressUpdate {
                 stage: "explore".into(),

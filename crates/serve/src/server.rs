@@ -244,10 +244,13 @@ impl Shared {
             bad_requests: self.counters.bad_requests.load(Ordering::SeqCst),
             panics: self.counters.panics.load(Ordering::SeqCst),
             cache_hits: cache.hits,
+            cache_byte_hits: cache.byte_hits,
+            cache_structural_hits: cache.structural_hits,
             cache_misses: cache.misses,
             cache_evictions: cache.evictions,
             cache_len: cache.len,
             cache_capacity: cache.capacity,
+            cache_bytes: cache.bytes,
         }
     }
 }

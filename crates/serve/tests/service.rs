@@ -111,6 +111,110 @@ fn tcp_round_trip_and_cache_hit() {
     assert_eq!(stats.workers_joined, 4);
 }
 
+/// A structurally distinct (module, env) document pair per `i`: the
+/// token counts differ, so every net gets its own canonical identity
+/// and its own cache entry.
+fn pair_doc(i: usize) -> String {
+    format!(
+        "net m {{ places {{ p*{} q }} transition \"go\" {{ pre: p; post: q }} }}\n\
+         net e {{ places {{ r*{} s }} transition \"go\" {{ pre: r; post: s }} }}",
+        2 * i + 2,
+        2 * i + 3
+    )
+}
+
+/// LRU eviction under a mixed Reach/Verify load: a hot net re-touched
+/// between cold `verify` pairs survives the churn, evictions are
+/// counted, and a reformatted copy of the hot document is answered
+/// from the structural tier without recompiling.
+#[test]
+fn cache_eviction_under_mixed_load() {
+    let config = ServerConfig {
+        cache_capacity: 3,
+        ..quick_config()
+    };
+    let (ep, handle, join) = start(config);
+    let mut client = Client::connect(&ep).expect("connect");
+
+    let hot = Request::Reach {
+        net: "small".into(),
+        max_states: 1000,
+        deadline_ms: None,
+        threads: 1,
+        stream: false,
+        doc: SMALL_NET.into(),
+    };
+    match client.request(&hot).expect("seed reach") {
+        Response::Result(s) => assert!(s.is_complete()),
+        other => panic!("expected Result, got {other:?}"),
+    }
+    // Churn: each verify compiles two cold nets (module + env),
+    // overflowing the 3-entry cache; the hot net is re-touched after
+    // every pair, so it is never the LRU victim.
+    for i in 0..3 {
+        let verify = Request::Verify {
+            module: "m".into(),
+            env: "e".into(),
+            louts: vec!["go".into()],
+            routs: vec![],
+            max_states: 10_000,
+            deadline_ms: None,
+            hide_budget: 10_000,
+            stream: false,
+            doc: pair_doc(i),
+        };
+        match client.request(&verify).expect("verify") {
+            Response::VerifyResult(_) => {}
+            other => panic!("expected VerifyResult, got {other:?}"),
+        }
+        match client.request(&hot).expect("hot re-touch") {
+            Response::Result(_) => {}
+            other => panic!("expected Result, got {other:?}"),
+        }
+    }
+    // A reformatted copy of the hot document (different net name,
+    // place names, whitespace) parses to the same canonical identity:
+    // structural hit, no recompile.
+    let reformatted = Request::Reach {
+        net: "tiny".into(),
+        max_states: 1000,
+        deadline_ms: None,
+        threads: 1,
+        stream: false,
+        doc: "net tiny {\n  places { x*  y }\n  transition \"a\" { pre: x; post: y }\n  transition \"b\" { pre: y; post: x }\n}\n".into(),
+    };
+    match client.request(&reformatted).expect("reformatted reach") {
+        Response::Result(s) => assert!(s.is_complete()),
+        other => panic!("expected Result, got {other:?}"),
+    }
+
+    match client.request(&Request::Stats).expect("stats") {
+        Response::Stats(s) => {
+            // 1 hot seed + 3 verify pairs compiled; 3 hot re-touches
+            // were byte hits and the reformatted copy a structural hit.
+            assert_eq!(s.cache_misses, 7, "{s:?}");
+            assert_eq!(s.cache_byte_hits, 3, "{s:?}");
+            assert_eq!(s.cache_structural_hits, 1, "{s:?}");
+            assert_eq!(s.cache_hits, 4, "{s:?}");
+            // 7 insertions through a 3-entry cache: 4 LRU victims, and
+            // the hot entry is not among them.
+            assert_eq!(s.cache_evictions, 4, "{s:?}");
+            assert_eq!(s.cache_len, 3, "{s:?}");
+            assert_eq!(s.cache_capacity, 3, "{s:?}");
+            assert!(s.cache_bytes > 0, "{s:?}");
+        }
+        other => panic!("expected Stats, got {other:?}"),
+    }
+    // The hot document is still resident after all the churn.
+    match client.request(&hot).expect("hot after churn") {
+        Response::Result(s) => assert!(s.is_complete()),
+        other => panic!("expected Result, got {other:?}"),
+    }
+    drop(client);
+    handle.begin_drain();
+    join.join().expect("server");
+}
+
 #[cfg(unix)]
 #[test]
 fn uds_round_trip() {

@@ -97,12 +97,7 @@ fn parse_seed(s: &str) -> Option<u64> {
 
 /// FNV-1a over the property name: the deterministic base seed.
 fn name_seed(name: &str) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for b in name.bytes() {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    h
+    cpn_petri::hash::fnv1a_64(name.as_bytes())
 }
 
 /// Outcome of running one case seed to completion (including shrinking).

@@ -53,6 +53,7 @@ pub mod chaos;
 pub mod fault_gen;
 pub mod gen;
 pub mod harness;
+pub mod modules;
 pub mod mutate;
 pub mod net_gen;
 pub mod rng;
@@ -72,6 +73,7 @@ pub use chaos::{
 pub use fault_gen::{FaultStrategy, RawFault};
 pub use gen::{any_bool, just, u32_in, usize_in, vec_of, Strategy};
 pub use harness::{check, check_with, Config, PropFail, PropResult};
+pub use modules::{ModuleScenario, PlanStep};
 pub use mutate::{DocMutator, Mutant, MutationKind};
 pub use net_gen::{NetStrategy, RawNet, RawRing, RawTransition, RingStrategy};
 pub use rng::{mix_seed, SplitMix64, TestRng};

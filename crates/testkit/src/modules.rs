@@ -1,0 +1,512 @@
+//! Mega-scenario generator: deep protocol stacks as [`ModuleLib`]
+//! values with balanced compose plans.
+//!
+//! Each scenario registers a handful of module *templates* (a
+//! translator cell, a pipeline stage cell, an arbiter, a client) and
+//! stamps out hundreds of instances by injective renaming — exactly
+//! the workload the hash-consed derivation store exists for. The
+//! scenario also carries a **balanced binary compose plan**: a
+//! bottom-up sequence of `compose(left, right, internal)` steps whose
+//! `internal` label sets hide every channel at the *smallest* subtree
+//! that contains all of its users. Balance is what makes incremental
+//! recompilation fast: editing one leaf of an `n`-leaf stack
+//! invalidates only the `⌈log₂ n⌉` spine nodes above it, so a re-run
+//! against a warm store recomputes `O(log n)` of the `n − 1` steps.
+//!
+//! Three topologies:
+//!
+//! * [`ModuleScenario::translator_chain`] — `n` protocol translators
+//!   in series, neighbor `i` handing to `i+1` on channel `c{i+1}`;
+//! * [`ModuleScenario::handshake_mesh`] — a `stages × lanes` pipeline
+//!   where every stage's lanes rendezvous on a barrier label before
+//!   passing tokens downstream (multi-way synchronization);
+//! * [`ModuleScenario::arbiter_tree`] — `2^depth` clients fanned into
+//!   a binary tree of request-merging arbiters.
+//!
+//! Every template is a **one-shot acyclic cell**: a single token flows
+//! from a marked source place to a sink, and each interior place has
+//! exactly one producer and one consumer. That shape is closed under
+//! the Definition 4.10 contraction the compose plan applies level by
+//! level — the splice's virtual duplicate replaces the transition it
+//! duplicates (whose input place loses its only producer and is
+//! reduced away), so no label ever ends up on two transitions of one
+//! operand. Cyclic cells do not survive this: their duplicates stay
+//! live alongside the originals, and re-synchronizing the pair at the
+//! next level produces the self-loops the contraction rejects.
+//!
+//! A second shape constraint governs which *channels* the plans hide:
+//! a hidden channel's merged transition must have a single non-sink
+//! output, so the contraction spawns one successor duplicate and the
+//! displaced original dies. Channels in these families connect a
+//! producer transition whose other outputs are sinks to a consumer
+//! whose input place has one reader, which preserves that invariant
+//! level over level. Multi-output hides (the mesh barriers, a grant
+//! path threaded back down through an arbiter) leave two live
+//! transitions sharing a label, and re-synchronizing such a pair is
+//! exactly the shape [`cpn_core`]'s contraction refuses — so the mesh
+//! keeps its barriers visible (they still *synchronize* lanes
+//! pairwise at every compose node) and the arbiter tree models the
+//! request fan-in half of the protocol.
+
+use cpn_core::{CoreError, ModuleLib};
+use cpn_petri::{Bounded, Budget, NetId, PetriNet};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One node of the balanced compose plan: compose slot `left` with
+/// slot `right`, hiding `internal`. Slots `0..leaves` are the leaf
+/// instances; step `k` of the plan defines slot `leaves + k`.
+#[derive(Clone, Debug)]
+pub struct PlanStep {
+    /// Left operand slot.
+    pub left: usize,
+    /// Right operand slot.
+    pub right: usize,
+    /// Labels whose users all lie inside this subtree, hidden here.
+    pub internal: BTreeSet<String>,
+}
+
+/// A generated module stack: library, instantiated leaves, and the
+/// balanced compose plan over them.
+pub struct ModuleScenario {
+    /// Scenario family and size, e.g. `translator_chain/256`.
+    pub name: String,
+    /// The module library (templates + the derivation store the plan
+    /// runs against).
+    pub lib: ModuleLib<String>,
+    /// Instantiated leaf nets, in compose order.
+    pub leaves: Vec<NetId>,
+    /// Bottom-up balanced compose steps (`leaves.len() - 1` of them).
+    pub plan: Vec<PlanStep>,
+    /// Labels left visible at the top of the stack.
+    pub externals: BTreeSet<String>,
+}
+
+impl ModuleScenario {
+    /// Number of leaf instances.
+    #[must_use]
+    pub fn leaf_count(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Height of the spine invalidated by a single-leaf edit: the
+    /// number of plan steps whose subtree contains any given leaf.
+    #[must_use]
+    pub fn spine_len(&self, leaf: usize) -> usize {
+        let n = self.leaves.len();
+        let mut count = 0;
+        // Recompute the same recursion ranges the plan was built from.
+        fn walk(lo: usize, hi: usize, leaf: usize, count: &mut usize) {
+            if hi - lo <= 1 {
+                return;
+            }
+            let mid = lo + (hi - lo) / 2;
+            *count += 1;
+            if leaf < mid {
+                walk(lo, mid, leaf, count);
+            } else {
+                walk(mid, hi, leaf, count);
+            }
+        }
+        walk(0, n, leaf, &mut count);
+        count
+    }
+
+    /// Runs the compose plan over the given leaf ids (normally
+    /// `&self.leaves`, or a copy with edited entries) and returns the
+    /// top-of-stack id. Steps that exhaust the budget return the
+    /// partial immediately.
+    ///
+    /// # Errors
+    ///
+    /// Any error of the underlying algebra operators.
+    pub fn run(&mut self, leaves: &[NetId], budget: &Budget) -> Result<Bounded<NetId>, CoreError> {
+        assert_eq!(leaves.len(), self.leaves.len(), "leaf count mismatch");
+        let mut slots: Vec<NetId> = leaves.to_vec();
+        if self.plan.is_empty() {
+            return Ok(Bounded::Complete(slots[0]));
+        }
+        let store = self.lib.store_mut();
+        for step in &self.plan {
+            match store.compose(slots[step.left], slots[step.right], &step.internal, budget)? {
+                Bounded::Complete(id) => slots.push(id),
+                exhausted @ Bounded::Exhausted { .. } => return Ok(exhausted),
+            }
+        }
+        Ok(Bounded::Complete(*slots.last().expect("nonempty plan")))
+    }
+
+    /// A structurally edited variant of leaf `leaf` (one extra initial
+    /// token on its first place): same interface labels, different
+    /// `NetId` — the "one-line edit" of an incremental-recompile
+    /// experiment. The edited net is interned in the scenario's store.
+    pub fn edited_leaf(&mut self, leaf: usize) -> NetId {
+        let store = self.lib.store_mut();
+        let net = store
+            .net(self.leaves[leaf])
+            .expect("leaf id is interned in the scenario store");
+        let mut edited: PetriNet<String> = (*net).clone();
+        let p = edited.place_ids().next().expect("modules have places");
+        let tokens = edited.initial_marking().tokens(p);
+        edited.set_initial(p, tokens + 1);
+        let (id, _) = store.intern(edited);
+        assert_ne!(id, self.leaves[leaf], "edit must change the identity");
+        id
+    }
+
+    /// `n` translators in series: instance `i` receives on `c{i}` and
+    /// emits on `c{i+1}`; every interior channel is hidden at the
+    /// smallest subtree containing both endpoints. Externals: `c0`
+    /// (stack input) and `c{n}` (stack output).
+    #[must_use]
+    pub fn translator_chain(n: usize) -> ModuleScenario {
+        assert!(n >= 1);
+        let mut lib: ModuleLib<String> = ModuleLib::new();
+        let mut cell: PetriNet<String> = PetriNet::new();
+        let p = cell.add_place("start");
+        let q = cell.add_place("mid");
+        let r = cell.add_place("done");
+        cell.add_transition([p], "in".to_owned(), [q])
+            .expect("valid template");
+        cell.add_transition([q], "out".to_owned(), [r])
+            .expect("valid template");
+        cell.set_initial(p, 1);
+        lib.register(
+            "translator",
+            BTreeSet::from(["in".to_owned()]),
+            BTreeSet::from(["out".to_owned()]),
+            cell,
+        )
+        .expect("template registers");
+
+        let mut leaves = Vec::with_capacity(n);
+        let mut leaf_labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let map: BTreeMap<String, String> = BTreeMap::from([
+                ("in".to_owned(), format!("c{i}")),
+                ("out".to_owned(), format!("c{}", i + 1)),
+            ]);
+            let inst = lib.instantiate("translator", &map).expect("chain instance");
+            leaves.push(inst.id);
+            leaf_labels.push(BTreeSet::from([format!("c{i}"), format!("c{}", i + 1)]));
+        }
+        let externals = BTreeSet::from(["c0".to_owned(), format!("c{n}")]);
+        let plan = balanced_plan(&leaf_labels, &externals);
+        ModuleScenario {
+            name: format!("translator_chain/{n}"),
+            lib,
+            leaves,
+            plan,
+            externals,
+        }
+    }
+
+    /// A `stages × lanes` pipelined handshake mesh. Cell `(s, k)`
+    /// accepts `r{s}l{k}`, rendezvouses with every lane of its stage
+    /// on the barrier `b{s}` (a `lanes`-way synchronization), then
+    /// passes downstream on `r{s+1}l{k}`. The lane channels are hidden
+    /// bottom-up; the barriers synchronize at every compose node but
+    /// stay visible (hiding a multi-output rendezvous is outside the
+    /// contraction-closed shape — see the module docs). Externals: the
+    /// stage-0 inputs, the stage-`stages` outputs, and the barriers.
+    #[must_use]
+    pub fn handshake_mesh(stages: usize, lanes: usize) -> ModuleScenario {
+        assert!(stages >= 1 && lanes >= 1);
+        let mut lib: ModuleLib<String> = ModuleLib::new();
+        let mut cell: PetriNet<String> = PetriNet::new();
+        let p = cell.add_place("ready");
+        let q = cell.add_place("synced");
+        let w = cell.add_place("passing");
+        let d = cell.add_place("done");
+        cell.add_transition([p], "req".to_owned(), [q])
+            .expect("valid template");
+        cell.add_transition([q], "sync".to_owned(), [w])
+            .expect("valid template");
+        cell.add_transition([w], "pass".to_owned(), [d])
+            .expect("valid template");
+        cell.set_initial(p, 1);
+        lib.register(
+            "stagecell",
+            BTreeSet::from(["req".to_owned()]),
+            BTreeSet::from(["sync".to_owned(), "pass".to_owned()]),
+            cell,
+        )
+        .expect("template registers");
+
+        let mut leaves = Vec::new();
+        let mut leaf_labels = Vec::new();
+        let mut externals = BTreeSet::new();
+        for s in 0..stages {
+            for k in 0..lanes {
+                let map: BTreeMap<String, String> = BTreeMap::from([
+                    ("req".to_owned(), format!("r{s}l{k}")),
+                    ("sync".to_owned(), format!("b{s}")),
+                    ("pass".to_owned(), format!("r{}l{k}", s + 1)),
+                ]);
+                let inst = lib.instantiate("stagecell", &map).expect("mesh instance");
+                leaves.push(inst.id);
+                leaf_labels.push(BTreeSet::from([
+                    format!("r{s}l{k}"),
+                    format!("b{s}"),
+                    format!("r{}l{k}", s + 1),
+                ]));
+            }
+        }
+        for k in 0..lanes {
+            externals.insert(format!("r0l{k}"));
+            externals.insert(format!("r{stages}l{k}"));
+        }
+        for s in 0..stages {
+            externals.insert(format!("b{s}"));
+        }
+        let plan = balanced_plan(&leaf_labels, &externals);
+        ModuleScenario {
+            name: format!("handshake_mesh/{stages}x{lanes}"),
+            lib,
+            leaves,
+            plan,
+            externals,
+        }
+    }
+
+    /// `2^depth` clients fanned into a binary tree of request-merging
+    /// arbiters. Each arbiter collects its two children's requests in
+    /// order and issues one upstream request `r{id}`; the root's
+    /// upstream request stays external. (The grant fan-out half of the
+    /// protocol is *not* hidden down the tree: a grant path threaded
+    /// back out through an arbiter is a multi-output hide, which the
+    /// contraction rejects — see the module docs.) Modules are laid
+    /// out in DFS post-order so every tree channel is hidden at the
+    /// smallest covering subtree.
+    #[must_use]
+    pub fn arbiter_tree(depth: usize) -> ModuleScenario {
+        let mut lib: ModuleLib<String> = ModuleLib::new();
+
+        let mut client: PetriNet<String> = PetriNet::new();
+        let p = client.add_place("quiet");
+        let d = client.add_place("done");
+        client
+            .add_transition([p], "req".to_owned(), [d])
+            .expect("valid template");
+        client.set_initial(p, 1);
+        lib.register(
+            "client",
+            BTreeSet::new(),
+            BTreeSet::from(["req".to_owned()]),
+            client,
+        )
+        .expect("client registers");
+
+        // One-shot serializer: left child's request, then the right
+        // child's, then one upstream request into a sink. Each channel
+        // transition's only non-chain output is a sink, so hiding the
+        // tree channels stays contraction-closed level over level.
+        let mut arb: PetriNet<String> = PetriNet::new();
+        let idle = arb.add_place("idle");
+        let got_l = arb.add_place("got_l");
+        let got_r = arb.add_place("got_r");
+        let sent = arb.add_place("sent");
+        arb.add_transition([idle], "rl".to_owned(), [got_l])
+            .expect("valid template");
+        arb.add_transition([got_l], "rr".to_owned(), [got_r])
+            .expect("valid template");
+        arb.add_transition([got_r], "ru".to_owned(), [sent])
+            .expect("valid template");
+        arb.set_initial(idle, 1);
+        lib.register(
+            "arbiter",
+            BTreeSet::from(["rl".to_owned(), "rr".to_owned()]),
+            BTreeSet::from(["ru".to_owned()]),
+            arb,
+        )
+        .expect("arbiter registers");
+
+        // DFS post-order over a perfect binary tree; node ids number
+        // the channels (`r{id}` between node and parent).
+        let mut leaves = Vec::new();
+        let mut leaf_labels = Vec::new();
+        let mut next_id = 0usize;
+        fn emit(
+            lib: &mut ModuleLib<String>,
+            leaves: &mut Vec<NetId>,
+            leaf_labels: &mut Vec<BTreeSet<String>>,
+            next_id: &mut usize,
+            depth: usize,
+        ) -> usize {
+            // Children first (post-order), then this node.
+            if depth == 0 {
+                let id = *next_id;
+                *next_id += 1;
+                let map: BTreeMap<String, String> =
+                    BTreeMap::from([("req".to_owned(), format!("r{id}"))]);
+                let inst = lib.instantiate("client", &map).expect("client instance");
+                leaves.push(inst.id);
+                leaf_labels.push(BTreeSet::from([format!("r{id}")]));
+                return id;
+            }
+            let l = emit(lib, leaves, leaf_labels, next_id, depth - 1);
+            let r = emit(lib, leaves, leaf_labels, next_id, depth - 1);
+            let id = *next_id;
+            *next_id += 1;
+            let map: BTreeMap<String, String> = BTreeMap::from([
+                ("rl".to_owned(), format!("r{l}")),
+                ("rr".to_owned(), format!("r{r}")),
+                ("ru".to_owned(), format!("r{id}")),
+            ]);
+            let inst = lib.instantiate("arbiter", &map).expect("arbiter instance");
+            leaves.push(inst.id);
+            leaf_labels.push(BTreeSet::from([
+                format!("r{l}"),
+                format!("r{r}"),
+                format!("r{id}"),
+            ]));
+            id
+        }
+        let root = emit(&mut lib, &mut leaves, &mut leaf_labels, &mut next_id, depth);
+        let externals = BTreeSet::from([format!("r{root}")]);
+        let plan = balanced_plan(&leaf_labels, &externals);
+        ModuleScenario {
+            name: format!("arbiter_tree/{depth}"),
+            lib,
+            leaves,
+            plan,
+            externals,
+        }
+    }
+}
+
+/// Builds the balanced plan: recursive halving over the leaf order,
+/// hiding each label at the first (lowest) node whose range covers
+/// every leaf that uses it.
+fn balanced_plan(leaf_labels: &[BTreeSet<String>], externals: &BTreeSet<String>) -> Vec<PlanStep> {
+    let n = leaf_labels.len();
+    let mut span: BTreeMap<&str, (usize, usize)> = BTreeMap::new();
+    for (i, labels) in leaf_labels.iter().enumerate() {
+        for l in labels {
+            span.entry(l.as_str())
+                .and_modify(|(lo, hi)| {
+                    *lo = (*lo).min(i);
+                    *hi = (*hi).max(i);
+                })
+                .or_insert((i, i));
+        }
+    }
+    let mut plan = Vec::new();
+    fn build(
+        lo: usize,
+        hi: usize,
+        n: usize,
+        span: &BTreeMap<&str, (usize, usize)>,
+        externals: &BTreeSet<String>,
+        plan: &mut Vec<PlanStep>,
+    ) -> usize {
+        if hi - lo == 1 {
+            return lo;
+        }
+        let mid = lo + (hi - lo) / 2;
+        let left = build(lo, mid, n, span, externals, plan);
+        let right = build(mid, hi, n, span, externals, plan);
+        let internal: BTreeSet<String> = span
+            .iter()
+            .filter(|(l, (first, last))| {
+                *first >= lo && *last < hi          // all users inside
+                    && *first < mid && *last >= mid // not hidden below
+                    && !externals.contains(**l)
+            })
+            .map(|(l, _)| (*l).to_owned())
+            .collect();
+        plan.push(PlanStep {
+            left,
+            right,
+            internal,
+        });
+        n + plan.len() - 1
+    }
+    if n > 1 {
+        build(0, n, n, &span, externals, &mut plan);
+    }
+    plan
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    fn big() -> Budget {
+        Budget::new(usize::MAX, usize::MAX)
+    }
+
+    #[test]
+    fn chain_plan_is_balanced_and_completes() {
+        let mut sc = ModuleScenario::translator_chain(8);
+        assert_eq!(sc.plan.len(), 7);
+        let leaves = sc.leaves.clone();
+        let top = match sc.run(&leaves, &big()).unwrap() {
+            Bounded::Complete(id) => id,
+            other => panic!("chain compose exhausted: {other:?}"),
+        };
+        // Only the externals survive at the top of the stack.
+        let net = sc.lib.store().net(top).unwrap();
+        assert_eq!(net.alphabet(), sc.externals, "interior channels all hidden");
+    }
+
+    #[test]
+    fn one_leaf_edit_recomputes_only_the_spine() {
+        let n = 16;
+        let mut sc = ModuleScenario::translator_chain(n);
+        let leaves = sc.leaves.clone();
+        sc.run(&leaves, &big()).unwrap();
+
+        let edited = sc.edited_leaf(0);
+        let mut patched = leaves.clone();
+        patched[0] = edited;
+        sc.lib.store_mut().reset_counters();
+        sc.run(&patched, &big()).unwrap();
+
+        let spine = sc.spine_len(0);
+        assert_eq!(spine, 4, "16 leaves -> 4 spine levels");
+        let stats = sc.lib.store().stats();
+        // Untouched compose nodes replay from the memo (1 hit each);
+        // each spine node recomputes compose + parallel + hide +
+        // reduce (4 misses each).
+        assert_eq!(stats.hits, (sc.plan.len() - spine) as u64);
+        assert_eq!(stats.misses, 4 * spine as u64);
+    }
+
+    #[test]
+    fn mesh_completes_with_visible_barriers() {
+        let mut sc = ModuleScenario::handshake_mesh(3, 2);
+        let leaves = sc.leaves.clone();
+        let top = match sc.run(&leaves, &big()).unwrap() {
+            Bounded::Complete(id) => id,
+            other => panic!("mesh compose exhausted: {other:?}"),
+        };
+        let net = sc.lib.store().net(top).unwrap();
+        // Lane channels hidden; stage-0/stage-N channels and the
+        // barriers survive.
+        assert_eq!(net.alphabet(), sc.externals);
+        assert!(sc.externals.contains("b0"), "barriers stay external");
+    }
+
+    #[test]
+    fn arbiter_tree_completes_with_external_root() {
+        let mut sc = ModuleScenario::arbiter_tree(2);
+        assert_eq!(sc.leaf_count(), 7, "4 clients + 3 arbiters");
+        let leaves = sc.leaves.clone();
+        let top = match sc.run(&leaves, &big()).unwrap() {
+            Bounded::Complete(id) => id,
+            other => panic!("tree compose exhausted: {other:?}"),
+        };
+        let net = sc.lib.store().net(top).unwrap();
+        assert_eq!(net.alphabet(), sc.externals);
+    }
+
+    #[test]
+    fn instances_share_the_template_storage() {
+        let sc = ModuleScenario::translator_chain(32);
+        let stats = sc.lib.store().stats();
+        // 32 instances from one template: each is a distinct rename
+        // (distinct channel names) but the nets pool in one store.
+        assert_eq!(stats.nets, sc.leaf_count() + 1);
+    }
+}
